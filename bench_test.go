@@ -1,0 +1,246 @@
+// Benchmark harness: one benchmark per table and figure of the CleanM
+// paper's evaluation (§8), each regenerating its result at bench scale, plus
+// ablation benchmarks for the design choices DESIGN.md calls out and
+// micro-benchmarks of the engine primitives the results rest on.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// The experiment tables themselves (paper-shaped output) come from
+// `go run ./cmd/experiments`; EXPERIMENTS.md records paper-vs-measured.
+package cleandb_test
+
+import (
+	"testing"
+
+	"cleandb"
+	"cleandb/internal/cleaning"
+	"cleandb/internal/cluster"
+	"cleandb/internal/datagen"
+	"cleandb/internal/engine"
+	"cleandb/internal/experiments"
+	"cleandb/internal/physical"
+	"cleandb/internal/textsim"
+	"cleandb/internal/types"
+)
+
+func benchScale() experiments.Scale { return experiments.BenchScale() }
+
+// --- One benchmark per paper table / figure. ---
+
+func BenchmarkTable3TermValidationAccuracy(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		experiments.Table3(s)
+	}
+}
+
+func BenchmarkFigure3TermValidation(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		experiments.Figure3(s)
+	}
+}
+
+func BenchmarkFigure4NoiseAccuracy(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		experiments.Figure4(s)
+	}
+}
+
+func BenchmarkFigure5UnifiedCleaning(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		experiments.Figure5(s)
+	}
+}
+
+func BenchmarkTable4Transformations(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		experiments.Table4(s)
+	}
+}
+
+func BenchmarkFigure6DenialConstraints(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		experiments.Figure6(s)
+	}
+}
+
+func BenchmarkTable5InequalityDC(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		experiments.Table5(s)
+	}
+}
+
+func BenchmarkFigure7DedupDBLP(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		experiments.Figure7(s)
+	}
+}
+
+func BenchmarkFigure8aDedupCustomer(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		experiments.Figure8a(s)
+	}
+}
+
+func BenchmarkFigure8bDedupMAG(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		experiments.Figure8b(s)
+	}
+}
+
+// --- Ablation benchmarks (design choices from DESIGN.md). ---
+
+func BenchmarkAblationSkewShuffle(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		experiments.AblationSkewShuffle(s)
+	}
+}
+
+func BenchmarkAblationThetaJoin(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		experiments.AblationThetaJoin(s)
+	}
+}
+
+func BenchmarkAblationNestCoalescing(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		experiments.AblationNestCoalescing(s)
+	}
+}
+
+func BenchmarkAblationNormalization(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		experiments.AblationNormalization(s)
+	}
+}
+
+func BenchmarkAblationBlocking(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		experiments.AblationBlocking(s)
+	}
+}
+
+// --- Micro-benchmarks of the primitives the experiments rest on. ---
+
+func BenchmarkLevenshtein(b *testing.B) {
+	a, c := "stella giannakopoulou", "stela gianakopoulou"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		textsim.Levenshtein(a, c)
+	}
+}
+
+func BenchmarkLevenshteinWithinEarlyExit(b *testing.B) {
+	a, c := "stella giannakopoulou", "manos karpathiotakis"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		textsim.LevenshteinWithin(a, c, 3)
+	}
+}
+
+func BenchmarkTokenFilterKeys(b *testing.B) {
+	tf := cluster.TokenFilter{Q: 3}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tf.Keys("stella giannakopoulou")
+	}
+}
+
+func BenchmarkAggregateByKey(b *testing.B) {
+	rows := datagen.GenLineitem(datagen.LineitemConfig{Rows: 20000, Seed: 1})
+	key := cleaning.FieldsExtract("orderkey", "linenumber")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := engine.NewContext(8)
+		engine.FromValues(ctx, rows).AggregateByKey("b", engine.KeyFunc(key), engine.GroupAgg{})
+	}
+}
+
+func BenchmarkSortShuffleGroup(b *testing.B) {
+	rows := datagen.GenLineitem(datagen.LineitemConfig{Rows: 20000, Seed: 1})
+	key := cleaning.FieldsExtract("orderkey", "linenumber")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := engine.NewContext(8)
+		engine.FromValues(ctx, rows).SortShuffleGroup("b", engine.KeyFunc(key), engine.GroupAgg{})
+	}
+}
+
+func BenchmarkFDCheck(b *testing.B) {
+	rows := datagen.GenLineitem(datagen.LineitemConfig{Rows: 20000, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := engine.NewContext(8)
+		cleaning.FDCheck(engine.FromValues(ctx, rows),
+			cleaning.FieldsExtract("orderkey", "linenumber"),
+			cleaning.FieldExtract("suppkey"),
+			physical.GroupAggregate).Count()
+	}
+}
+
+func BenchmarkDedupTokenFiltering(b *testing.B) {
+	data := datagen.GenCustomer(datagen.CustomerConfig{Rows: 2000, DupRate: 0.1, MaxDups: 10, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := engine.NewContext(8)
+		cleaning.Dedup(engine.FromValues(ctx, data.Rows), cleaning.DedupConfig{
+			Blocker:   cluster.TokenFilter{Q: 3},
+			BlockAttr: func(v types.Value) string { return v.Field("name").Str() },
+			Metric:    textsim.MetricLevenshtein,
+			Theta:     0.7,
+		}).Count()
+	}
+}
+
+func BenchmarkPipelineEndToEnd(b *testing.B) {
+	// The full stack: CleanM text → comprehension → algebra → physical →
+	// execution, on the running example's FD+FD+DEDUP query.
+	data := datagen.GenCustomer(datagen.CustomerConfig{Rows: 2000, DupRate: 0.1, MaxDups: 10, Seed: 1})
+	const query = `
+SELECT * FROM customer c
+FD(c.address, prefix(c.phone))
+FD(c.address, c.nationkey)
+DEDUP(attribute, LD, 0.8, c.address, c.name, c.phone)`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db := cleandb.Open(cleandb.WithWorkers(8))
+		db.RegisterRows("customer", data.Rows)
+		if _, err := db.Query(query); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQueryPlanningOnly(b *testing.B) {
+	// Front end + both optimizer levels without execution.
+	db := cleandb.Open(cleandb.WithWorkers(2))
+	data := datagen.GenCustomer(datagen.CustomerConfig{Rows: 10, Seed: 1})
+	db.RegisterRows("customer", data.Rows)
+	const query = `
+SELECT * FROM customer c
+FD(c.address, prefix(c.phone))
+DEDUP(attribute, LD, 0.8, c.address, c.name)`
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Explain(query); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

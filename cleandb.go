@@ -1,0 +1,272 @@
+// Package cleandb is a unified scale-out data cleaning and querying engine —
+// a Go reproduction of "CleanM: An Optimizable Query Language for Unified
+// Scale-Out Data Cleaning" (Giannakopoulou et al., VLDB 2017).
+//
+// CleanDB exposes the CleanM language: SQL extended with FD, DEDUP and
+// CLUSTER BY cleaning operators. Queries pass through three optimization
+// levels — the monoid comprehension calculus, a nested relational algebra,
+// and a skew-aware physical plan — and execute on a partitioned multi-worker
+// runtime. A query with several cleaning operators is optimized as a whole:
+// operators that group the data the same way share a single grouping pass,
+// all operators share the input scan, and the violation sets are combined
+// with one outer join.
+//
+// Quickstart:
+//
+//	db := cleandb.Open()
+//	db.RegisterRows("customer", rows)
+//	db.RegisterRows("dictionary", dict)
+//	res, err := db.Query(`
+//	    SELECT c.name, c.address, *
+//	    FROM customer c, dictionary d
+//	    FD(c.address, prefix(c.phone))
+//	    DEDUP(token_filtering, LD, 0.8, c.address)
+//	    CLUSTER BY(token_filtering, LD, 0.8, c.name)`)
+package cleandb
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"cleandb/internal/core"
+	"cleandb/internal/data"
+	"cleandb/internal/engine"
+	"cleandb/internal/physical"
+	"cleandb/internal/types"
+)
+
+// Value is a dynamically typed datum (null, bool, int, float, string, list
+// or record). See the constructor helpers Null, Bool, Int, Float, String,
+// List and NewRecord.
+type Value = types.Value
+
+// Schema maps record field names to positions.
+type Schema = types.Schema
+
+// Re-exported constructors for building rows programmatically.
+var (
+	// Null returns the null value.
+	Null = types.Null
+	// Bool wraps a bool.
+	Bool = types.Bool
+	// Int wraps an int64.
+	Int = types.Int
+	// Float wraps a float64.
+	Float = types.Float
+	// String wraps a string.
+	String = types.String
+	// List wraps values into a list value.
+	List = types.List
+	// NewSchema builds a record schema.
+	NewSchema = types.NewSchema
+	// NewRecord builds a record value over a schema.
+	NewRecord = types.NewRecord
+)
+
+// Option configures Open.
+type Option func(*DB)
+
+// WithWorkers sets the simulated cluster width (default 8).
+func WithWorkers(n int) Option {
+	return func(db *DB) { db.ctx.Workers = n }
+}
+
+// WithComparisonBudget bounds pairwise comparisons per query; exceeding it
+// aborts the query with an error (how the experiment suite reproduces the
+// paper's DNF entries).
+func WithComparisonBudget(n int64) Option {
+	return func(db *DB) { db.ctx.CompBudget = n }
+}
+
+// WithStandaloneOps disables unified optimization: multiple cleaning
+// operators in one query execute independently (baseline behaviour).
+func WithStandaloneOps() Option {
+	return func(db *DB) { db.unified = false }
+}
+
+// WithGroupStrategy overrides the grouping shuffle (ablation hooks).
+func WithGroupStrategy(s physical.GroupStrategy) Option {
+	return func(db *DB) { db.config.Group = s }
+}
+
+// WithThetaStrategy overrides the theta-join algorithm (ablation hooks).
+func WithThetaStrategy(s physical.ThetaStrategy) Option {
+	return func(db *DB) { db.config.Theta = s }
+}
+
+// DB is a CleanDB instance: a catalog of datasets plus the query pipeline.
+type DB struct {
+	ctx     *engine.Context
+	catalog map[string]*engine.Dataset
+	config  physical.Config
+	unified bool
+}
+
+// Open creates a CleanDB instance.
+func Open(opts ...Option) *DB {
+	db := &DB{
+		ctx:     engine.NewContext(8),
+		catalog: map[string]*engine.Dataset{},
+		unified: true,
+	}
+	for _, o := range opts {
+		o(db)
+	}
+	return db
+}
+
+// RegisterRows adds an in-memory dataset to the catalog under name.
+func (db *DB) RegisterRows(name string, rows []Value) {
+	db.catalog[name] = engine.FromValues(db.ctx, rows)
+}
+
+// RegisterCSV loads a CSV source (header row, type-inferred columns).
+func (db *DB) RegisterCSV(name string, r io.Reader) error {
+	rows, err := data.ReadCSV(r)
+	if err != nil {
+		return err
+	}
+	db.RegisterRows(name, rows)
+	return nil
+}
+
+// RegisterJSON loads a JSON-lines source (nested records supported).
+func (db *DB) RegisterJSON(name string, r io.Reader) error {
+	rows, err := data.ReadJSON(r)
+	if err != nil {
+		return err
+	}
+	db.RegisterRows(name, rows)
+	return nil
+}
+
+// RegisterXML loads a two-level XML source (DBLP-style; repeated child
+// elements become list fields).
+func (db *DB) RegisterXML(name string, r io.Reader) error {
+	rows, err := data.ReadXML(r)
+	if err != nil {
+		return err
+	}
+	db.RegisterRows(name, rows)
+	return nil
+}
+
+// RegisterColbin loads a colbin (binary columnar) source.
+func (db *DB) RegisterColbin(name string, r io.Reader) error {
+	rows, err := data.ReadColbin(r)
+	if err != nil {
+		return err
+	}
+	db.RegisterRows(name, rows)
+	return nil
+}
+
+// Sources lists the registered dataset names, sorted.
+func (db *DB) Sources() []string {
+	out := make([]string, 0, len(db.catalog))
+	for n := range db.catalog {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Rows returns the records of a registered dataset.
+func (db *DB) Rows(name string) ([]Value, error) {
+	d, ok := db.catalog[name]
+	if !ok {
+		return nil, fmt.Errorf("cleandb: unknown source %q", name)
+	}
+	return d.Collect(), nil
+}
+
+// Result is a completed query.
+type Result struct {
+	inner *core.Result
+}
+
+// Rows returns the query's primary output records. For multi-operator
+// cleaning queries this is the combined violation report (one record per
+// entity with at least one violation); for single operators, the violation
+// records; for plain queries, the projected rows.
+func (r *Result) Rows() []Value { return r.inner.Rows() }
+
+// TaskRows returns the output of the named cleaning operator task ("fd1",
+// "dedup1", "clusterby1", or "query"). For unified queries the per-task
+// violations are folded inside the combined records; use Rows instead.
+func (r *Result) TaskRows(name string) []Value {
+	for _, t := range r.inner.Tasks {
+		if t.Name == name {
+			return t.Output
+		}
+	}
+	return nil
+}
+
+// TaskNames lists the cleaning tasks of the query in order.
+func (r *Result) TaskNames() []string {
+	out := make([]string, len(r.inner.Tasks))
+	for i, t := range r.inner.Tasks {
+		out[i] = t.Name
+	}
+	return out
+}
+
+// Explanation renders the three-level EXPLAIN (normalized comprehensions
+// and the optimized algebraic DAG).
+func (r *Result) Explanation() string { return r.inner.Explanation }
+
+// Query parses, optimizes and executes a CleanM statement.
+func (db *DB) Query(q string) (*Result, error) {
+	p := db.pipeline()
+	res, err := p.Run(q)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{inner: res}, nil
+}
+
+// Explain plans the query through all three levels and returns the EXPLAIN
+// text without executing it.
+func (db *DB) Explain(q string) (string, error) {
+	p := db.pipeline()
+	prep, err := p.Prepare(q)
+	if err != nil {
+		return "", err
+	}
+	return prep.Explain(), nil
+}
+
+func (db *DB) pipeline() *core.Pipeline {
+	p := core.NewPipeline(db.ctx, db.catalog)
+	p.Config = db.config
+	p.Unified = db.unified
+	return p
+}
+
+// Metrics reports the engine cost counters accumulated so far.
+type Metrics struct {
+	// SimTicks is the deterministic cost-model time (straggler-sensitive).
+	SimTicks int64
+	// Comparisons counts pairwise similarity/predicate checks.
+	Comparisons int64
+	// ShuffledRecords counts records moved across the simulated network.
+	ShuffledRecords int64
+	// ShuffledBytes estimates bytes moved across the simulated network.
+	ShuffledBytes int64
+}
+
+// Metrics returns a snapshot of the engine cost counters.
+func (db *DB) Metrics() Metrics {
+	m := db.ctx.Metrics()
+	return Metrics{
+		SimTicks:        m.SimTicks(),
+		Comparisons:     m.Comparisons(),
+		ShuffledRecords: m.ShuffledRecords(),
+		ShuffledBytes:   m.ShuffledBytes(),
+	}
+}
+
+// ResetMetrics clears the engine cost counters.
+func (db *DB) ResetMetrics() { db.ctx.Metrics().Reset() }

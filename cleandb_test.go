@@ -1,0 +1,139 @@
+package cleandb
+
+import (
+	"strings"
+	"testing"
+)
+
+func demoDB() *DB {
+	db := Open(WithWorkers(4))
+	custSchema := NewSchema("name", "address", "phone", "nationkey")
+	db.RegisterRows("customer", []Value{
+		NewRecord(custSchema, []Value{String("alice"), String("12 oak st"), String("111-5550"), Int(1)}),
+		NewRecord(custSchema, []Value{String("alicia"), String("12 oak st"), String("222-5551"), Int(1)}),
+		NewRecord(custSchema, []Value{String("bob"), String("7 elm ave"), String("333-5552"), Int(2)}),
+		NewRecord(custSchema, []Value{String("krol"), String("9 pine rd"), String("444-5553"), Int(3)}),
+	})
+	dictSchema := NewSchema("term")
+	db.RegisterRows("dictionary", []Value{
+		NewRecord(dictSchema, []Value{String("alice")}),
+		NewRecord(dictSchema, []Value{String("bob")}),
+		NewRecord(dictSchema, []Value{String("karol")}),
+	})
+	return db
+}
+
+func TestQueryPlain(t *testing.T) {
+	db := demoDB()
+	res, err := db.Query(`SELECT c.name AS n FROM customer c WHERE c.nationkey = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows()) != 2 {
+		t.Fatalf("rows = %v", res.Rows())
+	}
+}
+
+func TestQueryCleaningUnified(t *testing.T) {
+	db := demoDB()
+	res, err := db.Query(`
+SELECT * FROM customer c, dictionary d
+FD(c.address, prefix(c.phone))
+CLUSTER BY(token_filtering, LD, 0.7, c.name)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Rows()
+	if len(rows) == 0 {
+		t.Fatal("expected combined violations")
+	}
+	names := res.TaskNames()
+	if len(names) != 2 || names[0] != "fd1" || names[1] != "clusterby1" {
+		t.Fatalf("task names = %v", names)
+	}
+}
+
+func TestExplainShowsAllLevels(t *testing.T) {
+	db := demoDB()
+	out, err := db.Explain(`SELECT * FROM customer c FD(c.address, c.nationkey) DEDUP(attribute, LD, 0.8, c.address, c.name)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"comprehension", "groupby", "Nest", "shared node", "CombineAll"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("explain missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegisterFormats(t *testing.T) {
+	db := Open(WithWorkers(2))
+	if err := db.RegisterCSV("t", strings.NewReader("a,b\n1,x\n2,y\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RegisterJSON("j", strings.NewReader(`{"a":1}`+"\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RegisterXML("x", strings.NewReader(`<r><e><a>1</a></e></r>`)); err != nil {
+		t.Fatal(err)
+	}
+	got := db.Sources()
+	if len(got) != 3 || got[0] != "j" || got[1] != "t" || got[2] != "x" {
+		t.Fatalf("sources = %v", got)
+	}
+	rows, err := db.Rows("t")
+	if err != nil || len(rows) != 2 {
+		t.Fatalf("rows = %v, %v", rows, err)
+	}
+	if _, err := db.Rows("nope"); err == nil {
+		t.Fatal("unknown source should error")
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	db := demoDB()
+	for _, q := range []string{
+		`SELECT`,
+		`SELECT * FROM nosuchtable n`,
+		`SELECT * FROM customer c CLUSTER BY(tf, LD, 0.8, c.name)`, // no dictionary
+	} {
+		if _, err := db.Query(q); err == nil {
+			t.Errorf("Query(%q) should fail", q)
+		}
+	}
+}
+
+func TestMetricsAccumulateAndReset(t *testing.T) {
+	db := demoDB()
+	if _, err := db.Query(`SELECT c.name FROM customer c`); err != nil {
+		t.Fatal(err)
+	}
+	if db.Metrics().SimTicks == 0 {
+		t.Fatal("metrics should accumulate")
+	}
+	db.ResetMetrics()
+	if db.Metrics().SimTicks != 0 {
+		t.Fatal("reset should clear")
+	}
+}
+
+func TestStandaloneOption(t *testing.T) {
+	db := Open(WithWorkers(2), WithStandaloneOps())
+	demoSrc := demoDB()
+	rows, _ := demoSrc.Rows("customer")
+	db.RegisterRows("customer", rows)
+	res, err := db.Query(`
+SELECT * FROM customer c
+FD(c.address, c.nationkey)
+DEDUP(attribute, LD, 0.5, c.address, c.name)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Standalone mode: no combined output, per-task outputs available.
+	if res.Rows() == nil {
+		t.Fatal("first task output expected")
+	}
+	if res.TaskRows("dedup1") == nil {
+		t.Fatal("dedup task output expected")
+	}
+}

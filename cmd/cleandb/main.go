@@ -1,0 +1,230 @@
+// Command cleandb is the CleanDB shell: it registers data files of any
+// supported format as queryable sources and runs CleanM statements against
+// them — querying and cleaning through one interface, as the paper proposes.
+//
+// Usage:
+//
+//	cleandb query  -src name=path.csv [-src dict=path.json ...] [-explain] 'SELECT ...'
+//	cleandb gen    -kind tpch-lineitem|tpch-customer|dblp|mag -rows N -out path.csv
+//	cleandb convert -in path.csv -out path.colbin
+//
+// Formats are inferred from file extensions: .csv, .json (JSON lines),
+// .xml, .colbin.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"cleandb"
+	"cleandb/internal/data"
+	"cleandb/internal/datagen"
+	"cleandb/internal/types"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "query":
+		err = cmdQuery(os.Args[2:])
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "convert":
+		err = cmdConvert(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cleandb:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `cleandb — unified scale-out data cleaning (CleanM)
+
+subcommands:
+  query    -src name=path [...] [-workers N] [-explain] [-limit N] 'CLEANM QUERY'
+  gen      -kind tpch-lineitem|tpch-customer|dblp|mag -rows N -out path
+  convert  -in path -out path
+
+examples:
+  cleandb gen -kind tpch-customer -rows 10000 -out customer.csv
+  cleandb query -src customer=customer.csv \
+    'SELECT * FROM customer c FD(c.address, c.nationkey)'`)
+}
+
+type srcList []string
+
+func (s *srcList) String() string     { return strings.Join(*s, ",") }
+func (s *srcList) Set(v string) error { *s = append(*s, v); return nil }
+
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	var sources srcList
+	fs.Var(&sources, "src", "name=path source registration (repeatable)")
+	workers := fs.Int("workers", 8, "simulated cluster width")
+	explain := fs.Bool("explain", false, "print the three-level plan instead of executing")
+	limit := fs.Int("limit", 20, "max rows to print")
+	standalone := fs.Bool("standalone", false, "disable unified optimization")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("query: want exactly one CleanM statement argument")
+	}
+	opts := []cleandb.Option{cleandb.WithWorkers(*workers)}
+	if *standalone {
+		opts = append(opts, cleandb.WithStandaloneOps())
+	}
+	db := cleandb.Open(opts...)
+	for _, s := range sources {
+		name, path, ok := strings.Cut(s, "=")
+		if !ok {
+			return fmt.Errorf("query: -src wants name=path, got %q", s)
+		}
+		if err := register(db, name, path); err != nil {
+			return err
+		}
+	}
+	query := fs.Arg(0)
+	if *explain {
+		out, err := db.Explain(query)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
+	}
+	res, err := db.Query(query)
+	if err != nil {
+		return err
+	}
+	rows := res.Rows()
+	for i, r := range rows {
+		if i >= *limit {
+			fmt.Printf("... (%d more rows)\n", len(rows)-*limit)
+			break
+		}
+		fmt.Println(r)
+	}
+	m := db.Metrics()
+	fmt.Fprintf(os.Stderr, "-- %d rows; %d ticks, %d comparisons, %d records shuffled\n",
+		len(rows), m.SimTicks, m.Comparisons, m.ShuffledRecords)
+	return nil
+}
+
+func register(db *cleandb.DB, name, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch filepath.Ext(path) {
+	case ".csv":
+		return db.RegisterCSV(name, f)
+	case ".json", ".jsonl", ".ndjson":
+		return db.RegisterJSON(name, f)
+	case ".xml":
+		return db.RegisterXML(name, f)
+	case ".colbin":
+		return db.RegisterColbin(name, f)
+	default:
+		return fmt.Errorf("unknown format for %q (want .csv/.json/.xml/.colbin)", path)
+	}
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	kind := fs.String("kind", "tpch-customer", "dataset kind: tpch-lineitem, tpch-customer, dblp, mag, dict")
+	rows := fs.Int("rows", 10000, "row / publication count")
+	out := fs.String("out", "", "output path (.csv/.json/.xml/.colbin)")
+	seed := fs.Int64("seed", 42, "generator seed")
+	noise := fs.Float64("noise", 0.10, "noise rate")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("gen: -out is required")
+	}
+	var records []types.Value
+	switch *kind {
+	case "tpch-lineitem":
+		records = datagen.GenLineitem(datagen.LineitemConfig{Rows: *rows, NoiseRate: *noise, Seed: *seed})
+	case "tpch-customer":
+		records = datagen.GenCustomer(datagen.CustomerConfig{Rows: *rows, DupRate: *noise, MaxDups: 50, Seed: *seed}).Rows
+	case "dblp":
+		records = datagen.GenDBLP(datagen.DBLPConfig{Pubs: *rows, AuthorPool: *rows/10 + 50, NoiseRate: *noise, DupRate: 0.1, Seed: *seed}).Pubs
+	case "dict":
+		records = datagen.GenDBLP(datagen.DBLPConfig{Pubs: 1, AuthorPool: *rows, Seed: *seed}).Dictionary
+	case "mag":
+		records = datagen.GenMAG(datagen.MAGConfig{Rows: *rows, DupRate: *noise, Seed: *seed}).Rows
+	default:
+		return fmt.Errorf("gen: unknown kind %q", *kind)
+	}
+	return writeFile(*out, records)
+}
+
+func cmdConvert(args []string) error {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	in := fs.String("in", "", "input path")
+	out := fs.String("out", "", "output path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *out == "" {
+		return fmt.Errorf("convert: -in and -out are required")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var records []types.Value
+	switch filepath.Ext(*in) {
+	case ".csv":
+		records, err = data.ReadCSV(f)
+	case ".json", ".jsonl", ".ndjson":
+		records, err = data.ReadJSON(f)
+	case ".xml":
+		records, err = data.ReadXML(f)
+	case ".colbin":
+		records, err = data.ReadColbin(f)
+	default:
+		return fmt.Errorf("convert: unknown input format %q", *in)
+	}
+	if err != nil {
+		return err
+	}
+	return writeFile(*out, records)
+}
+
+func writeFile(path string, records []types.Value) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch filepath.Ext(path) {
+	case ".csv":
+		return data.WriteCSV(f, records)
+	case ".json", ".jsonl", ".ndjson":
+		return data.WriteJSON(f, records)
+	case ".xml":
+		return data.WriteXML(f, records, "rows", "row")
+	case ".colbin":
+		return data.WriteColbin(f, records)
+	default:
+		return fmt.Errorf("unknown output format %q", path)
+	}
+}

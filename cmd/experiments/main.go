@@ -1,0 +1,77 @@
+// Command experiments regenerates every table and figure of the CleanM
+// paper's evaluation (§8) at laptop scale, plus the ablation suite for the
+// design choices DESIGN.md calls out. See EXPERIMENTS.md for the recorded
+// paper-vs-measured comparison.
+//
+// Usage:
+//
+//	go run ./cmd/experiments [-scale 1.0] [-only "Table 3,Figure 5"] [-ablations]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"cleandb/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "size multiplier over the default scale")
+	only := flag.String("only", "", "comma-separated table/figure IDs to run (default all)")
+	ablations := flag.Bool("ablations", true, "also run the ablation suite")
+	workers := flag.Int("workers", 8, "simulated cluster width")
+	flag.Parse()
+
+	s := experiments.DefaultScale()
+	s.Workers = *workers
+	if *scale != 1.0 {
+		s.RowsPerSF = int(float64(s.RowsPerSF) * *scale)
+		s.Customers = int(float64(s.Customers) * *scale)
+		s.DBLPPubs = int(float64(s.DBLPPubs) * *scale)
+		s.DBLPDedupPubs = int(float64(s.DBLPDedupPubs) * *scale)
+		s.MAGRows = int(float64(s.MAGRows) * *scale)
+		s.AuthorPool = int(float64(s.AuthorPool) * *scale)
+	}
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		id = strings.TrimSpace(id)
+		if id != "" {
+			want[strings.ToLower(id)] = true
+		}
+	}
+	selected := func(id string) bool {
+		return len(want) == 0 || want[strings.ToLower(id)]
+	}
+
+	start := time.Now()
+	fmt.Printf("CleanDB experiment suite — reproducing the evaluation of\n")
+	fmt.Printf("\"CleanM: An Optimizable Query Language for Unified Scale-Out Data Cleaning\" (VLDB 2017)\n")
+	fmt.Printf("scale ×%.2f, %d workers; cells show wall-clock and/or simulated ticks\n\n", *scale, s.Workers)
+
+	ran := 0
+	for _, t := range experiments.All(s) {
+		if !selected(t.ID) {
+			continue
+		}
+		fmt.Println(t)
+		ran++
+	}
+	if *ablations {
+		for _, t := range experiments.Ablations(s) {
+			if !selected(t.ID) {
+				continue
+			}
+			fmt.Println(t)
+			ran++
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matched -only=%q\n", *only)
+		os.Exit(1)
+	}
+	fmt.Printf("suite completed in %s\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,87 @@
+// Denial constraints over TPC-H lineitem: the paper's §8.3 rules —
+// φ: (orderkey, linenumber) → suppkey, a functional dependency, and
+// ψ: ∀t1,t2 ¬(t1.price < t2.price ∧ t1.discount > t2.discount ∧ t1.price < X),
+// a general inequality constraint that needs the statistics-aware theta
+// join. The example also shows what happens to ψ under the baselines'
+// join strategies (cartesian product, min/max block pruning).
+//
+//	go run ./examples/denial [-rows 30000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+
+	"cleandb/internal/cleaning"
+	"cleandb/internal/datagen"
+	"cleandb/internal/engine"
+	"cleandb/internal/physical"
+	"cleandb/internal/types"
+)
+
+func main() {
+	rows := flag.Int("rows", 30000, "lineitem rows")
+	flag.Parse()
+
+	items := datagen.GenLineitem(datagen.LineitemConfig{
+		Rows: *rows, BaseRows: *rows / 4, NoiseRate: 0.10, Seed: 42,
+	})
+	fmt.Printf("lineitem: %d rows, 10%% noisy orderkeys\n\n", len(items))
+
+	// --- Rule φ: functional dependency. ---
+	ctx := engine.NewContext(8)
+	ds := engine.FromValues(ctx, items)
+	violations := cleaning.FDCheck(ds,
+		cleaning.FieldsExtract("orderkey", "linenumber"),
+		cleaning.FieldExtract("suppkey"),
+		physical.GroupAggregate).Collect()
+	fmt.Printf("rule φ (orderkey,linenumber → suppkey): %d violating groups, %d ticks\n",
+		len(violations), ctx.Metrics().SimTicks())
+
+	// --- Rule ψ: inequality denial constraint. ---
+	prices := make([]float64, len(items))
+	for i, r := range items {
+		prices[i] = r.Field("extendedprice").Float()
+	}
+	sort.Float64s(prices)
+	threshold := prices[len(prices)/5000+1] // ≈0.02% selectivity filter
+
+	pred := func(t1, t2 types.Value) bool {
+		return t1.Field("extendedprice").Float() < t2.Field("extendedprice").Float() &&
+			t1.Field("discount").Float() > t2.Field("discount").Float() &&
+			t1.Field("extendedprice").Float() < threshold
+	}
+	band := func(v types.Value) float64 { return v.Field("extendedprice").Float() }
+
+	strategies := []struct {
+		name     string
+		strategy physical.ThetaStrategy
+		pushdown bool
+	}{
+		{"CleanDB (M-Bucket + pushdown)", physical.ThetaMBucket, true},
+		{"SparkSQL (cartesian+filter)", physical.ThetaCartesian, false},
+		{"BigDansing (min/max blocks)", physical.ThetaMinMax, false},
+	}
+	fmt.Printf("\nrule ψ (price/discount inequality, price < %.1f):\n", threshold)
+	for _, s := range strategies {
+		ctx := engine.NewContext(8)
+		ctx.CompBudget = 30_000_000
+		ds := engine.FromValues(ctx, items)
+		cfg := cleaning.DCConfig{Pred: pred, Band: band, BandOp: "<", Strategy: s.strategy}
+		if s.pushdown {
+			cfg.LeftFilter = func(v types.Value) bool {
+				return v.Field("extendedprice").Float() < threshold
+			}
+		}
+		out, err := cleaning.DCCheck(ds, cfg)
+		if err != nil {
+			fmt.Printf("  %-32s DNF (%v)\n", s.name, err)
+			continue
+		}
+		fmt.Printf("  %-32s %d violating pairs, %d comparisons, %d ticks\n",
+			s.name, out.Count(), ctx.Metrics().Comparisons(), ctx.Metrics().SimTicks())
+	}
+	fmt.Println("\nCleanM's normalization pushes the selective price filter below the")
+	fmt.Println("self-join, and the M-Bucket operator prunes and balances the rest.")
+}

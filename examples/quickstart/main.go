@@ -1,0 +1,74 @@
+// Quickstart: the CleanM paper's running example on a small in-memory
+// customer table — one query that validates names against a dictionary,
+// checks a functional dependency, and detects duplicates, optimized and
+// executed as a single task.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cleandb"
+)
+
+func main() {
+	db := cleandb.Open(cleandb.WithWorkers(4))
+
+	custSchema := cleandb.NewSchema("name", "address", "phone", "nationkey")
+	cust := func(name, address, phone string, nation int64) cleandb.Value {
+		return cleandb.NewRecord(custSchema, []cleandb.Value{
+			cleandb.String(name), cleandb.String(address),
+			cleandb.String(phone), cleandb.Int(nation),
+		})
+	}
+	db.RegisterRows("customer", []cleandb.Value{
+		cust("alice smith", "12 oak st", "111-555-0001", 1),
+		cust("alicia smith", "12 oak st", "222-555-0002", 1), // same address, other phone prefix
+		cust("bob jones", "7 elm ave", "333-555-0003", 2),
+		cust("krol davis", "9 pine rd", "444-555-0004", 3), // misspelled carol
+		cust("dave wilson", "1 fir ln", "555-555-0005", 4),
+	})
+
+	dictSchema := cleandb.NewSchema("term")
+	var dict []cleandb.Value
+	for _, name := range []string{"alice smith", "alicia smith", "bob jones", "carol davis", "dave wilson"} {
+		dict = append(dict, cleandb.NewRecord(dictSchema, []cleandb.Value{cleandb.String(name)}))
+	}
+	db.RegisterRows("dictionary", dict)
+
+	// The paper's running example (§1): validate names, check the FD
+	// address → prefix(phone), and find duplicate customers.
+	query := `
+SELECT c.name, c.address, *
+FROM customer c, dictionary d
+FD(c.address, prefix(c.phone))
+DEDUP(token_filtering, LD, 0.6, c.name)
+CLUSTER BY(token_filtering, LD, 0.7, c.name)`
+
+	explain, err := db.Explain(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== three-level EXPLAIN ===")
+	fmt.Println(explain)
+
+	res, err := db.Query(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== entities with at least one violation ===")
+	for _, row := range res.Rows() {
+		fmt.Printf("entity %s\n", row.Field("entity"))
+		for _, task := range []string{"fd1", "dedup1", "clusterby1"} {
+			if vs := row.Field(task).List(); len(vs) > 0 {
+				fmt.Printf("  %-10s %d violation(s), e.g. %s\n", task, len(vs), vs[0])
+			}
+		}
+	}
+
+	m := db.Metrics()
+	fmt.Printf("\ncost: %d simulated ticks, %d comparisons, %d records shuffled\n",
+		m.SimTicks, m.Comparisons, m.ShuffledRecords)
+}

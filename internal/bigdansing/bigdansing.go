@@ -1,0 +1,105 @@
+// Package bigdansing simulates the BigDansing baseline (Khayyat et al.,
+// SIGMOD 2015) as characterized by the CleanM paper's evaluation:
+//
+//   - each rule executes as a standalone Scope→Block→Iterate→Detect pipeline
+//     of black-box UDFs — no cross-rule optimization, no unified queries;
+//   - grouping uses hash-based shuffles of the full dataset (no map-side
+//     combine), which Spark's sort-based shuffle outperforms (paper §8.3);
+//   - inequality joins partition data in arrival order, compute per-block
+//     min/max, and prune non-overlapping block pairs — pruning collapses
+//     when the partitioning is not aligned with the rule (rule ψ → DNF);
+//   - rules over computed attributes (e.g. prefix(phone)) are unsupported:
+//     BigDansing rules reference original attributes only;
+//   - deduplication ships as a UDF specific to the TPC-H customer table;
+//   - term validation and non-CSV inputs are unsupported.
+package bigdansing
+
+import (
+	"errors"
+
+	"cleandb/internal/cleaning"
+	"cleandb/internal/engine"
+	"cleandb/internal/physical"
+	"cleandb/internal/textsim"
+	"cleandb/internal/types"
+)
+
+// ErrUnsupported marks operations outside BigDansing's published scope.
+var ErrUnsupported = errors.New("bigdansing: operation not supported")
+
+// ErrNonResponsive marks jobs that exceed the work budget (the paper reports
+// BigDansing non-responsive on rule ψ).
+var ErrNonResponsive = errors.New("bigdansing: job exceeded budget (non-responsive)")
+
+// System is the simulated BigDansing facade.
+type System struct{}
+
+// Name identifies the baseline in experiment reports.
+func (System) Name() string { return "BigDansing" }
+
+// FDCheck runs one FD rule as a Block(hash)→Iterate→Detect pipeline. The
+// rule must reference stored attributes; computed left/right sides (like
+// prefix(phone)) return ErrUnsupported, matching §8.2 ("lacks support for
+// values not belonging to the original attributes").
+func (System) FDCheck(ds *engine.Dataset, lhsAttrs, rhsAttrs []string, computed bool) (*engine.Dataset, error) {
+	if computed {
+		return nil, ErrUnsupported
+	}
+	lhs := cleaning.FieldsExtract(lhsAttrs...)
+	rhs := cleaning.FieldsExtract(rhsAttrs...)
+	return cleaning.FDCheck(ds, lhs, rhs, physical.GroupHash), nil
+}
+
+// DCCheck evaluates an inequality rule with the min/max block-pruning join.
+// Because blocks are formed in arrival order, ranges overlap almost always
+// and the candidate set approaches the full cross product; realistic sizes
+// exceed the budget and report ErrNonResponsive.
+func (System) DCCheck(ds *engine.Dataset, cfg cleaning.DCConfig) (*engine.Dataset, error) {
+	cfg.Strategy = physical.ThetaMinMax
+	out, err := cleaning.DCCheck(ds, cfg)
+	if errors.Is(err, engine.ErrBudgetExceeded) {
+		return nil, ErrNonResponsive
+	}
+	return out, err
+}
+
+// DedupCustomer is BigDansing's customer-table-specific deduplication UDF
+// (the paper notes the implementation is specific to customer): it blocks on
+// the address attribute with a hash shuffle of the whole table and compares
+// name+phone within blocks.
+func (System) DedupCustomer(ds *engine.Dataset, metric textsim.Metric, theta float64) (*engine.Dataset, error) {
+	// Verify the input is the customer schema — the UDF hard-codes it.
+	ok := false
+	for i := 0; i < ds.NumPartitions() && !ok; i++ {
+		for _, v := range ds.Partition(i) {
+			rec := v.Record()
+			ok = rec != nil && rec.Schema.Has("address") && rec.Schema.Has("name") && rec.Schema.Has("phone")
+			break
+		}
+	}
+	if !ok && ds.Count() > 0 {
+		return nil, ErrUnsupported
+	}
+	return cleaning.Dedup(ds, cleaning.DedupConfig{
+		Blocker:   nil, // exact address blocking
+		BlockAttr: func(v types.Value) string { return v.Field("address").Str() },
+		SimAttr: func(v types.Value) string {
+			return v.Field("name").Str() + " " + v.Field("phone").Str()
+		},
+		Metric:   metric,
+		Theta:    theta,
+		Strategy: physical.GroupHash,
+	}), nil
+}
+
+// TermValidate is not provided by BigDansing (paper §8.1: "CleanDB is the
+// only scale-out data cleaning system that supports term validation").
+func (System) TermValidate() error { return ErrUnsupported }
+
+// UnifiedClean is not provided: BigDansing applies one rule at a time
+// (paper §8.2: "BigDansing can only apply one operation at a time").
+func (System) UnifiedClean() error { return ErrUnsupported }
+
+// SupportsFormat reports whether the baseline reads the given format;
+// BigDansing's published binary consumes delimited text only.
+func (System) SupportsFormat(format string) bool { return format == "csv" }

@@ -1,0 +1,100 @@
+package bigdansing
+
+import (
+	"errors"
+	"testing"
+
+	"cleandb/internal/cleaning"
+	"cleandb/internal/datagen"
+	"cleandb/internal/engine"
+	"cleandb/internal/textsim"
+	"cleandb/internal/types"
+)
+
+func customers(ctx *engine.Context) *engine.Dataset {
+	data := datagen.GenCustomer(datagen.CustomerConfig{Rows: 200, DupRate: 0.2, MaxDups: 5, Seed: 5})
+	return engine.FromValues(ctx, data.Rows)
+}
+
+func TestFDCheckStoredAttributes(t *testing.T) {
+	ctx := engine.NewContext(4)
+	ds := customers(ctx)
+	out, err := System{}.FDCheck(ds, []string{"address"}, []string{"nationkey"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Count() == 0 {
+		t.Fatal("expected violations")
+	}
+	// Must have used the hash shuffle.
+	found := false
+	for _, s := range ctx.Metrics().Stages() {
+		if s.Name == "fd:hashshuffle" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("BigDansing should hash-shuffle")
+	}
+}
+
+func TestFDCheckComputedUnsupported(t *testing.T) {
+	ctx := engine.NewContext(2)
+	ds := customers(ctx)
+	if _, err := (System{}).FDCheck(ds, []string{"address"}, []string{"phone"}, true); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("computed attributes must be unsupported, got %v", err)
+	}
+}
+
+func TestDCCheckNonResponsive(t *testing.T) {
+	ctx := engine.NewContext(4)
+	ctx.CompBudget = 1000
+	ds := customers(ctx)
+	_, err := System{}.DCCheck(ds, cleaning.DCConfig{
+		Pred:   func(a, b types.Value) bool { return true },
+		Band:   func(v types.Value) float64 { return v.Field("nationkey").Float() },
+		BandOp: "<",
+	})
+	if !errors.Is(err, ErrNonResponsive) {
+		t.Fatalf("want ErrNonResponsive, got %v", err)
+	}
+}
+
+func TestDedupCustomerWorks(t *testing.T) {
+	ctx := engine.NewContext(4)
+	ds := customers(ctx)
+	out, err := System{}.DedupCustomer(ds, textsim.MetricLevenshtein, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Count() == 0 {
+		t.Fatal("expected duplicate pairs")
+	}
+}
+
+func TestDedupCustomerRejectsOtherSchemas(t *testing.T) {
+	ctx := engine.NewContext(2)
+	schema := types.NewSchema("x", "y")
+	ds := engine.FromValues(ctx, []types.Value{
+		types.NewRecord(schema, []types.Value{types.Int(1), types.Int(2)}),
+	})
+	if _, err := (System{}).DedupCustomer(ds, textsim.MetricLevenshtein, 0.8); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("non-customer schema must be unsupported, got %v", err)
+	}
+}
+
+func TestScopeRestrictions(t *testing.T) {
+	sys := System{}
+	if err := sys.TermValidate(); !errors.Is(err, ErrUnsupported) {
+		t.Fatal("term validation must be unsupported")
+	}
+	if err := sys.UnifiedClean(); !errors.Is(err, ErrUnsupported) {
+		t.Fatal("unified cleaning must be unsupported")
+	}
+	if sys.SupportsFormat("parquet") || sys.SupportsFormat("json") {
+		t.Fatal("only CSV is supported")
+	}
+	if !sys.SupportsFormat("csv") {
+		t.Fatal("CSV must be supported")
+	}
+}

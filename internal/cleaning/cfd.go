@@ -1,0 +1,89 @@
+package cleaning
+
+import (
+	"cleandb/internal/engine"
+	"cleandb/internal/physical"
+	"cleandb/internal/types"
+)
+
+// Conditional functional dependencies (CFDs) are the second member of the
+// denial-constraint family the paper names in §3.1: an FD that must hold
+// only on the tuples matching a pattern tableau. For example,
+// (country='US') : zip → state holds only for US records, and a constant
+// pattern (country='US', zip='90210') : state='CA' pins the RHS value.
+
+// CFDPattern is one tableau row: conditions select the tuples the embedded
+// FD applies to, and RHSConst (optional) additionally fixes the RHS value.
+type CFDPattern struct {
+	// Conditions maps attribute names to required constant values; a tuple
+	// matches when all hold. An empty map matches every tuple (plain FD).
+	Conditions map[string]types.Value
+	// RHSConst, when non-null, requires the RHS to equal this constant for
+	// matching tuples (a constant CFD).
+	RHSConst types.Value
+}
+
+// Matches reports whether the record satisfies every condition.
+func (p CFDPattern) Matches(v types.Value) bool {
+	for attr, want := range p.Conditions {
+		if !types.Equal(v.Field(attr), want) {
+			return false
+		}
+	}
+	return true
+}
+
+// CFDConfig specifies a conditional functional dependency check.
+type CFDConfig struct {
+	// LHS and RHS are the embedded FD's sides.
+	LHS, RHS Extract
+	// Patterns is the tableau; a tuple participates if it matches at least
+	// one pattern. Constant patterns are checked per tuple.
+	Patterns []CFDPattern
+	// Strategy selects the grouping shuffle.
+	Strategy physical.GroupStrategy
+}
+
+// CFDViolationSchema describes constant-pattern violations: the offending
+// record and the value the tableau requires.
+var CFDViolationSchema = types.NewSchema("record", "expected", "got")
+
+// CFDCheck detects conditional-FD violations. It returns two datasets:
+// variable violations (groups of matching tuples whose LHS maps to more than
+// one RHS value — same shape as FDCheck output) and constant violations
+// (tuples whose RHS differs from a pattern's required constant).
+//
+// Like the FD operator, the variable check is a single grouping pass over
+// the pattern-matching slice of the data; the normalization insight of the
+// paper applies: the tableau filter is pushed below the grouping.
+func CFDCheck(ds *engine.Dataset, cfg CFDConfig) (variable, constant *engine.Dataset) {
+	patterns := cfg.Patterns
+	if len(patterns) == 0 {
+		patterns = []CFDPattern{{}}
+	}
+	matching := ds.Filter("cfd:tableau", func(v types.Value) bool {
+		for _, p := range patterns {
+			if p.Matches(v) {
+				return true
+			}
+		}
+		return false
+	})
+	variable = FDCheck(matching, cfg.LHS, cfg.RHS, cfg.Strategy)
+
+	constant = ds.FlatMap("cfd:constants", func(v types.Value) []types.Value {
+		var out []types.Value
+		for _, p := range patterns {
+			if p.RHSConst.IsNull() || !p.Matches(v) {
+				continue
+			}
+			got := cfg.RHS(v)
+			if !types.Equal(got, p.RHSConst) {
+				out = append(out, types.NewRecord(CFDViolationSchema,
+					[]types.Value{v, p.RHSConst, got}))
+			}
+		}
+		return out
+	})
+	return variable, constant
+}

@@ -1,0 +1,103 @@
+package cleaning
+
+import (
+	"testing"
+
+	"cleandb/internal/engine"
+	"cleandb/internal/types"
+)
+
+var zipSchema = types.NewSchema("country", "zip", "state")
+
+func zipRec(country, zip, state string) types.Value {
+	return types.NewRecord(zipSchema, []types.Value{
+		types.String(country), types.String(zip), types.String(state),
+	})
+}
+
+func TestCFDVariableViolations(t *testing.T) {
+	ctx := engine.NewContext(4)
+	ds := engine.FromValues(ctx, []types.Value{
+		zipRec("US", "90210", "CA"),
+		zipRec("US", "90210", "NV"), // violates zip→state within country=US
+		zipRec("UK", "90210", "LN"), // different country: out of scope
+		zipRec("US", "10001", "NY"),
+	})
+	variable, _ := CFDCheck(ds, CFDConfig{
+		LHS: FieldExtract("zip"),
+		RHS: FieldExtract("state"),
+		Patterns: []CFDPattern{
+			{Conditions: map[string]types.Value{"country": types.String("US")}},
+		},
+	})
+	out := variable.Collect()
+	if len(out) != 1 {
+		t.Fatalf("variable violations = %d, want 1: %v", len(out), out)
+	}
+	if out[0].Field("key").Str() != "90210" {
+		t.Fatalf("violating zip = %s", out[0].Field("key"))
+	}
+	// The UK record must not be in the group.
+	if len(out[0].Field("group").List()) != 2 {
+		t.Fatalf("group should hold the two US records: %s", out[0])
+	}
+}
+
+func TestCFDConstantViolations(t *testing.T) {
+	ctx := engine.NewContext(4)
+	ds := engine.FromValues(ctx, []types.Value{
+		zipRec("US", "90210", "CA"),
+		zipRec("US", "90210", "XX"), // violates the constant pattern
+		zipRec("US", "10001", "NY"), // different zip: pattern does not apply
+	})
+	_, constant := CFDCheck(ds, CFDConfig{
+		LHS: FieldExtract("zip"),
+		RHS: FieldExtract("state"),
+		Patterns: []CFDPattern{
+			{
+				Conditions: map[string]types.Value{
+					"country": types.String("US"),
+					"zip":     types.String("90210"),
+				},
+				RHSConst: types.String("CA"),
+			},
+		},
+	})
+	out := constant.Collect()
+	if len(out) != 1 {
+		t.Fatalf("constant violations = %d, want 1: %v", len(out), out)
+	}
+	if out[0].Field("got").Str() != "XX" || out[0].Field("expected").Str() != "CA" {
+		t.Fatalf("violation = %s", out[0])
+	}
+}
+
+func TestCFDEmptyTableauIsPlainFD(t *testing.T) {
+	ctx := engine.NewContext(4)
+	rows := []types.Value{
+		zipRec("US", "1", "A"),
+		zipRec("UK", "1", "B"), // with no tableau, zip→state is violated
+	}
+	variable, _ := CFDCheck(engine.FromValues(ctx, rows), CFDConfig{
+		LHS: FieldExtract("zip"),
+		RHS: FieldExtract("state"),
+	})
+	plain := FDCheck(engine.FromValues(ctx, rows), FieldExtract("zip"), FieldExtract("state"), 0)
+	if variable.Count() != plain.Count() {
+		t.Fatalf("empty tableau should equal plain FD: %d vs %d", variable.Count(), plain.Count())
+	}
+}
+
+func TestCFDPatternMatches(t *testing.T) {
+	p := CFDPattern{Conditions: map[string]types.Value{"country": types.String("US")}}
+	if !p.Matches(zipRec("US", "1", "A")) {
+		t.Fatal("should match US")
+	}
+	if p.Matches(zipRec("UK", "1", "A")) {
+		t.Fatal("should not match UK")
+	}
+	empty := CFDPattern{}
+	if !empty.Matches(zipRec("UK", "1", "A")) {
+		t.Fatal("empty pattern matches everything")
+	}
+}

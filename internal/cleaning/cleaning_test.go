@@ -1,0 +1,354 @@
+package cleaning
+
+import (
+	"errors"
+	"testing"
+
+	"cleandb/internal/cluster"
+	"cleandb/internal/engine"
+	"cleandb/internal/physical"
+	"cleandb/internal/textsim"
+	"cleandb/internal/types"
+)
+
+var custSchema = types.NewSchema("id", "name", "address", "nationkey", "phone")
+
+func cust(id int64, name, address string, nation int64, phone string) types.Value {
+	return types.NewRecord(custSchema, []types.Value{
+		types.Int(id), types.String(name), types.String(address),
+		types.Int(nation), types.String(phone),
+	})
+}
+
+func testCustomers(ctx *engine.Context) *engine.Dataset {
+	return engine.FromValues(ctx, []types.Value{
+		cust(1, "alice", "1 oak st", 1, "11-555-0001"),
+		cust(2, "alicia", "1 oak st", 1, "22-555-0002"), // near-dup of 1, same address
+		cust(3, "bob", "2 elm av", 2, "22-555-0003"),
+		cust(4, "carol", "3 pine rd", 3, "33-555-0004"),
+		cust(5, "carole", "3 pine rd", 9, "33-555-0005"), // FD2 violation + near-dup
+		cust(6, "dave", "4 fir ln", 4, "44-555-0006"),
+	})
+}
+
+func TestFDCheckFindsViolations(t *testing.T) {
+	for _, strategy := range []physical.GroupStrategy{physical.GroupAggregate, physical.GroupSort, physical.GroupHash} {
+		ctx := engine.NewContext(4)
+		ds := testCustomers(ctx)
+		// address → nationkey: "3 pine rd" maps to {3, 9}.
+		out := FDCheck(ds, FieldExtract("address"), FieldExtract("nationkey"), strategy).Collect()
+		if len(out) != 1 {
+			t.Fatalf("strategy %v: violations = %d, want 1", strategy, len(out))
+		}
+		v := out[0]
+		if v.Field("key").Str() != "3 pine rd" {
+			t.Fatalf("violating key = %s", v.Field("key"))
+		}
+		if len(v.Field("values").List()) != 2 {
+			t.Fatalf("distinct RHS values = %d", len(v.Field("values").List()))
+		}
+		if len(v.Field("group").List()) != 2 {
+			t.Fatalf("group members = %d", len(v.Field("group").List()))
+		}
+	}
+}
+
+func TestFDCheckComputedRHS(t *testing.T) {
+	ctx := engine.NewContext(4)
+	ds := testCustomers(ctx)
+	// address → prefix(phone): "1 oak st" has prefixes 11- and 22-.
+	prefix := func(v types.Value) types.Value {
+		return types.String(textsim.Prefix(v.Field("phone").Str(), 2))
+	}
+	out := FDCheck(ds, FieldExtract("address"), prefix, physical.GroupAggregate).Collect()
+	if len(out) != 1 || out[0].Field("key").Str() != "1 oak st" {
+		t.Fatalf("violations = %v", out)
+	}
+}
+
+func TestFDCheckMultiAttrLHS(t *testing.T) {
+	ctx := engine.NewContext(4)
+	ds := testCustomers(ctx)
+	out := FDCheck(ds, FieldsExtract("address", "id"), FieldExtract("name"), physical.GroupAggregate).Collect()
+	// Every (address, id) pair is unique in this data → no violations.
+	if len(out) != 0 {
+		t.Fatalf("unexpected violations: %v", out)
+	}
+	// While (address, nationkey) → name is violated by the near-duplicates.
+	out = FDCheck(ds, FieldsExtract("address", "nationkey"), FieldExtract("name"), physical.GroupAggregate).Collect()
+	if len(out) != 1 {
+		t.Fatalf("composite-key violations = %d, want 1", len(out))
+	}
+}
+
+func TestDedupExactBlocking(t *testing.T) {
+	ctx := engine.NewContext(4)
+	ds := testCustomers(ctx)
+	out := Dedup(ds, DedupConfig{
+		BlockAttr: func(v types.Value) string { return v.Field("address").Str() },
+		SimAttr:   func(v types.Value) string { return v.Field("name").Str() },
+		Metric:    textsim.MetricLevenshtein,
+		Theta:     0.5,
+	}).Collect()
+	if len(out) != 2 {
+		t.Fatalf("duplicate pairs = %d, want 2 (alice/alicia, carol/carole): %v", len(out), out)
+	}
+	for _, p := range out {
+		if p.Field("a").Field("address").Str() != p.Field("b").Field("address").Str() {
+			t.Fatal("pairs must share the blocking address")
+		}
+	}
+}
+
+func TestDedupTokenFilteringAgreesWithExhaustive(t *testing.T) {
+	ctx := engine.NewContext(4)
+	ds := testCustomers(ctx)
+	nameAttr := func(v types.Value) string { return v.Field("name").Str() }
+	blocked := Dedup(ds, DedupConfig{
+		Blocker:   cluster.TokenFilter{Q: 2},
+		BlockAttr: nameAttr,
+		Metric:    textsim.MetricLevenshtein,
+		Theta:     0.6,
+	}).Collect()
+	exhaustive := Dedup(ds, DedupConfig{
+		Blocker:   cluster.Exact{},
+		BlockAttr: func(types.Value) string { return "all" },
+		SimAttr:   nameAttr,
+		Metric:    textsim.MetricLevenshtein,
+		Theta:     0.6,
+	}).Collect()
+	if len(blocked) != len(exhaustive) {
+		t.Fatalf("token filtering missed pairs: %d vs %d", len(blocked), len(exhaustive))
+	}
+}
+
+func TestDedupNoSelfPairs(t *testing.T) {
+	ctx := engine.NewContext(2)
+	// Two identical records: not reported (identical rows are exact-duplicate
+	// territory, handled by ExactDuplicates).
+	rows := []types.Value{cust(1, "x", "a", 1, "p"), cust(1, "x", "a", 1, "p")}
+	out := Dedup(engine.FromValues(ctx, rows), DedupConfig{
+		BlockAttr: func(v types.Value) string { return v.Field("address").Str() },
+		Metric:    textsim.MetricLevenshtein,
+		Theta:     0.1,
+	}).Collect()
+	if len(out) != 0 {
+		t.Fatalf("identical records reported as similarity pairs: %v", out)
+	}
+}
+
+func TestExactDuplicates(t *testing.T) {
+	ctx := engine.NewContext(2)
+	rows := []types.Value{
+		cust(1, "x", "a", 1, "p"),
+		cust(2, "x", "a", 1, "p"),
+		cust(3, "y", "b", 2, "q"),
+	}
+	out := ExactDuplicates(engine.FromValues(ctx, rows), FieldsExtract("name", "address"), physical.GroupAggregate).Collect()
+	if len(out) != 1 {
+		t.Fatalf("exact duplicate groups = %d", len(out))
+	}
+	if len(out[0].Field("group").List()) != 2 {
+		t.Fatalf("group size = %d", len(out[0].Field("group").List()))
+	}
+}
+
+func TestTermValidateFindsRepairs(t *testing.T) {
+	ctx := engine.NewContext(4)
+	schema := types.NewSchema("name")
+	rows := []types.Value{
+		types.NewRecord(schema, []types.Value{types.String("stella")}),
+		types.NewRecord(schema, []types.Value{types.String("stela")}), // dirty
+		types.NewRecord(schema, []types.Value{types.String("manos")}),
+	}
+	res := TermValidate(engine.FromValues(ctx, rows), TermValidationConfig{
+		Attr:       func(v types.Value) string { return v.Field("name").Str() },
+		Dictionary: []string{"stella", "manos", "ben"},
+		Blocker:    cluster.TokenFilter{Q: 3},
+		Metric:     textsim.MetricLevenshtein,
+		Theta:      0.7,
+	})
+	if res.Repairs["stela"] != "stella" {
+		t.Fatalf("repairs = %v", res.Repairs)
+	}
+	if _, bad := res.Repairs["stella"]; bad {
+		t.Fatal("clean terms must not be repaired")
+	}
+	if res.Comparisons == 0 {
+		t.Fatal("comparisons should be counted")
+	}
+}
+
+func TestTermValidateBlockedVsUnblockedSameRepairs(t *testing.T) {
+	ctx := engine.NewContext(4)
+	schema := types.NewSchema("name")
+	dict := []string{"stella", "manos", "benjamin", "anastasia"}
+	rows := []types.Value{
+		types.NewRecord(schema, []types.Value{types.String("stela")}),
+		types.NewRecord(schema, []types.Value{types.String("mamos")}),
+		types.NewRecord(schema, []types.Value{types.String("anastasia")}),
+	}
+	mk := func(b cluster.Blocker) map[string]string {
+		return TermValidate(engine.FromValues(ctx, rows), TermValidationConfig{
+			Attr:       func(v types.Value) string { return v.Field("name").Str() },
+			Dictionary: dict,
+			Blocker:    b,
+			Metric:     textsim.MetricLevenshtein,
+			Theta:      0.7,
+		}).Repairs
+	}
+	blocked := mk(cluster.TokenFilter{Q: 2})
+	unblocked := mk(nil)
+	if len(blocked) != len(unblocked) {
+		t.Fatalf("blocking changed the repairs: %v vs %v", blocked, unblocked)
+	}
+	for k, v := range unblocked {
+		if blocked[k] != v {
+			t.Fatalf("repair mismatch for %s: %s vs %s", k, blocked[k], v)
+		}
+	}
+}
+
+func TestDCCheckStrategiesAgree(t *testing.T) {
+	ctx := engine.NewContext(4)
+	rows := GenPriceRows(200)
+	threshold := 950.0
+	cfg := DCConfig{
+		LeftFilter: func(v types.Value) bool { return v.Field("price").Float() < threshold },
+		Pred: func(a, b types.Value) bool {
+			return a.Field("price").Float() < b.Field("price").Float() &&
+				a.Field("discount").Float() > b.Field("discount").Float() &&
+				a.Field("price").Float() < threshold
+		},
+		Band:   func(v types.Value) float64 { return v.Field("price").Float() },
+		BandOp: "<",
+	}
+	counts := map[physical.ThetaStrategy]int64{}
+	for _, s := range []physical.ThetaStrategy{physical.ThetaMBucket, physical.ThetaCartesian, physical.ThetaMinMax} {
+		c := cfg
+		c.Strategy = s
+		out, err := DCCheck(engine.FromValues(ctx, rows), c)
+		if err != nil {
+			t.Fatalf("strategy %v: %v", s, err)
+		}
+		counts[s] = out.Count()
+	}
+	if counts[physical.ThetaMBucket] != counts[physical.ThetaCartesian] ||
+		counts[physical.ThetaMBucket] != counts[physical.ThetaMinMax] {
+		t.Fatalf("strategies disagree: %v", counts)
+	}
+	if counts[physical.ThetaMBucket] == 0 {
+		t.Fatal("expected some violations")
+	}
+}
+
+// GenPriceRows builds deterministic price/discount rows for DC tests.
+func GenPriceRows(n int) []types.Value {
+	schema := types.NewSchema("id", "price", "discount")
+	rows := make([]types.Value, n)
+	for i := range rows {
+		rows[i] = types.NewRecord(schema, []types.Value{
+			types.Int(int64(i)),
+			types.Float(900 + float64((i*7919)%1000)/5),
+			types.Float(float64(i%11) / 100),
+		})
+	}
+	return rows
+}
+
+func TestDCCheckBudget(t *testing.T) {
+	ctx := engine.NewContext(4)
+	ctx.CompBudget = 100
+	rows := GenPriceRows(200)
+	_, err := DCCheck(engine.FromValues(ctx, rows), DCConfig{
+		Pred:     func(a, b types.Value) bool { return true },
+		Band:     func(v types.Value) float64 { return v.Field("price").Float() },
+		BandOp:   "<",
+		Strategy: physical.ThetaCartesian,
+	})
+	if !errors.Is(err, engine.ErrBudgetExceeded) {
+		t.Fatalf("want budget error, got %v", err)
+	}
+}
+
+func TestTransformsSplitAndFill(t *testing.T) {
+	ctx := engine.NewContext(2)
+	schema := types.NewSchema("d", "q")
+	rows := []types.Value{
+		types.NewRecord(schema, []types.Value{types.String("1998-03-07"), types.Float(10)}),
+		types.NewRecord(schema, []types.Value{types.String("1999-12-31"), types.Null()}),
+	}
+	ds := engine.FromValues(ctx, rows)
+
+	split := SplitDate(ds, "d").Collect()
+	if split[0].Field("d_year").Int() != 1998 || split[1].Field("d_month").Int() != 12 {
+		t.Fatalf("split: %v", split)
+	}
+
+	avg := ColumnAverage(ds, "q")
+	if avg != 10 {
+		t.Fatalf("avg = %f", avg)
+	}
+	filled := FillMissing(ds, "q", types.Float(avg)).Collect()
+	if filled[1].Field("q").Float() != 10 {
+		t.Fatalf("fill: %v", filled)
+	}
+
+	one := SplitAndFillOnePass(ds, "d", "q").Collect()
+	two := SplitAndFillTwoPasses(ds, "d", "q").Collect()
+	for i := range one {
+		if types.Key(one[i]) != types.Key(two[i]) {
+			t.Fatalf("one-pass and two-pass disagree at %d:\n%s\nvs\n%s", i, one[i], two[i])
+		}
+	}
+}
+
+func TestSemanticTransform(t *testing.T) {
+	ctx := engine.NewContext(2)
+	schema := types.NewSchema("airport")
+	rows := []types.Value{
+		types.NewRecord(schema, []types.Value{types.String("GVA")}),
+		types.NewRecord(schema, []types.Value{types.String("ZRH")}),
+		types.NewRecord(schema, []types.Value{types.String("???")}),
+	}
+	out, unmapped := SemanticTransform(engine.FromValues(ctx, rows), "airport",
+		map[string]string{"GVA": "geneva", "ZRH": "zurich"})
+	got := out.Collect()
+	if got[0].Field("airport").Str() != "geneva" || got[1].Field("airport").Str() != "zurich" {
+		t.Fatalf("transform: %v", got)
+	}
+	if len(unmapped) != 1 || unmapped[0] != "???" {
+		t.Fatalf("unmapped: %v", unmapped)
+	}
+}
+
+func TestScoreRepairs(t *testing.T) {
+	truth := map[string]string{"stela": "stella", "mamos": "manos", "xx": "ben"}
+	repairs := map[string]string{"stela": "stella", "mamos": "wrong", "extra": "noise"}
+	acc := ScoreRepairs(repairs, truth)
+	if acc.Correct != 1 || acc.Suggested != 3 || acc.Errors != 3 {
+		t.Fatalf("counts: %+v", acc)
+	}
+	if acc.Precision != 1.0/3 || acc.Recall != 1.0/3 {
+		t.Fatalf("precision/recall: %+v", acc)
+	}
+	if acc.FScore <= 0 {
+		t.Fatal("fscore should be positive")
+	}
+	empty := ScoreRepairs(nil, nil)
+	if empty.Precision != 0 || empty.Recall != 0 || empty.FScore != 0 {
+		t.Fatal("empty score should be zeros")
+	}
+}
+
+func TestScorePairs(t *testing.T) {
+	truth := [][2]string{{"a", "b"}, {"c", "d"}}
+	found := [][2]string{{"b", "a"}, {"x", "y"}, {"a", "b"}} // reversed + dup + wrong
+	acc := ScorePairs(found, truth)
+	if acc.Correct != 1 || acc.Suggested != 2 {
+		t.Fatalf("pair score: %+v", acc)
+	}
+	if acc.Recall != 0.5 {
+		t.Fatalf("recall: %+v", acc)
+	}
+}

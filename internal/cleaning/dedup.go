@@ -1,0 +1,136 @@
+package cleaning
+
+import (
+	"cleandb/internal/cluster"
+	"cleandb/internal/engine"
+	"cleandb/internal/physical"
+	"cleandb/internal/textsim"
+	"cleandb/internal/types"
+)
+
+// DupPairSchema describes duplicate-pair records.
+var DupPairSchema = types.NewSchema("a", "b")
+
+// DedupConfig parameterizes duplicate elimination.
+type DedupConfig struct {
+	// Blocker assigns records to comparison groups via BlockAttr. A nil
+	// Blocker groups records by the exact BlockAttr value.
+	Blocker cluster.Blocker
+	// BlockAttr extracts the blocking string from a record.
+	BlockAttr func(types.Value) string
+	// SimAttr extracts the string compared for similarity (defaults to
+	// BlockAttr).
+	SimAttr func(types.Value) string
+	// Metric and Theta configure the similarity predicate sim > Theta.
+	Metric textsim.Metric
+	Theta  float64
+	// Strategy selects the grouping shuffle.
+	Strategy physical.GroupStrategy
+}
+
+// Dedup finds similar record pairs: records are blocked, then all intra-block
+// pairs are compared with the similarity metric (paper §4.4 DEDUP
+// semantics). Pairs are emitted once even when blocks overlap, ordered by
+// the records' canonical keys. Comparison counts are charged to the
+// context's metrics, so blocked and unblocked configurations are directly
+// comparable.
+func Dedup(ds *engine.Dataset, cfg DedupConfig) *engine.Dataset {
+	if cfg.SimAttr == nil {
+		cfg.SimAttr = cfg.BlockAttr
+	}
+	if cfg.Theta == 0 {
+		cfg.Theta = 0.8
+	}
+	ctx := ds.Context()
+
+	// Blocking: flatMap each record to (blockkey, record) pairs.
+	pairSchema := types.NewSchema("bkey", "rec")
+	blocked := ds.FlatMap("dedup:block", func(v types.Value) []types.Value {
+		attr := cfg.BlockAttr(v)
+		var keys []string
+		if cfg.Blocker == nil {
+			keys = []string{attr}
+		} else {
+			keys = cfg.Blocker.Keys(attr)
+		}
+		out := make([]types.Value, len(keys))
+		for i, k := range keys {
+			out[i] = types.NewRecord(pairSchema, []types.Value{types.String(k), v})
+		}
+		return out
+	})
+
+	agg := engine.GroupAgg{
+		Project: func(v types.Value) types.Value { return v.Field("rec") },
+	}
+	key := func(v types.Value) types.Value { return v.Field("bkey") }
+	var groups *engine.Dataset
+	switch cfg.Strategy {
+	case physical.GroupSort:
+		groups = blocked.SortShuffleGroup("dedup", key, agg)
+	case physical.GroupHash:
+		groups = blocked.HashShuffleGroup("dedup", key, agg)
+	default:
+		groups = blocked.AggregateByKey("dedup", key, agg)
+	}
+
+	// Intra-group pairwise comparisons; charge comparisons to the metrics.
+	// The stage's cost model is quadratic in group size, so a worker owning
+	// a popular block is the straggler — the skew effect of paper §8.3.
+	pairs := groups.FlatMapW("dedup:compare", func(g types.Value) []types.Value {
+		_, members := engine.GroupRecord(g)
+		var out []types.Value
+		var comparisons int64
+		for i := 0; i < len(members); i++ {
+			si := cfg.SimAttr(members[i])
+			ki := types.Key(members[i])
+			for j := i + 1; j < len(members); j++ {
+				comparisons++
+				kj := types.Key(members[j])
+				if ki == kj {
+					continue // identical records: not a pair
+				}
+				if cfg.Metric.Above(si, cfg.SimAttr(members[j]), cfg.Theta) {
+					a, b := members[i], members[j]
+					if kj < ki {
+						a, b = b, a
+					}
+					out = append(out, types.NewRecord(DupPairSchema, []types.Value{a, b}))
+				}
+			}
+		}
+		ctx.Metrics().AddComparisons(comparisons)
+		return out
+	}, func(g types.Value) int64 {
+		_, members := engine.GroupRecord(g)
+		n := int64(len(members))
+		return n * (n - 1) / 2
+	})
+
+	// De-duplicate pairs found in several blocks.
+	return pairs.AggregateByKey("dedup:distinct",
+		func(v types.Value) types.Value { return v },
+		engine.GroupAgg{Finish: func(key types.Value, group []types.Value) types.Value {
+			return group[0]
+		}})
+}
+
+// ExactDuplicates reports groups of fully identical records (count > 1) —
+// the "lighter duplicate detection form" of paper §3.1. The returned records
+// are {key, group} with the shared attribute key.
+func ExactDuplicates(ds *engine.Dataset, attrs Extract, strategy physical.GroupStrategy) *engine.Dataset {
+	agg := engine.GroupAgg{Finish: func(key types.Value, group []types.Value) types.Value {
+		if len(group) <= 1 {
+			return types.Null()
+		}
+		return types.NewRecord(types.NewSchema("key", "group"), []types.Value{key, types.ListOf(group)})
+	}}
+	switch strategy {
+	case physical.GroupSort:
+		return ds.SortShuffleGroup("exactdup", engine.KeyFunc(attrs), agg)
+	case physical.GroupHash:
+		return ds.HashShuffleGroup("exactdup", engine.KeyFunc(attrs), agg)
+	default:
+		return ds.AggregateByKey("exactdup", engine.KeyFunc(attrs), agg)
+	}
+}

@@ -1,0 +1,95 @@
+package cleaning
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"cleandb/internal/engine"
+	"cleandb/internal/types"
+)
+
+// DupClusters groups duplicate pairs into entity clusters by transitive
+// closure (union-find) — the filtering extension paper §4.3 mentions
+// ("applying transitive closure in order to build the similar pairs").
+// Input records are {a, b} pairs as produced by Dedup; the result is one
+// sorted cluster per real-world entity, clusters sorted by first member.
+func DupClusters(pairs []types.Value) [][]types.Value {
+	parent := map[string]string{}
+	byKey := map[string]types.Value{}
+	var find func(string) string
+	find = func(x string) string {
+		p, ok := parent[x]
+		if !ok || p == x {
+			parent[x] = x
+			return x
+		}
+		root := find(p)
+		parent[x] = root
+		return root
+	}
+	union := func(a, b string) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for _, p := range pairs {
+		a, b := p.Field("a"), p.Field("b")
+		ka, kb := types.Key(a), types.Key(b)
+		byKey[ka], byKey[kb] = a, b
+		union(ka, kb)
+	}
+	groups := map[string][]string{}
+	for k := range byKey {
+		root := find(k)
+		groups[root] = append(groups[root], k)
+	}
+	var out [][]types.Value
+	for _, members := range groups {
+		sort.Strings(members)
+		cluster := make([]types.Value, len(members))
+		for i, k := range members {
+			cluster[i] = byKey[k]
+		}
+		out = append(out, cluster)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return types.Key(out[i][0]) < types.Key(out[j][0])
+	})
+	return out
+}
+
+// ApplyRepairs rewrites the named column using the repair map produced by
+// term validation, returning the repaired dataset and the number of values
+// changed. Values with no repair pass through unchanged.
+func ApplyRepairs(ds *engine.Dataset, col string, repairs map[string]string) (*engine.Dataset, int64) {
+	var changed atomic.Int64
+	out := ds.MapPartitions("repair:"+col, func(_ int, part []types.Value) []types.Value {
+		res := make([]types.Value, len(part))
+		var local int64
+		for i, v := range part {
+			rec := v.Record()
+			if rec == nil {
+				res[i] = v
+				continue
+			}
+			idx, ok := rec.Schema.Index(col)
+			if !ok {
+				res[i] = v
+				continue
+			}
+			repl, ok := repairs[rec.Fields[idx].Str()]
+			if !ok {
+				res[i] = v
+				continue
+			}
+			fields := append([]types.Value(nil), rec.Fields...)
+			fields[idx] = types.String(repl)
+			res[i] = types.NewRecord(rec.Schema, fields)
+			local++
+		}
+		changed.Add(local)
+		return res
+	})
+	return out, changed.Load()
+}

@@ -1,0 +1,261 @@
+package cleaning
+
+import (
+	"sort"
+
+	"cleandb/internal/cluster"
+	"cleandb/internal/engine"
+	"cleandb/internal/textsim"
+	"cleandb/internal/types"
+)
+
+// TermValidationConfig parameterizes term validation against a dictionary.
+type TermValidationConfig struct {
+	// Attr extracts the term to validate from a data record.
+	Attr func(types.Value) string
+	// Dictionary holds the clean terms.
+	Dictionary []string
+	// Blocker groups data terms and dictionary terms; only same-group
+	// pairs are compared. nil means exhaustive comparison (the Spark SQL
+	// cross-product fallback the paper describes in §8.1).
+	Blocker cluster.Blocker
+	// Metric and Theta configure the similarity predicate sim > Theta.
+	Metric textsim.Metric
+	Theta  float64
+}
+
+// Suggestion couples a dirty term with a suggested dictionary repair.
+type Suggestion struct {
+	Term       string
+	Suggestion string
+	Sim        float64
+}
+
+// TermValidationResult carries the suggestions plus the phase split the
+// paper's Figure 3 reports (grouping/blocking cost vs similarity cost).
+type TermValidationResult struct {
+	// Suggestions lists every (term, dictionary term) pair above the
+	// threshold, sorted by term then descending similarity.
+	Suggestions []Suggestion
+	// Repairs maps each dirty term to its best suggestion.
+	Repairs map[string]string
+	// GroupTicks and SimTicks split the simulated cost into the blocking
+	// phase and the similarity-check phase.
+	GroupTicks int64
+	SimTicks   int64
+	// Comparisons is the number of pairwise similarity checks performed.
+	Comparisons int64
+}
+
+// TermValidate validates the terms of a dataset against a dictionary
+// (paper §4.4 CLUSTER BY semantics): both sides are blocked with the same
+// technique, blocks with equal keys meet, and similar pairs become repair
+// suggestions. Terms present in the dictionary verbatim are never reported.
+func TermValidate(ds *engine.Dataset, cfg TermValidationConfig) TermValidationResult {
+	if cfg.Theta == 0 {
+		cfg.Theta = 0.8
+	}
+	ctx := ds.Context()
+	m := ctx.Metrics()
+	startTicks := m.SimTicks()
+	startComp := m.Comparisons()
+
+	dictSet := make(map[string]struct{}, len(cfg.Dictionary))
+	for _, d := range cfg.Dictionary {
+		dictSet[d] = struct{}{}
+	}
+
+	// Distinct dirty terms (terms not in the dictionary).
+	distinctTerms := ds.Map("tv:attr", func(v types.Value) types.Value {
+		return types.String(cfg.Attr(v))
+	}).AggregateByKey("tv:distinct",
+		func(v types.Value) types.Value { return v },
+		engine.GroupAgg{Finish: func(key types.Value, _ []types.Value) types.Value {
+			if _, ok := dictSet[key.Str()]; ok {
+				return types.Null()
+			}
+			return key
+		}})
+
+	// Block the dictionary once (broadcast side).
+	dictGroups := map[string][]string{}
+	if cfg.Blocker != nil {
+		for _, d := range cfg.Dictionary {
+			for _, k := range cfg.Blocker.Keys(d) {
+				dictGroups[k] = append(dictGroups[k], d)
+			}
+		}
+	}
+
+	// Blocking phase: route each dirty term to its groups. The stage cost
+	// is the technique's per-term work: tokenization is cheap; k-means
+	// assignment computes a distance to every center (cluster.KeyCoster).
+	pairSchema := types.NewSchema("bkey", "term")
+	var blocked *engine.Dataset
+	if cfg.Blocker == nil {
+		blocked = distinctTerms.Map("tv:nogroup", func(v types.Value) types.Value {
+			return types.NewRecord(pairSchema, []types.Value{types.String(""), v})
+		})
+	} else {
+		blocked = distinctTerms.FlatMapW("tv:block", func(v types.Value) []types.Value {
+			keys := cfg.Blocker.Keys(v.Str())
+			out := make([]types.Value, len(keys))
+			for i, k := range keys {
+				out[i] = types.NewRecord(pairSchema, []types.Value{types.String(k), v})
+			}
+			return out
+		}, func(v types.Value) int64 {
+			return blockerKeyCost(cfg.Blocker, v.Str())
+		})
+	}
+	groupTicks := m.SimTicks() - startTicks
+
+	// Similarity phase: compare each dirty term against its groups'
+	// dictionary entries (the whole dictionary when unblocked). The stage
+	// cost is the candidate count, so skew in group sizes shows up as
+	// straggler time.
+	candidatesOf := func(p types.Value) []string {
+		if cfg.Blocker == nil {
+			return cfg.Dictionary
+		}
+		return dictGroups[p.Field("bkey").Str()]
+	}
+	sugSchema := types.NewSchema("term", "suggestion", "sim")
+	matches := blocked.FlatMapW("tv:sim", func(p types.Value) []types.Value {
+		var out []types.Value
+		term := p.Field("term").Str()
+		candidates := candidatesOf(p)
+		for _, cand := range candidates {
+			if cand != term && cfg.Metric.Above(term, cand, cfg.Theta) {
+				out = append(out, types.NewRecord(sugSchema, []types.Value{
+					types.String(term), types.String(cand),
+					types.Float(cfg.Metric.Sim(term, cand)),
+				}))
+			}
+		}
+		m.AddComparisons(int64(len(candidates)))
+		return out
+	}, func(p types.Value) int64 {
+		return int64(len(candidatesOf(p)))
+	})
+
+	// Distinct suggestions (a pair may match through several blocks).
+	distinct := matches.AggregateByKey("tv:distinctpairs",
+		func(v types.Value) types.Value {
+			return types.List(v.Field("term"), v.Field("suggestion"))
+		},
+		engine.GroupAgg{Finish: func(_ types.Value, group []types.Value) types.Value {
+			return group[0]
+		}})
+
+	res := TermValidationResult{
+		Repairs:     map[string]string{},
+		GroupTicks:  groupTicks,
+		SimTicks:    m.SimTicks() - startTicks - groupTicks,
+		Comparisons: m.Comparisons() - startComp,
+	}
+	bestSim := map[string]float64{}
+	for _, v := range distinct.Collect() {
+		s := Suggestion{
+			Term:       v.Field("term").Str(),
+			Suggestion: v.Field("suggestion").Str(),
+			Sim:        v.Field("sim").Float(),
+		}
+		res.Suggestions = append(res.Suggestions, s)
+		if s.Sim > bestSim[s.Term] {
+			bestSim[s.Term] = s.Sim
+			res.Repairs[s.Term] = s.Suggestion
+		}
+	}
+	sort.Slice(res.Suggestions, func(i, j int) bool {
+		if res.Suggestions[i].Term != res.Suggestions[j].Term {
+			return res.Suggestions[i].Term < res.Suggestions[j].Term
+		}
+		return res.Suggestions[i].Sim > res.Suggestions[j].Sim
+	})
+	return res
+}
+
+// blockerKeyCost estimates the work of computing a term's blocking keys:
+// techniques that measure distances (k-means, canopy) pay one unit per
+// center (cluster.KeyCoster); tokenizers pay a small constant.
+func blockerKeyCost(b cluster.Blocker, s string) int64 {
+	if kc, ok := b.(cluster.KeyCoster); ok {
+		return kc.KeyCost(s)
+	}
+	return 2
+}
+
+// Accuracy carries precision/recall/F-score, the metrics of paper Table 3.
+type Accuracy struct {
+	Precision float64
+	Recall    float64
+	FScore    float64
+	// Correct / Suggested / Errors are the raw counts.
+	Correct   int
+	Suggested int
+	Errors    int
+}
+
+// ScoreRepairs scores suggested repairs against ground truth: precision is
+// correct updates / suggested updates, recall is correct updates / total
+// errors (paper §8.1).
+func ScoreRepairs(repairs map[string]string, truth map[string]string) Accuracy {
+	var acc Accuracy
+	acc.Errors = len(truth)
+	acc.Suggested = len(repairs)
+	for dirty, repaired := range repairs {
+		if clean, ok := truth[dirty]; ok && clean == repaired {
+			acc.Correct++
+		}
+	}
+	if acc.Suggested > 0 {
+		acc.Precision = float64(acc.Correct) / float64(acc.Suggested)
+	}
+	if acc.Errors > 0 {
+		acc.Recall = float64(acc.Correct) / float64(acc.Errors)
+	}
+	if acc.Precision+acc.Recall > 0 {
+		acc.FScore = 2 * acc.Precision * acc.Recall / (acc.Precision + acc.Recall)
+	}
+	return acc
+}
+
+// ScorePairs scores detected duplicate pairs against ground-truth pairs.
+// Both sides are canonicalized so order within a pair does not matter.
+func ScorePairs(found [][2]string, truth [][2]string) Accuracy {
+	canon := func(p [2]string) string {
+		if p[0] > p[1] {
+			p[0], p[1] = p[1], p[0]
+		}
+		return p[0] + "\x00" + p[1]
+	}
+	truthSet := make(map[string]struct{}, len(truth))
+	for _, p := range truth {
+		truthSet[canon(p)] = struct{}{}
+	}
+	var acc Accuracy
+	acc.Errors = len(truthSet)
+	seen := map[string]struct{}{}
+	for _, p := range found {
+		k := canon(p)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		acc.Suggested++
+		if _, ok := truthSet[k]; ok {
+			acc.Correct++
+		}
+	}
+	if acc.Suggested > 0 {
+		acc.Precision = float64(acc.Correct) / float64(acc.Suggested)
+	}
+	if acc.Errors > 0 {
+		acc.Recall = float64(acc.Correct) / float64(acc.Errors)
+	}
+	if acc.Precision+acc.Recall > 0 {
+		acc.FScore = 2 * acc.Precision * acc.Recall / (acc.Precision + acc.Recall)
+	}
+	return acc
+}

@@ -1,0 +1,186 @@
+package cleaning
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"cleandb/internal/engine"
+	"cleandb/internal/types"
+)
+
+// Transformations are the paper's lightweight syntactic repairs (§8.2,
+// Table 4): splitting a date attribute into components, and filling missing
+// values with the column average. CleanDB's optimizer applies several
+// transformations in a single dataset pass; the SeparatePasses variants
+// traverse once per operation, which is what a baseline that treats each
+// operation as a standalone task must do.
+
+// SplitDate splits the named "YYYY-MM-DD" column into year/month/day fields
+// appended to each record.
+func SplitDate(ds *engine.Dataset, col string) *engine.Dataset {
+	cached := extendedSchema(ds, col+"_year", col+"_month", col+"_day")
+	return ds.Map("split:"+col, func(v types.Value) types.Value {
+		rec := v.Record()
+		if rec == nil {
+			return v
+		}
+		y, m, d := splitDateStr(v.Field(col).Str())
+		fields := append(append(make([]types.Value, 0, len(rec.Fields)+3), rec.Fields...), y, m, d)
+		return types.NewRecord(cached, fields)
+	})
+}
+
+// extendedSchema derives the schema of the first record extended with extra
+// columns. All records of a generated dataset share one schema, so computing
+// it once up front keeps the per-record map race-free and cheap.
+func extendedSchema(ds *engine.Dataset, extra ...string) *types.Schema {
+	for i := 0; i < ds.NumPartitions(); i++ {
+		for _, v := range ds.Partition(i) {
+			if rec := v.Record(); rec != nil {
+				return rec.Schema.Extend(extra...)
+			}
+		}
+	}
+	return types.NewSchema(extra...)
+}
+
+func splitDateStr(s string) (y, m, d types.Value) {
+	parts := strings.SplitN(s, "-", 3)
+	conv := func(i int) types.Value {
+		if i >= len(parts) {
+			return types.Null()
+		}
+		n, err := strconv.Atoi(parts[i])
+		if err != nil {
+			return types.Null()
+		}
+		return types.Int(int64(n))
+	}
+	return conv(0), conv(1), conv(2)
+}
+
+// ColumnAverage computes the mean of the named numeric column, ignoring
+// nulls, with a local-partial then merge plan (a primitive-monoid reduce).
+func ColumnAverage(ds *engine.Dataset, col string) float64 {
+	partialSchema := types.NewSchema("sum", "count")
+	partials := ds.MapPartitions("avg:"+col, func(_ int, part []types.Value) []types.Value {
+		var sum float64
+		var count int64
+		for _, v := range part {
+			f := v.Field(col)
+			if f.IsNull() {
+				continue
+			}
+			sum += f.Float()
+			count++
+		}
+		return []types.Value{types.NewRecord(partialSchema, []types.Value{types.Float(sum), types.Int(count)})}
+	})
+	var sum float64
+	var count int64
+	for _, p := range partials.Collect() {
+		sum += p.Field("sum").Float()
+		count += p.Field("count").Int()
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / float64(count)
+}
+
+// FillMissing replaces nulls in the named column with the given value. Like
+// the paper's transformation queries, it projects the full tuple (the output
+// is a new dataset, not a view), so its cost is comparable to a plain
+// full-projection query plus the average computation.
+func FillMissing(ds *engine.Dataset, col string, fill types.Value) *engine.Dataset {
+	return ds.Map("fill:"+col, func(v types.Value) types.Value {
+		rec := v.Record()
+		if rec == nil {
+			return v
+		}
+		fields := append([]types.Value(nil), rec.Fields...)
+		if idx, ok := rec.Schema.Index(col); ok && fields[idx].IsNull() {
+			fields[idx] = fill
+		}
+		return types.NewRecord(rec.Schema, fields)
+	})
+}
+
+// SplitAndFillOnePass applies both transformations in a single dataset
+// traversal — the fused plan CleanDB's optimizer produces for the combined
+// CleanM query (paper Table 4, "one step"). The average is computed first
+// (it is needed before any fill), then one map performs both repairs.
+func SplitAndFillOnePass(ds *engine.Dataset, dateCol, fillCol string) *engine.Dataset {
+	avg := types.Float(ColumnAverage(ds, fillCol))
+	cached := extendedSchema(ds, dateCol+"_year", dateCol+"_month", dateCol+"_day")
+	return ds.Map("splitfill", func(v types.Value) types.Value {
+		rec := v.Record()
+		if rec == nil {
+			return v
+		}
+		fields := append(make([]types.Value, 0, len(rec.Fields)+3), rec.Fields...)
+		if idx, ok := rec.Schema.Index(fillCol); ok && fields[idx].IsNull() {
+			fields[idx] = avg
+		}
+		y, m, d := splitDateStr(v.Field(dateCol).Str())
+		fields = append(fields, y, m, d)
+		return types.NewRecord(cached, fields)
+	})
+}
+
+// SplitAndFillTwoPasses applies the transformations as two standalone tasks,
+// each traversing the dataset (paper Table 4, "two steps").
+func SplitAndFillTwoPasses(ds *engine.Dataset, dateCol, fillCol string) *engine.Dataset {
+	out := SplitDate(ds, dateCol)
+	avg := types.Float(ColumnAverage(out, fillCol))
+	return FillMissing(out, fillCol, avg)
+}
+
+// ProjectAll is the plain query baseline of Table 4: a full traversal that
+// projects every attribute.
+func ProjectAll(ds *engine.Dataset) *engine.Dataset {
+	return ds.Map("projectall", func(v types.Value) types.Value {
+		rec := v.Record()
+		if rec == nil {
+			return v
+		}
+		fields := append([]types.Value(nil), rec.Fields...)
+		return types.NewRecord(rec.Schema, fields)
+	})
+}
+
+// SemanticTransform maps values of a column through an auxiliary mapping
+// table (paper §4.4, e.g. airport → city), reporting both the transformed
+// dataset and the values with no mapping.
+func SemanticTransform(ds *engine.Dataset, col string, mapping map[string]string) (out *engine.Dataset, unmapped []string) {
+	var mu sync.Mutex
+	missing := map[string]struct{}{}
+	out = ds.Map("semantic:"+col, func(v types.Value) types.Value {
+		rec := v.Record()
+		if rec == nil {
+			return v
+		}
+		idx, ok := rec.Schema.Index(col)
+		if !ok {
+			return v
+		}
+		val := rec.Fields[idx].Str()
+		repl, ok := mapping[val]
+		if !ok {
+			mu.Lock()
+			missing[val] = struct{}{}
+			mu.Unlock()
+			return v
+		}
+		fields := append([]types.Value(nil), rec.Fields...)
+		fields[idx] = types.String(repl)
+		return types.NewRecord(rec.Schema, fields)
+	})
+	for v := range missing {
+		unmapped = append(unmapped, v)
+	}
+	sort.Strings(unmapped)
+	return out, unmapped
+}

@@ -1,0 +1,309 @@
+package cluster
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"cleandb/internal/monoid"
+	"cleandb/internal/textsim"
+	"cleandb/internal/types"
+)
+
+func randName(rng *rand.Rand) string {
+	const letters = "abcdef"
+	n := 3 + rng.Intn(8)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = letters[rng.Intn(len(letters))]
+	}
+	return string(b)
+}
+
+func TestTokenFilterKeys(t *testing.T) {
+	tf := TokenFilter{Q: 2}
+	keys := tf.Keys("abc")
+	sort.Strings(keys)
+	if strings.Join(keys, ",") != "ab,bc" {
+		t.Fatalf("keys = %v", keys)
+	}
+	if k := tf.Keys("a"); len(k) != 1 || k[0] != "a" {
+		t.Fatalf("short string keys = %v", k)
+	}
+	if tf.Name() != "tf(q=2)" {
+		t.Fatalf("name = %s", tf.Name())
+	}
+}
+
+func TestTokenFilterSharedTokenGuarantee(t *testing.T) {
+	// Two strings with a common q-gram must share at least one group — the
+	// recall guarantee token filtering provides.
+	tf := TokenFilter{Q: 3}
+	a, b := "jonathan", "johnathan"
+	ka, kb := tf.Keys(a), tf.Keys(b)
+	shared := false
+	set := map[string]bool{}
+	for _, k := range ka {
+		set[k] = true
+	}
+	for _, k := range kb {
+		if set[k] {
+			shared = true
+		}
+	}
+	if !shared {
+		t.Fatalf("%q and %q share no token group", a, b)
+	}
+}
+
+func TestExactBlocker(t *testing.T) {
+	e := Exact{}
+	if k := e.Keys("12 oak st"); len(k) != 1 || k[0] != "12 oak st" {
+		t.Fatalf("exact keys = %v", k)
+	}
+}
+
+func TestLengthFilterAdjacency(t *testing.T) {
+	lf := LengthFilter{Width: 2}
+	// Strings of length 5 and 6 are in adjacent buckets and must share one.
+	k5 := lf.Keys(strings.Repeat("a", 5))
+	k6 := lf.Keys(strings.Repeat("a", 6))
+	set := map[string]bool{}
+	for _, k := range k5 {
+		set[k] = true
+	}
+	shared := false
+	for _, k := range k6 {
+		if set[k] {
+			shared = true
+		}
+	}
+	if !shared {
+		t.Fatalf("adjacent lengths should share a bucket: %v vs %v", k5, k6)
+	}
+}
+
+func TestKMeansAssignsToClosest(t *testing.T) {
+	km := KMeans{Centers: []string{"aaaa", "zzzz"}, Metric: textsim.MetricLevenshtein}
+	if keys := km.Keys("aaab"); len(keys) != 1 || keys[0] != "c0" {
+		t.Fatalf("aaab should go to center 0: %v", keys)
+	}
+	if keys := km.Keys("zzzx"); keys[0] != "c1" {
+		t.Fatalf("zzzx should go to center 1: %v", keys)
+	}
+}
+
+func TestKMeansDeltaMultiAssign(t *testing.T) {
+	km := KMeans{Centers: []string{"abcd", "abce"}, Delta: 1.0, Metric: textsim.MetricLevenshtein}
+	keys := km.Keys("abcf")
+	if len(keys) != 2 {
+		t.Fatalf("with a wide delta both centers should match: %v", keys)
+	}
+	if km.KeyCost("x") != 2 {
+		t.Fatalf("KeyCost should equal the center count")
+	}
+}
+
+func TestKMeansNoCenters(t *testing.T) {
+	km := KMeans{}
+	if keys := km.Keys("any"); len(keys) != 1 {
+		t.Fatalf("no centers should still yield one key: %v", keys)
+	}
+}
+
+func TestSelectCentersFixedStep(t *testing.T) {
+	vals := []string{"a", "b", "c", "d", "e", "f"}
+	centers := SelectCentersFixedStep(vals, 3)
+	if len(centers) != 3 {
+		t.Fatalf("centers = %v", centers)
+	}
+	// N/k = 2 → elements at indexes 1, 3, 5.
+	if centers[0] != "b" || centers[1] != "d" || centers[2] != "f" {
+		t.Fatalf("fixed-step extraction wrong: %v", centers)
+	}
+	if got := SelectCentersFixedStep(vals, 100); len(got) != len(vals) {
+		t.Fatalf("k>n should return all values: %v", got)
+	}
+	if got := SelectCentersFixedStep(nil, 3); got != nil {
+		t.Fatalf("empty input: %v", got)
+	}
+}
+
+func TestSelectCentersReservoirDeterministic(t *testing.T) {
+	vals := make([]string, 100)
+	for i := range vals {
+		vals[i] = string(rune('a'+i%26)) + string(rune('a'+(i/26)%26))
+	}
+	a := SelectCentersReservoir(vals, 10, 7)
+	b := SelectCentersReservoir(vals, 10, 7)
+	if strings.Join(a, ",") != strings.Join(b, ",") {
+		t.Fatal("reservoir sampling must be deterministic per seed")
+	}
+	if len(a) != 10 {
+		t.Fatalf("want 10 centers, got %d", len(a))
+	}
+	c := SelectCentersReservoir(vals, 10, 8)
+	if strings.Join(a, ",") == strings.Join(c, ",") {
+		t.Fatal("different seeds should (almost surely) differ")
+	}
+	if got := SelectCentersReservoir(vals[:3], 10, 1); len(got) != 3 {
+		t.Fatalf("k>n returns all: %v", got)
+	}
+}
+
+func TestFitKMeansConverges(t *testing.T) {
+	// Two tight clusters of words; fitted centers should separate them.
+	words := []string{"aaaa", "aaab", "aaba", "zzzz", "zzzy", "zzyz"}
+	centers := FitKMeans(words, 2, 10, textsim.MetricLevenshtein)
+	if len(centers) != 2 {
+		t.Fatalf("centers = %v", centers)
+	}
+	km := KMeans{Centers: centers, Metric: textsim.MetricLevenshtein}
+	if km.Keys("aaac")[0] == km.Keys("zzzx")[0] {
+		t.Fatalf("clusters should separate a* from z*: centers %v", centers)
+	}
+}
+
+func TestCanopy(t *testing.T) {
+	c := &Canopy{T1: 0.5, T2: 0.9, Metric: textsim.MetricLevenshtein}
+	c.Fit([]string{"apple", "appel", "orange", "orangu"})
+	if len(c.centers) < 1 {
+		t.Fatal("canopy fit produced no centers")
+	}
+	keys := c.Keys("appla")
+	if len(keys) == 0 {
+		t.Fatal("every value must land in at least one canopy")
+	}
+	if c.KeyCost("x") != int64(len(c.centers)) {
+		t.Fatal("KeyCost should equal canopy count")
+	}
+}
+
+func TestHierarchicalClusters(t *testing.T) {
+	words := []string{"aaaa", "aaab", "zzzz", "zzzy"}
+	clusters := HierarchicalClusters(words, 2, textsim.MetricLevenshtein)
+	if len(clusters) != 2 {
+		t.Fatalf("want 2 clusters, got %v", clusters)
+	}
+	for _, cl := range clusters {
+		if len(cl) != 2 {
+			t.Fatalf("each cluster should have 2 members: %v", clusters)
+		}
+		if cl[0][0] != cl[1][0] {
+			t.Fatalf("cluster mixes a* and z*: %v", clusters)
+		}
+	}
+	if got := HierarchicalClusters(words, 0, textsim.MetricLevenshtein); len(got) != 1 {
+		t.Fatalf("k<1 clamps to 1: %v", got)
+	}
+}
+
+func TestParseBlocker(t *testing.T) {
+	cases := []struct {
+		op   string
+		want string
+	}{
+		{"token_filtering", "tf(q=3)"},
+		{"tf", "tf(q=3)"},
+		{"kmeans", "kmeans(k=2)"},
+		{"length", "len(w=2)"},
+		{"attribute", "attribute"},
+		{"exact", "attribute"},
+	}
+	for _, c := range cases {
+		b, err := ParseBlocker(c.op, 0, []string{"aa", "bb", "cc"})
+		if err != nil {
+			t.Fatalf("ParseBlocker(%q): %v", c.op, err)
+		}
+		if !strings.HasPrefix(b.Name(), strings.Split(c.want, "(")[0]) {
+			t.Fatalf("ParseBlocker(%q).Name() = %q, want prefix of %q", c.op, b.Name(), c.want)
+		}
+	}
+	if _, err := ParseBlocker("bogus", 0, nil); err == nil {
+		t.Fatal("unknown blocker should error")
+	}
+}
+
+func TestGroupsMonoidLaws(t *testing.T) {
+	// The token-filtering monoid laws of paper §4.3: associativity,
+	// identity, idempotence under the canonical grouping representation.
+	rng := rand.New(rand.NewSource(51))
+	m := GroupsMonoid{B: TokenFilter{Q: 2}}
+	val := func() types.Value {
+		n := rng.Intn(4)
+		acc := m.Zero()
+		for i := 0; i < n; i++ {
+			acc = m.Merge(acc, m.Unit(types.String(randName(rng))))
+		}
+		return acc
+	}
+	for i := 0; i < 300; i++ {
+		a, b, c := val(), val(), val()
+		if types.Key(m.Merge(a, m.Zero())) != types.Key(a) {
+			t.Fatalf("right identity violated")
+		}
+		if types.Key(m.Merge(m.Zero(), a)) != types.Key(a) {
+			t.Fatalf("left identity violated")
+		}
+		l := m.Merge(m.Merge(a, b), c)
+		r := m.Merge(a, m.Merge(b, c))
+		if types.Key(l) != types.Key(r) {
+			t.Fatalf("associativity violated:\n%s\nvs\n%s", l, r)
+		}
+		// Commutativity (groups are canonical).
+		if types.Key(m.Merge(a, b)) != types.Key(m.Merge(b, a)) {
+			t.Fatalf("commutativity violated")
+		}
+		// Idempotence.
+		if types.Key(m.Merge(a, a)) != types.Key(a) {
+			t.Fatalf("idempotence violated for %s", a)
+		}
+	}
+}
+
+func TestGroupsMonoidMatchesDirectGrouping(t *testing.T) {
+	words := []string{"stella", "stela", "manos", "mano", "ben"}
+	tf := TokenFilter{Q: 3}
+	viaMonoid := BlockStrings(tf, words)
+	direct := GroupsValue(Groups(tf, words))
+	if types.Key(viaMonoid) != types.Key(direct) {
+		t.Fatalf("monoid fold disagrees with direct grouping:\n%s\nvs\n%s", viaMonoid, direct)
+	}
+}
+
+func TestGroupsMonoidImplementsMonoid(t *testing.T) {
+	var _ monoid.Monoid = GroupsMonoid{B: TokenFilter{Q: 2}}
+	m := GroupsMonoid{B: TokenFilter{Q: 2}}
+	if !m.Idempotent() || !m.Collection() {
+		t.Fatal("groups monoid is an idempotent collection monoid")
+	}
+}
+
+func TestBlockingPreservesSimilarPairsRecall(t *testing.T) {
+	// Any pair above the similarity threshold must co-occur in at least one
+	// token-filtering group (tf with q=3 and θ=0.8 over names ≥ 8 chars).
+	rng := rand.New(rand.NewSource(61))
+	tf := TokenFilter{Q: 3}
+	for i := 0; i < 200; i++ {
+		base := randName(rng) + randName(rng)
+		// One edit: similar enough for long names.
+		dirty := base[:1] + "x" + base[2:]
+		if !textsim.SimilarAbove(base, dirty, 0.8) {
+			continue
+		}
+		shared := false
+		set := map[string]bool{}
+		for _, k := range tf.Keys(base) {
+			set[k] = true
+		}
+		for _, k := range tf.Keys(dirty) {
+			if set[k] {
+				shared = true
+			}
+		}
+		if !shared {
+			t.Fatalf("similar pair %q/%q not co-blocked", base, dirty)
+		}
+	}
+}

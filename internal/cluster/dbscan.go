@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"fmt"
+
+	"cleandb/internal/textsim"
+)
+
+// DBSCAN is the density-based partitional technique the paper lists next to
+// k-means (§4.3: "the distance from the other elements of the cluster"). Fit
+// discovers density-connected clusters of strings; Keys then assigns values
+// to the cluster of their nearest core point, so DBSCAN can serve as a
+// Blocker in similarity joins like the other techniques.
+type DBSCAN struct {
+	// Eps is the neighborhood radius as a distance (1 - similarity).
+	Eps float64
+	// MinPts is the minimum neighborhood size for a core point.
+	MinPts int
+	// Metric measures similarity (distance = 1 - similarity).
+	Metric textsim.Metric
+
+	core   []string // core points, cluster id = index into clusterOf
+	coreID []int
+}
+
+// Name implements Blocker.
+func (d *DBSCAN) Name() string { return fmt.Sprintf("dbscan(eps=%.2f)", d.Eps) }
+
+// Fit runs density clustering over values (O(n²) distance computations; fit
+// on a sample or dictionary, as with k-means centers).
+func (d *DBSCAN) Fit(values []string) {
+	n := len(values)
+	dist := func(a, b string) float64 { return 1 - d.Metric.Sim(a, b) }
+	// Neighborhoods.
+	neighbors := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if dist(values[i], values[j]) <= d.Eps {
+				neighbors[i] = append(neighbors[i], j)
+				neighbors[j] = append(neighbors[j], i)
+			}
+		}
+	}
+	const unvisited, noise = -2, -1
+	clusterOf := make([]int, n)
+	for i := range clusterOf {
+		clusterOf[i] = unvisited
+	}
+	next := 0
+	for i := 0; i < n; i++ {
+		if clusterOf[i] != unvisited {
+			continue
+		}
+		if len(neighbors[i])+1 < d.MinPts {
+			clusterOf[i] = noise
+			continue
+		}
+		// Expand a new cluster from this core point.
+		id := next
+		next++
+		clusterOf[i] = id
+		queue := append([]int(nil), neighbors[i]...)
+		for len(queue) > 0 {
+			j := queue[0]
+			queue = queue[1:]
+			if clusterOf[j] == noise {
+				clusterOf[j] = id // border point
+			}
+			if clusterOf[j] != unvisited {
+				continue
+			}
+			clusterOf[j] = id
+			if len(neighbors[j])+1 >= d.MinPts {
+				queue = append(queue, neighbors[j]...)
+			}
+		}
+	}
+	d.core = d.core[:0]
+	d.coreID = d.coreID[:0]
+	for i, v := range values {
+		if clusterOf[i] >= 0 && len(neighbors[i])+1 >= d.MinPts {
+			d.core = append(d.core, v)
+			d.coreID = append(d.coreID, clusterOf[i])
+		}
+	}
+}
+
+// Clusters returns the number of discovered clusters.
+func (d *DBSCAN) Clusters() int {
+	max := -1
+	for _, id := range d.coreID {
+		if id > max {
+			max = id
+		}
+	}
+	return max + 1
+}
+
+// Keys implements Blocker: the cluster whose nearest core point is within
+// Eps; values outside every cluster get their own noise group (they are
+// still compared with near-identical noise values sharing the group key).
+func (d *DBSCAN) Keys(s string) []string {
+	best, bestDist := -1, 2.0
+	for i, c := range d.core {
+		dist := 1 - d.Metric.Sim(s, c)
+		if dist < bestDist {
+			best, bestDist = i, dist
+		}
+	}
+	if best >= 0 && bestDist <= d.Eps {
+		return []string{centerKey(d.coreID[best])}
+	}
+	return []string{"noise:" + s}
+}
+
+// KeyCost implements KeyCoster: one distance per core point.
+func (d *DBSCAN) KeyCost(string) int64 { return int64(len(d.core)) }

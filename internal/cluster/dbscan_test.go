@@ -1,0 +1,69 @@
+package cluster
+
+import (
+	"testing"
+
+	"cleandb/internal/textsim"
+	"cleandb/internal/types"
+)
+
+func TestDBSCANSeparatesClusters(t *testing.T) {
+	d := &DBSCAN{Eps: 0.3, MinPts: 2, Metric: textsim.MetricLevenshtein}
+	d.Fit([]string{
+		"aaaaaa", "aaaaab", "aaaabb", // dense cluster A
+		"zzzzzz", "zzzzzy", "zzzyyz", // dense cluster B
+		"qqkxjw", // noise
+	})
+	if d.Clusters() != 2 {
+		t.Fatalf("clusters = %d, want 2", d.Clusters())
+	}
+	ka := d.Keys("aaaaax")
+	kb := d.Keys("zzzzzx")
+	if len(ka) != 1 || len(kb) != 1 || ka[0] == kb[0] {
+		t.Fatalf("a* and z* should land in different clusters: %v vs %v", ka, kb)
+	}
+	kn := d.Keys("mmpprr")
+	if kn[0] == ka[0] || kn[0] == kb[0] {
+		t.Log("far value assigned to noise group as expected:", kn)
+	}
+}
+
+func TestDBSCANNoiseGetsOwnGroup(t *testing.T) {
+	d := &DBSCAN{Eps: 0.2, MinPts: 3, Metric: textsim.MetricLevenshtein}
+	d.Fit([]string{"abc", "xyz"}) // nothing dense enough
+	if d.Clusters() != 0 {
+		t.Fatalf("clusters = %d, want 0", d.Clusters())
+	}
+	k := d.Keys("abc")
+	if len(k) != 1 || k[0] != "noise:abc" {
+		t.Fatalf("noise key = %v", k)
+	}
+}
+
+func TestDBSCANBorderPointsJoinClusters(t *testing.T) {
+	// A chain: a-b close, b-c close, a-c farther; with MinPts=2 all three
+	// become density-connected.
+	d := &DBSCAN{Eps: 0.35, MinPts: 2, Metric: textsim.MetricLevenshtein}
+	d.Fit([]string{"aaaaaa", "aaaaab", "aaaabc"})
+	if d.Clusters() != 1 {
+		t.Fatalf("chain should form one cluster, got %d", d.Clusters())
+	}
+}
+
+func TestDBSCANAsBlockerInGroupsMonoid(t *testing.T) {
+	d := &DBSCAN{Eps: 0.3, MinPts: 2, Metric: textsim.MetricLevenshtein}
+	words := []string{"stella", "stela", "stellaa", "manos", "manoss", "manoz"}
+	d.Fit(words)
+	m := GroupsMonoid{B: d}
+	acc := m.Zero()
+	for _, w := range words {
+		acc = m.Merge(acc, m.Unit(types.String(w)))
+	}
+	if len(acc.List()) < 2 {
+		t.Fatalf("expected at least two groups: %s", acc)
+	}
+	// KeyCost reflects core-point distance computations.
+	if d.KeyCost("x") <= 0 {
+		t.Fatal("fit DBSCAN should report positive key cost")
+	}
+}

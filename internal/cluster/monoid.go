@@ -1,0 +1,118 @@
+package cluster
+
+import (
+	"cleandb/internal/monoid"
+	"cleandb/internal/types"
+)
+
+// GroupsMonoid is the calculus-level form of a blocking technique: the
+// "filter monoid" that CleanM's FD/DEDUP/CLUSTER BY comprehensions fold
+// with (paper §4.3, "(Token) filtering as a monoid").
+//
+// Values of the monoid are canonical groupings — lists of {key, items}
+// records, keys sorted, items sorted and de-duplicated. With that normal
+// form:
+//
+//	Zero  = {}                                (the empty grouping)
+//	Unit  = str ↦ {(token_i, {str}), ...}     (one group per blocking key)
+//	Merge = union of groups by key
+//
+// Merge is associative, commutative and idempotent, which the property-based
+// tests verify; that is precisely the proof obligation the paper states for
+// mapping token filtering into the calculus.
+type GroupsMonoid struct {
+	// B is the blocking technique that defines Unit.
+	B Blocker
+}
+
+var _ monoid.Monoid = GroupsMonoid{}
+
+// Name implements monoid.Monoid.
+func (g GroupsMonoid) Name() string { return "groups:" + g.B.Name() }
+
+// Zero implements monoid.Monoid: the empty grouping.
+func (g GroupsMonoid) Zero() types.Value { return types.List() }
+
+// Unit implements monoid.Monoid: blocks a single string value.
+func (g GroupsMonoid) Unit(v types.Value) types.Value {
+	s := v.Str()
+	groups := make(map[string][]string)
+	for _, k := range g.B.Keys(s) {
+		groups[k] = append(groups[k], s)
+	}
+	return GroupsValue(groups)
+}
+
+// Merge implements monoid.Monoid: unions two canonical groupings by key.
+// Both inputs are lists of {key, items} records sorted by key.
+func (g GroupsMonoid) Merge(a, b types.Value) types.Value {
+	al, bl := a.List(), b.List()
+	if len(al) == 0 {
+		return b
+	}
+	if len(bl) == 0 {
+		return a
+	}
+	out := make([]types.Value, 0, len(al)+len(bl))
+	i, j := 0, 0
+	for i < len(al) && j < len(bl) {
+		ka, kb := al[i].Field("key").Str(), bl[j].Field("key").Str()
+		switch {
+		case ka < kb:
+			out = append(out, al[i])
+			i++
+		case ka > kb:
+			out = append(out, bl[j])
+			j++
+		default:
+			out = append(out, mergeEntry(al[i], bl[j]))
+			i++
+			j++
+		}
+	}
+	out = append(out, al[i:]...)
+	out = append(out, bl[j:]...)
+	return types.ListOf(out)
+}
+
+func mergeEntry(a, b types.Value) types.Value {
+	ia, ib := a.Field("items").List(), b.Field("items").List()
+	merged := make([]types.Value, 0, len(ia)+len(ib))
+	x, y := 0, 0
+	for x < len(ia) && y < len(ib) {
+		sa, sb := ia[x].Str(), ib[y].Str()
+		switch {
+		case sa < sb:
+			merged = append(merged, ia[x])
+			x++
+		case sa > sb:
+			merged = append(merged, ib[y])
+			y++
+		default:
+			merged = append(merged, ia[x])
+			x++
+			y++
+		}
+	}
+	merged = append(merged, ia[x:]...)
+	merged = append(merged, ib[y:]...)
+	return types.NewRecord(groupEntrySchema, []types.Value{a.Field("key"), types.ListOf(merged)})
+}
+
+// Idempotent implements monoid.Monoid: merging a grouping with itself
+// yields the same grouping (groups are sets).
+func (g GroupsMonoid) Idempotent() bool { return true }
+
+// Collection implements monoid.Monoid.
+func (g GroupsMonoid) Collection() bool { return true }
+
+// BlockStrings folds values through the monoid — the reference (sequential)
+// semantics of blocking, used by tests to validate the distributed path.
+func BlockStrings(b Blocker, values []string) types.Value {
+	m := GroupsMonoid{B: b}
+	acc := m.Zero()
+	for _, v := range values {
+		acc = m.Merge(acc, m.Unit(types.String(v)))
+	}
+	return acc
+}

@@ -1,0 +1,275 @@
+// Package core ties CleanDB's three abstraction levels together — it is the
+// architecture of the paper's Figure 2 as one driver:
+//
+//	CleanM text ──parse──▶ AST ──Monoid Rewriter──▶ comprehensions
+//	  ──Monoid Optimizer (normalization)──▶ canonical comprehensions
+//	  ──lowering──▶ nested relational algebra ──Plan Rewriter──▶ DAG
+//	  ──physical lowering──▶ engine operators ──▶ scale-out execution
+//
+// Every level's artifact is retained on the Result for EXPLAIN output, and a
+// query containing several cleaning operators is optimized as one task:
+// common sub-plans (shared scans, coalesced groupings) execute once and the
+// violation sets are combined with a full outer join.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"cleandb/internal/algebra"
+	"cleandb/internal/cluster"
+	"cleandb/internal/engine"
+	"cleandb/internal/lang"
+	"cleandb/internal/monoid"
+	"cleandb/internal/physical"
+	"cleandb/internal/types"
+)
+
+// Pipeline executes CleanM queries against a catalog of datasets.
+type Pipeline struct {
+	Ctx     *engine.Context
+	Catalog map[string]*engine.Dataset
+	// Config selects the physical strategies; the zero value is CleanDB's
+	// skew-aware defaults.
+	Config physical.Config
+	// Unified controls whether multiple cleaning operators are combined
+	// into a single DAG with an outer join (CleanDB behaviour). When false
+	// each operator runs standalone (the paper's baseline configuration).
+	Unified bool
+	// NoSharing disables cross-operator plan sharing while keeping the
+	// combining outer join — the Spark SQL behaviour of §8.2, where unified
+	// execution is more expensive than standalone because the optimizer
+	// cannot coalesce the common grouping.
+	NoSharing bool
+	// Trace, when non-nil, receives one line per optimizer rewrite.
+	Trace func(level, rule, detail string)
+}
+
+// NewPipeline returns a pipeline with CleanDB defaults (unified execution,
+// skew-aware grouping, statistics-aware theta joins).
+func NewPipeline(ctx *engine.Context, catalog map[string]*engine.Dataset) *Pipeline {
+	return &Pipeline{Ctx: ctx, Catalog: catalog, Unified: true}
+}
+
+// TaskResult is one cleaning operator's (or plain query's) outcome.
+type TaskResult struct {
+	Name string
+	// Output holds the task's result records. For cleaning operators these
+	// are violation records; for plain queries, projected rows.
+	Output []types.Value
+	// Plan is the optimized algebraic plan (shared nodes included).
+	Plan algebra.Plan
+	// Comp is the normalized comprehension.
+	Comp monoid.Expr
+}
+
+// Result is a completed CleanM query.
+type Result struct {
+	Tasks []TaskResult
+	// Combined holds the unified outer-join output (entities with at least
+	// one violation) when the query had several cleaning operators and the
+	// pipeline runs in unified mode.
+	Combined []types.Value
+	// Explanation renders all three levels for EXPLAIN.
+	Explanation string
+}
+
+// Rows returns the primary output: the combined records when present,
+// otherwise the single task's output.
+func (r *Result) Rows() []types.Value {
+	if r.Combined != nil {
+		return r.Combined
+	}
+	if len(r.Tasks) > 0 {
+		return r.Tasks[0].Output
+	}
+	return nil
+}
+
+// Run parses, optimizes and executes a CleanM query.
+func (p *Pipeline) Run(query string) (*Result, error) {
+	prep, err := p.Prepare(query)
+	if err != nil {
+		return nil, err
+	}
+	return prep.Execute()
+}
+
+// Prepared is a fully planned query, ready to execute (or explain).
+type Prepared struct {
+	pipeline *Pipeline
+	tasks    []lang.Task
+	norm     []monoid.Expr
+	plans    []algebra.Plan
+	combined algebra.Plan
+	exec     *physical.Executor
+	explain  strings.Builder
+}
+
+// Prepare runs the front end and all three optimization levels without
+// executing.
+func (p *Pipeline) Prepare(query string) (*Prepared, error) {
+	q, err := lang.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	var d lang.Desugarer
+	tasks, err := d.Desugar(q)
+	if err != nil {
+		return nil, err
+	}
+	pr := &Prepared{pipeline: p, tasks: tasks}
+	pr.exec = physical.NewExecutor(p.Ctx, p.Catalog)
+	pr.exec.Config = p.Config
+
+	// Fit and register blocking builtins (k-means centers, tokenizers).
+	for _, t := range tasks {
+		for name, binding := range t.Blockers {
+			if err := pr.registerBlocker(name, binding); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Level 1: monoid normalization.
+	norm := monoid.NewNormalizer()
+	if p.Trace != nil {
+		norm.Trace = func(rule, detail string) { p.Trace("monoid", rule, detail) }
+	}
+	lower := &algebra.Lowerer{IsSource: func(name string) bool {
+		_, ok := p.Catalog[name]
+		return ok || name == algebra.UnitSource
+	}}
+	var roots []algebra.Plan
+	for _, t := range tasks {
+		ne := norm.Normalize(t.Comp)
+		pr.norm = append(pr.norm, ne)
+		fmt.Fprintf(&pr.explain, "-- task %s: comprehension --\n%s\n", t.Name, ne)
+		nc, ok := ne.(*monoid.Comprehension)
+		if !ok {
+			return nil, fmt.Errorf("core: task %s normalized to a non-comprehension (%T); cannot lower", t.Name, ne)
+		}
+		// Level 2: lowering to the nested relational algebra.
+		plan, err := lower.Lower(nc)
+		if err != nil {
+			return nil, err
+		}
+		roots = append(roots, plan)
+	}
+
+	// Level 2 rewrites: share sub-plans across tasks; optionally combine.
+	rw := &algebra.Rewriter{}
+	if p.Trace != nil {
+		rw.Trace = func(rule, detail string) { p.Trace("algebra", rule, detail) }
+	}
+	if p.Unified && len(tasks) > 1 {
+		keys := make([]monoid.Expr, len(tasks))
+		names := make([]string, len(tasks))
+		for i, t := range tasks {
+			keys[i] = t.EntityKey
+			names[i] = t.Name
+		}
+		if p.NoSharing {
+			pr.combined = rw.UnifiedUnshared(roots, keys, names)
+		} else {
+			pr.combined = rw.Unified(roots, keys, names)
+		}
+		pr.plans = pr.combined.(*algebra.CombineAll).Inputs
+		fmt.Fprintf(&pr.explain, "-- unified algebraic plan --\n%s", algebra.Explain(pr.combined))
+	} else {
+		// Standalone mode: each operation is optimized in isolation — no
+		// cross-operator sharing (the baseline behaviour the paper compares
+		// against in Figure 5).
+		pr.plans = make([]algebra.Plan, len(roots))
+		for i, root := range roots {
+			pr.plans[i] = rw.Rewrite(root)
+			fmt.Fprintf(&pr.explain, "-- task %s: algebraic plan --\n%s", tasks[i].Name, algebra.Explain(pr.plans[i]))
+		}
+	}
+	return pr, nil
+}
+
+// registerBlocker fits the blocking technique and installs it as a builtin.
+func (pr *Prepared) registerBlocker(name string, b lang.BlockerBinding) error {
+	p := pr.pipeline
+	var fitValues []string
+	if b.FitSource != "" && strings.EqualFold(b.Spec.Op, "kmeans") {
+		src, ok := p.Catalog[b.FitSource]
+		if !ok {
+			return fmt.Errorf("core: blocker fit source %q not in catalog", b.FitSource)
+		}
+		ce, err := monoid.NewCompiler().Compile(b.FitAttr, map[string]int{"$fit": 0})
+		if err != nil {
+			return err
+		}
+		// Sample up to ~4k fit values, deterministically.
+		sample := src.Sample(int(src.Count()/4096) + 1)
+		for _, v := range sample {
+			out, err := ce([]types.Value{v})
+			if err == nil && out.Kind() == types.KindString {
+				fitValues = append(fitValues, out.Str())
+			}
+		}
+	}
+	blk, err := cluster.ParseBlocker(b.Spec.Op, b.Spec.Param, fitValues)
+	if err != nil {
+		return err
+	}
+	pr.exec.AddBuiltin(name, func(args []types.Value) (types.Value, error) {
+		if len(args) != 1 {
+			return types.Null(), fmt.Errorf("%s: want 1 arg, got %d", name, len(args))
+		}
+		keys := blk.Keys(args[0].Str())
+		out := make([]types.Value, len(keys))
+		for i, k := range keys {
+			out[i] = types.String(k)
+		}
+		return types.ListOf(out), nil
+	})
+	return nil
+}
+
+// Explain returns the multi-level EXPLAIN text.
+func (pr *Prepared) Explain() string { return pr.explain.String() }
+
+// Execute runs the prepared plans.
+func (pr *Prepared) Execute() (*Result, error) {
+	res := &Result{Explanation: pr.explain.String()}
+	if pr.combined != nil {
+		d, err := pr.exec.Exec(pr.combined)
+		if err != nil {
+			return nil, err
+		}
+		res.Combined = d.Collect()
+	}
+	for i, t := range pr.tasks {
+		var out []types.Value
+		if pr.combined == nil {
+			d, err := pr.exec.Exec(pr.plans[i])
+			if err != nil {
+				return nil, err
+			}
+			out = unwrapOut(d.Collect())
+		}
+		res.Tasks = append(res.Tasks, TaskResult{
+			Name:   t.Name,
+			Output: out,
+			Plan:   pr.plans[i],
+			Comp:   pr.norm[i],
+		})
+	}
+	return res, nil
+}
+
+// unwrapOut strips the {$out: v} environment wrapper from result records.
+func unwrapOut(rows []types.Value) []types.Value {
+	out := make([]types.Value, len(rows))
+	for i, r := range rows {
+		if rec := r.Record(); rec != nil && len(rec.Fields) == 1 && rec.Schema.Names[0] == lang.OutVar {
+			out[i] = rec.Fields[0]
+			continue
+		}
+		out[i] = r
+	}
+	return out
+}

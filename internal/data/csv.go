@@ -1,0 +1,179 @@
+// Package data implements CleanDB's heterogeneous source formats: CSV,
+// JSON (one object per line), XML (hierarchical, DBLP-style), and colbin —
+// a binary columnar format with dictionary-encoded strings that stands in
+// for Parquet in the paper's experiments. It also provides flattening of
+// nested records into relational rows, which the paper uses to contrast
+// cleaning nested data in place against flattening it first.
+package data
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"cleandb/internal/types"
+)
+
+// ColType enumerates colbin/CSV column types.
+type ColType uint8
+
+// Column types.
+const (
+	ColString ColType = iota
+	ColInt
+	ColFloat
+	ColBool
+	ColStringList // one-level nested list of strings
+)
+
+// String names the column type.
+func (t ColType) String() string {
+	switch t {
+	case ColString:
+		return "string"
+	case ColInt:
+		return "int"
+	case ColFloat:
+		return "float"
+	case ColBool:
+		return "bool"
+	case ColStringList:
+		return "list<string>"
+	default:
+		return "?"
+	}
+}
+
+// ReadCSV parses CSV with a header row into records, inferring column types
+// (int, then float, then string) from the data. Empty cells become nulls.
+func ReadCSV(r io.Reader) ([]types.Value, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("data: csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	header := rows[0]
+	schema := types.NewSchema(header...)
+	colTypes := inferTypes(rows[1:], len(header))
+	out := make([]types.Value, 0, len(rows)-1)
+	for _, row := range rows[1:] {
+		fields := make([]types.Value, len(header))
+		for i := range header {
+			var cell string
+			if i < len(row) {
+				cell = row[i]
+			}
+			fields[i] = parseCell(cell, colTypes[i])
+		}
+		out = append(out, types.NewRecord(schema, fields))
+	}
+	return out, nil
+}
+
+func inferTypes(rows [][]string, cols int) []ColType {
+	out := make([]ColType, cols)
+	for i := 0; i < cols; i++ {
+		t := ColInt
+		seen := false
+		for _, row := range rows {
+			if i >= len(row) || row[i] == "" {
+				continue
+			}
+			seen = true
+			cell := row[i]
+			switch t {
+			case ColInt:
+				if _, err := strconv.ParseInt(cell, 10, 64); err != nil {
+					if _, ferr := strconv.ParseFloat(cell, 64); ferr == nil {
+						t = ColFloat
+					} else {
+						t = ColString
+					}
+				}
+			case ColFloat:
+				if _, err := strconv.ParseFloat(cell, 64); err != nil {
+					t = ColString
+				}
+			}
+			if t == ColString {
+				break
+			}
+		}
+		if !seen {
+			t = ColString
+		}
+		out[i] = t
+	}
+	return out
+}
+
+func parseCell(cell string, t ColType) types.Value {
+	if cell == "" {
+		return types.Null()
+	}
+	switch t {
+	case ColInt:
+		n, err := strconv.ParseInt(cell, 10, 64)
+		if err != nil {
+			return types.String(cell)
+		}
+		return types.Int(n)
+	case ColFloat:
+		f, err := strconv.ParseFloat(cell, 64)
+		if err != nil {
+			return types.String(cell)
+		}
+		return types.Float(f)
+	default:
+		return types.String(cell)
+	}
+}
+
+// WriteCSV renders records (sharing one schema) as CSV with a header row.
+// List fields are joined with "|".
+func WriteCSV(w io.Writer, rows []types.Value) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	rec := rows[0].Record()
+	if rec == nil {
+		return fmt.Errorf("data: csv: rows must be records")
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(rec.Schema.Names); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		r := row.Record()
+		cells := make([]string, len(r.Fields))
+		for i, f := range r.Fields {
+			cells[i] = cellString(f)
+		}
+		if err := cw.Write(cells); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func cellString(v types.Value) string {
+	switch v.Kind() {
+	case types.KindNull:
+		return ""
+	case types.KindList:
+		parts := make([]string, len(v.List()))
+		for i, e := range v.List() {
+			parts[i] = cellString(e)
+		}
+		return strings.Join(parts, "|")
+	default:
+		return v.String()
+	}
+}

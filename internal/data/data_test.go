@@ -1,0 +1,326 @@
+package data
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cleandb/internal/types"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	schema := types.NewSchema("id", "name", "score")
+	rows := []types.Value{
+		types.NewRecord(schema, []types.Value{types.Int(1), types.String("ann"), types.Float(2.5)}),
+		types.NewRecord(schema, []types.Value{types.Int(2), types.String("bob"), types.Float(-1)}),
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("rows = %d", len(back))
+	}
+	if back[0].Field("id").Int() != 1 || back[0].Field("name").Str() != "ann" {
+		t.Fatalf("row 0 = %s", back[0])
+	}
+	if back[1].Field("score").Float() != -1 {
+		t.Fatalf("float column: %s", back[1])
+	}
+}
+
+func TestCSVTypeInference(t *testing.T) {
+	in := "a,b,c,d\n1,1.5,xyz,\n2,2,abc,\n"
+	rows, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Field("a").Kind() != types.KindInt {
+		t.Error("column a should infer int")
+	}
+	if rows[0].Field("b").Kind() != types.KindFloat {
+		t.Error("column b should infer float")
+	}
+	if rows[0].Field("c").Kind() != types.KindString {
+		t.Error("column c should infer string")
+	}
+	if !rows[0].Field("d").IsNull() {
+		t.Error("empty cells become null")
+	}
+}
+
+func TestCSVEmpty(t *testing.T) {
+	rows, err := ReadCSV(strings.NewReader(""))
+	if err != nil || rows != nil {
+		t.Fatalf("empty csv: %v, %v", rows, err)
+	}
+	if err := WriteCSV(&bytes.Buffer{}, nil); err != nil {
+		t.Fatal("writing no rows should succeed")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	schema := types.NewSchema("authors", "title", "year")
+	rows := []types.Value{
+		types.NewRecord(schema, []types.Value{
+			types.List(types.String("x"), types.String("y")),
+			types.String("paper"), types.Int(2001),
+		}),
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 {
+		t.Fatalf("rows = %d", len(back))
+	}
+	if types.Key(back[0]) != types.Key(rows[0]) {
+		t.Fatalf("round trip mismatch:\n%s\nvs\n%s", back[0], rows[0])
+	}
+}
+
+func TestJSONNested(t *testing.T) {
+	in := `{"a": {"b": [1, 2.5, "s", null, true]}}`
+	rows, err := ReadJSON(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := rows[0].Field("a").Field("b").List()
+	if len(inner) != 5 {
+		t.Fatalf("nested list: %v", inner)
+	}
+	if inner[0].Kind() != types.KindInt || inner[1].Kind() != types.KindFloat {
+		t.Fatal("number kinds")
+	}
+	if !inner[3].IsNull() || !inner[4].Bool() {
+		t.Fatal("null/bool")
+	}
+}
+
+func TestJSONBadInput(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{broken")); err == nil {
+		t.Fatal("bad json should error")
+	}
+}
+
+func TestJSONSkipsBlankLines(t *testing.T) {
+	rows, err := ReadJSON(strings.NewReader("\n{\"a\":1}\n\n{\"a\":2}\n"))
+	if err != nil || len(rows) != 2 {
+		t.Fatalf("rows=%v err=%v", rows, err)
+	}
+}
+
+func TestXMLRoundTrip(t *testing.T) {
+	schema := types.NewSchema("authors", "title", "year")
+	rows := []types.Value{
+		types.NewRecord(schema, []types.Value{
+			types.List(types.String("ann"), types.String("bob")),
+			types.String("a <nice> paper"), types.Int(1999),
+		}),
+		types.NewRecord(schema, []types.Value{
+			types.List(types.String("solo")),
+			types.String("another"), types.Int(2000),
+		}),
+	}
+	var buf bytes.Buffer
+	if err := WriteXML(&buf, rows, "dblp", "article"); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadXML(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("rows = %d", len(back))
+	}
+	if back[0].Field("title").Str() != "a <nice> paper" {
+		t.Fatalf("escaping broken: %s", back[0].Field("title"))
+	}
+	if len(back[0].Field("authors").List()) != 2 {
+		t.Fatalf("repeated elements should form a list: %s", back[0])
+	}
+	// Single author stays scalar (XML cannot distinguish); Flatten treats
+	// both uniformly.
+	if back[1].Field("authors").Kind() == types.KindList {
+		t.Log("single author parsed as scalar, as expected")
+	}
+}
+
+func TestXMLAttributes(t *testing.T) {
+	in := `<root><rec key="k1"><v>3</v></rec></root>`
+	rows, err := ReadXML(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Field("key").Str() != "k1" || rows[0].Field("v").Int() != 3 {
+		t.Fatalf("attr parse: %s", rows[0])
+	}
+}
+
+func TestFlatten(t *testing.T) {
+	schema := types.NewSchema("authors", "title")
+	rows := []types.Value{
+		types.NewRecord(schema, []types.Value{
+			types.List(types.String("a"), types.String("b"), types.String("c")),
+			types.String("t1"),
+		}),
+		types.NewRecord(schema, []types.Value{
+			types.List(types.String("x")),
+			types.String("t2"),
+		}),
+	}
+	flat := Flatten(rows)
+	if len(flat) != 4 {
+		t.Fatalf("flattened rows = %d, want 4", len(flat))
+	}
+	if flat[0].Field("authors").Kind() != types.KindString {
+		t.Fatalf("flattened author should be scalar: %s", flat[0])
+	}
+}
+
+func TestFlattenNoList(t *testing.T) {
+	schema := types.NewSchema("a")
+	rows := []types.Value{types.NewRecord(schema, []types.Value{types.Int(1)})}
+	flat := Flatten(rows)
+	if len(flat) != 1 || flat[0].Field("a").Int() != 1 {
+		t.Fatalf("no-list flatten should be identity: %v", flat)
+	}
+}
+
+func TestColbinRoundTrip(t *testing.T) {
+	schema := types.NewSchema("authors", "n", "score", "title", "valid")
+	rows := []types.Value{
+		types.NewRecord(schema, []types.Value{
+			types.List(types.String("a"), types.String("b")),
+			types.Int(-7), types.Float(1.25), types.String("t1"), types.Bool(true),
+		}),
+		types.NewRecord(schema, []types.Value{
+			types.List(),
+			types.Int(12), types.Float(-0.5), types.String("t2"), types.Bool(false),
+		}),
+		types.NewRecord(schema, []types.Value{
+			types.Null(), types.Null(), types.Null(), types.Null(), types.Null(),
+		}),
+	}
+	var buf bytes.Buffer
+	if err := WriteColbin(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadColbin(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 3 {
+		t.Fatalf("rows = %d", len(back))
+	}
+	for i := range rows {
+		if types.Key(back[i]) != types.Key(rows[i]) {
+			t.Fatalf("row %d mismatch:\n%s\nvs\n%s", i, back[i], rows[i])
+		}
+	}
+}
+
+func TestColbinDictionaryCompression(t *testing.T) {
+	// Highly repetitive strings: colbin should be much smaller than CSV.
+	schema := types.NewSchema("j")
+	rows := make([]types.Value, 2000)
+	for i := range rows {
+		rows[i] = types.NewRecord(schema, []types.Value{types.String("the same long journal name")})
+	}
+	var csvBuf, binBuf bytes.Buffer
+	if err := WriteCSV(&csvBuf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteColbin(&binBuf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if binBuf.Len()*5 > csvBuf.Len() {
+		t.Fatalf("colbin %dB should be ≤ 1/5 of CSV %dB on repetitive data", binBuf.Len(), csvBuf.Len())
+	}
+}
+
+func TestColbinEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteColbin(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := ReadColbin(&buf)
+	if err != nil || rows != nil {
+		t.Fatalf("empty colbin: %v, %v", rows, err)
+	}
+}
+
+func TestColbinBadMagic(t *testing.T) {
+	if _, err := ReadColbin(strings.NewReader("NOPE....")); err == nil {
+		t.Fatal("bad magic should error")
+	}
+	if _, err := ReadColbin(strings.NewReader("")); err == nil {
+		t.Fatal("empty stream should error")
+	}
+}
+
+func TestColbinRandomRoundTrip(t *testing.T) {
+	// Property: random flat-with-one-list-column records survive the trip.
+	rng := rand.New(rand.NewSource(111))
+	schema := types.NewSchema("list", "num", "str")
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(50)
+		rows := make([]types.Value, n)
+		for i := range rows {
+			var lv types.Value
+			if rng.Intn(5) == 0 {
+				lv = types.Null()
+			} else {
+				elems := make([]types.Value, rng.Intn(4))
+				for j := range elems {
+					elems[j] = types.String(randStr(rng))
+				}
+				lv = types.ListOf(elems)
+			}
+			var nv types.Value
+			if rng.Intn(5) == 0 {
+				nv = types.Null()
+			} else {
+				nv = types.Int(int64(rng.Intn(2000) - 1000))
+			}
+			rows[i] = types.NewRecord(schema, []types.Value{lv, nv, types.String(randStr(rng))})
+		}
+		var buf bytes.Buffer
+		if err := WriteColbin(&buf, rows); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadColbin(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range rows {
+			if types.Key(back[i]) != types.Key(rows[i]) {
+				t.Fatalf("trial %d row %d: %s vs %s", trial, i, back[i], rows[i])
+			}
+		}
+	}
+}
+
+func randStr(rng *rand.Rand) string {
+	n := rng.Intn(8)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + rng.Intn(26))
+	}
+	return string(b)
+}
+
+func TestColTypeString(t *testing.T) {
+	if ColString.String() != "string" || ColStringList.String() != "list<string>" {
+		t.Fatal("ColType names")
+	}
+}

@@ -1,0 +1,136 @@
+package data
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"cleandb/internal/types"
+)
+
+// ReadJSON parses JSON-lines input (one object per line) into record values.
+// Nested objects become nested records, arrays become lists; numbers parse
+// as ints when integral, floats otherwise. Field order is canonical
+// (sorted), so records with equal keys share a schema.
+func ReadJSON(r io.Reader) ([]types.Value, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	var out []types.Value
+	schemas := map[string]*types.Schema{}
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var v interface{}
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.UseNumber()
+		if err := dec.Decode(&v); err != nil {
+			return nil, fmt.Errorf("data: json line %d: %w", line, err)
+		}
+		out = append(out, fromJSON(v, schemas))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("data: json: %w", err)
+	}
+	return out, nil
+}
+
+func fromJSON(v interface{}, schemas map[string]*types.Schema) types.Value {
+	switch x := v.(type) {
+	case nil:
+		return types.Null()
+	case bool:
+		return types.Bool(x)
+	case string:
+		return types.String(x)
+	case json.Number:
+		if i, err := x.Int64(); err == nil {
+			return types.Int(i)
+		}
+		f, err := x.Float64()
+		if err != nil || math.IsNaN(f) || math.IsInf(f, 0) {
+			return types.String(x.String())
+		}
+		return types.Float(f)
+	case []interface{}:
+		elems := make([]types.Value, len(x))
+		for i, e := range x {
+			elems[i] = fromJSON(e, schemas)
+		}
+		return types.ListOf(elems)
+	case map[string]interface{}:
+		names := make([]string, 0, len(x))
+		for k := range x {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		key := fmt.Sprint(names)
+		schema, ok := schemas[key]
+		if !ok {
+			schema = types.NewSchema(names...)
+			schemas[key] = schema
+		}
+		fields := make([]types.Value, len(names))
+		for i, n := range names {
+			fields[i] = fromJSON(x[n], schemas)
+		}
+		return types.NewRecord(schema, fields)
+	default:
+		return types.String(fmt.Sprint(x))
+	}
+}
+
+// WriteJSON renders values as JSON lines.
+func WriteJSON(w io.Writer, rows []types.Value) error {
+	bw := bufio.NewWriter(w)
+	for _, row := range rows {
+		b, err := json.Marshal(toJSON(row))
+		if err != nil {
+			return fmt.Errorf("data: json: %w", err)
+		}
+		if _, err := bw.Write(b); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func toJSON(v types.Value) interface{} {
+	switch v.Kind() {
+	case types.KindNull:
+		return nil
+	case types.KindBool:
+		return v.Bool()
+	case types.KindInt:
+		return v.Int()
+	case types.KindFloat:
+		return v.Float()
+	case types.KindString:
+		return v.Str()
+	case types.KindList:
+		out := make([]interface{}, len(v.List()))
+		for i, e := range v.List() {
+			out[i] = toJSON(e)
+		}
+		return out
+	case types.KindRecord:
+		rec := v.Record()
+		out := make(map[string]interface{}, len(rec.Fields))
+		for i, n := range rec.Schema.Names {
+			out[n] = toJSON(rec.Fields[i])
+		}
+		return out
+	default:
+		return nil
+	}
+}

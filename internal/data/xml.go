@@ -1,0 +1,208 @@
+package data
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"cleandb/internal/types"
+)
+
+// ReadXML parses a two-level XML document — a root element containing one
+// element per record, DBLP-style — into nested record values:
+//
+//	<dblp>
+//	  <article key="a1">
+//	    <title>...</title><journal>...</journal><year>2004</year>
+//	    <author>X</author><author>Y</author>
+//	  </article>
+//	</dblp>
+//
+// Child elements that repeat become list fields (authors); attributes become
+// fields; numeric text becomes ints/floats.
+func ReadXML(r io.Reader) ([]types.Value, error) {
+	dec := xml.NewDecoder(r)
+	var out []types.Value
+	depth := 0
+	schemas := map[string]*types.Schema{}
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("data: xml: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			depth++
+			if depth == 2 {
+				rec, err := readXMLRecord(dec, t, schemas)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, rec)
+				depth--
+			}
+		case xml.EndElement:
+			depth--
+		}
+	}
+	return out, nil
+}
+
+// readXMLRecord consumes one record element (already started).
+func readXMLRecord(dec *xml.Decoder, start xml.StartElement, schemas map[string]*types.Schema) (types.Value, error) {
+	fields := map[string][]types.Value{}
+	var order []string
+	addField := func(name string, v types.Value) {
+		if _, ok := fields[name]; !ok {
+			order = append(order, name)
+		}
+		fields[name] = append(fields[name], v)
+	}
+	for _, attr := range start.Attr {
+		addField(attr.Name.Local, parseScalar(attr.Value))
+	}
+	var curName string
+	var text strings.Builder
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return types.Null(), fmt.Errorf("data: xml: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			curName = t.Name.Local
+			text.Reset()
+		case xml.CharData:
+			if curName != "" {
+				text.Write(t)
+			}
+		case xml.EndElement:
+			if t.Name.Local == start.Name.Local {
+				return buildXMLRecord(order, fields, schemas), nil
+			}
+			if curName == t.Name.Local && curName != "" {
+				addField(curName, parseScalar(strings.TrimSpace(text.String())))
+				curName = ""
+			}
+		}
+	}
+}
+
+func buildXMLRecord(order []string, fields map[string][]types.Value, schemas map[string]*types.Schema) types.Value {
+	sorted := append([]string(nil), order...)
+	sort.Strings(sorted)
+	key := fmt.Sprint(sorted)
+	schema, ok := schemas[key]
+	if !ok {
+		schema = types.NewSchema(sorted...)
+		schemas[key] = schema
+	}
+	vals := make([]types.Value, len(sorted))
+	for i, n := range sorted {
+		vs := fields[n]
+		if len(vs) == 1 {
+			vals[i] = vs[0]
+		} else {
+			vals[i] = types.ListOf(vs)
+		}
+	}
+	return types.NewRecord(schema, vals)
+}
+
+func parseScalar(s string) types.Value {
+	if s == "" {
+		return types.Null()
+	}
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return types.Int(n)
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return types.Float(f)
+	}
+	return types.String(s)
+}
+
+// WriteXML renders records as a two-level XML document with the given root
+// and record element names. List fields emit one child element per entry.
+func WriteXML(w io.Writer, rows []types.Value, root, recordName string) error {
+	bw := &strings.Builder{}
+	bw.WriteString("<" + root + ">\n")
+	for _, row := range rows {
+		rec := row.Record()
+		if rec == nil {
+			return fmt.Errorf("data: xml: rows must be records")
+		}
+		bw.WriteString("  <" + recordName + ">")
+		for i, n := range rec.Schema.Names {
+			writeXMLField(bw, n, rec.Fields[i])
+		}
+		bw.WriteString("</" + recordName + ">\n")
+	}
+	bw.WriteString("</" + root + ">\n")
+	_, err := io.WriteString(w, bw.String())
+	return err
+}
+
+func writeXMLField(sb *strings.Builder, name string, v types.Value) {
+	switch v.Kind() {
+	case types.KindNull:
+	case types.KindList:
+		for _, e := range v.List() {
+			writeXMLField(sb, name, e)
+		}
+	default:
+		sb.WriteString("<" + name + ">")
+		xml.EscapeText(sb, []byte(v.String()))
+		sb.WriteString("</" + name + ">")
+	}
+}
+
+// Flatten turns records with list fields into multiple flat records — the
+// relational-system practice the paper contrasts against (a publication with
+// three authors becomes three rows). Only the first list field encountered
+// is expanded; remaining list fields are joined into strings.
+func Flatten(rows []types.Value) []types.Value {
+	var out []types.Value
+	schemaCache := map[*types.Schema]*types.Schema{}
+	for _, row := range rows {
+		rec := row.Record()
+		if rec == nil {
+			out = append(out, row)
+			continue
+		}
+		listIdx := -1
+		for i, f := range rec.Fields {
+			if f.Kind() == types.KindList {
+				listIdx = i
+				break
+			}
+		}
+		if listIdx == -1 {
+			out = append(out, row)
+			continue
+		}
+		schema := schemaCache[rec.Schema]
+		if schema == nil {
+			schema = types.NewSchema(rec.Schema.Names...)
+			schemaCache[rec.Schema] = schema
+		}
+		for _, e := range rec.Fields[listIdx].List() {
+			fields := make([]types.Value, len(rec.Fields))
+			copy(fields, rec.Fields)
+			fields[listIdx] = e
+			for j := listIdx + 1; j < len(fields); j++ {
+				if fields[j].Kind() == types.KindList {
+					fields[j] = types.String(cellString(fields[j]))
+				}
+			}
+			out = append(out, types.NewRecord(schema, fields))
+		}
+	}
+	return out
+}

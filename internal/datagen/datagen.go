@@ -1,0 +1,245 @@
+// Package datagen produces the deterministic synthetic datasets the
+// experiment suite uses in place of the paper's TPC-H, DBLP and Microsoft
+// Academic Graph inputs (see DESIGN.md, substitutions). Every generator is
+// seeded, so experiments are reproducible; noise procedures follow the
+// paper's §8 setup:
+//
+//   - TPC-H lineitem with 10% noise on orderkey (or discount) drawn from the
+//     smallest scale factor's domain, so skew grows with dataset size;
+//   - TPC-H customer with Zipf-distributed duplicate counts and randomly
+//     edited name/phone values;
+//   - DBLP-style hierarchical publications with misspelled author names at a
+//     configurable noise rate, plus the clean-name dictionary;
+//   - MAG-style Paper⋈Author⋈Affiliation rows with duplicate publications
+//     (title/DOI variations, missing fields) and heavy value skew.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cleandb/internal/types"
+)
+
+// alphabet used for random edits.
+const alphabet = "abcdefghijklmnopqrstuvwxyz"
+
+// Corrupt applies random character edits (substitute/insert/delete with
+// equal probability) to roughly rate·len(s) positions of s. rate 0.2 matches
+// the paper's "noise by a factor of 20%".
+func Corrupt(s string, rate float64, rng *rand.Rand) string {
+	if s == "" || rate <= 0 {
+		return s
+	}
+	edits := int(float64(len(s))*rate + 0.5)
+	if edits < 1 {
+		edits = 1
+	}
+	out := []byte(s)
+	for e := 0; e < edits; e++ {
+		if len(out) == 0 {
+			out = append(out, alphabet[rng.Intn(len(alphabet))])
+			continue
+		}
+		pos := rng.Intn(len(out))
+		switch rng.Intn(3) {
+		case 0: // substitute
+			out[pos] = alphabet[rng.Intn(len(alphabet))]
+		case 1: // insert
+			out = append(out[:pos], append([]byte{alphabet[rng.Intn(len(alphabet))]}, out[pos:]...)...)
+		default: // delete
+			out = append(out[:pos], out[pos+1:]...)
+		}
+	}
+	if len(out) == 0 {
+		return string(alphabet[rng.Intn(len(alphabet))])
+	}
+	return string(out)
+}
+
+// ---------------------------------------------------------------------------
+// TPC-H lineitem
+// ---------------------------------------------------------------------------
+
+// LineitemSchema is the schema of generated lineitem records.
+var LineitemSchema = types.NewSchema(
+	"orderkey", "linenumber", "suppkey", "quantity", "extendedprice",
+	"discount", "shipdate", "receiptdate",
+)
+
+// LineitemConfig parameterizes GenLineitem.
+type LineitemConfig struct {
+	// Rows is the number of lineitem records.
+	Rows int
+	// BaseRows is the row count of the smallest scale factor; noisy key
+	// values are drawn from its domain so that skew increases with Rows
+	// (paper §8 setup).
+	BaseRows int
+	// NoiseRate is the fraction of rows that receive a noisy orderkey
+	// (default 0.10).
+	NoiseRate float64
+	// NoiseDiscount, when true, perturbs discount instead of orderkey.
+	NoiseDiscount bool
+	// MissingQuantityRate leaves the quantity field null on a fraction of
+	// rows (used by the transformation experiment's fill-missing task).
+	MissingQuantityRate float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// linesPerOrder mirrors TPC-H's up-to-7 lineitems per order.
+const linesPerOrder = 7
+
+// suppliers in the generated domain.
+const suppliers = 1000
+
+// GenLineitem generates lineitem rows. In clean rows the functional
+// dependency (orderkey, linenumber) → suppkey holds by construction; noisy
+// rows re-draw orderkey from the base domain, creating both violations and
+// growing key skew.
+func GenLineitem(cfg LineitemConfig) []types.Value {
+	if cfg.BaseRows <= 0 {
+		cfg.BaseRows = cfg.Rows
+	}
+	if cfg.NoiseRate == 0 {
+		cfg.NoiseRate = 0.10
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	baseOrders := cfg.BaseRows/linesPerOrder + 1
+	out := make([]types.Value, 0, cfg.Rows)
+	for i := 0; i < cfg.Rows; i++ {
+		orderkey := int64(i/linesPerOrder + 1)
+		linenumber := int64(i%linesPerOrder + 1)
+		// suppkey is a deterministic function of (orderkey, linenumber), so
+		// the FD holds on clean data.
+		suppkey := (orderkey*31+linenumber*17)%suppliers + 1
+		price := 900.0 + float64((orderkey*7919+linenumber*104729)%100000)/10.0
+		discount := float64((orderkey+linenumber)%11) / 100.0
+		quantity := types.Value(types.Float(float64((orderkey*13+linenumber)%50 + 1)))
+		y, m, d := dateOf(int(orderkey) + int(linenumber))
+		ship := fmt.Sprintf("%04d-%02d-%02d", y, m, d)
+		y2, m2, d2 := dateOf(int(orderkey) + int(linenumber) + 30)
+		receipt := fmt.Sprintf("%04d-%02d-%02d", y2, m2, d2)
+
+		if rng.Float64() < cfg.NoiseRate {
+			if cfg.NoiseDiscount {
+				discount = float64(rng.Intn(11)) / 100.0
+			} else {
+				// Draw from the base domain: as Rows grows beyond BaseRows,
+				// these keys repeat more often — skew increases with size.
+				orderkey = int64(rng.Intn(baseOrders) + 1)
+			}
+		}
+		if cfg.MissingQuantityRate > 0 && rng.Float64() < cfg.MissingQuantityRate {
+			quantity = types.Null()
+		}
+		out = append(out, types.NewRecord(LineitemSchema, []types.Value{
+			types.Int(orderkey), types.Int(linenumber), types.Int(suppkey),
+			quantity, types.Float(price), types.Float(discount),
+			types.String(ship), types.String(receipt),
+		}))
+	}
+	return out
+}
+
+func dateOf(n int) (y, m, d int) {
+	y = 1992 + (n/372)%7
+	m = (n/31)%12 + 1
+	d = n%28 + 1
+	return
+}
+
+// ---------------------------------------------------------------------------
+// TPC-H customer
+// ---------------------------------------------------------------------------
+
+// CustomerSchema is the schema of generated customer records.
+var CustomerSchema = types.NewSchema("custkey", "name", "address", "nationkey", "phone")
+
+// CustomerConfig parameterizes GenCustomer.
+type CustomerConfig struct {
+	// Rows is the number of base (clean) customers.
+	Rows int
+	// DupRate is the fraction of customers that receive duplicates
+	// (paper: 10%).
+	DupRate float64
+	// MaxDups bounds the Zipf-distributed duplicate count per customer
+	// (paper: 50 or 100).
+	MaxDups int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// CustomerData is the generated dataset plus its ground truth.
+type CustomerData struct {
+	Rows []types.Value
+	// DupPairs lists (original custkey, duplicate custkey) ground truth.
+	DupPairs [][2]int64
+}
+
+var streets = []string{"oak st", "elm ave", "pine rd", "maple dr", "cedar ln", "birch way", "walnut blvd", "spruce ct"}
+
+var firstNames = []string{
+	"james", "mary", "robert", "patricia", "john", "jennifer", "michael", "linda",
+	"david", "elizabeth", "william", "barbara", "richard", "susan", "joseph", "jessica",
+	"thomas", "sarah", "charles", "karen", "christopher", "lisa", "daniel", "nancy",
+	"matthew", "betty", "anthony", "margaret", "mark", "sandra", "donald", "ashley",
+}
+
+var lastNames = []string{
+	"smith", "johnson", "williams", "brown", "jones", "garcia", "miller", "davis",
+	"rodriguez", "martinez", "hernandez", "lopez", "gonzalez", "wilson", "anderson",
+	"thomas", "taylor", "moore", "jackson", "martin", "lee", "perez", "thompson",
+	"white", "harris", "sanchez", "clark", "ramirez", "lewis", "robinson", "walker",
+}
+
+// GenCustomer generates customers plus Zipf-duplicated noisy copies. In the
+// clean base, address → prefix(phone) and address → nationkey both hold
+// (each customer has a unique address and the phone prefix encodes the
+// nation). Duplicates share the address but carry edited name and phone
+// (always) and a changed nationkey (half the time), creating FD violations
+// and similarity-detectable duplicates — the paper's customer setup.
+func GenCustomer(cfg CustomerConfig) CustomerData {
+	if cfg.DupRate == 0 {
+		cfg.DupRate = 0.10
+	}
+	if cfg.MaxDups <= 0 {
+		cfg.MaxDups = 50
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipf := rand.NewZipf(rng, 1.5, 1, uint64(cfg.MaxDups-1))
+	var data CustomerData
+	nextKey := int64(1)
+	for i := 0; i < cfg.Rows; i++ {
+		name := firstNames[rng.Intn(len(firstNames))] + " " + lastNames[rng.Intn(len(lastNames))]
+		address := fmt.Sprintf("%d %s", i+1, streets[i%len(streets)])
+		nation := int64(i % 25)
+		phone := fmt.Sprintf("%02d-%03d-%04d", nation+10, rng.Intn(1000), rng.Intn(10000))
+		orig := nextKey
+		nextKey++
+		data.Rows = append(data.Rows, types.NewRecord(CustomerSchema, []types.Value{
+			types.Int(orig), types.String(name), types.String(address),
+			types.Int(nation), types.String(phone),
+		}))
+		if rng.Float64() >= cfg.DupRate {
+			continue
+		}
+		ndups := int(zipf.Uint64()) + 1
+		for d := 0; d < ndups; d++ {
+			dupKey := nextKey
+			nextKey++
+			dupName := Corrupt(name, 0.15, rng)
+			dupPhone := fmt.Sprintf("%02d-%03d-%04d", rng.Intn(25)+10, rng.Intn(1000), rng.Intn(10000))
+			dupNation := nation
+			if rng.Intn(2) == 0 {
+				dupNation = int64(rng.Intn(25))
+			}
+			data.Rows = append(data.Rows, types.NewRecord(CustomerSchema, []types.Value{
+				types.Int(dupKey), types.String(dupName), types.String(address),
+				types.Int(dupNation), types.String(dupPhone),
+			}))
+			data.DupPairs = append(data.DupPairs, [2]int64{orig, dupKey})
+		}
+	}
+	return data
+}

@@ -1,0 +1,259 @@
+package datagen
+
+import (
+	"math/rand"
+	"testing"
+
+	"cleandb/internal/textsim"
+	"cleandb/internal/types"
+)
+
+func TestCorrupt(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		s := "stella giannakopoulou"
+		c := Corrupt(s, 0.2, rng)
+		if c == "" {
+			t.Fatal("corruption must not produce empty strings")
+		}
+		// ~20% edits on a 21-char string: distance within a loose band.
+		d := textsim.Levenshtein(s, c)
+		if d == 0 || d > 10 {
+			t.Fatalf("edit distance %d out of expected band for %q", d, c)
+		}
+	}
+	if Corrupt("", 0.5, rng) != "" {
+		t.Fatal("empty input passes through")
+	}
+	if Corrupt("abc", 0, rng) != "abc" {
+		t.Fatal("zero rate passes through")
+	}
+}
+
+func TestGenLineitemDeterministic(t *testing.T) {
+	cfg := LineitemConfig{Rows: 500, Seed: 7}
+	a := GenLineitem(cfg)
+	b := GenLineitem(cfg)
+	if len(a) != 500 || len(b) != 500 {
+		t.Fatalf("rows = %d/%d", len(a), len(b))
+	}
+	for i := range a {
+		if types.Key(a[i]) != types.Key(b[i]) {
+			t.Fatalf("generation not deterministic at row %d", i)
+		}
+	}
+}
+
+func TestGenLineitemFDHoldsOnCleanData(t *testing.T) {
+	rows := GenLineitem(LineitemConfig{Rows: 2000, NoiseRate: -1, Seed: 3})
+	// NoiseRate < 0 means never triggers; the FD must hold exactly.
+	seen := map[string]int64{}
+	for _, r := range rows {
+		k := types.Key(types.List(r.Field("orderkey"), r.Field("linenumber")))
+		s := r.Field("suppkey").Int()
+		if prev, ok := seen[k]; ok && prev != s {
+			t.Fatalf("FD violated on clean data for %s", k)
+		}
+		seen[k] = s
+	}
+}
+
+func TestGenLineitemNoiseCreatesViolations(t *testing.T) {
+	rows := GenLineitem(LineitemConfig{Rows: 5000, BaseRows: 1000, NoiseRate: 0.2, Seed: 3})
+	seen := map[string]int64{}
+	violations := 0
+	for _, r := range rows {
+		k := types.Key(types.List(r.Field("orderkey"), r.Field("linenumber")))
+		s := r.Field("suppkey").Int()
+		if prev, ok := seen[k]; ok && prev != s {
+			violations++
+		}
+		seen[k] = s
+	}
+	if violations == 0 {
+		t.Fatal("noise should create FD violations")
+	}
+}
+
+func TestGenLineitemMissingQuantity(t *testing.T) {
+	rows := GenLineitem(LineitemConfig{Rows: 1000, MissingQuantityRate: 0.1, Seed: 5})
+	nulls := 0
+	for _, r := range rows {
+		if r.Field("quantity").IsNull() {
+			nulls++
+		}
+	}
+	if nulls < 50 || nulls > 200 {
+		t.Fatalf("missing quantities = %d, want ≈100", nulls)
+	}
+}
+
+func TestGenLineitemDates(t *testing.T) {
+	rows := GenLineitem(LineitemConfig{Rows: 100, Seed: 5})
+	for _, r := range rows {
+		d := r.Field("receiptdate").Str()
+		if len(d) != 10 || d[4] != '-' || d[7] != '-' {
+			t.Fatalf("bad date %q", d)
+		}
+	}
+}
+
+func TestGenCustomerGroundTruth(t *testing.T) {
+	data := GenCustomer(CustomerConfig{Rows: 500, DupRate: 0.2, MaxDups: 10, Seed: 11})
+	if len(data.DupPairs) == 0 {
+		t.Fatal("expected duplicate pairs")
+	}
+	byKey := map[int64]types.Value{}
+	for _, r := range data.Rows {
+		byKey[r.Field("custkey").Int()] = r
+	}
+	for _, p := range data.DupPairs {
+		orig, dup := byKey[p[0]], byKey[p[1]]
+		if orig.IsNull() || dup.IsNull() {
+			t.Fatalf("ground-truth pair %v missing from rows", p)
+		}
+		if orig.Field("address").Str() != dup.Field("address").Str() {
+			t.Fatal("duplicates must share the address")
+		}
+		if types.Key(orig) == types.Key(dup) {
+			t.Fatal("duplicates must not be identical records")
+		}
+	}
+}
+
+func TestGenCustomerCleanBaseSatisfiesFDs(t *testing.T) {
+	data := GenCustomer(CustomerConfig{Rows: 300, DupRate: -1, Seed: 13})
+	addr := map[string]bool{}
+	for _, r := range data.Rows {
+		a := r.Field("address").Str()
+		if addr[a] {
+			t.Fatal("clean customers must have unique addresses")
+		}
+		addr[a] = true
+		// Phone prefix encodes the nation: address→prefix(phone) holds.
+		wantPrefix := r.Field("nationkey").Int() + 10
+		if got := r.Field("phone").Str()[:2]; got != itoa2(wantPrefix) {
+			t.Fatalf("phone prefix %s does not encode nation %d", got, r.Field("nationkey").Int())
+		}
+	}
+}
+
+func itoa2(n int64) string {
+	return string([]byte{byte('0' + n/10), byte('0' + n%10)})
+}
+
+func TestGenDBLPTruthAndDictionary(t *testing.T) {
+	data := GenDBLP(DBLPConfig{Pubs: 500, AuthorPool: 100, NoiseRate: 0.3, EditRate: 0.2, Seed: 17})
+	if len(data.Dictionary) != 100 {
+		t.Fatalf("dictionary size = %d", len(data.Dictionary))
+	}
+	if len(data.Truth) == 0 {
+		t.Fatal("expected corrupted names in ground truth")
+	}
+	dict := map[string]bool{}
+	for _, d := range data.Dictionary {
+		dict[d.Field("term").Str()] = true
+	}
+	for dirty, clean := range data.Truth {
+		if !dict[clean] {
+			t.Fatalf("truth target %q not in dictionary", clean)
+		}
+		if dict[dirty] {
+			t.Fatalf("dirty name %q collides with a clean name", dirty)
+		}
+	}
+}
+
+func TestGenDBLPNestedShape(t *testing.T) {
+	data := GenDBLP(DBLPConfig{Pubs: 50, AuthorPool: 30, Seed: 19})
+	for _, p := range data.Pubs {
+		if p.Field("authors").Kind() != types.KindList {
+			t.Fatalf("authors must be a list: %s", p)
+		}
+		if n := len(p.Field("authors").List()); n < 1 || n > 4 {
+			t.Fatalf("author count %d out of range", n)
+		}
+		if p.Field("year").Int() < 1990 || p.Field("year").Int() > 2020 {
+			t.Fatalf("year out of range: %s", p)
+		}
+	}
+}
+
+func TestGenDBLPDupKeys(t *testing.T) {
+	data := GenDBLP(DBLPConfig{Pubs: 400, AuthorPool: 50, DupRate: 0.3, Seed: 23})
+	if len(data.DupKeys) == 0 {
+		t.Fatal("expected duplicate publications")
+	}
+	byKey := map[string]types.Value{}
+	for _, p := range data.Pubs {
+		byKey[p.Field("key").Str()] = p
+	}
+	for _, pair := range data.DupKeys {
+		a, b := byKey[pair[0]], byKey[pair[1]]
+		if a.Field("title").Str() != b.Field("title").Str() {
+			t.Fatal("duplicate publications share the title")
+		}
+		if a.Field("journal").Str() != b.Field("journal").Str() {
+			t.Fatal("duplicate publications share the journal")
+		}
+	}
+}
+
+func TestAuthorOccurrences(t *testing.T) {
+	data := GenDBLP(DBLPConfig{Pubs: 20, AuthorPool: 10, Seed: 29})
+	occ := AuthorOccurrences(data.Pubs)
+	var want int
+	for _, p := range data.Pubs {
+		want += len(p.Field("authors").List())
+	}
+	if len(occ) != want {
+		t.Fatalf("occurrences = %d, want %d", len(occ), want)
+	}
+}
+
+func TestGenMAGSkewAndDups(t *testing.T) {
+	data := GenMAG(MAGConfig{Rows: 3000, DupRate: 0.1, Seed: 31})
+	years := map[int64]int{}
+	for _, r := range data.Rows {
+		years[r.Field("year").Int()]++
+	}
+	if years[2014]*4 < len(data.Rows) {
+		t.Fatalf("2014 should carry a large share: %d of %d", years[2014], len(data.Rows))
+	}
+	if len(data.DupPairs) == 0 {
+		t.Fatal("expected MAG duplicates")
+	}
+	// Duplicates concentrate in 2014 (recent crawls).
+	byID := map[int64]types.Value{}
+	for _, r := range data.Rows {
+		byID[r.Field("paperid").Int()] = r
+	}
+	recent := 0
+	for _, p := range data.DupPairs {
+		if byID[p[0]].Field("year").Int() >= 2013 {
+			recent++
+		}
+	}
+	if recent*2 < len(data.DupPairs) {
+		t.Fatalf("duplicates should concentrate in recent years: %d of %d", recent, len(data.DupPairs))
+	}
+}
+
+func TestSynthNameShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for i := 0; i < 200; i++ {
+		n := synthName(rng)
+		if len(n) < 8 || len(n) > 20 {
+			t.Fatalf("name length %d: %q", len(n), n)
+		}
+		spaces := 0
+		for _, c := range n {
+			if c == ' ' {
+				spaces++
+			}
+		}
+		if spaces != 1 {
+			t.Fatalf("name should have one space: %q", n)
+		}
+	}
+}

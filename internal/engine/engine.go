@@ -1,0 +1,308 @@
+// Package engine is CleanDB's scale-out execution substrate — the stand-in
+// for the Spark runtime used by the CleanM paper (VLDB 2017).
+//
+// A Dataset is a partitioned collection of values. Narrow operators (map,
+// filter, flatMap, mapPartitions) run per partition on a bounded pool of
+// worker goroutines. Wide operators model the three shuffle strategies the
+// paper contrasts:
+//
+//   - AggregateByKey — CleanDB's strategy: combine locally per partition,
+//     shuffle only the (key, partial-aggregate) pairs, then merge. Minimal
+//     cross-node traffic; resilient to key skew.
+//   - SortShuffleGroup — Spark SQL's sort-based aggregation: range-partition
+//     every record by key, sort locally, aggregate runs. Heavy keys overload
+//     a single range and create stragglers.
+//   - HashShuffleGroup — BigDansing-style hash shuffle: hash-partition every
+//     record, group at the reducer. Full shuffle volume, skew-sensitive.
+//
+// Every operator records a Stage in the Context's Metrics with per-worker
+// costs; SimTicks (the sum over stages of the maximum worker cost) is a
+// deterministic wall-clock proxy that exposes skew and straggler effects
+// regardless of the host machine, while the goroutine pool also provides real
+// multicore speedups.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"cleandb/internal/types"
+)
+
+// ErrBudgetExceeded is returned by expensive operators (cartesian products,
+// pruning-free theta joins) when the Context's comparison budget is spent.
+// The experiment harness reports such runs as DNF ("did not finish"), which
+// is how the paper reports Spark SQL and BigDansing on rule ψ and MAG.
+var ErrBudgetExceeded = errors.New("engine: comparison budget exceeded")
+
+// Context carries the cluster configuration, the cost-model metrics and the
+// optional work budget for a job.
+type Context struct {
+	// Workers is the simulated cluster width: number of partitions created
+	// by default and the bound on concurrently running partition tasks.
+	Workers int
+
+	// CompBudget, when positive, bounds the number of pairwise comparisons
+	// a single job may perform before ErrBudgetExceeded is reported.
+	CompBudget int64
+
+	metrics Metrics
+}
+
+// NewContext returns a context with the given number of workers.
+func NewContext(workers int) *Context {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Context{Workers: workers}
+}
+
+// Metrics accumulates cost-model counters for a job.
+type Metrics struct {
+	mu     sync.Mutex
+	stages []StageStats
+
+	recordsProcessed atomic.Int64
+	shuffledRecords  atomic.Int64
+	shuffledBytes    atomic.Int64
+	comparisons      atomic.Int64
+}
+
+// StageStats describes one executed stage.
+type StageStats struct {
+	Name            string
+	WorkerCosts     []int64
+	ShuffledRecords int64
+	ShuffledBytes   int64
+}
+
+// MaxCost returns the straggler cost of the stage.
+func (s StageStats) MaxCost() int64 {
+	var m int64
+	for _, c := range s.WorkerCosts {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// TotalCost returns the summed worker cost of the stage.
+func (s StageStats) TotalCost() int64 {
+	var t int64
+	for _, c := range s.WorkerCosts {
+		t += c
+	}
+	return t
+}
+
+// Metrics returns the context's metrics collector.
+func (c *Context) Metrics() *Metrics { return &c.metrics }
+
+// Reset clears all counters and stage logs.
+func (m *Metrics) Reset() {
+	m.mu.Lock()
+	m.stages = nil
+	m.mu.Unlock()
+	m.recordsProcessed.Store(0)
+	m.shuffledRecords.Store(0)
+	m.shuffledBytes.Store(0)
+	m.comparisons.Store(0)
+}
+
+// AddComparisons counts n pairwise (similarity or predicate) comparisons.
+func (m *Metrics) AddComparisons(n int64) { m.comparisons.Add(n) }
+
+// Comparisons returns the pairwise-comparison count.
+func (m *Metrics) Comparisons() int64 { return m.comparisons.Load() }
+
+// RecordsProcessed returns the total records touched by narrow operators.
+func (m *Metrics) RecordsProcessed() int64 { return m.recordsProcessed.Load() }
+
+// ShuffledRecords returns the total records moved across the simulated network.
+func (m *Metrics) ShuffledRecords() int64 { return m.shuffledRecords.Load() }
+
+// ShuffledBytes returns the estimated bytes moved across the simulated network.
+func (m *Metrics) ShuffledBytes() int64 { return m.shuffledBytes.Load() }
+
+// Stages returns a copy of the stage log.
+func (m *Metrics) Stages() []StageStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]StageStats, len(m.stages))
+	copy(out, m.stages)
+	return out
+}
+
+// SimTicks is the deterministic wall-clock proxy: the sum over stages of the
+// maximum per-worker cost (a stage finishes when its straggler finishes),
+// plus a network term proportional to shuffled records.
+func (m *Metrics) SimTicks() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var t int64
+	for _, s := range m.stages {
+		t += s.MaxCost()
+		// Network transfer term: shuffling is spread over workers but
+		// serialization/deserialization costs scale with volume.
+		t += s.ShuffledRecords / 2
+	}
+	return t
+}
+
+// TotalCost returns the summed worker cost over all stages. Together with
+// MaxStageCost it yields the straggler ratio the experiments use for
+// skew-induced DNF detection: a run whose busiest worker exceeds a small
+// multiple of the fair per-worker share models a cluster losing a node to
+// overload.
+func (m *Metrics) TotalCost() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var t int64
+	for _, s := range m.stages {
+		t += s.TotalCost()
+	}
+	return t
+}
+
+// MaxStageCost returns the largest single-worker stage cost observed — the
+// straggler load. The experiment harness uses it to detect runs that a real
+// cluster would lose to an overloaded node (skew-induced DNFs).
+func (m *Metrics) MaxStageCost() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var mx int64
+	for _, s := range m.stages {
+		if c := s.MaxCost(); c > mx {
+			mx = c
+		}
+	}
+	return mx
+}
+
+func (m *Metrics) logStage(s StageStats) {
+	m.mu.Lock()
+	m.stages = append(m.stages, s)
+	m.mu.Unlock()
+	m.shuffledRecords.Add(s.ShuffledRecords)
+	m.shuffledBytes.Add(s.ShuffledBytes)
+}
+
+// budgetLeft reports whether the job may still perform comparisons.
+func (c *Context) budgetLeft() bool {
+	return c.CompBudget <= 0 || c.metrics.comparisons.Load() < c.CompBudget
+}
+
+// runParallel executes f(0..n-1) on at most Workers concurrent goroutines.
+func (c *Context) runParallel(n int, f func(i int)) {
+	if n == 0 {
+		return
+	}
+	width := c.Workers
+	if width > n {
+		width = n
+	}
+	if width <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	wg.Add(width)
+	for w := 0; w < width; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Dataset is a partitioned, immutable collection of values bound to a Context.
+type Dataset struct {
+	ctx   *Context
+	parts [][]types.Value
+}
+
+// Context returns the dataset's execution context.
+func (d *Dataset) Context() *Context { return d.ctx }
+
+// NumPartitions returns the partition count.
+func (d *Dataset) NumPartitions() int { return len(d.parts) }
+
+// Partition returns partition i (shared storage; do not mutate).
+func (d *Dataset) Partition(i int) []types.Value { return d.parts[i] }
+
+// FromValues partitions vs into ctx.Workers chunks, preserving order.
+func FromValues(ctx *Context, vs []types.Value) *Dataset {
+	return FromValuesN(ctx, vs, ctx.Workers)
+}
+
+// FromValuesN partitions vs into n contiguous chunks, preserving order.
+func FromValuesN(ctx *Context, vs []types.Value, n int) *Dataset {
+	if n < 1 {
+		n = 1
+	}
+	parts := make([][]types.Value, n)
+	per := (len(vs) + n - 1) / n
+	if per == 0 {
+		per = 1
+	}
+	for i := 0; i < n; i++ {
+		lo := i * per
+		if lo > len(vs) {
+			lo = len(vs)
+		}
+		hi := lo + per
+		if hi > len(vs) {
+			hi = len(vs)
+		}
+		parts[i] = vs[lo:hi]
+	}
+	return &Dataset{ctx: ctx, parts: parts}
+}
+
+// FromPartitions wraps pre-partitioned data.
+func FromPartitions(ctx *Context, parts [][]types.Value) *Dataset {
+	if len(parts) == 0 {
+		parts = make([][]types.Value, 1)
+	}
+	return &Dataset{ctx: ctx, parts: parts}
+}
+
+// Collect concatenates all partitions in order.
+func (d *Dataset) Collect() []types.Value {
+	var n int
+	for _, p := range d.parts {
+		n += len(p)
+	}
+	out := make([]types.Value, 0, n)
+	for _, p := range d.parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// Count returns the total number of records.
+func (d *Dataset) Count() int64 {
+	var n int64
+	for _, p := range d.parts {
+		n += int64(len(p))
+	}
+	return n
+}
+
+// String summarizes the dataset.
+func (d *Dataset) String() string {
+	return fmt.Sprintf("Dataset(%d records, %d partitions)", d.Count(), len(d.parts))
+}

@@ -1,0 +1,379 @@
+package engine
+
+import (
+	"sort"
+
+	"cleandb/internal/types"
+)
+
+// CombineFunc merges a left and right record into one output record.
+type CombineFunc func(l, r types.Value) types.Value
+
+// PairSchema is the default output schema of joins: {left, right}.
+var PairSchema = types.NewSchema("left", "right")
+
+// PairCombine builds a {left, right} record; the right side may be null for
+// outer joins.
+func PairCombine(l, r types.Value) types.Value {
+	return types.NewRecord(PairSchema, []types.Value{l, r})
+}
+
+// HashJoin performs an equi-join: both sides are hash-partitioned on their
+// key, then each partition builds a table on the right side and probes with
+// the left. Matches the paper's Table 2 mapping of the equi-join operator.
+func (d *Dataset) HashJoin(name string, right *Dataset, lkey, rkey KeyFunc, combine CombineFunc) *Dataset {
+	return d.hashJoin(name, right, lkey, rkey, combine, false)
+}
+
+// LeftOuterHashJoin is HashJoin but emits combine(l, Null) for unmatched left
+// rows — the paper's outer-join operator used to assemble violation reports.
+func (d *Dataset) LeftOuterHashJoin(name string, right *Dataset, lkey, rkey KeyFunc, combine CombineFunc) *Dataset {
+	return d.hashJoin(name, right, lkey, rkey, combine, true)
+}
+
+func (d *Dataset) hashJoin(name string, right *Dataset, lkey, rkey KeyFunc, combine CombineFunc, outer bool) *Dataset {
+	w := d.ctx.Workers
+	lb := make([][]types.Value, w)
+	rb := make([][]types.Value, w)
+	var shuffled, bytes int64
+	route := func(parts [][]types.Value, key KeyFunc, buckets [][]types.Value) {
+		for _, p := range parts {
+			for _, v := range p {
+				b := int(types.Hash(key(v)) % uint64(w))
+				buckets[b] = append(buckets[b], v)
+				shuffled++
+				bytes += int64(types.SizeBytes(v))
+			}
+		}
+	}
+	route(d.parts, lkey, lb)
+	route(right.parts, rkey, rb)
+
+	out := make([][]types.Value, w)
+	costs := make([]int64, w)
+	d.ctx.runParallel(w, func(b int) {
+		table := make(map[string][]types.Value, len(rb[b]))
+		for _, rv := range rb[b] {
+			ks := types.Key(rkey(rv))
+			table[ks] = append(table[ks], rv)
+		}
+		var res []types.Value
+		for _, lv := range lb[b] {
+			ks := types.Key(lkey(lv))
+			matches := table[ks]
+			if len(matches) == 0 {
+				if outer {
+					res = append(res, combine(lv, types.Null()))
+				}
+				continue
+			}
+			for _, rv := range matches {
+				res = append(res, combine(lv, rv))
+			}
+		}
+		out[b] = res
+		costs[b] = int64(len(lb[b]) + len(rb[b]))
+	})
+	d.ctx.metrics.logStage(StageStats{
+		Name: name + ":hashjoin", WorkerCosts: costs,
+		ShuffledRecords: shuffled, ShuffledBytes: bytes,
+	})
+	return &Dataset{ctx: d.ctx, parts: out}
+}
+
+// BroadcastJoin ships the (small) right side to every worker and probes it
+// with the left side in place — the plan CleanDB uses for dictionary lookups
+// in term validation.
+func (d *Dataset) BroadcastJoin(name string, right []types.Value, rkey func(types.Value) types.Value, lkey KeyFunc, combine CombineFunc) *Dataset {
+	table := make(map[string][]types.Value, len(right))
+	for _, rv := range right {
+		ks := types.Key(rkey(rv))
+		table[ks] = append(table[ks], rv)
+	}
+	bcastBytes := int64(0)
+	for _, rv := range right {
+		bcastBytes += int64(types.SizeBytes(rv))
+	}
+	out := make([][]types.Value, len(d.parts))
+	costs := make([]int64, len(d.parts))
+	d.ctx.runParallel(len(d.parts), func(i int) {
+		var res []types.Value
+		for _, lv := range d.parts[i] {
+			for _, rv := range table[types.Key(lkey(lv))] {
+				res = append(res, combine(lv, rv))
+			}
+		}
+		out[i] = res
+		costs[i] = int64(len(d.parts[i]))
+	})
+	d.ctx.metrics.logStage(StageStats{
+		Name: name + ":broadcast", WorkerCosts: costs,
+		ShuffledRecords: int64(len(right)) * int64(d.ctx.Workers),
+		ShuffledBytes:   bcastBytes * int64(d.ctx.Workers),
+	})
+	return &Dataset{ctx: d.ctx, parts: out}
+}
+
+// CartesianFilter computes the full cross product of d and right, keeping
+// pairs that satisfy pred. This is the plan Spark SQL falls back to for theta
+// joins (paper §6); it charges one comparison per candidate pair and aborts
+// with ErrBudgetExceeded when the context budget is spent — the experiments
+// report that as DNF.
+func (d *Dataset) CartesianFilter(name string, right *Dataset, pred func(l, r types.Value) bool, combine CombineFunc) (*Dataset, error) {
+	rall := right.Collect()
+	n := d.Count()
+	m := int64(len(rall))
+	if b := d.ctx.CompBudget; b > 0 && d.ctx.metrics.comparisons.Load()+n*m > b {
+		d.ctx.metrics.AddComparisons(b - d.ctx.metrics.comparisons.Load())
+		return nil, ErrBudgetExceeded
+	}
+	var shuffled int64 = m * int64(d.ctx.Workers) // right side replicated everywhere
+	out := make([][]types.Value, len(d.parts))
+	costs := make([]int64, len(d.parts))
+	d.ctx.runParallel(len(d.parts), func(i int) {
+		var res []types.Value
+		for _, lv := range d.parts[i] {
+			for _, rv := range rall {
+				if pred(lv, rv) {
+					res = append(res, combine(lv, rv))
+				}
+			}
+		}
+		out[i] = res
+		costs[i] = int64(len(d.parts[i])) * m
+	})
+	d.ctx.metrics.AddComparisons(n * m)
+	d.ctx.metrics.logStage(StageStats{
+		Name: name + ":cartesian", WorkerCosts: costs,
+		ShuffledRecords: shuffled,
+	})
+	return &Dataset{ctx: d.ctx, parts: out}, nil
+}
+
+// ThetaJoinStats configures the statistics-aware theta join.
+type ThetaJoinStats struct {
+	// SortKey orders records for histogram construction; bucket min/max
+	// statistics are computed on it. For band predicates (price inequality
+	// joins) this enables bucket-pair pruning.
+	SortKey func(types.Value) float64
+	// Prune, when non-nil, returns true when a bucket pair (given left
+	// bucket [lmin,lmax] and right bucket [rmin,rmax] on SortKey) cannot
+	// contain any satisfying pair and may be skipped.
+	Prune func(lmin, lmax, rmin, rmax float64) bool
+	// Buckets is the histogram resolution per side (default 4×workers).
+	Buckets int
+}
+
+// ThetaJoin implements CleanDB's statistics-aware theta join (paper §6,
+// following Okcan & Riedewald's matrix partitioning): it computes equi-depth
+// histograms on both inputs, prunes impossible bucket pairs using min/max
+// statistics, and assigns the surviving cells of the comparison matrix to
+// workers so that each owns a near-equal share of the candidate comparisons.
+func (d *Dataset) ThetaJoin(name string, right *Dataset, stats ThetaJoinStats, pred func(l, r types.Value) bool, combine CombineFunc) (*Dataset, error) {
+	lall := d.Collect()
+	rall := right.Collect()
+	if stats.SortKey != nil {
+		sortByKeyF(lall, stats.SortKey)
+		sortByKeyF(rall, stats.SortKey)
+	}
+	nb := stats.Buckets
+	if nb <= 0 {
+		nb = 4 * d.ctx.Workers
+	}
+	lb := splitBuckets(lall, nb)
+	rb := splitBuckets(rall, nb)
+
+	// Candidate cells after min/max pruning.
+	type cell struct {
+		li, ri int
+		cost   int64
+	}
+	var cells []cell
+	var candidate int64
+	for li, L := range lb {
+		for ri, R := range rb {
+			if len(L) == 0 || len(R) == 0 {
+				continue
+			}
+			if stats.Prune != nil && stats.SortKey != nil {
+				lmin, lmax := stats.SortKey(L[0]), stats.SortKey(L[len(L)-1])
+				rmin, rmax := stats.SortKey(R[0]), stats.SortKey(R[len(R)-1])
+				if stats.Prune(lmin, lmax, rmin, rmax) {
+					continue
+				}
+			}
+			c := int64(len(L)) * int64(len(R))
+			cells = append(cells, cell{li, ri, c})
+			candidate += c
+		}
+	}
+	if b := d.ctx.CompBudget; b > 0 && d.ctx.metrics.comparisons.Load()+candidate > b {
+		d.ctx.metrics.AddComparisons(b - d.ctx.metrics.comparisons.Load())
+		return nil, ErrBudgetExceeded
+	}
+
+	// Longest-processing-time assignment of cells to workers for balance.
+	sort.Slice(cells, func(i, j int) bool { return cells[i].cost > cells[j].cost })
+	w := d.ctx.Workers
+	assign := make([][]cell, w)
+	loads := make([]int64, w)
+	for _, c := range cells {
+		best := 0
+		for i := 1; i < w; i++ {
+			if loads[i] < loads[best] {
+				best = i
+			}
+		}
+		assign[best] = append(assign[best], c)
+		loads[best] += c.cost
+	}
+
+	out := make([][]types.Value, w)
+	d.ctx.runParallel(w, func(wi int) {
+		var res []types.Value
+		for _, c := range assign[wi] {
+			for _, lv := range lb[c.li] {
+				for _, rv := range rb[c.ri] {
+					if pred(lv, rv) {
+						res = append(res, combine(lv, rv))
+					}
+				}
+			}
+		}
+		out[wi] = res
+	})
+	d.ctx.metrics.AddComparisons(candidate)
+	// Each row is shipped to the workers owning its row/column of the matrix;
+	// with balanced rectangles that is ~sqrt(W) copies (Okcan & Riedewald).
+	repl := int64(intSqrt(w))
+	if repl < 1 {
+		repl = 1
+	}
+	d.ctx.metrics.logStage(StageStats{
+		Name: name + ":thetajoin", WorkerCosts: loads,
+		ShuffledRecords: (int64(len(lall)) + int64(len(rall))) * repl,
+	})
+	return &Dataset{ctx: d.ctx, parts: out}, nil
+}
+
+// MinMaxBlockJoin models BigDansing's inequality-join strategy (paper §8.3):
+// the inputs are split into blocks in arrival order, per-block min/max
+// statistics on the predicate attribute (lattr on the left input, rattr on
+// the right) are computed, and only block pairs whose ranges can satisfy the
+// predicate are compared. When the data is not pre-ordered on the predicate
+// attribute, nearly every pair of ranges overlaps, pruning is ineffective,
+// and the job exceeds its budget — reproducing the paper's observation that
+// BigDansing is non-responsive on rule ψ.
+func (d *Dataset) MinMaxBlockJoin(name string, right *Dataset, lattr, rattr func(types.Value) float64, overlap func(lmin, lmax, rmin, rmax float64) bool, pred func(l, r types.Value) bool, combine CombineFunc) (*Dataset, error) {
+	lall := d.Collect()
+	rall := right.Collect()
+	nb := 4 * d.ctx.Workers
+	lb := splitBuckets(lall, nb)
+	rb := splitBuckets(rall, nb)
+	type cell struct {
+		li, ri int
+		cost   int64
+	}
+	var cells []cell
+	var candidate int64
+	for li, L := range lb {
+		if len(L) == 0 {
+			continue
+		}
+		lmin, lmax := minMaxOf(L, lattr)
+		for ri, R := range rb {
+			if len(R) == 0 {
+				continue
+			}
+			rmin, rmax := minMaxOf(R, rattr)
+			if !overlap(lmin, lmax, rmin, rmax) {
+				continue
+			}
+			c := int64(len(L)) * int64(len(R))
+			cells = append(cells, cell{li, ri, c})
+			candidate += c
+		}
+	}
+	// BigDansing shuffles every surviving block pair across the cluster.
+	if b := d.ctx.CompBudget; b > 0 && d.ctx.metrics.comparisons.Load()+candidate > b {
+		d.ctx.metrics.AddComparisons(b - d.ctx.metrics.comparisons.Load())
+		return nil, ErrBudgetExceeded
+	}
+	w := d.ctx.Workers
+	out := make([][]types.Value, w)
+	loads := make([]int64, w)
+	for i, c := range cells {
+		loads[i%w] += c.cost
+	}
+	d.ctx.runParallel(w, func(wi int) {
+		var res []types.Value
+		for i, c := range cells {
+			if i%w != wi {
+				continue
+			}
+			for _, lv := range lb[c.li] {
+				for _, rv := range rb[c.ri] {
+					if pred(lv, rv) {
+						res = append(res, combine(lv, rv))
+					}
+				}
+			}
+		}
+		out[wi] = res
+	})
+	d.ctx.metrics.AddComparisons(candidate)
+	d.ctx.metrics.logStage(StageStats{
+		Name: name + ":minmaxjoin", WorkerCosts: loads,
+		ShuffledRecords: int64(len(cells)) * 2,
+	})
+	return &Dataset{ctx: d.ctx, parts: out}, nil
+}
+
+func sortByKeyF(vs []types.Value, key func(types.Value) float64) {
+	sort.SliceStable(vs, func(i, j int) bool { return key(vs[i]) < key(vs[j]) })
+}
+
+func splitBuckets(vs []types.Value, n int) [][]types.Value {
+	if n < 1 {
+		n = 1
+	}
+	out := make([][]types.Value, n)
+	per := (len(vs) + n - 1) / n
+	if per == 0 {
+		per = 1
+	}
+	for i := 0; i < n; i++ {
+		lo := i * per
+		if lo > len(vs) {
+			lo = len(vs)
+		}
+		hi := lo + per
+		if hi > len(vs) {
+			hi = len(vs)
+		}
+		out[i] = vs[lo:hi]
+	}
+	return out
+}
+
+func minMaxOf(vs []types.Value, attr func(types.Value) float64) (float64, float64) {
+	mn, mx := attr(vs[0]), attr(vs[0])
+	for _, v := range vs[1:] {
+		f := attr(v)
+		if f < mn {
+			mn = f
+		}
+		if f > mx {
+			mx = f
+		}
+	}
+	return mn, mx
+}
+
+func intSqrt(n int) int {
+	r := 0
+	for (r+1)*(r+1) <= n {
+		r++
+	}
+	return r
+}

@@ -1,0 +1,184 @@
+package engine
+
+import (
+	"sort"
+
+	"cleandb/internal/types"
+)
+
+// Map applies f to every record, producing a new dataset with the same
+// partitioning. This is a narrow (shuffle-free) operator.
+func (d *Dataset) Map(name string, f func(types.Value) types.Value) *Dataset {
+	out := make([][]types.Value, len(d.parts))
+	costs := make([]int64, len(d.parts))
+	d.ctx.runParallel(len(d.parts), func(i int) {
+		in := d.parts[i]
+		res := make([]types.Value, len(in))
+		for j, v := range in {
+			res[j] = f(v)
+		}
+		out[i] = res
+		costs[i] = int64(len(in))
+	})
+	d.finishNarrow(name, costs)
+	return &Dataset{ctx: d.ctx, parts: out}
+}
+
+// Filter keeps the records for which pred returns true.
+func (d *Dataset) Filter(name string, pred func(types.Value) bool) *Dataset {
+	out := make([][]types.Value, len(d.parts))
+	costs := make([]int64, len(d.parts))
+	d.ctx.runParallel(len(d.parts), func(i int) {
+		in := d.parts[i]
+		res := make([]types.Value, 0, len(in)/2)
+		for _, v := range in {
+			if pred(v) {
+				res = append(res, v)
+			}
+		}
+		out[i] = res
+		costs[i] = int64(len(in))
+	})
+	d.finishNarrow(name, costs)
+	return &Dataset{ctx: d.ctx, parts: out}
+}
+
+// FlatMap applies f to every record and concatenates the results. It is how
+// the physical level implements the Unnest operator (paper Table 2).
+func (d *Dataset) FlatMap(name string, f func(types.Value) []types.Value) *Dataset {
+	out := make([][]types.Value, len(d.parts))
+	costs := make([]int64, len(d.parts))
+	d.ctx.runParallel(len(d.parts), func(i int) {
+		in := d.parts[i]
+		var res []types.Value
+		for _, v := range in {
+			res = append(res, f(v)...)
+		}
+		out[i] = res
+		costs[i] = int64(len(in)) + int64(len(res))/4
+	})
+	d.finishNarrow(name, costs)
+	return &Dataset{ctx: d.ctx, parts: out}
+}
+
+// FlatMapW is FlatMap with an explicit per-record cost model: the stage's
+// worker cost is the sum of weight(v) over the partition's records. Pairwise
+// comparison stages (dedup within blocks) use it so that a worker holding a
+// popular block is correctly modeled as the straggler.
+func (d *Dataset) FlatMapW(name string, f func(types.Value) []types.Value, weight func(types.Value) int64) *Dataset {
+	out := make([][]types.Value, len(d.parts))
+	costs := make([]int64, len(d.parts))
+	d.ctx.runParallel(len(d.parts), func(i int) {
+		in := d.parts[i]
+		var res []types.Value
+		var cost int64
+		for _, v := range in {
+			res = append(res, f(v)...)
+			cost += weight(v)
+		}
+		out[i] = res
+		costs[i] = cost
+	})
+	d.finishNarrow(name, costs)
+	return &Dataset{ctx: d.ctx, parts: out}
+}
+
+// MapPartitions applies f to each whole partition. The paper's Nest operator
+// lowers to aggregateByKey followed by mapPartitions (Table 2).
+func (d *Dataset) MapPartitions(name string, f func(int, []types.Value) []types.Value) *Dataset {
+	out := make([][]types.Value, len(d.parts))
+	costs := make([]int64, len(d.parts))
+	d.ctx.runParallel(len(d.parts), func(i int) {
+		out[i] = f(i, d.parts[i])
+		costs[i] = int64(len(d.parts[i]))
+	})
+	d.finishNarrow(name, costs)
+	return &Dataset{ctx: d.ctx, parts: out}
+}
+
+// Union appends other's partitions to d's (no shuffle).
+func (d *Dataset) Union(other *Dataset) *Dataset {
+	parts := make([][]types.Value, 0, len(d.parts)+len(other.parts))
+	parts = append(parts, d.parts...)
+	parts = append(parts, other.parts...)
+	return &Dataset{ctx: d.ctx, parts: parts}
+}
+
+// Repartition redistributes records into n contiguous chunks, modeling an
+// explicit exchange: all records count as shuffled.
+func (d *Dataset) Repartition(n int) *Dataset {
+	all := d.Collect()
+	var bytes int64
+	for _, v := range all {
+		bytes += int64(types.SizeBytes(v))
+	}
+	d.ctx.metrics.logStage(StageStats{
+		Name:            "repartition",
+		WorkerCosts:     partitionCosts(d),
+		ShuffledRecords: int64(len(all)),
+		ShuffledBytes:   bytes,
+	})
+	return FromValuesN(d.ctx, all, n)
+}
+
+// SortBy globally sorts the dataset with the given less function. Used by
+// tests and by the Spark SQL baseline's sort-based operators.
+func (d *Dataset) SortBy(name string, less func(a, b types.Value) bool) *Dataset {
+	all := d.Collect()
+	sort.SliceStable(all, func(i, j int) bool { return less(all[i], all[j]) })
+	n := int64(len(all))
+	cost := n
+	if n > 1 {
+		cost = n * int64(bitLen(n))
+	}
+	d.ctx.metrics.logStage(StageStats{
+		Name:            name,
+		WorkerCosts:     []int64{cost},
+		ShuffledRecords: n,
+	})
+	return FromValuesN(d.ctx, all, d.ctx.Workers)
+}
+
+// Sample returns every k-th record (k>=1), used to build statistics.
+func (d *Dataset) Sample(k int) []types.Value {
+	if k < 1 {
+		k = 1
+	}
+	var out []types.Value
+	i := 0
+	for _, p := range d.parts {
+		for _, v := range p {
+			if i%k == 0 {
+				out = append(out, v)
+			}
+			i++
+		}
+	}
+	return out
+}
+
+func (d *Dataset) finishNarrow(name string, costs []int64) {
+	var total int64
+	for _, c := range costs {
+		total += c
+	}
+	d.ctx.metrics.recordsProcessed.Add(total)
+	d.ctx.metrics.logStage(StageStats{Name: name, WorkerCosts: costs})
+}
+
+func partitionCosts(d *Dataset) []int64 {
+	costs := make([]int64, len(d.parts))
+	for i, p := range d.parts {
+		costs[i] = int64(len(p))
+	}
+	return costs
+}
+
+func bitLen(n int64) int {
+	b := 0
+	for n > 0 {
+		n >>= 1
+		b++
+	}
+	return b
+}

@@ -1,0 +1,31 @@
+package experiments
+
+// All runs the full experiment suite in paper order and returns the tables.
+func All(s Scale) []*Table {
+	var out []*Table
+	out = append(out, Table3(s))
+	out = append(out, Figure3(s))
+	out = append(out, Figure4(s))
+	out = append(out, Figure5(s))
+	out = append(out, Table4(s))
+	csv, colbin := Figure6(s)
+	out = append(out, csv, colbin)
+	out = append(out, Table5(s))
+	f7a, f7b := Figure7(s)
+	out = append(out, f7a, f7b)
+	out = append(out, Figure8a(s))
+	out = append(out, Figure8b(s))
+	return out
+}
+
+// Ablations runs the ablation suite.
+func Ablations(s Scale) []*Table {
+	return []*Table{
+		AblationSkewShuffle(s),
+		AblationThetaJoin(s),
+		AblationNestCoalescing(s),
+		AblationNormalization(s),
+		AblationBlocking(s),
+		AblationNormalizationRules(),
+	}
+}

@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"cleandb/internal/cleaning"
+	"cleandb/internal/data"
+	"cleandb/internal/datagen"
+	"cleandb/internal/engine"
+	"cleandb/internal/physical"
+	"cleandb/internal/textsim"
+	"cleandb/internal/types"
+)
+
+// dblpBlockAttr blocks publications on (journal, title) — the paper's DBLP
+// duplicate criterion: same journal and title, attributes > 80% similar.
+func dblpBlockAttr(v types.Value) string {
+	return v.Field("journal").Str() + "\x00" + v.Field("title").Str()
+}
+
+// dblpSimAttr compares the whole attribute set of a publication.
+func dblpSimAttr(v types.Value) string {
+	authors := v.Field("authors")
+	var names []string
+	if authors.Kind() == types.KindList {
+		for _, a := range authors.List() {
+			names = append(names, a.Str())
+		}
+	} else {
+		names = append(names, authors.Str())
+	}
+	return v.Field("title").Str() + " " + strings.Join(names, " ")
+}
+
+// Figure7 reproduces Figures 7a and 7b: dedup over DBLP serialized in four
+// representations (nested JSON, nested colbin, flat CSV, flat colbin) at two
+// sizes, for CleanDB and Spark SQL.
+func Figure7(s Scale) (small, large *Table) {
+	make1 := func(id string, pubs int) *Table {
+		t := &Table{
+			ID:      id,
+			Title:   fmt.Sprintf("Duplicate elimination: DBLP (%d pubs + 10%% dups)", pubs),
+			Columns: []string{"System", "JSON", "colbin", "CSV_flat", "colbin_flat"},
+		}
+		corpus := datagen.GenDBLP(datagen.DBLPConfig{
+			Pubs: pubs, AuthorPool: s.AuthorPool, NoiseRate: 0.05, EditRate: 0.15,
+			DupRate: 0.10, Seed: s.Seed,
+		})
+		flat := data.Flatten(corpus.Pubs)
+
+		var jsonBuf, binBuf, csvBuf, binFlatBuf bytes.Buffer
+		must(data.WriteJSON(&jsonBuf, corpus.Pubs))
+		must(data.WriteColbin(&binBuf, corpus.Pubs))
+		must(data.WriteCSV(&csvBuf, flat))
+		must(data.WriteColbin(&binFlatBuf, flat))
+
+		type format struct {
+			name  string
+			parse func() ([]types.Value, error)
+		}
+		formats := []format{
+			{"JSON", func() ([]types.Value, error) { return data.ReadJSON(bytes.NewReader(jsonBuf.Bytes())) }},
+			{"colbin", func() ([]types.Value, error) { return data.ReadColbin(bytes.NewReader(binBuf.Bytes())) }},
+			{"CSV_flat", func() ([]types.Value, error) { return data.ReadCSV(bytes.NewReader(csvBuf.Bytes())) }},
+			{"colbin_flat", func() ([]types.Value, error) { return data.ReadColbin(bytes.NewReader(binFlatBuf.Bytes())) }},
+		}
+		run := func(f format, strategy physical.GroupStrategy) string {
+			var best time.Duration
+			var tk int64
+			for rep := 0; rep < 3; rep++ {
+				runtime.GC()
+				start := time.Now()
+				rows, err := f.parse()
+				if err != nil {
+					panic(err)
+				}
+				ctx := engine.NewContext(s.Workers)
+				ds := engine.FromValues(ctx, rows)
+				cleaning.Dedup(ds, cleaning.DedupConfig{
+					BlockAttr: dblpBlockAttr,
+					SimAttr:   dblpSimAttr,
+					Metric:    textsim.MetricLevenshtein,
+					Theta:     0.8,
+					Strategy:  strategy,
+				}).Count()
+				wall := time.Since(start)
+				if best == 0 || wall < best {
+					best = wall
+				}
+				tk = ctx.Metrics().SimTicks()
+			}
+			return fmt.Sprintf("%s/%s", ms(best), ticks(tk))
+		}
+		cleanCells := []string{"CleanDB"}
+		sparkCells := []string{"SparkSQL"}
+		for _, f := range formats {
+			cleanCells = append(cleanCells, run(f, physical.GroupAggregate))
+			sparkCells = append(sparkCells, run(f, physical.GroupSort))
+		}
+		t.AddRow(cleanCells...)
+		t.AddRow(sparkCells...)
+		t.Note("cells are wall/ticks (parse + dedup); flat formats carry one row per author")
+		t.Note("paper shape: nested formats beat flattened ones; CleanDB scales better than Spark SQL")
+		return t
+	}
+	return make1("Figure 7a", s.DBLPDedupPubs), make1("Figure 7b", s.DBLPDedupPubs*2)
+}
+
+// Figure8a reproduces Figure 8a: customer dedup with Zipf duplicate counts
+// in [1,50] and [1,100], for CleanDB, BigDansing and Spark SQL.
+func Figure8a(s Scale) *Table {
+	t := &Table{
+		ID:      "Figure 8a",
+		Title:   "Duplicate elimination: Customer (Zipf duplicates)",
+		Columns: []string{"System", "customers 50", "customers 100"},
+	}
+	cells := map[string][]string{"CleanDB": {"CleanDB"}, "BigDansing": {"BigDansing"}, "SparkSQL": {"SparkSQL"}}
+	// Twice the Figure-5 customer count: at this size the systematic
+	// shuffle-volume difference dominates group-placement noise.
+	for _, maxDups := range []int{50, 100} {
+		cust := datagen.GenCustomer(datagen.CustomerConfig{
+			Rows: s.Customers * 2, DupRate: 0.10, MaxDups: maxDups, Seed: s.Seed,
+		})
+		run := func(strategy physical.GroupStrategy) string {
+			ctx := engine.NewContext(s.Workers)
+			ds := engine.FromValues(ctx, cust.Rows)
+			start := time.Now()
+			cleaning.Dedup(ds, cleaning.DedupConfig{
+				BlockAttr: func(v types.Value) string { return v.Field("address").Str() },
+				SimAttr: func(v types.Value) string {
+					return v.Field("name").Str() + " " + v.Field("phone").Str()
+				},
+				Metric:   textsim.MetricLevenshtein,
+				Theta:    0.5,
+				Strategy: strategy,
+			}).Count()
+			return fmt.Sprintf("%s/%s", ms(time.Since(start)), ticks(ctx.Metrics().SimTicks()))
+		}
+		cells["CleanDB"] = append(cells["CleanDB"], run(physical.GroupAggregate))
+		cells["BigDansing"] = append(cells["BigDansing"], run(physical.GroupHash))
+		cells["SparkSQL"] = append(cells["SparkSQL"], run(physical.GroupSort))
+	}
+	t.AddRow(cells["CleanDB"]...)
+	t.AddRow(cells["BigDansing"]...)
+	t.AddRow(cells["SparkSQL"]...)
+	t.Note("%d base customers; 10%% duplicated with Zipf-distributed counts", s.Customers*2)
+	t.Note("paper shape: CleanDB scales best (local grouping then merge); baselines shuffle the whole table")
+	return t
+}
+
+// Figure8b reproduces Figure 8b: dedup over the MAG dataset — a 2014 subset
+// and the full set; Spark SQL exceeds every budget on the full set.
+func Figure8b(s Scale) *Table {
+	t := &Table{
+		ID:      "Figure 8b",
+		Title:   "Duplicate elimination: MAG",
+		Columns: []string{"System", "MAG2014", "MAGtotal"},
+	}
+	mag := datagen.GenMAG(datagen.MAGConfig{Rows: s.MAGRows, DupRate: 0.10, Seed: s.Seed})
+	subset := make([]types.Value, 0, len(mag.Rows)/2)
+	for _, r := range mag.Rows {
+		if r.Field("year").Int() == 2014 {
+			subset = append(subset, r)
+		}
+	}
+	cfg := func(strategy physical.GroupStrategy) cleaning.DedupConfig {
+		return cleaning.DedupConfig{
+			BlockAttr: func(v types.Value) string {
+				return fmt.Sprintf("%04d\x00%08d", v.Field("year").Int(), v.Field("authorid").Int())
+			},
+			SimAttr: func(v types.Value) string {
+				return v.Field("title").Str() + " " + v.Field("doi").Str()
+			},
+			Metric:   textsim.MetricLevenshtein,
+			Theta:    0.8,
+			Strategy: strategy,
+		}
+	}
+	// Straggler rule: a run is DNF when, in the pairwise-comparison stage,
+	// the busiest worker carries more than stragglerSlack× the fair
+	// per-worker share — modeling a cluster node lost to skew-induced
+	// overload, the failure mode the paper reports for Spark SQL on the
+	// full MAG (>10h). Sort-range partitioning clusters the heavy
+	// (year, author) blocks on few workers; hash-distributed groups spread
+	// them.
+	const stragglerSlack = 2.0
+	run := func(rows []types.Value, strategy physical.GroupStrategy) string {
+		ctx := engine.NewContext(s.Workers)
+		ctx.CompBudget = s.CompBudget
+		ds := engine.FromValues(ctx, rows)
+		start := time.Now()
+		cleaning.Dedup(ds, cfg(strategy)).Count()
+		wall := time.Since(start)
+		m := ctx.Metrics()
+		maxC, totalC := stageLoad(m, "dedup:compare")
+		if totalC > 0 && float64(maxC) > stragglerSlack*float64(totalC)/float64(s.Workers) {
+			return DNF
+		}
+		return fmt.Sprintf("%s/%s", ms(wall), ticks(m.SimTicks()))
+	}
+	t.AddRow("CleanDB", run(subset, physical.GroupAggregate), run(mag.Rows, physical.GroupAggregate))
+	t.AddRow("SparkSQL", run(subset, physical.GroupSort), run(mag.Rows, physical.GroupSort))
+	t.Note("%d MAG rows (Zipf-skewed authors/years); DNF when straggler load > %.1fx fair share in the compare stage", s.MAGRows, stragglerSlack)
+	t.Note("paper shape: Spark SQL exceeds every budget on the full, highly-skewed dataset (>10h)")
+	return t
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+// stageLoad returns the straggler and total worker cost of the named stage.
+func stageLoad(m *engine.Metrics, name string) (max, total int64) {
+	for _, st := range m.Stages() {
+		if st.Name != name {
+			continue
+		}
+		if c := st.MaxCost(); c > max {
+			max = c
+		}
+		total += st.TotalCost()
+	}
+	return max, total
+}

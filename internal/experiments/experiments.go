@@ -1,0 +1,158 @@
+// Package experiments regenerates every table and figure of the CleanM
+// paper's evaluation (§8) at laptop scale. Each experiment returns Tables —
+// plain-text tables shaped like the paper's — and is exposed both through
+// cmd/experiments and the root bench suite.
+//
+// Absolute numbers differ from the paper (the substrate is the simulated
+// engine of internal/engine, not a 10-node Spark cluster); the reproduction
+// target is the paper's *shapes*: which system wins, by roughly what factor,
+// where crossovers fall, and which runs do not finish. Runs are reported DNF
+// when they exceed the experiment's comparison budget, mirroring the paper's
+// non-terminating Spark SQL / BigDansing entries.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Table is a paper-style result table.
+type Table struct {
+	ID      string // e.g. "Table 3", "Figure 6a"
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Note appends a footnote.
+func (t *Table) Note(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[min(i, len(widths)-1)], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Columns)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "  note: %s\n", n)
+	}
+	return sb.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Scale configures experiment sizes. The Default scale runs the full suite
+// in tens of seconds; the Bench scale keeps individual benchmarks fast.
+type Scale struct {
+	// RowsPerSF scales the TPC-H sweeps (paper SF 15..70).
+	RowsPerSF int
+	// Customers is the base customer count for Figure 5 / 8a.
+	Customers int
+	// DBLPPubs is the publication count for the term-validation suite.
+	DBLPPubs int
+	// DBLPDedupPubs sizes the Figure 7 corpora (two sizes: 1× and 2×).
+	DBLPDedupPubs int
+	// MAGRows sizes the Figure 8b dataset.
+	MAGRows int
+	// AuthorPool is the dictionary size.
+	AuthorPool int
+	// Workers is the simulated cluster width.
+	Workers int
+	// CompBudget is the per-run comparison budget (DNF detection).
+	CompBudget int64
+	// Seed makes all generation deterministic.
+	Seed int64
+}
+
+// DefaultScale is used by cmd/experiments.
+func DefaultScale() Scale {
+	return Scale{
+		RowsPerSF:     600,
+		Customers:     3000,
+		DBLPPubs:      4000,
+		DBLPDedupPubs: 3000,
+		MAGRows:       8000,
+		AuthorPool:    1200,
+		Workers:       8,
+		CompBudget:    30_000_000,
+		Seed:          42,
+	}
+}
+
+// BenchScale keeps individual go-test benchmarks around tens of
+// milliseconds.
+func BenchScale() Scale {
+	s := DefaultScale()
+	s.RowsPerSF = 120
+	s.Customers = 600
+	s.DBLPPubs = 800
+	s.DBLPDedupPubs = 600
+	s.MAGRows = 1500
+	s.AuthorPool = 400
+	s.CompBudget = 2_000_000
+	return s
+}
+
+// ms formats a duration in milliseconds with one decimal.
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000.0)
+}
+
+// ticks formats simulated ticks with thousands separators elided for
+// brevity.
+func ticks(n int64) string {
+	switch {
+	case n >= 10_000_000:
+		return fmt.Sprintf("%.1fMt", float64(n)/1e6)
+	case n >= 10_000:
+		return fmt.Sprintf("%.1fkt", float64(n)/1e3)
+	default:
+		return fmt.Sprintf("%dt", n)
+	}
+}
+
+// pct formats a ratio as a percentage.
+func pct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }
+
+// DNF is the cell text for runs that exceeded their budget.
+const DNF = "DNF"

@@ -1,0 +1,325 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tinyScale keeps the shape tests fast while staying above the sizes where
+// the cost-model separations are stable.
+func tinyScale() Scale {
+	s := BenchScale()
+	return s
+}
+
+// parseTicks reverses the ticks() formatting for shape assertions.
+func parseTicks(t *testing.T, cell string) float64 {
+	t.Helper()
+	if i := strings.IndexByte(cell, '/'); i >= 0 {
+		cell = cell[i+1:]
+	}
+	mult := 1.0
+	switch {
+	case strings.HasSuffix(cell, "Mt"):
+		mult = 1e6
+		cell = strings.TrimSuffix(cell, "Mt")
+	case strings.HasSuffix(cell, "kt"):
+		mult = 1e3
+		cell = strings.TrimSuffix(cell, "kt")
+	default:
+		cell = strings.TrimSuffix(cell, "t")
+	}
+	f, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		t.Fatalf("cannot parse ticks cell %q", cell)
+	}
+	return f * mult
+}
+
+func rowByName(t *testing.T, tab *Table, name string) []string {
+	t.Helper()
+	for _, r := range tab.Rows {
+		if r[0] == name {
+			return r
+		}
+	}
+	t.Fatalf("%s: no row %q in\n%s", tab.ID, name, tab)
+	return nil
+}
+
+func pctVal(t *testing.T, cell string) float64 {
+	t.Helper()
+	f, err := strconv.ParseFloat(strings.TrimSuffix(cell, "%"), 64)
+	if err != nil {
+		t.Fatalf("cannot parse pct %q", cell)
+	}
+	return f
+}
+
+func TestTable3Shape(t *testing.T) {
+	tab := Table3(tinyScale())
+	if len(tab.Rows) != 6 {
+		t.Fatalf("want 6 configurations, got %d", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		p, rec := pctVal(t, r[2]), pctVal(t, r[3])
+		if p < 90 {
+			t.Errorf("%s precision %.1f%% below 90%% (paper: ≈100%%)", r[0], p)
+		}
+		if rec < 80 {
+			t.Errorf("%s recall %.1f%% below 80%% (paper: ≥94%%; bench scale is noisier)", r[0], rec)
+		}
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	tab := Figure3(tinyScale())
+	total := map[string]float64{}
+	for _, r := range tab.Rows {
+		total[r[0]] = parseTicks(t, r[3])
+	}
+	// Paper shape: token filtering beats k-means except q=2.
+	for _, tf := range []string{"tf q=3", "tf q=4"} {
+		for _, km := range []string{"kmeans k=5", "kmeans k=10", "kmeans k=20"} {
+			if total[tf] >= total[km] {
+				t.Errorf("%s (%.0f) should be faster than %s (%.0f)", tf, total[tf], km, total[km])
+			}
+		}
+	}
+	if total["tf q=2"] <= total["tf q=3"] {
+		t.Errorf("q=2 (%.0f) should be slower than q=3 (%.0f)", total["tf q=2"], total["tf q=3"])
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	tab := Figure4(tinyScale())
+	for _, r := range tab.Rows {
+		lo, hi := pctVal(t, r[3]), pctVal(t, r[1])
+		if lo > hi+1 { // accuracy at 40% noise should not exceed accuracy at 20%
+			t.Errorf("%s: accuracy rose with noise (%.1f → %.1f)", r[0], hi, lo)
+		}
+		if lo < 60 {
+			t.Errorf("%s: accuracy collapsed at 40%% noise: %.1f%%", r[0], lo)
+		}
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	tab := Figure5(tinyScale())
+	clean := rowByName(t, tab, "CleanDB")
+	spark := rowByName(t, tab, "SparkSQL")
+	bd := rowByName(t, tab, "BigDansing")
+
+	cleanSep, cleanComb := parseTicks(t, clean[4]), parseTicks(t, clean[5])
+	if cleanComb >= cleanSep {
+		t.Errorf("CleanDB combined (%.0f) should beat separate sum (%.0f)", cleanComb, cleanSep)
+	}
+	sparkSep, sparkComb := parseTicks(t, spark[4]), parseTicks(t, spark[5])
+	if sparkComb <= sparkSep {
+		t.Errorf("SparkSQL combined (%.0f) should exceed separate sum (%.0f)", sparkComb, sparkSep)
+	}
+	if bd[1] != "n/a" {
+		t.Errorf("BigDansing FD1 should be n/a (prefix unsupported), got %s", bd[1])
+	}
+	// CleanDB wins each standalone op against SparkSQL.
+	for col := 1; col <= 3; col++ {
+		if parseTicks(t, clean[col]) >= parseTicks(t, spark[col]) {
+			t.Errorf("CleanDB col %d (%s) should beat SparkSQL (%s)", col, clean[col], spark[col])
+		}
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	tab := Table4(tinyScale())
+	get := func(name string) float64 {
+		r := rowByName(t, tab, name)
+		f, err := strconv.ParseFloat(strings.TrimSuffix(r[1], "x"), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	two := get("Split date & Fill values (two steps)")
+	one := get("Split date & Fill values (one step)")
+	if one >= two {
+		t.Errorf("fused pass (%.2fx) must beat two passes (%.2fx)", one, two)
+	}
+	if two < 1.3 {
+		t.Errorf("two passes should cost noticeably more than the plain query: %.2fx", two)
+	}
+}
+
+func TestFigure6Shape(t *testing.T) {
+	csv, colbin := Figure6(tinyScale())
+	for _, r := range csv.Rows {
+		bd, ss, cdb := parseTicks(t, r[2]), parseTicks(t, r[3]), parseTicks(t, r[4])
+		if cdb >= ss {
+			t.Errorf("SF %s: CleanDB (%.0f) should beat SparkSQL (%.0f)", r[0], cdb, ss)
+		}
+		if ss >= bd {
+			t.Errorf("SF %s: SparkSQL (%.0f) should beat BigDansing (%.0f)", r[0], ss, bd)
+		}
+	}
+	for _, r := range colbin.Rows {
+		ss, cdb := parseTicks(t, r[2]), parseTicks(t, r[3])
+		if cdb >= ss {
+			t.Errorf("colbin SF %s: CleanDB (%.0f) should beat SparkSQL (%.0f)", r[0], cdb, ss)
+		}
+	}
+	if len(colbin.Columns) != 4 {
+		t.Error("BigDansing must be absent from the colbin table (CSV only)")
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	tab := Table5(tinyScale())
+	for _, r := range tab.Rows {
+		if r[2] == DNF {
+			t.Errorf("SF %s: CleanDB must terminate", r[0])
+		}
+		if r[3] != DNF {
+			t.Errorf("SF %s: SparkSQL must be DNF, got %s", r[0], r[3])
+		}
+		if r[4] != DNF {
+			t.Errorf("SF %s: BigDansing must be DNF, got %s", r[0], r[4])
+		}
+	}
+}
+
+func TestFigure7Shape(t *testing.T) {
+	small, large := Figure7(tinyScale())
+	for _, tab := range []*Table{small, large} {
+		for _, r := range tab.Rows {
+			nested := parseTicks(t, r[1]) // JSON
+			flat := parseTicks(t, r[3])   // CSV_flat
+			if nested >= flat {
+				t.Errorf("%s %s: nested (%.0f) should beat flattened (%.0f)", tab.ID, r[0], nested, flat)
+			}
+		}
+		clean := rowByName(t, tab, "CleanDB")
+		spark := rowByName(t, tab, "SparkSQL")
+		for col := 1; col <= 4; col++ {
+			if parseTicks(t, clean[col]) >= parseTicks(t, spark[col]) {
+				t.Errorf("%s col %d: CleanDB (%s) should beat SparkSQL (%s)", tab.ID, col, clean[col], spark[col])
+			}
+		}
+	}
+}
+
+func TestFigure8aShape(t *testing.T) {
+	tab := Figure8a(tinyScale())
+	clean := rowByName(t, tab, "CleanDB")
+	for _, other := range []string{"BigDansing", "SparkSQL"} {
+		o := rowByName(t, tab, other)
+		for col := 1; col <= 2; col++ {
+			if parseTicks(t, clean[col]) >= parseTicks(t, o[col]) {
+				t.Errorf("col %d: CleanDB (%s) should beat %s (%s)", col, clean[col], other, o[col])
+			}
+		}
+	}
+}
+
+func TestFigure8bShape(t *testing.T) {
+	tab := Figure8b(tinyScale())
+	clean := rowByName(t, tab, "CleanDB")
+	spark := rowByName(t, tab, "SparkSQL")
+	if clean[1] == DNF || clean[2] == DNF {
+		t.Errorf("CleanDB must finish both MAG subsets: %v", clean)
+	}
+	if spark[1] == DNF {
+		t.Errorf("SparkSQL must finish the 2014 subset, got DNF")
+	}
+	if spark[2] != DNF {
+		t.Errorf("SparkSQL must be DNF on the full MAG, got %s", spark[2])
+	}
+}
+
+func TestAblationShapes(t *testing.T) {
+	s := tinyScale()
+
+	a1 := AblationSkewShuffle(s)
+	agg := parseTicks(t, rowByName(t, a1, "aggregateByKey (CleanDB)")[1])
+	srt := parseTicks(t, rowByName(t, a1, "sort shuffle (SparkSQL)")[1])
+	hsh := parseTicks(t, rowByName(t, a1, "hash shuffle (BigDansing)")[1])
+	if !(agg < srt && srt < hsh) {
+		t.Errorf("A1 ordering wrong: agg=%.0f sort=%.0f hash=%.0f", agg, srt, hsh)
+	}
+
+	a2 := AblationThetaJoin(s)
+	if rowByName(t, a2, "M-Bucket + filter pushdown (CleanDB)")[1] != "ok" {
+		t.Error("A2: pushed-down M-Bucket must finish")
+	}
+	if rowByName(t, a2, "cartesian + filter (SparkSQL)")[1] != DNF {
+		t.Error("A2: cartesian must be DNF")
+	}
+	if rowByName(t, a2, "min/max blocks (BigDansing)")[1] != DNF {
+		t.Error("A2: min/max must be DNF")
+	}
+
+	a3 := AblationNestCoalescing(s)
+	uni := parseTicks(t, a3.Rows[0][1])
+	sep := parseTicks(t, a3.Rows[1][1])
+	if uni >= sep {
+		t.Errorf("A3: unified (%.0f) should beat standalone (%.0f)", uni, sep)
+	}
+
+	a4 := AblationNormalization(s)
+	pushed := parseTicks(t, a4.Rows[0][1])
+	naive := parseTicks(t, a4.Rows[1][1])
+	if pushed >= naive {
+		t.Errorf("A4: pushdown (%.0f) should beat naive (%.0f)", pushed, naive)
+	}
+
+	a5 := AblationBlocking(s)
+	var nonePairs, exactPairs string
+	for _, r := range a5.Rows {
+		switch r[0] {
+		case "none (single block)":
+			nonePairs = r[2]
+		case "exact (journal,title)":
+			exactPairs = r[2]
+		}
+	}
+	if nonePairs != exactPairs {
+		t.Errorf("A5: all blockings must find the same pairs: none=%s exact=%s", nonePairs, exactPairs)
+	}
+
+	a6 := AblationNormalizationRules()
+	fired := 0
+	for _, r := range a6.Rows {
+		if r[1] != "0" {
+			fired++
+		}
+	}
+	if fired < 4 {
+		t.Errorf("A6: expected ≥4 rules to fire, got %d:\n%s", fired, a6)
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tab := &Table{ID: "X", Title: "T", Columns: []string{"a", "bb"}}
+	tab.AddRow("1", "2")
+	tab.Note("note %d", 1)
+	out := tab.String()
+	for _, want := range []string{"X — T", "a", "bb", "note: note 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAllRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite in short mode")
+	}
+	tables := All(tinyScale())
+	if len(tables) != 12 {
+		t.Fatalf("All should produce 12 tables, got %d", len(tables))
+	}
+	for _, tab := range tables {
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s has no rows", tab.ID)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package lang
+
+import (
+	"cleandb/internal/monoid"
+)
+
+// Query is the parsed form of a CleanM statement. Scalar expressions reuse
+// the monoid package's expression language, so de-sugaring is structural.
+type Query struct {
+	Distinct bool
+	// Select lists the projected expressions; empty with Star=true means *.
+	Select []SelectItem
+	Star   bool
+	From   []TableRef
+	Where  monoid.Expr
+	// GroupBy carries grouping expressions; Having filters groups.
+	GroupBy []monoid.Expr
+	Having  monoid.Expr
+	// Cleaning holds the FD / DEDUP / CLUSTER BY operators, in syntax order.
+	Cleaning []CleaningOp
+}
+
+// SelectItem is one projection with an optional alias.
+type SelectItem struct {
+	Expr  monoid.Expr
+	Alias string
+}
+
+// TableRef names a catalog source with an alias.
+type TableRef struct {
+	Source string
+	Alias  string
+}
+
+// CleaningKind discriminates cleaning operators.
+type CleaningKind int
+
+// Cleaning operator kinds.
+const (
+	// CleanFD is a functional-dependency check: FD(lhs, rhs).
+	CleanFD CleaningKind = iota
+	// CleanDedup is duplicate elimination: DEDUP(op[,metric,theta][,attrs]).
+	CleanDedup
+	// CleanClusterBy is term validation: CLUSTER BY(op[,metric,theta],term).
+	CleanClusterBy
+)
+
+// String names the kind as it appears in queries.
+func (k CleaningKind) String() string {
+	switch k {
+	case CleanFD:
+		return "FD"
+	case CleanDedup:
+		return "DEDUP"
+	case CleanClusterBy:
+		return "CLUSTER BY"
+	default:
+		return "?"
+	}
+}
+
+// BlockerSpec describes the filtering/blocking technique a DEDUP or CLUSTER
+// BY operator selected. The pipeline resolves it against the catalog (e.g.
+// fitting k-means centers from the dictionary) and registers a builtin.
+type BlockerSpec struct {
+	// Op is the technique name: "token_filtering", "kmeans", "length".
+	Op string
+	// Param is the technique parameter (q for token filtering, k for
+	// k-means, bucket width for length); 0 means default.
+	Param int
+}
+
+// CleaningOp is one parsed cleaning operator.
+type CleaningOp struct {
+	Kind CleaningKind
+	// LHS/RHS hold the functional dependency sides (Kind == CleanFD).
+	LHS, RHS []monoid.Expr
+	// Blocker is the filtering technique (DEDUP / CLUSTER BY).
+	Blocker BlockerSpec
+	// Metric is the similarity metric name; empty selects Levenshtein.
+	Metric string
+	// Theta is the similarity threshold; 0 selects the default 0.8.
+	Theta float64
+	// Attrs are the dedup attributes or the cluster-by term expression.
+	Attrs []monoid.Expr
+}

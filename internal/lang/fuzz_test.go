@@ -1,0 +1,53 @@
+package lang
+
+import (
+	"testing"
+)
+
+// FuzzParse exercises the lexer/parser for panics and infinite loops on
+// arbitrary input. Any input may be rejected with an error, but none may
+// crash; parseable statements must also survive de-sugaring.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`SELECT * FROM t`,
+		`SELECT a.b AS x, * FROM t a WHERE a.b > 1.5 AND NOT a.c = 'x'`,
+		`SELECT * FROM customer c FD(c.address, prefix(c.phone))`,
+		`SELECT * FROM customer c DEDUP(token_filtering(2), LD, 0.8, c.name)`,
+		`SELECT * FROM c a, d b CLUSTER BY(kmeans(10), LD, 0.8, a.name)`,
+		`SELECT g, count(*) FROM t GROUP BY g HAVING count(*) > 1`,
+		`SELECT * FROM l FD((l.a, l.b), l.c)`,
+		`SELECT '' FROM t WHERE x = -2 OR y <> null`,
+		`select * from t where (((x)))`,
+		`SELECT * FROM`,
+		`FD(`,
+		`SELECT * FROM t WHERE 'unterminated`,
+		"SELECT * FROM t \x00\xff",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil || q == nil {
+			return
+		}
+		// Anything that parses must de-sugar without panicking (errors ok).
+		var d Desugarer
+		_, _ = d.Desugar(q)
+	})
+}
+
+// FuzzTokenize separately exercises the lexer.
+func FuzzTokenize(f *testing.F) {
+	f.Add(`SELECT 1.2.3 ... ,,, ((( ''`)
+	f.Add("ident_with_underscores 123 >= <> !=")
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := Tokenize(src)
+		if err != nil {
+			return
+		}
+		if len(toks) == 0 || toks[len(toks)-1].Kind != TokEOF {
+			t.Fatalf("token stream must end with EOF: %v", toks)
+		}
+	})
+}

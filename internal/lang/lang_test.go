@@ -1,0 +1,369 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"cleandb/internal/monoid"
+)
+
+func parse(t *testing.T, src string) *Query {
+	t.Helper()
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return q
+}
+
+func TestTokenize(t *testing.T) {
+	toks, err := Tokenize(`SELECT a.b, 'str' 1.5 >= (x)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []TokenKind{TokIdent, TokIdent, TokDot, TokIdent, TokComma, TokString, TokNumber, TokOp, TokLParen, TokIdent, TokRParen, TokEOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("token count = %d, want %d: %v", len(toks), len(kinds), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Fatalf("token %d: kind %v, want %v (%q)", i, toks[i].Kind, k, toks[i].Text)
+		}
+	}
+}
+
+func TestTokenizeErrors(t *testing.T) {
+	if _, err := Tokenize(`'unterminated`); err == nil {
+		t.Error("unterminated string should error")
+	}
+	if _, err := Tokenize(`@`); err == nil {
+		t.Error("unknown character should error")
+	}
+}
+
+func TestParseBasicSelect(t *testing.T) {
+	q := parse(t, `SELECT c.name AS n, c.age FROM customer c WHERE c.age > 18`)
+	if len(q.Select) != 2 || q.Select[0].Alias != "n" {
+		t.Fatalf("select list: %+v", q.Select)
+	}
+	if len(q.From) != 1 || q.From[0].Source != "customer" || q.From[0].Alias != "c" {
+		t.Fatalf("from: %+v", q.From)
+	}
+	if q.Where == nil || !strings.Contains(q.Where.String(), ">") {
+		t.Fatalf("where: %v", q.Where)
+	}
+}
+
+func TestParseStar(t *testing.T) {
+	q := parse(t, `SELECT * FROM t`)
+	if !q.Star || len(q.Select) != 0 {
+		t.Fatalf("star: %+v", q)
+	}
+	if q.From[0].Alias != "t" {
+		t.Fatal("bare table name aliases to itself")
+	}
+}
+
+func TestParseDistinct(t *testing.T) {
+	if !parse(t, `SELECT DISTINCT a.x FROM a`).Distinct {
+		t.Fatal("distinct flag")
+	}
+	if parse(t, `SELECT ALL a.x FROM a`).Distinct {
+		t.Fatal("ALL is not distinct")
+	}
+}
+
+func TestParseGroupByHaving(t *testing.T) {
+	q := parse(t, `SELECT c.city, count(*) AS n FROM customer c GROUP BY c.city HAVING count(*) > 1`)
+	if len(q.GroupBy) != 1 {
+		t.Fatalf("group by: %v", q.GroupBy)
+	}
+	if q.Having == nil {
+		t.Fatal("having missing")
+	}
+}
+
+func TestParseOperatorPrecedence(t *testing.T) {
+	q := parse(t, `SELECT * FROM t WHERE a.x + 2 * 3 = 7 AND NOT a.y < 1 OR a.z = 2`)
+	// or( and( == ( +(x, *(2,3)), 7), not(<)), ==)
+	s := q.Where.String()
+	if !strings.Contains(s, "(2 * 3)") {
+		t.Fatalf("multiplication should bind tighter: %s", s)
+	}
+	if !strings.HasPrefix(s, "((") {
+		t.Fatalf("or should be outermost: %s", s)
+	}
+}
+
+func TestParseFD(t *testing.T) {
+	q := parse(t, `SELECT * FROM customer c FD(c.address, prefix(c.phone))`)
+	if len(q.Cleaning) != 1 || q.Cleaning[0].Kind != CleanFD {
+		t.Fatalf("cleaning: %+v", q.Cleaning)
+	}
+	op := q.Cleaning[0]
+	if len(op.LHS) != 1 || len(op.RHS) != 1 {
+		t.Fatalf("fd sides: %+v", op)
+	}
+	if !strings.Contains(op.RHS[0].String(), "prefix") {
+		t.Fatalf("rhs: %s", op.RHS[0])
+	}
+}
+
+func TestParseFDTuple(t *testing.T) {
+	q := parse(t, `SELECT * FROM l FD((l.orderkey, l.linenumber), l.suppkey)`)
+	op := q.Cleaning[0]
+	if len(op.LHS) != 2 || len(op.RHS) != 1 {
+		t.Fatalf("fd tuple sides: LHS=%d RHS=%d", len(op.LHS), len(op.RHS))
+	}
+}
+
+func TestParseDedup(t *testing.T) {
+	q := parse(t, `SELECT * FROM customer c DEDUP(token_filtering, LD, 0.8, c.address)`)
+	op := q.Cleaning[0]
+	if op.Kind != CleanDedup || op.Blocker.Op != "token_filtering" {
+		t.Fatalf("dedup: %+v", op)
+	}
+	if op.Metric != "LD" || op.Theta != 0.8 {
+		t.Fatalf("metric/theta: %+v", op)
+	}
+	if len(op.Attrs) != 1 {
+		t.Fatalf("attrs: %+v", op.Attrs)
+	}
+}
+
+func TestParseDedupDefaults(t *testing.T) {
+	q := parse(t, `SELECT * FROM customer c DEDUP(attribute, c.address)`)
+	op := q.Cleaning[0]
+	if op.Metric != "" || op.Theta != 0 {
+		t.Fatalf("defaults should be unset: %+v", op)
+	}
+	if len(op.Attrs) != 1 {
+		t.Fatalf("attrs: %+v", op.Attrs)
+	}
+}
+
+func TestParseDedupBlockerParam(t *testing.T) {
+	q := parse(t, `SELECT * FROM customer c DEDUP(token_filtering(2), LD, 0.7, c.name)`)
+	op := q.Cleaning[0]
+	if op.Blocker.Param != 2 {
+		t.Fatalf("blocker param: %+v", op.Blocker)
+	}
+}
+
+func TestParseClusterBy(t *testing.T) {
+	q := parse(t, `SELECT * FROM customer c, dictionary d CLUSTER BY(kmeans(10), LD, 0.8, c.name)`)
+	op := q.Cleaning[0]
+	if op.Kind != CleanClusterBy || op.Blocker.Op != "kmeans" || op.Blocker.Param != 10 {
+		t.Fatalf("cluster by: %+v", op)
+	}
+}
+
+func TestParseRunningExample(t *testing.T) {
+	q := parse(t, `
+SELECT c.name, c.address, *
+FROM customer c, dictionary d
+FD(c.address, prefix(c.phone))
+DEDUP(token_filtering, LD, 0.8, c.address)
+CLUSTER BY(token_filtering, LD, 0.8, c.name)`)
+	if len(q.Cleaning) != 3 {
+		t.Fatalf("want 3 cleaning ops, got %d", len(q.Cleaning))
+	}
+	kinds := []CleaningKind{CleanFD, CleanDedup, CleanClusterBy}
+	for i, k := range kinds {
+		if q.Cleaning[i].Kind != k {
+			t.Fatalf("op %d kind = %v, want %v", i, q.Cleaning[i].Kind, k)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`FROM t`,
+		`SELECT`,
+		`SELECT * FROM`,
+		`SELECT * FROM t WHERE`,
+		`SELECT * FROM t FD(c.a)`,          // missing rhs
+		`SELECT * FROM t CLUSTER BY(tf)`,   // missing term
+		`SELECT * FROM t trailing garbage`, // unparsed tail... actually alias+ident: garbage
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	q := parse(t, `SELECT * FROM t WHERE t.a = 'str' AND t.b = 2.5 AND t.c = true AND t.d = null`)
+	s := q.Where.String()
+	for _, want := range []string{`"str"`, "2.5", "true", "null"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("where missing %s: %s", want, s)
+		}
+	}
+}
+
+// --- Desugar tests ---
+
+func desugar(t *testing.T, src string) []Task {
+	t.Helper()
+	q := parse(t, src)
+	var d Desugarer
+	tasks, err := d.Desugar(q)
+	if err != nil {
+		t.Fatalf("Desugar: %v", err)
+	}
+	return tasks
+}
+
+func TestDesugarPlainQuery(t *testing.T) {
+	tasks := desugar(t, `SELECT c.name AS n FROM customer c WHERE c.age > 18`)
+	if len(tasks) != 1 || tasks[0].Name != "query" {
+		t.Fatalf("tasks: %+v", tasks)
+	}
+	comp := tasks[0].Comp
+	if comp.M.Name() != "bag" {
+		t.Fatalf("plain query monoid = %s", comp.M.Name())
+	}
+	if len(comp.Quals) != 2 {
+		t.Fatalf("quals: %v", comp.Quals)
+	}
+}
+
+func TestDesugarDistinctUsesSet(t *testing.T) {
+	tasks := desugar(t, `SELECT DISTINCT c.name FROM customer c`)
+	if tasks[0].Comp.M.Name() != "set" {
+		t.Fatalf("distinct should use set monoid, got %s", tasks[0].Comp.M.Name())
+	}
+}
+
+func TestDesugarFDShape(t *testing.T) {
+	tasks := desugar(t, `SELECT * FROM customer c FD(c.address, prefix(c.phone))`)
+	comp := tasks[0].Comp
+	// First qualifier: generator over a groupby comprehension.
+	gen, ok := comp.Quals[0].(*monoid.Generator)
+	if !ok {
+		t.Fatalf("first qual should be generator: %T", comp.Quals[0])
+	}
+	inner, ok := gen.Source.(*monoid.Comprehension)
+	if !ok || inner.M.Name() != "groupby" {
+		t.Fatalf("generator source should be groupby comprehension: %v", gen.Source)
+	}
+	// The grouping key must be the FD LHS.
+	if !strings.Contains(inner.Head.String(), "c.address") {
+		t.Fatalf("grouping head: %s", inner.Head)
+	}
+}
+
+func TestDesugarFDMultiAttr(t *testing.T) {
+	tasks := desugar(t, `SELECT * FROM l FD((l.orderkey, l.linenumber), l.suppkey)`)
+	comp := tasks[0].Comp
+	gen := comp.Quals[0].(*monoid.Generator)
+	inner := gen.Source.(*monoid.Comprehension)
+	if !strings.Contains(inner.Head.String(), "[l.orderkey, l.linenumber]") {
+		t.Fatalf("composite key head: %s", inner.Head)
+	}
+}
+
+func TestDesugarDedupUsesRegisteredBlocker(t *testing.T) {
+	tasks := desugar(t, `SELECT * FROM customer c DEDUP(token_filtering, LD, 0.8, c.address)`)
+	task := tasks[0]
+	if len(task.Blockers) != 1 {
+		t.Fatalf("blockers: %+v", task.Blockers)
+	}
+	for name, binding := range task.Blockers {
+		if !strings.HasPrefix(name, "__block_") {
+			t.Fatalf("generated name: %s", name)
+		}
+		if binding.Spec.Op != "token_filtering" {
+			t.Fatalf("binding spec: %+v", binding.Spec)
+		}
+		if !strings.Contains(task.Comp.String(), name) {
+			t.Fatalf("comprehension should call %s:\n%s", name, task.Comp)
+		}
+	}
+}
+
+func TestDesugarDedupExactHasNoBlocker(t *testing.T) {
+	tasks := desugar(t, `SELECT * FROM customer c DEDUP(attribute, LD, 0.8, c.address)`)
+	if len(tasks[0].Blockers) != 0 {
+		t.Fatalf("exact blocking needs no registered blocker: %+v", tasks[0].Blockers)
+	}
+}
+
+func TestDesugarExactDedupAndFDShareGroupingShape(t *testing.T) {
+	// The coalescing prerequisite: the groupby comprehensions of an FD on
+	// c.address and an exact DEDUP on c.address must be structurally equal.
+	tasks := desugar(t, `
+SELECT * FROM customer c
+FD(c.address, c.nationkey)
+DEDUP(attribute, LD, 0.8, c.address)`)
+	g1 := tasks[0].Comp.Quals[0].(*monoid.Generator).Source.(*monoid.Comprehension)
+	g2 := tasks[1].Comp.Quals[0].(*monoid.Generator).Source.(*monoid.Comprehension)
+	if g1.String() != g2.String() {
+		t.Fatalf("grouping comprehensions differ:\n%s\nvs\n%s", g1, g2)
+	}
+}
+
+func TestDesugarClusterByFindsDictionary(t *testing.T) {
+	tasks := desugar(t, `SELECT * FROM customer c, dictionary d CLUSTER BY(token_filtering, LD, 0.8, c.name)`)
+	task := tasks[0]
+	s := task.Comp.String()
+	if !strings.Contains(s, "dictionary") {
+		t.Fatalf("dictionary source missing:\n%s", s)
+	}
+	if !strings.Contains(s, "d.term") {
+		t.Fatalf("dictionary term attribute missing:\n%s", s)
+	}
+	for _, b := range task.Blockers {
+		if b.FitSource != "dictionary" {
+			t.Fatalf("kmeans centers should fit from the dictionary: %+v", b)
+		}
+	}
+}
+
+func TestDesugarClusterByWithoutDictionaryFails(t *testing.T) {
+	q := parse(t, `SELECT * FROM customer c CLUSTER BY(token_filtering, LD, 0.8, c.name)`)
+	var d Desugarer
+	if _, err := d.Desugar(q); err == nil {
+		t.Fatal("cluster by without a dictionary table should fail")
+	}
+}
+
+func TestDesugarWherePropagatesIntoGrouping(t *testing.T) {
+	tasks := desugar(t, `SELECT * FROM customer c WHERE c.age > 18 FD(c.address, c.nationkey)`)
+	gen := tasks[0].Comp.Quals[0].(*monoid.Generator)
+	inner := gen.Source.(*monoid.Comprehension)
+	found := false
+	for _, q := range inner.Quals {
+		if p, ok := q.(*monoid.Pred); ok && strings.Contains(p.Cond.String(), "age") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("where clause should push into grouping:\n%s", inner)
+	}
+}
+
+func TestDesugarGroupByAggregates(t *testing.T) {
+	tasks := desugar(t, `SELECT c.city, count(*) AS n, sum(c.amount) AS total FROM customer c GROUP BY c.city`)
+	comp := tasks[0].Comp
+	s := comp.String()
+	if !strings.Contains(s, "count{") || !strings.Contains(s, "sum{") {
+		t.Fatalf("aggregates should become comprehensions:\n%s", s)
+	}
+}
+
+func TestDesugarEntityKeys(t *testing.T) {
+	tasks := desugar(t, `
+SELECT * FROM customer c
+FD(c.address, c.nationkey)
+DEDUP(attribute, LD, 0.8, c.address)`)
+	if got := tasks[0].EntityKey.String(); got != "$out.key" {
+		t.Fatalf("fd entity key = %s", got)
+	}
+	if got := tasks[1].EntityKey.String(); got != "$out.a.address" {
+		t.Fatalf("dedup entity key = %s", got)
+	}
+}

@@ -1,0 +1,139 @@
+// Package lang implements the CleanM language front end: lexer, parser and
+// the "Monoid Rewriter" that de-sugars CleanM's SQL-like surface syntax
+// (paper Listing 1) into monoid comprehensions.
+//
+// The grammar, per the paper:
+//
+//	SELECT [ALL|DISTINCT] <selectlist> <fromclause>
+//	[WHERE <cond>] [GROUP BY <exprs> [HAVING <cond>]]
+//	[ FD(<lhs>, <rhs>) | DEDUP(<op>[,<metric>,<theta>][,<attrs>])
+//	  | CLUSTER BY(<op>[,<metric>,<theta>],<term>) ]*
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexer tokens.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokNumber
+	TokString
+	TokOp    // operators and punctuation
+	TokStar  // *
+	TokComma // ,
+	TokLParen
+	TokRParen
+	TokDot
+)
+
+// Token is one lexical unit with its source position.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  int
+}
+
+// Lexer tokenizes CleanM query text.
+type Lexer struct {
+	src []rune
+	pos int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer { return &Lexer{src: []rune(src)} }
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	for l.pos < len(l.src) && unicode.IsSpace(l.src[l.pos]) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case unicode.IsLetter(c) || c == '_':
+		for l.pos < len(l.src) && (unicode.IsLetter(l.src[l.pos]) || unicode.IsDigit(l.src[l.pos]) || l.src[l.pos] == '_') {
+			l.pos++
+		}
+		return Token{Kind: TokIdent, Text: string(l.src[start:l.pos]), Pos: start}, nil
+	case unicode.IsDigit(c):
+		seenDot := false
+		for l.pos < len(l.src) && (unicode.IsDigit(l.src[l.pos]) || (!seenDot && l.src[l.pos] == '.' && l.pos+1 < len(l.src) && unicode.IsDigit(l.src[l.pos+1]))) {
+			if l.src[l.pos] == '.' {
+				seenDot = true
+			}
+			l.pos++
+		}
+		return Token{Kind: TokNumber, Text: string(l.src[start:l.pos]), Pos: start}, nil
+	case c == '\'' || c == '"':
+		quote := c
+		l.pos++
+		var sb strings.Builder
+		for l.pos < len(l.src) && l.src[l.pos] != quote {
+			sb.WriteRune(l.src[l.pos])
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return Token{}, fmt.Errorf("lang: unterminated string at %d", start)
+		}
+		l.pos++
+		return Token{Kind: TokString, Text: sb.String(), Pos: start}, nil
+	case c == '*':
+		l.pos++
+		return Token{Kind: TokStar, Text: "*", Pos: start}, nil
+	case c == ',':
+		l.pos++
+		return Token{Kind: TokComma, Text: ",", Pos: start}, nil
+	case c == '(':
+		l.pos++
+		return Token{Kind: TokLParen, Text: "(", Pos: start}, nil
+	case c == ')':
+		l.pos++
+		return Token{Kind: TokRParen, Text: ")", Pos: start}, nil
+	case c == '.':
+		l.pos++
+		return Token{Kind: TokDot, Text: ".", Pos: start}, nil
+	default:
+		// Multi-character operators first.
+		two := ""
+		if l.pos+1 < len(l.src) {
+			two = string(l.src[l.pos : l.pos+2])
+		}
+		switch two {
+		case "<=", ">=", "<>", "!=", "==", "->":
+			l.pos += 2
+			return Token{Kind: TokOp, Text: two, Pos: start}, nil
+		}
+		switch c {
+		case '=', '<', '>', '+', '-', '/', '%', ';':
+			l.pos++
+			return Token{Kind: TokOp, Text: string(c), Pos: start}, nil
+		}
+		return Token{}, fmt.Errorf("lang: unexpected character %q at %d", string(c), start)
+	}
+}
+
+// Tokenize lexes the whole input.
+func Tokenize(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var out []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,585 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"cleandb/internal/monoid"
+	"cleandb/internal/types"
+)
+
+// Parser is a recursive-descent parser for CleanM.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses a CleanM statement.
+func Parse(src string) (*Query, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atKeyword("") && p.cur().Kind != TokEOF {
+		if p.cur().Kind == TokOp && p.cur().Text == ";" {
+			p.pos++
+		}
+	}
+	if p.cur().Kind != TokEOF {
+		return nil, fmt.Errorf("lang: unexpected trailing token %q at %d", p.cur().Text, p.cur().Pos)
+	}
+	return q, nil
+}
+
+func (p *Parser) cur() Token { return p.toks[p.pos] }
+
+func (p *Parser) advance() Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+// atKeyword reports whether the current token is the given keyword
+// (case-insensitive). Empty kw always reports false.
+func (p *Parser) atKeyword(kw string) bool {
+	t := p.cur()
+	return kw != "" && t.Kind == TokIdent && strings.EqualFold(t.Text, kw)
+}
+
+func (p *Parser) expectKeyword(kw string) error {
+	if !p.atKeyword(kw) {
+		return fmt.Errorf("lang: expected %s at %d, got %q", strings.ToUpper(kw), p.cur().Pos, p.cur().Text)
+	}
+	p.advance()
+	return nil
+}
+
+func (p *Parser) expect(kind TokenKind, what string) (Token, error) {
+	if p.cur().Kind != kind {
+		return Token{}, fmt.Errorf("lang: expected %s at %d, got %q", what, p.cur().Pos, p.cur().Text)
+	}
+	return p.advance(), nil
+}
+
+func (p *Parser) parseQuery() (*Query, error) {
+	q := &Query{}
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	if p.atKeyword("all") {
+		p.advance()
+	} else if p.atKeyword("distinct") {
+		p.advance()
+		q.Distinct = true
+	}
+	if err := p.parseSelectList(q); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	if err := p.parseFrom(q); err != nil {
+		return nil, err
+	}
+	if p.atKeyword("where") {
+		p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = e
+	}
+	if p.atKeyword("group") {
+		p.advance()
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			q.GroupBy = append(q.GroupBy, e)
+			if p.cur().Kind != TokComma {
+				break
+			}
+			p.advance()
+		}
+		if p.atKeyword("having") {
+			p.advance()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			q.Having = e
+		}
+	}
+	// Cleaning operators, in any order, possibly repeated.
+	for {
+		switch {
+		case p.atKeyword("fd"):
+			p.advance()
+			op, err := p.parseFD()
+			if err != nil {
+				return nil, err
+			}
+			q.Cleaning = append(q.Cleaning, op)
+		case p.atKeyword("dedup"):
+			p.advance()
+			op, err := p.parseDedup()
+			if err != nil {
+				return nil, err
+			}
+			q.Cleaning = append(q.Cleaning, op)
+		case p.atKeyword("cluster"):
+			p.advance()
+			if err := p.expectKeyword("by"); err != nil {
+				return nil, err
+			}
+			op, err := p.parseClusterBy()
+			if err != nil {
+				return nil, err
+			}
+			q.Cleaning = append(q.Cleaning, op)
+		default:
+			return q, nil
+		}
+	}
+}
+
+func (p *Parser) parseSelectList(q *Query) error {
+	for {
+		if p.cur().Kind == TokStar {
+			p.advance()
+			q.Star = true
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return err
+			}
+			item := SelectItem{Expr: e}
+			if p.atKeyword("as") {
+				p.advance()
+				t, err := p.expect(TokIdent, "alias")
+				if err != nil {
+					return err
+				}
+				item.Alias = t.Text
+			}
+			q.Select = append(q.Select, item)
+		}
+		if p.cur().Kind != TokComma {
+			return nil
+		}
+		p.advance()
+	}
+}
+
+func (p *Parser) parseFrom(q *Query) error {
+	for {
+		t, err := p.expect(TokIdent, "table name")
+		if err != nil {
+			return err
+		}
+		ref := TableRef{Source: t.Text, Alias: t.Text}
+		if p.cur().Kind == TokIdent && !p.isClauseKeyword() {
+			ref.Alias = p.advance().Text
+		}
+		q.From = append(q.From, ref)
+		if p.cur().Kind != TokComma {
+			return nil
+		}
+		p.advance()
+	}
+}
+
+func (p *Parser) isClauseKeyword() bool {
+	for _, kw := range []string{"where", "group", "having", "fd", "dedup", "cluster", "as", "and", "or", "not"} {
+		if p.atKeyword(kw) {
+			return true
+		}
+	}
+	return false
+}
+
+// parseFD parses FD(lhs, rhs) where each side is an expression or a
+// parenthesized expression list.
+func (p *Parser) parseFD() (CleaningOp, error) {
+	op := CleaningOp{Kind: CleanFD}
+	if _, err := p.expect(TokLParen, "("); err != nil {
+		return op, err
+	}
+	lhs, err := p.parseExprOrTuple()
+	if err != nil {
+		return op, err
+	}
+	if _, err := p.expect(TokComma, ","); err != nil {
+		return op, err
+	}
+	rhs, err := p.parseExprOrTuple()
+	if err != nil {
+		return op, err
+	}
+	if _, err := p.expect(TokRParen, ")"); err != nil {
+		return op, err
+	}
+	op.LHS, op.RHS = lhs, rhs
+	return op, nil
+}
+
+// parseExprOrTuple parses expr or (expr, expr, ...).
+func (p *Parser) parseExprOrTuple() ([]monoid.Expr, error) {
+	if p.cur().Kind == TokLParen {
+		// Lookahead: a parenthesized list is a tuple only if a comma appears
+		// at depth 1 before the matching close paren.
+		if p.tupleAhead() {
+			p.advance()
+			var out []monoid.Expr
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, e)
+				if p.cur().Kind == TokComma {
+					p.advance()
+					continue
+				}
+				break
+			}
+			if _, err := p.expect(TokRParen, ")"); err != nil {
+				return nil, err
+			}
+			return out, nil
+		}
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return []monoid.Expr{e}, nil
+}
+
+func (p *Parser) tupleAhead() bool {
+	depth := 0
+	for i := p.pos; i < len(p.toks); i++ {
+		switch p.toks[i].Kind {
+		case TokLParen:
+			depth++
+		case TokRParen:
+			depth--
+			if depth == 0 {
+				return false
+			}
+		case TokComma:
+			if depth == 1 {
+				return true
+			}
+		case TokEOF:
+			return false
+		}
+	}
+	return false
+}
+
+// parseDedup parses DEDUP(op[,metric,theta][,attrs...]).
+func (p *Parser) parseDedup() (CleaningOp, error) {
+	op := CleaningOp{Kind: CleanDedup}
+	if err := p.parseCleaningArgs(&op); err != nil {
+		return op, err
+	}
+	return op, nil
+}
+
+// parseClusterBy parses CLUSTER BY(op[,metric,theta],term).
+func (p *Parser) parseClusterBy() (CleaningOp, error) {
+	op := CleaningOp{Kind: CleanClusterBy}
+	if err := p.parseCleaningArgs(&op); err != nil {
+		return op, err
+	}
+	if len(op.Attrs) == 0 {
+		return op, fmt.Errorf("lang: CLUSTER BY requires a term attribute")
+	}
+	return op, nil
+}
+
+// parseCleaningArgs parses the shared (op[,metric,theta][,attrs...]) form.
+func (p *Parser) parseCleaningArgs(op *CleaningOp) error {
+	if _, err := p.expect(TokLParen, "("); err != nil {
+		return err
+	}
+	// Blocking operator: ident or ident(param).
+	t, err := p.expect(TokIdent, "blocking operator")
+	if err != nil {
+		return err
+	}
+	op.Blocker.Op = t.Text
+	if p.cur().Kind == TokLParen {
+		p.advance()
+		num, err := p.expect(TokNumber, "blocking parameter")
+		if err != nil {
+			return err
+		}
+		n, err := strconv.Atoi(num.Text)
+		if err != nil {
+			return fmt.Errorf("lang: bad blocking parameter %q", num.Text)
+		}
+		op.Blocker.Param = n
+		if _, err := p.expect(TokRParen, ")"); err != nil {
+			return err
+		}
+	}
+	// Optional metric and theta: detect "ident, number" lookahead.
+	if p.cur().Kind == TokComma {
+		save := p.pos
+		p.advance()
+		if p.cur().Kind == TokIdent && p.toks[p.pos+1].Kind == TokComma && p.toks[p.pos+2].Kind == TokNumber {
+			op.Metric = p.advance().Text
+			p.advance() // comma
+			f, err := strconv.ParseFloat(p.advance().Text, 64)
+			if err != nil {
+				return fmt.Errorf("lang: bad theta")
+			}
+			op.Theta = f
+		} else {
+			p.pos = save
+		}
+	}
+	// Remaining comma-separated attribute expressions.
+	for p.cur().Kind == TokComma {
+		p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return err
+		}
+		op.Attrs = append(op.Attrs, e)
+	}
+	if _, err := p.expect(TokRParen, ")"); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Expressions (precedence climbing)
+// ---------------------------------------------------------------------------
+
+// parseExpr parses an expression with or/and/not, comparisons, and arithmetic.
+func (p *Parser) parseExpr() (monoid.Expr, error) { return p.parseOr() }
+
+func (p *Parser) parseOr() (monoid.Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("or") {
+		p.advance()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &monoid.BinOp{Op: "or", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseAnd() (monoid.Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("and") {
+		p.advance()
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &monoid.BinOp{Op: "and", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseNot() (monoid.Expr, error) {
+	if p.atKeyword("not") {
+		p.advance()
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &monoid.UnOp{Op: "not", E: e}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *Parser) parseComparison() (monoid.Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind == TokOp {
+		op := p.cur().Text
+		switch op {
+		case "=", "==", "!=", "<>", "<", "<=", ">", ">=":
+			p.advance()
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			switch op {
+			case "=":
+				op = "=="
+			case "<>":
+				op = "!="
+			}
+			return &monoid.BinOp{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseAdditive() (monoid.Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == TokOp && (p.cur().Text == "+" || p.cur().Text == "-") {
+		op := p.advance().Text
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = &monoid.BinOp{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseMultiplicative() (monoid.Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for (p.cur().Kind == TokOp && (p.cur().Text == "/" || p.cur().Text == "%")) || p.cur().Kind == TokStar {
+		var op string
+		if p.cur().Kind == TokStar {
+			op = "*"
+		} else {
+			op = p.cur().Text
+		}
+		p.advance()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &monoid.BinOp{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseUnary() (monoid.Expr, error) {
+	if p.cur().Kind == TokOp && p.cur().Text == "-" {
+		p.advance()
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &monoid.UnOp{Op: "-", E: e}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (monoid.Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokNumber:
+		p.advance()
+		if strings.Contains(t.Text, ".") {
+			f, err := strconv.ParseFloat(t.Text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("lang: bad number %q", t.Text)
+			}
+			return monoid.C(types.Float(f)), nil
+		}
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("lang: bad number %q", t.Text)
+		}
+		return monoid.C(types.Int(n)), nil
+	case TokString:
+		p.advance()
+		return monoid.C(types.String(t.Text)), nil
+	case TokLParen:
+		p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case TokIdent:
+		switch strings.ToLower(t.Text) {
+		case "true":
+			p.advance()
+			return monoid.CBool(true), nil
+		case "false":
+			p.advance()
+			return monoid.CBool(false), nil
+		case "null":
+			p.advance()
+			return monoid.C(types.Null()), nil
+		}
+		p.advance()
+		// Function call?
+		if p.cur().Kind == TokLParen {
+			p.advance()
+			var args []monoid.Expr
+			if p.cur().Kind != TokRParen {
+				for {
+					if p.cur().Kind == TokStar { // count(*)
+						p.advance()
+						args = append(args, monoid.CInt(1))
+					} else {
+						a, err := p.parseExpr()
+						if err != nil {
+							return nil, err
+						}
+						args = append(args, a)
+					}
+					if p.cur().Kind != TokComma {
+						break
+					}
+					p.advance()
+				}
+			}
+			if _, err := p.expect(TokRParen, ")"); err != nil {
+				return nil, err
+			}
+			return p.parseTrailer(&monoid.Call{Fn: strings.ToLower(t.Text), Args: args})
+		}
+		return p.parseTrailer(monoid.V(t.Text))
+	default:
+		return nil, fmt.Errorf("lang: unexpected token %q at %d", t.Text, t.Pos)
+	}
+}
+
+// parseTrailer parses dotted field accesses after a primary: a.b.c.
+func (p *Parser) parseTrailer(e monoid.Expr) (monoid.Expr, error) {
+	for p.cur().Kind == TokDot {
+		p.advance()
+		t, err := p.expect(TokIdent, "field name")
+		if err != nil {
+			return nil, err
+		}
+		e = monoid.F(e, t.Text)
+	}
+	return e, nil
+}

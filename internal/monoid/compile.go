@@ -1,0 +1,284 @@
+package monoid
+
+import (
+	"fmt"
+	"strings"
+
+	"cleandb/internal/types"
+)
+
+// CompiledExpr is a closure evaluating an expression against a flat slot
+// environment. The physical level compiles hot expressions once per plan and
+// invokes the closure per record, avoiding tree-walking and map lookups —
+// CleanDB's answer to the "code generation" box of the paper's Figure 2.
+type CompiledExpr func(slots []types.Value) (types.Value, error)
+
+// Compiler compiles expressions given a variable→slot mapping.
+type Compiler struct {
+	Builtins map[string]Builtin
+}
+
+// NewCompiler returns a compiler with the default builtins.
+func NewCompiler() *Compiler { return &Compiler{Builtins: DefaultBuiltins()} }
+
+// Compile translates e into a closure. vars maps variable names to slot
+// indices in the runtime environment. Unknown variables are a compile error.
+func (cp *Compiler) Compile(e Expr, vars map[string]int) (CompiledExpr, error) {
+	switch n := e.(type) {
+	case *Const:
+		v := n.Val
+		return func([]types.Value) (types.Value, error) { return v, nil }, nil
+	case *Var:
+		slot, ok := vars[n.Name]
+		if !ok {
+			return nil, fmt.Errorf("monoid: compile: unbound variable %q", n.Name)
+		}
+		return func(s []types.Value) (types.Value, error) { return s[slot], nil }, nil
+	case *Field:
+		rec, err := cp.Compile(n.Rec, vars)
+		if err != nil {
+			return nil, err
+		}
+		name := n.Name
+		return func(s []types.Value) (types.Value, error) {
+			r, err := rec(s)
+			if err != nil {
+				return types.Null(), err
+			}
+			return r.Field(name), nil
+		}, nil
+	case *BinOp:
+		return cp.compileBinOp(n, vars)
+	case *UnOp:
+		inner, err := cp.Compile(n.E, vars)
+		if err != nil {
+			return nil, err
+		}
+		switch n.Op {
+		case "not":
+			return func(s []types.Value) (types.Value, error) {
+				v, err := inner(s)
+				if err != nil {
+					return types.Null(), err
+				}
+				return types.Bool(!v.Bool()), nil
+			}, nil
+		case "-":
+			return func(s []types.Value) (types.Value, error) {
+				v, err := inner(s)
+				if err != nil {
+					return types.Null(), err
+				}
+				if v.Kind() == types.KindFloat {
+					return types.Float(-v.Float()), nil
+				}
+				return types.Int(-v.Int()), nil
+			}, nil
+		default:
+			return nil, fmt.Errorf("monoid: compile: unknown unary op %q", n.Op)
+		}
+	case *Call:
+		fn, ok := cp.Builtins[n.Fn]
+		if !ok {
+			return nil, fmt.Errorf("monoid: compile: unknown function %q", n.Fn)
+		}
+		args := make([]CompiledExpr, len(n.Args))
+		for i, a := range n.Args {
+			ca, err := cp.Compile(a, vars)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = ca
+		}
+		return func(s []types.Value) (types.Value, error) {
+			vals := make([]types.Value, len(args))
+			for i, a := range args {
+				v, err := a(s)
+				if err != nil {
+					return types.Null(), err
+				}
+				vals[i] = v
+			}
+			return fn(vals)
+		}, nil
+	case *If:
+		cond, err := cp.Compile(n.Cond, vars)
+		if err != nil {
+			return nil, err
+		}
+		thn, err := cp.Compile(n.Then, vars)
+		if err != nil {
+			return nil, err
+		}
+		els, err := cp.Compile(n.Else, vars)
+		if err != nil {
+			return nil, err
+		}
+		return func(s []types.Value) (types.Value, error) {
+			c, err := cond(s)
+			if err != nil {
+				return types.Null(), err
+			}
+			if c.Bool() {
+				return thn(s)
+			}
+			return els(s)
+		}, nil
+	case *RecordCtor:
+		fields := make([]CompiledExpr, len(n.Fields))
+		for i, f := range n.Fields {
+			cf, err := cp.Compile(f, vars)
+			if err != nil {
+				return nil, err
+			}
+			fields[i] = cf
+		}
+		schema := n.Schema()
+		return func(s []types.Value) (types.Value, error) {
+			vals := make([]types.Value, len(fields))
+			for i, f := range fields {
+				v, err := f(s)
+				if err != nil {
+					return types.Null(), err
+				}
+				vals[i] = v
+			}
+			return types.NewRecord(schema, vals), nil
+		}, nil
+	case *ListCtor:
+		elems := make([]CompiledExpr, len(n.Elems))
+		for i, el := range n.Elems {
+			ce, err := cp.Compile(el, vars)
+			if err != nil {
+				return nil, err
+			}
+			elems[i] = ce
+		}
+		return func(s []types.Value) (types.Value, error) {
+			vals := make([]types.Value, len(elems))
+			for i, el := range elems {
+				v, err := el(s)
+				if err != nil {
+					return types.Null(), err
+				}
+				vals[i] = v
+			}
+			return types.ListOf(vals), nil
+		}, nil
+	case *Comprehension:
+		// Nested comprehensions inside compiled expressions are evaluated
+		// with the reference evaluator over a slot-backed environment.
+		names := make([]string, len(vars))
+		for name, slot := range vars {
+			for len(names) <= slot {
+				names = append(names, "")
+			}
+			names[slot] = name
+		}
+		ev := &Evaluator{Builtins: cp.Builtins}
+		return func(s []types.Value) (types.Value, error) {
+			var env *Env
+			for i, name := range names {
+				if name != "" && i < len(s) {
+					env = env.Bind(name, s[i])
+				}
+			}
+			return ev.EvalComprehension(n, env)
+		}, nil
+	default:
+		return nil, fmt.Errorf("monoid: compile: unsupported node %T", e)
+	}
+}
+
+func (cp *Compiler) compileBinOp(n *BinOp, vars map[string]int) (CompiledExpr, error) {
+	if strings.HasPrefix(n.Op, "merge:") {
+		m, ok := ByName(strings.TrimPrefix(n.Op, "merge:"))
+		if !ok {
+			return nil, fmt.Errorf("monoid: compile: unknown merge monoid %q", n.Op)
+		}
+		l, err := cp.Compile(n.L, vars)
+		if err != nil {
+			return nil, err
+		}
+		r, err := cp.Compile(n.R, vars)
+		if err != nil {
+			return nil, err
+		}
+		return func(s []types.Value) (types.Value, error) {
+			lv, err := l(s)
+			if err != nil {
+				return types.Null(), err
+			}
+			rv, err := r(s)
+			if err != nil {
+				return types.Null(), err
+			}
+			return m.Merge(lv, rv), nil
+		}, nil
+	}
+	l, err := cp.Compile(n.L, vars)
+	if err != nil {
+		return nil, err
+	}
+	r, err := cp.Compile(n.R, vars)
+	if err != nil {
+		return nil, err
+	}
+	switch n.Op {
+	case "and":
+		return func(s []types.Value) (types.Value, error) {
+			lv, err := l(s)
+			if err != nil {
+				return types.Null(), err
+			}
+			if !lv.Bool() {
+				return types.Bool(false), nil
+			}
+			rv, err := r(s)
+			if err != nil {
+				return types.Null(), err
+			}
+			return types.Bool(rv.Bool()), nil
+		}, nil
+	case "or":
+		return func(s []types.Value) (types.Value, error) {
+			lv, err := l(s)
+			if err != nil {
+				return types.Null(), err
+			}
+			if lv.Bool() {
+				return types.Bool(true), nil
+			}
+			rv, err := r(s)
+			if err != nil {
+				return types.Null(), err
+			}
+			return types.Bool(rv.Bool()), nil
+		}, nil
+	case "==":
+		return func(s []types.Value) (types.Value, error) {
+			lv, err := l(s)
+			if err != nil {
+				return types.Null(), err
+			}
+			rv, err := r(s)
+			if err != nil {
+				return types.Null(), err
+			}
+			return types.Bool(types.Equal(lv, rv)), nil
+		}, nil
+	default:
+		op := n.Op
+		return func(s []types.Value) (types.Value, error) {
+			lv, err := l(s)
+			if err != nil {
+				return types.Null(), err
+			}
+			rv, err := r(s)
+			if err != nil {
+				return types.Null(), err
+			}
+			return ApplyBinOp(op, lv, rv)
+		}, nil
+	}
+}

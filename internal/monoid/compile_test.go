@@ -1,0 +1,126 @@
+package monoid
+
+import (
+	"math/rand"
+	"testing"
+
+	"cleandb/internal/types"
+)
+
+// TestCompiledAgreesWithEvaluator is the compiler-correctness property test:
+// random expressions over a two-slot environment evaluate identically in the
+// tree-walking evaluator and in compiled form.
+func TestCompiledAgreesWithEvaluator(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	vars := map[string]int{"x": 0, "y": 1}
+	cp := NewCompiler()
+	ev := NewEvaluator()
+	for i := 0; i < 1000; i++ {
+		e := randomScalar(rng, []string{"x", "y"})
+		ce, err := cp.Compile(e, vars)
+		if err != nil {
+			t.Fatalf("compile %s: %v", e, err)
+		}
+		x := types.Int(int64(rng.Intn(11) - 5))
+		y := types.Int(int64(rng.Intn(11) - 5))
+		want, err1 := ev.Eval(e, (*Env)(nil).Bind("x", x).Bind("y", y))
+		got, err2 := ce([]types.Value{x, y})
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("error mismatch for %s: %v vs %v", e, err1, err2)
+		}
+		if err1 == nil && !types.Equal(want, got) {
+			t.Fatalf("compiled %s = %s, evaluator says %s (x=%s y=%s)", e, got, want, x, y)
+		}
+	}
+}
+
+func TestCompileUnboundVariable(t *testing.T) {
+	_, err := NewCompiler().Compile(V("nope"), map[string]int{"x": 0})
+	if err == nil {
+		t.Fatal("compiling an unbound variable should fail")
+	}
+}
+
+func TestCompileUnknownFunction(t *testing.T) {
+	_, err := NewCompiler().Compile(&Call{Fn: "nosuch"}, nil)
+	if err == nil {
+		t.Fatal("compiling an unknown function should fail")
+	}
+}
+
+func TestCompileCallAndRecord(t *testing.T) {
+	cp := NewCompiler()
+	e := &RecordCtor{Names: []string{"p"}, Fields: []Expr{
+		&Call{Fn: "prefix", Args: []Expr{V("s"), CInt(2)}},
+	}}
+	ce, err := cp.Compile(e, map[string]int{"s": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ce([]types.Value{types.String("hello")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Field("p").Str() != "he" {
+		t.Fatalf("compiled record = %s", out)
+	}
+}
+
+func TestCompileShortCircuit(t *testing.T) {
+	cp := NewCompiler()
+	// y is a list; y > 0 would be a strange comparison but and-false
+	// short-circuits before evaluating it.
+	e := &BinOp{Op: "and", L: CBool(false), R: Gt(V("y"), CInt(0))}
+	ce, err := cp.Compile(e, map[string]int{"y": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ce([]types.Value{types.Null()})
+	if err != nil || out.Bool() {
+		t.Fatalf("short-circuit failed: %s, %v", out, err)
+	}
+}
+
+func TestCompileNestedComprehension(t *testing.T) {
+	cp := NewCompiler()
+	// sum{ e | e ← xs }
+	comp := &Comprehension{M: Sum, Head: V("e"),
+		Quals: []Qual{&Generator{Var: "e", Source: V("xs")}}}
+	ce, err := cp.Compile(comp, map[string]int{"xs": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ce([]types.Value{types.List(types.Int(2), types.Int(5))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Int() != 7 {
+		t.Fatalf("nested comprehension compiled = %s", out)
+	}
+}
+
+func TestCompileMergeOp(t *testing.T) {
+	cp := NewCompiler()
+	e := &BinOp{Op: "merge:max", L: V("a"), R: V("b")}
+	ce, err := cp.Compile(e, map[string]int{"a": 0, "b": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := ce([]types.Value{types.Int(3), types.Int(9)})
+	if out.Int() != 9 {
+		t.Fatalf("merge:max = %s", out)
+	}
+}
+
+func TestCompileListCtor(t *testing.T) {
+	cp := NewCompiler()
+	e := &ListCtor{Elems: []Expr{V("a"), CInt(2)}}
+	ce, err := cp.Compile(e, map[string]int{"a": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := ce([]types.Value{types.Int(1)})
+	if len(out.List()) != 2 || out.List()[0].Int() != 1 {
+		t.Fatalf("list ctor = %s", out)
+	}
+}

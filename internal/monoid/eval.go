@@ -1,0 +1,506 @@
+package monoid
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"cleandb/internal/textsim"
+	"cleandb/internal/types"
+)
+
+// Env binds variable names to values during evaluation.
+type Env struct {
+	parent *Env
+	name   string
+	val    types.Value
+}
+
+// Bind extends the environment with one binding.
+func (e *Env) Bind(name string, v types.Value) *Env {
+	return &Env{parent: e, name: name, val: v}
+}
+
+// Lookup resolves a variable; it reports false for unbound names.
+func (e *Env) Lookup(name string) (types.Value, bool) {
+	for env := e; env != nil; env = env.parent {
+		if env.name == name {
+			return env.val, true
+		}
+	}
+	return types.Null(), false
+}
+
+// Builtin is a registered scalar function callable from comprehensions.
+type Builtin func(args []types.Value) (types.Value, error)
+
+// DefaultBuiltins returns the builtin function registry shared by the
+// evaluator and the physical compiler. It contains every function CleanM
+// queries can call: prefix, tokenize, similarity predicates, string and date
+// helpers.
+func DefaultBuiltins() map[string]Builtin {
+	return map[string]Builtin{
+		// prefix(s [, n]) — the first n (default 3) bytes of s; used by FD
+		// rules such as address → prefix(phone).
+		"prefix": func(args []types.Value) (types.Value, error) {
+			if len(args) < 1 {
+				return types.Null(), fmt.Errorf("prefix: want 1 or 2 args, got %d", len(args))
+			}
+			n := 3
+			if len(args) >= 2 {
+				n = int(args[1].Int())
+			}
+			return types.String(textsim.Prefix(args[0].Str(), n)), nil
+		},
+		// tokenize(s, q) — the distinct q-grams of s as a list of strings.
+		"tokenize": func(args []types.Value) (types.Value, error) {
+			if len(args) != 2 {
+				return types.Null(), fmt.Errorf("tokenize: want 2 args, got %d", len(args))
+			}
+			grams := textsim.UniqueQGrams(args[0].Str(), int(args[1].Int()))
+			out := make([]types.Value, len(grams))
+			for i, g := range grams {
+				out[i] = types.String(g)
+			}
+			return types.ListOf(out), nil
+		},
+		// similar(metric, a, b, theta) — true when metric(a,b) > theta.
+		"similar": func(args []types.Value) (types.Value, error) {
+			if len(args) != 4 {
+				return types.Null(), fmt.Errorf("similar: want 4 args, got %d", len(args))
+			}
+			m := textsim.ParseMetric(args[0].Str())
+			return types.Bool(m.Above(args[1].Str(), args[2].Str(), args[3].Float())), nil
+		},
+		// similarity(metric, a, b) — the metric value in [0,1].
+		"similarity": func(args []types.Value) (types.Value, error) {
+			if len(args) != 3 {
+				return types.Null(), fmt.Errorf("similarity: want 3 args, got %d", len(args))
+			}
+			m := textsim.ParseMetric(args[0].Str())
+			return types.Float(m.Sim(args[1].Str(), args[2].Str())), nil
+		},
+		// levenshtein(a, b) — raw edit distance.
+		"levenshtein": func(args []types.Value) (types.Value, error) {
+			if len(args) != 2 {
+				return types.Null(), fmt.Errorf("levenshtein: want 2 args, got %d", len(args))
+			}
+			return types.Int(int64(textsim.Levenshtein(args[0].Str(), args[1].Str()))), nil
+		},
+		// index(list, i) — the i-th element of a list (null out of range).
+		"index": func(args []types.Value) (types.Value, error) {
+			if len(args) != 2 {
+				return types.Null(), fmt.Errorf("index: want 2 args, got %d", len(args))
+			}
+			l := args[0].List()
+			i := int(args[1].Int())
+			if i < 0 || i >= len(l) {
+				return types.Null(), nil
+			}
+			return l[i], nil
+		},
+		// reckey(v) — the canonical key encoding of any value; used to order
+		// records in pairwise self-joins (p1 < p2 avoids mirrored pairs).
+		"reckey": func(args []types.Value) (types.Value, error) {
+			if len(args) != 1 {
+				return types.Null(), fmt.Errorf("reckey: want 1 arg, got %d", len(args))
+			}
+			return types.String(types.Key(args[0])), nil
+		},
+		"lower": strFn1("lower", strings.ToLower),
+		"upper": strFn1("upper", strings.ToUpper),
+		"trim":  strFn1("trim", strings.TrimSpace),
+		"length": func(args []types.Value) (types.Value, error) {
+			if len(args) != 1 {
+				return types.Null(), fmt.Errorf("length: want 1 arg, got %d", len(args))
+			}
+			switch args[0].Kind() {
+			case types.KindString:
+				return types.Int(int64(len(args[0].Str()))), nil
+			case types.KindList:
+				return types.Int(int64(len(args[0].List()))), nil
+			default:
+				return types.Int(0), nil
+			}
+		},
+		// split(s, sep) — list of substrings.
+		"split": func(args []types.Value) (types.Value, error) {
+			if len(args) != 2 {
+				return types.Null(), fmt.Errorf("split: want 2 args, got %d", len(args))
+			}
+			parts := strings.Split(args[0].Str(), args[1].Str())
+			out := make([]types.Value, len(parts))
+			for i, p := range parts {
+				out[i] = types.String(p)
+			}
+			return types.ListOf(out), nil
+		},
+		"concat": func(args []types.Value) (types.Value, error) {
+			var sb strings.Builder
+			for _, a := range args {
+				sb.WriteString(a.String())
+			}
+			return types.String(sb.String()), nil
+		},
+		// year/month/day("YYYY-MM-DD") — date components as ints.
+		"year":  dateFn("year", 0),
+		"month": dateFn("month", 1),
+		"day":   dateFn("day", 2),
+		"abs": func(args []types.Value) (types.Value, error) {
+			if len(args) != 1 {
+				return types.Null(), fmt.Errorf("abs: want 1 arg, got %d", len(args))
+			}
+			v := args[0]
+			if v.Kind() == types.KindFloat {
+				f := v.Float()
+				if f < 0 {
+					f = -f
+				}
+				return types.Float(f), nil
+			}
+			i := v.Int()
+			if i < 0 {
+				i = -i
+			}
+			return types.Int(i), nil
+		},
+		// isnull(v) — true when v is null or an empty string.
+		"isnull": func(args []types.Value) (types.Value, error) {
+			if len(args) != 1 {
+				return types.Null(), fmt.Errorf("isnull: want 1 arg, got %d", len(args))
+			}
+			v := args[0]
+			return types.Bool(v.IsNull() || (v.Kind() == types.KindString && v.Str() == "")), nil
+		},
+		"toint": func(args []types.Value) (types.Value, error) {
+			if len(args) != 1 {
+				return types.Null(), fmt.Errorf("toint: want 1 arg, got %d", len(args))
+			}
+			v := args[0]
+			if v.Kind() == types.KindString {
+				i, err := strconv.ParseInt(strings.TrimSpace(v.Str()), 10, 64)
+				if err != nil {
+					return types.Null(), nil
+				}
+				return types.Int(i), nil
+			}
+			return types.Int(v.Int()), nil
+		},
+		"tofloat": func(args []types.Value) (types.Value, error) {
+			if len(args) != 1 {
+				return types.Null(), fmt.Errorf("tofloat: want 1 arg, got %d", len(args))
+			}
+			v := args[0]
+			if v.Kind() == types.KindString {
+				f, err := strconv.ParseFloat(strings.TrimSpace(v.Str()), 64)
+				if err != nil {
+					return types.Null(), nil
+				}
+				return types.Float(f), nil
+			}
+			return types.Float(v.Float()), nil
+		},
+	}
+}
+
+func strFn1(name string, f func(string) string) Builtin {
+	return func(args []types.Value) (types.Value, error) {
+		if len(args) != 1 {
+			return types.Null(), fmt.Errorf("%s: want 1 arg, got %d", name, len(args))
+		}
+		return types.String(f(args[0].Str())), nil
+	}
+}
+
+func dateFn(name string, part int) Builtin {
+	return func(args []types.Value) (types.Value, error) {
+		if len(args) != 1 {
+			return types.Null(), fmt.Errorf("%s: want 1 arg, got %d", name, len(args))
+		}
+		pieces := strings.SplitN(args[0].Str(), "-", 3)
+		if part >= len(pieces) {
+			return types.Null(), nil
+		}
+		n, err := strconv.Atoi(pieces[part])
+		if err != nil {
+			return types.Null(), nil
+		}
+		return types.Int(int64(n)), nil
+	}
+}
+
+// Evaluator evaluates expressions and comprehensions against an environment.
+type Evaluator struct {
+	Builtins map[string]Builtin
+	// Sources resolves free variables that denote named datasets (scans);
+	// consulted after the environment. May be nil.
+	Sources func(name string) (types.Value, bool)
+}
+
+// NewEvaluator returns an evaluator with the default builtin registry.
+func NewEvaluator() *Evaluator {
+	return &Evaluator{Builtins: DefaultBuiltins()}
+}
+
+// Eval evaluates e under env.
+func (ev *Evaluator) Eval(e Expr, env *Env) (types.Value, error) {
+	switch n := e.(type) {
+	case *Const:
+		return n.Val, nil
+	case *Var:
+		if v, ok := env.Lookup(n.Name); ok {
+			return v, nil
+		}
+		if ev.Sources != nil {
+			if v, ok := ev.Sources(n.Name); ok {
+				return v, nil
+			}
+		}
+		return types.Null(), fmt.Errorf("monoid: unbound variable %q", n.Name)
+	case *Field:
+		rec, err := ev.Eval(n.Rec, env)
+		if err != nil {
+			return types.Null(), err
+		}
+		return rec.Field(n.Name), nil
+	case *BinOp:
+		return ev.evalBinOp(n, env)
+	case *UnOp:
+		v, err := ev.Eval(n.E, env)
+		if err != nil {
+			return types.Null(), err
+		}
+		switch n.Op {
+		case "not":
+			return types.Bool(!v.Bool()), nil
+		case "-":
+			if v.Kind() == types.KindFloat {
+				return types.Float(-v.Float()), nil
+			}
+			return types.Int(-v.Int()), nil
+		default:
+			return types.Null(), fmt.Errorf("monoid: unknown unary operator %q", n.Op)
+		}
+	case *Call:
+		fn, ok := ev.Builtins[n.Fn]
+		if !ok {
+			return types.Null(), fmt.Errorf("monoid: unknown function %q", n.Fn)
+		}
+		args := make([]types.Value, len(n.Args))
+		for i, a := range n.Args {
+			v, err := ev.Eval(a, env)
+			if err != nil {
+				return types.Null(), err
+			}
+			args[i] = v
+		}
+		return fn(args)
+	case *If:
+		c, err := ev.Eval(n.Cond, env)
+		if err != nil {
+			return types.Null(), err
+		}
+		if c.Bool() {
+			return ev.Eval(n.Then, env)
+		}
+		return ev.Eval(n.Else, env)
+	case *RecordCtor:
+		fields := make([]types.Value, len(n.Fields))
+		for i, f := range n.Fields {
+			v, err := ev.Eval(f, env)
+			if err != nil {
+				return types.Null(), err
+			}
+			fields[i] = v
+		}
+		return types.NewRecord(n.Schema(), fields), nil
+	case *ListCtor:
+		elems := make([]types.Value, len(n.Elems))
+		for i, el := range n.Elems {
+			v, err := ev.Eval(el, env)
+			if err != nil {
+				return types.Null(), err
+			}
+			elems[i] = v
+		}
+		return types.ListOf(elems), nil
+	case *Comprehension:
+		return ev.EvalComprehension(n, env)
+	case *Exists:
+		v, err := ev.EvalComprehension(&Comprehension{M: Any, Head: CBool(true), Quals: n.C.Quals}, env)
+		if err != nil {
+			return types.Null(), err
+		}
+		return v, nil
+	default:
+		return types.Null(), fmt.Errorf("monoid: cannot evaluate %T", e)
+	}
+}
+
+func (ev *Evaluator) evalBinOp(n *BinOp, env *Env) (types.Value, error) {
+	// "merge:<monoid>" joins the results of two comprehensions produced by
+	// the normalizer's if-split rule.
+	if strings.HasPrefix(n.Op, "merge:") {
+		m, ok := ByName(strings.TrimPrefix(n.Op, "merge:"))
+		if !ok {
+			return types.Null(), fmt.Errorf("monoid: unknown merge monoid %q", n.Op)
+		}
+		l, err := ev.Eval(n.L, env)
+		if err != nil {
+			return types.Null(), err
+		}
+		r, err := ev.Eval(n.R, env)
+		if err != nil {
+			return types.Null(), err
+		}
+		return m.Merge(l, r), nil
+	}
+	// Short-circuit boolean operators.
+	if n.Op == "and" || n.Op == "or" {
+		l, err := ev.Eval(n.L, env)
+		if err != nil {
+			return types.Null(), err
+		}
+		if n.Op == "and" && !l.Bool() {
+			return types.Bool(false), nil
+		}
+		if n.Op == "or" && l.Bool() {
+			return types.Bool(true), nil
+		}
+		r, err := ev.Eval(n.R, env)
+		if err != nil {
+			return types.Null(), err
+		}
+		return types.Bool(r.Bool()), nil
+	}
+	l, err := ev.Eval(n.L, env)
+	if err != nil {
+		return types.Null(), err
+	}
+	r, err := ev.Eval(n.R, env)
+	if err != nil {
+		return types.Null(), err
+	}
+	return ApplyBinOp(n.Op, l, r)
+}
+
+// ApplyBinOp evaluates a binary operator over two values. It is shared by
+// the evaluator and the compiled-expression runtime.
+func ApplyBinOp(op string, l, r types.Value) (types.Value, error) {
+	switch op {
+	case "+":
+		if l.Kind() == types.KindString || r.Kind() == types.KindString {
+			return types.String(l.String() + r.String()), nil
+		}
+		if l.Kind() == types.KindFloat || r.Kind() == types.KindFloat {
+			return types.Float(l.Float() + r.Float()), nil
+		}
+		return types.Int(l.Int() + r.Int()), nil
+	case "-":
+		if l.Kind() == types.KindFloat || r.Kind() == types.KindFloat {
+			return types.Float(l.Float() - r.Float()), nil
+		}
+		return types.Int(l.Int() - r.Int()), nil
+	case "*":
+		if l.Kind() == types.KindFloat || r.Kind() == types.KindFloat {
+			return types.Float(l.Float() * r.Float()), nil
+		}
+		return types.Int(l.Int() * r.Int()), nil
+	case "/":
+		if l.Kind() == types.KindFloat || r.Kind() == types.KindFloat {
+			d := r.Float()
+			if d == 0 {
+				return types.Null(), nil
+			}
+			return types.Float(l.Float() / d), nil
+		}
+		if r.Int() == 0 {
+			return types.Null(), nil
+		}
+		return types.Int(l.Int() / r.Int()), nil
+	case "%":
+		if r.Int() == 0 {
+			return types.Null(), nil
+		}
+		return types.Int(l.Int() % r.Int()), nil
+	case "==":
+		return types.Bool(types.Equal(l, r)), nil
+	case "!=":
+		return types.Bool(!types.Equal(l, r)), nil
+	case "<":
+		return types.Bool(types.Compare(l, r) < 0), nil
+	case "<=":
+		return types.Bool(types.Compare(l, r) <= 0), nil
+	case ">":
+		return types.Bool(types.Compare(l, r) > 0), nil
+	case ">=":
+		return types.Bool(types.Compare(l, r) >= 0), nil
+	default:
+		return types.Null(), fmt.Errorf("monoid: unknown operator %q", op)
+	}
+}
+
+// EvalComprehension folds the comprehension under env: qualifiers are
+// processed left to right, nesting loops for generators, and the head values
+// are merged through the monoid.
+func (ev *Evaluator) EvalComprehension(c *Comprehension, env *Env) (types.Value, error) {
+	acc := c.M.Zero()
+	var step func(i int, env *Env) error
+	step = func(i int, env *Env) error {
+		if i == len(c.Quals) {
+			h, err := ev.Eval(c.Head, env)
+			if err != nil {
+				return err
+			}
+			acc = c.M.Merge(acc, c.M.Unit(h))
+			return nil
+		}
+		switch q := c.Quals[i].(type) {
+		case *Generator:
+			src, err := ev.Eval(q.Source, env)
+			if err != nil {
+				return err
+			}
+			if src.IsNull() {
+				return nil
+			}
+			if src.Kind() != types.KindList {
+				return &TypeError{Op: "generator " + q.Var, Got: src.Kind(), Want: "list"}
+			}
+			for _, v := range src.List() {
+				if err := step(i+1, env.Bind(q.Var, v)); err != nil {
+					return err
+				}
+				// Early exit for short-circuiting boolean monoids.
+				if c.M == Any && acc.Bool() {
+					return nil
+				}
+				if c.M == All && !acc.Bool() {
+					return nil
+				}
+			}
+			return nil
+		case *Pred:
+			v, err := ev.Eval(q.Cond, env)
+			if err != nil {
+				return err
+			}
+			if !v.Bool() {
+				return nil
+			}
+			return step(i+1, env)
+		case *Let:
+			v, err := ev.Eval(q.E, env)
+			if err != nil {
+				return err
+			}
+			return step(i+1, env.Bind(q.Var, v))
+		default:
+			return fmt.Errorf("monoid: unknown qualifier %T", q)
+		}
+	}
+	if err := step(0, env); err != nil {
+		return types.Null(), err
+	}
+	return acc, nil
+}

@@ -1,0 +1,298 @@
+package monoid
+
+import (
+	"strings"
+	"testing"
+
+	"cleandb/internal/types"
+)
+
+func evalExpr(t *testing.T, e Expr, env *Env) types.Value {
+	t.Helper()
+	v, err := NewEvaluator().Eval(e, env)
+	if err != nil {
+		t.Fatalf("Eval(%s): %v", e, err)
+	}
+	return v
+}
+
+func TestEvalArithmetic(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want types.Value
+	}{
+		{&BinOp{Op: "+", L: CInt(2), R: CInt(3)}, types.Int(5)},
+		{&BinOp{Op: "-", L: CInt(2), R: CInt(3)}, types.Int(-1)},
+		{&BinOp{Op: "*", L: CInt(4), R: CInt(3)}, types.Int(12)},
+		{&BinOp{Op: "/", L: CInt(7), R: CInt(2)}, types.Int(3)},
+		{&BinOp{Op: "%", L: CInt(7), R: CInt(2)}, types.Int(1)},
+		{&BinOp{Op: "+", L: C(types.Float(1.5)), R: CInt(1)}, types.Float(2.5)},
+		{&BinOp{Op: "+", L: CStr("a"), R: CStr("b")}, types.String("ab")},
+		{&UnOp{Op: "-", E: CInt(5)}, types.Int(-5)},
+		{&UnOp{Op: "not", E: CBool(false)}, types.Bool(true)},
+	}
+	for _, c := range cases {
+		if got := evalExpr(t, c.e, nil); !types.Equal(got, c.want) {
+			t.Errorf("%s = %s, want %s", c.e, got, c.want)
+		}
+	}
+}
+
+func TestEvalDivisionByZero(t *testing.T) {
+	v := evalExpr(t, &BinOp{Op: "/", L: CInt(1), R: CInt(0)}, nil)
+	if !v.IsNull() {
+		t.Fatalf("division by zero should be null, got %s", v)
+	}
+}
+
+func TestEvalComparisons(t *testing.T) {
+	tests := []struct {
+		op   string
+		want bool
+	}{
+		{"==", false}, {"!=", true}, {"<", true}, {"<=", true}, {">", false}, {">=", false},
+	}
+	for _, c := range tests {
+		e := &BinOp{Op: c.op, L: CInt(1), R: CInt(2)}
+		if got := evalExpr(t, e, nil); got.Bool() != c.want {
+			t.Errorf("1 %s 2 = %v, want %v", c.op, got.Bool(), c.want)
+		}
+	}
+}
+
+func TestEvalShortCircuit(t *testing.T) {
+	// The right side references an unbound variable: must not be evaluated.
+	e := &BinOp{Op: "and", L: CBool(false), R: V("unbound")}
+	if got := evalExpr(t, e, nil); got.Bool() {
+		t.Fatal("false and X should be false without evaluating X")
+	}
+	e2 := &BinOp{Op: "or", L: CBool(true), R: V("unbound")}
+	if got := evalExpr(t, e2, nil); !got.Bool() {
+		t.Fatal("true or X should be true without evaluating X")
+	}
+}
+
+func TestEvalUnboundVariable(t *testing.T) {
+	_, err := NewEvaluator().Eval(V("nope"), nil)
+	if err == nil || !strings.Contains(err.Error(), "unbound") {
+		t.Fatalf("want unbound variable error, got %v", err)
+	}
+}
+
+func TestEvalEnvShadowing(t *testing.T) {
+	env := (*Env)(nil).Bind("x", types.Int(1)).Bind("x", types.Int(2))
+	if got := evalExpr(t, V("x"), env); got.Int() != 2 {
+		t.Fatalf("inner binding should shadow: %s", got)
+	}
+}
+
+func TestEvalRecordAndField(t *testing.T) {
+	rc := &RecordCtor{Names: []string{"a", "b"}, Fields: []Expr{CInt(1), CStr("x")}}
+	rec := evalExpr(t, rc, nil)
+	if rec.Field("a").Int() != 1 || rec.Field("b").Str() != "x" {
+		t.Fatalf("record ctor wrong: %s", rec)
+	}
+	f := F(rc, "b")
+	if got := evalExpr(t, f, nil); got.Str() != "x" {
+		t.Fatalf("field access = %s", got)
+	}
+}
+
+func TestEvalIf(t *testing.T) {
+	e := &If{Cond: Gt(CInt(3), CInt(1)), Then: CStr("yes"), Else: CStr("no")}
+	if got := evalExpr(t, e, nil); got.Str() != "yes" {
+		t.Fatalf("if = %s", got)
+	}
+}
+
+func TestBuiltins(t *testing.T) {
+	cases := []struct {
+		name string
+		e    Expr
+		want types.Value
+	}{
+		{"prefix", &Call{Fn: "prefix", Args: []Expr{CStr("hello")}}, types.String("hel")},
+		{"prefix-n", &Call{Fn: "prefix", Args: []Expr{CStr("hello"), CInt(2)}}, types.String("he")},
+		{"lower", &Call{Fn: "lower", Args: []Expr{CStr("ABC")}}, types.String("abc")},
+		{"upper", &Call{Fn: "upper", Args: []Expr{CStr("abc")}}, types.String("ABC")},
+		{"trim", &Call{Fn: "trim", Args: []Expr{CStr("  x ")}}, types.String("x")},
+		{"length-str", &Call{Fn: "length", Args: []Expr{CStr("abcd")}}, types.Int(4)},
+		{"levenshtein", &Call{Fn: "levenshtein", Args: []Expr{CStr("kitten"), CStr("sitting")}}, types.Int(3)},
+		{"similar", &Call{Fn: "similar", Args: []Expr{CStr("LD"), CStr("abcde"), CStr("abcdx"), C(types.Float(0.7))}}, types.Bool(true)},
+		{"year", &Call{Fn: "year", Args: []Expr{CStr("1998-03-07")}}, types.Int(1998)},
+		{"month", &Call{Fn: "month", Args: []Expr{CStr("1998-03-07")}}, types.Int(3)},
+		{"day", &Call{Fn: "day", Args: []Expr{CStr("1998-03-07")}}, types.Int(7)},
+		{"abs", &Call{Fn: "abs", Args: []Expr{CInt(-4)}}, types.Int(4)},
+		{"isnull-empty", &Call{Fn: "isnull", Args: []Expr{CStr("")}}, types.Bool(true)},
+		{"isnull-value", &Call{Fn: "isnull", Args: []Expr{CInt(1)}}, types.Bool(false)},
+		{"toint", &Call{Fn: "toint", Args: []Expr{CStr(" 42 ")}}, types.Int(42)},
+		{"tofloat", &Call{Fn: "tofloat", Args: []Expr{CStr("2.5")}}, types.Float(2.5)},
+		{"concat", &Call{Fn: "concat", Args: []Expr{CStr("a"), CInt(1)}}, types.String("a1")},
+		{"reckey-ordered", &Call{Fn: "reckey", Args: []Expr{CInt(5)}}, types.String("5")},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := evalExpr(t, c.e, nil); !types.Equal(got, c.want) {
+				t.Fatalf("%s = %s, want %s", c.e, got, c.want)
+			}
+		})
+	}
+}
+
+func TestTokenizeBuiltin(t *testing.T) {
+	e := &Call{Fn: "tokenize", Args: []Expr{CStr("abab"), CInt(2)}}
+	v := evalExpr(t, e, nil)
+	// unique 2-grams of "abab": ab, ba.
+	if len(v.List()) != 2 {
+		t.Fatalf("tokenize = %s", v)
+	}
+}
+
+func TestCallArityErrors(t *testing.T) {
+	ev := NewEvaluator()
+	for _, e := range []Expr{
+		&Call{Fn: "prefix", Args: nil},
+		&Call{Fn: "tokenize", Args: []Expr{CStr("a")}},
+		&Call{Fn: "similar", Args: []Expr{CStr("LD")}},
+		&Call{Fn: "nosuchfn", Args: nil},
+	} {
+		if _, err := ev.Eval(e, nil); err == nil {
+			t.Errorf("%s should error", e)
+		}
+	}
+}
+
+func TestEvalComprehensionSum(t *testing.T) {
+	// +{ x | x ← [1,2,10], x < 5 } = 3 (the paper's example).
+	comp := &Comprehension{
+		M:    Sum,
+		Head: V("x"),
+		Quals: []Qual{
+			&Generator{Var: "x", Source: &ListCtor{Elems: []Expr{CInt(1), CInt(2), CInt(10)}}},
+			&Pred{Cond: Lt(V("x"), CInt(5))},
+		},
+	}
+	if got := evalExpr(t, comp, nil); got.Int() != 3 {
+		t.Fatalf("sum comprehension = %s, want 3", got)
+	}
+}
+
+func TestEvalComprehensionCrossProduct(t *testing.T) {
+	// set{ (x,y) | x ← {1,2}, y ← {3,4} } — the paper's second example.
+	comp := &Comprehension{
+		M:    Set,
+		Head: &ListCtor{Elems: []Expr{V("x"), V("y")}},
+		Quals: []Qual{
+			&Generator{Var: "x", Source: &ListCtor{Elems: []Expr{CInt(1), CInt(2)}}},
+			&Generator{Var: "y", Source: &ListCtor{Elems: []Expr{CInt(3), CInt(4)}}},
+		},
+	}
+	v := evalExpr(t, comp, nil)
+	if len(v.List()) != 4 {
+		t.Fatalf("cross product size = %d, want 4", len(v.List()))
+	}
+}
+
+func TestEvalComprehensionLet(t *testing.T) {
+	comp := &Comprehension{
+		M:    Bag,
+		Head: V("y"),
+		Quals: []Qual{
+			&Generator{Var: "x", Source: &ListCtor{Elems: []Expr{CInt(1), CInt(2)}}},
+			&Let{Var: "y", E: &BinOp{Op: "*", L: V("x"), R: CInt(10)}},
+		},
+	}
+	v := evalExpr(t, comp, nil)
+	if len(v.List()) != 2 || v.List()[0].Int() != 10 || v.List()[1].Int() != 20 {
+		t.Fatalf("let comprehension = %s", v)
+	}
+}
+
+func TestEvalExistsEarlyExit(t *testing.T) {
+	// any over a large generator must stop at the first match; the list's
+	// second element would fail field access gracefully anyway, but the
+	// early exit is observable through Any's result.
+	comp := &Comprehension{
+		M:    Any,
+		Head: Eq(V("x"), CInt(1)),
+		Quals: []Qual{
+			&Generator{Var: "x", Source: &ListCtor{Elems: []Expr{CInt(1), CInt(2), CInt(3)}}},
+		},
+	}
+	if got := evalExpr(t, comp, nil); !got.Bool() {
+		t.Fatal("exists should find 1")
+	}
+}
+
+func TestEvalGeneratorOverNull(t *testing.T) {
+	comp := &Comprehension{
+		M:    Count,
+		Head: CInt(1),
+		Quals: []Qual{
+			&Generator{Var: "x", Source: C(types.Null())},
+		},
+	}
+	if got := evalExpr(t, comp, nil); got.Int() != 0 {
+		t.Fatalf("generator over null yields zero, got %s", got)
+	}
+}
+
+func TestEvalGeneratorTypeError(t *testing.T) {
+	comp := &Comprehension{
+		M:     Count,
+		Head:  CInt(1),
+		Quals: []Qual{&Generator{Var: "x", Source: CInt(3)}},
+	}
+	_, err := NewEvaluator().EvalComprehension(comp, nil)
+	if err == nil {
+		t.Fatal("generator over int should be a type error")
+	}
+	if _, ok := err.(*TypeError); !ok {
+		t.Fatalf("want *TypeError, got %T: %v", err, err)
+	}
+}
+
+func TestEvalNestedComprehension(t *testing.T) {
+	// sum{ sum{ y | y ← x } | x ← [[1,2],[3]] } = 6
+	inner := &Comprehension{M: Sum, Head: V("y"), Quals: []Qual{&Generator{Var: "y", Source: V("x")}}}
+	outer := &Comprehension{M: Sum, Head: inner, Quals: []Qual{
+		&Generator{Var: "x", Source: &ListCtor{Elems: []Expr{
+			&ListCtor{Elems: []Expr{CInt(1), CInt(2)}},
+			&ListCtor{Elems: []Expr{CInt(3)}},
+		}}},
+	}}
+	if got := evalExpr(t, outer, nil); got.Int() != 6 {
+		t.Fatalf("nested comprehension = %s", got)
+	}
+}
+
+func TestEvalSources(t *testing.T) {
+	ev := NewEvaluator()
+	ev.Sources = func(name string) (types.Value, bool) {
+		if name == "nums" {
+			return types.List(types.Int(4), types.Int(5)), true
+		}
+		return types.Null(), false
+	}
+	comp := &Comprehension{M: Sum, Head: V("x"), Quals: []Qual{&Generator{Var: "x", Source: V("nums")}}}
+	v, err := ev.EvalComprehension(comp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Int() != 9 {
+		t.Fatalf("source comprehension = %s", v)
+	}
+}
+
+func TestMergeOpEval(t *testing.T) {
+	e := &BinOp{Op: "merge:sum", L: CInt(3), R: CInt(4)}
+	if got := evalExpr(t, e, nil); got.Int() != 7 {
+		t.Fatalf("merge:sum = %s", got)
+	}
+	e2 := &BinOp{Op: "merge:bag",
+		L: &ListCtor{Elems: []Expr{CInt(1)}},
+		R: &ListCtor{Elems: []Expr{CInt(2)}}}
+	if got := evalExpr(t, e2, nil); len(got.List()) != 2 {
+		t.Fatalf("merge:bag = %s", got)
+	}
+}

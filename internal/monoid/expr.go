@@ -1,0 +1,379 @@
+package monoid
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cleandb/internal/types"
+)
+
+// Expr is a node of the comprehension expression language.
+type Expr interface {
+	fmt.Stringer
+	exprNode()
+}
+
+// Const is a literal value.
+type Const struct{ Val types.Value }
+
+// Var references a bound variable (generator or let binding).
+type Var struct{ Name string }
+
+// Field accesses a named field of a record-valued expression.
+type Field struct {
+	Rec  Expr
+	Name string
+}
+
+// BinOp applies a binary operator. Supported: + - * / % == != < <= > >= and or.
+type BinOp struct {
+	Op   string
+	L, R Expr
+}
+
+// UnOp applies a unary operator: "not" or "-".
+type UnOp struct {
+	Op string
+	E  Expr
+}
+
+// Call invokes a registered builtin function.
+type Call struct {
+	Fn   string
+	Args []Expr
+}
+
+// If is a conditional expression.
+type If struct {
+	Cond, Then, Else Expr
+}
+
+// RecordCtor constructs a record with the given field names.
+type RecordCtor struct {
+	Names  []string
+	Fields []Expr
+	schema *types.Schema
+}
+
+// Schema returns (and caches) the constructed record's schema.
+func (r *RecordCtor) Schema() *types.Schema {
+	if r.schema == nil {
+		r.schema = types.NewSchema(r.Names...)
+	}
+	return r.schema
+}
+
+// ListCtor constructs a list value from element expressions.
+type ListCtor struct{ Elems []Expr }
+
+// Comprehension is ⊕{Head | Quals}; it may appear nested inside expressions.
+type Comprehension struct {
+	M     Monoid
+	Head  Expr
+	Quals []Qual
+}
+
+// Exists is sugar for any{ true | quals... } used by normalization to detect
+// unnesting opportunities.
+type Exists struct{ C *Comprehension }
+
+func (*Const) exprNode()         {}
+func (*Var) exprNode()           {}
+func (*Field) exprNode()         {}
+func (*BinOp) exprNode()         {}
+func (*UnOp) exprNode()          {}
+func (*Call) exprNode()          {}
+func (*If) exprNode()            {}
+func (*RecordCtor) exprNode()    {}
+func (*ListCtor) exprNode()      {}
+func (*Comprehension) exprNode() {}
+func (*Exists) exprNode()        {}
+
+// Qual is one qualifier of a comprehension body.
+type Qual interface {
+	fmt.Stringer
+	qualNode()
+}
+
+// Generator iterates Var over the collection denoted by Source.
+type Generator struct {
+	Var    string
+	Source Expr
+}
+
+// Pred filters bindings by a boolean condition.
+type Pred struct{ Cond Expr }
+
+// Let binds Var to the value of E.
+type Let struct {
+	Var string
+	E   Expr
+}
+
+func (*Generator) qualNode() {}
+func (*Pred) qualNode()      {}
+func (*Let) qualNode()       {}
+
+// String renders the qualifier in calculus syntax.
+func (g *Generator) String() string { return g.Var + " <- " + g.Source.String() }
+
+// String renders the predicate.
+func (p *Pred) String() string { return p.Cond.String() }
+
+// String renders the binding.
+func (l *Let) String() string { return l.Var + " := " + l.E.String() }
+
+// String renders the literal.
+func (c *Const) String() string {
+	if c.Val.Kind() == types.KindString {
+		return fmt.Sprintf("%q", c.Val.Str())
+	}
+	return c.Val.String()
+}
+
+// String renders the variable name.
+func (v *Var) String() string { return v.Name }
+
+// String renders the field access.
+func (f *Field) String() string { return f.Rec.String() + "." + f.Name }
+
+// String renders the operator application.
+func (b *BinOp) String() string {
+	return "(" + b.L.String() + " " + b.Op + " " + b.R.String() + ")"
+}
+
+// String renders the unary operator application.
+func (u *UnOp) String() string { return u.Op + "(" + u.E.String() + ")" }
+
+// String renders the call.
+func (c *Call) String() string {
+	args := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		args[i] = a.String()
+	}
+	return c.Fn + "(" + strings.Join(args, ", ") + ")"
+}
+
+// String renders the conditional.
+func (i *If) String() string {
+	return "if " + i.Cond.String() + " then " + i.Then.String() + " else " + i.Else.String()
+}
+
+// String renders the record constructor.
+func (r *RecordCtor) String() string {
+	parts := make([]string, len(r.Names))
+	for i := range r.Names {
+		parts[i] = r.Names[i] + ": " + r.Fields[i].String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// String renders the list constructor.
+func (l *ListCtor) String() string {
+	parts := make([]string, len(l.Elems))
+	for i, e := range l.Elems {
+		parts[i] = e.String()
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+// String renders the comprehension in ⊕{ e | q1, ..., qn } form.
+func (c *Comprehension) String() string {
+	quals := make([]string, len(c.Quals))
+	for i, q := range c.Quals {
+		quals[i] = q.String()
+	}
+	return c.M.Name() + "{ " + c.Head.String() + " | " + strings.Join(quals, ", ") + " }"
+}
+
+// String renders the existential.
+func (e *Exists) String() string { return "exists " + e.C.String() }
+
+// ---------------------------------------------------------------------------
+// Convenience constructors
+// ---------------------------------------------------------------------------
+
+// C wraps a Go value into a Const expression.
+func C(v types.Value) *Const { return &Const{Val: v} }
+
+// CInt wraps an int literal.
+func CInt(i int64) *Const { return &Const{Val: types.Int(i)} }
+
+// CStr wraps a string literal.
+func CStr(s string) *Const { return &Const{Val: types.String(s)} }
+
+// CBool wraps a bool literal.
+func CBool(b bool) *Const { return &Const{Val: types.Bool(b)} }
+
+// V references a variable.
+func V(name string) *Var { return &Var{Name: name} }
+
+// F accesses rec.name.
+func F(rec Expr, name string) *Field { return &Field{Rec: rec, Name: name} }
+
+// Eq builds l == r.
+func Eq(l, r Expr) *BinOp { return &BinOp{Op: "==", L: l, R: r} }
+
+// Gt builds l > r.
+func Gt(l, r Expr) *BinOp { return &BinOp{Op: ">", L: l, R: r} }
+
+// Lt builds l < r.
+func Lt(l, r Expr) *BinOp { return &BinOp{Op: "<", L: l, R: r} }
+
+// And builds l and r.
+func And(l, r Expr) *BinOp { return &BinOp{Op: "and", L: l, R: r} }
+
+// FreeVars returns the free variables of e in sorted order.
+func FreeVars(e Expr) []string {
+	set := map[string]struct{}{}
+	freeVarsInto(e, map[string]struct{}{}, set)
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func freeVarsInto(e Expr, bound, out map[string]struct{}) {
+	switch n := e.(type) {
+	case *Const:
+	case *Var:
+		if _, ok := bound[n.Name]; !ok {
+			out[n.Name] = struct{}{}
+		}
+	case *Field:
+		freeVarsInto(n.Rec, bound, out)
+	case *BinOp:
+		freeVarsInto(n.L, bound, out)
+		freeVarsInto(n.R, bound, out)
+	case *UnOp:
+		freeVarsInto(n.E, bound, out)
+	case *Call:
+		for _, a := range n.Args {
+			freeVarsInto(a, bound, out)
+		}
+	case *If:
+		freeVarsInto(n.Cond, bound, out)
+		freeVarsInto(n.Then, bound, out)
+		freeVarsInto(n.Else, bound, out)
+	case *RecordCtor:
+		for _, f := range n.Fields {
+			freeVarsInto(f, bound, out)
+		}
+	case *ListCtor:
+		for _, el := range n.Elems {
+			freeVarsInto(el, bound, out)
+		}
+	case *Comprehension:
+		compFreeVars(n, bound, out)
+	case *Exists:
+		compFreeVars(n.C, bound, out)
+	}
+}
+
+func compFreeVars(c *Comprehension, bound, out map[string]struct{}) {
+	local := make(map[string]struct{}, len(bound)+len(c.Quals))
+	for k := range bound {
+		local[k] = struct{}{}
+	}
+	for _, q := range c.Quals {
+		switch qq := q.(type) {
+		case *Generator:
+			freeVarsInto(qq.Source, local, out)
+			local[qq.Var] = struct{}{}
+		case *Pred:
+			freeVarsInto(qq.Cond, local, out)
+		case *Let:
+			freeVarsInto(qq.E, local, out)
+			local[qq.Var] = struct{}{}
+		}
+	}
+	freeVarsInto(c.Head, local, out)
+}
+
+// Substitute replaces free occurrences of name with repl in e, returning a
+// new expression tree (e is not modified).
+func Substitute(e Expr, name string, repl Expr) Expr {
+	switch n := e.(type) {
+	case *Const:
+		return n
+	case *Var:
+		if n.Name == name {
+			return repl
+		}
+		return n
+	case *Field:
+		return &Field{Rec: Substitute(n.Rec, name, repl), Name: n.Name}
+	case *BinOp:
+		return &BinOp{Op: n.Op, L: Substitute(n.L, name, repl), R: Substitute(n.R, name, repl)}
+	case *UnOp:
+		return &UnOp{Op: n.Op, E: Substitute(n.E, name, repl)}
+	case *Call:
+		args := make([]Expr, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = Substitute(a, name, repl)
+		}
+		return &Call{Fn: n.Fn, Args: args}
+	case *If:
+		return &If{Cond: Substitute(n.Cond, name, repl), Then: Substitute(n.Then, name, repl), Else: Substitute(n.Else, name, repl)}
+	case *RecordCtor:
+		fields := make([]Expr, len(n.Fields))
+		for i, f := range n.Fields {
+			fields[i] = Substitute(f, name, repl)
+		}
+		return &RecordCtor{Names: n.Names, Fields: fields}
+	case *ListCtor:
+		elems := make([]Expr, len(n.Elems))
+		for i, el := range n.Elems {
+			elems[i] = Substitute(el, name, repl)
+		}
+		return &ListCtor{Elems: elems}
+	case *Comprehension:
+		return substituteComp(n, name, repl)
+	case *Exists:
+		return &Exists{C: substituteComp(n.C, name, repl)}
+	default:
+		return e
+	}
+}
+
+func substituteComp(c *Comprehension, name string, repl Expr) *Comprehension {
+	out := &Comprehension{M: c.M, Quals: make([]Qual, 0, len(c.Quals))}
+	shadowed := false
+	for _, q := range c.Quals {
+		switch qq := q.(type) {
+		case *Generator:
+			src := qq.Source
+			if !shadowed {
+				src = Substitute(src, name, repl)
+			}
+			out.Quals = append(out.Quals, &Generator{Var: qq.Var, Source: src})
+			if qq.Var == name {
+				shadowed = true
+			}
+		case *Pred:
+			cond := qq.Cond
+			if !shadowed {
+				cond = Substitute(cond, name, repl)
+			}
+			out.Quals = append(out.Quals, &Pred{Cond: cond})
+		case *Let:
+			e := qq.E
+			if !shadowed {
+				e = Substitute(e, name, repl)
+			}
+			out.Quals = append(out.Quals, &Let{Var: qq.Var, E: e})
+			if qq.Var == name {
+				shadowed = true
+			}
+		}
+	}
+	if shadowed {
+		out.Head = c.Head
+	} else {
+		out.Head = Substitute(c.Head, name, repl)
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+package monoid
+
+import (
+	"cleandb/internal/types"
+)
+
+// Iteration implements the paper's "iteration monoid" (§4.3): multi-pass
+// algorithms — the original k-means, canopy clustering, hierarchical
+// clustering — are n equivalent monoid comprehensions, each storing its
+// result into a state that flows to the next iteration. Iteration is the
+// foldLeft-style syntactic sugar the paper proposes in place of writing the
+// n comprehensions out.
+type Iteration struct {
+	// Init is the initial state (e.g. the initial cluster centers).
+	Init types.Value
+	// Step computes iteration i's comprehension result from the previous
+	// state. It corresponds to one of the n equivalent comprehensions.
+	Step func(i int, state types.Value) (types.Value, error)
+	// Until, when non-nil, stops early once the state reaches a fixpoint or
+	// other convergence condition.
+	Until func(prev, next types.Value) bool
+}
+
+// Run folds the state through n iterations (or fewer if Until fires).
+func (it Iteration) Run(n int) (types.Value, error) {
+	state := it.Init
+	for i := 0; i < n; i++ {
+		next, err := it.Step(i, state)
+		if err != nil {
+			return types.Null(), err
+		}
+		if it.Until != nil && it.Until(state, next) {
+			return next, nil
+		}
+		state = next
+	}
+	return state, nil
+}
+
+// IterateComprehension runs a comprehension n times, binding the evolving
+// state to stateVar — the de-sugared form of the iteration monoid. The
+// comprehension sees the previous state through the environment, exactly as
+// the paper's "each iteration stores the result ... which is then
+// transferred to the next iteration".
+func IterateComprehension(ev *Evaluator, c *Comprehension, stateVar string, init types.Value, n int) (types.Value, error) {
+	it := Iteration{
+		Init: init,
+		Step: func(_ int, state types.Value) (types.Value, error) {
+			return ev.EvalComprehension(c, (*Env)(nil).Bind(stateVar, state))
+		},
+		Until: func(prev, next types.Value) bool {
+			return types.Equal(prev, next) // fixpoint
+		},
+	}
+	return it.Run(n)
+}

@@ -1,0 +1,110 @@
+package monoid
+
+import (
+	"errors"
+	"testing"
+
+	"cleandb/internal/types"
+)
+
+func TestIterationRun(t *testing.T) {
+	it := Iteration{
+		Init: types.Int(1),
+		Step: func(_ int, s types.Value) (types.Value, error) {
+			return types.Int(s.Int() * 2), nil
+		},
+	}
+	out, err := it.Run(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Int() != 32 {
+		t.Fatalf("5 doublings of 1 = %d, want 32", out.Int())
+	}
+}
+
+func TestIterationUntilFixpoint(t *testing.T) {
+	steps := 0
+	it := Iteration{
+		Init: types.Int(100),
+		Step: func(_ int, s types.Value) (types.Value, error) {
+			steps++
+			v := s.Int() / 2
+			if v < 1 {
+				v = 1
+			}
+			return types.Int(v), nil
+		},
+		Until: func(prev, next types.Value) bool { return types.Equal(prev, next) },
+	}
+	out, err := it.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Int() != 1 {
+		t.Fatalf("fixpoint = %d", out.Int())
+	}
+	if steps >= 100 {
+		t.Fatalf("should stop early at the fixpoint, took %d steps", steps)
+	}
+}
+
+func TestIterationError(t *testing.T) {
+	boom := errors.New("boom")
+	it := Iteration{
+		Init: types.Int(0),
+		Step: func(i int, s types.Value) (types.Value, error) {
+			if i == 2 {
+				return types.Null(), boom
+			}
+			return s, nil
+		},
+	}
+	if _, err := it.Run(5); !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+}
+
+func TestIterateComprehension(t *testing.T) {
+	// Each iteration maps state (a list) to its doubled elements:
+	// bag{ x*2 | x ← state }. After 3 iterations of [1,2]: [8,16].
+	comp := &Comprehension{
+		M:    Bag,
+		Head: &BinOp{Op: "*", L: V("x"), R: CInt(2)},
+		Quals: []Qual{
+			&Generator{Var: "x", Source: V("state")},
+		},
+	}
+	out, err := IterateComprehension(NewEvaluator(), comp, "state",
+		types.List(types.Int(1), types.Int(2)), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := out.List()
+	if len(l) != 2 || l[0].Int() != 8 || l[1].Int() != 16 {
+		t.Fatalf("iterated comprehension = %s", out)
+	}
+}
+
+func TestIterateComprehensionFixpoint(t *testing.T) {
+	// min-capped map converges: bag{ max(x-1, 0) … } via if.
+	comp := &Comprehension{
+		M: Bag,
+		Head: &If{
+			Cond: Gt(V("x"), CInt(0)),
+			Then: &BinOp{Op: "-", L: V("x"), R: CInt(1)},
+			Else: CInt(0),
+		},
+		Quals: []Qual{&Generator{Var: "x", Source: V("state")}},
+	}
+	out, err := IterateComprehension(NewEvaluator(), comp, "state",
+		types.List(types.Int(3), types.Int(1)), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range out.List() {
+		if v.Int() != 0 {
+			t.Fatalf("should converge to zeros: %s", out)
+		}
+	}
+}

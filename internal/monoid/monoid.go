@@ -1,0 +1,282 @@
+// Package monoid implements the monoid comprehension calculus (Fegaras &
+// Maier, TODS 2000) that CleanM uses as its first abstraction level. Every
+// CleanM cleaning operation is de-sugared into a monoid comprehension
+//
+//	⊕{ e | q1, ..., qn }
+//
+// where ⊕ is the merge operation of the output monoid, e is the head
+// expression, and each qualifier is a generator (v ← collection), a filter
+// predicate, or a let binding. The package provides:
+//
+//   - primitive monoids (sum, prod, count, max, min, all, any) and
+//     collection monoids (bag, list, set);
+//   - the expression language used inside comprehensions;
+//   - a reference evaluator;
+//   - the normalization algorithm (§4.2 of the paper): beta reduction,
+//     comprehension unnesting, if-splitting, existential unnesting, filter
+//     pushdown and static simplification.
+package monoid
+
+import (
+	"fmt"
+
+	"cleandb/internal/types"
+)
+
+// Monoid is an associative merge operation with an identity element and a
+// unit injection. Collection monoids additionally construct collections.
+type Monoid interface {
+	// Name identifies the monoid ("sum", "bag", ...).
+	Name() string
+	// Zero returns the identity element.
+	Zero() types.Value
+	// Unit injects a single value.
+	Unit(v types.Value) types.Value
+	// Merge combines two monoid values; must be associative with Zero as
+	// identity. The monoid-law property tests exercise exactly this contract.
+	Merge(a, b types.Value) types.Value
+	// Idempotent reports x⊕x = x; idempotent (or boolean) output monoids
+	// admit existential unnesting during normalization.
+	Idempotent() bool
+	// Collection reports whether the monoid builds a collection type.
+	Collection() bool
+}
+
+// ---------------------------------------------------------------------------
+// Primitive monoids
+// ---------------------------------------------------------------------------
+
+type primitive struct {
+	name       string
+	zero       types.Value
+	unit       func(types.Value) types.Value
+	merge      func(a, b types.Value) types.Value
+	idempotent bool
+}
+
+func (p *primitive) Name() string                       { return p.name }
+func (p *primitive) Zero() types.Value                  { return p.zero }
+func (p *primitive) Unit(v types.Value) types.Value     { return p.unit(v) }
+func (p *primitive) Merge(a, b types.Value) types.Value { return p.merge(a, b) }
+func (p *primitive) Idempotent() bool                   { return p.idempotent }
+func (p *primitive) Collection() bool                   { return false }
+
+func identity(v types.Value) types.Value { return v }
+
+func numAdd(a, b types.Value) types.Value {
+	if a.Kind() == types.KindFloat || b.Kind() == types.KindFloat {
+		return types.Float(a.Float() + b.Float())
+	}
+	return types.Int(a.Int() + b.Int())
+}
+
+// Sum adds numeric values; zero is 0.
+var Sum Monoid = &primitive{name: "sum", zero: types.Int(0), unit: identity, merge: numAdd}
+
+// Prod multiplies numeric values; zero is 1.
+var Prod Monoid = &primitive{name: "prod", zero: types.Int(1), unit: identity,
+	merge: func(a, b types.Value) types.Value {
+		if a.Kind() == types.KindFloat || b.Kind() == types.KindFloat {
+			return types.Float(a.Float() * b.Float())
+		}
+		return types.Int(a.Int() * b.Int())
+	}}
+
+// Count counts elements: unit maps any value to 1.
+var Count Monoid = &primitive{name: "count", zero: types.Int(0),
+	unit:  func(types.Value) types.Value { return types.Int(1) },
+	merge: numAdd}
+
+// Max keeps the larger value (types.Compare order); zero is null, which every
+// value dominates.
+var Max Monoid = &primitive{name: "max", zero: types.Null(), unit: identity, idempotent: true,
+	merge: func(a, b types.Value) types.Value {
+		if a.IsNull() {
+			return b
+		}
+		if b.IsNull() {
+			return a
+		}
+		if types.Compare(a, b) >= 0 {
+			return a
+		}
+		return b
+	}}
+
+// Min keeps the smaller value; zero is null.
+var Min Monoid = &primitive{name: "min", zero: types.Null(), unit: identity, idempotent: true,
+	merge: func(a, b types.Value) types.Value {
+		if a.IsNull() {
+			return b
+		}
+		if b.IsNull() {
+			return a
+		}
+		if types.Compare(a, b) <= 0 {
+			return a
+		}
+		return b
+	}}
+
+// All is boolean conjunction; zero is true.
+var All Monoid = &primitive{name: "all", zero: types.Bool(true), unit: identity, idempotent: true,
+	merge: func(a, b types.Value) types.Value { return types.Bool(a.Bool() && b.Bool()) }}
+
+// Any is boolean disjunction; zero is false. Existential quantification
+// (EXISTS) is the comprehension any{p | ...}.
+var Any Monoid = &primitive{name: "any", zero: types.Bool(false), unit: identity, idempotent: true,
+	merge: func(a, b types.Value) types.Value { return types.Bool(a.Bool() || b.Bool()) }}
+
+// ---------------------------------------------------------------------------
+// Collection monoids
+// ---------------------------------------------------------------------------
+
+type collection struct {
+	name       string
+	idempotent bool
+	dedup      bool
+}
+
+func (c *collection) Name() string      { return c.name }
+func (c *collection) Zero() types.Value { return types.List() }
+func (c *collection) Unit(v types.Value) types.Value {
+	return types.List(v)
+}
+func (c *collection) Merge(a, b types.Value) types.Value {
+	al, bl := a.List(), b.List()
+	if len(al) == 0 {
+		if c.dedup {
+			return types.ListOf(dedupList(bl))
+		}
+		return b
+	}
+	if len(bl) == 0 {
+		if c.dedup {
+			return types.ListOf(dedupList(al))
+		}
+		return a
+	}
+	out := make([]types.Value, 0, len(al)+len(bl))
+	out = append(out, al...)
+	out = append(out, bl...)
+	if c.dedup {
+		out = dedupList(out)
+	}
+	return types.ListOf(out)
+}
+func (c *collection) Idempotent() bool { return c.idempotent }
+func (c *collection) Collection() bool { return true }
+
+func dedupList(vs []types.Value) []types.Value {
+	seen := make(map[string]struct{}, len(vs))
+	out := make([]types.Value, 0, len(vs))
+	for _, v := range vs {
+		k := types.Key(v)
+		if _, ok := seen[k]; ok {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, v)
+	}
+	return out
+}
+
+// Bag is an unordered multiset (represented as a list; order is an
+// implementation detail). The default collection type of CleanM scans.
+var Bag Monoid = &collection{name: "bag"}
+
+// ListM is an ordered list monoid (append).
+var ListM Monoid = &collection{name: "list"}
+
+// Set is a duplicate-free collection; merge unions and is idempotent.
+var Set Monoid = &collection{name: "set", idempotent: true, dedup: true}
+
+// ByName resolves a monoid from its name; it reports false for unknown names.
+func ByName(name string) (Monoid, bool) {
+	switch name {
+	case "sum":
+		return Sum, true
+	case "prod":
+		return Prod, true
+	case "count":
+		return Count, true
+	case "max":
+		return Max, true
+	case "min":
+		return Min, true
+	case "all":
+		return All, true
+	case "any":
+		return Any, true
+	case "bag":
+		return Bag, true
+	case "list":
+		return ListM, true
+	case "set":
+		return Set, true
+	default:
+		return nil, false
+	}
+}
+
+// Fold folds a slice of values through a monoid: merge(unit(v1), unit(v2)...).
+func Fold(m Monoid, vs []types.Value) types.Value {
+	acc := m.Zero()
+	for _, v := range vs {
+		acc = m.Merge(acc, m.Unit(v))
+	}
+	return acc
+}
+
+// ---------------------------------------------------------------------------
+// Function-composition monoid (paper §4.3, center initialization)
+// ---------------------------------------------------------------------------
+
+// StateFn is an element of the function-composition monoid: a state
+// transformer. Composition of associative transformers is associative with
+// the identity transformer as zero, which is what lets CleanM express
+// stateful single-pass algorithms (e.g. reservoir-style center extraction for
+// k-means) as monoid operations.
+type StateFn func(state types.Value) types.Value
+
+// ComposeState composes two state transformers (g after f).
+func ComposeState(f, g StateFn) StateFn {
+	if f == nil {
+		return g
+	}
+	if g == nil {
+		return f
+	}
+	return func(s types.Value) types.Value { return g(f(s)) }
+}
+
+// IdentityState is the zero of the function-composition monoid.
+func IdentityState(s types.Value) types.Value { return s }
+
+// ApplyComposition folds fs into one transformer and applies it to init.
+func ApplyComposition(init types.Value, fs []StateFn) types.Value {
+	acc := StateFn(nil)
+	for _, f := range fs {
+		acc = ComposeState(acc, f)
+	}
+	if acc == nil {
+		return init
+	}
+	return acc(init)
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+// TypeError reports a dynamic typing failure during evaluation.
+type TypeError struct {
+	Op   string
+	Got  types.Kind
+	Want string
+}
+
+// Error implements the error interface.
+func (e *TypeError) Error() string {
+	return fmt.Sprintf("monoid: %s: got %s, want %s", e.Op, e.Got, e.Want)
+}

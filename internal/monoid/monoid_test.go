@@ -1,0 +1,219 @@
+package monoid
+
+import (
+	"math/rand"
+	"testing"
+
+	"cleandb/internal/types"
+)
+
+// randomValue builds bounded random values for law tests.
+func randomValue(rng *rand.Rand, depth int) types.Value {
+	max := 6
+	if depth <= 0 {
+		max = 5
+	}
+	switch rng.Intn(max) {
+	case 0:
+		return types.Null()
+	case 1:
+		return types.Bool(rng.Intn(2) == 0)
+	case 2:
+		return types.Int(int64(rng.Intn(11) - 5))
+	case 3:
+		return types.Float(float64(rng.Intn(12)) / 4)
+	case 4:
+		letters := []byte("ab")
+		n := rng.Intn(3)
+		s := make([]byte, n)
+		for i := range s {
+			s[i] = letters[rng.Intn(len(letters))]
+		}
+		return types.String(string(s))
+	default:
+		n := rng.Intn(3)
+		elems := make([]types.Value, n)
+		for i := range elems {
+			elems[i] = randomValue(rng, depth-1)
+		}
+		return types.ListOf(elems)
+	}
+}
+
+// monoidValue builds a random value in the monoid's carrier set by folding
+// random units, so Merge inputs are well-typed.
+func monoidValue(m Monoid, rng *rand.Rand) types.Value {
+	n := rng.Intn(4)
+	acc := m.Zero()
+	for i := 0; i < n; i++ {
+		var unit types.Value
+		switch m.Name() {
+		case "sum", "prod", "count", "max", "min":
+			unit = types.Int(int64(rng.Intn(9) - 4))
+		case "all", "any":
+			unit = types.Bool(rng.Intn(2) == 0)
+		case "groupby":
+			unit = types.NewRecord(GroupBySchema, []types.Value{
+				types.String(string(rune('a' + rng.Intn(3)))),
+				types.Int(int64(rng.Intn(5))),
+			})
+		default:
+			unit = randomValue(rng, 2)
+		}
+		acc = m.Merge(acc, m.Unit(unit))
+	}
+	return acc
+}
+
+// checkMonoidLaws verifies identity and associativity over random carriers.
+func checkMonoidLaws(t *testing.T, m Monoid) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(31))
+	canon := func(v types.Value) string {
+		if m.Name() == "groupby" {
+			return types.Key(NormalizeGrouping(v))
+		}
+		if m.Name() == "bag" {
+			// Bags are order-insensitive: compare sorted.
+			l := append([]types.Value(nil), v.List()...)
+			types.SortValues(l)
+			return types.Key(types.ListOf(l))
+		}
+		return types.Key(v)
+	}
+	for i := 0; i < 400; i++ {
+		a := monoidValue(m, rng)
+		b := monoidValue(m, rng)
+		c := monoidValue(m, rng)
+		if canon(m.Merge(a, m.Zero())) != canon(a) {
+			t.Fatalf("%s: right identity violated for %s", m.Name(), a)
+		}
+		if canon(m.Merge(m.Zero(), a)) != canon(a) {
+			t.Fatalf("%s: left identity violated for %s", m.Name(), a)
+		}
+		l := m.Merge(m.Merge(a, b), c)
+		r := m.Merge(a, m.Merge(b, c))
+		if canon(l) != canon(r) {
+			t.Fatalf("%s: associativity violated:\n (a·b)·c = %s\n a·(b·c) = %s", m.Name(), l, r)
+		}
+		if m.Idempotent() {
+			if canon(m.Merge(a, a)) != canon(a) {
+				t.Fatalf("%s: claimed idempotent but a·a ≠ a for %s", m.Name(), a)
+			}
+		}
+	}
+}
+
+func TestMonoidLaws(t *testing.T) {
+	for _, m := range []Monoid{Sum, Prod, Count, Max, Min, All, Any, Bag, ListM, Set, GroupBy{}} {
+		m := m
+		t.Run(m.Name(), func(t *testing.T) { checkMonoidLaws(t, m) })
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"sum", "prod", "count", "max", "min", "all", "any", "bag", "list", "set"} {
+		m, ok := ByName(name)
+		if !ok || m.Name() != name {
+			t.Errorf("ByName(%q) failed", name)
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("unknown monoid should not resolve")
+	}
+}
+
+func TestFold(t *testing.T) {
+	vs := []types.Value{types.Int(1), types.Int(2), types.Int(3)}
+	if Fold(Sum, vs).Int() != 6 {
+		t.Error("sum fold")
+	}
+	if Fold(Count, vs).Int() != 3 {
+		t.Error("count fold")
+	}
+	if Fold(Max, vs).Int() != 3 {
+		t.Error("max fold")
+	}
+	if Fold(Min, vs).Int() != 1 {
+		t.Error("min fold")
+	}
+	if Fold(Max, nil).Kind() != types.KindNull {
+		t.Error("max of empty is null (zero)")
+	}
+}
+
+func TestSetDedups(t *testing.T) {
+	v := Fold(Set, []types.Value{types.Int(1), types.Int(1), types.Int(2)})
+	if len(v.List()) != 2 {
+		t.Fatalf("set should dedup: %s", v)
+	}
+}
+
+func TestSumMixedNumeric(t *testing.T) {
+	v := Sum.Merge(types.Int(1), types.Float(2.5))
+	if v.Kind() != types.KindFloat || v.Float() != 3.5 {
+		t.Fatalf("mixed sum = %s", v)
+	}
+}
+
+func TestFunctionCompositionMonoid(t *testing.T) {
+	add := func(n int64) StateFn {
+		return func(s types.Value) types.Value { return types.Int(s.Int() + n) }
+	}
+	// Composition is associative: ((f∘g)∘h)(x) == (f∘(g∘h))(x).
+	f, g, h := add(1), add(10), add(100)
+	l := ComposeState(ComposeState(f, g), h)(types.Int(0))
+	r := ComposeState(f, ComposeState(g, h))(types.Int(0))
+	if l.Int() != r.Int() || l.Int() != 111 {
+		t.Fatalf("composition mismatch: %d vs %d", l.Int(), r.Int())
+	}
+	// Identity element.
+	if ComposeState(nil, f)(types.Int(5)).Int() != 6 {
+		t.Error("nil left identity")
+	}
+	if out := ApplyComposition(types.Int(0), []StateFn{f, g, h}); out.Int() != 111 {
+		t.Fatalf("ApplyComposition = %d", out.Int())
+	}
+	if out := ApplyComposition(types.Int(7), nil); out.Int() != 7 {
+		t.Error("empty composition is identity")
+	}
+}
+
+func TestGroupByUnitMerge(t *testing.T) {
+	gb := GroupBy{}
+	u1 := gb.Unit(types.NewRecord(GroupBySchema, []types.Value{types.String("k"), types.Int(1)}))
+	u2 := gb.Unit(types.NewRecord(GroupBySchema, []types.Value{types.String("k"), types.Int(2)}))
+	merged := gb.Merge(u1, u2)
+	groups := merged.List()
+	if len(groups) != 1 {
+		t.Fatalf("want 1 group, got %d", len(groups))
+	}
+	if len(groups[0].Field("group").List()) != 2 {
+		t.Fatalf("group should hold both values: %s", merged)
+	}
+}
+
+func TestNormalizeGroupingOrderInsensitive(t *testing.T) {
+	gb := GroupBy{}
+	rng := rand.New(rand.NewSource(37))
+	for i := 0; i < 100; i++ {
+		units := make([]types.Value, 6)
+		for j := range units {
+			units[j] = types.NewRecord(GroupBySchema, []types.Value{
+				types.String(string(rune('a' + rng.Intn(3)))), types.Int(int64(j)),
+			})
+		}
+		// Fold in two different orders.
+		l, r := gb.Zero(), gb.Zero()
+		for _, u := range units {
+			l = gb.Merge(l, gb.Unit(u))
+		}
+		perm := rng.Perm(len(units))
+		for _, j := range perm {
+			r = gb.Merge(gb.Unit(units[j]), r)
+		}
+		if types.Key(NormalizeGrouping(l)) != types.Key(NormalizeGrouping(r)) {
+			t.Fatalf("grouping depends on fold order")
+		}
+	}
+}

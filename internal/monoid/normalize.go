@@ -1,0 +1,599 @@
+package monoid
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"cleandb/internal/types"
+)
+
+// Normalizer applies the comprehension normalization algorithm of Fegaras &
+// Maier as described in §4.2 of the CleanM paper. Normalization puts a
+// comprehension into canonical form while applying optimization rewrites:
+//
+//   - beta reduction: let bindings are substituted into their uses;
+//   - comprehension unnesting: a generator ranging over a nested collection
+//     comprehension is flattened into the outer comprehension;
+//   - singleton/empty simplification: generators over [] and [e];
+//   - if-splitting: a generator over "if c then A else B" splits the
+//     comprehension in two, each further optimizable;
+//   - existential unnesting: an exists predicate becomes generators of the
+//     outer comprehension when the output monoid is idempotent (the dual of
+//     SQL's EXISTS-to-join rewrite);
+//   - static simplification: constant folding, filters that are statically
+//     true/false;
+//   - filter pushdown: predicates move in front of the earliest generator
+//     that binds their free variables.
+type Normalizer struct {
+	// MaxPasses bounds the rewrite fixpoint iteration (default 32).
+	MaxPasses int
+	// Trace, when non-nil, receives a line per applied rule.
+	Trace func(rule, detail string)
+
+	fresh atomic.Int64
+}
+
+// NewNormalizer returns a normalizer with defaults.
+func NewNormalizer() *Normalizer { return &Normalizer{MaxPasses: 32} }
+
+func (n *Normalizer) trace(rule, detail string) {
+	if n.Trace != nil {
+		n.Trace(rule, detail)
+	}
+}
+
+// freshVar generates a unique variable name for capture-free rewrites.
+func (n *Normalizer) freshVar(prefix string) string {
+	return fmt.Sprintf("%s$%d", prefix, n.fresh.Add(1))
+}
+
+// Normalize rewrites the comprehension to a fixpoint and returns the result.
+// The result is either a *Comprehension or, after full static reduction, a
+// *Const / other expression.
+func (n *Normalizer) Normalize(c *Comprehension) Expr {
+	passes := n.MaxPasses
+	if passes <= 0 {
+		passes = 32
+	}
+	var e Expr = c
+	for i := 0; i < passes; i++ {
+		next, changed := n.rewrite(e)
+		e = next
+		if !changed {
+			break
+		}
+	}
+	if comp, ok := e.(*Comprehension); ok {
+		e = n.pushFilters(comp)
+	}
+	return e
+}
+
+// rewrite applies one top-down rewrite pass. It reports whether any rule fired.
+func (n *Normalizer) rewrite(e Expr) (Expr, bool) {
+	switch node := e.(type) {
+	case *Comprehension:
+		return n.rewriteComp(node)
+	case *Field:
+		rec, ch := n.rewrite(node.Rec)
+		out := simplifyField(&Field{Rec: rec, Name: node.Name})
+		if _, still := out.(*Field); still {
+			return out, ch
+		}
+		return out, true
+	case *BinOp:
+		l, ch1 := n.rewrite(node.L)
+		r, ch2 := n.rewrite(node.R)
+		out := simplifyBinOp(&BinOp{Op: node.Op, L: l, R: r})
+		_, isBin := out.(*BinOp)
+		return out, ch1 || ch2 || !isBin
+	case *UnOp:
+		inner, ch := n.rewrite(node.E)
+		out := simplifyUnOp(&UnOp{Op: node.Op, E: inner})
+		_, isUn := out.(*UnOp)
+		return out, ch || !isUn
+	case *If:
+		c, ch1 := n.rewrite(node.Cond)
+		t, ch2 := n.rewrite(node.Then)
+		f, ch3 := n.rewrite(node.Else)
+		if cv, ok := c.(*Const); ok {
+			n.trace("if-const", cv.String())
+			if cv.Val.Bool() {
+				return t, true
+			}
+			return f, true
+		}
+		return &If{Cond: c, Then: t, Else: f}, ch1 || ch2 || ch3
+	case *Call:
+		changed := false
+		args := make([]Expr, len(node.Args))
+		for i, a := range node.Args {
+			na, ch := n.rewrite(a)
+			args[i] = na
+			changed = changed || ch
+		}
+		return &Call{Fn: node.Fn, Args: args}, changed
+	case *RecordCtor:
+		changed := false
+		fields := make([]Expr, len(node.Fields))
+		for i, f := range node.Fields {
+			nf, ch := n.rewrite(f)
+			fields[i] = nf
+			changed = changed || ch
+		}
+		return &RecordCtor{Names: node.Names, Fields: fields}, changed
+	case *ListCtor:
+		changed := false
+		elems := make([]Expr, len(node.Elems))
+		for i, el := range node.Elems {
+			ne, ch := n.rewrite(el)
+			elems[i] = ne
+			changed = changed || ch
+		}
+		return &ListCtor{Elems: elems}, changed
+	case *Exists:
+		inner, ch := n.rewriteComp(node.C)
+		if ic, ok := inner.(*Comprehension); ok {
+			return &Exists{C: ic}, ch
+		}
+		// Inner comprehension reduced statically; exists of a constant
+		// collection is a constant truth value.
+		if cv, ok := inner.(*Const); ok {
+			return CBool(len(cv.Val.List()) > 0), true
+		}
+		return node, ch
+	default:
+		return e, false
+	}
+}
+
+// rewriteComp applies the comprehension rules to c.
+func (n *Normalizer) rewriteComp(c *Comprehension) (Expr, bool) {
+	// First normalize sub-expressions.
+	changed := false
+	head, ch := n.rewrite(c.Head)
+	changed = changed || ch
+	quals := make([]Qual, 0, len(c.Quals))
+	for _, q := range c.Quals {
+		switch qq := q.(type) {
+		case *Generator:
+			src, ch := n.rewrite(qq.Source)
+			changed = changed || ch
+			quals = append(quals, &Generator{Var: qq.Var, Source: src})
+		case *Pred:
+			cond, ch := n.rewrite(qq.Cond)
+			changed = changed || ch
+			quals = append(quals, &Pred{Cond: cond})
+		case *Let:
+			e, ch := n.rewrite(qq.E)
+			changed = changed || ch
+			quals = append(quals, &Let{Var: qq.Var, E: e})
+		}
+	}
+	cur := &Comprehension{M: c.M, Head: head, Quals: quals}
+
+	// Rule: beta-reduce let bindings — but only when substitution cannot
+	// duplicate work: the bound expression is cheap (constant, variable or
+	// field path) or is used at most once downstream. Expensive bindings
+	// used several times stay as lets and lower to Extend operators.
+	for i, q := range cur.Quals {
+		let, ok := q.(*Let)
+		if !ok {
+			continue
+		}
+		uses := countUses(cur, i+1, let.Var)
+		if cheapExpr(let.E) || uses <= 1 {
+			n.trace("beta-reduce", let.Var)
+			rest := &Comprehension{M: cur.M, Head: cur.Head, Quals: append(append([]Qual{}, cur.Quals[:i]...), cur.Quals[i+1:]...)}
+			// Substitute only into qualifiers after the binding and the head.
+			reduced := substituteFrom(rest, i, let.Var, let.E)
+			return reduced, true
+		}
+	}
+
+	for i, q := range cur.Quals {
+		gen, ok := q.(*Generator)
+		if !ok {
+			continue
+		}
+		switch src := gen.Source.(type) {
+		case *ListCtor:
+			if len(src.Elems) == 0 {
+				// Rule: generator over [] — the comprehension is Zero.
+				n.trace("empty-generator", gen.Var)
+				return C(cur.M.Zero()), true
+			}
+			if len(src.Elems) == 1 {
+				// Rule: generator over singleton — substitute.
+				n.trace("singleton-generator", gen.Var)
+				rest := removeQual(cur, i)
+				return substituteFrom(rest, i, gen.Var, src.Elems[0]), true
+			}
+		case *Const:
+			if src.Val.Kind() == types.KindList && len(src.Val.List()) == 0 {
+				n.trace("empty-generator", gen.Var)
+				return C(cur.M.Zero()), true
+			}
+		case *If:
+			// Rule: if-split. ⊕{e | ..., v ← if c then A else B, ...}
+			// = ⊕{e | ..., c, v ← A, ...} ⊕ ⊕{e | ..., !c, v ← B, ...}
+			n.trace("if-split", gen.Var)
+			thenQuals := append(append([]Qual{}, cur.Quals[:i]...), &Pred{Cond: src.Cond}, &Generator{Var: gen.Var, Source: src.Then})
+			thenQuals = append(thenQuals, cur.Quals[i+1:]...)
+			elseQuals := append(append([]Qual{}, cur.Quals[:i]...), &Pred{Cond: &UnOp{Op: "not", E: src.Cond}}, &Generator{Var: gen.Var, Source: src.Else})
+			elseQuals = append(elseQuals, cur.Quals[i+1:]...)
+			return &BinOp{Op: "merge:" + cur.M.Name(),
+				L: &Comprehension{M: cur.M, Head: cur.Head, Quals: thenQuals},
+				R: &Comprehension{M: cur.M, Head: cur.Head, Quals: elseQuals}}, true
+		case *Comprehension:
+			if unnestable(src.M, cur.M) {
+				// Rule: unnest a nested collection comprehension.
+				// ⊕{e | ..., v ← ⊗{e' | q̄}, r̄} = ⊕{e[v:=e'] | ..., q̄, r̄[v:=e']}
+				n.trace("unnest", gen.Var)
+				inner := n.renameBound(src)
+				newQuals := append([]Qual{}, cur.Quals[:i]...)
+				newQuals = append(newQuals, inner.Quals...)
+				newQuals = append(newQuals, &Let{Var: gen.Var, E: inner.Head})
+				newQuals = append(newQuals, cur.Quals[i+1:]...)
+				return &Comprehension{M: cur.M, Head: cur.Head, Quals: newQuals}, true
+			}
+		}
+	}
+
+	// Rule: static filters.
+	for i, q := range cur.Quals {
+		pred, ok := q.(*Pred)
+		if !ok {
+			continue
+		}
+		if cv, ok := pred.Cond.(*Const); ok {
+			if cv.Val.Bool() {
+				n.trace("true-filter", "")
+				return removeQual(cur, i), true
+			}
+			n.trace("false-filter", "")
+			return C(cur.M.Zero()), true
+		}
+		// Rule: existential unnesting for idempotent output monoids.
+		if ex, ok := pred.Cond.(*Exists); ok && cur.M.Idempotent() {
+			n.trace("exists-unnest", "")
+			inner := n.renameBound(ex.C)
+			newQuals := append([]Qual{}, cur.Quals[:i]...)
+			newQuals = append(newQuals, inner.Quals...)
+			if _, isTrue := inner.Head.(*Const); !isTrue {
+				newQuals = append(newQuals, &Pred{Cond: inner.Head})
+			} else if hc := inner.Head.(*Const); !hc.Val.Bool() {
+				newQuals = append(newQuals, &Pred{Cond: inner.Head})
+			}
+			newQuals = append(newQuals, cur.Quals[i+1:]...)
+			return &Comprehension{M: cur.M, Head: cur.Head, Quals: newQuals}, true
+		}
+	}
+
+	// Rule: split conjunctive filters so pushdown can move the pieces
+	// independently.
+	for i, q := range cur.Quals {
+		pred, ok := q.(*Pred)
+		if !ok {
+			continue
+		}
+		if bo, ok := pred.Cond.(*BinOp); ok && bo.Op == "and" {
+			n.trace("split-and", "")
+			newQuals := append([]Qual{}, cur.Quals[:i]...)
+			newQuals = append(newQuals, &Pred{Cond: bo.L}, &Pred{Cond: bo.R})
+			newQuals = append(newQuals, cur.Quals[i+1:]...)
+			return &Comprehension{M: cur.M, Head: cur.Head, Quals: newQuals}, true
+		}
+	}
+
+	return cur, changed
+}
+
+// renameBound alpha-renames every variable bound inside c to a fresh name so
+// that splicing its qualifiers into another comprehension cannot capture.
+func (n *Normalizer) renameBound(c *Comprehension) *Comprehension {
+	out := c
+	for _, q := range c.Quals {
+		switch qq := q.(type) {
+		case *Generator:
+			nv := n.freshVar(qq.Var)
+			out = renameVarComp(out, qq.Var, nv)
+		case *Let:
+			nv := n.freshVar(qq.Var)
+			out = renameVarComp(out, qq.Var, nv)
+		}
+	}
+	return out
+}
+
+// renameVarComp renames the binding old (and its uses) to nv inside c.
+func renameVarComp(c *Comprehension, old, nv string) *Comprehension {
+	quals := make([]Qual, len(c.Quals))
+	seen := false
+	for i, q := range c.Quals {
+		switch qq := q.(type) {
+		case *Generator:
+			src := qq.Source
+			if seen {
+				src = Substitute(src, old, V(nv))
+			}
+			v := qq.Var
+			if v == old && !seen {
+				v = nv
+				seen = true
+			}
+			quals[i] = &Generator{Var: v, Source: src}
+		case *Pred:
+			cond := qq.Cond
+			if seen {
+				cond = Substitute(cond, old, V(nv))
+			}
+			quals[i] = &Pred{Cond: cond}
+		case *Let:
+			e := qq.E
+			if seen {
+				e = Substitute(e, old, V(nv))
+			}
+			v := qq.Var
+			if v == old && !seen {
+				v = nv
+				seen = true
+			}
+			quals[i] = &Let{Var: v, E: e}
+		}
+	}
+	head := c.Head
+	if seen {
+		head = Substitute(head, old, V(nv))
+	}
+	return &Comprehension{M: c.M, Head: head, Quals: quals}
+}
+
+// substituteFrom substitutes name:=repl into qualifiers at positions >= from
+// and into the head.
+func substituteFrom(c *Comprehension, from int, name string, repl Expr) *Comprehension {
+	quals := make([]Qual, len(c.Quals))
+	copy(quals, c.Quals[:min(from, len(c.Quals))])
+	shadowed := false
+	for i := from; i < len(c.Quals); i++ {
+		if shadowed {
+			quals[i] = c.Quals[i]
+			continue
+		}
+		switch qq := c.Quals[i].(type) {
+		case *Generator:
+			quals[i] = &Generator{Var: qq.Var, Source: Substitute(qq.Source, name, repl)}
+			if qq.Var == name {
+				shadowed = true
+			}
+		case *Pred:
+			quals[i] = &Pred{Cond: Substitute(qq.Cond, name, repl)}
+		case *Let:
+			quals[i] = &Let{Var: qq.Var, E: Substitute(qq.E, name, repl)}
+			if qq.Var == name {
+				shadowed = true
+			}
+		}
+	}
+	head := c.Head
+	if !shadowed {
+		head = Substitute(head, name, repl)
+	}
+	return &Comprehension{M: c.M, Head: head, Quals: quals}
+}
+
+func removeQual(c *Comprehension, i int) *Comprehension {
+	quals := make([]Qual, 0, len(c.Quals)-1)
+	quals = append(quals, c.Quals[:i]...)
+	quals = append(quals, c.Quals[i+1:]...)
+	return &Comprehension{M: c.M, Head: c.Head, Quals: quals}
+}
+
+// pushFilters moves each predicate directly after the last qualifier that
+// binds one of its free variables (filter pushdown).
+func (n *Normalizer) pushFilters(c *Comprehension) *Comprehension {
+	type entry struct {
+		q     Qual
+		binds string // "" for predicates
+	}
+	var gens []entry
+	var preds []*Pred
+	for _, q := range c.Quals {
+		switch qq := q.(type) {
+		case *Pred:
+			preds = append(preds, qq)
+		default:
+			var binds string
+			if g, ok := q.(*Generator); ok {
+				binds = g.Var
+			} else if l, ok := q.(*Let); ok {
+				binds = l.Var
+			}
+			gens = append(gens, entry{q: q, binds: binds})
+		}
+	}
+	if len(preds) == 0 {
+		return c
+	}
+	// For each predicate compute the earliest insertion point.
+	insertAfter := make([][]*Pred, len(gens)+1)
+	for _, p := range preds {
+		free := map[string]struct{}{}
+		for _, v := range FreeVars(p.Cond) {
+			free[v] = struct{}{}
+		}
+		pos := 0
+		for i, g := range gens {
+			if g.binds != "" {
+				if _, ok := free[g.binds]; ok {
+					pos = i + 1
+				}
+			}
+		}
+		insertAfter[pos] = append(insertAfter[pos], p)
+	}
+	var quals []Qual
+	for _, p := range insertAfter[0] {
+		quals = append(quals, p)
+	}
+	for i, g := range gens {
+		quals = append(quals, g.q)
+		for _, p := range insertAfter[i+1] {
+			quals = append(quals, p)
+		}
+	}
+	if len(quals) != len(c.Quals) {
+		// Defensive: should never happen, keep original on mismatch.
+		return c
+	}
+	n.trace("filter-pushdown", "")
+	return &Comprehension{M: c.M, Head: c.Head, Quals: quals}
+}
+
+// simplifyField folds field access over record constructors and constants.
+func simplifyField(f *Field) Expr {
+	switch rec := f.Rec.(type) {
+	case *RecordCtor:
+		for i, n := range rec.Names {
+			if n == f.Name {
+				return rec.Fields[i]
+			}
+		}
+	case *Const:
+		if rec.Val.Kind() == types.KindRecord {
+			return C(rec.Val.Field(f.Name))
+		}
+	}
+	return f
+}
+
+// simplifyBinOp folds operators over constants and applies boolean identities.
+func simplifyBinOp(b *BinOp) Expr {
+	lc, lok := b.L.(*Const)
+	rc, rok := b.R.(*Const)
+	switch b.Op {
+	case "and":
+		if lok {
+			if lc.Val.Bool() {
+				return b.R
+			}
+			return CBool(false)
+		}
+		if rok {
+			if rc.Val.Bool() {
+				return b.L
+			}
+			return CBool(false)
+		}
+	case "or":
+		if lok {
+			if lc.Val.Bool() {
+				return CBool(true)
+			}
+			return b.R
+		}
+		if rok {
+			if rc.Val.Bool() {
+				return CBool(true)
+			}
+			return b.L
+		}
+	default:
+		if lok && rok {
+			if v, err := ApplyBinOp(b.Op, lc.Val, rc.Val); err == nil {
+				return C(v)
+			}
+		}
+	}
+	return b
+}
+
+func simplifyUnOp(u *UnOp) Expr {
+	if c, ok := u.E.(*Const); ok {
+		switch u.Op {
+		case "not":
+			return CBool(!c.Val.Bool())
+		case "-":
+			if c.Val.Kind() == types.KindFloat {
+				return C(types.Float(-c.Val.Float()))
+			}
+			return C(types.Int(-c.Val.Int()))
+		}
+	}
+	if inner, ok := u.E.(*UnOp); ok && u.Op == "not" && inner.Op == "not" {
+		return inner.E
+	}
+	return u
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// unnestable reports whether a generator over an inner-monoid comprehension
+// may be flattened into an outer-monoid comprehension (Fegaras & Maier's
+// side condition). Two requirements:
+//
+//   - the inner monoid must be a free collection (bag/list/set): structured
+//     monoids such as groupby build values whose elements are not the unit
+//     inputs, so flattening them would change semantics;
+//   - the inner monoid's idempotence must be ≤ the outer's: unnesting a set
+//     (which deduplicates) into a non-idempotent monoid (sum, bag) would
+//     observe the duplicates the set had absorbed.
+func unnestable(inner, outer Monoid) bool {
+	switch inner.Name() {
+	case "bag", "list":
+		return true
+	case "set":
+		return outer.Idempotent()
+	default:
+		return false
+	}
+}
+
+// cheapExpr reports whether substituting e cannot duplicate meaningful work:
+// constants, variables and field paths over them.
+func cheapExpr(e Expr) bool {
+	switch n := e.(type) {
+	case *Const, *Var:
+		return true
+	case *Field:
+		return cheapExpr(n.Rec)
+	default:
+		return false
+	}
+}
+
+// countUses counts free occurrences of name in qualifiers from index `from`
+// on and in the head, stopping at shadowing bindings.
+func countUses(c *Comprehension, from int, name string) int {
+	count := 0
+	countIn := func(e Expr) {
+		for _, v := range FreeVars(e) {
+			if v == name {
+				count++
+			}
+		}
+	}
+	for i := from; i < len(c.Quals); i++ {
+		switch qq := c.Quals[i].(type) {
+		case *Generator:
+			countIn(qq.Source)
+			if qq.Var == name {
+				return count
+			}
+		case *Pred:
+			countIn(qq.Cond)
+		case *Let:
+			countIn(qq.E)
+			if qq.Var == name {
+				return count
+			}
+		}
+	}
+	countIn(c.Head)
+	return count
+}

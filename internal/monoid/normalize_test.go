@@ -1,0 +1,432 @@
+package monoid
+
+import (
+	"math/rand"
+	"testing"
+
+	"cleandb/internal/types"
+)
+
+// sources provides two fixed collections for normalization tests.
+func testSources(name string) (types.Value, bool) {
+	switch name {
+	case "src":
+		return types.List(types.Int(1), types.Int(2), types.Int(3), types.Int(4)), true
+	case "src2":
+		return types.List(types.Int(10), types.Int(20)), true
+	default:
+		return types.Null(), false
+	}
+}
+
+// evalBoth evaluates the original and normalized forms and compares
+// canonical results (bags compared order-insensitively).
+func assertNormalizationPreserves(t *testing.T, c *Comprehension) {
+	t.Helper()
+	ev := NewEvaluator()
+	ev.Sources = testSources
+	orig, err := ev.EvalComprehension(c, nil)
+	if err != nil {
+		t.Fatalf("eval original %s: %v", c, err)
+	}
+	ne := NewNormalizer().Normalize(c)
+	normed, err := ev.Eval(ne, nil)
+	if err != nil {
+		t.Fatalf("eval normalized %s: %v", ne, err)
+	}
+	if canonFor(c.M, orig) != canonFor(c.M, normed) {
+		t.Fatalf("normalization changed semantics\noriginal:   %s = %s\nnormalized: %s = %s",
+			c, orig, ne, normed)
+	}
+}
+
+func canonFor(m Monoid, v types.Value) string {
+	if m.Collection() && m.Name() != "list" {
+		l := append([]types.Value(nil), v.List()...)
+		types.SortValues(l)
+		return types.Key(types.ListOf(l))
+	}
+	return types.Key(v)
+}
+
+func TestNormalizeUnnestsNestedComprehension(t *testing.T) {
+	// bag{ x*10 | x ← bag{ a+1 | a ← src } } flattens to one comprehension.
+	inner := &Comprehension{M: Bag, Head: &BinOp{Op: "+", L: V("a"), R: CInt(1)},
+		Quals: []Qual{&Generator{Var: "a", Source: V("src")}}}
+	outer := &Comprehension{M: Bag, Head: &BinOp{Op: "*", L: V("x"), R: CInt(10)},
+		Quals: []Qual{&Generator{Var: "x", Source: inner}}}
+	ne := NewNormalizer().Normalize(outer)
+	nc, ok := ne.(*Comprehension)
+	if !ok {
+		t.Fatalf("normalized to %T", ne)
+	}
+	for _, q := range nc.Quals {
+		if g, ok := q.(*Generator); ok {
+			if _, nested := g.Source.(*Comprehension); nested {
+				t.Fatalf("nested comprehension not flattened: %s", nc)
+			}
+		}
+	}
+	assertNormalizationPreserves(t, outer)
+}
+
+func TestNormalizeEmptyGenerator(t *testing.T) {
+	c := &Comprehension{M: Sum, Head: V("x"),
+		Quals: []Qual{&Generator{Var: "x", Source: &ListCtor{}}}}
+	ne := NewNormalizer().Normalize(c)
+	cv, ok := ne.(*Const)
+	if !ok || cv.Val.Int() != 0 {
+		t.Fatalf("empty generator should reduce to zero, got %s", ne)
+	}
+}
+
+func TestNormalizeSingletonGenerator(t *testing.T) {
+	c := &Comprehension{M: Sum, Head: V("x"),
+		Quals: []Qual{
+			&Generator{Var: "a", Source: V("src")},
+			&Generator{Var: "x", Source: &ListCtor{Elems: []Expr{V("a")}}},
+		}}
+	ne := NewNormalizer().Normalize(c)
+	nc, ok := ne.(*Comprehension)
+	if !ok {
+		t.Fatalf("normalized to %T", ne)
+	}
+	if len(nc.Quals) != 1 {
+		t.Fatalf("singleton generator should be substituted away: %s", nc)
+	}
+	assertNormalizationPreserves(t, c)
+}
+
+func TestNormalizeFalseFilter(t *testing.T) {
+	c := &Comprehension{M: Count, Head: CInt(1),
+		Quals: []Qual{
+			&Generator{Var: "x", Source: V("src")},
+			&Pred{Cond: CBool(false)},
+		}}
+	ne := NewNormalizer().Normalize(c)
+	if cv, ok := ne.(*Const); !ok || cv.Val.Int() != 0 {
+		t.Fatalf("false filter should zero the comprehension, got %s", ne)
+	}
+}
+
+func TestNormalizeTrueFilterRemoved(t *testing.T) {
+	c := &Comprehension{M: Count, Head: CInt(1),
+		Quals: []Qual{
+			&Generator{Var: "x", Source: V("src")},
+			&Pred{Cond: Eq(CInt(1), CInt(1))},
+		}}
+	ne := NewNormalizer().Normalize(c)
+	nc := ne.(*Comprehension)
+	if len(nc.Quals) != 1 {
+		t.Fatalf("statically-true filter should be removed: %s", nc)
+	}
+	assertNormalizationPreserves(t, c)
+}
+
+func TestNormalizeIfSplit(t *testing.T) {
+	c := &Comprehension{M: Sum, Head: V("y"),
+		Quals: []Qual{
+			&Generator{Var: "x", Source: V("src")},
+			&Generator{Var: "y", Source: &If{
+				Cond: Gt(V("x"), CInt(2)),
+				Then: &ListCtor{Elems: []Expr{V("x")}},
+				Else: &ListCtor{Elems: []Expr{CInt(0)}},
+			}},
+		}}
+	assertNormalizationPreserves(t, c)
+}
+
+func TestNormalizeBetaReducesCheapLets(t *testing.T) {
+	c := &Comprehension{M: Sum, Head: &BinOp{Op: "+", L: V("y"), R: V("y")},
+		Quals: []Qual{
+			&Generator{Var: "x", Source: V("src")},
+			&Let{Var: "y", E: V("x")}, // cheap: substituted even though used twice
+		}}
+	ne := NewNormalizer().Normalize(c)
+	nc := ne.(*Comprehension)
+	for _, q := range nc.Quals {
+		if _, isLet := q.(*Let); isLet {
+			t.Fatalf("cheap let should be beta-reduced: %s", nc)
+		}
+	}
+	assertNormalizationPreserves(t, c)
+}
+
+func TestNormalizeKeepsExpensiveSharedLets(t *testing.T) {
+	expensive := &Comprehension{M: Sum, Head: V("z"),
+		Quals: []Qual{&Generator{Var: "z", Source: V("src2")}}}
+	c := &Comprehension{M: Bag, Head: &BinOp{Op: "+", L: V("y"), R: V("y")},
+		Quals: []Qual{
+			&Generator{Var: "x", Source: V("src")},
+			&Let{Var: "y", E: expensive},
+			&Pred{Cond: Gt(V("y"), CInt(0))},
+		}}
+	ne := NewNormalizer().Normalize(c)
+	nc := ne.(*Comprehension)
+	foundLet := false
+	for _, q := range nc.Quals {
+		if _, isLet := q.(*Let); isLet {
+			foundLet = true
+		}
+	}
+	if !foundLet {
+		t.Fatalf("expensive let used 2x should be kept: %s", nc)
+	}
+	assertNormalizationPreserves(t, c)
+}
+
+func TestNormalizeExistsUnnesting(t *testing.T) {
+	// any{ true | x ← src, exists{ _ | y ← src2, y == x*10 } } unnests for
+	// idempotent monoids.
+	exists := &Exists{C: &Comprehension{M: Any, Head: CBool(true),
+		Quals: []Qual{
+			&Generator{Var: "y", Source: V("src2")},
+			&Pred{Cond: Eq(V("y"), &BinOp{Op: "*", L: V("x"), R: CInt(10)})},
+		}}}
+	c := &Comprehension{M: Any, Head: CBool(true),
+		Quals: []Qual{
+			&Generator{Var: "x", Source: V("src")},
+			&Pred{Cond: exists},
+		}}
+	ne := NewNormalizer().Normalize(c)
+	nc := ne.(*Comprehension)
+	for _, q := range nc.Quals {
+		if p, ok := q.(*Pred); ok {
+			if _, stillExists := p.Cond.(*Exists); stillExists {
+				t.Fatalf("exists should be unnested for idempotent monoid: %s", nc)
+			}
+		}
+	}
+	assertNormalizationPreserves(t, c)
+}
+
+func TestNormalizeExistsKeptForBag(t *testing.T) {
+	// For a non-idempotent monoid the unnesting would duplicate results.
+	exists := &Exists{C: &Comprehension{M: Any, Head: CBool(true),
+		Quals: []Qual{&Generator{Var: "y", Source: V("src2")}}}}
+	c := &Comprehension{M: Bag, Head: V("x"),
+		Quals: []Qual{
+			&Generator{Var: "x", Source: V("src")},
+			&Pred{Cond: exists},
+		}}
+	assertNormalizationPreserves(t, c)
+}
+
+func TestNormalizeFilterPushdown(t *testing.T) {
+	// The x-only predicate should move before the y generator.
+	c := &Comprehension{M: Bag, Head: &ListCtor{Elems: []Expr{V("x"), V("y")}},
+		Quals: []Qual{
+			&Generator{Var: "x", Source: V("src")},
+			&Generator{Var: "y", Source: V("src2")},
+			&Pred{Cond: Gt(V("x"), CInt(2))},
+		}}
+	ne := NewNormalizer().Normalize(c)
+	nc := ne.(*Comprehension)
+	// Find positions.
+	predIdx, yIdx := -1, -1
+	for i, q := range nc.Quals {
+		switch qq := q.(type) {
+		case *Pred:
+			predIdx = i
+		case *Generator:
+			if qq.Var == "y" {
+				yIdx = i
+			}
+		}
+	}
+	if predIdx == -1 || yIdx == -1 || predIdx > yIdx {
+		t.Fatalf("filter not pushed before y generator: %s", nc)
+	}
+	assertNormalizationPreserves(t, c)
+}
+
+func TestNormalizeConjunctionSplit(t *testing.T) {
+	c := &Comprehension{M: Count, Head: CInt(1),
+		Quals: []Qual{
+			&Generator{Var: "x", Source: V("src")},
+			&Pred{Cond: And(Gt(V("x"), CInt(1)), Lt(V("x"), CInt(4)))},
+		}}
+	ne := NewNormalizer().Normalize(c)
+	nc := ne.(*Comprehension)
+	preds := 0
+	for _, q := range nc.Quals {
+		if _, ok := q.(*Pred); ok {
+			preds++
+		}
+	}
+	if preds != 2 {
+		t.Fatalf("conjunction should split into 2 predicates, got %d: %s", preds, nc)
+	}
+	assertNormalizationPreserves(t, c)
+}
+
+func TestNormalizeConstantFolding(t *testing.T) {
+	e := &BinOp{Op: "+", L: CInt(2), R: &BinOp{Op: "*", L: CInt(3), R: CInt(4)}}
+	c := &Comprehension{M: Bag, Head: e,
+		Quals: []Qual{&Generator{Var: "x", Source: V("src")}}}
+	ne := NewNormalizer().Normalize(c)
+	nc := ne.(*Comprehension)
+	if cv, ok := nc.Head.(*Const); !ok || cv.Val.Int() != 14 {
+		t.Fatalf("head should fold to 14: %s", nc.Head)
+	}
+}
+
+func TestNormalizeFieldOfRecordCtor(t *testing.T) {
+	e := F(&RecordCtor{Names: []string{"a"}, Fields: []Expr{V("x")}}, "a")
+	c := &Comprehension{M: Bag, Head: e,
+		Quals: []Qual{&Generator{Var: "x", Source: V("src")}}}
+	ne := NewNormalizer().Normalize(c)
+	nc := ne.(*Comprehension)
+	if _, ok := nc.Head.(*Var); !ok {
+		t.Fatalf("field of record ctor should simplify to the variable: %s", nc.Head)
+	}
+	assertNormalizationPreserves(t, c)
+}
+
+func TestNormalizeGroupByNotUnnested(t *testing.T) {
+	// The grouping monoid is structured: its comprehension must NOT be
+	// flattened into the outer one.
+	grouping := &Comprehension{M: GroupBy{},
+		Head: &RecordCtor{Names: []string{"key", "val"}, Fields: []Expr{V("a"), V("a")}},
+		Quals: []Qual{
+			&Generator{Var: "a", Source: V("src")},
+		}}
+	c := &Comprehension{M: Bag, Head: F(V("g"), "key"),
+		Quals: []Qual{&Generator{Var: "g", Source: grouping}}}
+	ne := NewNormalizer().Normalize(c)
+	nc := ne.(*Comprehension)
+	found := false
+	for _, q := range nc.Quals {
+		if g, ok := q.(*Generator); ok {
+			if inner, ok := g.Source.(*Comprehension); ok && inner.M.Name() == "groupby" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("groupby subquery must be preserved: %s", nc)
+	}
+}
+
+// TestNormalizationPreservesRandomComprehensions is the normalization
+// soundness property test: random comprehensions evaluate identically before
+// and after normalization.
+func TestNormalizationPreservesRandomComprehensions(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 300; i++ {
+		c := randomComprehension(rng, 2)
+		assertNormalizationPreserves(t, c)
+	}
+}
+
+// randomComprehension builds a small random comprehension over the fixed
+// sources with nested comprehensions, lets, filters and conditionals.
+func randomComprehension(rng *rand.Rand, depth int) *Comprehension {
+	monoids := []Monoid{Sum, Count, Bag, Set, Max, Any}
+	m := monoids[rng.Intn(len(monoids))]
+	vars := []string{}
+	var quals []Qual
+	nq := 1 + rng.Intn(3)
+	for i := 0; i < nq; i++ {
+		switch {
+		case len(vars) == 0 || rng.Intn(3) == 0:
+			v := string(rune('p' + len(vars)))
+			quals = append(quals, &Generator{Var: v, Source: randomSource(rng, depth)})
+			vars = append(vars, v)
+		case rng.Intn(2) == 0:
+			quals = append(quals, &Pred{Cond: randomPred(rng, vars)})
+		default:
+			v := string(rune('p' + len(vars)))
+			quals = append(quals, &Let{Var: v, E: randomScalar(rng, vars)})
+			vars = append(vars, v)
+		}
+	}
+	return &Comprehension{M: m, Head: randomScalar(rng, vars), Quals: quals}
+}
+
+func randomSource(rng *rand.Rand, depth int) Expr {
+	switch rng.Intn(4) {
+	case 0:
+		return V("src")
+	case 1:
+		return V("src2")
+	case 2:
+		n := rng.Intn(3)
+		elems := make([]Expr, n)
+		for i := range elems {
+			elems[i] = CInt(int64(rng.Intn(10)))
+		}
+		return &ListCtor{Elems: elems}
+	default:
+		if depth <= 0 {
+			return V("src")
+		}
+		inner := randomComprehension(rng, depth-1)
+		// Only collection-valued comprehensions can be generator sources.
+		inner.M = []Monoid{Bag, Set, ListM}[rng.Intn(3)]
+		return inner
+	}
+}
+
+func randomScalar(rng *rand.Rand, vars []string) Expr {
+	if len(vars) == 0 || rng.Intn(4) == 0 {
+		return CInt(int64(rng.Intn(7)))
+	}
+	v := V(vars[rng.Intn(len(vars))])
+	switch rng.Intn(4) {
+	case 0:
+		return v
+	case 1:
+		return &BinOp{Op: "+", L: v, R: CInt(int64(rng.Intn(5)))}
+	case 2:
+		return &BinOp{Op: "*", L: v, R: CInt(int64(rng.Intn(3) + 1))}
+	default:
+		return &If{Cond: Gt(v, CInt(int64(rng.Intn(5)))), Then: v, Else: CInt(0)}
+	}
+}
+
+func randomPred(rng *rand.Rand, vars []string) Expr {
+	l := randomScalar(rng, vars)
+	r := randomScalar(rng, vars)
+	ops := []string{"<", "<=", ">", ">=", "==", "!="}
+	p := Expr(&BinOp{Op: ops[rng.Intn(len(ops))], L: l, R: r})
+	if rng.Intn(4) == 0 {
+		p = And(p, randomPred(rng, vars))
+	}
+	return p
+}
+
+func TestFreeVarsAndSubstitute(t *testing.T) {
+	e := &BinOp{Op: "+", L: V("x"), R: F(V("y"), "f")}
+	fv := FreeVars(e)
+	if len(fv) != 2 || fv[0] != "x" || fv[1] != "y" {
+		t.Fatalf("FreeVars = %v", fv)
+	}
+	sub := Substitute(e, "x", CInt(9))
+	if FreeVars(sub)[0] != "y" {
+		t.Fatalf("substitute failed: %s", sub)
+	}
+}
+
+func TestSubstituteRespectsShadowing(t *testing.T) {
+	// In bag{ x | x ← src }, substituting x must not touch the bound x.
+	comp := &Comprehension{M: Bag, Head: V("x"),
+		Quals: []Qual{&Generator{Var: "x", Source: V("src")}}}
+	sub := Substitute(comp, "x", CInt(1)).(*Comprehension)
+	if _, isConst := sub.Head.(*Const); isConst {
+		t.Fatal("bound variable was captured by substitution")
+	}
+}
+
+func TestFreeVarsComprehensionScoping(t *testing.T) {
+	comp := &Comprehension{M: Bag,
+		Head: &BinOp{Op: "+", L: V("x"), R: V("free")},
+		Quals: []Qual{
+			&Generator{Var: "x", Source: V("src")},
+		}}
+	fv := FreeVars(comp)
+	want := map[string]bool{"free": true, "src": true}
+	if len(fv) != 2 || !want[fv[0]] || !want[fv[1]] {
+		t.Fatalf("FreeVars = %v, want free+src", fv)
+	}
+}

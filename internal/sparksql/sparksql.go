@@ -1,0 +1,138 @@
+// Package sparksql simulates the Spark SQL baseline of the CleanM paper's
+// evaluation (§8). It reuses the cleaning operations but locks in the
+// behaviours the paper attributes to Catalyst-planned Spark:
+//
+//   - sort-based aggregation for every grouping (range partitioning of all
+//     records; no map-side combine) — skew-sensitive;
+//   - cartesian product + filter for theta joins — rule ψ does not finish;
+//   - term validation via a cross product of data × dictionary with a
+//     similarity UDF — non-interactive on realistic sizes;
+//   - no cross-operation optimization: a multi-operator cleaning query runs
+//     each operation standalone and combines the outputs with a full outer
+//     join, ending up more expensive than separate execution;
+//   - nested inputs must be flattened before relational processing when the
+//     plan requires relational shapes (the experiments feed it both).
+package sparksql
+
+import (
+	"errors"
+
+	"cleandb/internal/cleaning"
+	"cleandb/internal/engine"
+	"cleandb/internal/physical"
+	"cleandb/internal/textsim"
+	"cleandb/internal/types"
+)
+
+// ErrNonInteractive marks operations the paper reports as not completing
+// under Spark SQL (term validation cross products, rule ψ, full MAG dedup).
+var ErrNonInteractive = errors.New("sparksql: job exceeded budget (non-interactive)")
+
+// System is the simulated Spark SQL engine facade.
+type System struct{}
+
+// Name identifies the baseline in experiment reports.
+func (System) Name() string { return "SparkSQL" }
+
+// FDCheck checks a functional dependency with sort-based aggregation and a
+// GROUP_CONCAT-style distinct-collecting UDAF (paper §8.3).
+func (System) FDCheck(ds *engine.Dataset, lhs, rhs cleaning.Extract) *engine.Dataset {
+	return cleaning.FDCheck(ds, lhs, rhs, physical.GroupSort)
+}
+
+// DCCheck evaluates an inequality denial constraint. Catalyst plans a
+// cartesian product followed by a filter; on any realistic size this
+// exhausts the work budget and the run is reported as DNF.
+func (System) DCCheck(ds *engine.Dataset, cfg cleaning.DCConfig) (*engine.Dataset, error) {
+	cfg.Strategy = physical.ThetaCartesian
+	out, err := cleaning.DCCheck(ds, cfg)
+	if errors.Is(err, engine.ErrBudgetExceeded) {
+		return nil, ErrNonInteractive
+	}
+	return out, err
+}
+
+// Dedup blocks on the blocking attribute (Spark SQL can group by an
+// attribute, but shuffles the entire dataset sort-based to do so) and
+// compares within blocks.
+func (System) Dedup(ds *engine.Dataset, cfg cleaning.DedupConfig) *engine.Dataset {
+	cfg.Strategy = physical.GroupSort
+	return cleaning.Dedup(ds, cfg)
+}
+
+// TermValidate validates terms by computing the cross product of the
+// distinct terms and the dictionary with a similarity UDF — Spark SQL has no
+// blocking operator the optimizer could use (paper §8.1). The context budget
+// usually turns this into ErrNonInteractive.
+func (System) TermValidate(ds *engine.Dataset, attr func(types.Value) string, dict []string, metric textsim.Metric, theta float64) (cleaning.TermValidationResult, error) {
+	ctx := ds.Context()
+	// Estimate the comparison cost up front, as the engine's cartesian
+	// operators do, so hopeless jobs fail fast.
+	distinct := map[string]struct{}{}
+	for i := 0; i < ds.NumPartitions(); i++ {
+		for _, v := range ds.Partition(i) {
+			distinct[attr(v)] = struct{}{}
+		}
+	}
+	cost := int64(len(distinct)) * int64(len(dict))
+	if b := ctx.CompBudget; b > 0 && ctx.Metrics().Comparisons()+cost > b {
+		ctx.Metrics().AddComparisons(b - ctx.Metrics().Comparisons())
+		return cleaning.TermValidationResult{}, ErrNonInteractive
+	}
+	res := cleaning.TermValidate(ds, cleaning.TermValidationConfig{
+		Attr:       attr,
+		Dictionary: dict,
+		Blocker:    nil, // cross product
+		Metric:     metric,
+		Theta:      theta,
+	})
+	return res, nil
+}
+
+// UnifiedClean runs several cleaning operations as one Spark SQL query. The
+// operations share the input scan, but Catalyst cannot detect the common
+// grouping, so each operation shuffles independently and a full outer join
+// combines the violation outputs — the paper's Figure 5 finding that unified
+// execution is *more* expensive than standalone for Spark SQL.
+func (System) UnifiedClean(ds *engine.Dataset, ops []func(*engine.Dataset) *engine.Dataset, entityKey engine.KeyFunc) *engine.Dataset {
+	outs := make([]*engine.Dataset, len(ops))
+	for i, op := range ops {
+		outs[i] = op(ds)
+	}
+	// Full outer join of the violation outputs, by repeated sort-based
+	// co-grouping (each join is a fresh shuffle of both sides).
+	combined := outs[0]
+	for i := 1; i < len(outs); i++ {
+		left := combined
+		right := outs[i]
+		pairSchema := types.NewSchema("l", "r")
+		joined := left.SortShuffleGroup("unified:couter",
+			entityKey,
+			engine.GroupAgg{Finish: func(key types.Value, group []types.Value) types.Value {
+				return types.NewRecord(pairSchema, []types.Value{key, types.ListOf(group)})
+			}})
+		rightG := right.SortShuffleGroup("unified:router",
+			entityKey,
+			engine.GroupAgg{Finish: func(key types.Value, group []types.Value) types.Value {
+				return types.NewRecord(pairSchema, []types.Value{key, types.ListOf(group)})
+			}})
+		combined = fullOuterByKey(joined, rightG)
+	}
+	return combined
+}
+
+// fullOuterByKey merges two {key, groups} datasets on key, keeping keys from
+// either side.
+func fullOuterByKey(a, b *engine.Dataset) *engine.Dataset {
+	union := a.Union(b)
+	return union.SortShuffleGroup("unified:merge",
+		func(v types.Value) types.Value { return v.Field("l") },
+		engine.GroupAgg{Finish: func(key types.Value, group []types.Value) types.Value {
+			var all []types.Value
+			for _, g := range group {
+				all = append(all, g.Field("r").List()...)
+			}
+			return types.NewRecord(types.NewSchema("entity", "violations"),
+				[]types.Value{key, types.ListOf(all)})
+		}})
+}

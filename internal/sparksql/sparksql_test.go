@@ -1,0 +1,109 @@
+package sparksql
+
+import (
+	"errors"
+	"testing"
+
+	"cleandb/internal/cleaning"
+	"cleandb/internal/datagen"
+	"cleandb/internal/engine"
+	"cleandb/internal/textsim"
+	"cleandb/internal/types"
+)
+
+func customers(ctx *engine.Context) *engine.Dataset {
+	data := datagen.GenCustomer(datagen.CustomerConfig{Rows: 200, DupRate: 0.2, MaxDups: 5, Seed: 3})
+	return engine.FromValues(ctx, data.Rows)
+}
+
+func TestFDCheckWorks(t *testing.T) {
+	ctx := engine.NewContext(4)
+	ds := customers(ctx)
+	out := System{}.FDCheck(ds,
+		cleaning.FieldExtract("address"),
+		cleaning.FieldExtract("nationkey"))
+	if out.Count() == 0 {
+		t.Fatal("expected FD violations on duplicated customers")
+	}
+	// The baseline must have used a sort shuffle (full dataset moved).
+	found := false
+	for _, s := range ctx.Metrics().Stages() {
+		if s.Name == "fd:sortshuffle" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Spark SQL baseline should sort-shuffle")
+	}
+}
+
+func TestDCCheckIsNonInteractive(t *testing.T) {
+	ctx := engine.NewContext(4)
+	ctx.CompBudget = 1000
+	ds := customers(ctx)
+	_, err := System{}.DCCheck(ds, cleaning.DCConfig{
+		Pred: func(a, b types.Value) bool { return true },
+		Band: func(v types.Value) float64 { return 0 },
+	})
+	if !errors.Is(err, ErrNonInteractive) {
+		t.Fatalf("want ErrNonInteractive, got %v", err)
+	}
+}
+
+func TestTermValidateCrossProductBudget(t *testing.T) {
+	ctx := engine.NewContext(4)
+	ctx.CompBudget = 10
+	ds := customers(ctx)
+	_, err := System{}.TermValidate(ds,
+		func(v types.Value) string { return v.Field("name").Str() },
+		[]string{"a", "b", "c"}, textsim.MetricLevenshtein, 0.8)
+	if !errors.Is(err, ErrNonInteractive) {
+		t.Fatalf("want ErrNonInteractive, got %v", err)
+	}
+}
+
+func TestTermValidateSmallInputWorks(t *testing.T) {
+	ctx := engine.NewContext(2)
+	schema := types.NewSchema("name")
+	ds := engine.FromValues(ctx, []types.Value{
+		types.NewRecord(schema, []types.Value{types.String("stela")}),
+	})
+	res, err := System{}.TermValidate(ds,
+		func(v types.Value) string { return v.Field("name").Str() },
+		[]string{"stella"}, textsim.MetricLevenshtein, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Repairs["stela"] != "stella" {
+		t.Fatalf("repairs = %v", res.Repairs)
+	}
+}
+
+func TestUnifiedCleanCombinesOutputs(t *testing.T) {
+	ctx := engine.NewContext(4)
+	ds := customers(ctx)
+	sys := System{}
+	addr := cleaning.FieldExtract("address")
+	combined := sys.UnifiedClean(ds, []func(*engine.Dataset) *engine.Dataset{
+		func(d *engine.Dataset) *engine.Dataset {
+			return sys.FDCheck(d, addr, cleaning.FieldExtract("nationkey"))
+		},
+		func(d *engine.Dataset) *engine.Dataset {
+			return sys.Dedup(d, cleaning.DedupConfig{
+				BlockAttr: func(v types.Value) string { return v.Field("address").Str() },
+				SimAttr: func(v types.Value) string {
+					return v.Field("name").Str() + v.Field("phone").Str()
+				},
+				Metric: textsim.MetricLevenshtein, Theta: 0.5,
+			})
+		},
+	}, func(v types.Value) types.Value {
+		if k := v.Field("key"); !k.IsNull() {
+			return k
+		}
+		return v.Field("a").Field("address")
+	})
+	if combined.Count() == 0 {
+		t.Fatal("combined output should carry entities")
+	}
+}

@@ -1,0 +1,349 @@
+// Package textsim provides the string-similarity primitives that CleanM's
+// cleaning operations rely on: Levenshtein edit distance (with a banded
+// early-exit variant for thresholded similarity joins), q-gram tokenization,
+// Jaccard similarity over token sets, and Jaro-Winkler similarity.
+//
+// The CleanM paper uses Levenshtein distance (LD) as the similarity metric in
+// its term-validation and deduplication experiments, with a normalized
+// similarity threshold θ (e.g. sim > 0.8).
+package textsim
+
+import (
+	"strings"
+)
+
+// Levenshtein returns the edit distance (insert/delete/substitute, unit
+// costs) between a and b, operating on bytes.
+func Levenshtein(a, b string) int {
+	if a == b {
+		return 0
+	}
+	if len(a) == 0 {
+		return len(b)
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	// Single-row dynamic program.
+	prev := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		corner := prev[0]
+		prev[0] = i
+		for j := 1; j <= len(b); j++ {
+			up := prev[j]
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			best := corner + cost
+			if up+1 < best {
+				best = up + 1
+			}
+			if prev[j-1]+1 < best {
+				best = prev[j-1] + 1
+			}
+			corner = up
+			prev[j] = best
+		}
+	}
+	return prev[len(b)]
+}
+
+// LevenshteinWithin reports whether the edit distance between a and b is at
+// most maxDist, using a banded dynamic program that exits early. It is the
+// workhorse of thresholded similarity joins: for sim > θ over strings of
+// length n, maxDist = floor((1-θ)·n), so most candidate pairs are rejected in
+// O(maxDist·n) instead of O(n²).
+func LevenshteinWithin(a, b string, maxDist int) bool {
+	if maxDist < 0 {
+		return false
+	}
+	la, lb := len(a), len(b)
+	if la-lb > maxDist || lb-la > maxDist {
+		return false
+	}
+	if maxDist == 0 {
+		return a == b
+	}
+	const inf = 1 << 29
+	prev := make([]int, lb+1)
+	cur := make([]int, lb+1)
+	for j := 0; j <= lb; j++ {
+		if j <= maxDist {
+			prev[j] = j
+		} else {
+			prev[j] = inf
+		}
+	}
+	for i := 1; i <= la; i++ {
+		lo := i - maxDist
+		if lo < 1 {
+			lo = 1
+		}
+		hi := i + maxDist
+		if hi > lb {
+			hi = lb
+		}
+		if lo > 1 {
+			cur[lo-1] = inf
+		}
+		if i <= maxDist {
+			cur[0] = i
+		} else {
+			cur[0] = inf
+		}
+		rowMin := cur[0]
+		for j := lo; j <= hi; j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			best := prev[j-1] + cost
+			if prev[j]+1 < best {
+				best = prev[j] + 1
+			}
+			if cur[j-1]+1 < best {
+				best = cur[j-1] + 1
+			}
+			cur[j] = best
+			if best < rowMin {
+				rowMin = best
+			}
+		}
+		if hi < lb {
+			cur[hi+1] = inf
+		}
+		if rowMin > maxDist {
+			return false
+		}
+		prev, cur = cur, prev
+	}
+	return prev[lb] <= maxDist
+}
+
+// Similarity returns the normalized Levenshtein similarity in [0,1]:
+// 1 - LD(a,b)/max(len(a),len(b)). Two empty strings are fully similar.
+func Similarity(a, b string) float64 {
+	la, lb := len(a), len(b)
+	m := la
+	if lb > m {
+		m = lb
+	}
+	if m == 0 {
+		return 1
+	}
+	return 1 - float64(Levenshtein(a, b))/float64(m)
+}
+
+// SimilarAbove reports whether Similarity(a,b) > theta, using the banded
+// early-exit distance computation.
+func SimilarAbove(a, b string, theta float64) bool {
+	la, lb := len(a), len(b)
+	m := la
+	if lb > m {
+		m = lb
+	}
+	if m == 0 {
+		return theta < 1
+	}
+	// sim > theta  ⇔  dist < (1-theta)·m  ⇔  dist ≤ ceil((1-theta)·m) - 1
+	limit := (1 - theta) * float64(m)
+	maxDist := int(limit)
+	if float64(maxDist) == limit {
+		maxDist-- // strict inequality
+	}
+	return LevenshteinWithin(a, b, maxDist)
+}
+
+// QGrams splits s into overlapping tokens of length q. Strings shorter than
+// q yield a single token (the string itself), so no value tokenizes to
+// nothing. This is the token-filtering tokenizer of the paper (§4.3).
+func QGrams(s string, q int) []string {
+	if q < 1 {
+		q = 1
+	}
+	if len(s) <= q {
+		return []string{s}
+	}
+	out := make([]string, 0, len(s)-q+1)
+	for i := 0; i+q <= len(s); i++ {
+		out = append(out, s[i:i+q])
+	}
+	return out
+}
+
+// UniqueQGrams returns the distinct q-grams of s in first-seen order.
+func UniqueQGrams(s string, q int) []string {
+	grams := QGrams(s, q)
+	seen := make(map[string]struct{}, len(grams))
+	out := grams[:0]
+	for _, g := range grams {
+		if _, ok := seen[g]; ok {
+			continue
+		}
+		seen[g] = struct{}{}
+		out = append(out, g)
+	}
+	return out
+}
+
+// Jaccard returns |A∩B| / |A∪B| over the q-gram sets of a and b.
+func Jaccard(a, b string, q int) float64 {
+	ga := UniqueQGrams(a, q)
+	gb := UniqueQGrams(b, q)
+	if len(ga) == 0 && len(gb) == 0 {
+		return 1
+	}
+	set := make(map[string]struct{}, len(ga))
+	for _, g := range ga {
+		set[g] = struct{}{}
+	}
+	inter := 0
+	for _, g := range gb {
+		if _, ok := set[g]; ok {
+			inter++
+		}
+	}
+	union := len(ga) + len(gb) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// JaroWinkler returns the Jaro-Winkler similarity of a and b in [0,1].
+func JaroWinkler(a, b string) float64 {
+	j := jaro(a, b)
+	if j == 0 {
+		return 0
+	}
+	// Common-prefix boost, capped at 4 characters, scale 0.1.
+	p := 0
+	for p < len(a) && p < len(b) && p < 4 && a[p] == b[p] {
+		p++
+	}
+	return j + float64(p)*0.1*(1-j)
+}
+
+func jaro(a, b string) float64 {
+	la, lb := len(a), len(b)
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	window := la
+	if lb > window {
+		window = lb
+	}
+	window = window/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	aMatched := make([]bool, la)
+	bMatched := make([]bool, lb)
+	matches := 0
+	for i := 0; i < la; i++ {
+		lo := i - window
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + window + 1
+		if hi > lb {
+			hi = lb
+		}
+		for j := lo; j < hi; j++ {
+			if bMatched[j] || a[i] != b[j] {
+				continue
+			}
+			aMatched[i] = true
+			bMatched[j] = true
+			matches++
+			break
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	// Count transpositions.
+	trans := 0
+	j := 0
+	for i := 0; i < la; i++ {
+		if !aMatched[i] {
+			continue
+		}
+		for !bMatched[j] {
+			j++
+		}
+		if a[i] != b[j] {
+			trans++
+		}
+		j++
+	}
+	m := float64(matches)
+	return (m/float64(la) + m/float64(lb) + (m-float64(trans)/2)/m) / 3
+}
+
+// Metric names a similarity function selectable from CleanM queries.
+type Metric string
+
+// Supported metrics.
+const (
+	MetricLevenshtein Metric = "LD"
+	MetricJaccard     Metric = "jaccard"
+	MetricJaroWinkler Metric = "jarowinkler"
+)
+
+// Sim evaluates the named metric; unknown names fall back to Levenshtein,
+// matching CleanM's default.
+func (m Metric) Sim(a, b string) float64 {
+	switch m {
+	case MetricJaccard:
+		return Jaccard(a, b, 2)
+	case MetricJaroWinkler:
+		return JaroWinkler(a, b)
+	default:
+		return Similarity(a, b)
+	}
+}
+
+// Above reports whether the metric value of (a, b) strictly exceeds theta,
+// using early-exit computations where available.
+func (m Metric) Above(a, b string, theta float64) bool {
+	switch m {
+	case MetricJaccard:
+		return Jaccard(a, b, 2) > theta
+	case MetricJaroWinkler:
+		return JaroWinkler(a, b) > theta
+	default:
+		return SimilarAbove(a, b, theta)
+	}
+}
+
+// ParseMetric normalizes a metric name from query text.
+func ParseMetric(s string) Metric {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "jaccard":
+		return MetricJaccard
+	case "jarowinkler", "jaro_winkler", "jw":
+		return MetricJaroWinkler
+	default:
+		return MetricLevenshtein
+	}
+}
+
+// Prefix returns the first n bytes of s (all of s when shorter). It backs
+// CleanM's prefix() builtin used by FD rules such as address→prefix(phone).
+func Prefix(s string, n int) string {
+	if n < 0 {
+		n = 0
+	}
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}

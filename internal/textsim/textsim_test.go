@@ -1,0 +1,244 @@
+package textsim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLevenshteinKnown(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "abc", 0},
+		{"abc", "", 3},
+		{"", "xyz", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"gumbo", "gambol", 2},
+		{"book", "back", 2},
+		{"a", "b", 1},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func randWord(rng *rand.Rand, maxLen int) string {
+	n := rng.Intn(maxLen + 1)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + rng.Intn(4))
+	}
+	return string(b)
+}
+
+func TestLevenshteinMetricAxioms(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		a, b, c := randWord(rng, 10), randWord(rng, 10), randWord(rng, 10)
+		dab := Levenshtein(a, b)
+		dba := Levenshtein(b, a)
+		if dab != dba {
+			t.Fatalf("symmetry violated: d(%q,%q)=%d, d(%q,%q)=%d", a, b, dab, b, a, dba)
+		}
+		if (dab == 0) != (a == b) {
+			t.Fatalf("identity violated for %q, %q", a, b)
+		}
+		dac := Levenshtein(a, c)
+		dcb := Levenshtein(c, b)
+		if dab > dac+dcb {
+			t.Fatalf("triangle inequality violated: d(%q,%q)=%d > %d+%d via %q", a, b, dab, dac, dcb, c)
+		}
+	}
+}
+
+func TestLevenshteinWithinAgreesWithFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 2000; i++ {
+		a, b := randWord(rng, 12), randWord(rng, 12)
+		k := rng.Intn(6)
+		want := Levenshtein(a, b) <= k
+		if got := LevenshteinWithin(a, b, k); got != want {
+			t.Fatalf("LevenshteinWithin(%q, %q, %d) = %v, full distance %d", a, b, k, got, Levenshtein(a, b))
+		}
+	}
+}
+
+func TestLevenshteinWithinNegative(t *testing.T) {
+	if LevenshteinWithin("a", "a", -1) {
+		t.Error("negative threshold should be false")
+	}
+	if !LevenshteinWithin("abc", "abc", 0) {
+		t.Error("identical strings within 0")
+	}
+	if LevenshteinWithin("abc", "abd", 0) {
+		t.Error("different strings not within 0")
+	}
+}
+
+func TestSimilarityRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 500; i++ {
+		a, b := randWord(rng, 10), randWord(rng, 10)
+		s := Similarity(a, b)
+		if s < 0 || s > 1 {
+			t.Fatalf("Similarity(%q, %q) = %f out of range", a, b, s)
+		}
+		if a == b && s != 1 {
+			t.Fatalf("Similarity of equal strings should be 1")
+		}
+	}
+	if Similarity("", "") != 1 {
+		t.Error("empty strings are fully similar")
+	}
+}
+
+func TestSimilarAboveAgreesWithSimilarity(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	thetas := []float64{0.0, 0.25, 0.5, 0.8, 0.9}
+	for i := 0; i < 1000; i++ {
+		a, b := randWord(rng, 10), randWord(rng, 10)
+		theta := thetas[rng.Intn(len(thetas))]
+		want := Similarity(a, b) > theta
+		if got := SimilarAbove(a, b, theta); got != want {
+			t.Fatalf("SimilarAbove(%q,%q,%v)=%v but Similarity=%f", a, b, theta, got, Similarity(a, b))
+		}
+	}
+}
+
+func TestQGrams(t *testing.T) {
+	got := QGrams("abcd", 2)
+	want := []string{"ab", "bc", "cd"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("QGrams = %v, want %v", got, want)
+	}
+	if g := QGrams("ab", 3); len(g) != 1 || g[0] != "ab" {
+		t.Fatalf("short string should yield itself: %v", g)
+	}
+	if g := QGrams("", 2); len(g) != 1 || g[0] != "" {
+		t.Fatalf("empty string yields one empty token: %v", g)
+	}
+	if g := QGrams("abc", 0); len(g) != 3 {
+		t.Fatalf("q<1 clamps to 1: %v", g)
+	}
+}
+
+func TestQGramsCount(t *testing.T) {
+	f := func(s string, q uint8) bool {
+		qq := int(q%5) + 1
+		g := QGrams(s, qq)
+		if len(s) <= qq {
+			return len(g) == 1
+		}
+		return len(g) == len(s)-qq+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniqueQGrams(t *testing.T) {
+	g := UniqueQGrams("aaaa", 2)
+	if len(g) != 1 || g[0] != "aa" {
+		t.Fatalf("UniqueQGrams(aaaa,2) = %v", g)
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	if Jaccard("abc", "abc", 2) != 1 {
+		t.Error("identical strings have Jaccard 1")
+	}
+	if Jaccard("", "", 2) != 1 {
+		t.Error("two empties are similar")
+	}
+	j := Jaccard("abcd", "bcde", 2)
+	// grams: {ab,bc,cd} vs {bc,cd,de}: inter 2, union 4.
+	if j != 0.5 {
+		t.Errorf("Jaccard = %f, want 0.5", j)
+	}
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 300; i++ {
+		a, b := randWord(rng, 8), randWord(rng, 8)
+		if Jaccard(a, b, 2) != Jaccard(b, a, 2) {
+			t.Fatalf("Jaccard not symmetric for %q, %q", a, b)
+		}
+	}
+}
+
+func TestJaroWinkler(t *testing.T) {
+	if JaroWinkler("martha", "martha") != 1 {
+		t.Error("identical strings score 1")
+	}
+	if JaroWinkler("abc", "xyz") != 0 {
+		t.Error("disjoint strings score 0")
+	}
+	jw := JaroWinkler("martha", "marhta")
+	if jw < 0.94 || jw > 0.97 {
+		t.Errorf("JaroWinkler(martha, marhta) = %f, want ≈0.961", jw)
+	}
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 300; i++ {
+		a, b := randWord(rng, 8), randWord(rng, 8)
+		s := JaroWinkler(a, b)
+		if s < 0 || s > 1 {
+			t.Fatalf("JaroWinkler(%q,%q)=%f out of range", a, b, s)
+		}
+	}
+}
+
+func TestMetricDispatch(t *testing.T) {
+	if ParseMetric("  LD ") != MetricLevenshtein {
+		t.Error("LD should parse to Levenshtein")
+	}
+	if ParseMetric("Jaccard") != MetricJaccard {
+		t.Error("jaccard parse")
+	}
+	if ParseMetric("jw") != MetricJaroWinkler {
+		t.Error("jw parse")
+	}
+	if ParseMetric("unknown") != MetricLevenshtein {
+		t.Error("unknown metric defaults to Levenshtein")
+	}
+	for _, m := range []Metric{MetricLevenshtein, MetricJaccard, MetricJaroWinkler} {
+		if m.Sim("same", "same") != 1 {
+			t.Errorf("%s self-similarity should be 1", m)
+		}
+		if !m.Above("same", "same", 0.9) {
+			t.Errorf("%s Above self should hold", m)
+		}
+	}
+}
+
+func TestMetricAboveAgreesWithSim(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for _, m := range []Metric{MetricLevenshtein, MetricJaccard, MetricJaroWinkler} {
+		for i := 0; i < 300; i++ {
+			a, b := randWord(rng, 8), randWord(rng, 8)
+			theta := float64(rng.Intn(10)) / 10
+			if got, want := m.Above(a, b, theta), m.Sim(a, b) > theta; got != want {
+				t.Fatalf("%s.Above(%q,%q,%v)=%v, Sim=%f", m, a, b, theta, got, m.Sim(a, b))
+			}
+		}
+	}
+}
+
+func TestPrefix(t *testing.T) {
+	if Prefix("hello", 3) != "hel" {
+		t.Error("prefix 3")
+	}
+	if Prefix("hi", 5) != "hi" {
+		t.Error("short string returns itself")
+	}
+	if Prefix("abc", 0) != "" {
+		t.Error("prefix 0 is empty")
+	}
+	if Prefix("abc", -1) != "" {
+		t.Error("negative clamps to 0")
+	}
+}

@@ -1,0 +1,312 @@
+package types
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindNull: "null", KindBool: "bool", KindInt: "int", KindFloat: "float",
+		KindString: "string", KindList: "list", KindRecord: "record",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if !Null().IsNull() {
+		t.Error("Null should be null")
+	}
+	if !Bool(true).Bool() || Bool(false).Bool() {
+		t.Error("Bool payload mismatch")
+	}
+	if Int(42).Int() != 42 {
+		t.Error("Int payload mismatch")
+	}
+	if Float(2.5).Float() != 2.5 {
+		t.Error("Float payload mismatch")
+	}
+	if String("hi").Str() != "hi" {
+		t.Error("String payload mismatch")
+	}
+	l := List(Int(1), Int(2))
+	if len(l.List()) != 2 {
+		t.Error("List payload mismatch")
+	}
+}
+
+func TestNumericCoercions(t *testing.T) {
+	if Float(3.7).Int() != 3 {
+		t.Errorf("Float(3.7).Int() = %d, want 3", Float(3.7).Int())
+	}
+	if Int(3).Float() != 3.0 {
+		t.Errorf("Int(3).Float() = %v, want 3.0", Int(3).Float())
+	}
+	if Bool(true).Int() != 1 || Bool(false).Int() != 0 {
+		t.Error("Bool→Int coercion mismatch")
+	}
+	if String("x").Int() != 0 || String("x").Float() != 0 {
+		t.Error("String numeric coercion should be 0")
+	}
+}
+
+func TestRecordFieldAccess(t *testing.T) {
+	s := NewSchema("a", "b")
+	r := NewRecord(s, []Value{Int(1), String("two")})
+	if r.Field("a").Int() != 1 {
+		t.Error("field a mismatch")
+	}
+	if r.Field("b").Str() != "two" {
+		t.Error("field b mismatch")
+	}
+	if !r.Field("missing").IsNull() {
+		t.Error("missing field should be null")
+	}
+	if !Int(5).Field("a").IsNull() {
+		t.Error("field access on non-record should be null")
+	}
+}
+
+func TestRecordArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRecord with wrong arity should panic")
+		}
+	}()
+	NewRecord(NewSchema("a", "b"), []Value{Int(1)})
+}
+
+func TestSchemaExtend(t *testing.T) {
+	s := NewSchema("a").Extend("b", "c")
+	if len(s.Names) != 3 || !s.Has("c") {
+		t.Fatalf("Extend failed: %v", s.Names)
+	}
+	if i, ok := s.Index("b"); !ok || i != 1 {
+		t.Fatalf("Index(b) = %d,%v", i, ok)
+	}
+}
+
+func TestCompareNumericCrossKind(t *testing.T) {
+	if Compare(Int(3), Float(3.0)) != 0 {
+		t.Error("Int(3) should equal Float(3.0)")
+	}
+	if Compare(Int(2), Float(2.5)) >= 0 {
+		t.Error("Int(2) should be less than Float(2.5)")
+	}
+	if Compare(Float(4.5), Int(4)) <= 0 {
+		t.Error("Float(4.5) should be greater than Int(4)")
+	}
+}
+
+func TestCompareNullsFirst(t *testing.T) {
+	vals := []Value{Bool(false), Int(0), String(""), List(), Null()}
+	for _, v := range vals[:4] {
+		if Compare(Null(), v) >= 0 {
+			t.Errorf("null should sort before %s", v)
+		}
+		if Compare(v, Null()) <= 0 {
+			t.Errorf("%s should sort after null", v)
+		}
+	}
+	if Compare(Null(), Null()) != 0 {
+		t.Error("null == null")
+	}
+}
+
+func TestCompareListsLexicographic(t *testing.T) {
+	a := List(Int(1), Int(2))
+	b := List(Int(1), Int(3))
+	c := List(Int(1), Int(2), Int(0))
+	if Compare(a, b) >= 0 {
+		t.Error("[1,2] < [1,3]")
+	}
+	if Compare(a, c) >= 0 {
+		t.Error("[1,2] < [1,2,0] (prefix shorter)")
+	}
+	if Compare(a, a) != 0 {
+		t.Error("list self-compare")
+	}
+}
+
+func TestHashEqualConsistency(t *testing.T) {
+	if Hash(Int(3)) != Hash(Float(3.0)) {
+		t.Error("equal numerics must hash equally")
+	}
+	s := NewSchema("x")
+	a := NewRecord(s, []Value{String("v")})
+	b := NewRecord(s, []Value{String("v")})
+	if Hash(a) != Hash(b) {
+		t.Error("equal records must hash equally")
+	}
+}
+
+func TestKeyDistinguishes(t *testing.T) {
+	pairs := [][2]Value{
+		{String("1"), Int(1)},
+		{String("true"), Bool(true)},
+		{List(String("a,b")), List(String("a"), String("b"))},
+		{String(""), Null()},
+	}
+	for _, p := range pairs {
+		if Key(p[0]) == Key(p[1]) {
+			t.Errorf("Key collision between %s (%v) and %s (%v)", p[0], p[0].Kind(), p[1], p[1].Kind())
+		}
+	}
+}
+
+func TestKeyEqualIffCompareZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		a := randomValue(rng, 3)
+		b := randomValue(rng, 3)
+		eq := Compare(a, b) == 0
+		keq := Key(a) == Key(b)
+		if eq != keq {
+			t.Fatalf("Compare==0 (%v) disagrees with Key equality (%v) for %s vs %s", eq, keq, a, b)
+		}
+	}
+}
+
+func TestCompareProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 1000; i++ {
+		a := randomValue(rng, 3)
+		b := randomValue(rng, 3)
+		c := randomValue(rng, 3)
+		// Antisymmetry.
+		if sign(Compare(a, b)) != -sign(Compare(b, a)) {
+			t.Fatalf("antisymmetry violated for %s vs %s", a, b)
+		}
+		// Reflexivity.
+		if Compare(a, a) != 0 {
+			t.Fatalf("reflexivity violated for %s", a)
+		}
+		// Transitivity (on ordered triples).
+		if Compare(a, b) <= 0 && Compare(b, c) <= 0 && Compare(a, c) > 0 {
+			t.Fatalf("transitivity violated for %s, %s, %s", a, b, c)
+		}
+	}
+}
+
+func TestHashQuick(t *testing.T) {
+	// Hashing equal constructed values is consistent.
+	f := func(i int64, s string) bool {
+		return Hash(Int(i)) == Hash(Int(i)) && Hash(String(s)) == Hash(String(s))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSizeBytesPositive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		v := randomValue(rng, 3)
+		if SizeBytes(v) <= 0 {
+			t.Fatalf("SizeBytes(%s) = %d", v, SizeBytes(v))
+		}
+	}
+}
+
+func TestSortValues(t *testing.T) {
+	vs := []Value{Int(3), Null(), Int(1), String("a")}
+	SortValues(vs)
+	if !vs[0].IsNull() || vs[1].Int() != 1 || vs[2].Int() != 3 {
+		t.Fatalf("sorted order wrong: %v", vs)
+	}
+}
+
+func TestCompositeKey(t *testing.T) {
+	single := CompositeKey([]Value{Int(1)})
+	if single.Kind() != KindInt {
+		t.Error("single composite key should be the value itself")
+	}
+	multi := CompositeKey([]Value{Int(1), Int(2)})
+	if multi.Kind() != KindList || len(multi.List()) != 2 {
+		t.Error("multi composite key should be a list")
+	}
+}
+
+func TestFieldsOf(t *testing.T) {
+	s := NewSchema("a", "b", "c")
+	r := NewRecord(s, []Value{Int(1), Int(2), Int(3)})
+	got := FieldsOf(r, []string{"c", "a"})
+	if got[0].Int() != 3 || got[1].Int() != 1 {
+		t.Fatalf("FieldsOf mismatch: %v", got)
+	}
+}
+
+func TestValueString(t *testing.T) {
+	s := NewSchema("x", "y")
+	r := NewRecord(s, []Value{Int(1), List(String("a"))})
+	want := "{x: 1, y: [a]}"
+	if got := r.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+func sign(n int) int {
+	switch {
+	case n < 0:
+		return -1
+	case n > 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// randomValue builds a random value with bounded depth; shared by the
+// property tests of this and other packages.
+func randomValue(rng *rand.Rand, depth int) Value {
+	max := 7
+	if depth <= 0 {
+		max = 5
+	}
+	switch rng.Intn(max) {
+	case 0:
+		return Null()
+	case 1:
+		return Bool(rng.Intn(2) == 0)
+	case 2:
+		return Int(int64(rng.Intn(21) - 10))
+	case 3:
+		return Float(float64(rng.Intn(100)) / 4)
+	case 4:
+		letters := []byte("abc")
+		n := rng.Intn(4)
+		s := make([]byte, n)
+		for i := range s {
+			s[i] = letters[rng.Intn(len(letters))]
+		}
+		return String(string(s))
+	case 5:
+		n := rng.Intn(3)
+		elems := make([]Value, n)
+		for i := range elems {
+			elems[i] = randomValue(rng, depth-1)
+		}
+		return ListOf(elems)
+	default:
+		s := NewSchema("f1", "f2")
+		return NewRecord(s, []Value{randomValue(rng, depth-1), randomValue(rng, depth-1)})
+	}
+}
+
+func TestReflectDeepEqualNotRequired(t *testing.T) {
+	// Guard: Value equality must go through Compare, not reflection; two
+	// equal values may differ in representation (int vs float).
+	a, b := Int(3), Float(3)
+	if reflect.DeepEqual(a, b) {
+		t.Skip("representation coincidentally equal")
+	}
+	if !Equal(a, b) {
+		t.Fatal("Equal(Int 3, Float 3) should hold")
+	}
+}

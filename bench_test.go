@@ -78,6 +78,13 @@ func BenchmarkTable5InequalityDC(b *testing.B) {
 	}
 }
 
+func BenchmarkTableR1DCRepair(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		experiments.TableR1(s)
+	}
+}
+
 func BenchmarkFigure7DedupDBLP(b *testing.B) {
 	s := benchScale()
 	for i := 0; i < b.N; i++ {
@@ -205,6 +212,60 @@ func BenchmarkDedupTokenFiltering(b *testing.B) {
 			Metric:    textsim.MetricLevenshtein,
 			Theta:     0.7,
 		}).Count()
+	}
+}
+
+func BenchmarkDCRepair(b *testing.B) {
+	// The repair subsystem alone: detect rule ψ violations, cluster, solve,
+	// apply, and re-check to convergence.
+	rows := datagen.GenLineitem(datagen.LineitemConfig{Rows: 10000, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := engine.NewContext(8)
+		ds := engine.FromValues(ctx, rows)
+		res, err := cleaning.RepairDC(ds, cleaning.DCRepairConfig{
+			Check: cleaning.DCConfig{
+				LeftFilter: func(v types.Value) bool { return v.Field("extendedprice").Float() < 905 },
+				Pred: func(t1, t2 types.Value) bool {
+					return t1.Field("extendedprice").Float() < t2.Field("extendedprice").Float() &&
+						t1.Field("discount").Float() > t2.Field("discount").Float() &&
+						t1.Field("extendedprice").Float() < 905
+				},
+				Band:   func(v types.Value) float64 { return v.Field("extendedprice").Float() },
+				BandOp: "<",
+			},
+			RepairAttr: func(v types.Value) float64 { return v.Field("discount").Float() },
+			RepairCol:  "discount",
+			RepairOp:   ">",
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Remaining != 0 {
+			b.Fatalf("repair did not converge: %d left", res.Remaining)
+		}
+	}
+}
+
+func BenchmarkRepairPipelineEndToEnd(b *testing.B) {
+	// DENIAL + REPAIR through the full stack: parse → comprehension →
+	// algebra → physical → detect → relax → re-check.
+	rows := datagen.GenLineitem(datagen.LineitemConfig{Rows: 4000, Seed: 1})
+	const query = `
+SELECT * FROM lineitem t1
+DENIAL(t2, t1.extendedprice < t2.extendedprice and t1.discount > t2.discount and t1.extendedprice < 905)
+REPAIR(t1.discount)`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db := cleandb.Open(cleandb.WithWorkers(8))
+		db.RegisterRows("lineitem", rows)
+		res, err := db.Query(query)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Repairs()) != 1 {
+			b.Fatal("no repair summary")
+		}
 	}
 }
 

@@ -2,8 +2,8 @@
 // a Go reproduction of "CleanM: An Optimizable Query Language for Unified
 // Scale-Out Data Cleaning" (Giannakopoulou et al., VLDB 2017).
 //
-// CleanDB exposes the CleanM language: SQL extended with FD, DEDUP and
-// CLUSTER BY cleaning operators. Queries pass through three optimization
+// CleanDB exposes the CleanM language: SQL extended with FD, DEDUP, CLUSTER
+// BY and DENIAL/REPAIR cleaning operators. Queries pass through three optimization
 // levels — the monoid comprehension calculus, a nested relational algebra,
 // and a skew-aware physical plan — and execute on a partitioned multi-worker
 // runtime. A query with several cleaning operators is optimized as a whole:
@@ -216,6 +216,27 @@ func (r *Result) TaskNames() []string {
 // Explanation renders the three-level EXPLAIN (normalized comprehensions
 // and the optimized algebraic DAG).
 func (r *Result) Explanation() string { return r.inner.Explanation }
+
+// RepairSummary reports the outcome of a REPAIR clause: the healed rows and
+// the convergence statistics of the relaxation loop.
+type RepairSummary = core.RepairSummary
+
+// Repairs lists one summary per REPAIR clause executed by the query.
+func (r *Result) Repairs() []*RepairSummary { return r.inner.Repairs() }
+
+// RepairedRows returns the healed rows of the named source after the query's
+// REPAIR clauses, or nil when the query repaired nothing in that source.
+// Successive REPAIR clauses on one source compose, so the last summary holds
+// the final rows. Re-register them (RegisterRows) to query the cleaned data.
+func (r *Result) RepairedRows(source string) []Value {
+	var rows []Value
+	for _, s := range r.inner.Repairs() {
+		if s.Source == source {
+			rows = s.Rows
+		}
+	}
+	return rows
+}
 
 // Query parses, optimizes and executes a CleanM statement.
 func (db *DB) Query(q string) (*Result, error) {

@@ -22,6 +22,7 @@ import (
 	"cleandb"
 	"cleandb/internal/data"
 	"cleandb/internal/datagen"
+	"cleandb/internal/lang"
 	"cleandb/internal/types"
 )
 
@@ -77,6 +78,7 @@ func cmdQuery(args []string) error {
 	explain := fs.Bool("explain", false, "print the three-level plan instead of executing")
 	limit := fs.Int("limit", 20, "max rows to print")
 	standalone := fs.Bool("standalone", false, "disable unified optimization")
+	repairedOut := fs.String("repaired-out", "", "write REPAIR-healed rows to this file (format by extension)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -98,6 +100,21 @@ func cmdQuery(args []string) error {
 		}
 	}
 	query := fs.Arg(0)
+	// Validate -repaired-out against the statement before executing: a
+	// misuse error should not come after the (possibly expensive) run.
+	if *repairedOut != "" {
+		if parsed, err := lang.Parse(query); err == nil {
+			repairs := 0
+			for _, op := range parsed.Cleaning {
+				if op.Kind == lang.CleanDenial && op.RepairAttr != nil {
+					repairs++
+				}
+			}
+			if repairs == 0 {
+				return fmt.Errorf("query: -repaired-out set but the statement has no REPAIR clause")
+			}
+		}
+	}
 	if *explain {
 		out, err := db.Explain(query)
 		if err != nil {
@@ -117,6 +134,28 @@ func cmdQuery(args []string) error {
 			break
 		}
 		fmt.Println(r)
+	}
+	repairs := res.Repairs()
+	for _, s := range repairs {
+		fmt.Fprintf(os.Stderr, "-- repair %s.%s: %d violating pairs, %d values changed (%d clusters, %d rounds), %d remaining\n",
+			s.Source, s.Col, s.Violations, s.Changed, s.Clusters, s.Rounds, s.Remaining)
+	}
+	if *repairedOut != "" {
+		if len(repairs) == 0 {
+			return fmt.Errorf("query: -repaired-out set but the statement has no REPAIR clause")
+		}
+		// Successive REPAIR clauses compose, so the last summary per source
+		// holds the final rows; one output file means one repaired source.
+		last := repairs[len(repairs)-1]
+		for _, s := range repairs {
+			if s.Source != last.Source {
+				return fmt.Errorf("query: -repaired-out supports repairs of a single source, got %s and %s", s.Source, last.Source)
+			}
+		}
+		if err := writeFile(*repairedOut, last.Rows); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "-- repaired %s written to %s (%d rows)\n", last.Source, *repairedOut, len(last.Rows))
 	}
 	m := db.Metrics()
 	fmt.Fprintf(os.Stderr, "-- %d rows; %d ticks, %d comparisons, %d records shuffled\n",

@@ -1,0 +1,3 @@
+module cleandb
+
+go 1.24

@@ -137,6 +137,30 @@ func TestDedupNoSelfPairs(t *testing.T) {
 	}
 }
 
+// TestDedupExplicitZeroTheta: Theta == 0 with ThetaSet must be honored (all
+// non-identical intra-block pairs report), not silently rewritten to the
+// 0.8 default.
+func TestDedupExplicitZeroTheta(t *testing.T) {
+	rows := []types.Value{
+		cust(1, "johnson", "1 oak st", 1, "11-555-0001"),
+		cust(2, "jonson", "1 oak st", 1, "22-555-0002"), // sim 0.857: above default θ
+		cust(3, "jon", "1 oak st", 2, "22-555-0003"),    // sim ≈ 0.4: only θ=0 reports it
+	}
+	run := func(cfg DedupConfig) int64 {
+		ctx := engine.NewContext(2)
+		cfg.BlockAttr = func(v types.Value) string { return v.Field("address").Str() }
+		cfg.SimAttr = func(v types.Value) string { return v.Field("name").Str() }
+		cfg.Metric = textsim.MetricLevenshtein
+		return Dedup(engine.FromValues(ctx, rows), cfg).Count()
+	}
+	if got := run(DedupConfig{}); got != 1 {
+		t.Fatalf("default θ pairs = %d, want 1 (johnson/jonson only)", got)
+	}
+	if got := run(DedupConfig{Theta: 0, ThetaSet: true}); got != 3 {
+		t.Fatalf("explicit θ=0 pairs = %d, want all 3 intra-block pairs", got)
+	}
+}
+
 func TestExactDuplicates(t *testing.T) {
 	ctx := engine.NewContext(2)
 	rows := []types.Value{

@@ -1,0 +1,506 @@
+package cleaning
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+
+	"cleandb/internal/engine"
+	"cleandb/internal/types"
+)
+
+// This file grows DC checking into a repair subsystem: violations detected by
+// DCCheck are *healed* by relaxing the violated inequality predicate, after
+// "Cleaning Denial Constraint Violations through Relaxation" (Giannakopoulou
+// et al., 2020). The constraint template is the paper's rule ψ shape:
+//
+//	¬( filter(t1) ∧ t1.order OP_band t2.order ∧ t1.repair OP_rep t2.repair )
+//
+// The order attribute (e.g. price) is held fixed; the repair attribute (e.g.
+// discount) is relaxed. Violations that share a tuple interact — repairing
+// one pair can re-violate another — so the subsystem clusters violating pairs
+// by transitive closure (the same union-find machinery duplicate clustering
+// uses), derives per-tuple repair intervals from the partners' values, and
+// solves each cluster independently, in parallel on the engine worker pool,
+// for the value assignment with minimum total L1 displacement.
+
+// DCRepairConfig parameterizes denial-constraint repair. Check describes the
+// detection side (DCCheck); the remaining fields give repair the declarative
+// structure a black-box Pred cannot: which attribute is relaxed and which
+// comparison between t1 and t2 is the violated one.
+type DCRepairConfig struct {
+	// Check detects violating pairs. Check.Band doubles as the order
+	// attribute that repair holds fixed, and Check.BandOp as its direction.
+	Check DCConfig
+	// RepairAttr reads the numeric attribute being relaxed.
+	RepairAttr func(types.Value) float64
+	// RepairCol is the column rewritten with repaired values.
+	RepairCol string
+	// RepairOp is the violated comparison t1.repair OP t2.repair: one of
+	// "<", "<=", ">", ">=". Repair enforces its complement on every pair.
+	RepairOp string
+	// MinGap separates repaired values when the complement is strict
+	// (RepairOp ">=" or "<="); ignored otherwise. Default 1e-9.
+	MinGap float64
+	// MaxRounds bounds the repair→re-check fixpoint loop; repairing one
+	// cluster can surface new violations against previously clean tuples,
+	// which the next round absorbs into larger clusters. Default 8.
+	MaxRounds int
+	// InitialPairs optionally seeds round 1 with violations already computed
+	// elsewhere (e.g. by an executed query plan), skipping the first DCCheck.
+	InitialPairs [][2]types.Value
+}
+
+// RepairEntry reports one repaired value.
+type RepairEntry struct {
+	// Key is the tuple's canonical key before repair.
+	Key string
+	// Old and New are the repair attribute's values before and after.
+	Old, New float64
+	// Lo and Hi bound the tuple's repair interval: the value range that
+	// would satisfy every one of its violated pairs if only this tuple
+	// moved (±Inf when unbounded on that side). The chosen New may fall
+	// outside the interval when the cluster solve moves partners too.
+	Lo, Hi float64
+	// Round is the fixpoint round (1-based) that produced the repair.
+	Round int
+}
+
+// RepairResult is a completed denial-constraint repair.
+type RepairResult struct {
+	// Repaired is the healed dataset.
+	Repaired *engine.Dataset
+	// Rounds is the number of repair rounds executed.
+	Rounds int
+	// Violations counts the violating pairs found in round 1.
+	Violations int64
+	// Changed counts values rewritten across all rounds.
+	Changed int64
+	// Clusters counts the violation clusters solved across all rounds.
+	Clusters int
+	// Remaining counts violating pairs left after the final round (0 on a
+	// converged repair).
+	Remaining int64
+	// Entries lists every value change, in deterministic order.
+	Entries []RepairEntry
+}
+
+// repairEntrySchema carries per-cluster solver output through the engine.
+var repairEntrySchema = types.NewSchema("key", "old", "new", "lo", "hi")
+
+// RepairDC heals the denial constraint by relaxation: detect violating pairs,
+// cluster interacting violations, solve each cluster for minimum-displacement
+// repair values, rewrite the repair column, and iterate until a re-check
+// finds nothing (or MaxRounds is hit). It propagates ErrBudgetExceeded from
+// the detection joins.
+func RepairDC(ds *engine.Dataset, cfg DCRepairConfig) (*RepairResult, error) {
+	if err := validateRepairCfg(&cfg); err != nil {
+		return nil, err
+	}
+	res := &RepairResult{Repaired: ds}
+	for round := 1; round <= cfg.MaxRounds; round++ {
+		pairs, err := violatingPairs(res.Repaired, cfg, round)
+		if err != nil {
+			return nil, err
+		}
+		if round == 1 {
+			res.Violations = int64(len(pairs))
+		}
+		if len(pairs) == 0 {
+			res.Remaining = 0
+			return res, nil
+		}
+		res.Rounds = round
+		repaired, entries, clusters := repairRound(res.Repaired, pairs, cfg, round)
+		res.Repaired = repaired
+		res.Entries = append(res.Entries, entries...)
+		res.Changed += int64(len(entries))
+		res.Clusters += clusters
+		if len(entries) == 0 {
+			// The solver could not move anything (e.g. an unsatisfiable
+			// constraint on order ties); report the leftovers instead of
+			// spinning until MaxRounds.
+			res.Remaining = int64(len(pairs))
+			return res, nil
+		}
+	}
+	leftover, err := DCCheck(res.Repaired, cfg.Check)
+	if err != nil {
+		return nil, err
+	}
+	res.Remaining = leftover.Count()
+	return res, nil
+}
+
+func validateRepairCfg(cfg *DCRepairConfig) error {
+	if cfg.RepairAttr == nil {
+		return fmt.Errorf("cleaning: repair requires RepairAttr")
+	}
+	if cfg.RepairCol == "" {
+		return fmt.Errorf("cleaning: repair requires RepairCol")
+	}
+	switch cfg.RepairOp {
+	case "<", "<=", ">", ">=":
+	default:
+		return fmt.Errorf("cleaning: bad RepairOp %q", cfg.RepairOp)
+	}
+	if cfg.Check.Band == nil {
+		return fmt.Errorf("cleaning: repair requires Check.Band as the order attribute")
+	}
+	if cfg.MaxRounds <= 0 {
+		cfg.MaxRounds = 8
+	}
+	if cfg.MinGap <= 0 {
+		cfg.MinGap = 1e-9
+	}
+	return nil
+}
+
+// violatingPairs returns the round's violations as (t1, t2) tuples.
+func violatingPairs(ds *engine.Dataset, cfg DCRepairConfig, round int) ([][2]types.Value, error) {
+	if round == 1 && cfg.InitialPairs != nil {
+		return cfg.InitialPairs, nil
+	}
+	found, err := DCCheck(ds, cfg.Check)
+	if err != nil {
+		return nil, err
+	}
+	rows := found.Collect()
+	out := make([][2]types.Value, len(rows))
+	for i, r := range rows {
+		out[i] = [2]types.Value{r.Field("left"), r.Field("right")}
+	}
+	return out, nil
+}
+
+// repairRound clusters the violating pairs, solves every cluster in parallel
+// on the engine worker pool, and applies the resulting value repairs.
+func repairRound(ds *engine.Dataset, pairs [][2]types.Value, cfg DCRepairConfig, round int) (*engine.Dataset, []RepairEntry, int) {
+	uf := NewUnionFind()
+	byKey := map[string]types.Value{}
+	intervals := repairIntervals(pairs, cfg)
+	for _, p := range pairs {
+		k1, k2 := types.Key(p[0]), types.Key(p[1])
+		byKey[k1], byKey[k2] = p[0], p[1]
+		uf.Union(k1, k2)
+	}
+
+	// One record per cluster: the member tuples as a list value. Solving runs
+	// as an engine stage so cluster skew (one giant cluster) is charged to
+	// SimTicks like any other straggler.
+	groups := uf.Groups()
+	clusterRows := make([]types.Value, len(groups))
+	for i, members := range groups {
+		vals := make([]types.Value, len(members))
+		for j, k := range members {
+			vals[j] = byKey[k]
+		}
+		clusterRows[i] = types.ListOf(vals)
+	}
+	ctx := ds.Context()
+	clusters := engine.FromValues(ctx, clusterRows)
+	solved := clusters.FlatMapW("dcrepair:solve", func(cluster types.Value) []types.Value {
+		members := cluster.List()
+		fits := solveCluster(members, cfg, intervals)
+		ctx.Metrics().AddComparisons(solveCost(len(members)))
+		var out []types.Value
+		for i, m := range members {
+			old := cfg.RepairAttr(m)
+			if fits[i] == old {
+				continue
+			}
+			lo, hi := math.Inf(-1), math.Inf(1)
+			if iv, ok := intervals[types.Key(m)]; ok {
+				lo, hi = iv.lo, iv.hi
+			}
+			out = append(out, types.NewRecord(repairEntrySchema, []types.Value{
+				types.String(types.Key(m)), types.Float(old), types.Float(fits[i]),
+				types.Float(lo), types.Float(hi),
+			}))
+		}
+		return out
+	}, func(cluster types.Value) int64 {
+		return solveCost(len(cluster.List()))
+	})
+
+	rows := solved.Collect()
+	entries := make([]RepairEntry, len(rows))
+	newValues := make(map[string]float64, len(rows))
+	for i, r := range rows {
+		entries[i] = RepairEntry{
+			Key: r.Field("key").Str(),
+			Old: r.Field("old").Float(), New: r.Field("new").Float(),
+			Lo: r.Field("lo").Float(), Hi: r.Field("hi").Float(),
+			Round: round,
+		}
+		newValues[entries[i].Key] = entries[i].New
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
+	repaired, _ := ApplyValueRepairs(ds, cfg.RepairCol, newValues)
+	return repaired, entries, len(groups)
+}
+
+// solveCost models the per-cluster solver work (sort + pool passes): n·log n.
+func solveCost(n int) int64 {
+	m := int64(n)
+	if m <= 1 {
+		return 1
+	}
+	cost := m
+	for b := m; b > 1; b >>= 1 {
+		cost += m
+	}
+	return cost
+}
+
+// interval is a per-tuple repair interval in original value space.
+type interval struct{ lo, hi float64 }
+
+// repairIntervals derives, for every tuple in a violating pair, the value
+// range that would satisfy all of its violated pairs if only that tuple were
+// repaired — the relaxation intervals the cluster solver refines.
+func repairIntervals(pairs [][2]types.Value, cfg DCRepairConfig) map[string]interval {
+	out := map[string]interval{}
+	get := func(k string) interval {
+		if iv, ok := out[k]; ok {
+			return iv
+		}
+		return interval{lo: math.Inf(-1), hi: math.Inf(1)}
+	}
+	gap := 0.0
+	if cfg.RepairOp == ">=" || cfg.RepairOp == "<=" {
+		gap = cfg.MinGap
+	}
+	for _, p := range pairs {
+		k1, k2 := types.Key(p[0]), types.Key(p[1])
+		r1, r2 := cfg.RepairAttr(p[0]), cfg.RepairAttr(p[1])
+		iv1, iv2 := get(k1), get(k2)
+		switch cfg.RepairOp {
+		case ">", ">=": // complement: r1 ≤ r2 (− gap when strict)
+			iv1.hi = math.Min(iv1.hi, r2-gap)
+			iv2.lo = math.Max(iv2.lo, r1+gap)
+		default: // "<", "<=": complement: r1 ≥ r2 (+ gap when strict)
+			iv1.lo = math.Max(iv1.lo, r2+gap)
+			iv2.hi = math.Min(iv2.hi, r1-gap)
+		}
+		out[k1], out[k2] = iv1, iv2
+	}
+	return out
+}
+
+// solveCluster assigns repaired values to the cluster members, picking the
+// lower-displacement of two relaxations:
+//
+//   - chain fit: members ordered by the fixed order attribute, repair values
+//     made monotone along the chain with an L1-optimal isotonic fit
+//     (pool-adjacent-violators with median blocks). Monotonicity implies the
+//     complement of RepairOp for every ordered pair, so no intra-cluster
+//     violation survives — but pairs the DC left free get constrained too.
+//   - clamp fit: only the tuples that appear in the t1 role move, each
+//     clamped into its repair interval (and below any later clamped value).
+//     This is the cheap repair for star-shaped clusters — a few filtered
+//     tuples violating against many partners — where pooling the whole
+//     chain would rewrite thousands of values.
+func solveCluster(members []types.Value, cfg DCRepairConfig, intervals map[string]interval) []float64 {
+	chain := chainFit(members, cfg)
+	clamp := clampFit(members, cfg, intervals)
+	if clamp == nil || displacement(members, cfg, chain) <= displacement(members, cfg, clamp) {
+		return chain
+	}
+	return clamp
+}
+
+// displacement sums |fit − old| over the cluster.
+func displacement(members []types.Value, cfg DCRepairConfig, fits []float64) float64 {
+	var d float64
+	for i, m := range members {
+		d += math.Abs(fits[i] - cfg.RepairAttr(m))
+	}
+	return d
+}
+
+// orderedIdx returns member indices sorted so the t1 role (the side the
+// band predicate puts first) comes first, ties broken by canonical key.
+func orderedIdx(members []types.Value, cfg DCRepairConfig) []int {
+	idx := make([]int, len(members))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		oa, ob := cfg.Check.Band(members[idx[a]]), cfg.Check.Band(members[idx[b]])
+		if oa != ob {
+			return oa < ob
+		}
+		return types.Key(members[idx[a]]) < types.Key(members[idx[b]])
+	})
+	if cfg.Check.BandOp == ">" || cfg.Check.BandOp == ">=" {
+		for a, b := 0, len(idx)-1; a < b; a, b = a+1, b-1 {
+			idx[a], idx[b] = idx[b], idx[a]
+		}
+	}
+	return idx
+}
+
+// repairDirection normalizes the repair comparison: after multiplying values
+// by sign, the requirement is always non-decreasing along the chain, with
+// gap-separation when the complement is strict.
+func repairDirection(cfg DCRepairConfig) (sign, gap float64) {
+	sign = 1.0
+	if cfg.RepairOp == "<" || cfg.RepairOp == "<=" {
+		sign = -1.0
+	}
+	if cfg.RepairOp == ">=" || cfg.RepairOp == "<=" {
+		gap = cfg.MinGap
+	}
+	return sign, gap
+}
+
+// chainFit is the isotonic-chain relaxation (see solveCluster).
+func chainFit(members []types.Value, cfg DCRepairConfig) []float64 {
+	idx := orderedIdx(members, cfg)
+	sign, gap := repairDirection(cfg)
+
+	// Points along the chain. A non-strict band op ("<=") lets order-ties
+	// violate in both directions, so ties must repair to one shared value:
+	// they are pooled into a single weighted point.
+	poolTies := cfg.Check.BandOp == "<=" || cfg.Check.BandOp == ">="
+	type point struct {
+		members []int // indices into members
+		vals    []float64
+	}
+	var points []point
+	for _, mi := range idx {
+		o := cfg.Check.Band(members[mi])
+		v := sign * cfg.RepairAttr(members[mi])
+		if poolTies && len(points) > 0 {
+			last := points[len(points)-1].members[0]
+			if cfg.Check.Band(members[last]) == o {
+				p := &points[len(points)-1]
+				p.members = append(p.members, mi)
+				p.vals = append(p.vals, v)
+				continue
+			}
+		}
+		points = append(points, point{members: []int{mi}, vals: []float64{v}})
+	}
+
+	// PAVA with median blocks over the sheared values.
+	type block struct {
+		vals     []float64
+		fit      float64
+		from, to int // point index range [from, to)
+	}
+	var stack []block
+	for i, p := range points {
+		vals := make([]float64, len(p.vals))
+		for j, v := range p.vals {
+			vals[j] = v - gap*float64(i)
+		}
+		b := block{vals: vals, fit: lowerMedian(vals), from: i, to: i + 1}
+		for len(stack) > 0 && stack[len(stack)-1].fit > b.fit {
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			b.vals = append(top.vals, b.vals...)
+			b.fit = lowerMedian(b.vals)
+			b.from = top.from
+		}
+		stack = append(stack, b)
+	}
+
+	out := make([]float64, len(members))
+	for _, b := range stack {
+		for pi := b.from; pi < b.to; pi++ {
+			fit := b.fit + gap*float64(pi)
+			for _, mi := range points[pi].members {
+				out[mi] = sign * fit
+			}
+		}
+	}
+	return out
+}
+
+// clampFit is the one-sided relaxation (see solveCluster): only tuples with
+// a finite repair interval on the constrained side (the t1 roles) move, each
+// clamped into its interval and kept consistent with later clamped tuples by
+// a running minimum. Returns nil when the shape does not apply (non-strict
+// band ops let order-ties violate both ways, which clamping cannot fix).
+func clampFit(members []types.Value, cfg DCRepairConfig, intervals map[string]interval) []float64 {
+	if cfg.Check.BandOp != "<" && cfg.Check.BandOp != ">" {
+		return nil
+	}
+	idx := orderedIdx(members, cfg)
+	sign, gap := repairDirection(cfg)
+
+	out := make([]float64, len(members))
+	runmin := math.Inf(1)
+	for i := len(idx) - 1; i >= 0; i-- {
+		mi := idx[i]
+		m := members[mi]
+		old := sign * cfg.RepairAttr(m)
+		// The constrained-side bound in transformed space: hi for the
+		// ascending direction, −lo for the descending one.
+		cap := math.Inf(1)
+		if iv, ok := intervals[types.Key(m)]; ok {
+			if sign > 0 {
+				cap = iv.hi
+			} else {
+				cap = -iv.lo
+			}
+		}
+		if math.IsInf(cap, 1) {
+			// Pure t2 role: untouched, and not a bound for earlier tuples
+			// (their intervals already account for its original value).
+			out[mi] = sign * old
+			continue
+		}
+		fit := math.Min(old, math.Min(cap, runmin-gap))
+		runmin = math.Min(runmin, fit)
+		out[mi] = sign * fit
+	}
+	return out
+}
+
+// lowerMedian returns the lower median of vs — an L1-optimal block value
+// that is always one of the original data values.
+func lowerMedian(vs []float64) float64 {
+	s := append([]float64(nil), vs...)
+	sort.Float64s(s)
+	return s[(len(s)-1)/2]
+}
+
+// ApplyValueRepairs rewrites the named numeric column using the per-tuple
+// repair map (tuple canonical key → new value), returning the repaired
+// dataset and the number of records changed. It is the numeric sibling of
+// ApplyRepairs.
+func ApplyValueRepairs(ds *engine.Dataset, col string, repairs map[string]float64) (*engine.Dataset, int64) {
+	var changed atomic.Int64
+	out := ds.MapPartitions("dcrepair:apply:"+col, func(_ int, part []types.Value) []types.Value {
+		res := make([]types.Value, len(part))
+		var local int64
+		for i, v := range part {
+			rec := v.Record()
+			if rec == nil {
+				res[i] = v
+				continue
+			}
+			repl, ok := repairs[types.Key(v)]
+			if !ok {
+				res[i] = v
+				continue
+			}
+			idx, ok := rec.Schema.Index(col)
+			if !ok {
+				res[i] = v
+				continue
+			}
+			fields := append([]types.Value(nil), rec.Fields...)
+			fields[idx] = types.Float(repl)
+			res[i] = types.NewRecord(rec.Schema, fields)
+			local++
+		}
+		changed.Add(local)
+		return res
+	})
+	return out, changed.Load()
+}

@@ -22,11 +22,20 @@ type DedupConfig struct {
 	// BlockAttr).
 	SimAttr func(types.Value) string
 	// Metric and Theta configure the similarity predicate sim > Theta.
+	// A zero Theta means DefaultTheta unless ThetaSet is true.
 	Metric textsim.Metric
 	Theta  float64
+	// ThetaSet marks Theta as explicitly configured, making an intentional
+	// zero threshold (report every non-identical intra-block pair)
+	// expressible. Without it, Theta == 0 selects DefaultTheta.
+	ThetaSet bool
 	// Strategy selects the grouping shuffle.
 	Strategy physical.GroupStrategy
 }
+
+// DefaultTheta is the similarity threshold used when DedupConfig leaves
+// Theta unset (the paper's θ = 0.8).
+const DefaultTheta = 0.8
 
 // Dedup finds similar record pairs: records are blocked, then all intra-block
 // pairs are compared with the similarity metric (paper §4.4 DEDUP
@@ -38,8 +47,8 @@ func Dedup(ds *engine.Dataset, cfg DedupConfig) *engine.Dataset {
 	if cfg.SimAttr == nil {
 		cfg.SimAttr = cfg.BlockAttr
 	}
-	if cfg.Theta == 0 {
-		cfg.Theta = 0.8
+	if cfg.Theta == 0 && !cfg.ThetaSet {
+		cfg.Theta = DefaultTheta
 	}
 	ctx := ds.Context()
 

@@ -1,7 +1,6 @@
 package cleaning
 
 import (
-	"sort"
 	"sync/atomic"
 
 	"cleandb/internal/engine"
@@ -14,48 +13,22 @@ import (
 // Input records are {a, b} pairs as produced by Dedup; the result is one
 // sorted cluster per real-world entity, clusters sorted by first member.
 func DupClusters(pairs []types.Value) [][]types.Value {
-	parent := map[string]string{}
+	uf := NewUnionFind()
 	byKey := map[string]types.Value{}
-	var find func(string) string
-	find = func(x string) string {
-		p, ok := parent[x]
-		if !ok || p == x {
-			parent[x] = x
-			return x
-		}
-		root := find(p)
-		parent[x] = root
-		return root
-	}
-	union := func(a, b string) {
-		ra, rb := find(a), find(b)
-		if ra != rb {
-			parent[ra] = rb
-		}
-	}
 	for _, p := range pairs {
 		a, b := p.Field("a"), p.Field("b")
 		ka, kb := types.Key(a), types.Key(b)
 		byKey[ka], byKey[kb] = a, b
-		union(ka, kb)
-	}
-	groups := map[string][]string{}
-	for k := range byKey {
-		root := find(k)
-		groups[root] = append(groups[root], k)
+		uf.Union(ka, kb)
 	}
 	var out [][]types.Value
-	for _, members := range groups {
-		sort.Strings(members)
+	for _, members := range uf.Groups() {
 		cluster := make([]types.Value, len(members))
 		for i, k := range members {
 			cluster[i] = byKey[k]
 		}
 		out = append(out, cluster)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		return types.Key(out[i][0]) < types.Key(out[j][0])
-	})
 	return out
 }
 

@@ -38,6 +38,43 @@ func TestDupClustersEmpty(t *testing.T) {
 	}
 }
 
+func TestDupClustersSelfPairs(t *testing.T) {
+	mk := func(id int64) types.Value {
+		return types.NewRecord(types.NewSchema("id"), []types.Value{types.Int(id)})
+	}
+	// A degenerate self-pair must yield a singleton cluster, not a crash or
+	// a duplicated member.
+	clusters := DupClusters([]types.Value{pair(mk(1), mk(1))})
+	if len(clusters) != 1 || len(clusters[0]) != 1 {
+		t.Fatalf("self-pair clusters = %v", clusters)
+	}
+	// Mixed with real pairs, the self-pair contributes its member once.
+	clusters = DupClusters([]types.Value{
+		pair(mk(2), mk(2)),
+		pair(mk(2), mk(3)),
+	})
+	if len(clusters) != 1 || len(clusters[0]) != 2 {
+		t.Fatalf("self+real clusters = %v", clusters)
+	}
+}
+
+func TestDupClustersChainMergesTransitively(t *testing.T) {
+	mk := func(id int64) types.Value {
+		return types.NewRecord(types.NewSchema("id"), []types.Value{types.Int(id)})
+	}
+	// Two clusters {1,2} and {3,4} merge into one when a late pair (2,3)
+	// bridges them, regardless of pair order.
+	pairs := []types.Value{
+		pair(mk(1), mk(2)),
+		pair(mk(3), mk(4)),
+		pair(mk(2), mk(3)),
+	}
+	clusters := DupClusters(pairs)
+	if len(clusters) != 1 || len(clusters[0]) != 4 {
+		t.Fatalf("bridged chain clusters = %v", clusters)
+	}
+}
+
 // TestDupClustersPartition is a property test: every input record appears in
 // exactly one cluster, and both members of every pair share a cluster.
 func TestDupClustersPartition(t *testing.T) {

@@ -1,0 +1,62 @@
+package cleaning
+
+import "sort"
+
+// UnionFind is a disjoint-set forest over string keys with path compression
+// and union by rank. It is the transitive-closure machinery shared by
+// duplicate clustering (DupClusters) and denial-constraint repair, where
+// violations that touch a common tuple must be repaired together.
+type UnionFind struct {
+	parent map[string]string
+	rank   map[string]int
+}
+
+// NewUnionFind returns an empty forest.
+func NewUnionFind() *UnionFind {
+	return &UnionFind{parent: map[string]string{}, rank: map[string]int{}}
+}
+
+// Find returns the representative of x's set, adding x as a singleton if it
+// is unknown.
+func (u *UnionFind) Find(x string) string {
+	p, ok := u.parent[x]
+	if !ok || p == x {
+		u.parent[x] = x
+		return x
+	}
+	root := u.Find(p)
+	u.parent[x] = root
+	return root
+}
+
+// Union merges the sets containing a and b.
+func (u *UnionFind) Union(a, b string) {
+	ra, rb := u.Find(a), u.Find(b)
+	if ra == rb {
+		return
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+}
+
+// Groups returns the sets as sorted member lists, ordered by first member —
+// a deterministic partition of every key ever passed to Find or Union.
+func (u *UnionFind) Groups() [][]string {
+	byRoot := map[string][]string{}
+	for k := range u.parent {
+		root := u.Find(k)
+		byRoot[root] = append(byRoot[root], k)
+	}
+	out := make([][]string, 0, len(byRoot))
+	for _, members := range byRoot {
+		sort.Strings(members)
+		out = append(out, members)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}

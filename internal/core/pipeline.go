@@ -61,6 +61,9 @@ type TaskResult struct {
 	Plan algebra.Plan
 	// Comp is the normalized comprehension.
 	Comp monoid.Expr
+	// Repair reports the REPAIR outcome of a denial task (nil otherwise):
+	// the healed rows plus the relaxation loop's convergence statistics.
+	Repair *RepairSummary
 }
 
 // Result is a completed CleanM query.
@@ -242,6 +245,7 @@ func (pr *Prepared) Execute() (*Result, error) {
 		}
 		res.Combined = d.Collect()
 	}
+	healed := map[string]*engine.Dataset{}
 	for i, t := range pr.tasks {
 		var out []types.Value
 		if pr.combined == nil {
@@ -251,14 +255,37 @@ func (pr *Prepared) Execute() (*Result, error) {
 			}
 			out = unwrapOut(d.Collect())
 		}
-		res.Tasks = append(res.Tasks, TaskResult{
+		tr := TaskResult{
 			Name:   t.Name,
 			Output: out,
 			Plan:   pr.plans[i],
 			Comp:   pr.norm[i],
-		})
+		}
+		// A denial task with REPAIR heals the source after detection: the
+		// plan's violation pairs seed the relaxation loop, and successive
+		// REPAIR clauses on the same source compose via the healed map.
+		if t.Denial != nil && t.Denial.RepairAttr != nil {
+			sum, err := pr.runRepair(&pr.tasks[i], pr.plans[i], out, healed)
+			if err != nil {
+				return nil, err
+			}
+			tr.Repair = sum
+			healed[sum.Source] = engine.FromValues(pr.pipeline.Ctx, sum.Rows)
+		}
+		res.Tasks = append(res.Tasks, tr)
 	}
 	return res, nil
+}
+
+// Repairs lists the repair summaries of all tasks that requested one.
+func (r *Result) Repairs() []*RepairSummary {
+	var out []*RepairSummary
+	for _, t := range r.Tasks {
+		if t.Repair != nil {
+			out = append(out, t.Repair)
+		}
+	}
+	return out
 }
 
 // unwrapOut strips the {$out: v} environment wrapper from result records.

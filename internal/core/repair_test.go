@@ -1,0 +1,246 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"cleandb/internal/cleaning"
+	"cleandb/internal/datagen"
+	"cleandb/internal/engine"
+	"cleandb/internal/physical"
+	"cleandb/internal/types"
+)
+
+// ruleψRepair is rule ψ as a DENIAL constraint with a REPAIR clause: relax
+// the discount attribute until no (price↑, discount↓) inversion below the
+// price threshold remains.
+const ruleψRepair = `
+SELECT * FROM lineitem t1
+DENIAL(t2, t1.extendedprice < t2.extendedprice and t1.discount > t2.discount and t1.extendedprice < 905)
+REPAIR(t1.discount)`
+
+// TestRepairEndToEnd runs DENIAL+REPAIR through the full pipeline on the
+// examples/denial dataset shape and re-checks the healed rows with DCCheck:
+// zero violations may remain (the PR's acceptance criterion).
+func TestRepairEndToEnd(t *testing.T) {
+	rows := datagen.GenLineitem(datagen.LineitemConfig{Rows: 2000, Seed: 9})
+	ctx := engine.NewContext(4)
+	ctx.CompBudget = 20_000_000
+	p := NewPipeline(ctx, map[string]*engine.Dataset{
+		"lineitem": engine.FromValues(ctx, rows),
+	})
+	res, err := p.Run(ruleψRepair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repairs := res.Repairs()
+	if len(repairs) != 1 {
+		t.Fatalf("repair summaries = %d, want 1", len(repairs))
+	}
+	sum := repairs[0]
+	if sum.Violations == 0 {
+		t.Fatal("test data should contain ψ violations")
+	}
+	if sum.Remaining != 0 {
+		t.Fatalf("repair did not converge: %d remaining after %d rounds", sum.Remaining, sum.Rounds)
+	}
+	if sum.Changed == 0 || len(sum.Entries) == 0 {
+		t.Fatalf("no values repaired: %+v", sum)
+	}
+	if int64(len(sum.Rows)) != int64(len(rows)) {
+		t.Fatalf("repaired rows = %d, want %d", len(sum.Rows), len(rows))
+	}
+
+	// Independent re-check of the healed dataset through DCCheck.
+	ctx2 := engine.NewContext(4)
+	healed := engine.FromValues(ctx2, sum.Rows)
+	leftover, err := cleaning.DCCheck(healed, cleaning.DCConfig{
+		LeftFilter: func(v types.Value) bool { return v.Field("extendedprice").Float() < 905 },
+		Pred: func(t1, t2 types.Value) bool {
+			return t1.Field("extendedprice").Float() < t2.Field("extendedprice").Float() &&
+				t1.Field("discount").Float() > t2.Field("discount").Float() &&
+				t1.Field("extendedprice").Float() < 905
+		},
+		Band:     func(v types.Value) float64 { return v.Field("extendedprice").Float() },
+		BandOp:   "<",
+		Strategy: physical.ThetaMBucket,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := leftover.Count(); n != 0 {
+		t.Fatalf("re-check found %d violations in repaired dataset", n)
+	}
+}
+
+// TestRepairDetectionSeedsFromPlan: the REPAIR loop's round-1 violations
+// must equal the executed plan's output (the detection side runs through the
+// optimized comprehension→algebra→physical stack, not a private DCCheck).
+func TestRepairDetectionSeedsFromPlan(t *testing.T) {
+	rows := datagen.GenLineitem(datagen.LineitemConfig{Rows: 1000, Seed: 3})
+	run := func(query string) (int, *RepairSummary) {
+		ctx := engine.NewContext(4)
+		p := NewPipeline(ctx, map[string]*engine.Dataset{
+			"lineitem": engine.FromValues(ctx, rows),
+		})
+		res, err := p.Run(query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reps := res.Repairs()
+		if len(reps) == 0 {
+			return len(res.Rows()), nil
+		}
+		return len(res.Rows()), reps[0]
+	}
+	detected, _ := run(`
+SELECT * FROM lineitem t1
+DENIAL(t2, t1.extendedprice < t2.extendedprice and t1.discount > t2.discount and t1.extendedprice < 905)`)
+	_, sum := run(ruleψRepair)
+	if sum == nil {
+		t.Fatal("no repair summary")
+	}
+	if int64(detected) != sum.Violations {
+		t.Fatalf("plan found %d pairs but repair saw %d", detected, sum.Violations)
+	}
+}
+
+// TestDenialDetectOnly: DENIAL without REPAIR behaves like the WHERE-based
+// theta self-join formulation — same violating pairs, no repair attempted.
+func TestDenialDetectOnly(t *testing.T) {
+	rows := datagen.GenLineitem(datagen.LineitemConfig{Rows: 1000, Seed: 7})
+	ctx := engine.NewContext(4)
+	p := NewPipeline(ctx, map[string]*engine.Dataset{
+		"lineitem": engine.FromValues(ctx, rows),
+	})
+	res, err := p.Run(`
+SELECT * FROM lineitem t1
+DENIAL(t2, t1.extendedprice < t2.extendedprice and t1.discount > t2.discount and t1.extendedprice < 905)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Repairs()) != 0 {
+		t.Fatal("detect-only DENIAL ran a repair")
+	}
+	want := 0
+	for _, t1 := range rows {
+		if t1.Field("extendedprice").Float() >= 905 {
+			continue
+		}
+		for _, t2 := range rows {
+			if t1.Field("extendedprice").Float() < t2.Field("extendedprice").Float() &&
+				t1.Field("discount").Float() > t2.Field("discount").Float() {
+				want++
+			}
+		}
+	}
+	if got := len(res.Rows()); got != want {
+		t.Fatalf("DENIAL pairs = %d, want %d", got, want)
+	}
+}
+
+// TestDenialFilterPushdown: the t1-only conjunct of a DENIAL predicate must
+// lower to a Select below the theta self join, like the WHERE formulation.
+func TestDenialFilterPushdown(t *testing.T) {
+	rows := datagen.GenLineitem(datagen.LineitemConfig{Rows: 50, Seed: 7})
+	ctx := engine.NewContext(2)
+	p := NewPipeline(ctx, map[string]*engine.Dataset{
+		"lineitem": engine.FromValues(ctx, rows),
+	})
+	prep, err := p.Prepare(ruleψRepair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	explain := prep.Explain()
+	lines := strings.Split(explain, "\n")
+	joinDepth, selDepth := -1, -1
+	for _, l := range lines {
+		depth := (len(l) - len(strings.TrimLeft(l, " "))) / 2
+		if strings.Contains(l, "ThetaJoin") {
+			joinDepth = depth
+		}
+		if strings.Contains(l, "905") && strings.Contains(l, "Select") {
+			selDepth = depth
+		}
+	}
+	if selDepth == -1 || joinDepth == -1 || selDepth <= joinDepth {
+		t.Fatalf("filter (depth %d) should be pushed below the join (depth %d):\n%s",
+			selDepth, joinDepth, explain)
+	}
+}
+
+// TestRepairClausesCompose: two REPAIR clauses on the same source must
+// chain — the second starts from the first's healed rows, and the final
+// rows satisfy both constraints.
+func TestRepairClausesCompose(t *testing.T) {
+	rows := datagen.GenLineitem(datagen.LineitemConfig{Rows: 1200, Seed: 11})
+	ctx := engine.NewContext(4)
+	ctx.CompBudget = 20_000_000
+	p := NewPipeline(ctx, map[string]*engine.Dataset{
+		"lineitem": engine.FromValues(ctx, rows),
+	})
+	res, err := p.Run(`
+SELECT * FROM lineitem t1
+DENIAL(t2, t1.extendedprice < t2.extendedprice and t1.discount > t2.discount and t1.extendedprice < 905)
+REPAIR(t1.discount)
+DENIAL(t3, t1.extendedprice < t3.extendedprice and t1.quantity > t3.quantity and t1.extendedprice < 905)
+REPAIR(t1.quantity)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := res.Repairs()
+	if len(reps) != 2 {
+		t.Fatalf("repair summaries = %d, want 2", len(reps))
+	}
+	for _, sum := range reps {
+		if sum.Remaining != 0 {
+			t.Fatalf("%s did not converge: %d remaining", sum.Task, sum.Remaining)
+		}
+	}
+	// The second summary's rows must include the first clause's discount
+	// repairs (composition), and the final rows must satisfy both rules.
+	final := reps[1].Rows
+	check := func(attr string) int {
+		violations := 0
+		for _, t1 := range final {
+			if t1.Field("extendedprice").Float() >= 905 {
+				continue
+			}
+			for _, t2 := range final {
+				if t1.Field("extendedprice").Float() < t2.Field("extendedprice").Float() &&
+					t1.Field(attr).Float() > t2.Field(attr).Float() {
+					violations++
+				}
+			}
+		}
+		return violations
+	}
+	if n := check("discount"); n != 0 {
+		t.Fatalf("final rows violate the discount rule %d times", n)
+	}
+	if n := check("quantity"); n != 0 {
+		t.Fatalf("final rows violate the quantity rule %d times", n)
+	}
+}
+
+// TestRepairBadConfigs: REPAIR clauses the conjunct analysis cannot ground
+// must fail with a planning/execution error, not silently detect-only.
+func TestRepairBadConfigs(t *testing.T) {
+	rows := datagen.GenLineitem(datagen.LineitemConfig{Rows: 50, Seed: 7})
+	for _, query := range []string{
+		// repair attr never compared between t1 and t2
+		`SELECT * FROM lineitem t1 DENIAL(t2, t1.extendedprice < t2.extendedprice) REPAIR(t1.discount)`,
+		// no second band conjunct to order tuples
+		`SELECT * FROM lineitem t1 DENIAL(t2, t1.discount > t2.discount) REPAIR(t1.discount)`,
+		// repair target is an expression, not a column
+		`SELECT * FROM lineitem t1 DENIAL(t2, t1.extendedprice < t2.extendedprice and t1.discount > t2.discount) REPAIR(t1.discount + 1)`,
+	} {
+		ctx := engine.NewContext(2)
+		p := NewPipeline(ctx, map[string]*engine.Dataset{
+			"lineitem": engine.FromValues(ctx, rows),
+		})
+		if _, err := p.Run(query); err == nil {
+			t.Fatalf("expected error for %q", query)
+		}
+	}
+}

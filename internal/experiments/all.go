@@ -11,6 +11,7 @@ func All(s Scale) []*Table {
 	csv, colbin := Figure6(s)
 	out = append(out, csv, colbin)
 	out = append(out, Table5(s))
+	out = append(out, TableR1(s))
 	f7a, f7b := Figure7(s)
 	out = append(out, f7a, f7b)
 	out = append(out, Figure8a(s))

@@ -187,6 +187,21 @@ func TestTable5Shape(t *testing.T) {
 	}
 }
 
+func TestTableR1Shape(t *testing.T) {
+	tab := TableR1(tinyScale())
+	for _, r := range tab.Rows {
+		if r[2] == "0" || r[2] == "-1" {
+			t.Errorf("SF %s: expected ψ violations, got %s", r[0], r[2])
+		}
+		if r[3] == DNF {
+			t.Errorf("SF %s: CleanDB repair must terminate", r[0])
+		}
+		if strings.Contains(r[3], "left") {
+			t.Errorf("SF %s: CleanDB repair must converge, got %s", r[0], r[3])
+		}
+	}
+}
+
 func TestFigure7Shape(t *testing.T) {
 	small, large := Figure7(tinyScale())
 	for _, tab := range []*Table{small, large} {
@@ -314,8 +329,8 @@ func TestAllRuns(t *testing.T) {
 		t.Skip("full suite in short mode")
 	}
 	tables := All(tinyScale())
-	if len(tables) != 12 {
-		t.Fatalf("All should produce 12 tables, got %d", len(tables))
+	if len(tables) != 13 {
+		t.Fatalf("All should produce 13 tables, got %d", len(tables))
 	}
 	for _, tab := range tables {
 		if len(tab.Rows) == 0 {

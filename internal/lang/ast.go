@@ -43,6 +43,9 @@ const (
 	CleanDedup
 	// CleanClusterBy is term validation: CLUSTER BY(op[,metric,theta],term).
 	CleanClusterBy
+	// CleanDenial is a general denial constraint over a self join:
+	// DENIAL(t2, <pred over t1,t2>), optionally followed by REPAIR(attr).
+	CleanDenial
 )
 
 // String names the kind as it appears in queries.
@@ -54,6 +57,8 @@ func (k CleaningKind) String() string {
 		return "DEDUP"
 	case CleanClusterBy:
 		return "CLUSTER BY"
+	case CleanDenial:
+		return "DENIAL"
 	default:
 		return "?"
 	}
@@ -83,4 +88,13 @@ type CleaningOp struct {
 	Theta float64
 	// Attrs are the dedup attributes or the cluster-by term expression.
 	Attrs []monoid.Expr
+	// SecondAlias names the second copy of the FROM table in a DENIAL self
+	// join (the t2 role); the FROM alias plays t1.
+	SecondAlias string
+	// Pred is the DENIAL violation predicate over both aliases.
+	Pred monoid.Expr
+	// RepairAttr, when non-nil, asks the pipeline to heal the violations by
+	// relaxing this attribute (the REPAIR clause). Must be a direct field
+	// access on one of the two aliases.
+	RepairAttr monoid.Expr
 }

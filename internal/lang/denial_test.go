@@ -1,0 +1,114 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"cleandb/internal/monoid"
+)
+
+const denialQuery = `
+SELECT * FROM lineitem t1
+DENIAL(t2, t1.extendedprice < t2.extendedprice and t1.discount > t2.discount and t1.extendedprice < 905)
+REPAIR(t1.discount)`
+
+func TestParseDenialRepair(t *testing.T) {
+	q, err := Parse(denialQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Cleaning) != 1 {
+		t.Fatalf("cleaning ops = %d, want 1", len(q.Cleaning))
+	}
+	op := q.Cleaning[0]
+	if op.Kind != CleanDenial {
+		t.Fatalf("kind = %v, want DENIAL", op.Kind)
+	}
+	if op.SecondAlias != "t2" {
+		t.Fatalf("second alias = %q", op.SecondAlias)
+	}
+	if op.Pred == nil || op.RepairAttr == nil {
+		t.Fatalf("pred/repair missing: %+v", op)
+	}
+	if f, ok := op.RepairAttr.(*monoid.Field); !ok || f.Name != "discount" {
+		t.Fatalf("repair attr = %v", op.RepairAttr)
+	}
+}
+
+func TestParseRepairErrors(t *testing.T) {
+	for _, src := range []string{
+		`SELECT * FROM t a REPAIR(a.x)`,                                  // no DENIAL
+		`SELECT * FROM t a FD(a.x, a.y) REPAIR(a.x)`,                     // follows FD
+		`SELECT * FROM t a DENIAL(b, a.x < b.x) REPAIR(a.x) REPAIR(a.x)`, // duplicate
+		`SELECT * FROM t a DENIAL(a, a.x < a.x)`,                         // alias collision
+		`SELECT * FROM t a DENIAL(b, c.x < b.x)`,                         // unknown name
+		`SELECT * FROM t a, u b DENIAL(c, a.x < c.x and b.y > c.y)`,      // two FROM aliases
+	} {
+		q, err := Parse(src)
+		if err == nil {
+			var d Desugarer
+			_, err = d.Desugar(q)
+		}
+		if err == nil {
+			t.Fatalf("expected error for %q", src)
+		}
+	}
+}
+
+func TestDesugarDenialSplitsConjuncts(t *testing.T) {
+	q, err := Parse(denialQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d Desugarer
+	tasks, err := d.Desugar(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 1 || tasks[0].Denial == nil {
+		t.Fatalf("tasks = %+v", tasks)
+	}
+	spec := tasks[0].Denial
+	if spec.Source != "lineitem" || spec.Alias != "t1" || spec.SecondAlias != "t2" {
+		t.Fatalf("spec roles = %+v", spec)
+	}
+	if len(spec.T1Conjuncts) != 1 || !strings.Contains(spec.T1Conjuncts[0].String(), "905") {
+		t.Fatalf("t1 conjuncts = %v", spec.T1Conjuncts)
+	}
+	if len(spec.CrossConjuncts) != 2 {
+		t.Fatalf("cross conjuncts = %v", spec.CrossConjuncts)
+	}
+	if spec.RepairAttr == nil {
+		t.Fatal("repair attr lost")
+	}
+	// The comprehension places the t1-only filter before the second
+	// generator so lowering pushes it below the self join.
+	comp := tasks[0].Comp.String()
+	filterPos := strings.Index(comp, "905")
+	genPos := strings.Index(comp, "t2 <-")
+	if genPos == -1 {
+		genPos = strings.Index(comp, "t2 ←")
+	}
+	if filterPos == -1 || genPos == -1 || filterPos > genPos {
+		t.Fatalf("filter not before second generator in:\n%s", comp)
+	}
+}
+
+func TestDesugarDenialWhereConjunctsJoinT1Filters(t *testing.T) {
+	q, err := Parse(`SELECT * FROM t a WHERE a.price < 50 DENIAL(b, a.price < b.price and a.d > b.d)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d Desugarer
+	tasks, err := d.Desugar(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := tasks[0].Denial
+	if len(spec.T1Conjuncts) != 1 || !strings.Contains(spec.T1Conjuncts[0].String(), "50") {
+		t.Fatalf("WHERE conjunct not folded into t1 filters: %v", spec.T1Conjuncts)
+	}
+	if spec.RepairAttr != nil {
+		t.Fatal("unexpected repair attr")
+	}
+}

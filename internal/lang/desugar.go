@@ -21,6 +21,28 @@ type Task struct {
 	// Blockers maps generated builtin names to their blocking specs; the
 	// pipeline fits and registers them before execution.
 	Blockers map[string]BlockerBinding
+	// Denial carries the declarative structure of a DENIAL constraint so the
+	// pipeline can re-check and (with REPAIR) heal the violations after the
+	// detection plan has run.
+	Denial *DenialSpec
+}
+
+// DenialSpec is the analyzed form of a DENIAL(t2, pred) [REPAIR(attr)]
+// operator. The violation predicate is split into conjuncts by the aliases
+// they reference; the one-sided t1 conjuncts are exactly the filters the
+// monoid normalizer pushes below the self join.
+type DenialSpec struct {
+	// Source is the catalog name of the self-joined table.
+	Source string
+	// Alias is the t1 role (the FROM alias); SecondAlias is the t2 role.
+	Alias, SecondAlias string
+	// Pred is the full violation predicate over both aliases.
+	Pred monoid.Expr
+	// T1Conjuncts reference only the t1 alias (selective filters, including
+	// WHERE conjuncts); T2Conjuncts only t2; CrossConjuncts both.
+	T1Conjuncts, T2Conjuncts, CrossConjuncts []monoid.Expr
+	// RepairAttr is the REPAIR clause attribute; nil for detect-only.
+	RepairAttr monoid.Expr
 }
 
 // BlockerBinding ties a generated blocking builtin to its technique and to
@@ -73,6 +95,8 @@ func (d *Desugarer) Desugar(q *Query) ([]Task, error) {
 			t, err = d.desugarDedup(q, op, fmt.Sprintf("dedup%d", counts[op.Kind]))
 		case CleanClusterBy:
 			t, err = d.desugarClusterBy(q, op, fmt.Sprintf("clusterby%d", counts[op.Kind]))
+		case CleanDenial:
+			t, err = d.desugarDenial(q, op, fmt.Sprintf("denial%d", counts[op.Kind]))
 		default:
 			err = fmt.Errorf("lang: unknown cleaning kind %v", op.Kind)
 		}
@@ -379,6 +403,106 @@ func (d *Desugarer) desugarClusterBy(q *Query, op CleaningOp, name string) (*Tas
 		Comp:      comp,
 		EntityKey: monoid.F(monoid.V(OutVar), "term"),
 		Blockers:  blockers,
+	}, nil
+}
+
+// conjunctsOf splits an expression at top-level ANDs.
+func conjunctsOf(e monoid.Expr) []monoid.Expr {
+	if bo, ok := e.(*monoid.BinOp); ok && bo.Op == "and" {
+		return append(conjunctsOf(bo.L), conjunctsOf(bo.R)...)
+	}
+	return []monoid.Expr{e}
+}
+
+// desugarDenial implements the general denial constraint ¬∃t1,t2 pred as a
+// self-join comprehension:
+//
+//	bag{ {a: t1, b: t2} | t1 ← data, σ_t1..., t2 ← data, pred_rest... }
+//
+// The predicate is split into conjuncts; those referencing only the t1 alias
+// are emitted before the second generator, which is the comprehension-level
+// form of the paper's filter pushdown — lowering turns them into a Select
+// below the theta self join, and the physical level derives band statistics
+// from the cross conjuncts (§6).
+func (d *Desugarer) desugarDenial(q *Query, op CleaningOp, name string) (*Task, error) {
+	if op.Pred == nil {
+		return nil, fmt.Errorf("lang: DENIAL requires a violation predicate")
+	}
+	aliases := map[string]bool{}
+	for _, f := range q.From {
+		aliases[f.Alias] = true
+	}
+	if aliases[op.SecondAlias] {
+		return nil, fmt.Errorf("lang: DENIAL second alias %q collides with a FROM alias", op.SecondAlias)
+	}
+	var alias string
+	for _, v := range monoid.FreeVars(op.Pred) {
+		switch {
+		case v == op.SecondAlias:
+		case aliases[v]:
+			if alias == "" {
+				alias = v
+			} else if alias != v {
+				return nil, fmt.Errorf("lang: DENIAL predicate references two FROM aliases (%s, %s)", alias, v)
+			}
+		default:
+			return nil, fmt.Errorf("lang: DENIAL predicate references unknown name %q", v)
+		}
+	}
+	if alias == "" {
+		return nil, fmt.Errorf("lang: DENIAL predicate references no FROM alias")
+	}
+	source, err := sourceFor(alias, q)
+	if err != nil {
+		return nil, err
+	}
+
+	spec := &DenialSpec{
+		Source: source, Alias: alias, SecondAlias: op.SecondAlias,
+		Pred: op.Pred, RepairAttr: op.RepairAttr,
+		T1Conjuncts: whereFor(q, alias),
+	}
+	for _, c := range conjunctsOf(op.Pred) {
+		refsT1, refsT2 := false, false
+		for _, v := range monoid.FreeVars(c) {
+			if v == alias {
+				refsT1 = true
+			}
+			if v == op.SecondAlias {
+				refsT2 = true
+			}
+		}
+		switch {
+		case refsT1 && refsT2:
+			spec.CrossConjuncts = append(spec.CrossConjuncts, c)
+		case refsT2:
+			spec.T2Conjuncts = append(spec.T2Conjuncts, c)
+		default:
+			spec.T1Conjuncts = append(spec.T1Conjuncts, c)
+		}
+	}
+
+	quals := []monoid.Qual{&monoid.Generator{Var: alias, Source: monoid.V(source)}}
+	for _, c := range spec.T1Conjuncts {
+		quals = append(quals, &monoid.Pred{Cond: c})
+	}
+	quals = append(quals, &monoid.Generator{Var: op.SecondAlias, Source: monoid.V(source)})
+	for _, c := range spec.CrossConjuncts {
+		quals = append(quals, &monoid.Pred{Cond: c})
+	}
+	for _, c := range spec.T2Conjuncts {
+		quals = append(quals, &monoid.Pred{Cond: c})
+	}
+	head := &monoid.RecordCtor{
+		Names:  []string{"a", "b"},
+		Fields: []monoid.Expr{monoid.V(alias), monoid.V(op.SecondAlias)},
+	}
+	comp := &monoid.Comprehension{M: monoid.Bag, Head: head, Quals: quals}
+	return &Task{
+		Name:      name,
+		Comp:      comp,
+		EntityKey: monoid.F(monoid.V(OutVar), "a"),
+		Denial:    spec,
 	}, nil
 }
 

@@ -7,7 +7,8 @@
 //	SELECT [ALL|DISTINCT] <selectlist> <fromclause>
 //	[WHERE <cond>] [GROUP BY <exprs> [HAVING <cond>]]
 //	[ FD(<lhs>, <rhs>) | DEDUP(<op>[,<metric>,<theta>][,<attrs>])
-//	  | CLUSTER BY(<op>[,<metric>,<theta>],<term>) ]*
+//	  | CLUSTER BY(<op>[,<metric>,<theta>],<term>)
+//	  | DENIAL(<alias2>, <pred>) [REPAIR(<attr>)] ]*
 package lang
 
 import (

@@ -149,6 +149,28 @@ func (p *Parser) parseQuery() (*Query, error) {
 				return nil, err
 			}
 			q.Cleaning = append(q.Cleaning, op)
+		case p.atKeyword("denial"):
+			p.advance()
+			op, err := p.parseDenial()
+			if err != nil {
+				return nil, err
+			}
+			q.Cleaning = append(q.Cleaning, op)
+		case p.atKeyword("repair"):
+			pos := p.cur().Pos
+			p.advance()
+			attr, err := p.parseRepair()
+			if err != nil {
+				return nil, err
+			}
+			n := len(q.Cleaning)
+			if n == 0 || q.Cleaning[n-1].Kind != CleanDenial {
+				return nil, fmt.Errorf("lang: REPAIR at %d must follow a DENIAL constraint", pos)
+			}
+			if q.Cleaning[n-1].RepairAttr != nil {
+				return nil, fmt.Errorf("lang: duplicate REPAIR at %d", pos)
+			}
+			q.Cleaning[n-1].RepairAttr = attr
 		default:
 			return q, nil
 		}
@@ -202,7 +224,7 @@ func (p *Parser) parseFrom(q *Query) error {
 }
 
 func (p *Parser) isClauseKeyword() bool {
-	for _, kw := range []string{"where", "group", "having", "fd", "dedup", "cluster", "as", "and", "or", "not"} {
+	for _, kw := range []string{"where", "group", "having", "fd", "dedup", "cluster", "denial", "repair", "as", "and", "or", "not"} {
 		if p.atKeyword(kw) {
 			return true
 		}
@@ -233,6 +255,47 @@ func (p *Parser) parseFD() (CleaningOp, error) {
 	}
 	op.LHS, op.RHS = lhs, rhs
 	return op, nil
+}
+
+// parseDenial parses DENIAL(alias2, pred): a denial constraint over a self
+// join of the single FROM table, with alias2 naming the second copy (t2).
+func (p *Parser) parseDenial() (CleaningOp, error) {
+	op := CleaningOp{Kind: CleanDenial}
+	if _, err := p.expect(TokLParen, "("); err != nil {
+		return op, err
+	}
+	t, err := p.expect(TokIdent, "second alias")
+	if err != nil {
+		return op, err
+	}
+	op.SecondAlias = t.Text
+	if _, err := p.expect(TokComma, ","); err != nil {
+		return op, err
+	}
+	pred, err := p.parseExpr()
+	if err != nil {
+		return op, err
+	}
+	op.Pred = pred
+	if _, err := p.expect(TokRParen, ")"); err != nil {
+		return op, err
+	}
+	return op, nil
+}
+
+// parseRepair parses REPAIR(attr).
+func (p *Parser) parseRepair() (monoid.Expr, error) {
+	if _, err := p.expect(TokLParen, "("); err != nil {
+		return nil, err
+	}
+	attr, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen, ")"); err != nil {
+		return nil, err
+	}
+	return attr, nil
 }
 
 // parseExprOrTuple parses expr or (expr, expr, ...).

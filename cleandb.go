@@ -11,23 +11,35 @@
 // all operators share the input scan, and the violation sets are combined
 // with one outer join.
 //
+// The API is service-grade: a DB is safe for concurrent use by multiple
+// goroutines, statements may carry `?` positional and `:name` named
+// parameter placeholders, prepared statements (PrepareStmt) plan once and
+// execute many times, un-prepared Query/QueryContext calls hit an internal
+// LRU plan cache, and every execution reports its own cost metrics
+// (Result.Metrics) besides the instance-wide accumulators (DB.Metrics).
+//
 // Quickstart:
 //
 //	db := cleandb.Open()
 //	db.RegisterRows("customer", rows)
 //	db.RegisterRows("dictionary", dict)
-//	res, err := db.Query(`
+//	res, err := db.QueryContext(ctx, `
 //	    SELECT c.name, c.address, *
 //	    FROM customer c, dictionary d
+//	    WHERE c.nationkey = :nation
 //	    FD(c.address, prefix(c.phone))
 //	    DEDUP(token_filtering, LD, 0.8, c.address)
-//	    CLUSTER BY(token_filtering, LD, 0.8, c.name)`)
+//	    CLUSTER BY(token_filtering, LD, 0.8, c.name)`,
+//	    cleandb.Named("nation", 7))
 package cleandb
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
+	"strings"
+	"sync"
 
 	"cleandb/internal/core"
 	"cleandb/internal/data"
@@ -38,7 +50,8 @@ import (
 
 // Value is a dynamically typed datum (null, bool, int, float, string, list
 // or record). See the constructor helpers Null, Bool, Int, Float, String,
-// List and NewRecord.
+// List and NewRecord. Values are immutable and safe to share across
+// goroutines.
 type Value = types.Value
 
 // Schema maps record field names to positions.
@@ -95,30 +108,64 @@ func WithThetaStrategy(s physical.ThetaStrategy) Option {
 	return func(db *DB) { db.config.Theta = s }
 }
 
-// DB is a CleanDB instance: a catalog of datasets plus the query pipeline.
+// WithPlanCacheSize sets the capacity of the internal LRU plan cache used by
+// Query/QueryContext/Explain (default 128 statements). A size <= 0 disables
+// caching: every call re-plans from scratch.
+func WithPlanCacheSize(n int) Option {
+	return func(db *DB) { db.cacheCap = n }
+}
+
+// DB is a CleanDB instance: a catalog of datasets plus the query pipeline
+// and an LRU cache of prepared plans.
+//
+// A DB is safe for concurrent use by multiple goroutines: the catalog is
+// guarded by a read-write mutex, every query executes on its own engine job
+// context, and the plan cache and metrics accumulators are internally
+// synchronized. Options apply at Open time only.
 type DB struct {
 	ctx     *engine.Context
-	catalog map[string]*engine.Dataset
 	config  physical.Config
 	unified bool
+
+	mu      sync.RWMutex
+	catalog map[string]*engine.Dataset
+	// epoch increments on every catalog change; it is part of the plan-cache
+	// key, so cached plans never serve stale fitted blockers or sources.
+	epoch int64
+
+	cacheCap int
+	cache    *planCache[*core.Prepared]
 }
 
 // Open creates a CleanDB instance.
 func Open(opts ...Option) *DB {
 	db := &DB{
-		ctx:     engine.NewContext(8),
-		catalog: map[string]*engine.Dataset{},
-		unified: true,
+		ctx:      engine.NewContext(8),
+		catalog:  map[string]*engine.Dataset{},
+		unified:  true,
+		cacheCap: 128,
 	}
 	for _, o := range opts {
 		o(db)
 	}
+	db.cache = newPlanCache[*core.Prepared](db.cacheCap)
 	return db
 }
 
-// RegisterRows adds an in-memory dataset to the catalog under name.
+// RegisterRows adds an in-memory dataset to the catalog under name,
+// replacing any previous dataset of that name. Safe to call concurrently
+// with queries: running queries keep their catalog snapshot.
 func (db *DB) RegisterRows(name string, rows []Value) {
-	db.catalog[name] = engine.FromValues(db.ctx, rows)
+	ds := engine.FromValues(db.ctx, rows)
+	db.mu.Lock()
+	db.catalog[name] = ds
+	db.epoch++
+	db.mu.Unlock()
+	// Every cached plan embeds the old epoch in its key and is unreachable
+	// now; purge so dead plans don't pin catalog snapshots until LRU
+	// pressure. (The epoch stays in the key so an in-flight prepare against
+	// the old snapshot cannot resurface as a stale hit after the purge.)
+	db.cache.purge()
 }
 
 // RegisterCSV loads a CSV source (header row, type-inferred columns).
@@ -164,44 +211,228 @@ func (db *DB) RegisterColbin(name string, r io.Reader) error {
 
 // Sources lists the registered dataset names, sorted.
 func (db *DB) Sources() []string {
+	db.mu.RLock()
 	out := make([]string, 0, len(db.catalog))
 	for n := range db.catalog {
 		out = append(out, n)
 	}
+	db.mu.RUnlock()
 	sort.Strings(out)
 	return out
 }
 
-// Rows returns the records of a registered dataset.
+// Rows returns the records of a registered dataset. The returned slice is a
+// fresh copy of the slice header; appending to it never corrupts the
+// catalog.
 func (db *DB) Rows(name string) ([]Value, error) {
+	db.mu.RLock()
 	d, ok := db.catalog[name]
+	db.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("cleandb: unknown source %q", name)
 	}
 	return d.Collect(), nil
 }
 
-// Result is a completed query.
+// snapshot copies the catalog map and its epoch atomically, so a query plans
+// and executes against a consistent view even while other goroutines
+// register datasets.
+func (db *DB) snapshot() (map[string]*engine.Dataset, int64) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	m := make(map[string]*engine.Dataset, len(db.catalog))
+	for k, v := range db.catalog {
+		m[k] = v
+	}
+	return m, db.epoch
+}
+
+// pipelineWith builds the query pipeline over a catalog snapshot.
+func (db *DB) pipelineWith(catalog map[string]*engine.Dataset) *core.Pipeline {
+	p := core.NewPipeline(db.ctx, catalog)
+	p.Config = db.config
+	p.Unified = db.unified
+	return p
+}
+
+// cacheKey normalizes the statement text (whitespace runs outside string
+// literals collapse) and tags it with everything else a plan depends on: the
+// strategy configuration, unified mode and the catalog epoch.
+func (db *DB) cacheKey(query string, epoch int64) string {
+	return fmt.Sprintf("e%d|g%d|t%d|u%t|%s",
+		epoch, db.config.Group, db.config.Theta, db.unified, normalizeQuery(query))
+}
+
+// normalizeQuery collapses whitespace runs to single spaces — but never
+// inside '…' / "…" string literals, whose spacing is semantically
+// significant and must keep distinct statements on distinct cache keys.
+func normalizeQuery(q string) string {
+	var sb strings.Builder
+	sb.Grow(len(q))
+	var quote byte
+	space := false
+	for i := 0; i < len(q); i++ {
+		c := q[i]
+		if quote != 0 {
+			sb.WriteByte(c)
+			if c == quote {
+				quote = 0
+			}
+			continue
+		}
+		switch {
+		case c == '\'' || c == '"':
+			if space && sb.Len() > 0 {
+				sb.WriteByte(' ')
+			}
+			space = false
+			quote = c
+			sb.WriteByte(c)
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			space = true
+		default:
+			if space && sb.Len() > 0 {
+				sb.WriteByte(' ')
+			}
+			space = false
+			sb.WriteByte(c)
+		}
+	}
+	return sb.String()
+}
+
+// prepare resolves query to a Prepared plan, consulting the LRU plan cache.
+// The returned bool reports whether the plan was served from the cache.
+// Cache hits read only the epoch under the lock — the catalog snapshot is
+// copied on misses alone, keeping the hot path allocation-light.
+func (db *DB) prepare(query string) (*core.Prepared, bool, error) {
+	if db.cache == nil {
+		catalog, _ := db.snapshot()
+		prep, err := db.pipelineWith(catalog).Prepare(query)
+		return prep, false, err
+	}
+	db.mu.RLock()
+	epoch := db.epoch
+	db.mu.RUnlock()
+	key := db.cacheKey(query, epoch)
+	if prep, ok := db.cache.get(key); ok {
+		return prep, true, nil
+	}
+	// Capture the purge generation before snapshotting: if a concurrent
+	// Register lands anywhere after this point, the put below is dropped
+	// rather than parking an unreachable entry in the cache.
+	gen := db.cache.generation()
+	catalog, epoch2 := db.snapshot()
+	if epoch2 != epoch {
+		key = db.cacheKey(query, epoch2)
+	}
+	prep, err := db.pipelineWith(catalog).Prepare(query)
+	if err != nil {
+		return nil, false, err
+	}
+	db.cache.put(key, prep, gen)
+	return prep, false, nil
+}
+
+// Query parses, optimizes and executes a CleanM statement with optional
+// parameter arguments and no cancellation. Equivalent to
+// QueryContext(context.Background(), q, args...).
+func (db *DB) Query(q string, args ...any) (*Result, error) {
+	return db.QueryContext(context.Background(), q, args...)
+}
+
+// QueryContext executes a CleanM statement under ctx. Plain arguments bind
+// `?` placeholders in order; Named(...) arguments bind `:name` placeholders.
+// Cancelling ctx (or exceeding its deadline) aborts the execution promptly —
+// including mid theta join — and returns ctx.Err().
+//
+// Plans are served from the DB's LRU cache when an identical statement
+// (modulo whitespace) ran against the same catalog epoch and configuration,
+// so repeated un-prepared calls skip parsing, normalization and lowering;
+// use PrepareStmt to make that reuse explicit.
+func (db *DB) QueryContext(ctx context.Context, q string, args ...any) (*Result, error) {
+	prep, hit, err := db.prepare(q)
+	if err != nil {
+		return nil, err
+	}
+	params, err := bindArgs(prep.Params(), args)
+	if err != nil {
+		return nil, err
+	}
+	res, err := prep.ExecuteContext(ctx, params)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{inner: res, planReused: hit}, nil
+}
+
+// PrepareStmt parses, de-sugars, normalizes and lowers a CleanM statement
+// through all three optimization levels exactly once and returns the
+// reusable Stmt. The heavy lifting (including blocker fitting) happens here;
+// Stmt.ExecContext only binds parameters and runs the physical plan.
+func (db *DB) PrepareStmt(q string) (*Stmt, error) {
+	prep, _, err := db.prepare(q)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{prep: prep, query: q}, nil
+}
+
+// Explain plans the query through all three levels and returns the EXPLAIN
+// text without executing it. Parameterized statements may be explained
+// without bindings; placeholders render as `?N` / `:name`.
+func (db *DB) Explain(q string) (string, error) {
+	prep, _, err := db.prepare(q)
+	if err != nil {
+		return "", err
+	}
+	return prep.Explain(), nil
+}
+
+// PlanCacheStats reports the plan cache's hit/miss counters and current
+// size. A statement prepared once and executed many times shows up as one
+// miss followed by hits (Query path) or no further lookups at all (Stmt
+// path).
+func (db *DB) PlanCacheStats() CacheStats { return db.cache.stats() }
+
+// Result is a completed query. A Result is immutable and safe to share
+// across goroutines.
 type Result struct {
 	inner *core.Result
+	// planReused reports whether this execution reused an already-prepared
+	// plan (plan-cache hit, or any execution of a Stmt).
+	planReused bool
 }
 
 // Rows returns the query's primary output records. For multi-operator
 // cleaning queries this is the combined violation report (one record per
 // entity with at least one violation); for single operators, the violation
-// records; for plain queries, the projected rows.
-func (r *Result) Rows() []Value { return r.inner.Rows() }
+// records; for plain queries, the projected rows. The returned slice is a
+// defensive copy of the slice header: appending to it cannot corrupt the
+// Result.
+func (r *Result) Rows() []Value { return copyRows(r.inner.Rows()) }
 
 // TaskRows returns the output of the named cleaning operator task ("fd1",
-// "dedup1", "clusterby1", or "query"). For unified queries the per-task
-// violations are folded inside the combined records; use Rows instead.
+// "dedup1", "clusterby1", or "query"), or nil when the task is unknown or
+// produced nothing. Use TaskRowsOK to distinguish the two. For unified
+// queries the per-task violations are folded inside the combined records;
+// use Rows instead.
 func (r *Result) TaskRows(name string) []Value {
+	rows, _ := r.TaskRowsOK(name)
+	return rows
+}
+
+// TaskRowsOK returns the output of the named cleaning operator task and
+// whether the task exists in this query — so an existing task with an empty
+// output (rows == nil, ok == true) is distinguishable from an unknown task
+// name (ok == false). The returned slice is a defensive copy.
+func (r *Result) TaskRowsOK(name string) ([]Value, bool) {
 	for _, t := range r.inner.Tasks {
 		if t.Name == name {
-			return t.Output
+			return copyRows(t.Output), true
 		}
 	}
-	return nil
+	return nil, false
 }
 
 // TaskNames lists the cleaning tasks of the query in order.
@@ -216,6 +447,36 @@ func (r *Result) TaskNames() []string {
 // Explanation renders the three-level EXPLAIN (normalized comprehensions
 // and the optimized algebraic DAG).
 func (r *Result) Explanation() string { return r.inner.Explanation }
+
+// QueryMetrics is the cost snapshot of a single query execution, measured
+// on the query's own job context: concurrent queries never pollute each
+// other's numbers, unlike the instance-wide DB.Metrics accumulators.
+type QueryMetrics struct {
+	// SimTicks is the deterministic cost-model time of this execution.
+	SimTicks int64
+	// Comparisons counts this execution's pairwise similarity/predicate checks.
+	Comparisons int64
+	// ShuffledRecords counts records this execution moved across the
+	// simulated network.
+	ShuffledRecords int64
+	// ShuffledBytes estimates bytes this execution moved.
+	ShuffledBytes int64
+	// PlanCacheHit reports whether the execution reused an already-prepared
+	// plan instead of planning from scratch (always true for Stmt
+	// executions).
+	PlanCacheHit bool
+}
+
+// Metrics returns the cost counters of this execution alone.
+func (r *Result) Metrics() QueryMetrics {
+	return QueryMetrics{
+		SimTicks:        r.inner.Stats.SimTicks,
+		Comparisons:     r.inner.Stats.Comparisons,
+		ShuffledRecords: r.inner.Stats.ShuffledRecords,
+		ShuffledBytes:   r.inner.Stats.ShuffledBytes,
+		PlanCacheHit:    r.planReused,
+	}
+}
 
 // RepairSummary reports the outcome of a REPAIR clause: the healed rows and
 // the convergence statistics of the relaxation loop.
@@ -235,38 +496,25 @@ func (r *Result) RepairedRows(source string) []Value {
 			rows = s.Rows
 		}
 	}
-	return rows
+	return copyRows(rows)
 }
 
-// Query parses, optimizes and executes a CleanM statement.
-func (db *DB) Query(q string) (*Result, error) {
-	p := db.pipeline()
-	res, err := p.Run(q)
-	if err != nil {
-		return nil, err
+// copyRows copies the slice header so callers appending to a result cannot
+// corrupt internal task output shared with other views of the same Result.
+// Values themselves are immutable and shared.
+func copyRows(rows []Value) []Value {
+	if rows == nil {
+		return nil
 	}
-	return &Result{inner: res}, nil
+	out := make([]Value, len(rows))
+	copy(out, rows)
+	return out
 }
 
-// Explain plans the query through all three levels and returns the EXPLAIN
-// text without executing it.
-func (db *DB) Explain(q string) (string, error) {
-	p := db.pipeline()
-	prep, err := p.Prepare(q)
-	if err != nil {
-		return "", err
-	}
-	return prep.Explain(), nil
-}
-
-func (db *DB) pipeline() *core.Pipeline {
-	p := core.NewPipeline(db.ctx, db.catalog)
-	p.Config = db.config
-	p.Unified = db.unified
-	return p
-}
-
-// Metrics reports the engine cost counters accumulated so far.
+// Metrics reports the engine cost counters accumulated across all queries
+// since Open (or the last ResetMetrics). Safe to read concurrently with
+// running queries; a query's costs merge in when it completes. For the cost
+// of one specific execution use Result.Metrics.
 type Metrics struct {
 	// SimTicks is the deterministic cost-model time (straggler-sensitive).
 	SimTicks int64
@@ -278,7 +526,7 @@ type Metrics struct {
 	ShuffledBytes int64
 }
 
-// Metrics returns a snapshot of the engine cost counters.
+// Metrics returns a snapshot of the instance-wide engine cost counters.
 func (db *DB) Metrics() Metrics {
 	m := db.ctx.Metrics()
 	return Metrics{
@@ -289,5 +537,5 @@ func (db *DB) Metrics() Metrics {
 	}
 }
 
-// ResetMetrics clears the engine cost counters.
+// ResetMetrics clears the instance-wide engine cost counters.
 func (db *DB) ResetMetrics() { db.ctx.Metrics().Reset() }

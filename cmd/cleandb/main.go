@@ -13,11 +13,17 @@
 package main
 
 import (
+	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"strconv"
 	"strings"
+	"sync"
+	"time"
 
 	"cleandb"
 	"cleandb/internal/data"
@@ -55,14 +61,22 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `cleandb — unified scale-out data cleaning (CleanM)
 
 subcommands:
-  query    -src name=path [...] [-workers N] [-explain] [-limit N] 'CLEANM QUERY'
+  query    -src name=path [...] [-workers N] [-explain] [-limit N]
+           [-param k=v ...] [-timeout D] [-task NAME] [-serve] 'CLEANM QUERY'
   gen      -kind tpch-lineitem|tpch-customer|dblp|mag -rows N -out path
   convert  -in path -out path
 
 examples:
   cleandb gen -kind tpch-customer -rows 10000 -out customer.csv
   cleandb query -src customer=customer.csv \
-    'SELECT * FROM customer c FD(c.address, c.nationkey)'`)
+    'SELECT * FROM customer c FD(c.address, c.nationkey)'
+  cleandb query -src customer=customer.csv -param nation=7 \
+    'SELECT * FROM customer c WHERE c.nationkey = :nation DEDUP(attribute, LD, 0.8, c.name)'
+  cleandb query -src customer=customer.csv -serve < statements.cleanm
+
+-serve reads one statement per line from stdin and executes them
+concurrently against the shared catalog (prepared plans are cached), which
+is how to exercise the service-grade API from the shell.`)
 }
 
 type srcList []string
@@ -73,17 +87,19 @@ func (s *srcList) Set(v string) error { *s = append(*s, v); return nil }
 func cmdQuery(args []string) error {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
 	var sources srcList
+	var params srcList
 	fs.Var(&sources, "src", "name=path source registration (repeatable)")
+	fs.Var(&params, "param", "k=v named parameter binding for :k placeholders (repeatable)")
 	workers := fs.Int("workers", 8, "simulated cluster width")
 	explain := fs.Bool("explain", false, "print the three-level plan instead of executing")
 	limit := fs.Int("limit", 20, "max rows to print")
 	standalone := fs.Bool("standalone", false, "disable unified optimization")
 	repairedOut := fs.String("repaired-out", "", "write REPAIR-healed rows to this file (format by extension)")
+	timeout := fs.Duration("timeout", 0, "per-statement deadline (0 = none)")
+	taskName := fs.String("task", "", "also print the named cleaning task's own output rows")
+	serve := fs.Bool("serve", false, "read statements from stdin and execute them concurrently")
 	if err := fs.Parse(args); err != nil {
 		return err
-	}
-	if fs.NArg() != 1 {
-		return fmt.Errorf("query: want exactly one CleanM statement argument")
 	}
 	opts := []cleandb.Option{cleandb.WithWorkers(*workers)}
 	if *standalone {
@@ -98,6 +114,19 @@ func cmdQuery(args []string) error {
 		if err := register(db, name, path); err != nil {
 			return err
 		}
+	}
+	bindings, err := parseParams(params)
+	if err != nil {
+		return err
+	}
+	if *serve {
+		if fs.NArg() != 0 {
+			return fmt.Errorf("query: -serve reads statements from stdin; drop the statement argument")
+		}
+		return serveStatements(db, bindings, *timeout, *limit)
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("query: want exactly one CleanM statement argument")
 	}
 	query := fs.Arg(0)
 	// Validate -repaired-out against the statement before executing: a
@@ -123,7 +152,13 @@ func cmdQuery(args []string) error {
 		fmt.Print(out)
 		return nil
 	}
-	res, err := db.Query(query)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := db.QueryContext(ctx, query, bindings...)
 	if err != nil {
 		return err
 	}
@@ -134,6 +169,20 @@ func cmdQuery(args []string) error {
 			break
 		}
 		fmt.Println(r)
+	}
+	if *taskName != "" {
+		taskRows, ok := res.TaskRowsOK(*taskName)
+		if !ok {
+			return fmt.Errorf("query: no task %q (tasks: %s)", *taskName, strings.Join(res.TaskNames(), ", "))
+		}
+		fmt.Fprintf(os.Stderr, "-- task %s: %d rows\n", *taskName, len(taskRows))
+		for i, r := range taskRows {
+			if i >= *limit {
+				fmt.Printf("... (%d more task rows)\n", len(taskRows)-*limit)
+				break
+			}
+			fmt.Println(r)
+		}
 	}
 	repairs := res.Repairs()
 	for _, s := range repairs {
@@ -157,10 +206,156 @@ func cmdQuery(args []string) error {
 		}
 		fmt.Fprintf(os.Stderr, "-- repaired %s written to %s (%d rows)\n", last.Source, *repairedOut, len(last.Rows))
 	}
-	m := db.Metrics()
+	m := res.Metrics()
 	fmt.Fprintf(os.Stderr, "-- %d rows; %d ticks, %d comparisons, %d records shuffled\n",
 		len(rows), m.SimTicks, m.Comparisons, m.ShuffledRecords)
 	return nil
+}
+
+// parseParams converts -param k=v flags into named query arguments. Values
+// sniff to int/float/bool when unambiguous; an explicit type suffix on the
+// key — k:string=02134, k:int=5, k:float=0.5, k:bool=true — forces the
+// binding type.
+func parseParams(params []string) ([]any, error) {
+	var out []any
+	for _, p := range params {
+		k, v, ok := strings.Cut(p, "=")
+		if !ok || k == "" {
+			return nil, fmt.Errorf("query: -param wants k=v, got %q", p)
+		}
+		name, typ, _ := strings.Cut(k, ":")
+		val, err := typedValue(v, typ)
+		if err != nil {
+			return nil, fmt.Errorf("query: -param %s: %w", p, err)
+		}
+		out = append(out, cleandb.Named(name, val))
+	}
+	return out, nil
+}
+
+func typedValue(s, typ string) (any, error) {
+	switch typ {
+	case "":
+		return sniffValue(s), nil
+	case "string", "str":
+		return s, nil
+	case "int":
+		return strconv.ParseInt(s, 10, 64)
+	case "float":
+		return strconv.ParseFloat(s, 64)
+	case "bool":
+		return strconv.ParseBool(s)
+	default:
+		return nil, fmt.Errorf("unknown type %q (want string, int, float or bool)", typ)
+	}
+}
+
+func sniffValue(s string) any {
+	// Leading zeros mark identifier-like strings (zip codes, order numbers):
+	// coercing "02134" to 2134 would silently change its meaning.
+	if len(s) > 1 && (s[0] == '0' || (s[0] == '-' && len(s) > 2 && s[1] == '0')) && !strings.Contains(s, ".") {
+		return s
+	}
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return n
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f
+	}
+	if b, err := strconv.ParseBool(s); err == nil {
+		return b
+	}
+	return s
+}
+
+// serveStatements reads one CleanM statement per line from stdin and
+// executes them concurrently against the shared DB — the CLI face of the
+// concurrency-safe API. Blank lines and #-comments are skipped. Output lines
+// are prefixed with the 1-based statement number.
+func serveStatements(db *cleandb.DB, bindings []any, timeout time.Duration, limit int) error {
+	var (
+		wg       sync.WaitGroup
+		printMu  sync.Mutex
+		failures int
+	)
+	// Bound in-flight statements: each one already fans out across the
+	// engine's worker pool, so piping a huge statement file must not launch
+	// one goroutine per line.
+	inflight := make(chan struct{}, max(4, runtime.NumCPU()))
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	n := 0
+	for sc.Scan() {
+		stmt := strings.TrimSpace(sc.Text())
+		if stmt == "" || strings.HasPrefix(stmt, "#") {
+			continue
+		}
+		n++
+		id := n
+		inflight <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-inflight }()
+			ctx := context.Background()
+			if timeout > 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, timeout)
+				defer cancel()
+			}
+			res, err := execStatement(db, ctx, stmt, bindings)
+			printMu.Lock()
+			defer printMu.Unlock()
+			if err != nil {
+				failures++
+				fmt.Fprintf(os.Stderr, "[%d] error: %v\n", id, err)
+				return
+			}
+			rows := res.Rows()
+			for i, r := range rows {
+				if i >= limit {
+					fmt.Printf("[%d] ... (%d more rows)\n", id, len(rows)-limit)
+					break
+				}
+				fmt.Printf("[%d] %v\n", id, r)
+			}
+			m := res.Metrics()
+			fmt.Fprintf(os.Stderr, "[%d] -- %d rows; %d ticks, %d comparisons, plan reused=%t\n",
+				id, len(rows), m.SimTicks, m.Comparisons, m.PlanCacheHit)
+		}()
+	}
+	wg.Wait()
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	cs := db.PlanCacheStats()
+	fmt.Fprintf(os.Stderr, "-- served %d statements; plan cache: %d hits, %d misses, %d entries\n",
+		n, cs.Hits, cs.Misses, cs.Entries)
+	if failures > 0 {
+		return fmt.Errorf("query: %d of %d statements failed", failures, n)
+	}
+	return nil
+}
+
+// execStatement prepares one served statement and executes it with only the
+// -param bindings it actually declares — a shared binding set can then serve
+// a mixed statement file without every statement naming every parameter.
+func execStatement(db *cleandb.DB, ctx context.Context, stmt string, bindings []any) (*cleandb.Result, error) {
+	prep, err := db.PrepareStmt(stmt)
+	if err != nil {
+		return nil, err
+	}
+	declared := map[string]bool{}
+	for _, k := range prep.Params() {
+		declared[k] = true
+	}
+	var use []any
+	for _, b := range bindings {
+		if na, ok := b.(cleandb.NamedArg); ok && declared[strings.ToLower(na.Name)] {
+			use = append(use, b)
+		}
+	}
+	return prep.ExecContext(ctx, use...)
 }
 
 func register(db *cleandb.DB, name, path string) error {

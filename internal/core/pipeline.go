@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -66,6 +67,17 @@ type TaskResult struct {
 	Repair *RepairSummary
 }
 
+// ExecStats is the cost-counter snapshot of one executed query, measured on
+// the query's own job context rather than read off the instance-wide
+// accumulators — concurrent queries therefore never pollute each other's
+// numbers.
+type ExecStats struct {
+	SimTicks        int64
+	Comparisons     int64
+	ShuffledRecords int64
+	ShuffledBytes   int64
+}
+
 // Result is a completed CleanM query.
 type Result struct {
 	Tasks []TaskResult
@@ -75,6 +87,8 @@ type Result struct {
 	Combined []types.Value
 	// Explanation renders all three levels for EXPLAIN.
 	Explanation string
+	// Stats holds the query's own cost counters.
+	Stats ExecStats
 }
 
 // Rows returns the primary output: the combined records when present,
@@ -91,22 +105,36 @@ func (r *Result) Rows() []types.Value {
 
 // Run parses, optimizes and executes a CleanM query.
 func (p *Pipeline) Run(query string) (*Result, error) {
+	return p.RunContext(context.Background(), query, nil)
+}
+
+// RunContext parses, optimizes and executes a CleanM query under goctx with
+// the given parameter bindings.
+func (p *Pipeline) RunContext(goctx context.Context, query string, params map[string]types.Value) (*Result, error) {
 	prep, err := p.Prepare(query)
 	if err != nil {
 		return nil, err
 	}
-	return prep.Execute()
+	return prep.ExecuteContext(goctx, params)
 }
 
-// Prepared is a fully planned query, ready to execute (or explain).
+// Prepared is a fully planned query, ready to execute (or explain). After
+// Prepare returns, a Prepared is immutable: plans, normalized comprehensions
+// and fitted blocker builtins are read-only, so one Prepared may be executed
+// by any number of goroutines concurrently, each with its own parameter
+// bindings — parsing, normalization and lowering ran exactly once.
 type Prepared struct {
 	pipeline *Pipeline
 	tasks    []lang.Task
 	norm     []monoid.Expr
 	plans    []algebra.Plan
 	combined algebra.Plan
-	exec     *physical.Executor
-	explain  strings.Builder
+	// builtins holds the blocking builtins fitted at prepare time (k-means
+	// centers, tokenizers); fitting is part of compile-once.
+	builtins map[string]monoid.Builtin
+	explain  string
+	// params lists the statement's parameter binding keys (lang.Query.Params).
+	params []string
 }
 
 // Prepare runs the front end and all three optimization levels without
@@ -121,18 +149,18 @@ func (p *Pipeline) Prepare(query string) (*Prepared, error) {
 	if err != nil {
 		return nil, err
 	}
-	pr := &Prepared{pipeline: p, tasks: tasks}
-	pr.exec = physical.NewExecutor(p.Ctx, p.Catalog)
-	pr.exec.Config = p.Config
+	pr := &Prepared{pipeline: p, tasks: tasks, params: q.Params, builtins: map[string]monoid.Builtin{}}
 
 	// Fit and register blocking builtins (k-means centers, tokenizers).
 	for _, t := range tasks {
 		for name, binding := range t.Blockers {
-			if err := pr.registerBlocker(name, binding); err != nil {
+			if err := pr.fitBlocker(name, binding); err != nil {
 				return nil, err
 			}
 		}
 	}
+
+	var explain strings.Builder
 
 	// Level 1: monoid normalization.
 	norm := monoid.NewNormalizer()
@@ -147,7 +175,7 @@ func (p *Pipeline) Prepare(query string) (*Prepared, error) {
 	for _, t := range tasks {
 		ne := norm.Normalize(t.Comp)
 		pr.norm = append(pr.norm, ne)
-		fmt.Fprintf(&pr.explain, "-- task %s: comprehension --\n%s\n", t.Name, ne)
+		fmt.Fprintf(&explain, "-- task %s: comprehension --\n%s\n", t.Name, ne)
 		nc, ok := ne.(*monoid.Comprehension)
 		if !ok {
 			return nil, fmt.Errorf("core: task %s normalized to a non-comprehension (%T); cannot lower", t.Name, ne)
@@ -178,7 +206,7 @@ func (p *Pipeline) Prepare(query string) (*Prepared, error) {
 			pr.combined = rw.Unified(roots, keys, names)
 		}
 		pr.plans = pr.combined.(*algebra.CombineAll).Inputs
-		fmt.Fprintf(&pr.explain, "-- unified algebraic plan --\n%s", algebra.Explain(pr.combined))
+		fmt.Fprintf(&explain, "-- unified algebraic plan --\n%s", algebra.Explain(pr.combined))
 	} else {
 		// Standalone mode: each operation is optimized in isolation — no
 		// cross-operator sharing (the baseline behaviour the paper compares
@@ -186,14 +214,16 @@ func (p *Pipeline) Prepare(query string) (*Prepared, error) {
 		pr.plans = make([]algebra.Plan, len(roots))
 		for i, root := range roots {
 			pr.plans[i] = rw.Rewrite(root)
-			fmt.Fprintf(&pr.explain, "-- task %s: algebraic plan --\n%s", tasks[i].Name, algebra.Explain(pr.plans[i]))
+			fmt.Fprintf(&explain, "-- task %s: algebraic plan --\n%s", tasks[i].Name, algebra.Explain(pr.plans[i]))
 		}
 	}
+	pr.explain = explain.String()
 	return pr, nil
 }
 
-// registerBlocker fits the blocking technique and installs it as a builtin.
-func (pr *Prepared) registerBlocker(name string, b lang.BlockerBinding) error {
+// fitBlocker fits the blocking technique against the catalog and stores it
+// as a compile-once builtin shared by every execution of this Prepared.
+func (pr *Prepared) fitBlocker(name string, b lang.BlockerBinding) error {
 	p := pr.pipeline
 	var fitValues []string
 	if b.FitSource != "" && strings.EqualFold(b.Spec.Op, "kmeans") {
@@ -218,7 +248,7 @@ func (pr *Prepared) registerBlocker(name string, b lang.BlockerBinding) error {
 	if err != nil {
 		return err
 	}
-	pr.exec.AddBuiltin(name, func(args []types.Value) (types.Value, error) {
+	pr.builtins[name] = func(args []types.Value) (types.Value, error) {
 		if len(args) != 1 {
 			return types.Null(), fmt.Errorf("%s: want 1 arg, got %d", name, len(args))
 		}
@@ -228,18 +258,68 @@ func (pr *Prepared) registerBlocker(name string, b lang.BlockerBinding) error {
 			out[i] = types.String(k)
 		}
 		return types.ListOf(out), nil
-	})
+	}
 	return nil
 }
 
 // Explain returns the multi-level EXPLAIN text.
-func (pr *Prepared) Explain() string { return pr.explain.String() }
+func (pr *Prepared) Explain() string { return pr.explain }
 
-// Execute runs the prepared plans.
+// Params lists the statement's parameter binding keys in appearance order:
+// "$1", "$2", ... for positional placeholders, lowercased names for named
+// ones.
+func (pr *Prepared) Params() []string {
+	out := make([]string, len(pr.params))
+	copy(out, pr.params)
+	return out
+}
+
+// Execute runs the prepared plans without cancellation or parameters.
 func (pr *Prepared) Execute() (*Result, error) {
-	res := &Result{Explanation: pr.explain.String()}
+	return pr.ExecuteContext(context.Background(), nil)
+}
+
+// ExecuteContext runs the prepared plans under goctx with the given
+// parameter bindings. Each call builds its own executor over the shared
+// read-only plans and a per-query engine job context, so concurrent
+// executions are independent: separate memoization, separate parameter
+// bindings, separate cost counters (merged into the pipeline context's
+// accumulators on completion), and per-query cancellation.
+func (pr *Prepared) ExecuteContext(goctx context.Context, params map[string]types.Value) (*Result, error) {
+	for _, k := range pr.params {
+		if _, ok := params[k]; !ok {
+			return nil, fmt.Errorf("core: parameter %s is not bound", (&monoid.Param{Key: k}).String())
+		}
+	}
+	job := pr.pipeline.Ctx.Job(goctx)
+	ex := physical.NewExecutor(job, pr.pipeline.Catalog)
+	ex.Config = pr.pipeline.Config
+	for name, fn := range pr.builtins {
+		ex.AddBuiltin(name, fn)
+	}
+	ex.SetParams(params)
+
+	res, err := pr.execute(ex, job, params)
+	// Partial work from failed or cancelled queries still moved data; account
+	// for it in the instance-wide accumulators either way.
+	pr.pipeline.Ctx.Metrics().Merge(job.Metrics())
+	if err != nil {
+		return nil, err
+	}
+	m := job.Metrics()
+	res.Stats = ExecStats{
+		SimTicks:        m.SimTicks(),
+		Comparisons:     m.Comparisons(),
+		ShuffledRecords: m.ShuffledRecords(),
+		ShuffledBytes:   m.ShuffledBytes(),
+	}
+	return res, nil
+}
+
+func (pr *Prepared) execute(ex *physical.Executor, job *engine.Context, params map[string]types.Value) (*Result, error) {
+	res := &Result{Explanation: pr.explain}
 	if pr.combined != nil {
-		d, err := pr.exec.Exec(pr.combined)
+		d, err := ex.Exec(pr.combined)
 		if err != nil {
 			return nil, err
 		}
@@ -249,7 +329,7 @@ func (pr *Prepared) Execute() (*Result, error) {
 	for i, t := range pr.tasks {
 		var out []types.Value
 		if pr.combined == nil {
-			d, err := pr.exec.Exec(pr.plans[i])
+			d, err := ex.Exec(pr.plans[i])
 			if err != nil {
 				return nil, err
 			}
@@ -265,14 +345,17 @@ func (pr *Prepared) Execute() (*Result, error) {
 		// plan's violation pairs seed the relaxation loop, and successive
 		// REPAIR clauses on the same source compose via the healed map.
 		if t.Denial != nil && t.Denial.RepairAttr != nil {
-			sum, err := pr.runRepair(&pr.tasks[i], pr.plans[i], out, healed)
+			sum, err := pr.runRepair(ex, &pr.tasks[i], pr.plans[i], out, healed, params)
 			if err != nil {
 				return nil, err
 			}
 			tr.Repair = sum
-			healed[sum.Source] = engine.FromValues(pr.pipeline.Ctx, sum.Rows)
+			healed[sum.Source] = engine.FromValues(job, sum.Rows)
 		}
 		res.Tasks = append(res.Tasks, tr)
+	}
+	if err := job.Err(); err != nil {
+		return nil, err
 	}
 	return res, nil
 }

@@ -38,13 +38,17 @@ type RepairSummary struct {
 // REPAIR clause already healed the same source, the repair starts from those
 // healed rows instead — clauses compose — and the plan seed (computed
 // against the original data) is discarded in favor of a fresh check.
-func (pr *Prepared) runRepair(t *lang.Task, plan algebra.Plan, seed []types.Value, healed map[string]*engine.Dataset) (*RepairSummary, error) {
+func (pr *Prepared) runRepair(ex *physical.Executor, t *lang.Task, plan algebra.Plan, seed []types.Value, healed map[string]*engine.Dataset, params map[string]types.Value) (*RepairSummary, error) {
 	spec := t.Denial
 	src, ok := pr.pipeline.Catalog[spec.Source]
 	if !ok {
 		return nil, fmt.Errorf("core: repair source %q not in catalog", spec.Source)
 	}
-	cfg, err := buildRepairConfig(spec, pr.pipeline.Config.Theta)
+	// The relaxation loop runs outside the plan executor; rebase the source
+	// onto the query's job context so its work is metered and cancellable
+	// alongside the rest of the query.
+	src = src.WithContext(ex.Ctx)
+	cfg, err := buildRepairConfig(spec, pr.pipeline.Config.Theta, params)
 	if err != nil {
 		return nil, err
 	}
@@ -56,7 +60,7 @@ func (pr *Prepared) runRepair(t *lang.Task, plan algebra.Plan, seed []types.Valu
 		// ran through the full comprehension→algebra→physical stack; only
 		// the fixpoint re-checks go through DCCheck directly.
 		if seed == nil {
-			d, err := pr.exec.Exec(plan)
+			d, err := ex.Exec(plan)
 			if err != nil {
 				return nil, err
 			}
@@ -88,13 +92,14 @@ func (pr *Prepared) runRepair(t *lang.Task, plan algebra.Plan, seed []types.Valu
 // layer's declarative repair configuration: the REPAIR attribute must appear
 // in an inequality conjunct against the second alias (the relaxed predicate),
 // and a second same-attribute inequality supplies the fixed tuple order.
-func buildRepairConfig(spec *lang.DenialSpec, theta physical.ThetaStrategy) (cleaning.DCRepairConfig, error) {
+func buildRepairConfig(spec *lang.DenialSpec, theta physical.ThetaStrategy, params map[string]types.Value) (cleaning.DCRepairConfig, error) {
 	var cfg cleaning.DCRepairConfig
 	col, err := repairColumn(spec)
 	if err != nil {
 		return cfg, err
 	}
 	comp := monoid.NewCompiler()
+	comp.Params = params
 
 	predCE, err := comp.Compile(spec.Pred, map[string]int{spec.Alias: 0, spec.SecondAlias: 1})
 	if err != nil {

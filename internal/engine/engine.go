@@ -23,6 +23,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -48,6 +49,10 @@ type Context struct {
 	// a single job may perform before ErrBudgetExceeded is reported.
 	CompBudget int64
 
+	// goctx, when non-nil, carries cancellation and deadlines for the job.
+	// Operator loops poll it and abort promptly once it is done.
+	goctx context.Context
+
 	metrics Metrics
 }
 
@@ -57,6 +62,26 @@ func NewContext(workers int) *Context {
 		workers = 1
 	}
 	return &Context{Workers: workers}
+}
+
+// Job derives a child context for one query: same cluster width and
+// comparison budget, fresh metrics (so per-query costs are measured in
+// isolation), and bound to goctx for cancellation. Merge the job's metrics
+// back into a global collector with Metrics.Merge when the query completes.
+func (c *Context) Job(goctx context.Context) *Context {
+	if goctx == context.Background() {
+		goctx = nil
+	}
+	return &Context{Workers: c.Workers, CompBudget: c.CompBudget, goctx: goctx}
+}
+
+// Err reports the cancellation state of the job's Go context: nil while the
+// job may keep running, context.Canceled / context.DeadlineExceeded after.
+func (c *Context) Err() error {
+	if c.goctx == nil {
+		return nil
+	}
+	return c.goctx.Err()
 }
 
 // Metrics accumulates cost-model counters for a job.
@@ -182,6 +207,23 @@ func (m *Metrics) MaxStageCost() int64 {
 	return mx
 }
 
+// Merge folds the counters and stage log of src into m. Per-query job
+// contexts (Context.Job) collect metrics in isolation; merging them into the
+// instance-wide collector afterwards keeps cumulative totals meaningful.
+func (m *Metrics) Merge(src *Metrics) {
+	if src == nil || src == m {
+		return
+	}
+	stages := src.Stages()
+	m.mu.Lock()
+	m.stages = append(m.stages, stages...)
+	m.mu.Unlock()
+	m.recordsProcessed.Add(src.recordsProcessed.Load())
+	m.shuffledRecords.Add(src.shuffledRecords.Load())
+	m.shuffledBytes.Add(src.shuffledBytes.Load())
+	m.comparisons.Add(src.comparisons.Load())
+}
+
 func (m *Metrics) logStage(s StageStats) {
 	m.mu.Lock()
 	m.stages = append(m.stages, s)
@@ -196,6 +238,9 @@ func (c *Context) budgetLeft() bool {
 }
 
 // runParallel executes f(0..n-1) on at most Workers concurrent goroutines.
+// When the context's Go context is cancelled, remaining work items are
+// skipped; every started goroutine still exits through the WaitGroup, so
+// cancellation never leaks goroutines.
 func (c *Context) runParallel(n int, f func(i int)) {
 	if n == 0 {
 		return
@@ -206,6 +251,9 @@ func (c *Context) runParallel(n int, f func(i int)) {
 	}
 	if width <= 1 {
 		for i := 0; i < n; i++ {
+			if c.Err() != nil {
+				return
+			}
 			f(i)
 		}
 		return
@@ -218,7 +266,7 @@ func (c *Context) runParallel(n int, f func(i int)) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= n {
+				if i >= n || c.Err() != nil {
 					return
 				}
 				f(i)
@@ -236,6 +284,17 @@ type Dataset struct {
 
 // Context returns the dataset's execution context.
 func (d *Dataset) Context() *Context { return d.ctx }
+
+// WithContext rebinds the dataset to another execution context without
+// copying its partitions. Queries rebase shared catalog datasets onto their
+// per-query job context so costs are metered per query and cancellation
+// reaches the operator loops.
+func (d *Dataset) WithContext(ctx *Context) *Dataset {
+	if ctx == nil || ctx == d.ctx {
+		return d
+	}
+	return &Dataset{ctx: ctx, parts: d.parts}
+}
 
 // NumPartitions returns the partition count.
 func (d *Dataset) NumPartitions() int { return len(d.parts) }

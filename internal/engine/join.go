@@ -9,6 +9,13 @@ import (
 // CombineFunc merges a left and right record into one output record.
 type CombineFunc func(l, r types.Value) types.Value
 
+// cancelCheckEvery amortizes cancellation polling in join inner loops:
+// Context.Err locks the Go context's mutex, so workers consult it only once
+// per this many candidate comparisons — cheap enough to vanish in the
+// predicate cost, frequent enough that cancellation still lands in
+// milliseconds.
+const cancelCheckEvery = 1 << 16
+
 // PairSchema is the default output schema of joins: {left, right}.
 var PairSchema = types.NewSchema("left", "right")
 
@@ -132,7 +139,14 @@ func (d *Dataset) CartesianFilter(name string, right *Dataset, pred func(l, r ty
 	costs := make([]int64, len(d.parts))
 	d.ctx.runParallel(len(d.parts), func(i int) {
 		var res []types.Value
+		since := 0
 		for _, lv := range d.parts[i] {
+			if since += len(rall); since >= cancelCheckEvery {
+				since = 0
+				if d.ctx.Err() != nil {
+					return
+				}
+			}
 			for _, rv := range rall {
 				if pred(lv, rv) {
 					res = append(res, combine(lv, rv))
@@ -142,6 +156,9 @@ func (d *Dataset) CartesianFilter(name string, right *Dataset, pred func(l, r ty
 		out[i] = res
 		costs[i] = int64(len(d.parts[i])) * m
 	})
+	if err := d.ctx.Err(); err != nil {
+		return nil, err
+	}
 	d.ctx.metrics.AddComparisons(n * m)
 	d.ctx.metrics.logStage(StageStats{
 		Name: name + ":cartesian", WorkerCosts: costs,
@@ -231,8 +248,15 @@ func (d *Dataset) ThetaJoin(name string, right *Dataset, stats ThetaJoinStats, p
 	out := make([][]types.Value, w)
 	d.ctx.runParallel(w, func(wi int) {
 		var res []types.Value
+		since := 0
 		for _, c := range assign[wi] {
 			for _, lv := range lb[c.li] {
+				if since += len(rb[c.ri]); since >= cancelCheckEvery {
+					since = 0
+					if d.ctx.Err() != nil {
+						return
+					}
+				}
 				for _, rv := range rb[c.ri] {
 					if pred(lv, rv) {
 						res = append(res, combine(lv, rv))
@@ -242,6 +266,9 @@ func (d *Dataset) ThetaJoin(name string, right *Dataset, stats ThetaJoinStats, p
 		}
 		out[wi] = res
 	})
+	if err := d.ctx.Err(); err != nil {
+		return nil, err
+	}
 	d.ctx.metrics.AddComparisons(candidate)
 	// Each row is shipped to the workers owning its row/column of the matrix;
 	// with balanced rectangles that is ~sqrt(W) copies (Okcan & Riedewald).
@@ -307,11 +334,18 @@ func (d *Dataset) MinMaxBlockJoin(name string, right *Dataset, lattr, rattr func
 	}
 	d.ctx.runParallel(w, func(wi int) {
 		var res []types.Value
+		since := 0
 		for i, c := range cells {
 			if i%w != wi {
 				continue
 			}
 			for _, lv := range lb[c.li] {
+				if since += len(rb[c.ri]); since >= cancelCheckEvery {
+					since = 0
+					if d.ctx.Err() != nil {
+						return
+					}
+				}
 				for _, rv := range rb[c.ri] {
 					if pred(lv, rv) {
 						res = append(res, combine(lv, rv))
@@ -321,6 +355,9 @@ func (d *Dataset) MinMaxBlockJoin(name string, right *Dataset, lattr, rattr func
 		}
 		out[wi] = res
 	})
+	if err := d.ctx.Err(); err != nil {
+		return nil, err
+	}
 	d.ctx.metrics.AddComparisons(candidate)
 	d.ctx.metrics.logStage(StageStats{
 		Name: name + ":minmaxjoin", WorkerCosts: loads,

@@ -18,6 +18,11 @@ type Query struct {
 	Having  monoid.Expr
 	// Cleaning holds the FD / DEDUP / CLUSTER BY operators, in syntax order.
 	Cleaning []CleaningOp
+	// Params lists the canonical binding keys of the statement's parameter
+	// placeholders in first-appearance order: "$1", "$2", ... for positional
+	// `?` markers, lowercased names for `:name` markers (each named key
+	// appears once even when referenced repeatedly).
+	Params []string
 }
 
 // SelectItem is one projection with an optional alias.
@@ -86,6 +91,10 @@ type CleaningOp struct {
 	Metric string
 	// Theta is the similarity threshold; 0 selects the default 0.8.
 	Theta float64
+	// ThetaExpr, when non-nil, is a parameter placeholder standing in for
+	// Theta — the threshold is then bound at execute time, so one prepared
+	// DEDUP/CLUSTER BY statement serves requests at different strictness.
+	ThetaExpr monoid.Expr
 	// Attrs are the dedup attributes or the cluster-by term expression.
 	Attrs []monoid.Expr
 	// SecondAlias names the second copy of the FROM table in a DENIAL self

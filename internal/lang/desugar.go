@@ -266,6 +266,10 @@ func (d *Desugarer) desugarDedup(q *Query, op CleaningOp, name string) (*Task, e
 	if theta == 0 {
 		theta = 0.8
 	}
+	thetaExpr := monoid.Expr(monoid.C(floatVal(theta)))
+	if op.ThetaExpr != nil {
+		thetaExpr = op.ThetaExpr
+	}
 
 	// Similarity string: concatenation of all attributes.
 	simOf := func(target monoid.Expr) monoid.Expr {
@@ -311,7 +315,7 @@ func (d *Desugarer) desugarDedup(q *Query, op CleaningOp, name string) (*Task, e
 				&monoid.Call{Fn: "reckey", Args: []monoid.Expr{monoid.V("p1")}},
 				&monoid.Call{Fn: "reckey", Args: []monoid.Expr{monoid.V("p2")}})},
 			&monoid.Pred{Cond: &monoid.Call{Fn: "similar", Args: []monoid.Expr{
-				monoid.CStr(metric), simOf(monoid.V("p1")), simOf(monoid.V("p2")), monoid.C(floatVal(theta))}}},
+				monoid.CStr(metric), simOf(monoid.V("p1")), simOf(monoid.V("p2")), thetaExpr}}},
 		},
 	}
 	return &Task{
@@ -360,6 +364,10 @@ func (d *Desugarer) desugarClusterBy(q *Query, op CleaningOp, name string) (*Tas
 	if theta == 0 {
 		theta = 0.8
 	}
+	thetaExpr := monoid.Expr(monoid.C(floatVal(theta)))
+	if op.ThetaExpr != nil {
+		thetaExpr = op.ThetaExpr
+	}
 
 	fn := d.freshBlocker()
 	blockers := map[string]BlockerBinding{fn: {
@@ -395,7 +403,7 @@ func (d *Desugarer) desugarClusterBy(q *Query, op CleaningOp, name string) (*Tas
 			&monoid.Generator{Var: "d2", Source: monoid.F(monoid.V("g2"), "group")},
 			&monoid.Pred{Cond: &monoid.BinOp{Op: "!=", L: termOf(monoid.V("d1")), R: dictTermOf(monoid.V("d2"))}},
 			&monoid.Pred{Cond: &monoid.Call{Fn: "similar", Args: []monoid.Expr{
-				monoid.CStr(metric), termOf(monoid.V("d1")), dictTermOf(monoid.V("d2")), monoid.C(floatVal(theta))}}},
+				monoid.CStr(metric), termOf(monoid.V("d1")), dictTermOf(monoid.V("d2")), thetaExpr}}},
 		},
 	}
 	return &Task{

@@ -9,6 +9,10 @@
 //	[ FD(<lhs>, <rhs>) | DEDUP(<op>[,<metric>,<theta>][,<attrs>])
 //	  | CLUSTER BY(<op>[,<metric>,<theta>],<term>)
 //	  | DENIAL(<alias2>, <pred>) [REPAIR(<attr>)] ]*
+//
+// Scalar expressions may contain parameter placeholders — `?` (positional)
+// and `:name` (named) — bound at execute time, so one prepared statement
+// serves many differently-parameterized requests.
 package lang
 
 import (
@@ -32,6 +36,9 @@ const (
 	TokLParen
 	TokRParen
 	TokDot
+	// TokParam is a parameter placeholder: "?" (positional) or ":name"
+	// (named; Text carries the name without the colon).
+	TokParam
 )
 
 // Token is one lexical unit with its source position.
@@ -103,6 +110,19 @@ func (l *Lexer) Next() (Token, error) {
 	case c == '.':
 		l.pos++
 		return Token{Kind: TokDot, Text: ".", Pos: start}, nil
+	case c == '?':
+		l.pos++
+		return Token{Kind: TokParam, Text: "?", Pos: start}, nil
+	case c == ':':
+		l.pos++
+		if l.pos >= len(l.src) || !(unicode.IsLetter(l.src[l.pos]) || l.src[l.pos] == '_') {
+			return Token{}, fmt.Errorf("lang: expected parameter name after ':' at %d", start)
+		}
+		nameStart := l.pos
+		for l.pos < len(l.src) && (unicode.IsLetter(l.src[l.pos]) || unicode.IsDigit(l.src[l.pos]) || l.src[l.pos] == '_') {
+			l.pos++
+		}
+		return Token{Kind: TokParam, Text: string(l.src[nameStart:l.pos]), Pos: start}, nil
 	default:
 		// Multi-character operators first.
 		two := ""

@@ -1,0 +1,94 @@
+package lang
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"cleandb/internal/monoid"
+)
+
+func TestParseParamsPositionalAndNamed(t *testing.T) {
+	q, err := Parse(`SELECT c.name FROM customer c WHERE c.nationkey = ? AND c.name = :who AND c.age > ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"$1", "who", "$2"}
+	if !reflect.DeepEqual(q.Params, want) {
+		t.Fatalf("params = %v, want %v", q.Params, want)
+	}
+}
+
+func TestParseParamsNamedDeduplicated(t *testing.T) {
+	q, err := Parse(`SELECT c.name FROM customer c WHERE c.a = :x AND c.b = :X AND c.c = :y`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// :x and :X are the same key (lowercased) and appear once.
+	want := []string{"x", "y"}
+	if !reflect.DeepEqual(q.Params, want) {
+		t.Fatalf("params = %v, want %v", q.Params, want)
+	}
+}
+
+func TestParseParamRendersAsPlaceholder(t *testing.T) {
+	q, err := Parse(`SELECT c.name FROM customer c WHERE c.nationkey = ? AND c.name = :who`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := q.Where.String()
+	for _, want := range []string{"?1", ":who"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("WHERE %q missing placeholder %q", s, want)
+		}
+	}
+}
+
+func TestLexBareColonFails(t *testing.T) {
+	if _, err := Tokenize(`SELECT : FROM t`); err == nil {
+		t.Fatal("bare ':' should fail to lex")
+	}
+}
+
+func TestParseDedupThetaPlaceholder(t *testing.T) {
+	q, err := Parse(`SELECT * FROM customer c DEDUP(attribute, LD, :theta, c.address, c.name)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Cleaning) != 1 {
+		t.Fatalf("cleaning ops = %d", len(q.Cleaning))
+	}
+	op := q.Cleaning[0]
+	if op.Metric != "LD" {
+		t.Fatalf("metric = %q", op.Metric)
+	}
+	p, ok := op.ThetaExpr.(*monoid.Param)
+	if !ok || p.Key != "theta" {
+		t.Fatalf("theta expr = %v", op.ThetaExpr)
+	}
+	if len(op.Attrs) != 2 {
+		t.Fatalf("attrs = %v", op.Attrs)
+	}
+	if !reflect.DeepEqual(q.Params, []string{"theta"}) {
+		t.Fatalf("params = %v", q.Params)
+	}
+}
+
+func TestDesugarDedupThetaPlaceholderSurvives(t *testing.T) {
+	q, err := Parse(`SELECT * FROM customer c DEDUP(attribute, LD, ?, c.name)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d Desugarer
+	tasks, err := d.Desugar(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 1 {
+		t.Fatalf("tasks = %d", len(tasks))
+	}
+	// The placeholder must survive de-sugaring into the similar() predicate.
+	if !strings.Contains(tasks[0].Comp.String(), "?1") {
+		t.Fatalf("comprehension lost the placeholder:\n%s", tasks[0].Comp)
+	}
+}

@@ -13,6 +13,12 @@ import (
 type Parser struct {
 	toks []Token
 	pos  int
+
+	// positional counts `?` placeholders; params records canonical binding
+	// keys in first-appearance order (named keys deduplicated).
+	positional int
+	params     []string
+	paramSeen  map[string]bool
 }
 
 // Parse parses a CleanM statement.
@@ -34,6 +40,7 @@ func Parse(src string) (*Query, error) {
 	if p.cur().Kind != TokEOF {
 		return nil, fmt.Errorf("lang: unexpected trailing token %q at %d", p.cur().Text, p.cur().Pos)
 	}
+	q.Params = p.params
 	return q, nil
 }
 
@@ -400,18 +407,28 @@ func (p *Parser) parseCleaningArgs(op *CleaningOp) error {
 			return err
 		}
 	}
-	// Optional metric and theta: detect "ident, number" lookahead.
+	// Optional metric and theta: detect "ident, number-or-placeholder"
+	// lookahead. A placeholder theta is bound at execute time.
 	if p.cur().Kind == TokComma {
 		save := p.pos
 		p.advance()
-		if p.cur().Kind == TokIdent && p.toks[p.pos+1].Kind == TokComma && p.toks[p.pos+2].Kind == TokNumber {
+		if p.cur().Kind == TokIdent && p.toks[p.pos+1].Kind == TokComma &&
+			(p.toks[p.pos+2].Kind == TokNumber || p.toks[p.pos+2].Kind == TokParam) {
 			op.Metric = p.advance().Text
 			p.advance() // comma
-			f, err := strconv.ParseFloat(p.advance().Text, 64)
-			if err != nil {
-				return fmt.Errorf("lang: bad theta")
+			if p.cur().Kind == TokParam {
+				e, err := p.parsePrimary()
+				if err != nil {
+					return err
+				}
+				op.ThetaExpr = e
+			} else {
+				f, err := strconv.ParseFloat(p.advance().Text, 64)
+				if err != nil {
+					return fmt.Errorf("lang: bad theta")
+				}
+				op.Theta = f
 			}
-			op.Theta = f
 		} else {
 			p.pos = save
 		}
@@ -561,6 +578,23 @@ func (p *Parser) parseUnary() (monoid.Expr, error) {
 func (p *Parser) parsePrimary() (monoid.Expr, error) {
 	t := p.cur()
 	switch t.Kind {
+	case TokParam:
+		p.advance()
+		var key string
+		if t.Text == "?" {
+			p.positional++
+			key = fmt.Sprintf("$%d", p.positional)
+		} else {
+			key = strings.ToLower(t.Text)
+		}
+		if p.paramSeen == nil {
+			p.paramSeen = map[string]bool{}
+		}
+		if !p.paramSeen[key] {
+			p.paramSeen[key] = true
+			p.params = append(p.params, key)
+		}
+		return &monoid.Param{Key: key}, nil
 	case TokNumber:
 		p.advance()
 		if strings.Contains(t.Text, ".") {

@@ -16,6 +16,10 @@ type CompiledExpr func(slots []types.Value) (types.Value, error)
 // Compiler compiles expressions given a variable→slot mapping.
 type Compiler struct {
 	Builtins map[string]Builtin
+	// Params resolves Param placeholders at compile time. Compilation happens
+	// once per execution, so binding here (rather than per record) costs
+	// nothing while keeping concurrently-executing bindings independent.
+	Params map[string]types.Value
 }
 
 // NewCompiler returns a compiler with the default builtins.
@@ -27,6 +31,12 @@ func (cp *Compiler) Compile(e Expr, vars map[string]int) (CompiledExpr, error) {
 	switch n := e.(type) {
 	case *Const:
 		v := n.Val
+		return func([]types.Value) (types.Value, error) { return v, nil }, nil
+	case *Param:
+		v, ok := cp.Params[n.Key]
+		if !ok {
+			return nil, fmt.Errorf("monoid: compile: unbound parameter %s", n)
+		}
 		return func([]types.Value) (types.Value, error) { return v, nil }, nil
 	case *Var:
 		slot, ok := vars[n.Name]
@@ -175,7 +185,7 @@ func (cp *Compiler) Compile(e Expr, vars map[string]int) (CompiledExpr, error) {
 			}
 			names[slot] = name
 		}
-		ev := &Evaluator{Builtins: cp.Builtins}
+		ev := &Evaluator{Builtins: cp.Builtins, Params: cp.Params}
 		return func(s []types.Value) (types.Value, error) {
 			var env *Env
 			for i, name := range names {

@@ -235,6 +235,9 @@ type Evaluator struct {
 	// Sources resolves free variables that denote named datasets (scans);
 	// consulted after the environment. May be nil.
 	Sources func(name string) (types.Value, bool)
+	// Params resolves Param placeholders; may be nil for parameterless
+	// expressions.
+	Params map[string]types.Value
 }
 
 // NewEvaluator returns an evaluator with the default builtin registry.
@@ -247,6 +250,11 @@ func (ev *Evaluator) Eval(e Expr, env *Env) (types.Value, error) {
 	switch n := e.(type) {
 	case *Const:
 		return n.Val, nil
+	case *Param:
+		if v, ok := ev.Params[n.Key]; ok {
+			return v, nil
+		}
+		return types.Null(), fmt.Errorf("monoid: unbound parameter %s", n)
 	case *Var:
 		if v, ok := env.Lookup(n.Name); ok {
 			return v, nil

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"cleandb/internal/types"
 )
@@ -16,6 +17,17 @@ type Expr interface {
 
 // Const is a literal value.
 type Const struct{ Val types.Value }
+
+// Param is a query parameter placeholder: `?` (positional) or `:name` (named)
+// in CleanM text. It behaves like an opaque constant during normalization and
+// lowering — the plan keeps the placeholder — and is resolved against the
+// compiler's (or evaluator's) parameter bindings at execute time, which is
+// what lets one prepared plan serve many differently-bound executions.
+type Param struct {
+	// Key is the canonical binding key: "$1", "$2", ... for positional
+	// placeholders, the lowercased name for named ones.
+	Key string
+}
 
 // Var references a bound variable (generator or let binding).
 type Var struct{ Name string }
@@ -53,14 +65,15 @@ type If struct {
 type RecordCtor struct {
 	Names  []string
 	Fields []Expr
-	schema *types.Schema
+
+	schemaOnce sync.Once
+	schema     *types.Schema
 }
 
-// Schema returns (and caches) the constructed record's schema.
+// Schema returns (and caches) the constructed record's schema. Safe for
+// concurrent use: prepared plans are compiled by many executions at once.
 func (r *RecordCtor) Schema() *types.Schema {
-	if r.schema == nil {
-		r.schema = types.NewSchema(r.Names...)
-	}
+	r.schemaOnce.Do(func() { r.schema = types.NewSchema(r.Names...) })
 	return r.schema
 }
 
@@ -79,6 +92,7 @@ type Comprehension struct {
 type Exists struct{ C *Comprehension }
 
 func (*Const) exprNode()         {}
+func (*Param) exprNode()         {}
 func (*Var) exprNode()           {}
 func (*Field) exprNode()         {}
 func (*BinOp) exprNode()         {}
@@ -130,6 +144,14 @@ func (c *Const) String() string {
 		return fmt.Sprintf("%q", c.Val.Str())
 	}
 	return c.Val.String()
+}
+
+// String renders the placeholder as it appeared in the query.
+func (p *Param) String() string {
+	if strings.HasPrefix(p.Key, "$") {
+		return "?" + p.Key[1:]
+	}
+	return ":" + p.Key
 }
 
 // String renders the variable name.
@@ -238,7 +260,7 @@ func FreeVars(e Expr) []string {
 
 func freeVarsInto(e Expr, bound, out map[string]struct{}) {
 	switch n := e.(type) {
-	case *Const:
+	case *Const, *Param:
 	case *Var:
 		if _, ok := bound[n.Name]; !ok {
 			out[n.Name] = struct{}{}
@@ -298,6 +320,8 @@ func compFreeVars(c *Comprehension, bound, out map[string]struct{}) {
 func Substitute(e Expr, name string, repl Expr) Expr {
 	switch n := e.(type) {
 	case *Const:
+		return n
+	case *Param:
 		return n
 	case *Var:
 		if n.Name == name {

@@ -558,7 +558,7 @@ func unnestable(inner, outer Monoid) bool {
 // constants, variables and field paths over them.
 func cheapExpr(e Expr) bool {
 	switch n := e.(type) {
-	case *Const, *Var:
+	case *Const, *Var, *Param:
 		return true
 	case *Field:
 		return cheapExpr(n.Rec)

@@ -86,8 +86,20 @@ func (ex *Executor) AddBuiltin(name string, fn monoid.Builtin) {
 	ex.compiler.Builtins[name] = fn
 }
 
-// Exec executes the plan DAG, memoizing shared nodes.
+// SetParams binds the statement's parameter placeholders for this execution.
+// Expressions are compiled per execution, so concurrent executions of one
+// prepared plan with different bindings never observe each other.
+func (ex *Executor) SetParams(params map[string]types.Value) {
+	ex.compiler.Params = params
+}
+
+// Exec executes the plan DAG, memoizing shared nodes. It checks the engine
+// context's cancellation state before every node, so a cancelled query stops
+// between operators as well as inside the long-running join loops.
 func (ex *Executor) Exec(p algebra.Plan) (*engine.Dataset, error) {
+	if err := ex.Ctx.Err(); err != nil {
+		return nil, err
+	}
 	if ex.memo == nil {
 		ex.memo = map[algebra.Plan]*engine.Dataset{}
 	}
@@ -96,6 +108,9 @@ func (ex *Executor) Exec(p algebra.Plan) (*engine.Dataset, error) {
 	}
 	d, err := ex.exec(p)
 	if err != nil {
+		return nil, err
+	}
+	if err := ex.Ctx.Err(); err != nil {
 		return nil, err
 	}
 	ex.memo[p] = d
@@ -166,7 +181,10 @@ func (ex *Executor) execScan(n *algebra.Scan) (*engine.Dataset, error) {
 		return nil, fmt.Errorf("physical: unknown source %q", n.Source)
 	}
 	schema := envSchema(n)
-	return src.Map("scan:"+n.Source, func(v types.Value) types.Value {
+	// Rebase the shared catalog dataset onto this executor's (job) context:
+	// downstream operators then charge this query's metrics and observe its
+	// cancellation, not the instance-wide context the data was loaded under.
+	return src.WithContext(ex.Ctx).Map("scan:"+n.Source, func(v types.Value) types.Value {
 		return types.NewRecord(schema, []types.Value{v})
 	}), nil
 }

@@ -1,0 +1,123 @@
+package cleandb
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// CacheStats is a snapshot of the DB's plan-cache counters. Hits and Misses
+// count lookups since Open; Entries is the current number of cached plans.
+type CacheStats struct {
+	Hits    int64
+	Misses  int64
+	Entries int
+}
+
+// planCache is an LRU cache of prepared statements keyed by normalized query
+// text plus the strategy configuration and catalog epoch. It is safe for
+// concurrent use; cached values must themselves be safe to share (Prepared
+// plans are immutable after Prepare).
+type planCache[V any] struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	index map[string]*list.Element
+	// gen increments on purge; a put whose planning started before the purge
+	// carries the old generation and is dropped, so stale-epoch entries can
+	// never re-enter after a catalog change and pin dead snapshots.
+	gen int64
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type cacheEntry[V any] struct {
+	key string
+	val V
+}
+
+func newPlanCache[V any](capacity int) *planCache[V] {
+	if capacity <= 0 {
+		return nil
+	}
+	return &planCache[V]{cap: capacity, ll: list.New(), index: map[string]*list.Element{}}
+}
+
+// get returns the cached value for key, marking it most recently used.
+func (c *planCache[V]) get(key string) (V, bool) {
+	var zero V
+	if c == nil {
+		return zero, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.index[key]
+	if !ok {
+		c.misses.Add(1)
+		return zero, false
+	}
+	c.hits.Add(1)
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry[V]).val, true
+}
+
+// generation returns the current purge generation; capture it before
+// planning and pass it to put.
+func (c *planCache[V]) generation() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
+}
+
+// put inserts (or refreshes) key, evicting the least recently used entry
+// beyond capacity. A put from a generation older than the last purge is
+// dropped: its key embeds a dead catalog epoch and could never hit again.
+func (c *planCache[V]) put(key string, val V, gen int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if gen != c.gen {
+		return
+	}
+	if el, ok := c.index[key]; ok {
+		el.Value.(*cacheEntry[V]).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.index[key] = c.ll.PushFront(&cacheEntry[V]{key: key, val: val})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.index, oldest.Value.(*cacheEntry[V]).key)
+	}
+}
+
+// purge drops every entry and advances the generation, keeping the hit/miss
+// counters.
+func (c *planCache[V]) purge() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.ll.Init()
+	clear(c.index)
+	c.gen++
+	c.mu.Unlock()
+}
+
+// stats snapshots the counters.
+func (c *planCache[V]) stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	n := c.ll.Len()
+	c.mu.Unlock()
+	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: n}
+}

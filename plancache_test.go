@@ -1,0 +1,44 @@
+package cleandb
+
+import "testing"
+
+func TestPlanCachePutAfterPurgeDropped(t *testing.T) {
+	c := newPlanCache[int](4)
+	gen := c.generation()
+	c.purge() // a catalog change lands while "planning" is in flight
+	c.put("k", 1, gen)
+	if _, ok := c.get("k"); ok {
+		t.Fatal("stale-generation put must be dropped")
+	}
+	// A put from the current generation goes through.
+	c.put("k", 2, c.generation())
+	if v, ok := c.get("k"); !ok || v != 2 {
+		t.Fatalf("current-generation put lost: %v %v", v, ok)
+	}
+}
+
+func TestPlanCacheNilSafe(t *testing.T) {
+	var c *planCache[int]
+	c.put("k", 1, c.generation())
+	c.purge()
+	if _, ok := c.get("k"); ok {
+		t.Fatal("nil cache should never hit")
+	}
+	if s := c.stats(); s != (CacheStats{}) {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestNormalizeQueryPreservesLiterals(t *testing.T) {
+	cases := [][2]string{
+		{"SELECT  a\n FROM t", "SELECT a FROM t"},
+		{"WHERE x = 'a  b'", "WHERE x = 'a  b'"},
+		{`WHERE x = "a	b" AND  y = 1`, `WHERE x = "a	b" AND y = 1`},
+		{"  leading and trailing  ", "leading and trailing"},
+	}
+	for _, tc := range cases {
+		if got := normalizeQuery(tc[0]); got != tc[1] {
+			t.Errorf("normalizeQuery(%q) = %q, want %q", tc[0], got, tc[1])
+		}
+	}
+}

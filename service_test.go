@@ -1,0 +1,492 @@
+package cleandb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cleandb/internal/datagen"
+)
+
+// --- parameter binding -----------------------------------------------------
+
+func TestQueryContextPositionalParams(t *testing.T) {
+	db := demoDB()
+	res, err := db.QueryContext(context.Background(),
+		`SELECT c.name FROM customer c WHERE c.nationkey = ?`, int64(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows()) != 2 {
+		t.Fatalf("rows = %v", res.Rows())
+	}
+}
+
+func TestQueryContextNamedParams(t *testing.T) {
+	db := demoDB()
+	res, err := db.QueryContext(context.Background(),
+		`SELECT c.name FROM customer c WHERE c.nationkey = :nation AND c.name = :who`,
+		Named("who", "bob"), Named("NATION", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows()) != 1 {
+		t.Fatalf("rows = %v", res.Rows())
+	}
+}
+
+func TestQueryContextParamErrors(t *testing.T) {
+	db := demoDB()
+	cases := []struct {
+		name string
+		q    string
+		args []any
+	}{
+		{"missing positional", `SELECT c.name FROM customer c WHERE c.nationkey = ?`, nil},
+		{"too many positional", `SELECT c.name FROM customer c WHERE c.nationkey = ?`, []any{1, 2}},
+		{"missing named", `SELECT c.name FROM customer c WHERE c.nationkey = :n`, nil},
+		{"unknown named", `SELECT c.name FROM customer c WHERE c.nationkey = :n`, []any{Named("n", 1), Named("bogus", 2)}},
+		{"unsupported type", `SELECT c.name FROM customer c WHERE c.nationkey = ?`, []any{struct{}{}}},
+	}
+	for _, tc := range cases {
+		if _, err := db.QueryContext(context.Background(), tc.q, tc.args...); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestStmtThetaParam(t *testing.T) {
+	db := demoDB()
+	stmt, err := db.PrepareStmt(`SELECT * FROM customer c DEDUP(attribute, LD, :theta, c.address, c.name)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := stmt.Exec(Named("theta", 0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict, err := stmt.Exec(Named("theta", 0.99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loose.Rows()) <= len(strict.Rows()) {
+		t.Fatalf("loose theta found %d pairs, strict %d — expected loose > strict",
+			len(loose.Rows()), len(strict.Rows()))
+	}
+}
+
+// --- prepared statements and the plan cache --------------------------------
+
+func TestPreparedOnceExecuteManyBindings(t *testing.T) {
+	db := demoDB()
+	stmt, err := db.PrepareStmt(`SELECT c.name FROM customer c WHERE c.nationkey = ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := db.PlanCacheStats()
+	if base.Misses != 1 || base.Hits != 0 {
+		t.Fatalf("prepare should cost exactly one planning pass, stats = %+v", base)
+	}
+	counts := map[int64]int{1: 2, 2: 1, 3: 1, 4: 0}
+	for i := 0; i < 100; i++ {
+		nation := int64(i%4 + 1)
+		res, err := stmt.ExecContext(context.Background(), nation)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := len(res.Rows()); got != counts[nation] {
+			t.Fatalf("nation %d: rows = %d, want %d", nation, got, counts[nation])
+		}
+		if !res.Metrics().PlanCacheHit {
+			t.Fatal("stmt execution should report plan reuse")
+		}
+	}
+	// 100 executions must not have planned again: no further cache lookups
+	// (Stmt bypasses the cache) and still exactly one miss overall.
+	after := db.PlanCacheStats()
+	if after.Misses != 1 {
+		t.Fatalf("executions re-planned: stats = %+v", after)
+	}
+}
+
+func TestQueryPathHitsPlanCache(t *testing.T) {
+	db := demoDB()
+	const q = `SELECT c.name FROM customer c WHERE c.nationkey = ?`
+	for i := 0; i < 100; i++ {
+		if _, err := db.QueryContext(context.Background(), q, int64(i%3+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cs := db.PlanCacheStats()
+	if cs.Misses != 1 || cs.Hits != 99 {
+		t.Fatalf("100 identical queries should plan once: stats = %+v", cs)
+	}
+	// Whitespace-insensitive normalization: same plan.
+	if _, err := db.Query("SELECT c.name    FROM customer c\n\tWHERE c.nationkey = ?", int64(1)); err != nil {
+		t.Fatal(err)
+	}
+	if cs := db.PlanCacheStats(); cs.Hits != 100 {
+		t.Fatalf("whitespace variant should hit: stats = %+v", cs)
+	}
+}
+
+func TestPlanCacheKeysRespectStringLiterals(t *testing.T) {
+	db := demoDB()
+	r1, err := db.Query(`SELECT c.name FROM customer c WHERE c.address = '12 oak st'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Rows()) != 2 {
+		t.Fatalf("rows = %d", len(r1.Rows()))
+	}
+	// Same statement modulo whitespace *inside the string literal*: a
+	// different query that must not collide with the cached plan.
+	r2, err := db.Query(`SELECT c.name FROM customer c WHERE c.address = '12  oak st'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r2.Rows()) != 0 {
+		t.Fatalf("distinct literal served the cached plan: rows = %v", r2.Rows())
+	}
+	if cs := db.PlanCacheStats(); cs.Misses != 2 {
+		t.Fatalf("expected two distinct plans, stats = %+v", cs)
+	}
+}
+
+func TestPlanCachePurgedOnRegister(t *testing.T) {
+	db := demoDB()
+	if _, err := db.Query(`SELECT c.name FROM customer c`); err != nil {
+		t.Fatal(err)
+	}
+	if cs := db.PlanCacheStats(); cs.Entries != 1 {
+		t.Fatalf("stats = %+v", cs)
+	}
+	rows, _ := db.Rows("customer")
+	db.RegisterRows("other", rows)
+	// The old entry is unreachable (epoch changed) — it must be gone, not
+	// pinning the previous catalog snapshot until LRU pressure.
+	if cs := db.PlanCacheStats(); cs.Entries != 0 {
+		t.Fatalf("register should purge orphaned plans, stats = %+v", cs)
+	}
+}
+
+func TestPlanCacheInvalidatedByRegister(t *testing.T) {
+	db := demoDB()
+	const q = `SELECT c.name FROM customer c`
+	res, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows()) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows()))
+	}
+	// Re-registering the source must not serve the stale snapshot.
+	rows, _ := db.Rows("customer")
+	db.RegisterRows("customer", rows[:2])
+	res, err = db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows()) != 2 {
+		t.Fatalf("after re-register rows = %d, want 2", len(res.Rows()))
+	}
+	cs := db.PlanCacheStats()
+	if cs.Misses != 2 {
+		t.Fatalf("epoch change should force a re-plan: stats = %+v", cs)
+	}
+}
+
+func TestPlanCacheDisabled(t *testing.T) {
+	db := Open(WithWorkers(2), WithPlanCacheSize(0))
+	rows, _ := demoDB().Rows("customer")
+	db.RegisterRows("customer", rows)
+	for i := 0; i < 3; i++ {
+		if _, err := db.Query(`SELECT c.name FROM customer c`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cs := db.PlanCacheStats(); cs.Hits != 0 || cs.Misses != 0 || cs.Entries != 0 {
+		t.Fatalf("disabled cache should stay empty: %+v", cs)
+	}
+}
+
+func TestPlanCacheLRUEviction(t *testing.T) {
+	db := Open(WithWorkers(2), WithPlanCacheSize(2))
+	rows, _ := demoDB().Rows("customer")
+	db.RegisterRows("customer", rows)
+	for _, nation := range []string{"1", "2", "3"} {
+		if _, err := db.Query(`SELECT c.name FROM customer c WHERE c.nationkey = ` + nation); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cs := db.PlanCacheStats()
+	if cs.Entries != 2 {
+		t.Fatalf("capacity 2 exceeded: %+v", cs)
+	}
+	// Oldest statement was evicted: querying it again is a miss.
+	if _, err := db.Query(`SELECT c.name FROM customer c WHERE c.nationkey = 1`); err != nil {
+		t.Fatal(err)
+	}
+	if after := db.PlanCacheStats(); after.Misses != cs.Misses+1 {
+		t.Fatalf("evicted entry should miss: before %+v after %+v", cs, after)
+	}
+}
+
+// --- per-query metrics -----------------------------------------------------
+
+func TestResultMetricsPerQuery(t *testing.T) {
+	db := demoDB()
+	r1, err := db.Query(`SELECT c.name FROM customer c`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := db.Query(`SELECT * FROM customer c FD(c.address, c.nationkey)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, m2 := r1.Metrics(), r2.Metrics()
+	if m1.SimTicks <= 0 || m2.SimTicks <= 0 {
+		t.Fatalf("per-query ticks should be positive: %+v %+v", m1, m2)
+	}
+	if m2.ShuffledRecords == 0 {
+		t.Fatalf("FD query should shuffle: %+v", m2)
+	}
+	// The instance-wide accumulators hold the sum of both queries.
+	total := db.Metrics()
+	if total.SimTicks != m1.SimTicks+m2.SimTicks {
+		t.Fatalf("global ticks %d != %d + %d", total.SimTicks, m1.SimTicks, m2.SimTicks)
+	}
+	if m1.PlanCacheHit {
+		t.Fatal("first execution of a statement is not a cache hit")
+	}
+	if r3, err := db.Query(`SELECT c.name FROM customer c`); err != nil {
+		t.Fatal(err)
+	} else if !r3.Metrics().PlanCacheHit {
+		t.Fatal("repeated statement should report a cache hit")
+	}
+}
+
+// --- defensive copies and TaskRowsOK ---------------------------------------
+
+func TestRowsAreDefensiveCopies(t *testing.T) {
+	db := demoDB()
+	res, err := db.Query(`SELECT c.name FROM customer c`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Rows()
+	n := len(rows)
+	_ = append(rows, rows[0], rows[0], rows[0]) // caller abuses the slice
+	rows[0] = Null()
+	again := res.Rows()
+	if len(again) != n {
+		t.Fatalf("internal result grew: %d -> %d", n, len(again))
+	}
+	if again[0].Kind() == Null().Kind() {
+		t.Fatal("caller mutation leaked into the Result")
+	}
+}
+
+func TestTaskRowsOK(t *testing.T) {
+	db := Open(WithWorkers(2), WithStandaloneOps())
+	rows, _ := demoDB().Rows("customer")
+	db.RegisterRows("customer", rows)
+	res, err := db.Query(`
+SELECT * FROM customer c
+FD(c.address, c.nationkey)
+DEDUP(attribute, LD, 0.99, c.phone)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.TaskRowsOK("nope"); ok {
+		t.Fatal("unknown task should report ok=false")
+	}
+	// The strict DEDUP finds nothing, but the task exists: ok must be true —
+	// the case the old nil-returning TaskRows could not distinguish.
+	out, ok := res.TaskRowsOK("dedup1")
+	if !ok {
+		t.Fatal("existing task should report ok=true")
+	}
+	if len(out) != 0 {
+		t.Fatalf("theta 0.99 on distinct phones should find nothing, got %v", out)
+	}
+	if res.TaskRows("nope") != nil {
+		t.Fatal("TaskRows keeps returning nil for unknown tasks")
+	}
+}
+
+// --- concurrency -----------------------------------------------------------
+
+func TestConcurrentDBUse(t *testing.T) {
+	db := Open(WithWorkers(4))
+	rows, _ := demoDB().Rows("customer")
+	db.RegisterRows("customer", rows)
+	const goroutines = 8
+	const iters = 20
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			src := fmt.Sprintf("mine%d", g)
+			for i := 0; i < iters; i++ {
+				// Mix catalog writes, parameterized reads on the shared and
+				// the private source, and metrics reads.
+				db.RegisterRows(src, rows)
+				q := fmt.Sprintf(`SELECT c.name FROM %s c WHERE c.nationkey = ?`, src)
+				res, err := db.QueryContext(context.Background(), q, int64(1))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(res.Rows()) != 2 {
+					errs <- fmt.Errorf("goroutine %d: rows = %d", g, len(res.Rows()))
+					return
+				}
+				if _, err := db.QueryContext(context.Background(),
+					`SELECT c.name FROM customer c WHERE c.nationkey = ?`, int64(i%4+1)); err != nil {
+					errs <- err
+					return
+				}
+				_ = db.Metrics()
+				_ = db.PlanCacheStats()
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentStmtExec(t *testing.T) {
+	db := demoDB()
+	stmt, err := db.PrepareStmt(`SELECT c.name FROM customer c WHERE c.nationkey = ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			want := map[int64]int{1: 2, 2: 1, 3: 1, 4: 0}
+			for i := 0; i < 25; i++ {
+				nation := int64((g+i)%4 + 1)
+				res, err := stmt.Exec(nation)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(res.Rows()) != want[nation] {
+					errs <- fmt.Errorf("nation %d: rows = %d, want %d", nation, len(res.Rows()), want[nation])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// --- cancellation ----------------------------------------------------------
+
+// thetaDB builds a DB whose DENIAL query runs a large theta self join —
+// millions of candidate pairs, enough to still be mid-join when the test
+// cancels it.
+func thetaDB(t testing.TB, rows int) *DB {
+	t.Helper()
+	db := Open(WithWorkers(4))
+	db.RegisterRows("lineitem", datagen.GenLineitem(datagen.LineitemConfig{Rows: rows, NoiseRate: 0.3, Seed: 7}))
+	return db
+}
+
+const thetaQuery = `
+SELECT * FROM lineitem t1
+DENIAL(t2, t1.extendedprice < t2.extendedprice and t1.discount > t2.discount)`
+
+func TestQueryContextPreCancelled(t *testing.T) {
+	db := thetaDB(t, 200)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := db.QueryContext(ctx, thetaQuery)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestQueryContextCancelMidThetaJoin(t *testing.T) {
+	db := thetaDB(t, 4000) // ~16M candidate pairs: runs for a long time
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		_, err := db.QueryContext(ctx, thetaQuery)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the join get going
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled query did not return")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation was not prompt: %v", elapsed)
+	}
+
+	// No leaked worker goroutines: every started worker exits through the
+	// WaitGroup even when cancelled. Allow the runtime a moment to settle.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before+1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: before %d, after %d", before, runtime.NumGoroutine())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestStmtExecContextDeadline(t *testing.T) {
+	db := thetaDB(t, 4000)
+	stmt, err := db.PrepareStmt(thetaQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := stmt.ExecContext(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// --- explain with placeholders ---------------------------------------------
+
+func TestExplainParameterizedStatement(t *testing.T) {
+	db := demoDB()
+	out, err := db.Explain(`SELECT c.name FROM customer c WHERE c.nationkey = :nation`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, ":nation") {
+		t.Fatalf("explain should render the placeholder:\n%s", out)
+	}
+}

@@ -12,15 +12,19 @@
 package cleandb_test
 
 import (
+	"bytes"
+	"context"
 	"testing"
 
 	"cleandb"
 	"cleandb/internal/cleaning"
 	"cleandb/internal/cluster"
+	"cleandb/internal/data"
 	"cleandb/internal/datagen"
 	"cleandb/internal/engine"
 	"cleandb/internal/experiments"
 	"cleandb/internal/physical"
+	"cleandb/internal/source"
 	"cleandb/internal/textsim"
 	"cleandb/internal/types"
 )
@@ -364,4 +368,124 @@ DEDUP(attribute, LD, 0.8, c.address, c.name)`
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Ingestion: lazy partition-parallel sources vs the seed readers. ---
+
+// ingestCSVRows is the acceptance-criteria scale: a generated TPC-H-style
+// customer table of >= 100k rows.
+const ingestCSVRows = 100_000
+
+func csvBenchInput(b *testing.B) []byte {
+	b.Helper()
+	rows := datagen.GenCustomer(datagen.CustomerConfig{
+		Rows: ingestCSVRows, DupRate: 0.05, MaxDups: 10, Seed: 42,
+	}).Rows
+	var buf bytes.Buffer
+	if err := data.WriteCSV(&buf, rows); err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// BenchmarkCSVLoadSequential is the seed path: one goroutine running
+// csv.ReadAll plus cell typing.
+func BenchmarkCSVLoadSequential(b *testing.B) {
+	buf := csvBenchInput(b)
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := data.ReadCSV(bytes.NewReader(buf))
+		if err != nil || len(rows) == 0 {
+			b.Fatalf("rows=%d err=%v", len(rows), err)
+		}
+	}
+}
+
+// BenchmarkCSVLoadParallel is the source-catalog path: the same input,
+// chunk-partitioned on row boundaries and parsed across 8 goroutines,
+// landing directly as engine partitions.
+func BenchmarkCSVLoadParallel(b *testing.B) {
+	buf := csvBenchInput(b)
+	src := source.CSVBytes(buf)
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		parts, err := src.Scan(context.Background(), 8)
+		if err != nil || len(parts) == 0 {
+			b.Fatalf("parts=%d err=%v", len(parts), err)
+		}
+	}
+}
+
+func colbinBenchInput(b *testing.B) []byte {
+	b.Helper()
+	rows := datagen.GenCustomer(datagen.CustomerConfig{
+		Rows: ingestCSVRows, DupRate: 0.05, MaxDups: 10, Seed: 42,
+	}).Rows
+	var buf bytes.Buffer
+	if err := data.WriteColbin(&buf, rows); err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// BenchmarkColbinLoadSequential decodes all column chunks on one goroutine.
+func BenchmarkColbinLoadSequential(b *testing.B) {
+	buf := colbinBenchInput(b)
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := data.ReadColbin(bytes.NewReader(buf))
+		if err != nil || len(rows) == 0 {
+			b.Fatalf("rows=%d err=%v", len(rows), err)
+		}
+	}
+}
+
+// BenchmarkColbinLoadParallel decodes column chunks concurrently and
+// assembles row-range partitions concurrently.
+func BenchmarkColbinLoadParallel(b *testing.B) {
+	buf := colbinBenchInput(b)
+	src := source.ColbinBytes(buf)
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		parts, err := src.Scan(context.Background(), 8)
+		if err != nil || len(parts) == 0 {
+			b.Fatalf("parts=%d err=%v", len(parts), err)
+		}
+	}
+}
+
+// BenchmarkRegisterAndFirstQuery measures the end-to-end ingest difference
+// at the API level: eager sequential registration vs lazy registration paid
+// at first query, same statement, same results.
+func BenchmarkRegisterAndFirstQuery(b *testing.B) {
+	buf := csvBenchInput(b)
+	q := `SELECT c.name AS n FROM customer c WHERE c.nationkey = 3`
+	b.Run("eager-sequential", func(b *testing.B) {
+		b.SetBytes(int64(len(buf)))
+		for i := 0; i < b.N; i++ {
+			db := cleandb.Open(cleandb.WithWorkers(8))
+			rows, err := data.ReadCSV(bytes.NewReader(buf))
+			if err != nil {
+				b.Fatal(err)
+			}
+			db.RegisterRows("customer", rows)
+			if _, err := db.Query(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("lazy-parallel", func(b *testing.B) {
+		b.SetBytes(int64(len(buf)))
+		for i := 0; i < b.N; i++ {
+			db := cleandb.Open(cleandb.WithWorkers(8))
+			db.RegisterSource("customer", source.CSVBytes(buf))
+			if _, err := db.Query(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -18,10 +18,17 @@
 // LRU plan cache, and every execution reports its own cost metrics
 // (Result.Metrics) besides the instance-wide accumulators (DB.Metrics).
 //
+// Data enters through the pluggable source catalog. RegisterSource (and the
+// Register*File path helpers) records where data lives without parsing a
+// byte; the first query that references the source — or an explicit Load —
+// parses it with a partition-parallel scan that lands rows directly as
+// engine partitions. The original Register* readers remain as eager
+// wrappers over the same machinery.
+//
 // Quickstart:
 //
 //	db := cleandb.Open()
-//	db.RegisterRows("customer", rows)
+//	db.RegisterCSVFile("customer", "customer.csv") // lazy: nothing parsed yet
 //	db.RegisterRows("dictionary", dict)
 //	res, err := db.QueryContext(ctx, `
 //	    SELECT c.name, c.address, *
@@ -42,11 +49,22 @@ import (
 	"sync"
 
 	"cleandb/internal/core"
-	"cleandb/internal/data"
 	"cleandb/internal/engine"
 	"cleandb/internal/physical"
+	"cleandb/internal/source"
 	"cleandb/internal/types"
 )
+
+// Source is the pluggable data-source abstraction: anything that can
+// describe itself (Format, Schema, Stats) and Scan into ordered partitions
+// can be registered in the catalog. The source subpackage provides CSV,
+// JSON-lines, XML, colbin and in-memory implementations; RegisterSource
+// accepts third-party ones.
+type Source = source.Source
+
+// SourceStats re-exports the source layer's pre-scan size hints (-1 fields
+// mean "unknown without a full parse").
+type SourceStats = source.Stats
 
 // Value is a dynamically typed datum (null, bool, int, float, string, list
 // or record). See the constructor helpers Null, Bool, Int, Float, String,
@@ -115,8 +133,8 @@ func WithPlanCacheSize(n int) Option {
 	return func(db *DB) { db.cacheCap = n }
 }
 
-// DB is a CleanDB instance: a catalog of datasets plus the query pipeline
-// and an LRU cache of prepared plans.
+// DB is a CleanDB instance: a catalog of data sources plus the query
+// pipeline and an LRU cache of prepared plans.
 //
 // A DB is safe for concurrent use by multiple goroutines: the catalog is
 // guarded by a read-write mutex, every query executes on its own engine job
@@ -128,20 +146,73 @@ type DB struct {
 	unified bool
 
 	mu      sync.RWMutex
-	catalog map[string]*engine.Dataset
+	catalog map[string]*sourceEntry
 	// epoch increments on every catalog change; it is part of the plan-cache
 	// key, so cached plans never serve stale fitted blockers or sources.
+	// Loading a pending source does NOT bump the epoch: the rows are
+	// determined by the source, so plans stay valid across the load.
 	epoch int64
 
 	cacheCap int
 	cache    *planCache[*core.Prepared]
 }
 
+// sourceEntry is one catalog slot: a source plus its load-once state.
+// Entries are shared by every catalog snapshot that saw them, so whichever
+// query loads a source first loads it for everyone.
+//
+// Two locks split the roles: loadMu serializes the (possibly long) Scan so
+// the data parses once, while mu guards only the result fields — peek and
+// SourceInfo read state mid-load without waiting behind the parse.
+type sourceEntry struct {
+	src source.Source
+
+	loadMu sync.Mutex
+
+	mu     sync.Mutex
+	loaded bool
+	ds     *engine.Dataset
+	err    error
+}
+
+// load scans the source into a partitioned dataset exactly once. Scan
+// failures are remembered (re-register the source to retry) — except
+// cancellations: a query aborted mid-load must not poison the source for
+// the next one.
+func (e *sourceEntry) load(goctx context.Context, ectx *engine.Context) (*engine.Dataset, error) {
+	e.loadMu.Lock()
+	defer e.loadMu.Unlock()
+	if ds, loaded, err := e.peek(); loaded {
+		return ds, err
+	}
+	parts, err := e.src.Scan(goctx, ectx.Workers)
+	if err != nil {
+		if goctx.Err() == nil {
+			e.mu.Lock()
+			e.loaded, e.err = true, err
+			e.mu.Unlock()
+		}
+		return nil, err
+	}
+	ds := engine.FromPartitions(ectx, parts)
+	e.mu.Lock()
+	e.loaded, e.ds = true, ds
+	e.mu.Unlock()
+	return ds, nil
+}
+
+// peek reports the load state without triggering — or waiting on — a load.
+func (e *sourceEntry) peek() (*engine.Dataset, bool, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.ds, e.loaded, e.err
+}
+
 // Open creates a CleanDB instance.
 func Open(opts ...Option) *DB {
 	db := &DB{
 		ctx:      engine.NewContext(8),
-		catalog:  map[string]*engine.Dataset{},
+		catalog:  map[string]*sourceEntry{},
 		unified:  true,
 		cacheCap: 128,
 	}
@@ -152,13 +223,11 @@ func Open(opts ...Option) *DB {
 	return db
 }
 
-// RegisterRows adds an in-memory dataset to the catalog under name,
-// replacing any previous dataset of that name. Safe to call concurrently
-// with queries: running queries keep their catalog snapshot.
-func (db *DB) RegisterRows(name string, rows []Value) {
-	ds := engine.FromValues(db.ctx, rows)
+// register installs an entry under name, replacing any previous source of
+// that name, and invalidates cached plans.
+func (db *DB) register(name string, e *sourceEntry) {
 	db.mu.Lock()
-	db.catalog[name] = ds
+	db.catalog[name] = e
 	db.epoch++
 	db.mu.Unlock()
 	// Every cached plan embeds the old epoch in its key and is unreachable
@@ -168,48 +237,133 @@ func (db *DB) RegisterRows(name string, rows []Value) {
 	db.cache.purge()
 }
 
-// RegisterCSV loads a CSV source (header row, type-inferred columns).
+// RegisterSource adds a pluggable data source to the catalog under name,
+// replacing any previous source of that name, without reading or parsing
+// anything. The first query that references the source — or an explicit
+// Load — triggers a partition-parallel scan whose result is cached for all
+// subsequent queries. Safe to call concurrently with queries: running
+// queries keep their catalog snapshot.
+func (db *DB) RegisterSource(name string, src Source) {
+	db.register(name, &sourceEntry{src: src})
+}
+
+// RegisterFile lazily registers a data file, inferring the format from the
+// path's extension (.csv, .json/.jsonl/.ndjson, .xml, .colbin). The file is
+// not opened until the source is first loaded, so a missing file surfaces
+// as a query/Load error, not here.
+func (db *DB) RegisterFile(name, path string) error {
+	src, err := source.FromPath(path)
+	if err != nil {
+		return err
+	}
+	db.RegisterSource(name, src)
+	return nil
+}
+
+// RegisterCSVFile lazily registers a CSV file (header row, type-inferred
+// columns). The first use parses it chunk-parallel across the configured
+// Workers.
+func (db *DB) RegisterCSVFile(name, path string) {
+	db.RegisterSource(name, source.NewCSVFile(path))
+}
+
+// RegisterJSONFile lazily registers a JSON-lines file (nested records
+// supported). The first use parses it line-chunk-parallel.
+func (db *DB) RegisterJSONFile(name, path string) {
+	db.RegisterSource(name, source.NewJSONFile(path))
+}
+
+// RegisterXMLFile lazily registers a two-level XML file (DBLP-style).
+func (db *DB) RegisterXMLFile(name, path string) {
+	db.RegisterSource(name, source.NewXMLFile(path))
+}
+
+// RegisterColbinFile lazily registers a colbin (binary columnar) file. The
+// first use decodes its column chunks in parallel.
+func (db *DB) RegisterColbinFile(name, path string) {
+	db.RegisterSource(name, source.NewColbinFile(path))
+}
+
+// Load forces a pending source to parse now (parallel, under ctx) instead
+// of on first query. Loading an already-loaded source is a no-op returning
+// its remembered outcome.
+func (db *DB) Load(ctx context.Context, name string) error {
+	db.mu.RLock()
+	e, ok := db.catalog[name]
+	db.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("cleandb: unknown source %q", name)
+	}
+	if _, err := e.load(ctx, db.ctx); err != nil {
+		return fmt.Errorf("cleandb: load source %q: %w", name, err)
+	}
+	return nil
+}
+
+// registerEager scans src immediately and registers it only on success —
+// the contract of the original Register* readers.
+func (db *DB) registerEager(name string, src source.Source) error {
+	e := &sourceEntry{src: src}
+	if _, err := e.load(context.Background(), db.ctx); err != nil {
+		return err
+	}
+	db.register(name, e)
+	return nil
+}
+
+// RegisterRows adds an in-memory dataset to the catalog under name,
+// replacing any previous dataset of that name. Safe to call concurrently
+// with queries: running queries keep their catalog snapshot.
+func (db *DB) RegisterRows(name string, rows []Value) {
+	db.register(name, &sourceEntry{
+		src:    source.FromRows(rows),
+		loaded: true,
+		ds:     engine.FromValues(db.ctx, rows),
+	})
+}
+
+// RegisterCSV eagerly loads a CSV source (header row, type-inferred
+// columns). It is a thin wrapper over the source catalog: the reader is
+// slurped and parsed through the same chunk-parallel scan lazy registration
+// uses, and nothing is registered on error.
 func (db *DB) RegisterCSV(name string, r io.Reader) error {
-	rows, err := data.ReadCSV(r)
+	buf, err := io.ReadAll(r)
 	if err != nil {
 		return err
 	}
-	db.RegisterRows(name, rows)
-	return nil
+	return db.registerEager(name, source.CSVBytes(buf))
 }
 
-// RegisterJSON loads a JSON-lines source (nested records supported).
+// RegisterJSON eagerly loads a JSON-lines source (nested records
+// supported).
 func (db *DB) RegisterJSON(name string, r io.Reader) error {
-	rows, err := data.ReadJSON(r)
+	buf, err := io.ReadAll(r)
 	if err != nil {
 		return err
 	}
-	db.RegisterRows(name, rows)
-	return nil
+	return db.registerEager(name, source.JSONBytes(buf))
 }
 
-// RegisterXML loads a two-level XML source (DBLP-style; repeated child
-// elements become list fields).
+// RegisterXML eagerly loads a two-level XML source (DBLP-style; repeated
+// child elements become list fields).
 func (db *DB) RegisterXML(name string, r io.Reader) error {
-	rows, err := data.ReadXML(r)
+	buf, err := io.ReadAll(r)
 	if err != nil {
 		return err
 	}
-	db.RegisterRows(name, rows)
-	return nil
+	return db.registerEager(name, source.XMLBytes(buf))
 }
 
-// RegisterColbin loads a colbin (binary columnar) source.
+// RegisterColbin eagerly loads a colbin (binary columnar) source.
 func (db *DB) RegisterColbin(name string, r io.Reader) error {
-	rows, err := data.ReadColbin(r)
+	buf, err := io.ReadAll(r)
 	if err != nil {
 		return err
 	}
-	db.RegisterRows(name, rows)
-	return nil
+	return db.registerEager(name, source.ColbinBytes(buf))
 }
 
-// Sources lists the registered dataset names, sorted.
+// Sources lists the registered source names, sorted — loaded or pending.
 func (db *DB) Sources() []string {
 	db.mu.RLock()
 	out := make([]string, 0, len(db.catalog))
@@ -221,35 +375,126 @@ func (db *DB) Sources() []string {
 	return out
 }
 
-// Rows returns the records of a registered dataset. The returned slice is a
-// fresh copy of the slice header; appending to it never corrupts the
-// catalog.
+// SourceInfo describes one catalog entry's load state.
+type SourceInfo struct {
+	// Name is the catalog name; Format the source encoding ("csv", "json",
+	// "xml", "colbin", "mem", or whatever a custom Source reports).
+	Name, Format string
+	// Loaded reports whether the source has been scanned into partitions.
+	// Pending sources have parsed nothing yet.
+	Loaded bool
+	// Err is the remembered load failure, if the source's scan was
+	// attempted and failed (every use will keep returning it until the
+	// source is re-registered). Loaded and Err are mutually exclusive.
+	Err error
+	// Rows is the exact record count once loaded; before that, the source's
+	// cheap hint (exact for colbin headers and in-memory rows, -1 for text
+	// formats, which cannot count without parsing).
+	Rows int64
+	// Bytes is the encoded size hint (-1 when unknown).
+	Bytes int64
+}
+
+// SourceInfo reports a source's format and loaded-vs-pending-vs-failed
+// state without triggering a load — and, thanks to the entry's split lock,
+// without waiting behind one that is in flight.
+func (db *DB) SourceInfo(name string) (SourceInfo, error) {
+	db.mu.RLock()
+	e, ok := db.catalog[name]
+	db.mu.RUnlock()
+	if !ok {
+		return SourceInfo{}, fmt.Errorf("cleandb: unknown source %q", name)
+	}
+	info := SourceInfo{Name: name, Format: e.src.Format(), Rows: -1, Bytes: -1}
+	if st, err := e.src.Stats(); err == nil {
+		info.Rows, info.Bytes = st.Rows, st.Bytes
+	}
+	if ds, loaded, err := e.peek(); loaded {
+		if err != nil {
+			info.Err = err
+		} else {
+			info.Loaded = true
+			info.Rows = ds.Count()
+		}
+	}
+	return info, nil
+}
+
+// SourceInfos describes every catalog entry, sorted by name.
+func (db *DB) SourceInfos() []SourceInfo {
+	names := db.Sources()
+	out := make([]SourceInfo, 0, len(names))
+	for _, n := range names {
+		if info, err := db.SourceInfo(n); err == nil {
+			out = append(out, info)
+		}
+	}
+	return out
+}
+
+// Rows returns the records of a registered source, loading it first if it
+// is still pending. The returned slice is a fresh copy of the slice header;
+// appending to it never corrupts the catalog.
 func (db *DB) Rows(name string) ([]Value, error) {
 	db.mu.RLock()
-	d, ok := db.catalog[name]
+	e, ok := db.catalog[name]
 	db.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("cleandb: unknown source %q", name)
 	}
-	return d.Collect(), nil
+	ds, err := e.load(context.Background(), db.ctx)
+	if err != nil {
+		return nil, fmt.Errorf("cleandb: load source %q: %w", name, err)
+	}
+	return ds.Collect(), nil
+}
+
+// catalogView is a consistent snapshot of the catalog handed to one prepare:
+// it resolves names against the entries as of snapshot time and loads
+// pending sources under the preparing query's context, so a cancelled query
+// aborts its own lazy loads.
+type catalogView struct {
+	goctx   context.Context
+	ectx    *engine.Context
+	entries map[string]*sourceEntry
+}
+
+// Has implements core.Catalog without triggering a load.
+func (v *catalogView) Has(name string) bool {
+	_, ok := v.entries[name]
+	return ok
+}
+
+// Lookup implements core.Catalog, loading pending sources on demand.
+func (v *catalogView) Lookup(name string) (*engine.Dataset, error) {
+	e, ok := v.entries[name]
+	if !ok {
+		return nil, fmt.Errorf("cleandb: unknown source %q", name)
+	}
+	ds, err := e.load(v.goctx, v.ectx)
+	if err != nil {
+		return nil, fmt.Errorf("cleandb: load source %q: %w", name, err)
+	}
+	return ds, nil
 }
 
 // snapshot copies the catalog map and its epoch atomically, so a query plans
 // and executes against a consistent view even while other goroutines
-// register datasets.
-func (db *DB) snapshot() (map[string]*engine.Dataset, int64) {
+// register sources. The entries themselves are shared: a lazy load performed
+// by one snapshot is visible to all.
+func (db *DB) snapshot(goctx context.Context) (*catalogView, int64) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	m := make(map[string]*engine.Dataset, len(db.catalog))
+	m := make(map[string]*sourceEntry, len(db.catalog))
 	for k, v := range db.catalog {
 		m[k] = v
 	}
-	return m, db.epoch
+	return &catalogView{goctx: goctx, ectx: db.ctx, entries: m}, db.epoch
 }
 
 // pipelineWith builds the query pipeline over a catalog snapshot.
-func (db *DB) pipelineWith(catalog map[string]*engine.Dataset) *core.Pipeline {
-	p := core.NewPipeline(db.ctx, catalog)
+func (db *DB) pipelineWith(catalog core.Catalog) *core.Pipeline {
+	p := core.NewPipelineCatalog(db.ctx, catalog)
 	p.Config = db.config
 	p.Unified = db.unified
 	return p
@@ -304,11 +549,12 @@ func normalizeQuery(q string) string {
 // prepare resolves query to a Prepared plan, consulting the LRU plan cache.
 // The returned bool reports whether the plan was served from the cache.
 // Cache hits read only the epoch under the lock — the catalog snapshot is
-// copied on misses alone, keeping the hot path allocation-light.
-func (db *DB) prepare(query string) (*core.Prepared, bool, error) {
+// copied on misses alone, keeping the hot path allocation-light. A cache
+// miss resolves (and lazily loads, under ctx) every source the statement
+// references; hits reuse the already-resolved datasets.
+func (db *DB) prepare(ctx context.Context, query string) (*core.Prepared, bool, error) {
 	if db.cache == nil {
-		catalog, _ := db.snapshot()
-		prep, err := db.pipelineWith(catalog).Prepare(query)
+		prep, err := db.prepareOn(ctx, query)
 		return prep, false, err
 	}
 	db.mu.RLock()
@@ -322,16 +568,32 @@ func (db *DB) prepare(query string) (*core.Prepared, bool, error) {
 	// Register lands anywhere after this point, the put below is dropped
 	// rather than parking an unreachable entry in the cache.
 	gen := db.cache.generation()
-	catalog, epoch2 := db.snapshot()
-	if epoch2 != epoch {
-		key = db.cacheKey(query, epoch2)
-	}
-	prep, err := db.pipelineWith(catalog).Prepare(query)
+	prep, epoch2, err := db.prepareOnEpoch(ctx, query)
 	if err != nil {
 		return nil, false, err
 	}
+	if epoch2 != epoch {
+		key = db.cacheKey(query, epoch2)
+	}
 	db.cache.put(key, prep, gen)
 	return prep, false, nil
+}
+
+// prepareOn plans the statement against a fresh catalog snapshot under ctx.
+func (db *DB) prepareOn(ctx context.Context, query string) (*core.Prepared, error) {
+	prep, _, err := db.prepareOnEpoch(ctx, query)
+	return prep, err
+}
+
+func (db *DB) prepareOnEpoch(ctx context.Context, query string) (*core.Prepared, int64, error) {
+	catalog, epoch := db.snapshot(ctx)
+	p := db.pipelineWith(catalog)
+	prep, err := p.Prepare(query)
+	// Preparation resolved the statement's sources into the Prepared; drop
+	// the catalog view so plans — which may sit in the cache indefinitely —
+	// never pin the preparing query's context or the snapshot map.
+	p.Catalog = nil
+	return prep, epoch, err
 }
 
 // Query parses, optimizes and executes a CleanM statement with optional
@@ -351,7 +613,7 @@ func (db *DB) Query(q string, args ...any) (*Result, error) {
 // so repeated un-prepared calls skip parsing, normalization and lowering;
 // use PrepareStmt to make that reuse explicit.
 func (db *DB) QueryContext(ctx context.Context, q string, args ...any) (*Result, error) {
-	prep, hit, err := db.prepare(q)
+	prep, hit, err := db.prepare(ctx, q)
 	if err != nil {
 		return nil, err
 	}
@@ -368,10 +630,17 @@ func (db *DB) QueryContext(ctx context.Context, q string, args ...any) (*Result,
 
 // PrepareStmt parses, de-sugars, normalizes and lowers a CleanM statement
 // through all three optimization levels exactly once and returns the
-// reusable Stmt. The heavy lifting (including blocker fitting) happens here;
+// reusable Stmt. The heavy lifting (blocker fitting, plus loading any
+// still-pending sources the statement references) happens here;
 // Stmt.ExecContext only binds parameters and runs the physical plan.
 func (db *DB) PrepareStmt(q string) (*Stmt, error) {
-	prep, _, err := db.prepare(q)
+	return db.PrepareStmtContext(context.Background(), q)
+}
+
+// PrepareStmtContext is PrepareStmt under a context: cancelling ctx aborts
+// the lazy source loads preparation may trigger.
+func (db *DB) PrepareStmtContext(ctx context.Context, q string) (*Stmt, error) {
+	prep, _, err := db.prepare(ctx, q)
 	if err != nil {
 		return nil, err
 	}
@@ -380,9 +649,11 @@ func (db *DB) PrepareStmt(q string) (*Stmt, error) {
 
 // Explain plans the query through all three levels and returns the EXPLAIN
 // text without executing it. Parameterized statements may be explained
-// without bindings; placeholders render as `?N` / `:name`.
+// without bindings; placeholders render as `?N` / `:name`. Note that
+// planning resolves the statement's sources, so explaining a statement over
+// a pending source loads it.
 func (db *DB) Explain(q string) (string, error) {
-	prep, _, err := db.prepare(q)
+	prep, _, err := db.prepare(context.Background(), q)
 	if err != nil {
 		return "", err
 	}

@@ -29,6 +29,7 @@ import (
 	"cleandb/internal/data"
 	"cleandb/internal/datagen"
 	"cleandb/internal/lang"
+	"cleandb/internal/source"
 	"cleandb/internal/types"
 )
 
@@ -64,7 +65,7 @@ subcommands:
   query    -src name=path [...] [-workers N] [-explain] [-limit N]
            [-param k=v ...] [-timeout D] [-task NAME] [-serve] 'CLEANM QUERY'
   gen      -kind tpch-lineitem|tpch-customer|dblp|mag -rows N -out path
-  convert  -in path -out path
+  convert  -in path -out path [-workers N]
 
 examples:
   cleandb gen -kind tpch-customer -rows 10000 -out customer.csv
@@ -358,24 +359,16 @@ func execStatement(db *cleandb.DB, ctx context.Context, stmt string, bindings []
 	return prep.ExecContext(ctx, use...)
 }
 
+// register adds a file source to the catalog lazily: only the sources a
+// statement actually references get parsed (in parallel), so -explain and
+// -serve sessions over many -src flags never pay for unused files. A
+// missing or unreadable file therefore surfaces at query time. The file is
+// stat'd here so a typo'd path still fails fast.
 func register(db *cleandb.DB, name, path string) error {
-	f, err := os.Open(path)
-	if err != nil {
+	if _, err := os.Stat(path); err != nil {
 		return err
 	}
-	defer f.Close()
-	switch filepath.Ext(path) {
-	case ".csv":
-		return db.RegisterCSV(name, f)
-	case ".json", ".jsonl", ".ndjson":
-		return db.RegisterJSON(name, f)
-	case ".xml":
-		return db.RegisterXML(name, f)
-	case ".colbin":
-		return db.RegisterColbin(name, f)
-	default:
-		return fmt.Errorf("unknown format for %q (want .csv/.json/.xml/.colbin)", path)
-	}
+	return db.RegisterFile(name, path)
 }
 
 func cmdGen(args []string) error {
@@ -409,38 +402,38 @@ func cmdGen(args []string) error {
 	return writeFile(*out, records)
 }
 
+// cmdConvert re-encodes a data file between formats — most usefully
+// CSV/JSON/XML → colbin, the binary columnar format the benchmarks read
+// fastest. The input parses through the source layer's partition-parallel
+// scan.
 func cmdConvert(args []string) error {
 	fs := flag.NewFlagSet("convert", flag.ExitOnError)
 	in := fs.String("in", "", "input path")
 	out := fs.String("out", "", "output path")
+	workers := fs.Int("workers", runtime.NumCPU(), "parallel parse width")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *in == "" || *out == "" {
 		return fmt.Errorf("convert: -in and -out are required")
 	}
-	f, err := os.Open(*in)
+	src, err := source.FromPath(*in)
+	if err != nil {
+		return fmt.Errorf("convert: %w", err)
+	}
+	parts, err := src.Scan(context.Background(), *workers)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	var records []types.Value
-	switch filepath.Ext(*in) {
-	case ".csv":
-		records, err = data.ReadCSV(f)
-	case ".json", ".jsonl", ".ndjson":
-		records, err = data.ReadJSON(f)
-	case ".xml":
-		records, err = data.ReadXML(f)
-	case ".colbin":
-		records, err = data.ReadColbin(f)
-	default:
-		return fmt.Errorf("convert: unknown input format %q", *in)
+	for _, p := range parts {
+		records = append(records, p...)
 	}
-	if err != nil {
+	if err := writeFile(*out, records); err != nil {
 		return err
 	}
-	return writeFile(*out, records)
+	fmt.Fprintf(os.Stderr, "-- converted %s (%s) to %s: %d rows\n", *in, src.Format(), *out, len(records))
+	return nil
 }
 
 func writeFile(path string, records []types.Value) error {

@@ -26,10 +26,35 @@ import (
 	"cleandb/internal/types"
 )
 
+// Catalog resolves source names to datasets. Has must be cheap and must not
+// materialize anything — the lowerer consults it for every unbound name;
+// Lookup may trigger a (lazy, possibly parallel) load and is called only for
+// the sources a statement actually references, at prepare time.
+type Catalog interface {
+	Has(name string) bool
+	Lookup(name string) (*engine.Dataset, error)
+}
+
+// MapCatalog adapts a plain dataset map — the eager catalog shape — to the
+// Catalog interface.
+type MapCatalog map[string]*engine.Dataset
+
+// Has implements Catalog.
+func (m MapCatalog) Has(name string) bool { _, ok := m[name]; return ok }
+
+// Lookup implements Catalog.
+func (m MapCatalog) Lookup(name string) (*engine.Dataset, error) {
+	d, ok := m[name]
+	if !ok {
+		return nil, fmt.Errorf("core: source %q not in catalog", name)
+	}
+	return d, nil
+}
+
 // Pipeline executes CleanM queries against a catalog of datasets.
 type Pipeline struct {
 	Ctx     *engine.Context
-	Catalog map[string]*engine.Dataset
+	Catalog Catalog
 	// Config selects the physical strategies; the zero value is CleanDB's
 	// skew-aware defaults.
 	Config physical.Config
@@ -47,8 +72,15 @@ type Pipeline struct {
 }
 
 // NewPipeline returns a pipeline with CleanDB defaults (unified execution,
-// skew-aware grouping, statistics-aware theta joins).
+// skew-aware grouping, statistics-aware theta joins) over an eager dataset
+// map. Lazy catalogs use NewPipelineCatalog.
 func NewPipeline(ctx *engine.Context, catalog map[string]*engine.Dataset) *Pipeline {
+	return NewPipelineCatalog(ctx, MapCatalog(catalog))
+}
+
+// NewPipelineCatalog returns a default pipeline over any Catalog
+// implementation, such as a lazy-loading one.
+func NewPipelineCatalog(ctx *engine.Context, catalog Catalog) *Pipeline {
 	return &Pipeline{Ctx: ctx, Catalog: catalog, Unified: true}
 }
 
@@ -132,7 +164,12 @@ type Prepared struct {
 	// builtins holds the blocking builtins fitted at prepare time (k-means
 	// centers, tokenizers); fitting is part of compile-once.
 	builtins map[string]monoid.Builtin
-	explain  string
+	// sources holds the datasets of every source the statement references,
+	// resolved — and for lazy catalogs, loaded — at prepare time. Executions
+	// read this immutable map, so a Prepared never touches the live catalog
+	// again and concurrent Register calls cannot shift ground under it.
+	sources map[string]*engine.Dataset
+	explain string
 	// params lists the statement's parameter binding keys (lang.Query.Params).
 	params []string
 }
@@ -149,7 +186,13 @@ func (p *Pipeline) Prepare(query string) (*Prepared, error) {
 	if err != nil {
 		return nil, err
 	}
-	pr := &Prepared{pipeline: p, tasks: tasks, params: q.Params, builtins: map[string]monoid.Builtin{}}
+	pr := &Prepared{
+		pipeline: p,
+		tasks:    tasks,
+		params:   q.Params,
+		builtins: map[string]monoid.Builtin{},
+		sources:  map[string]*engine.Dataset{},
+	}
 
 	// Fit and register blocking builtins (k-means centers, tokenizers).
 	for _, t := range tasks {
@@ -167,9 +210,19 @@ func (p *Pipeline) Prepare(query string) (*Prepared, error) {
 	if p.Trace != nil {
 		norm.Trace = func(rule, detail string) { p.Trace("monoid", rule, detail) }
 	}
+	// The lowerer's source test doubles as the reference recorder: every name
+	// it accepts is a source this statement scans, and exactly those get
+	// resolved (loading lazy ones) once lowering is done.
+	needed := map[string]bool{}
 	lower := &algebra.Lowerer{IsSource: func(name string) bool {
-		_, ok := p.Catalog[name]
-		return ok || name == algebra.UnitSource
+		if name == algebra.UnitSource {
+			return true
+		}
+		if p.Catalog.Has(name) {
+			needed[name] = true
+			return true
+		}
+		return false
 	}}
 	var roots []algebra.Plan
 	for _, t := range tasks {
@@ -218,6 +271,22 @@ func (p *Pipeline) Prepare(query string) (*Prepared, error) {
 		}
 	}
 	pr.explain = explain.String()
+
+	// A REPAIR clause reads its source outside the plan executor; resolve
+	// those too (when present — a missing repair source keeps erroring at
+	// execute time, as before).
+	for _, t := range tasks {
+		if t.Denial != nil && t.Denial.RepairAttr != nil && p.Catalog.Has(t.Denial.Source) {
+			needed[t.Denial.Source] = true
+		}
+	}
+	for name := range needed {
+		ds, err := p.Catalog.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		pr.sources[name] = ds
+	}
 	return pr, nil
 }
 
@@ -227,9 +296,12 @@ func (pr *Prepared) fitBlocker(name string, b lang.BlockerBinding) error {
 	p := pr.pipeline
 	var fitValues []string
 	if b.FitSource != "" && strings.EqualFold(b.Spec.Op, "kmeans") {
-		src, ok := p.Catalog[b.FitSource]
-		if !ok {
+		if !p.Catalog.Has(b.FitSource) {
 			return fmt.Errorf("core: blocker fit source %q not in catalog", b.FitSource)
+		}
+		src, err := p.Catalog.Lookup(b.FitSource)
+		if err != nil {
+			return err
 		}
 		ce, err := monoid.NewCompiler().Compile(b.FitAttr, map[string]int{"$fit": 0})
 		if err != nil {
@@ -292,7 +364,7 @@ func (pr *Prepared) ExecuteContext(goctx context.Context, params map[string]type
 		}
 	}
 	job := pr.pipeline.Ctx.Job(goctx)
-	ex := physical.NewExecutor(job, pr.pipeline.Catalog)
+	ex := physical.NewExecutor(job, pr.sources)
 	ex.Config = pr.pipeline.Config
 	for name, fn := range pr.builtins {
 		ex.AddBuiltin(name, fn)

@@ -77,7 +77,7 @@ func TestFDStandalone(t *testing.T) {
 	cat := testCatalog(ctx)
 	extra := cust("eve", "12 oak st", "555-0000", 9) // same address, different nation
 	cat["customer"] = cat["customer"].Union(engine.FromValues(ctx, []types.Value{extra}))
-	p.Catalog = cat
+	p.Catalog = MapCatalog(cat)
 	res, err := p.Run(`SELECT * FROM customer c FD(c.address, c.nationkey)`)
 	if err != nil {
 		t.Fatalf("Run: %v", err)

@@ -40,7 +40,7 @@ type RepairSummary struct {
 // against the original data) is discarded in favor of a fresh check.
 func (pr *Prepared) runRepair(ex *physical.Executor, t *lang.Task, plan algebra.Plan, seed []types.Value, healed map[string]*engine.Dataset, params map[string]types.Value) (*RepairSummary, error) {
 	spec := t.Denial
-	src, ok := pr.pipeline.Catalog[spec.Source]
+	src, ok := pr.sources[spec.Source]
 	if !ok {
 		return nil, fmt.Errorf("core: repair source %q not in catalog", spec.Source)
 	}

@@ -202,52 +202,29 @@ func writeStringChunk(bw *bufio.Writer, vals []string) {
 
 // ReadColbin reads a colbin stream back into record values.
 func ReadColbin(r io.Reader) ([]types.Value, error) {
-	br := bufio.NewReader(r)
-	magic := make([]byte, 4)
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("data: colbin: %w", err)
-	}
-	if string(magic) != colbinMagic {
-		return nil, fmt.Errorf("data: colbin: bad magic %q", magic)
-	}
-	ncols, err := binary.ReadUvarint(br)
+	buf, err := io.ReadAll(r)
 	if err != nil {
 		return nil, fmt.Errorf("data: colbin: %w", err)
 	}
-	names := make([]string, ncols)
-	colTypes := make([]ColType, ncols)
-	for i := range names {
-		n, err := readString(br)
-		if err != nil {
-			return nil, err
-		}
-		names[i] = n
-		tb, err := br.ReadByte()
-		if err != nil {
-			return nil, fmt.Errorf("data: colbin: %w", err)
-		}
-		colTypes[i] = ColType(tb)
-	}
-	nrowsU, err := binary.ReadUvarint(br)
+	info, err := IndexColbin(buf)
 	if err != nil {
-		return nil, fmt.Errorf("data: colbin: %w", err)
+		return nil, err
 	}
-	nrows := int(nrowsU)
-	if ncols == 0 || nrows == 0 {
+	if info.Rows == 0 {
 		return nil, nil
 	}
-	cols := make([][]types.Value, ncols)
+	cols := make([][]types.Value, len(info.Names))
 	for c := range cols {
-		vals, err := readColumn(br, nrows, colTypes[c])
+		vals, err := info.DecodeColumn(c)
 		if err != nil {
 			return nil, err
 		}
 		cols[c] = vals
 	}
-	schema := types.NewSchema(names...)
-	out := make([]types.Value, nrows)
-	for i := 0; i < nrows; i++ {
-		fields := make([]types.Value, ncols)
+	schema := types.NewSchema(info.Names...)
+	out := make([]types.Value, info.Rows)
+	for i := 0; i < info.Rows; i++ {
+		fields := make([]types.Value, len(cols))
 		for c := range cols {
 			fields[c] = cols[c][i]
 		}
@@ -256,19 +233,117 @@ func ReadColbin(r io.Reader) ([]types.Value, error) {
 	return out, nil
 }
 
-func readColumn(br *bufio.Reader, nrows int, t ColType) ([]types.Value, error) {
-	bitmap := make([]byte, (nrows+7)/8)
-	if _, err := io.ReadFull(br, bitmap); err != nil {
-		return nil, fmt.Errorf("data: colbin: %w", err)
+// ColbinInfo is an indexed colbin buffer: the decoded header plus the byte
+// extent of every column chunk, located by a cheap skip-scan that allocates
+// no values. Columns can then be decoded independently — and in parallel —
+// with DecodeColumn.
+type ColbinInfo struct {
+	Names []string
+	Types []ColType
+	Rows  int
+	// extents[c] holds column c's raw bytes: null bitmap + encoded chunk.
+	extents [][]byte
+}
+
+// ColbinHeader parses only the header of a colbin buffer — column names,
+// column types, row count — without touching the column chunks, so a
+// bounded prefix of a large file is enough. This is what makes a pending
+// colbin source's row count an O(header) stats hint.
+func ColbinHeader(buf []byte) (names []string, colTypes []ColType, rows int64, err error) {
+	cur := &byteCursor{buf: buf}
+	names, colTypes, nrows, err := readColbinHeader(cur)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return names, colTypes, int64(nrows), nil
+}
+
+// readColbinHeader consumes the header, leaving the cursor at the first
+// column chunk.
+func readColbinHeader(cur *byteCursor) (names []string, colTypes []ColType, nrows uint64, err error) {
+	magic, err := cur.take(4)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if string(magic) != colbinMagic {
+		return nil, nil, 0, fmt.Errorf("data: colbin: bad magic %q", magic)
+	}
+	ncols, err := cur.uvarint()
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	// Every column needs at least a 1-byte name length and a type byte, so a
+	// count beyond the remaining bytes is corrupt; checking up front keeps
+	// the allocations below proportional to the actual input.
+	if ncols > uint64(cur.remaining())/2 {
+		return nil, nil, 0, fmt.Errorf("data: colbin: column count %d exceeds input", ncols)
+	}
+	names = make([]string, ncols)
+	colTypes = make([]ColType, ncols)
+	for i := range names {
+		n, err := cur.str()
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		names[i] = n
+		tb, err := cur.byte()
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		colTypes[i] = ColType(tb)
+	}
+	nrows, err = cur.uvarint()
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return names, colTypes, nrows, nil
+}
+
+// IndexColbin reads the colbin header of buf and skip-scans the column
+// chunks to find their byte extents.
+func IndexColbin(buf []byte) (*ColbinInfo, error) {
+	cur := &byteCursor{buf: buf}
+	names, colTypes, nrows, err := readColbinHeader(cur)
+	if err != nil {
+		return nil, err
+	}
+	info := &ColbinInfo{Names: names, Types: colTypes}
+	if len(names) == 0 || nrows == 0 {
+		return info, nil
+	}
+	// Each column carries a ceil(nrows/8)-byte null bitmap, bounding the row
+	// count by the bytes actually present.
+	if nrows > uint64(cur.remaining())*8 {
+		return nil, fmt.Errorf("data: colbin: row count %d exceeds input", nrows)
+	}
+	info.Rows = int(nrows)
+	info.extents = make([][]byte, len(names))
+	for c := range info.extents {
+		start := cur.off
+		if err := skipColumn(cur, info.Rows, info.Types[c]); err != nil {
+			return nil, err
+		}
+		info.extents[c] = buf[start:cur.off]
+	}
+	return info, nil
+}
+
+// DecodeColumn decodes column c into one value per row.
+func (info *ColbinInfo) DecodeColumn(c int) ([]types.Value, error) {
+	cur := &byteCursor{buf: info.extents[c]}
+	nrows := info.Rows
+	bitmap, err := cur.take((nrows + 7) / 8)
+	if err != nil {
+		return nil, err
 	}
 	isNull := func(i int) bool { return bitmap[i/8]&(1<<(i%8)) != 0 }
 	out := make([]types.Value, nrows)
-	switch t {
+	switch info.Types[c] {
 	case ColInt:
 		for i := 0; i < nrows; i++ {
-			n, err := binary.ReadVarint(br)
+			n, err := cur.varint()
 			if err != nil {
-				return nil, fmt.Errorf("data: colbin: %w", err)
+				return nil, err
 			}
 			if isNull(i) {
 				out[i] = types.Null()
@@ -277,22 +352,22 @@ func readColumn(br *bufio.Reader, nrows int, t ColType) ([]types.Value, error) {
 			}
 		}
 	case ColFloat:
-		buf := make([]byte, 8)
 		for i := 0; i < nrows; i++ {
-			if _, err := io.ReadFull(br, buf); err != nil {
-				return nil, fmt.Errorf("data: colbin: %w", err)
+			b, err := cur.take(8)
+			if err != nil {
+				return nil, err
 			}
 			if isNull(i) {
 				out[i] = types.Null()
 			} else {
-				out[i] = types.Float(math.Float64frombits(binary.LittleEndian.Uint64(buf)))
+				out[i] = types.Float(math.Float64frombits(binary.LittleEndian.Uint64(b)))
 			}
 		}
 	case ColBool:
 		for i := 0; i < nrows; i++ {
-			b, err := br.ReadByte()
+			b, err := cur.byte()
 			if err != nil {
-				return nil, fmt.Errorf("data: colbin: %w", err)
+				return nil, err
 			}
 			if isNull(i) {
 				out[i] = types.Null()
@@ -301,7 +376,7 @@ func readColumn(br *bufio.Reader, nrows int, t ColType) ([]types.Value, error) {
 			}
 		}
 	case ColString:
-		vals, err := readStringChunk(br, nrows)
+		vals, err := decodeStringChunk(cur, nrows)
 		if err != nil {
 			return nil, err
 		}
@@ -316,14 +391,18 @@ func readColumn(br *bufio.Reader, nrows int, t ColType) ([]types.Value, error) {
 		lengths := make([]int, nrows)
 		total := 0
 		for i := 0; i < nrows; i++ {
-			n, err := binary.ReadUvarint(br)
+			n, err := cur.uvarint()
 			if err != nil {
-				return nil, fmt.Errorf("data: colbin: %w", err)
+				return nil, err
+			}
+			// Every flat entry costs at least one dictionary-index byte.
+			if n > uint64(cur.remaining()) || total+int(n) > cur.remaining() {
+				return nil, fmt.Errorf("data: colbin: list lengths exceed input")
 			}
 			lengths[i] = int(n)
 			total += int(n)
 		}
-		flat, err := readStringChunk(br, total)
+		flat, err := decodeStringChunk(cur, total)
 		if err != nil {
 			return nil, err
 		}
@@ -342,19 +421,90 @@ func readColumn(br *bufio.Reader, nrows int, t ColType) ([]types.Value, error) {
 			out[i] = types.ListOf(elems)
 		}
 	default:
-		return nil, fmt.Errorf("data: colbin: unknown column type %d", t)
+		return nil, fmt.Errorf("data: colbin: unknown column type %d", info.Types[c])
 	}
 	return out, nil
 }
 
-func readStringChunk(br *bufio.Reader, n int) ([]string, error) {
-	dictSize, err := binary.ReadUvarint(br)
+// skipColumn advances the cursor past one column chunk without decoding any
+// values, so IndexColbin can hand each column's extent to a parallel decoder.
+func skipColumn(cur *byteCursor, nrows int, t ColType) error {
+	if _, err := cur.take((nrows + 7) / 8); err != nil {
+		return err
+	}
+	switch t {
+	case ColInt:
+		for i := 0; i < nrows; i++ {
+			if _, err := cur.varint(); err != nil {
+				return err
+			}
+		}
+	case ColFloat:
+		if _, err := cur.take(8 * nrows); err != nil {
+			return err
+		}
+	case ColBool:
+		if _, err := cur.take(nrows); err != nil {
+			return err
+		}
+	case ColString:
+		return skipStringChunk(cur, nrows)
+	case ColStringList:
+		total := 0
+		for i := 0; i < nrows; i++ {
+			n, err := cur.uvarint()
+			if err != nil {
+				return err
+			}
+			if n > uint64(cur.remaining()) || total+int(n) > cur.remaining() {
+				return fmt.Errorf("data: colbin: list lengths exceed input")
+			}
+			total += int(n)
+		}
+		return skipStringChunk(cur, total)
+	default:
+		return fmt.Errorf("data: colbin: unknown column type %d", t)
+	}
+	return nil
+}
+
+func skipStringChunk(cur *byteCursor, n int) error {
+	dictSize, err := cur.uvarint()
 	if err != nil {
-		return nil, fmt.Errorf("data: colbin: %w", err)
+		return err
+	}
+	// Each dictionary entry costs at least its 1-byte length prefix.
+	if dictSize > uint64(cur.remaining()) {
+		return fmt.Errorf("data: colbin: dictionary size %d exceeds input", dictSize)
+	}
+	for i := uint64(0); i < dictSize; i++ {
+		l, err := cur.uvarint()
+		if err != nil {
+			return err
+		}
+		if _, err := cur.take(int(l)); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < n; i++ {
+		if _, err := cur.uvarint(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func decodeStringChunk(cur *byteCursor, n int) ([]string, error) {
+	dictSize, err := cur.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if dictSize > uint64(cur.remaining()) {
+		return nil, fmt.Errorf("data: colbin: dictionary size %d exceeds input", dictSize)
 	}
 	dict := make([]string, dictSize)
 	for i := range dict {
-		s, err := readString(br)
+		s, err := cur.str()
 		if err != nil {
 			return nil, err
 		}
@@ -362,11 +512,11 @@ func readStringChunk(br *bufio.Reader, n int) ([]string, error) {
 	}
 	out := make([]string, n)
 	for i := 0; i < n; i++ {
-		idx, err := binary.ReadUvarint(br)
+		idx, err := cur.uvarint()
 		if err != nil {
-			return nil, fmt.Errorf("data: colbin: %w", err)
+			return nil, err
 		}
-		if idx == 0 || int(idx) > len(dict) {
+		if idx == 0 || idx > uint64(len(dict)) {
 			out[i] = ""
 		} else {
 			out[i] = dict[idx-1]
@@ -375,16 +525,61 @@ func readStringChunk(br *bufio.Reader, n int) ([]string, error) {
 	return out, nil
 }
 
-func readString(br *bufio.Reader) (string, error) {
-	n, err := binary.ReadUvarint(br)
+// byteCursor walks a byte buffer with bounds-checked reads, so corrupt
+// headers can never trigger allocations larger than the input itself.
+type byteCursor struct {
+	buf []byte
+	off int
+}
+
+func (c *byteCursor) remaining() int { return len(c.buf) - c.off }
+
+func (c *byteCursor) take(n int) ([]byte, error) {
+	if n < 0 || n > c.remaining() {
+		return nil, fmt.Errorf("data: colbin: truncated input (want %d bytes, have %d)", n, c.remaining())
+	}
+	b := c.buf[c.off : c.off+n]
+	c.off += n
+	return b, nil
+}
+
+func (c *byteCursor) byte() (byte, error) {
+	if c.remaining() < 1 {
+		return 0, fmt.Errorf("data: colbin: truncated input")
+	}
+	b := c.buf[c.off]
+	c.off++
+	return b, nil
+}
+
+func (c *byteCursor) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(c.buf[c.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("data: colbin: bad uvarint")
+	}
+	c.off += n
+	return v, nil
+}
+
+func (c *byteCursor) varint() (int64, error) {
+	v, n := binary.Varint(c.buf[c.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("data: colbin: bad varint")
+	}
+	c.off += n
+	return v, nil
+}
+
+func (c *byteCursor) str() (string, error) {
+	n, err := c.uvarint()
 	if err != nil {
-		return "", fmt.Errorf("data: colbin: %w", err)
+		return "", err
 	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(br, buf); err != nil {
-		return "", fmt.Errorf("data: colbin: %w", err)
+	b, err := c.take(int(n))
+	if err != nil {
+		return "", err
 	}
-	return string(buf), nil
+	return string(b), nil
 }
 
 func writeUvarint(bw *bufio.Writer, v uint64) {

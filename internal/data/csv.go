@@ -60,7 +60,7 @@ func ReadCSV(r io.Reader) ([]types.Value, error) {
 	}
 	header := rows[0]
 	schema := types.NewSchema(header...)
-	colTypes := inferTypes(rows[1:], len(header))
+	colTypes := InferColumnTypes([][][]string{rows[1:]}, len(header))
 	out := make([]types.Value, 0, len(rows)-1)
 	for _, row := range rows[1:] {
 		fields := make([]types.Value, len(header))
@@ -69,40 +69,48 @@ func ReadCSV(r io.Reader) ([]types.Value, error) {
 			if i < len(row) {
 				cell = row[i]
 			}
-			fields[i] = parseCell(cell, colTypes[i])
+			fields[i] = ParseCell(cell, colTypes[i])
 		}
 		out = append(out, types.NewRecord(schema, fields))
 	}
 	return out, nil
 }
 
-func inferTypes(rows [][]string, cols int) []ColType {
+// InferColumnTypes infers one ColType per column (int, then float, then
+// string) over raw CSV cells supplied as one or more row chunks. The chunked
+// signature lets a partition-parallel loader infer types globally — the whole
+// file votes on every column, exactly as if the chunks were one slice — while
+// each chunk keeps its own backing array.
+func InferColumnTypes(chunks [][][]string, cols int) []ColType {
 	out := make([]ColType, cols)
 	for i := 0; i < cols; i++ {
 		t := ColInt
 		seen := false
-		for _, row := range rows {
-			if i >= len(row) || row[i] == "" {
-				continue
-			}
-			seen = true
-			cell := row[i]
-			switch t {
-			case ColInt:
-				if _, err := strconv.ParseInt(cell, 10, 64); err != nil {
-					if _, ferr := strconv.ParseFloat(cell, 64); ferr == nil {
-						t = ColFloat
-					} else {
+	scan:
+		for _, rows := range chunks {
+			for _, row := range rows {
+				if i >= len(row) || row[i] == "" {
+					continue
+				}
+				seen = true
+				cell := row[i]
+				switch t {
+				case ColInt:
+					if _, err := strconv.ParseInt(cell, 10, 64); err != nil {
+						if _, ferr := strconv.ParseFloat(cell, 64); ferr == nil {
+							t = ColFloat
+						} else {
+							t = ColString
+						}
+					}
+				case ColFloat:
+					if _, err := strconv.ParseFloat(cell, 64); err != nil {
 						t = ColString
 					}
 				}
-			case ColFloat:
-				if _, err := strconv.ParseFloat(cell, 64); err != nil {
-					t = ColString
+				if t == ColString {
+					break scan
 				}
-			}
-			if t == ColString {
-				break
 			}
 		}
 		if !seen {
@@ -113,7 +121,12 @@ func inferTypes(rows [][]string, cols int) []ColType {
 	return out
 }
 
-func parseCell(cell string, t ColType) types.Value {
+// ParseCell converts one raw CSV cell into a Value of the column's inferred
+// type. Empty cells are nulls — never typed zero values — matching the null
+// semantics of the JSON and XML readers; cells that fail to parse as the
+// column type fall back to strings rather than erroring, since dirty data is
+// the product's whole point.
+func ParseCell(cell string, t ColType) types.Value {
 	if cell == "" {
 		return types.Null()
 	}

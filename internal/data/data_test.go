@@ -324,3 +324,184 @@ func TestColTypeString(t *testing.T) {
 		t.Fatal("ColType names")
 	}
 }
+
+// TestCSVEmptyCellsAreNulls locks in the null contract of ParseCell: an
+// empty cell is a null in every inferred column type — never a typed zero
+// value — matching the null handling of the JSON and XML readers. Short
+// rows behave as if their missing cells were empty.
+func TestCSVEmptyCellsAreNulls(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		col  string
+		row  int
+		want types.Kind
+	}{
+		{"empty int cell", "i,s\n1,a\n,b\n", "i", 1, types.KindNull},
+		{"empty float cell", "f,s\n1.5,a\n,b\n", "f", 1, types.KindNull},
+		{"empty string cell", "s,t\nx,a\n,b\n", "s", 1, types.KindNull},
+		{"short row missing int", "s,i\na,1\nb\n", "i", 1, types.KindNull},
+		{"short row missing string", "i,s\n1,a\n2\n", "s", 1, types.KindNull},
+		{"quoted empty cell", "i,s\n1,a\n\"\",b\n", "i", 1, types.KindNull},
+		{"all-empty column stays null", "i,e\n1,\n2,\n", "e", 0, types.KindNull},
+		{"populated int cell", "i,s\n1,a\n,b\n", "i", 0, types.KindInt},
+		{"populated float cell", "f,s\n1.5,a\n,b\n", "f", 0, types.KindFloat},
+		{"whitespace cell is a string", "i,s\n1,a\n ,b\n", "i", 1, types.KindString},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rows, err := ReadCSV(strings.NewReader(tc.in))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := rows[tc.row].Field(tc.col).Kind()
+			if got != tc.want {
+				t.Fatalf("%s[%d] kind = %v, want %v", tc.col, tc.row, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestParseCellTable exercises ParseCell directly: empties are nulls for
+// every column type, and cells that fail to parse fall back to strings.
+func TestParseCellTable(t *testing.T) {
+	cases := []struct {
+		cell string
+		t    ColType
+		want types.Value
+	}{
+		{"", ColInt, types.Null()},
+		{"", ColFloat, types.Null()},
+		{"", ColString, types.Null()},
+		{"", ColBool, types.Null()},
+		{"42", ColInt, types.Int(42)},
+		{"-7", ColInt, types.Int(-7)},
+		{"1.5", ColFloat, types.Float(1.5)},
+		{"2", ColFloat, types.Float(2)},
+		{"x", ColString, types.String("x")},
+		{"abc", ColInt, types.String("abc")},   // mismatch falls back to string
+		{"abc", ColFloat, types.String("abc")}, // mismatch falls back to string
+		{"0", ColString, types.String("0")},
+	}
+	for _, tc := range cases {
+		got := ParseCell(tc.cell, tc.t)
+		if !types.Equal(got, tc.want) || got.Kind() != tc.want.Kind() {
+			t.Errorf("ParseCell(%q, %v) = %v (%v), want %v (%v)",
+				tc.cell, tc.t, got, got.Kind(), tc.want, tc.want.Kind())
+		}
+	}
+}
+
+// TestInferColumnTypesChunked checks that chunked inference equals
+// single-slice inference regardless of how rows are split — the property
+// the parallel CSV loader relies on for identical typing.
+func TestInferColumnTypesChunked(t *testing.T) {
+	rows := [][]string{
+		{"1", "1.5", "x", ""},
+		{"2", "2", "y", ""},
+		{"3.5", "z", "", ""},
+		{"4", "5", "7", ""},
+	}
+	want := InferColumnTypes([][][]string{rows}, 4)
+	if want[0] != ColFloat || want[1] != ColString || want[2] != ColString || want[3] != ColString {
+		t.Fatalf("baseline inference = %v", want)
+	}
+	for split := 1; split < len(rows); split++ {
+		got := InferColumnTypes([][][]string{rows[:split], rows[split:]}, 4)
+		for c := range want {
+			if got[c] != want[c] {
+				t.Fatalf("split %d col %d: %v, want %v", split, c, got[c], want[c])
+			}
+		}
+	}
+}
+
+// TestColbinCorruptInputs feeds truncated and size-lying buffers to the
+// indexed reader: every one must fail with an error — no panics, no
+// input-independent allocations.
+func TestColbinCorruptInputs(t *testing.T) {
+	var good bytes.Buffer
+	schema := types.NewSchema("a", "b")
+	if err := WriteColbin(&good, []types.Value{
+		types.NewRecord(schema, []types.Value{types.Int(1), types.String("x")}),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	buf := good.Bytes()
+	for n := 4; n < len(buf); n++ {
+		if _, err := ReadColbin(bytes.NewReader(buf[:n])); err == nil {
+			t.Fatalf("truncation at %d bytes should error", n)
+		}
+	}
+	for _, tc := range []struct {
+		name string
+		in   []byte
+	}{
+		{"huge ncols", []byte("CBN1\xff\xff\xff\xff\x0f")},
+		{"huge nrows", append([]byte("CBN1\x01\x01a\x00"), 0xff, 0xff, 0xff, 0xff, 0x0f)},
+		{"huge dict", []byte("CBN1\x01\x01a\x00\x01\x00\xff\xff\xff\xff\x0f")},
+		{"unknown col type", []byte("CBN1\x01\x01a\x09\x01\x00\x00")},
+	} {
+		if _, err := ReadColbin(bytes.NewReader(tc.in)); err == nil {
+			t.Errorf("%s should error", tc.name)
+		}
+	}
+}
+
+// TestColbinIndexParallelDecode checks the index/decode pair the
+// column-parallel loader uses: extents decode independently to the same
+// values the sequential reader produces.
+func TestColbinIndexParallelDecode(t *testing.T) {
+	schema := types.NewSchema("i", "s", "l")
+	rows := make([]types.Value, 50)
+	for i := range rows {
+		rows[i] = types.NewRecord(schema, []types.Value{
+			types.Int(int64(i)),
+			types.String("v" + string(rune('a'+i%3))),
+			types.List(types.String("t"), types.String("u")),
+		})
+	}
+	var buf bytes.Buffer
+	if err := WriteColbin(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	info, err := IndexColbin(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Rows != 50 || len(info.Names) != 3 {
+		t.Fatalf("info = %+v", info)
+	}
+	for c := range info.Names {
+		vals, err := info.DecodeColumn(c)
+		if err != nil {
+			t.Fatalf("col %d: %v", c, err)
+		}
+		for i, v := range vals {
+			want := rows[i].Record().Fields[c]
+			if !types.Equal(v, want) {
+				t.Fatalf("col %d row %d = %v, want %v", c, i, v, want)
+			}
+		}
+	}
+}
+
+// TestJSONSchemaKeyCollision guards the schema-cache key against name sets
+// that differ only in where a space falls: {"a b","c"} and {"a","b c"} must
+// get distinct schemas (a space-joined cache key conflated them).
+func TestJSONSchemaKeyCollision(t *testing.T) {
+	in := `{"a b":1,"c":2}` + "\n" + `{"a":3,"b c":4}` + "\n"
+	rows, err := ReadJSON(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := rows[0].Field("a b").Int(); n != 1 {
+		t.Fatalf(`rows[0]["a b"] = %d, want 1`, n)
+	}
+	if n := rows[1].Field("b c").Int(); n != 4 {
+		t.Fatalf(`rows[1]["b c"] = %d, want 4 (schema collision?)`, n)
+	}
+	if n := rows[1].Field("a").Int(); n != 3 {
+		t.Fatalf(`rows[1]["a"] = %d, want 3`, n)
+	}
+}

@@ -8,20 +8,82 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strings"
+	"sync"
 
 	"cleandb/internal/types"
 )
+
+// SchemaCache shares record schemas across readers so records with equal
+// field-name sets share one *types.Schema. It is safe for concurrent use,
+// which lets partition-parallel JSON loaders preserve the schema-sharing
+// behaviour of the sequential reader.
+type SchemaCache struct {
+	mu sync.Mutex
+	m  map[string]*types.Schema
+}
+
+// NewSchemaCache returns an empty schema cache.
+func NewSchemaCache() *SchemaCache {
+	return &SchemaCache{m: map[string]*types.Schema{}}
+}
+
+// schemaKey renders sorted field names unambiguously. NUL never appears in
+// JSON object keys, so distinct name sets get distinct cache keys — a
+// space-joined rendering would conflate {"a b","c"} with {"a","b c"}.
+func schemaKey(names []string) string { return strings.Join(names, "\x00") }
+
+func (c *SchemaCache) intern(key string, names []string) *types.Schema {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.m[key]
+	if !ok {
+		s = types.NewSchema(names...)
+		c.m[key] = s
+	}
+	return s
+}
+
+// schemaInterner is one reader's view of a SchemaCache: a lock-free local
+// map in front of the shared one, so parallel chunk readers take the shared
+// mutex only on first sight of a name set instead of once per record.
+type schemaInterner struct {
+	local  map[string]*types.Schema
+	shared *SchemaCache
+}
+
+func (si *schemaInterner) For(names []string) *types.Schema {
+	key := schemaKey(names)
+	if s, ok := si.local[key]; ok {
+		return s
+	}
+	s := si.shared.intern(key, names)
+	si.local[key] = s
+	return s
+}
 
 // ReadJSON parses JSON-lines input (one object per line) into record values.
 // Nested objects become nested records, arrays become lists; numbers parse
 // as ints when integral, floats otherwise. Field order is canonical
 // (sorted), so records with equal keys share a schema.
 func ReadJSON(r io.Reader) ([]types.Value, error) {
-	sc := bufio.NewScanner(r)
+	buf, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("data: json: %w", err)
+	}
+	return ReadJSONChunk(buf, 1, NewSchemaCache())
+}
+
+// ReadJSONChunk parses one byte range of a JSON-lines input whose first line
+// has 1-based number firstLine (for error messages), sharing record schemas
+// through the cache. Splitting an input at line boundaries and concatenating
+// the per-chunk results yields exactly what ReadJSON produces on the whole.
+func ReadJSONChunk(buf []byte, firstLine int, schemas *SchemaCache) ([]types.Value, error) {
+	sc := bufio.NewScanner(bytes.NewReader(buf))
 	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	interner := &schemaInterner{local: map[string]*types.Schema{}, shared: schemas}
 	var out []types.Value
-	schemas := map[string]*types.Schema{}
-	line := 0
+	line := firstLine - 1
 	for sc.Scan() {
 		line++
 		raw := bytes.TrimSpace(sc.Bytes())
@@ -34,7 +96,7 @@ func ReadJSON(r io.Reader) ([]types.Value, error) {
 		if err := dec.Decode(&v); err != nil {
 			return nil, fmt.Errorf("data: json line %d: %w", line, err)
 		}
-		out = append(out, fromJSON(v, schemas))
+		out = append(out, fromJSON(v, interner))
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("data: json: %w", err)
@@ -42,7 +104,7 @@ func ReadJSON(r io.Reader) ([]types.Value, error) {
 	return out, nil
 }
 
-func fromJSON(v interface{}, schemas map[string]*types.Schema) types.Value {
+func fromJSON(v interface{}, schemas *schemaInterner) types.Value {
 	switch x := v.(type) {
 	case nil:
 		return types.Null()
@@ -71,12 +133,7 @@ func fromJSON(v interface{}, schemas map[string]*types.Schema) types.Value {
 			names = append(names, k)
 		}
 		sort.Strings(names)
-		key := fmt.Sprint(names)
-		schema, ok := schemas[key]
-		if !ok {
-			schema = types.NewSchema(names...)
-			schemas[key] = schema
-		}
+		schema := schemas.For(names)
 		fields := make([]types.Value, len(names))
 		for i, n := range names {
 			fields[i] = fromJSON(x[n], schemas)

@@ -1,0 +1,198 @@
+package source
+
+import (
+	"bytes"
+	"context"
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+
+	"cleandb/internal/data"
+	"cleandb/internal/types"
+)
+
+// CSV is a CSV source (header row, type-inferred columns). Its Scan splits
+// the body on row boundaries and parses the chunks on parallel goroutines;
+// only type inference — which needs every chunk's vote — runs between the
+// two parallel phases.
+type CSV struct {
+	src bytesAt
+}
+
+// NewCSVFile returns a lazy CSV source over a file path.
+func NewCSVFile(path string) *CSV { return &CSV{src: bytesAt{path: path}} }
+
+// CSVBytes returns a CSV source over an in-memory buffer.
+func CSVBytes(buf []byte) *CSV { return &CSV{src: bytesAt{buf: buf}} }
+
+// Format implements Source.
+func (s *CSV) Format() string { return "csv" }
+
+// Schema returns the header row's column names without parsing the body.
+// File-backed sources read a bounded prefix — a header longer than
+// headPrefixBytes is reported as an error rather than silently truncated.
+func (s *CSV) Schema() ([]string, error) {
+	buf, complete, err := s.src.head(headPrefixBytes)
+	if err != nil {
+		return nil, err
+	}
+	if len(buf) == 0 {
+		return nil, nil
+	}
+	cr := csv.NewReader(bytes.NewReader(buf))
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err == io.EOF {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("source: csv: %w", err)
+	}
+	// A header record consuming the whole prefix of a larger file may have
+	// been cut mid-record (csv EOF-terminates partial records without
+	// error); refuse to guess.
+	if !complete && int(cr.InputOffset()) == len(buf) {
+		return nil, fmt.Errorf("source: csv: header record exceeds %d-byte prefix", headPrefixBytes)
+	}
+	return header, nil
+}
+
+// Stats implements Source: the byte size is knowable, the row count is not.
+func (s *CSV) Stats() (Stats, error) {
+	return Stats{Rows: -1, Bytes: s.src.sizeBytes()}, nil
+}
+
+// Scan implements Source with a three-phase partition-parallel load:
+// chunk the body at row boundaries, parse chunks concurrently into raw
+// cells, infer column types globally, then build typed records concurrently
+// — each chunk landing as one ordered partition.
+func (s *CSV) Scan(ctx context.Context, parts int) ([][]types.Value, error) {
+	buf, err := s.src.bytes()
+	if err != nil {
+		return nil, err
+	}
+	return scanCSV(ctx, buf, parts)
+}
+
+func scanCSV(ctx context.Context, buf []byte, parts int) ([][]types.Value, error) {
+	if parts < 1 {
+		parts = 1
+	}
+	if len(buf) == 0 {
+		return nil, nil
+	}
+	// Let the csv reader itself find the header record's end: it skips
+	// blank leading lines and handles quoting/CRLF exactly as the
+	// sequential reader does, and InputOffset marks where the body starts.
+	hr := csv.NewReader(bytes.NewReader(buf))
+	hr.FieldsPerRecord = -1
+	header, err := hr.Read()
+	if err == io.EOF {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("source: csv: %w", err)
+	}
+	hEnd := int(hr.InputOffset())
+	headerLines := bytes.Count(buf[:hEnd], []byte{'\n'})
+	chunks, baseLines := splitCSVBody(buf[hEnd:], parts)
+
+	// Phase 1: parse raw cells per chunk, in parallel. Parse errors are
+	// rebased from chunk-relative to absolute file line numbers, matching
+	// what the sequential reader reports for the same input.
+	raw := make([][][]string, len(chunks))
+	err = runParallel(ctx, len(chunks), parts, func(i int) error {
+		cr := csv.NewReader(bytes.NewReader(chunks[i]))
+		cr.FieldsPerRecord = -1
+		rows, err := cr.ReadAll()
+		if err != nil {
+			var pe *csv.ParseError
+			if errors.As(err, &pe) {
+				pe.Line += headerLines + baseLines[i]
+				if pe.StartLine > 0 {
+					pe.StartLine += headerLines + baseLines[i]
+				}
+			}
+			return fmt.Errorf("source: csv: %w", err)
+		}
+		raw[i] = rows
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2: global type inference — every chunk votes on every column, so
+	// the result matches the sequential reader exactly.
+	colTypes := data.InferColumnTypes(raw, len(header))
+
+	// Phase 3: build typed records per chunk, in parallel, landing each
+	// chunk as one ordered partition.
+	schema := types.NewSchema(header...)
+	out := make([][]types.Value, len(chunks))
+	err = runParallel(ctx, len(chunks), parts, func(i int) error {
+		rows := raw[i]
+		vals := make([]types.Value, len(rows))
+		for j, row := range rows {
+			fields := make([]types.Value, len(header))
+			for c := range header {
+				var cell string
+				if c < len(row) {
+					cell = row[c]
+				}
+				fields[c] = data.ParseCell(cell, colTypes[c])
+			}
+			vals[j] = types.NewRecord(schema, fields)
+		}
+		out[i] = vals
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// splitCSVBody cuts the post-header bytes into at most parts chunks, each
+// starting on a record boundary, aiming for even byte sizes, and reports
+// the number of input lines preceding each chunk (for absolute error line
+// numbers). A newline is a record boundary iff it is outside quotes, and
+// quote-parity tracking is exact for well-formed CSV (the RFC 4180 escape
+// "" toggles twice and nets out). The scan hops newline to newline with
+// IndexByte and counts quotes per line with Count — both memchr-speed —
+// instead of inspecting every byte, so boundary finding stays a small
+// fraction of the parse it enables.
+func splitCSVBody(body []byte, parts int) (chunks [][]byte, baseLines []int) {
+	if len(body) == 0 {
+		return nil, nil
+	}
+	starts := []int{0}
+	baseLines = []int{0}
+	pos, line, inQ := 0, 0, false
+	for pos < len(body) && len(starts) < parts {
+		j := bytes.IndexByte(body[pos:], '\n')
+		if j < 0 {
+			break
+		}
+		nl := pos + j
+		if bytes.Count(body[pos:nl], []byte{'"'})%2 == 1 {
+			inQ = !inQ
+		}
+		pos = nl + 1
+		line++
+		if !inQ && pos < len(body) && pos >= len(starts)*len(body)/parts {
+			starts = append(starts, pos)
+			baseLines = append(baseLines, line)
+		}
+	}
+	chunks = make([][]byte, len(starts))
+	for i := range starts {
+		end := len(body)
+		if i+1 < len(starts) {
+			end = starts[i+1]
+		}
+		chunks[i] = body[starts[i]:end]
+	}
+	return chunks, baseLines
+}

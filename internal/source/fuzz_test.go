@@ -1,0 +1,46 @@
+package source
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"cleandb/internal/data"
+	"cleandb/internal/types"
+)
+
+// FuzzCSVParallelMatchesSequential is the equivalence oracle for the
+// chunk-parallel CSV loader: whenever the seed sequential reader accepts an
+// input, every parallelism degree must accept it too and produce the same
+// rows in the same order. (When the sequential reader rejects an input the
+// chunked one is allowed to fail with a different message — both paths see
+// the same malformed bytes, just split differently.)
+func FuzzCSVParallelMatchesSequential(f *testing.F) {
+	f.Add([]byte("a,b\n1,x\n2,y\n"))
+	f.Add([]byte("id,name\n1,\"multi\nline\"\n2,\"esc\"\"aped\"\n"))
+	f.Add([]byte("a,b,c\n1,,3\n,2,\n"))
+	f.Add([]byte("h\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("a,b\r\n1,2\r\n"))
+	f.Fuzz(func(t *testing.T, in []byte) {
+		want, err := data.ReadCSV(bytes.NewReader(in))
+		if err != nil {
+			return
+		}
+		for _, parts := range []int{1, 2, 3, 8} {
+			got, err := CSVBytes(in).Scan(context.Background(), parts)
+			if err != nil {
+				t.Fatalf("parts=%d: sequential accepted but parallel failed: %v", parts, err)
+			}
+			flat := flatten(got)
+			if len(flat) != len(want) {
+				t.Fatalf("parts=%d: %d rows, want %d", parts, len(flat), len(want))
+			}
+			for i := range want {
+				if !types.Equal(flat[i], want[i]) {
+					t.Fatalf("parts=%d row %d: %v != %v", parts, i, flat[i], want[i])
+				}
+			}
+		}
+	})
+}

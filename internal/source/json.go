@@ -1,0 +1,102 @@
+package source
+
+import (
+	"context"
+
+	"cleandb/internal/data"
+	"cleandb/internal/types"
+)
+
+// JSON is a JSON-lines source (one object per line, nested records
+// supported). Lines are independent, so Scan splits the input at line
+// boundaries and parses the chunks on parallel goroutines; a shared
+// concurrency-safe schema cache preserves the sequential reader's
+// schema-sharing across partitions.
+type JSON struct {
+	src bytesAt
+}
+
+// NewJSONFile returns a lazy JSON-lines source over a file path.
+func NewJSONFile(path string) *JSON { return &JSON{src: bytesAt{path: path}} }
+
+// JSONBytes returns a JSON-lines source over an in-memory buffer.
+func JSONBytes(buf []byte) *JSON { return &JSON{src: bytesAt{buf: buf}} }
+
+// Format implements Source.
+func (s *JSON) Format() string { return "json" }
+
+// Schema implements Source; JSON objects carry their own field names, so
+// the column set is unknowable without parsing.
+func (s *JSON) Schema() ([]string, error) { return nil, nil }
+
+// Stats implements Source.
+func (s *JSON) Stats() (Stats, error) {
+	return Stats{Rows: -1, Bytes: s.src.sizeBytes()}, nil
+}
+
+// Scan implements Source by parsing line-boundary chunks in parallel.
+func (s *JSON) Scan(ctx context.Context, parts int) ([][]types.Value, error) {
+	buf, err := s.src.bytes()
+	if err != nil {
+		return nil, err
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	chunks, firstLines := splitLines(buf, parts)
+	cache := data.NewSchemaCache()
+	out := make([][]types.Value, len(chunks))
+	err = runParallel(ctx, len(chunks), parts, func(i int) error {
+		rows, err := data.ReadJSONChunk(chunks[i], firstLines[i], cache)
+		if err != nil {
+			return err
+		}
+		out[i] = rows
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Blank lines produce no rows, so some chunks may be empty; drop them so
+	// partition counts reflect data, not whitespace.
+	kept := out[:0]
+	for _, p := range out {
+		if len(p) > 0 {
+			kept = append(kept, p)
+		}
+	}
+	return kept, nil
+}
+
+// splitLines cuts buf into at most parts chunks at line boundaries, also
+// reporting each chunk's 1-based first line number so parse errors keep
+// their absolute positions.
+func splitLines(buf []byte, parts int) ([][]byte, []int) {
+	if len(buf) == 0 {
+		return nil, nil
+	}
+	starts := []int{0}
+	lines := []int{1}
+	if parts > 1 {
+		line := 1
+		for i := 0; i < len(buf)-1 && len(starts) < parts; i++ {
+			if buf[i] != '\n' {
+				continue
+			}
+			line++
+			if i+1 >= len(starts)*len(buf)/parts {
+				starts = append(starts, i+1)
+				lines = append(lines, line)
+			}
+		}
+	}
+	chunks := make([][]byte, len(starts))
+	for i := range starts {
+		end := len(buf)
+		if i+1 < len(starts) {
+			end = starts[i+1]
+		}
+		chunks[i] = buf[starts[i]:end]
+	}
+	return chunks, lines
+}

@@ -1,0 +1,212 @@
+// Package source is CleanDB's pluggable data-source layer: one interface
+// behind which every input format — CSV, JSON lines, XML, colbin, in-memory
+// rows — presents itself to the catalog.
+//
+// A Source is cheap to construct: building one records where the data lives
+// and nothing else. Parsing happens in Scan, which lands the rows directly
+// as ordered partitions so the engine can wrap them without a
+// collect-then-repartition copy, and which parallelizes wherever the format
+// permits: CSV splits on row boundaries across goroutines, JSON lines split
+// on line boundaries, colbin decodes its column chunks concurrently. XML is
+// the holdout — nested elements leave no safe split points short of parsing
+// — so it scans sequentially and only partitions the result.
+//
+// The catalog registers sources lazily and calls Scan on first use; Schema
+// and Stats answer what they can without a full parse (a CSV header, a
+// colbin row count, a file size) so tooling can describe pending sources.
+package source
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"cleandb/internal/types"
+)
+
+// Stats carries a source's pre-scan size hints. Fields are -1 when the
+// format cannot answer without a full parse.
+type Stats struct {
+	// Rows is the record count: exact for in-memory and colbin sources
+	// (colbin stores it in the header), -1 for text formats.
+	Rows int64
+	// Bytes is the encoded size: the file length for file-backed sources,
+	// the buffer length for in-memory bytes, -1 when unknown.
+	Bytes int64
+}
+
+// Source is a registered-but-not-necessarily-parsed data source.
+//
+// Implementations must be safe for concurrent use; Scan may be called more
+// than once and must return the same rows each time (for a file-backed
+// source, assuming the file is unchanged).
+type Source interface {
+	// Format names the source encoding: "csv", "json", "xml", "colbin",
+	// "mem".
+	Format() string
+	// Schema returns the column names when they are knowable without a full
+	// scan (a CSV header row, a colbin header), or nil when discovering them
+	// requires parsing the data (JSON, XML).
+	Schema() ([]string, error)
+	// Stats returns size hints without a full scan.
+	Stats() (Stats, error)
+	// Scan parses the source into at most parts ordered partitions.
+	// Concatenating the partitions in order yields exactly the rows the
+	// format's sequential reader produces. Cancelling ctx aborts the scan
+	// with ctx.Err(): chunk-parallel formats stop between chunks promptly;
+	// formats that must parse sequentially (XML) only notice cancellation
+	// at their phase boundaries.
+	Scan(ctx context.Context, parts int) ([][]types.Value, error)
+}
+
+// FromPath builds a file-backed source, inferring the format from the
+// path's extension. The file is not opened until Schema/Stats/Scan.
+func FromPath(path string) (Source, error) {
+	switch filepath.Ext(path) {
+	case ".csv":
+		return NewCSVFile(path), nil
+	case ".json", ".jsonl", ".ndjson":
+		return NewJSONFile(path), nil
+	case ".xml":
+		return NewXMLFile(path), nil
+	case ".colbin":
+		return NewColbinFile(path), nil
+	default:
+		return nil, fmt.Errorf("source: unknown format for %q (want .csv/.json/.xml/.colbin)", path)
+	}
+}
+
+// headPrefixBytes bounds how much of a file-backed source Schema/Stats read
+// when parsing just its header.
+const headPrefixBytes = 1 << 20
+
+// bytesAt abstracts "the raw bytes live here" for the file/buffer pairs of
+// constructors every format offers.
+type bytesAt struct {
+	path string // file-backed when non-empty
+	buf  []byte // in-memory otherwise
+}
+
+func (b bytesAt) bytes() ([]byte, error) {
+	if b.path != "" {
+		return os.ReadFile(b.path)
+	}
+	return b.buf, nil
+}
+
+// head returns up to n leading bytes of the input plus whether that prefix
+// is the complete input — header parsers use it to stay O(header) on huge
+// files while detecting when a header might continue past the prefix.
+func (b bytesAt) head(n int) (prefix []byte, complete bool, err error) {
+	if b.path == "" {
+		return b.buf, true, nil
+	}
+	f, err := os.Open(b.path)
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+	buf := make([]byte, n)
+	m, err := io.ReadFull(f, buf)
+	if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+		return nil, false, err
+	}
+	return buf[:m], m < n, nil
+}
+
+func (b bytesAt) sizeBytes() int64 {
+	if b.path != "" {
+		fi, err := os.Stat(b.path)
+		if err != nil {
+			return -1
+		}
+		return fi.Size()
+	}
+	return int64(len(b.buf))
+}
+
+// partition slices vs into at most n contiguous chunks without copying,
+// mirroring the engine's default partitioner so a sequentially parsed source
+// lands exactly like pre-partitioned data.
+func partition(vs []types.Value, n int) [][]types.Value {
+	if len(vs) == 0 {
+		return nil
+	}
+	if n < 1 {
+		n = 1
+	}
+	per := (len(vs) + n - 1) / n
+	var out [][]types.Value
+	for lo := 0; lo < len(vs); lo += per {
+		hi := lo + per
+		if hi > len(vs) {
+			hi = len(vs)
+		}
+		out = append(out, vs[lo:hi])
+	}
+	return out
+}
+
+// runParallel executes f(0..n-1) on at most width goroutines, stopping at
+// the first error or at ctx cancellation (in which case it returns
+// ctx.Err()). Every started goroutine exits before it returns.
+//
+// Scans are CPU-bound, so the goroutine count is additionally capped at
+// GOMAXPROCS: the partition count callers asked for is honored regardless,
+// but on a small machine extra goroutines are pure scheduling overhead.
+func runParallel(ctx context.Context, n, width int, f func(i int) error) error {
+	if n == 0 {
+		return ctx.Err()
+	}
+	if width > n {
+		width = n
+	}
+	if p := runtime.GOMAXPROCS(0); width > p {
+		width = p
+	}
+	if width <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return ctx.Err()
+	}
+	var (
+		wg       sync.WaitGroup
+		next     atomic.Int64
+		failed   atomic.Bool
+		errOnce  sync.Once
+		firstErr error
+	)
+	wg.Add(width)
+	for w := 0; w < width; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() || ctx.Err() != nil {
+					return
+				}
+				if err := f(i); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}

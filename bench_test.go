@@ -14,6 +14,7 @@ package cleandb_test
 import (
 	"bytes"
 	"context"
+	"io"
 	"testing"
 
 	"cleandb"
@@ -488,4 +489,99 @@ func BenchmarkRegisterAndFirstQuery(b *testing.B) {
 			}
 		}
 	})
+}
+
+// --- Streaming export vs materialized export (the output half of the
+// data-source API). Acceptance: on a ~100k-row result the streaming path
+// must allocate O(partition) beyond the encode itself, where the
+// materialized path builds the flat copy plus the whole answer buffer. The
+// peak-buffer-B metric makes the difference direct: bytes the exporter held
+// beyond the partition being encoded.
+
+// exportBenchDB registers the 100k-row customer dataset used by the export
+// benchmarks.
+func exportBenchDB(b *testing.B) *cleandb.DB {
+	b.Helper()
+	rows := datagen.GenCustomer(datagen.CustomerConfig{
+		Rows: ingestCSVRows, DupRate: 0.05, MaxDups: 10, Seed: 42,
+	}).Rows
+	db := cleandb.Open(cleandb.WithWorkers(8))
+	db.RegisterRows("customer", rows)
+	return db
+}
+
+const exportQuery = `SELECT * FROM customer c`
+
+// BenchmarkExportMaterialized is the pre-sink export path: materialize the
+// full result slice (the old per-call defensive copy), render everything
+// into one answer buffer, then ship the buffer.
+func BenchmarkExportMaterialized(b *testing.B) {
+	db := exportBenchDB(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var peak int64
+	for i := 0; i < b.N; i++ {
+		res, err := db.Query(exportQuery)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := res.Rows()
+		flat := make([]cleandb.Value, len(rows))
+		copy(flat, rows)
+		var buf bytes.Buffer
+		if err := data.WriteCSV(&buf, flat); err != nil {
+			b.Fatal(err)
+		}
+		if int64(buf.Len()) > peak {
+			peak = int64(buf.Len())
+		}
+		if _, err := io.Copy(io.Discard, &buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(peak), "peak-buffer-B")
+}
+
+// BenchmarkExportStreaming is the sink path: the same query pumped through
+// ExecuteTo into a CSV sink — partitions encode in parallel and stitch to
+// the writer in order, so nothing is retained beyond the partitions in
+// flight.
+func BenchmarkExportStreaming(b *testing.B) {
+	db := exportBenchDB(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var peak int64
+	for i := 0; i < b.N; i++ {
+		snk := cleandb.NewCSVSink(io.Discard)
+		res, err := db.ExecuteTo(context.Background(), exportQuery, snk)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Metrics().ExportedRows != int64(res.RowCount()) {
+			b.Fatalf("exported %d of %d rows", res.Metrics().ExportedRows, res.RowCount())
+		}
+		if p := snk.PeakBuffered(); p > peak {
+			peak = p
+		}
+	}
+	b.ReportMetric(float64(peak), "peak-buffer-B")
+}
+
+// BenchmarkResultRowsRepeated guards the memoized flat view: after the
+// first call, repeated Rows() reads on a 100k-row result must cost no
+// allocation at all (they were an O(n) copy per call before).
+func BenchmarkResultRowsRepeated(b *testing.B) {
+	db := exportBenchDB(b)
+	res, err := db.Query(exportQuery)
+	if err != nil {
+		b.Fatal(err)
+	}
+	want := len(res.Rows()) // builds the memo
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(res.Rows()) != want {
+			b.Fatal("rows changed between reads")
+		}
+	}
 }

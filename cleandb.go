@@ -25,6 +25,12 @@
 // engine partitions. The original Register* readers remain as eager
 // wrappers over the same machinery.
 //
+// Results leave the same way, through the pluggable Sink interface: Iter
+// streams a completed Result without flattening it, ExecuteTo pumps query
+// output partition-parallel into CSV / JSON-lines / colbin / in-memory
+// sinks under the query's context, and RepairedTo exports healed rows. Flat
+// accessors (Rows, TaskRows) remain, now memoized.
+//
 // Quickstart:
 //
 //	db := cleandb.Open()
@@ -44,6 +50,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"iter"
 	"sort"
 	"strings"
 	"sync"
@@ -51,6 +58,7 @@ import (
 	"cleandb/internal/core"
 	"cleandb/internal/engine"
 	"cleandb/internal/physical"
+	"cleandb/internal/sink"
 	"cleandb/internal/source"
 	"cleandb/internal/types"
 )
@@ -61,6 +69,37 @@ import (
 // JSON-lines, XML, colbin and in-memory implementations; RegisterSource
 // accepts third-party ones.
 type Source = source.Source
+
+// Sink is the output half of the data-source API: anything that accepts
+// Open(schema) / WritePartition(i, rows) / Close can receive query results
+// partition-parallel via ExecuteTo and RepairedTo. The sink subpackage
+// provides CSV, JSON-lines, colbin and in-memory implementations (see
+// NewCSVSink and friends); third-party ones just implement the interface.
+// WritePartition must tolerate concurrent calls with distinct indices and
+// emit partitions in index order.
+type Sink = sink.Sink
+
+// Sink constructors re-exported from the sink subpackage. The *File
+// constructors create their file at Open; SinkFromPath infers the format
+// from the path's extension (.csv, .json/.jsonl/.ndjson, .colbin).
+var (
+	// NewCSVSink streams CSV (header row, data.WriteCSV-compatible cells) to w.
+	NewCSVSink = sink.NewCSV
+	// NewCSVFileSink streams CSV to a file created at Open.
+	NewCSVFileSink = sink.NewCSVFile
+	// NewJSONLSink streams JSON lines to w.
+	NewJSONLSink = sink.NewJSONL
+	// NewJSONLFileSink streams JSON lines to a file created at Open.
+	NewJSONLFileSink = sink.NewJSONLFile
+	// NewColbinSink writes the binary columnar format to w (encodes at Close).
+	NewColbinSink = sink.NewColbin
+	// NewColbinFileSink writes colbin to a file created at Open.
+	NewColbinFileSink = sink.NewColbinFile
+	// NewMemSink collects results in memory, preserving partitions.
+	NewMemSink = sink.NewMem
+	// SinkFromPath builds a file sink, dispatching on the extension.
+	SinkFromPath = sink.FromPath
+)
 
 // SourceStats re-exports the source layer's pre-scan size hints (-1 fields
 // mean "unknown without a full parse").
@@ -628,6 +667,35 @@ func (db *DB) QueryContext(ctx context.Context, q string, args ...any) (*Result,
 	return &Result{inner: res, planReused: hit}, nil
 }
 
+// ExecuteTo executes a CleanM statement under ctx and pumps its primary
+// output straight into s instead of answering with a row buffer: the
+// result's engine partitions stream to the sink partition-parallel under
+// the query's job context, so cancelling ctx aborts the export exactly as
+// it aborts the operator loops, and no flattened copy of the result is ever
+// built — memory beyond the engine's own partitions is bounded by the
+// partitions in flight.
+//
+// The returned Result carries everything except a materialized answer:
+// metrics (including Metrics().ExportedRows), repair summaries (export
+// healed rows with RepairedTo), task names and counts. Its row accessors
+// still work — the partitions remain addressable — so printing a sample
+// after an export costs nothing extra.
+func (db *DB) ExecuteTo(ctx context.Context, q string, s Sink, args ...any) (*Result, error) {
+	prep, hit, err := db.prepare(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	params, err := bindArgs(prep.Params(), args)
+	if err != nil {
+		return nil, err
+	}
+	res, err := prep.ExecuteToContext(ctx, params, s)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{inner: res, planReused: hit}, nil
+}
+
 // PrepareStmt parses, de-sugars, normalizes and lowers a CleanM statement
 // through all three optimization levels exactly once and returns the
 // reusable Stmt. The heavy lifting (blocker fitting, plus loading any
@@ -668,6 +736,11 @@ func (db *DB) PlanCacheStats() CacheStats { return db.cache.stats() }
 
 // Result is a completed query. A Result is immutable and safe to share
 // across goroutines.
+//
+// Result rows live as partitioned views handed straight off the engine.
+// Iter streams them with no copy at all; Rows/TaskRows flatten on first use
+// and memoize the flat slice; RowCount/TaskRowCount answer without
+// materializing anything.
 type Result struct {
 	inner *core.Result
 	// planReused reports whether this execution reused an already-prepared
@@ -678,10 +751,35 @@ type Result struct {
 // Rows returns the query's primary output records. For multi-operator
 // cleaning queries this is the combined violation report (one record per
 // entity with at least one violation); for single operators, the violation
-// records; for plain queries, the projected rows. The returned slice is a
-// defensive copy of the slice header: appending to it cannot corrupt the
-// Result.
-func (r *Result) Rows() []Value { return copyRows(r.inner.Rows()) }
+// records; for plain queries, the projected rows.
+//
+// The slice is built on first call and memoized: repeated calls return the
+// same backing array, so treat it as read-only. It is allocated at exact
+// capacity — appending to it reallocates rather than corrupting the Result.
+// A query with no output rows returns nil (earlier versions returned a
+// non-nil empty slice); test emptiness with len or RowCount, not against
+// nil. Prefer Iter to stream without materializing, or RowCount when only
+// the size matters.
+func (r *Result) Rows() []Value { return r.inner.Rows() }
+
+// RowCount returns the number of primary output rows without flattening or
+// copying anything.
+func (r *Result) RowCount() int { return r.inner.Primary().Len() }
+
+// Iter returns a cursor over the primary output rows: a single-use sequence
+// that drains the engine's result partitions in order without building the
+// flat slice Rows returns. The error value exists for sinks and sources
+// that can fail mid-stream; iterating a completed in-memory Result never
+// yields one. Breaking out of the loop early is allowed and cheap.
+func (r *Result) Iter() iter.Seq2[Value, error] {
+	return func(yield func(Value, error) bool) {
+		for v := range r.inner.Primary().All() {
+			if !yield(v, nil) {
+				return
+			}
+		}
+	}
+}
 
 // TaskRows returns the output of the named cleaning operator task ("fd1",
 // "dedup1", "clusterby1", or "query"), or nil when the task is unknown or
@@ -696,14 +794,26 @@ func (r *Result) TaskRows(name string) []Value {
 // TaskRowsOK returns the output of the named cleaning operator task and
 // whether the task exists in this query — so an existing task with an empty
 // output (rows == nil, ok == true) is distinguishable from an unknown task
-// name (ok == false). The returned slice is a defensive copy.
+// name (ok == false). Like Rows, the slice is memoized and shared across
+// calls: treat it as read-only (appending is safe).
 func (r *Result) TaskRowsOK(name string) ([]Value, bool) {
 	for _, t := range r.inner.Tasks {
 		if t.Name == name {
-			return copyRows(t.Output), true
+			return t.Output.Rows(), true
 		}
 	}
 	return nil, false
+}
+
+// TaskRowCount returns the named task's output row count and whether the
+// task exists, without materializing the rows.
+func (r *Result) TaskRowCount(name string) (int, bool) {
+	for _, t := range r.inner.Tasks {
+		if t.Name == name {
+			return t.Output.Len(), true
+		}
+	}
+	return 0, false
 }
 
 // TaskNames lists the cleaning tasks of the query in order.
@@ -736,6 +846,9 @@ type QueryMetrics struct {
 	// plan instead of planning from scratch (always true for Stmt
 	// executions).
 	PlanCacheHit bool
+	// ExportedRows counts rows this execution pumped into a sink (ExecuteTo
+	// paths); zero for plain Query executions.
+	ExportedRows int64
 }
 
 // Metrics returns the cost counters of this execution alone.
@@ -746,6 +859,7 @@ func (r *Result) Metrics() QueryMetrics {
 		ShuffledRecords: r.inner.Stats.ShuffledRecords,
 		ShuffledBytes:   r.inner.Stats.ShuffledBytes,
 		PlanCacheHit:    r.planReused,
+		ExportedRows:    r.inner.Stats.ExportedRows,
 	}
 }
 
@@ -759,7 +873,9 @@ func (r *Result) Repairs() []*RepairSummary { return r.inner.Repairs() }
 // RepairedRows returns the healed rows of the named source after the query's
 // REPAIR clauses, or nil when the query repaired nothing in that source.
 // Successive REPAIR clauses on one source compose, so the last summary holds
-// the final rows. Re-register them (RegisterRows) to query the cleaned data.
+// the final rows. Re-register them (RegisterRows) to query the cleaned data,
+// or use RepairedTo to export them without the intermediate slice. The slice
+// is shared across calls: treat it as read-only (appending is safe).
 func (r *Result) RepairedRows(source string) []Value {
 	var rows []Value
 	for _, s := range r.inner.Repairs() {
@@ -767,19 +883,16 @@ func (r *Result) RepairedRows(source string) []Value {
 			rows = s.Rows
 		}
 	}
-	return copyRows(rows)
+	return rows
 }
 
-// copyRows copies the slice header so callers appending to a result cannot
-// corrupt internal task output shared with other views of the same Result.
-// Values themselves are immutable and shared.
-func copyRows(rows []Value) []Value {
-	if rows == nil {
-		return nil
-	}
-	out := make([]Value, len(rows))
-	copy(out, rows)
-	return out
+// RepairedTo pumps the healed rows of the named source — the final state
+// after every REPAIR clause on it — into s, partition-parallel under ctx,
+// and returns the number of rows written. Cancelling ctx aborts the export
+// between partitions, like ExecuteTo. It errors when the query repaired
+// nothing in that source.
+func (r *Result) RepairedTo(ctx context.Context, source string, s Sink) (int64, error) {
+	return r.inner.RepairedTo(ctx, source, s)
 }
 
 // Metrics reports the engine cost counters accumulated across all queries

@@ -130,10 +130,17 @@ DEDUP(attribute, LD, 0.5, c.address, c.name)`)
 		t.Fatal(err)
 	}
 	// Standalone mode: no combined output, per-task outputs available.
-	if res.Rows() == nil {
+	if _, ok := res.TaskRowCount("fd1"); !ok {
 		t.Fatal("first task output expected")
 	}
-	if res.TaskRows("dedup1") == nil {
+	n, ok := res.TaskRowCount("dedup1")
+	if !ok {
 		t.Fatal("dedup task output expected")
+	}
+	if len(res.TaskRows("dedup1")) != n {
+		t.Fatalf("TaskRows disagrees with TaskRowCount: %d vs %d", len(res.TaskRows("dedup1")), n)
+	}
+	if res.RowCount() != len(res.Rows()) {
+		t.Fatalf("RowCount %d != len(Rows) %d", res.RowCount(), len(res.Rows()))
 	}
 }

@@ -29,6 +29,7 @@ import (
 	"cleandb/internal/data"
 	"cleandb/internal/datagen"
 	"cleandb/internal/lang"
+	"cleandb/internal/sink"
 	"cleandb/internal/source"
 	"cleandb/internal/types"
 )
@@ -63,7 +64,8 @@ func usage() {
 
 subcommands:
   query    -src name=path [...] [-workers N] [-explain] [-limit N]
-           [-param k=v ...] [-timeout D] [-task NAME] [-serve] 'CLEANM QUERY'
+           [-param k=v ...] [-timeout D] [-task NAME] [-serve]
+           [-out out.{csv,jsonl,colbin}] 'CLEANM QUERY'
   gen      -kind tpch-lineitem|tpch-customer|dblp|mag -rows N -out path
   convert  -in path -out path [-workers N]
 
@@ -74,10 +76,15 @@ examples:
   cleandb query -src customer=customer.csv -param nation=7 \
     'SELECT * FROM customer c WHERE c.nationkey = :nation DEDUP(attribute, LD, 0.8, c.name)'
   cleandb query -src customer=customer.csv -serve < statements.cleanm
+  cleandb query -src customer=customer.csv -out violations.colbin \
+    'SELECT * FROM customer c FD(c.address, c.nationkey)'
 
 -serve reads one statement per line from stdin and executes them
 concurrently against the shared catalog (prepared plans are cached), which
-is how to exercise the service-grade API from the shell.`)
+is how to exercise the service-grade API from the shell.
+
+-out streams the result into the named file through the sink layer:
+partitions encode in parallel and nothing is printed or buffered whole.`)
 }
 
 type srcList []string
@@ -95,6 +102,7 @@ func cmdQuery(args []string) error {
 	explain := fs.Bool("explain", false, "print the three-level plan instead of executing")
 	limit := fs.Int("limit", 20, "max rows to print")
 	standalone := fs.Bool("standalone", false, "disable unified optimization")
+	outPath := fs.String("out", "", "stream result rows to this file instead of printing (.csv/.jsonl/.colbin)")
 	repairedOut := fs.String("repaired-out", "", "write REPAIR-healed rows to this file (format by extension)")
 	timeout := fs.Duration("timeout", 0, "per-statement deadline (0 = none)")
 	taskName := fs.String("task", "", "also print the named cleaning task's own output rows")
@@ -159,17 +167,32 @@ func cmdQuery(args []string) error {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	res, err := db.QueryContext(ctx, query, bindings...)
-	if err != nil {
-		return err
-	}
-	rows := res.Rows()
-	for i, r := range rows {
-		if i >= *limit {
-			fmt.Printf("... (%d more rows)\n", len(rows)-*limit)
-			break
+	var res *cleandb.Result
+	if *outPath != "" {
+		// Streaming export: result partitions pump straight into the file
+		// sink under the query's context — no printed rows, no flattened
+		// answer buffer.
+		snk, err := cleandb.SinkFromPath(*outPath)
+		if err != nil {
+			return fmt.Errorf("query: -out: %w", err)
 		}
-		fmt.Println(r)
+		if res, err = db.ExecuteTo(ctx, query, snk, bindings...); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "-- wrote %d rows to %s\n", res.Metrics().ExportedRows, *outPath)
+	} else {
+		if res, err = db.QueryContext(ctx, query, bindings...); err != nil {
+			return err
+		}
+		printed := 0
+		for r, _ := range res.Iter() {
+			if printed >= *limit {
+				fmt.Printf("... (%d more rows)\n", res.RowCount()-*limit)
+				break
+			}
+			fmt.Println(r)
+			printed++
+		}
 	}
 	if *taskName != "" {
 		taskRows, ok := res.TaskRowsOK(*taskName)
@@ -202,15 +225,32 @@ func cmdQuery(args []string) error {
 				return fmt.Errorf("query: -repaired-out supports repairs of a single source, got %s and %s", s.Source, last.Source)
 			}
 		}
-		if err := writeFile(*repairedOut, last.Rows); err != nil {
+		n, err := writeRows(ctx, *repairedOut, res, last.Source)
+		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "-- repaired %s written to %s (%d rows)\n", last.Source, *repairedOut, len(last.Rows))
+		fmt.Fprintf(os.Stderr, "-- repaired %s written to %s (%d rows)\n", last.Source, *repairedOut, n)
 	}
 	m := res.Metrics()
 	fmt.Fprintf(os.Stderr, "-- %d rows; %d ticks, %d comparisons, %d records shuffled\n",
-		len(rows), m.SimTicks, m.Comparisons, m.ShuffledRecords)
+		res.RowCount(), m.SimTicks, m.Comparisons, m.ShuffledRecords)
 	return nil
+}
+
+// writeRows exports a query's repaired rows for source through the sink
+// layer when the extension has a sink format, falling back to the
+// materialized writers for the formats only they speak (.xml). The query's
+// context governs the export too, so a -timeout covers the whole job.
+func writeRows(ctx context.Context, path string, res *cleandb.Result, source string) (int64, error) {
+	snk, err := cleandb.SinkFromPath(path)
+	if err != nil {
+		rows := res.RepairedRows(source)
+		if werr := writeFile(path, rows); werr != nil {
+			return 0, werr
+		}
+		return int64(len(rows)), nil
+	}
+	return res.RepairedTo(ctx, source, snk)
 }
 
 // parseParams converts -param k=v flags into named query arguments. Values
@@ -312,17 +352,18 @@ func serveStatements(db *cleandb.DB, bindings []any, timeout time.Duration, limi
 				fmt.Fprintf(os.Stderr, "[%d] error: %v\n", id, err)
 				return
 			}
-			rows := res.Rows()
-			for i, r := range rows {
-				if i >= limit {
-					fmt.Printf("[%d] ... (%d more rows)\n", id, len(rows)-limit)
+			printed := 0
+			for r, _ := range res.Iter() {
+				if printed >= limit {
+					fmt.Printf("[%d] ... (%d more rows)\n", id, res.RowCount()-limit)
 					break
 				}
 				fmt.Printf("[%d] %v\n", id, r)
+				printed++
 			}
 			m := res.Metrics()
 			fmt.Fprintf(os.Stderr, "[%d] -- %d rows; %d ticks, %d comparisons, plan reused=%t\n",
-				id, len(rows), m.SimTicks, m.Comparisons, m.PlanCacheHit)
+				id, res.RowCount(), m.SimTicks, m.Comparisons, m.PlanCacheHit)
 		}()
 	}
 	wg.Wait()
@@ -405,7 +446,9 @@ func cmdGen(args []string) error {
 // cmdConvert re-encodes a data file between formats — most usefully
 // CSV/JSON/XML → colbin, the binary columnar format the benchmarks read
 // fastest. The input parses through the source layer's partition-parallel
-// scan.
+// scan, and the partitions pump straight into the output sink: encode is
+// partition-parallel too, and the rows are never flattened in between.
+// Formats only the materialized writers speak (.xml) fall back to those.
 func cmdConvert(args []string) error {
 	fs := flag.NewFlagSet("convert", flag.ExitOnError)
 	in := fs.String("in", "", "input path")
@@ -425,14 +468,22 @@ func cmdConvert(args []string) error {
 	if err != nil {
 		return err
 	}
-	var records []types.Value
-	for _, p := range parts {
-		records = append(records, p...)
+	var n int64
+	if snk, serr := sink.FromPath(*out); serr == nil {
+		if n, err = sink.Pump(context.Background(), snk, parts, *workers); err != nil {
+			return err
+		}
+	} else {
+		var records []types.Value
+		for _, p := range parts {
+			records = append(records, p...)
+		}
+		if err := writeFile(*out, records); err != nil {
+			return err
+		}
+		n = int64(len(records))
 	}
-	if err := writeFile(*out, records); err != nil {
-		return err
-	}
-	fmt.Fprintf(os.Stderr, "-- converted %s (%s) to %s: %d rows\n", *in, src.Format(), *out, len(records))
+	fmt.Fprintf(os.Stderr, "-- converted %s (%s) to %s: %d rows\n", *in, src.Format(), *out, n)
 	return nil
 }
 

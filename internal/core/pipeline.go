@@ -23,6 +23,7 @@ import (
 	"cleandb/internal/lang"
 	"cleandb/internal/monoid"
 	"cleandb/internal/physical"
+	"cleandb/internal/sink"
 	"cleandb/internal/types"
 )
 
@@ -87,9 +88,11 @@ func NewPipelineCatalog(ctx *engine.Context, catalog Catalog) *Pipeline {
 // TaskResult is one cleaning operator's (or plain query's) outcome.
 type TaskResult struct {
 	Name string
-	// Output holds the task's result records. For cleaning operators these
-	// are violation records; for plain queries, projected rows.
-	Output []types.Value
+	// Output holds the task's result records as a partitioned view. For
+	// cleaning operators these are violation records; for plain queries,
+	// projected rows. Nil (an empty Rowset) when the query ran unified —
+	// per-task violations are folded into the combined records then.
+	Output *Rowset
 	// Plan is the optimized algebraic plan (shared nodes included).
 	Plan algebra.Plan
 	// Comp is the normalized comprehension.
@@ -108,24 +111,33 @@ type ExecStats struct {
 	Comparisons     int64
 	ShuffledRecords int64
 	ShuffledBytes   int64
+	// ExportedRows counts rows this execution pumped into a sink
+	// (ExecuteToContext); zero for plain executions.
+	ExportedRows int64
 }
 
-// Result is a completed CleanM query.
+// Result is a completed CleanM query. Result rows are held as partitioned
+// views (Rowset) handed straight off the engine — no execution ever builds a
+// flattened merge copy unless a consumer asks for one.
 type Result struct {
 	Tasks []TaskResult
 	// Combined holds the unified outer-join output (entities with at least
 	// one violation) when the query had several cleaning operators and the
 	// pipeline runs in unified mode.
-	Combined []types.Value
+	Combined *Rowset
 	// Explanation renders all three levels for EXPLAIN.
 	Explanation string
 	// Stats holds the query's own cost counters.
 	Stats ExecStats
+	// workers is the job's cluster width, kept so post-hoc exports
+	// (RepairedTo) fan out like the execution did.
+	workers int
 }
 
-// Rows returns the primary output: the combined records when present,
-// otherwise the single task's output.
-func (r *Result) Rows() []types.Value {
+// Primary returns the primary output view: the combined records when
+// present, otherwise the first task's output. Never nil-dereferences — an
+// empty query yields a nil Rowset, which behaves as empty.
+func (r *Result) Primary() *Rowset {
 	if r.Combined != nil {
 		return r.Combined
 	}
@@ -134,6 +146,10 @@ func (r *Result) Rows() []types.Value {
 	}
 	return nil
 }
+
+// Rows returns the primary output as a flat slice (memoized; see
+// Rowset.Rows).
+func (r *Result) Rows() []types.Value { return r.Primary().Rows() }
 
 // Run parses, optimizes and executes a CleanM query.
 func (p *Pipeline) Run(query string) (*Result, error) {
@@ -358,6 +374,24 @@ func (pr *Prepared) Execute() (*Result, error) {
 // bindings, separate cost counters (merged into the pipeline context's
 // accumulators on completion), and per-query cancellation.
 func (pr *Prepared) ExecuteContext(goctx context.Context, params map[string]types.Value) (*Result, error) {
+	return pr.executeWith(goctx, params, nil)
+}
+
+// ExecuteToContext runs the prepared plans like ExecuteContext and then
+// pumps the primary output straight into s — partition-parallel, under the
+// same job context, so cancelling goctx aborts the export exactly as it
+// aborts the operator loops, and nothing is buffered beyond the partitions
+// in flight. The rows reach the sink without ever being flattened; the
+// returned Result still carries the partition views, metrics (including
+// Stats.ExportedRows) and repair summaries.
+func (pr *Prepared) ExecuteToContext(goctx context.Context, params map[string]types.Value, s sink.Sink) (*Result, error) {
+	if s == nil {
+		return nil, fmt.Errorf("core: ExecuteToContext needs a sink")
+	}
+	return pr.executeWith(goctx, params, s)
+}
+
+func (pr *Prepared) executeWith(goctx context.Context, params map[string]types.Value, s sink.Sink) (*Result, error) {
 	for _, k := range pr.params {
 		if _, ok := params[k]; !ok {
 			return nil, fmt.Errorf("core: parameter %s is not bound", (&monoid.Param{Key: k}).String())
@@ -372,6 +406,10 @@ func (pr *Prepared) ExecuteContext(goctx context.Context, params map[string]type
 	ex.SetParams(params)
 
 	res, err := pr.execute(ex, job, params)
+	var exported int64
+	if err == nil && s != nil {
+		exported, err = sink.Pump(goctx, s, res.Primary().Partitions(), job.Workers)
+	}
 	// Partial work from failed or cancelled queries still moved data; account
 	// for it in the instance-wide accumulators either way.
 	pr.pipeline.Ctx.Metrics().Merge(job.Metrics())
@@ -384,28 +422,31 @@ func (pr *Prepared) ExecuteContext(goctx context.Context, params map[string]type
 		Comparisons:     m.Comparisons(),
 		ShuffledRecords: m.ShuffledRecords(),
 		ShuffledBytes:   m.ShuffledBytes(),
+		ExportedRows:    exported,
 	}
 	return res, nil
 }
 
 func (pr *Prepared) execute(ex *physical.Executor, job *engine.Context, params map[string]types.Value) (*Result, error) {
-	res := &Result{Explanation: pr.explain}
+	res := &Result{Explanation: pr.explain, workers: job.Workers}
 	if pr.combined != nil {
 		d, err := ex.Exec(pr.combined)
 		if err != nil {
 			return nil, err
 		}
-		res.Combined = d.Collect()
+		// Partition hand-off: the engine's partitions become the result view
+		// directly — no merge copy.
+		res.Combined = NewRowset(d.Partitions())
 	}
 	healed := map[string]*engine.Dataset{}
 	for i, t := range pr.tasks {
-		var out []types.Value
+		var out *Rowset
 		if pr.combined == nil {
 			d, err := ex.Exec(pr.plans[i])
 			if err != nil {
 				return nil, err
 			}
-			out = unwrapOut(d.Collect())
+			out = NewRowset(unwrapParts(d.Partitions()))
 		}
 		tr := TaskResult{
 			Name:   t.Name,
@@ -417,7 +458,7 @@ func (pr *Prepared) execute(ex *physical.Executor, job *engine.Context, params m
 		// plan's violation pairs seed the relaxation loop, and successive
 		// REPAIR clauses on the same source compose via the healed map.
 		if t.Denial != nil && t.Denial.RepairAttr != nil {
-			sum, err := pr.runRepair(ex, &pr.tasks[i], pr.plans[i], out, healed, params)
+			sum, err := pr.runRepair(ex, &pr.tasks[i], pr.plans[i], out.Rows(), healed, params)
 			if err != nil {
 				return nil, err
 			}
@@ -430,6 +471,28 @@ func (pr *Prepared) execute(ex *physical.Executor, job *engine.Context, params m
 		return nil, err
 	}
 	return res, nil
+}
+
+// RepairedTo pumps the healed rows of the named source — the final state
+// after every REPAIR clause on it — into s, partition-parallel under ctx. It
+// returns the rows written, or an error when the query repaired nothing in
+// that source.
+func (r *Result) RepairedTo(ctx context.Context, source string, s sink.Sink) (int64, error) {
+	var rows []types.Value
+	found := false
+	for _, sum := range r.Repairs() {
+		if sum.Source == source {
+			rows, found = sum.Rows, true
+		}
+	}
+	if !found {
+		return 0, fmt.Errorf("core: the query repaired nothing in source %q", source)
+	}
+	w := r.workers
+	if w < 1 {
+		w = 1
+	}
+	return sink.Pump(ctx, s, partitionRows(rows, w), w)
 }
 
 // Repairs lists the repair summaries of all tasks that requested one.
@@ -447,11 +510,46 @@ func (r *Result) Repairs() []*RepairSummary {
 func unwrapOut(rows []types.Value) []types.Value {
 	out := make([]types.Value, len(rows))
 	for i, r := range rows {
-		if rec := r.Record(); rec != nil && len(rec.Fields) == 1 && rec.Schema.Names[0] == lang.OutVar {
-			out[i] = rec.Fields[0]
-			continue
-		}
-		out[i] = r
+		out[i] = unwrapRow(r)
 	}
 	return out
+}
+
+// unwrapRow strips the {$out: v} environment wrapper from one record.
+func unwrapRow(r types.Value) types.Value {
+	if isWrappedRow(r) {
+		return r.Record().Fields[0]
+	}
+	return r
+}
+
+// isWrappedRow reports whether r is a {$out: v} environment record.
+func isWrappedRow(r types.Value) bool {
+	rec := r.Record()
+	return rec != nil && len(rec.Fields) == 1 && rec.Schema.Names[0] == lang.OutVar
+}
+
+// unwrapParts is unwrapOut per partition: the partition structure is
+// preserved, and partitions containing no wrapped rows are reused as-is
+// rather than copied.
+func unwrapParts(parts [][]types.Value) [][]types.Value {
+	out := make([][]types.Value, len(parts))
+	for i, p := range parts {
+		out[i] = unwrapPart(p)
+	}
+	return out
+}
+
+func unwrapPart(rows []types.Value) []types.Value {
+	for j, r := range rows {
+		if isWrappedRow(r) {
+			out := make([]types.Value, len(rows))
+			copy(out, rows[:j])
+			for k := j; k < len(rows); k++ {
+				out[k] = unwrapRow(rows[k])
+			}
+			return out
+		}
+	}
+	return rows
 }

@@ -31,14 +31,14 @@ DEDUP(attribute, LD, 0.5, c.address, c.name)`
 		}
 		counts := map[string]int{}
 		if unified {
-			for _, row := range res.Combined {
+			for row := range res.Combined.All() {
 				for _, task := range []string{"fd1", "fd2", "dedup1"} {
 					counts[task] += len(row.Field(task).List())
 				}
 			}
 		} else {
 			for _, task := range res.Tasks {
-				counts[task.Name] = len(task.Output)
+				counts[task.Name] = task.Output.Len()
 			}
 		}
 		return counts

@@ -58,14 +58,14 @@ func TestRunningExampleUnified(t *testing.T) {
 	if res.Combined == nil {
 		t.Fatalf("expected combined output for multi-operator query")
 	}
-	if len(res.Combined) == 0 {
+	if res.Combined.Len() == 0 {
 		t.Fatalf("expected violations, got none; explain:\n%s", res.Explanation)
 	}
 	// FD violations: both "12 oak st" (prefixes 555 differ? no — 555 same...
 	// prefix is 3 chars: "555" for both) — so oak st is NOT an FD violation;
 	// "9 pine rd" has prefixes 333 vs 333 — also same. Re-check below.
-	t.Logf("combined: %d entities", len(res.Combined))
-	for _, v := range res.Combined {
+	t.Logf("combined: %d entities", res.Combined.Len())
+	for v := range res.Combined.All() {
 		t.Logf("  %s", v)
 	}
 }

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"iter"
+	"sync"
+
+	"cleandb/internal/par"
+	"cleandb/internal/types"
+)
+
+// Rowset is a partitioned, immutable view of one result set — the output
+// half of the engine's partition hand-off. Executions build Rowsets directly
+// from engine partitions, so producing a Result no longer merges every
+// partition into one flattened slice; consumers choose their own access
+// pattern: Partition/All to stream without any copy, Rows when a flat slice
+// is genuinely needed (built once and memoized).
+//
+// A Rowset is safe for concurrent use. All methods tolerate a nil receiver,
+// which behaves as an empty row set — Partition, like any index into an
+// empty collection, panics out of range; everything else answers empty.
+type Rowset struct {
+	parts [][]types.Value
+	n     int
+
+	once sync.Once
+	flat []types.Value
+}
+
+// NewRowset wraps partitions (shared, not copied) as a Rowset. Callers must
+// not mutate parts afterwards.
+func NewRowset(parts [][]types.Value) *Rowset {
+	rs := &Rowset{parts: parts}
+	for _, p := range parts {
+		rs.n += len(p)
+	}
+	return rs
+}
+
+// NumPartitions returns the partition count.
+func (r *Rowset) NumPartitions() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.parts)
+}
+
+// Partition returns partition i (shared storage; do not mutate). A nil
+// Rowset has no partitions, so any index on one is out of range, reported
+// without dereferencing the receiver.
+func (r *Rowset) Partition(i int) []types.Value {
+	if r == nil {
+		panic("core: Partition on an empty Rowset")
+	}
+	return r.parts[i]
+}
+
+// Partitions returns every partition in order (shared storage; do not
+// mutate).
+func (r *Rowset) Partitions() [][]types.Value {
+	if r == nil {
+		return nil
+	}
+	return r.parts
+}
+
+// Len returns the total row count without flattening anything.
+func (r *Rowset) Len() int {
+	if r == nil {
+		return 0
+	}
+	return r.n
+}
+
+// All iterates the rows in partition order without materializing a flat
+// slice.
+func (r *Rowset) All() iter.Seq[types.Value] {
+	return func(yield func(types.Value) bool) {
+		if r == nil {
+			return
+		}
+		for _, p := range r.parts {
+			for _, v := range p {
+				if !yield(v) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Rows returns the rows as one flat slice in partition order. The slice is
+// built on first call and memoized — repeated calls return the same backing
+// array, so treat it as read-only. It is allocated at exact capacity:
+// appending to it reallocates rather than corrupting the Rowset. An empty
+// Rowset returns nil.
+func (r *Rowset) Rows() []types.Value {
+	if r == nil || r.n == 0 {
+		return nil
+	}
+	r.once.Do(func() {
+		r.flat = make([]types.Value, 0, r.n)
+		for _, p := range r.parts {
+			r.flat = append(r.flat, p...)
+		}
+	})
+	return r.flat
+}
+
+// partitionRows slices rows into at most n contiguous chunks without
+// copying (par.Chunks) — how a flat row set (repaired rows) re-enters the
+// partition-parallel export path.
+func partitionRows(rows []types.Value, n int) [][]types.Value {
+	return par.Chunks(rows, n)
+}

@@ -2,6 +2,7 @@ package data
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -33,14 +34,8 @@ const colbinMagic = "CBN1"
 
 // WriteColbin writes records (sharing one schema) in colbin format.
 func WriteColbin(w io.Writer, rows []types.Value) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(colbinMagic); err != nil {
-		return err
-	}
 	if len(rows) == 0 {
-		writeUvarint(bw, 0)
-		writeUvarint(bw, 0)
-		return bw.Flush()
+		return WriteColbinHeader(w, nil, nil, 0)
 	}
 	rec := rows[0].Record()
 	if rec == nil {
@@ -49,15 +44,12 @@ func WriteColbin(w io.Writer, rows []types.Value) error {
 	names := rec.Schema.Names
 	colTypes := make([]ColType, len(names))
 	for i := range names {
-		colTypes[i] = colbinTypeOf(rows, i)
+		colTypes[i] = ColbinTypeOf(rows, i)
 	}
-	writeUvarint(bw, uint64(len(names)))
-	for i, n := range names {
-		writeUvarint(bw, uint64(len(n)))
-		bw.WriteString(n)
-		bw.WriteByte(byte(colTypes[i]))
+	if err := WriteColbinHeader(w, names, colTypes, len(rows)); err != nil {
+		return err
 	}
-	writeUvarint(bw, uint64(len(rows)))
+	bw := bufio.NewWriter(w)
 	for col := range names {
 		if err := writeColumn(bw, rows, col, colTypes[col]); err != nil {
 			return err
@@ -66,7 +58,45 @@ func WriteColbin(w io.Writer, rows []types.Value) error {
 	return bw.Flush()
 }
 
-func colbinTypeOf(rows []types.Value, col int) ColType {
+// WriteColbinHeader writes the colbin preamble — magic, column names and
+// types, row count — after which the column chunks follow in declaration
+// order. Exported so a parallel encoder can emit independently encoded
+// column chunks (EncodeColbinColumn) behind one header.
+func WriteColbinHeader(w io.Writer, names []string, colTypes []ColType, nrows int) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(colbinMagic); err != nil {
+		return err
+	}
+	writeUvarint(bw, uint64(len(names)))
+	for i, n := range names {
+		writeUvarint(bw, uint64(len(n)))
+		bw.WriteString(n)
+		bw.WriteByte(byte(colTypes[i]))
+	}
+	writeUvarint(bw, uint64(nrows))
+	return bw.Flush()
+}
+
+// EncodeColbinColumn encodes column col of rows — null bitmap plus the typed
+// chunk — into a standalone byte slice, exactly as WriteColbin lays it out.
+// Columns are independent, so callers may encode them on parallel goroutines
+// and concatenate the results after a WriteColbinHeader.
+func EncodeColbinColumn(rows []types.Value, col int, t ColType) ([]byte, error) {
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	if err := writeColumn(bw, rows, col, t); err != nil {
+		return nil, err
+	}
+	if err := bw.Flush(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// ColbinTypeOf infers the colbin column type of column col across rows: the
+// narrowest of int/float/bool that fits every non-null value, string when
+// values mix, list<string> as soon as a list appears.
+func ColbinTypeOf(rows []types.Value, col int) ColType {
 	t := ColInt
 	decided := false
 	for _, row := range rows {

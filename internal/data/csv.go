@@ -166,7 +166,7 @@ func WriteCSV(w io.Writer, rows []types.Value) error {
 		r := row.Record()
 		cells := make([]string, len(r.Fields))
 		for i, f := range r.Fields {
-			cells[i] = cellString(f)
+			cells[i] = CellString(f)
 		}
 		if err := cw.Write(cells); err != nil {
 			return err
@@ -176,14 +176,18 @@ func WriteCSV(w io.Writer, rows []types.Value) error {
 	return cw.Error()
 }
 
-func cellString(v types.Value) string {
+// CellString renders one value as a CSV cell: nulls become empty cells,
+// lists join with "|", everything else uses the value's canonical text.
+// Exported so the sink layer's partition-parallel CSV encoder writes cells
+// byte-identically to WriteCSV.
+func CellString(v types.Value) string {
 	switch v.Kind() {
 	case types.KindNull:
 		return ""
 	case types.KindList:
 		parts := make([]string, len(v.List()))
 		for i, e := range v.List() {
-			parts[i] = cellString(e)
+			parts[i] = CellString(e)
 		}
 		return strings.Join(parts, "|")
 	default:

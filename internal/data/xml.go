@@ -198,7 +198,7 @@ func Flatten(rows []types.Value) []types.Value {
 			fields[listIdx] = e
 			for j := listIdx + 1; j < len(fields); j++ {
 				if fields[j].Kind() == types.KindList {
-					fields[j] = types.String(cellString(fields[j]))
+					fields[j] = types.String(CellString(fields[j]))
 				}
 			}
 			out = append(out, types.NewRecord(schema, fields))

@@ -302,6 +302,14 @@ func (d *Dataset) NumPartitions() int { return len(d.parts) }
 // Partition returns partition i (shared storage; do not mutate).
 func (d *Dataset) Partition(i int) []types.Value { return d.parts[i] }
 
+// Partitions returns every partition in order (shared storage; do not mutate
+// the outer or the inner slices). This is the copy-free hand-off for result
+// consumers: where Collect concatenates every partition into one fresh
+// slice, Partitions lets downstream layers — result views, sinks — drain the
+// data partition by partition without the engine ever building the O(result)
+// merged copy.
+func (d *Dataset) Partitions() [][]types.Value { return d.parts }
+
 // FromValues partitions vs into ctx.Workers chunks, preserving order.
 func FromValues(ctx *Context, vs []types.Value) *Dataset {
 	return FromValuesN(ctx, vs, ctx.Workers)

@@ -1,0 +1,74 @@
+package sink
+
+import (
+	"bytes"
+	"encoding/csv"
+	"fmt"
+	"io"
+
+	"cleandb/internal/data"
+	"cleandb/internal/types"
+)
+
+// CSV writes results as CSV with a header row, cell-compatible with
+// data.WriteCSV (nulls become empty cells, lists join with "|"). Each
+// partition encodes into its own buffer on the calling goroutine —
+// WritePartition is where the parallelism happens — and the buffers stitch
+// to the output in partition order, so at most the partitions in flight are
+// ever buffered.
+type CSV struct {
+	streamSink
+}
+
+// NewCSV returns a CSV sink over an io.Writer.
+func NewCSV(w io.Writer) *CSV { return &CSV{streamSink: streamSink{w: w}} }
+
+// NewCSVFile returns a CSV sink that creates path at Open.
+func NewCSVFile(path string) *CSV { return &CSV{streamSink: streamSink{path: path}} }
+
+// Open implements Sink: it creates the output file (when file-backed) and
+// writes the header row. A nil schema — an empty result, or non-record rows
+// — produces a headerless file, matching data.WriteCSV on the same rows.
+func (s *CSV) Open(schema []string) error {
+	if err := s.open(); err != nil {
+		return err
+	}
+	if len(schema) == 0 {
+		return nil
+	}
+	cw := csv.NewWriter(s.bw)
+	if err := cw.Write(schema); err != nil {
+		return s.abandonOpen(err)
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return s.abandonOpen(err)
+	}
+	return nil
+}
+
+// WritePartition implements Sink: it encodes rows into a partition-local
+// buffer and hands it to the ordered stitcher. Safe for concurrent calls
+// with distinct indices.
+func (s *CSV) WritePartition(i int, rows []types.Value) error {
+	var buf bytes.Buffer
+	cw := csv.NewWriter(&buf)
+	for _, row := range rows {
+		rec := row.Record()
+		if rec == nil {
+			return fmt.Errorf("sink: csv: rows must be records, got %s", row.Kind())
+		}
+		cells := make([]string, len(rec.Fields))
+		for c, f := range rec.Fields {
+			cells[c] = data.CellString(f)
+		}
+		if err := cw.Write(cells); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	return s.put(i, buf.Bytes())
+}

@@ -1,0 +1,37 @@
+package sink
+
+import (
+	"bytes"
+	"io"
+
+	"cleandb/internal/data"
+	"cleandb/internal/types"
+)
+
+// JSONL writes results as JSON lines (one object per row), byte-compatible
+// with data.WriteJSON. Like the CSV sink it encodes partitions into local
+// buffers on the calling goroutines and stitches them in order; unlike CSV
+// it has no header, so the schema passed to Open is ignored — JSON rows
+// carry their own field names.
+type JSONL struct {
+	streamSink
+}
+
+// NewJSONL returns a JSON-lines sink over an io.Writer.
+func NewJSONL(w io.Writer) *JSONL { return &JSONL{streamSink{w: w}} }
+
+// NewJSONLFile returns a JSON-lines sink that creates path at Open.
+func NewJSONLFile(path string) *JSONL { return &JSONL{streamSink{path: path}} }
+
+// Open implements Sink.
+func (s *JSONL) Open([]string) error { return s.open() }
+
+// WritePartition implements Sink: rows encode into a partition-local buffer,
+// then stitch in order. Safe for concurrent calls with distinct indices.
+func (s *JSONL) WritePartition(i int, rows []types.Value) error {
+	var buf bytes.Buffer
+	if err := data.WriteJSON(&buf, rows); err != nil {
+		return err
+	}
+	return s.put(i, buf.Bytes())
+}

@@ -1,0 +1,75 @@
+package sink
+
+import (
+	"fmt"
+	"sync"
+
+	"cleandb/internal/types"
+)
+
+// Mem collects results in memory, preserving the partition structure. It is
+// the sink twin of source.Mem: tests and programmatic consumers receive
+// exactly the partitions the engine produced, and Rows gives the ordered
+// concatenation when partition boundaries don't matter.
+type Mem struct {
+	collector
+
+	mu     sync.Mutex
+	schema []string
+	opened bool
+}
+
+// NewMem returns an empty in-memory sink.
+func NewMem() *Mem { return &Mem{} }
+
+// Open implements Sink.
+func (s *Mem) Open(schema []string) error {
+	s.mu.Lock()
+	s.schema = schema
+	s.opened = true
+	s.mu.Unlock()
+	s.reset()
+	return nil
+}
+
+// WritePartition implements Sink by retaining the partition slice (shared,
+// not copied). Safe for concurrent calls with distinct indices.
+func (s *Mem) WritePartition(i int, rows []types.Value) error {
+	s.mu.Lock()
+	opened := s.opened
+	s.mu.Unlock()
+	if !opened {
+		return fmt.Errorf("sink: mem: WritePartition before Open")
+	}
+	s.add(i, rows)
+	return nil
+}
+
+// Close implements Sink.
+func (s *Mem) Close() error { return nil }
+
+// Schema returns the column names the sink was opened with (nil for
+// non-record or empty results).
+func (s *Mem) Schema() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.schema
+}
+
+// Partitions returns the written partitions in index order; missing indices
+// (an aborted export) appear as nil entries.
+func (s *Mem) Partitions() [][]types.Value { return s.snapshot() }
+
+// Rows returns the ordered concatenation of every written partition.
+func (s *Mem) Rows() []types.Value {
+	parts := s.snapshot()
+	var n int
+	for _, p := range parts {
+		n += len(p)
+	}
+	out := make([]types.Value, 0, n)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package sink
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"cleandb/internal/types"
+)
+
+// streamSink is the shared half of the byte-stream sinks (CSV, JSON lines):
+// the file lifecycle, the ordered stitcher, abort, and peak accounting live
+// here once; the formats contribute only their per-partition encoding.
+type streamSink struct {
+	path string
+	w    io.Writer
+
+	f  *os.File
+	bw *bufio.Writer
+	st *stitcher
+}
+
+// open creates the output file (when file-backed) and wires the buffered
+// writer and the ordered stitcher.
+func (s *streamSink) open() error {
+	if s.path != "" {
+		f, err := os.Create(s.path)
+		if err != nil {
+			return err
+		}
+		s.f, s.w = f, f
+	}
+	s.bw = bufio.NewWriter(s.w)
+	s.st = newStitcher(func(buf []byte) error {
+		_, err := s.bw.Write(buf)
+		return err
+	})
+	return nil
+}
+
+// abandonOpen releases the half-opened output after a format's Open failed
+// past file creation, so a failed Open never leaks the descriptor.
+func (s *streamSink) abandonOpen(err error) error {
+	if s.f != nil {
+		s.f.Close()
+	}
+	return err
+}
+
+// put hands the stitcher one partition's encoded bytes.
+func (s *streamSink) put(i int, buf []byte) error { return s.st.put(i, buf) }
+
+// Close implements Sink: it verifies the partition sequence is complete,
+// flushes, and closes the file when file-backed.
+func (s *streamSink) Close() error {
+	err := s.st.finish()
+	if ferr := s.bw.Flush(); err == nil {
+		err = ferr
+	}
+	if s.f != nil {
+		if cerr := s.f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Abort implements Aborter: parked buffers are dropped and, for file-backed
+// sinks, the partial file is deleted — rows already flushed would otherwise
+// read as a complete, smaller result.
+func (s *streamSink) Abort() error {
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	if rerr := os.Remove(s.path); err == nil {
+		err = rerr
+	}
+	return err
+}
+
+// PeakBuffered reports the high-water mark of bytes parked behind an
+// out-of-order partition — the streaming path's maximum extra memory beyond
+// the buffer being encoded. Valid after Close.
+func (s *streamSink) PeakBuffered() int64 { return s.st.peakParked() }
+
+// collector is the shared retain-partitions half of the buffering sinks
+// (colbin, in-memory): concurrent WritePartition calls stash the partition
+// slices by index — shared, never copied — and readers assemble ordered
+// views afterwards.
+type collector struct {
+	mu    sync.Mutex
+	parts map[int][]types.Value
+	maxi  int
+}
+
+// reset arms the collector for one export.
+func (c *collector) reset() {
+	c.mu.Lock()
+	c.parts = map[int][]types.Value{}
+	c.maxi = -1
+	c.mu.Unlock()
+}
+
+// add retains partition i. Safe for concurrent calls with distinct indices.
+func (c *collector) add(i int, rows []types.Value) {
+	c.mu.Lock()
+	c.parts[i] = rows
+	if i > c.maxi {
+		c.maxi = i
+	}
+	c.mu.Unlock()
+}
+
+// drop releases every retained partition (abort path).
+func (c *collector) drop() {
+	c.mu.Lock()
+	c.parts, c.maxi = nil, -1
+	c.mu.Unlock()
+}
+
+// ordered returns the retained partitions in index order, erroring on the
+// first gap — a partition that was never written means the export was
+// aborted or misdriven, and consumers that need completeness (colbin's
+// encode) must not proceed.
+func (c *collector) ordered() ([][]types.Value, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([][]types.Value, 0, c.maxi+1)
+	for i := 0; i <= c.maxi; i++ {
+		p, ok := c.parts[i]
+		if !ok {
+			return nil, fmt.Errorf("sink: partition %d was never written", i)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// snapshot returns the retained partitions in index order with nil entries
+// for gaps — the lenient view for consumers that tolerate aborted exports.
+func (c *collector) snapshot() [][]types.Value {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([][]types.Value, c.maxi+1)
+	for i := range out {
+		out[i] = c.parts[i]
+	}
+	return out
+}

@@ -22,10 +22,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"runtime"
-	"sync"
-	"sync/atomic"
 
+	"cleandb/internal/par"
 	"cleandb/internal/types"
 )
 
@@ -130,83 +128,16 @@ func (b bytesAt) sizeBytes() int64 {
 	return int64(len(b.buf))
 }
 
-// partition slices vs into at most n contiguous chunks without copying,
-// mirroring the engine's default partitioner so a sequentially parsed source
-// lands exactly like pre-partitioned data.
+// partition slices vs into at most n contiguous chunks without copying
+// (par.Chunks), mirroring the engine's default partitioner so a sequentially
+// parsed source lands exactly like pre-partitioned data.
 func partition(vs []types.Value, n int) [][]types.Value {
-	if len(vs) == 0 {
-		return nil
-	}
-	if n < 1 {
-		n = 1
-	}
-	per := (len(vs) + n - 1) / n
-	var out [][]types.Value
-	for lo := 0; lo < len(vs); lo += per {
-		hi := lo + per
-		if hi > len(vs) {
-			hi = len(vs)
-		}
-		out = append(out, vs[lo:hi])
-	}
-	return out
+	return par.Chunks(vs, n)
 }
 
-// runParallel executes f(0..n-1) on at most width goroutines, stopping at
-// the first error or at ctx cancellation (in which case it returns
-// ctx.Err()). Every started goroutine exits before it returns.
-//
-// Scans are CPU-bound, so the goroutine count is additionally capped at
-// GOMAXPROCS: the partition count callers asked for is honored regardless,
-// but on a small machine extra goroutines are pure scheduling overhead.
+// runParallel is the shared bounded-worker driver (par.Run): first error or
+// cancellation wins, every started goroutine exits before return, width is
+// capped at GOMAXPROCS.
 func runParallel(ctx context.Context, n, width int, f func(i int) error) error {
-	if n == 0 {
-		return ctx.Err()
-	}
-	if width > n {
-		width = n
-	}
-	if p := runtime.GOMAXPROCS(0); width > p {
-		width = p
-	}
-	if width <= 1 {
-		for i := 0; i < n; i++ {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			if err := f(i); err != nil {
-				return err
-			}
-		}
-		return ctx.Err()
-	}
-	var (
-		wg       sync.WaitGroup
-		next     atomic.Int64
-		failed   atomic.Bool
-		errOnce  sync.Once
-		firstErr error
-	)
-	wg.Add(width)
-	for w := 0; w < width; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n || failed.Load() || ctx.Err() != nil {
-					return
-				}
-				if err := f(i); err != nil {
-					errOnce.Do(func() { firstErr = err })
-					failed.Store(true)
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return firstErr
-	}
-	return ctx.Err()
+	return par.Run(ctx, n, width, f)
 }

@@ -3,7 +3,9 @@ package cleandb
 import (
 	"context"
 	"fmt"
+	"math"
 	"strings"
+	"time"
 
 	"cleandb/internal/core"
 	"cleandb/internal/types"
@@ -69,6 +71,23 @@ func (s *Stmt) ExecContext(ctx context.Context, args ...any) (*Result, error) {
 	return &Result{inner: res, planReused: true}, nil
 }
 
+// ExecuteTo executes the statement under ctx with the given arguments and
+// pumps its primary output straight into sk, partition-parallel under the
+// query's job context — the prepared-statement face of DB.ExecuteTo. The
+// returned Result carries metrics and repair summaries; the rows went to
+// the sink.
+func (s *Stmt) ExecuteTo(ctx context.Context, sk Sink, args ...any) (*Result, error) {
+	params, err := bindArgs(s.prep.Params(), args)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.prep.ExecuteToContext(ctx, params, sk)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{inner: res, planReused: true}, nil
+}
+
 // bindArgs resolves call arguments against the statement's parameter keys:
 // plain arguments fill `?` placeholders in order, NamedArg values fill
 // `:name` placeholders. Every placeholder must be bound, every argument must
@@ -119,7 +138,11 @@ func bindArgs(keys []string, args []any) (map[string]types.Value, error) {
 	return params, nil
 }
 
-// toValue converts a Go value to a CleanDB Value.
+// toValue converts a Go value to a CleanDB Value. Signed and unsigned
+// integers map to Int (unsigned ones overflow-checked), floats to Float,
+// and time.Time binds as its RFC 3339 string — matching how the text
+// formats represent timestamps — so typical Go callers don't trip over
+// "unsupported argument type".
 func toValue(a any) (types.Value, error) {
 	switch v := a.(type) {
 	case types.Value:
@@ -134,12 +157,29 @@ func toValue(a any) (types.Value, error) {
 		return types.Int(int64(v)), nil
 	case int64:
 		return types.Int(v), nil
+	case uint:
+		if uint64(v) > math.MaxInt64 {
+			return types.Null(), fmt.Errorf("uint value %d overflows int64", v)
+		}
+		return types.Int(int64(v)), nil
+	case uint32:
+		return types.Int(int64(v)), nil
+	case uint64:
+		if v > math.MaxInt64 {
+			return types.Null(), fmt.Errorf("uint64 value %d overflows int64", v)
+		}
+		return types.Int(int64(v)), nil
 	case float32:
 		return types.Float(float64(v)), nil
 	case float64:
 		return types.Float(v), nil
 	case string:
 		return types.String(v), nil
+	case time.Time:
+		// RFC3339Nano keeps sub-second precision (and formats identically to
+		// RFC3339 for whole-second stamps), so equality against stored
+		// timestamp strings doesn't silently truncate.
+		return types.String(v.Format(time.RFC3339Nano)), nil
 	default:
 		return types.Null(), fmt.Errorf("unsupported argument type %T", a)
 	}

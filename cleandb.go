@@ -31,6 +31,11 @@
 // sinks under the query's context, and RepairedTo exports healed rows. Flat
 // accessors (Rows, TaskRows) remain, now memoized.
 //
+// The whole API is also served over HTTP: internal/server (mounted by the
+// `cleandb serve` command) streams query results as NDJSON or CSV through
+// the writer-backed sinks, exercises the plan cache with prepared-statement
+// handles, and works the lazy source catalog over the wire.
+//
 // Quickstart:
 //
 //	db := cleandb.Open()
@@ -81,7 +86,12 @@ type Sink = sink.Sink
 
 // Sink constructors re-exported from the sink subpackage. The *File
 // constructors create their file at Open; SinkFromPath infers the format
-// from the path's extension (.csv, .json/.jsonl/.ndjson, .colbin).
+// from the path's extension (.csv, .json/.jsonl/.ndjson, .colbin). The
+// writer-backed byte-stream sinks (NewCSVSink, NewJSONLSink) flush through
+// per stitched partition when w has a Flush method — hand them an
+// http.ResponseWriter and each partition reaches the client as it lands,
+// which is how the HTTP server streams query results with memory bounded by
+// the partitions in flight.
 var (
 	// NewCSVSink streams CSV (header row, data.WriteCSV-compatible cells) to w.
 	NewCSVSink = sink.NewCSV

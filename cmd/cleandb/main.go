@@ -5,6 +5,7 @@
 // Usage:
 //
 //	cleandb query  -src name=path.csv [-src dict=path.json ...] [-explain] 'SELECT ...'
+//	cleandb serve  -http :8080 -src name=path.csv [-max-inflight N] [-timeout D]
 //	cleandb gen    -kind tpch-lineitem|tpch-customer|dblp|mag -rows N -out path.csv
 //	cleandb convert -in path.csv -out path.colbin
 //
@@ -15,20 +16,26 @@ package main
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"log"
+	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"cleandb"
 	"cleandb/internal/data"
 	"cleandb/internal/datagen"
 	"cleandb/internal/lang"
+	"cleandb/internal/server"
 	"cleandb/internal/sink"
 	"cleandb/internal/source"
 	"cleandb/internal/types"
@@ -43,6 +50,8 @@ func main() {
 	switch os.Args[1] {
 	case "query":
 		err = cmdQuery(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "gen":
 		err = cmdGen(os.Args[2:])
 	case "convert":
@@ -66,6 +75,8 @@ subcommands:
   query    -src name=path [...] [-workers N] [-explain] [-limit N]
            [-param k=v ...] [-timeout D] [-task NAME] [-serve]
            [-out out.{csv,jsonl,colbin}] 'CLEANM QUERY'
+  serve    -http :8080 [-src name=path ...] [-workers N]
+           [-max-inflight N] [-timeout D] [-drain-timeout D]
   gen      -kind tpch-lineitem|tpch-customer|dblp|mag -rows N -out path
   convert  -in path -out path [-workers N]
 
@@ -84,7 +95,14 @@ concurrently against the shared catalog (prepared plans are cached), which
 is how to exercise the service-grade API from the shell.
 
 -out streams the result into the named file through the sink layer:
-partitions encode in parallel and nothing is printed or buffered whole.`)
+partitions encode in parallel and nothing is printed or buffered whole.
+
+serve mounts the engine behind HTTP: POST /v1/query streams results as
+NDJSON or CSV, POST /v1/statements prepares once and executes by handle,
+GET/POST /v1/sources work the lazy source catalog over the wire, and
+/healthz + /metrics (Prometheus) make it operable. SIGINT/SIGTERM drain
+gracefully: health flips to 503, in-flight queries finish (bounded by
+-drain-timeout), then the listener closes.`)
 }
 
 type srcList []string
@@ -410,6 +428,68 @@ func register(db *cleandb.DB, name, path string) error {
 		return err
 	}
 	return db.RegisterFile(name, path)
+}
+
+// cmdServe mounts the engine behind the HTTP service: sources register
+// lazily up front (only queried ones ever parse), admission control bounds
+// concurrent queries, and SIGINT/SIGTERM drain gracefully — health flips to
+// 503 for load balancers, in-flight queries finish, then the listener
+// closes.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	var sources srcList
+	fs.Var(&sources, "src", "name=path source registration (repeatable)")
+	addr := fs.String("http", ":8080", "listen address")
+	workers := fs.Int("workers", 8, "simulated cluster width")
+	standalone := fs.Bool("standalone", false, "disable unified optimization")
+	maxInflight := fs.Int("max-inflight", server.DefaultMaxInflight, "max concurrently executing queries; beyond it requests get 429")
+	timeout := fs.Duration("timeout", 0, "per-query server-side deadline (0 = none)")
+	drain := fs.Duration("drain-timeout", 15*time.Second, "grace period for in-flight queries at shutdown")
+	quiet := fs.Bool("quiet", false, "suppress the per-request access log")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("serve: unexpected argument %q", fs.Arg(0))
+	}
+	opts := []cleandb.Option{cleandb.WithWorkers(*workers)}
+	if *standalone {
+		opts = append(opts, cleandb.WithStandaloneOps())
+	}
+	db := cleandb.Open(opts...)
+	for _, s := range sources {
+		name, path, ok := strings.Cut(s, "=")
+		if !ok {
+			return fmt.Errorf("serve: -src wants name=path, got %q", s)
+		}
+		if err := register(db, name, path); err != nil {
+			return err
+		}
+	}
+	cfg := server.Config{MaxInflight: *maxInflight, QueryTimeout: *timeout}
+	if !*quiet {
+		cfg.Logf = log.New(os.Stderr, "cleandb: ", log.LstdFlags).Printf
+	}
+	srv := server.New(db, cfg)
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		srv.BeginDrain()
+		fmt.Fprintln(os.Stderr, "cleandb: draining...")
+		sctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		done <- hs.Shutdown(sctx)
+	}()
+	fmt.Fprintf(os.Stderr, "cleandb: serving on %s (%d sources, max-inflight %d)\n",
+		*addr, len(sources), *maxInflight)
+	if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return <-done
 }
 
 func cmdGen(args []string) error {

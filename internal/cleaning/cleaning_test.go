@@ -203,6 +203,64 @@ func TestTermValidateFindsRepairs(t *testing.T) {
 	}
 }
 
+// TestTermValidateExplicitZeroTheta: Theta == 0 with ThetaSet must be
+// honored (every candidate with any positive similarity is suggested), not
+// silently rewritten to the 0.8 default — the same sentinel contract as
+// DedupConfig.
+func TestTermValidateExplicitZeroTheta(t *testing.T) {
+	schema := types.NewSchema("name")
+	rows := []types.Value{
+		types.NewRecord(schema, []types.Value{types.String("stela")}),
+	}
+	run := func(cfg TermValidationConfig) int {
+		ctx := engine.NewContext(2)
+		cfg.Attr = func(v types.Value) string { return v.Field("name").Str() }
+		cfg.Dictionary = []string{"stella", "steak"} // sims ≈ 0.83 and 0.6
+		cfg.Metric = textsim.MetricLevenshtein
+		return len(TermValidate(engine.FromValues(ctx, rows), cfg).Suggestions)
+	}
+	if got := run(TermValidationConfig{}); got != 1 {
+		t.Fatalf("default θ suggestions = %d, want 1 (stella only)", got)
+	}
+	if got := run(TermValidationConfig{Theta: 0, ThetaSet: true}); got != 2 {
+		t.Fatalf("explicit θ=0 suggestions = %d, want both candidates", got)
+	}
+}
+
+// TestTermValidateRepairsDeterministicAcrossWorkers: when several dictionary
+// terms tie at the best similarity, the chosen repair must not depend on
+// reducer partition order (and hence on Workers) — ties break to the
+// lexicographically smallest suggestion.
+func TestTermValidateRepairsDeterministicAcrossWorkers(t *testing.T) {
+	schema := types.NewSchema("name")
+	var rows []types.Value
+	var dict []string
+	want := map[string]string{}
+	for _, sfx := range []string{"q", "r", "s", "t"} {
+		rows = append(rows, types.NewRecord(schema, []types.Value{types.String("x" + sfx)}))
+		// Three candidates per dirty term, all at similarity 0.5.
+		for _, p := range []string{"c", "a", "b"} {
+			dict = append(dict, p+sfx)
+		}
+		want["x"+sfx] = "a" + sfx
+	}
+	for _, workers := range []int{1, 4, 16} {
+		ctx := engine.NewContext(workers)
+		res := TermValidate(engine.FromValues(ctx, rows), TermValidationConfig{
+			Attr:       func(v types.Value) string { return v.Field("name").Str() },
+			Dictionary: dict,
+			Metric:     textsim.MetricLevenshtein,
+			Theta:      0.4,
+		})
+		for term, sugg := range want {
+			if got := res.Repairs[term]; got != sugg {
+				t.Fatalf("workers=%d: repair for %s = %q, want %q (equal-sim ties must break to the smallest suggestion)",
+					workers, term, got, sugg)
+			}
+		}
+	}
+}
+
 func TestTermValidateBlockedVsUnblockedSameRepairs(t *testing.T) {
 	ctx := engine.NewContext(4)
 	schema := types.NewSchema("name")

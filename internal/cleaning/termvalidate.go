@@ -20,8 +20,14 @@ type TermValidationConfig struct {
 	// cross-product fallback the paper describes in §8.1).
 	Blocker cluster.Blocker
 	// Metric and Theta configure the similarity predicate sim > Theta.
+	// A zero Theta means DefaultTheta unless ThetaSet is true.
 	Metric textsim.Metric
 	Theta  float64
+	// ThetaSet marks Theta as explicitly configured, making an intentional
+	// zero threshold (suggest every candidate with any positive similarity)
+	// expressible. Without it, Theta == 0 selects DefaultTheta — the same
+	// sentinel contract as DedupConfig.ThetaSet.
+	ThetaSet bool
 }
 
 // Suggestion couples a dirty term with a suggested dictionary repair.
@@ -52,8 +58,8 @@ type TermValidationResult struct {
 // technique, blocks with equal keys meet, and similar pairs become repair
 // suggestions. Terms present in the dictionary verbatim are never reported.
 func TermValidate(ds *engine.Dataset, cfg TermValidationConfig) TermValidationResult {
-	if cfg.Theta == 0 {
-		cfg.Theta = 0.8
+	if cfg.Theta == 0 && !cfg.ThetaSet {
+		cfg.Theta = DefaultTheta
 	}
 	ctx := ds.Context()
 	m := ctx.Metrics()
@@ -154,7 +160,14 @@ func TermValidate(ds *engine.Dataset, cfg TermValidationConfig) TermValidationRe
 		SimTicks:    m.SimTicks() - startTicks - groupTicks,
 		Comparisons: m.Comparisons() - startComp,
 	}
-	bestSim := map[string]float64{}
+	// Best-repair selection is deterministic regardless of reducer partition
+	// order (and hence of Workers): higher similarity wins, and equal
+	// similarity breaks to the lexicographically smaller suggestion.
+	type best struct {
+		sim  float64
+		sugg string
+	}
+	bestOf := map[string]best{}
 	for _, v := range distinct.Collect() {
 		s := Suggestion{
 			Term:       v.Field("term").Str(),
@@ -162,8 +175,9 @@ func TermValidate(ds *engine.Dataset, cfg TermValidationConfig) TermValidationRe
 			Sim:        v.Field("sim").Float(),
 		}
 		res.Suggestions = append(res.Suggestions, s)
-		if s.Sim > bestSim[s.Term] {
-			bestSim[s.Term] = s.Sim
+		b, seen := bestOf[s.Term]
+		if !seen || s.Sim > b.sim || (s.Sim == b.sim && s.Suggestion < b.sugg) {
+			bestOf[s.Term] = best{s.Sim, s.Suggestion}
 			res.Repairs[s.Term] = s.Suggestion
 		}
 	}

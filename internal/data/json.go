@@ -162,6 +162,11 @@ func WriteJSON(w io.Writer, rows []types.Value) error {
 	return bw.Flush()
 }
 
+// ToJSON converts a value to the plain Go shape json.Marshal renders the way
+// WriteJSON does (records → maps, lists → slices, null → nil) — for callers
+// that embed rows in a larger JSON document instead of a JSON-lines stream.
+func ToJSON(v types.Value) interface{} { return toJSON(v) }
+
 func toJSON(v types.Value) interface{} {
 	switch v.Kind() {
 	case types.KindNull:

@@ -359,6 +359,53 @@ func TestCartesianBudgetExceeded(t *testing.T) {
 	}
 }
 
+func TestBudgetGuardClampsOverspentCounter(t *testing.T) {
+	// Several stages share one job budget, so a prior stage may already have
+	// pushed the comparison counter past it. The guards charge "the remaining
+	// budget" before reporting ErrBudgetExceeded; with an overspent counter
+	// that delta is negative and must clamp at zero — a failed join must never
+	// reduce the cumulative metrics.
+	mk := func() (*Context, *Dataset, *Dataset) {
+		ctx := NewContext(2)
+		ctx.CompBudget = 100
+		ctx.Metrics().AddComparisons(150) // prior stage overspent the budget
+		rng := rand.New(rand.NewSource(11))
+		return ctx, FromValues(ctx, randKV(rng, 30, 3)), FromValues(ctx, randKV(rng, 30, 3))
+	}
+	attr := func(v types.Value) float64 { return float64(v.Field("v").Int()) }
+	anyPred := func(a, b types.Value) bool { return true }
+	cases := []struct {
+		name string
+		run  func(ctx *Context, l, r *Dataset) error
+	}{
+		{"cartesian", func(_ *Context, l, r *Dataset) error {
+			_, err := l.CartesianFilter("c", r, anyPred, PairCombine)
+			return err
+		}},
+		{"theta", func(_ *Context, l, r *Dataset) error {
+			_, err := l.ThetaJoin("t", r, ThetaJoinStats{}, anyPred, PairCombine)
+			return err
+		}},
+		{"minmax", func(_ *Context, l, r *Dataset) error {
+			_, err := l.MinMaxBlockJoin("m", r, attr, attr,
+				func(_, _, _, _ float64) bool { return true }, anyPred, PairCombine)
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ctx, l, r := mk()
+			before := ctx.Metrics().Comparisons()
+			if err := tc.run(ctx, l, r); !errors.Is(err, ErrBudgetExceeded) {
+				t.Fatalf("want ErrBudgetExceeded, got %v", err)
+			}
+			if got := ctx.Metrics().Comparisons(); got < before {
+				t.Fatalf("budget guard reduced the cumulative comparison counter: %d -> %d", before, got)
+			}
+		})
+	}
+}
+
 func TestThetaJoinMatchesCartesian(t *testing.T) {
 	rng := rand.New(rand.NewSource(91))
 	for trial := 0; trial < 15; trial++ {

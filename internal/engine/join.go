@@ -131,7 +131,7 @@ func (d *Dataset) CartesianFilter(name string, right *Dataset, pred func(l, r ty
 	n := d.Count()
 	m := int64(len(rall))
 	if b := d.ctx.CompBudget; b > 0 && d.ctx.metrics.comparisons.Load()+n*m > b {
-		d.ctx.metrics.AddComparisons(b - d.ctx.metrics.comparisons.Load())
+		chargeBudgetOverflow(&d.ctx.metrics, b)
 		return nil, ErrBudgetExceeded
 	}
 	var shuffled int64 = m * int64(d.ctx.Workers) // right side replicated everywhere
@@ -225,7 +225,7 @@ func (d *Dataset) ThetaJoin(name string, right *Dataset, stats ThetaJoinStats, p
 		}
 	}
 	if b := d.ctx.CompBudget; b > 0 && d.ctx.metrics.comparisons.Load()+candidate > b {
-		d.ctx.metrics.AddComparisons(b - d.ctx.metrics.comparisons.Load())
+		chargeBudgetOverflow(&d.ctx.metrics, b)
 		return nil, ErrBudgetExceeded
 	}
 
@@ -323,7 +323,7 @@ func (d *Dataset) MinMaxBlockJoin(name string, right *Dataset, lattr, rattr func
 	}
 	// BigDansing shuffles every surviving block pair across the cluster.
 	if b := d.ctx.CompBudget; b > 0 && d.ctx.metrics.comparisons.Load()+candidate > b {
-		d.ctx.metrics.AddComparisons(b - d.ctx.metrics.comparisons.Load())
+		chargeBudgetOverflow(&d.ctx.metrics, b)
 		return nil, ErrBudgetExceeded
 	}
 	w := d.ctx.Workers
@@ -364,6 +364,17 @@ func (d *Dataset) MinMaxBlockJoin(name string, right *Dataset, lattr, rattr func
 		ShuffledRecords: int64(len(cells)) * 2,
 	})
 	return &Dataset{ctx: d.ctx, parts: out}, nil
+}
+
+// chargeBudgetOverflow accounts the unspent remainder of the comparison
+// budget when a join aborts with ErrBudgetExceeded, saturating the counter at
+// the budget. The counter may already sit past the budget — a prior stage of
+// the same job overspent it — and the delta is then negative; it clamps at
+// zero so an aborted join never rolls the cumulative metrics back.
+func chargeBudgetOverflow(m *Metrics, budget int64) {
+	if left := budget - m.comparisons.Load(); left > 0 {
+		m.AddComparisons(left)
+	}
 }
 
 func sortByKeyF(vs []types.Value, key func(types.Value) float64) {

@@ -92,6 +92,9 @@ func runTermValidation(s Scale, noise, edit, theta float64) []tvRun {
 			Blocker:    cfg.build(dict),
 			Metric:     textsim.MetricLevenshtein,
 			Theta:      theta,
+			// theta is an explicit experiment parameter (Figure 4 drives it
+			// below the default); never fall back to cleaning.DefaultTheta.
+			ThetaSet: true,
 		})
 		wall := time.Since(start)
 		runs = append(runs, tvRun{

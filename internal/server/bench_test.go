@@ -1,0 +1,42 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// BenchmarkServerQueryThroughput drives concurrent NDJSON streaming queries
+// through the full HTTP stack — admission, plan cache, streaming sink — the
+// way a load balancer would.
+func BenchmarkServerQueryThroughput(b *testing.B) {
+	db := customerDB(b)
+	_, ts := newTestServer(b, db, Config{MaxInflight: 256})
+	body := `{"query":"SELECT c.name FROM customer c WHERE c.nationkey = :n","params":{"n":2}}`
+	// Warm the plan cache so the benchmark measures the serving path.
+	resp, err := http.Post(ts.URL+"/v1/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			resp, err := http.Post(ts.URL+"/v1/query", "application/json", strings.NewReader(body))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+				b.Error(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Errorf("status = %d", resp.StatusCode)
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,55 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// handleMetrics renders the Prometheus text exposition: the DB's cumulative
+// engine counters, the plan cache's effectiveness, and the server's own
+// request accounting. Everything here is a snapshot of counters the engine
+// already keeps — the endpoint adds no bookkeeping of its own beyond the
+// request counters.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var sb strings.Builder
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+
+	m := s.db.Metrics()
+	counter("cleandb_sim_ticks_total", "Deterministic cost-model time across all queries.", m.SimTicks)
+	counter("cleandb_comparisons_total", "Pairwise similarity/predicate checks across all queries.", m.Comparisons)
+	counter("cleandb_shuffled_records_total", "Records moved across the simulated network.", m.ShuffledRecords)
+	counter("cleandb_shuffled_bytes_total", "Estimated bytes moved across the simulated network.", m.ShuffledBytes)
+
+	cs := s.db.PlanCacheStats()
+	counter("cleandb_plan_cache_hits_total", "Plan cache lookups served without re-planning.", cs.Hits)
+	counter("cleandb_plan_cache_misses_total", "Plan cache lookups that re-planned.", cs.Misses)
+	gauge("cleandb_plan_cache_entries", "Plans currently cached.", float64(cs.Entries))
+	rate := 0.0
+	if total := cs.Hits + cs.Misses; total > 0 {
+		rate = float64(cs.Hits) / float64(total)
+	}
+	gauge("cleandb_plan_cache_hit_rate", "Fraction of plan lookups served from the cache.", rate)
+
+	name := "cleandb_queries_total"
+	fmt.Fprintf(&sb, "# HELP %s Query executions by terminal status.\n# TYPE %s counter\n", name, name)
+	fmt.Fprintf(&sb, "%s{status=\"ok\"} %d\n", name, s.qOK.Load())
+	fmt.Fprintf(&sb, "%s{status=\"error\"} %d\n", name, s.qFailed.Load())
+	fmt.Fprintf(&sb, "%s{status=\"canceled\"} %d\n", name, s.qCanceled.Load())
+	fmt.Fprintf(&sb, "%s{status=\"rejected\"} %d\n", name, s.qRejected.Load())
+
+	gauge("cleandb_queries_inflight", "Queries currently executing.", float64(s.inflight.Load()))
+	s.stmtMu.Lock()
+	open := len(s.stmts)
+	s.stmtMu.Unlock()
+	gauge("cleandb_statements_open", "Prepared statements currently held by handle.", float64(open))
+	gauge("cleandb_sources", "Catalog entries (loaded and pending).", float64(len(s.db.Sources())))
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(sb.String()))
+}

@@ -1,0 +1,448 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"mime"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"cleandb"
+	"cleandb/internal/data"
+	"cleandb/internal/engine"
+)
+
+// queryRequest is the JSON body of POST /v1/query and of prepared-statement
+// executions (where Query stays empty). A text/plain body is accepted too:
+// the raw CleanM statement, with no parameters.
+type queryRequest struct {
+	Query string `json:"query"`
+	// Params binds :name placeholders. JSON numbers without a fraction bind
+	// as integers (matching how the text formats type their columns), all
+	// others as floats.
+	Params map[string]any `json:"params,omitempty"`
+}
+
+// args converts the request's parameter map to cleandb named arguments.
+func (q *queryRequest) args() []any {
+	if len(q.Params) == 0 {
+		return nil
+	}
+	out := make([]any, 0, len(q.Params))
+	for k, v := range q.Params {
+		if f, ok := v.(float64); ok && f == math.Trunc(f) && math.Abs(f) < (1<<53) {
+			v = int64(f)
+		}
+		out = append(out, cleandb.Named(k, v))
+	}
+	return out
+}
+
+// readQueryRequest parses the request body by content type: JSON for the
+// {query, params} shape, anything else as the raw statement text.
+func readQueryRequest(r *http.Request) (*queryRequest, error) {
+	ct, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	if ct == "application/json" {
+		var req queryRequest
+		if err := decodeBody(r, &req); err != nil {
+			return nil, err
+		}
+		return &req, nil
+	}
+	var sb strings.Builder
+	if _, err := copyBody(&sb, r); err != nil {
+		return nil, err
+	}
+	return &queryRequest{Query: strings.TrimSpace(sb.String())}, nil
+}
+
+// handleQuery executes one CleanM statement.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxQueryBody)
+	req, err := readQueryRequest(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Query == "" {
+		httpError(w, http.StatusBadRequest, errors.New("empty query"))
+		return
+	}
+	s.execute(w, r, execFuncs{
+		run: func(ctx context.Context) (*cleandb.Result, error) {
+			return s.db.QueryContext(ctx, req.Query, req.args()...)
+		},
+		stream: func(ctx context.Context, sink cleandb.Sink) (*cleandb.Result, error) {
+			return s.db.ExecuteTo(ctx, req.Query, sink, req.args()...)
+		},
+	})
+}
+
+// execFuncs abstracts "run this statement" over the ad-hoc and the prepared
+// paths, in both the buffered (envelope) and the streaming shape.
+type execFuncs struct {
+	run    func(ctx context.Context) (*cleandb.Result, error)
+	stream func(ctx context.Context, sink cleandb.Sink) (*cleandb.Result, error)
+}
+
+// execute admits, applies the server deadline, dispatches on the response
+// mode and accounts the outcome. This is the one chokepoint every query
+// execution — ad-hoc or prepared — funnels through.
+func (s *Server) execute(w http.ResponseWriter, r *http.Request, ex execFuncs) {
+	if !s.admit() {
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, errTooBusy)
+		return
+	}
+	defer s.release()
+	ctx := r.Context()
+	if s.cfg.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
+		defer cancel()
+	}
+	if r.URL.Query().Get("include") == "repairs" {
+		s.executeEnvelope(w, ctx, ex)
+		return
+	}
+	s.executeStream(w, ctx, r, ex)
+}
+
+// executeEnvelope answers the materialized JSON envelope: rows, per-task
+// names, repair summaries and metrics in one document. Unlike the streaming
+// path this buffers the full result — it is the debugging/repair-inspection
+// mode, not the bulk-transfer one.
+func (s *Server) executeEnvelope(w http.ResponseWriter, ctx context.Context, ex execFuncs) {
+	res, err := ex.run(ctx)
+	if err != nil {
+		s.failQuery(w, err, false)
+		return
+	}
+	s.qOK.Add(1)
+	rows := make([]any, 0, res.RowCount())
+	for v, _ := range res.Iter() {
+		rows = append(rows, data.ToJSON(v))
+	}
+	writeJSON(w, http.StatusOK, queryEnvelope{
+		Rows:     rows,
+		RowCount: res.RowCount(),
+		Tasks:    res.TaskNames(),
+		Repairs:  repairSummaries(res),
+		Metrics:  metricsOf(res),
+	})
+}
+
+// queryEnvelope is the ?include=repairs response document.
+type queryEnvelope struct {
+	Rows     []any           `json:"rows"`
+	RowCount int             `json:"row_count"`
+	Tasks    []string        `json:"tasks,omitempty"`
+	Repairs  []repairJSON    `json:"repairs,omitempty"`
+	Metrics  queryMetricJSON `json:"metrics"`
+}
+
+type repairJSON struct {
+	Task       string `json:"task"`
+	Source     string `json:"source"`
+	Col        string `json:"col"`
+	Violations int64  `json:"violations"`
+	Changed    int64  `json:"changed"`
+	Remaining  int64  `json:"remaining"`
+	Rounds     int    `json:"rounds"`
+	Clusters   int    `json:"clusters"`
+}
+
+type queryMetricJSON struct {
+	SimTicks        int64 `json:"sim_ticks"`
+	Comparisons     int64 `json:"comparisons"`
+	ShuffledRecords int64 `json:"shuffled_records"`
+	ShuffledBytes   int64 `json:"shuffled_bytes"`
+	PlanCacheHit    bool  `json:"plan_cache_hit"`
+	ExportedRows    int64 `json:"exported_rows"`
+}
+
+func repairSummaries(res *cleandb.Result) []repairJSON {
+	var out []repairJSON
+	for _, r := range res.Repairs() {
+		out = append(out, repairJSON{
+			Task: r.Task, Source: r.Source, Col: r.Col,
+			Violations: r.Violations, Changed: r.Changed, Remaining: r.Remaining,
+			Rounds: r.Rounds, Clusters: r.Clusters,
+		})
+	}
+	return out
+}
+
+func metricsOf(res *cleandb.Result) queryMetricJSON {
+	m := res.Metrics()
+	return queryMetricJSON{
+		SimTicks:        m.SimTicks,
+		Comparisons:     m.Comparisons,
+		ShuffledRecords: m.ShuffledRecords,
+		ShuffledBytes:   m.ShuffledBytes,
+		PlanCacheHit:    m.PlanCacheHit,
+		ExportedRows:    m.ExportedRows,
+	}
+}
+
+// Response formats of the streaming path.
+const (
+	formatNDJSON = "application/x-ndjson"
+	formatCSV    = "text/csv"
+)
+
+// pickFormat maps the Accept header to a streaming format. NDJSON is the
+// default; an explicit Accept that matches nothing we stream is a 406.
+func pickFormat(accept string) (string, error) {
+	if accept == "" {
+		return formatNDJSON, nil
+	}
+	for _, part := range strings.Split(accept, ",") {
+		mt, _, err := mime.ParseMediaType(part)
+		if err != nil {
+			continue
+		}
+		switch mt {
+		// text/* picks CSV: it is the only text type served, so answering
+		// application/x-ndjson would step outside the client's Accept range.
+		case formatCSV, "text/*":
+			return formatCSV, nil
+		case formatNDJSON, "application/json", "*/*", "application/*":
+			return formatNDJSON, nil
+		}
+	}
+	return "", fmt.Errorf("unsupported Accept %q (want %s or %s)", accept, formatNDJSON, formatCSV)
+}
+
+// Trailer names of the streaming response: the result facts that are only
+// known once the stream completes.
+const (
+	trailerRows        = "Cleandb-Row-Count"
+	trailerTicks       = "Cleandb-Sim-Ticks"
+	trailerComparisons = "Cleandb-Comparisons"
+	trailerPlanCache   = "Cleandb-Plan-Cache-Hit"
+	trailerRepairs     = "Cleandb-Repairs-Changed"
+)
+
+// executeStream pumps the result partitions straight into the response
+// through a writer-backed sink: partitions encode in parallel, stitch in
+// order, and flush through to the client as they land. Result facts that are
+// only known at the end (row count, metrics, repair outcome) arrive as HTTP
+// trailers.
+func (s *Server) executeStream(w http.ResponseWriter, ctx context.Context, r *http.Request, ex execFuncs) {
+	format, err := pickFormat(r.Header.Get("Accept"))
+	if err != nil {
+		httpError(w, http.StatusNotAcceptable, err)
+		return
+	}
+	cw := &countingWriter{w: w}
+	var sink cleandb.Sink
+	if format == formatCSV {
+		sink = cleandb.NewCSVSink(cw)
+	} else {
+		sink = cleandb.NewJSONLSink(cw)
+	}
+	// Announce the trailers before the first body byte; set the content type
+	// now so an immediate first partition carries it.
+	w.Header().Set("Trailer", strings.Join([]string{
+		trailerRows, trailerTicks, trailerComparisons, trailerPlanCache, trailerRepairs,
+	}, ", "))
+	w.Header().Set("Content-Type", format)
+
+	res, err := ex.stream(ctx, sink)
+	if err != nil {
+		s.failQuery(w, err, cw.n.Load() > 0)
+		return
+	}
+	s.qOK.Add(1)
+	m := res.Metrics()
+	var changed int64
+	for _, rep := range res.Repairs() {
+		changed += rep.Changed
+	}
+	w.Header().Set(trailerRows, strconv.FormatInt(m.ExportedRows, 10))
+	w.Header().Set(trailerTicks, strconv.FormatInt(m.SimTicks, 10))
+	w.Header().Set(trailerComparisons, strconv.FormatInt(m.Comparisons, 10))
+	w.Header().Set(trailerPlanCache, strconv.FormatBool(m.PlanCacheHit))
+	w.Header().Set(trailerRepairs, strconv.FormatInt(changed, 10))
+	// A zero-row result never touched the sink: force the header out so the
+	// client sees a completed, empty 200 rather than nothing.
+	if cw.n.Load() == 0 {
+		w.WriteHeader(http.StatusOK)
+	}
+}
+
+// failQuery accounts and reports a failed execution. midStream marks a
+// failure after response bytes went out: the status line is gone, so the
+// only honest signal left is killing the connection — a truncated chunked
+// body — rather than closing it cleanly as if the stream were complete.
+func (s *Server) failQuery(w http.ResponseWriter, err error, midStream bool) {
+	canceled := errors.Is(err, context.Canceled)
+	if canceled {
+		s.qCanceled.Add(1)
+	} else {
+		s.qFailed.Add(1)
+	}
+	if s.cfg.Logf != nil {
+		s.cfg.Logf("query failed: %v", err)
+	}
+	if midStream {
+		panic(http.ErrAbortHandler)
+	}
+	if canceled {
+		// The client is gone; nothing readable can be written.
+		return
+	}
+	httpError(w, statusOf(err), err)
+}
+
+// statusOf maps execution errors to response codes: deadline → 504, a spent
+// comparison budget → 422 (the query is valid but too expensive under the
+// configured budget), everything else — parse errors, unknown sources,
+// binding mismatches — → 400.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, engine.ErrBudgetExceeded):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// countingWriter counts response bytes (to tell pre-stream failures from
+// mid-stream ones) and forwards Flush so the sink layer's flush-through
+// streaming reaches the client per stitched partition.
+type countingWriter struct {
+	w http.ResponseWriter
+	n atomic.Int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n.Add(int64(n))
+	return n, err
+}
+
+func (c *countingWriter) Flush() {
+	if f, ok := c.w.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// --- prepared statements over the wire --------------------------------------
+
+// prepareRequest is the body of POST /v1/statements.
+type prepareRequest struct {
+	Query string `json:"query"`
+}
+
+// stmtJSON describes one prepared statement in responses.
+type stmtJSON struct {
+	Handle string   `json:"handle"`
+	Query  string   `json:"query"`
+	Params []string `json:"params"`
+	Uses   int64    `json:"uses"`
+}
+
+// handlePrepare plans a statement once and parks it under a handle; later
+// executions bind parameters only. Repeated prepares of the same text also
+// exercise the DB's plan cache, so even handle-per-request clients stay
+// cheap.
+func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxQueryBody)
+	var req prepareRequest
+	if err := decodeBody(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if strings.TrimSpace(req.Query) == "" {
+		httpError(w, http.StatusBadRequest, errors.New("empty query"))
+		return
+	}
+	stmt, err := s.db.PrepareStmtContext(r.Context(), req.Query)
+	if err != nil {
+		httpError(w, statusOf(err), err)
+		return
+	}
+	s.stmtMu.Lock()
+	if len(s.stmts) >= s.cfg.MaxStatements {
+		s.stmtMu.Unlock()
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests,
+			fmt.Errorf("server: %d prepared statements already open; DELETE unused handles", s.cfg.MaxStatements))
+		return
+	}
+	s.stmtSeq++
+	e := &stmtEntry{handle: fmt.Sprintf("st-%d", s.stmtSeq), query: req.Query, stmt: stmt}
+	s.stmts[e.handle] = e
+	s.stmtMu.Unlock()
+	writeJSON(w, http.StatusCreated, stmtJSON{Handle: e.handle, Query: e.query, Params: stmt.Params()})
+}
+
+// lookupStmt resolves a handle.
+func (s *Server) lookupStmt(handle string) (*stmtEntry, bool) {
+	s.stmtMu.Lock()
+	defer s.stmtMu.Unlock()
+	e, ok := s.stmts[handle]
+	return e, ok
+}
+
+// handleExecStatement executes a prepared statement by handle; the body
+// carries only the parameter bindings, and the response modes match
+// /v1/query exactly.
+func (s *Server) handleExecStatement(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.lookupStmt(r.PathValue("handle"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown statement handle %q", r.PathValue("handle")))
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxQueryBody)
+	var req queryRequest
+	if r.ContentLength != 0 {
+		if err := decodeBody(r, &req); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	e.uses.Add(1)
+	s.execute(w, r, execFuncs{
+		run: func(ctx context.Context) (*cleandb.Result, error) {
+			return e.stmt.ExecContext(ctx, req.args()...)
+		},
+		stream: func(ctx context.Context, sink cleandb.Sink) (*cleandb.Result, error) {
+			return e.stmt.ExecuteTo(ctx, sink, req.args()...)
+		},
+	})
+}
+
+// handleCloseStatement discards a handle.
+func (s *Server) handleCloseStatement(w http.ResponseWriter, r *http.Request) {
+	handle := r.PathValue("handle")
+	s.stmtMu.Lock()
+	_, ok := s.stmts[handle]
+	delete(s.stmts, handle)
+	s.stmtMu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown statement handle %q", handle))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleListStatements lists the open handles.
+func (s *Server) handleListStatements(w http.ResponseWriter, r *http.Request) {
+	s.stmtMu.Lock()
+	out := make([]stmtJSON, 0, len(s.stmts))
+	for _, e := range s.stmts {
+		out = append(out, stmtJSON{Handle: e.handle, Query: e.query, Params: e.stmt.Params(), Uses: e.uses.Load()})
+	}
+	s.stmtMu.Unlock()
+	sortStmts(out)
+	writeJSON(w, http.StatusOK, out)
+}

@@ -1,0 +1,216 @@
+// Package server exposes a CleanDB instance over HTTP — cleaning as a
+// service, the deployment shape the CleanM paper argues for: one optimizable
+// language behind one queryable interface instead of per-tool scripts.
+//
+// The service is a thin shell over the public cleandb API; everything
+// service-grade lives below it already (concurrency-safe DB, per-query job
+// contexts, the plan cache, lazy sources, streaming sinks). The server adds
+// the wire protocol:
+//
+//	POST /v1/query             execute a CleanM statement; rows stream back
+//	                           as NDJSON or CSV (chosen by Accept), or as a
+//	                           JSON envelope with ?include=repairs
+//	POST /v1/statements        prepare a statement, returning a handle
+//	GET  /v1/statements        list prepared statements
+//	POST /v1/statements/{h}    execute a prepared statement by handle
+//	DELETE /v1/statements/{h}  close a prepared statement
+//	GET  /v1/sources           list the source catalog (loaded and pending)
+//	POST /v1/sources           register a path or inline payload — lazily,
+//	                           without parsing a byte
+//	GET  /healthz              liveness (503 while draining)
+//	GET  /metrics              Prometheus text: engine counters, plan-cache
+//	                           hit rate, request counters
+//
+// Streaming responses pump the query's result partitions straight into the
+// HTTP response through the sink layer: partitions encode in parallel,
+// stitch in order, and flush through to the client as they land, so response
+// memory is bounded by the partitions in flight — never the whole result.
+// The request context is the query's job context: a client that disconnects
+// mid-stream cancels the running operators through the existing
+// engine.Context plumbing, leaking nothing.
+//
+// Admission control keeps the service survivable under load: at most
+// Config.MaxInflight queries execute at once (excess requests get 429 +
+// Retry-After), each request may carry a server-side deadline, and BeginDrain
+// flips /healthz to 503 so load balancers stop routing before a graceful
+// shutdown completes.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cleandb"
+)
+
+// Config parameterizes the server. The zero value serves with the defaults.
+type Config struct {
+	// MaxInflight bounds concurrently executing queries (prepared-statement
+	// executions included). Requests beyond the bound are rejected
+	// immediately with 429 Too Many Requests and a Retry-After header
+	// instead of queueing without bound. <= 0 selects DefaultMaxInflight.
+	MaxInflight int
+	// QueryTimeout, when positive, is the server-side deadline applied to
+	// every query execution (on top of the client's own connection
+	// lifetime). Exceeding it aborts the engine's operator loops and
+	// answers 504.
+	QueryTimeout time.Duration
+	// MaxStatements bounds the prepared-statement handles held open at once
+	// — the other server resource that would otherwise grow without bound
+	// under a client that prepares and never closes. Beyond it, prepares
+	// answer 429 until handles are DELETEd. <= 0 selects
+	// DefaultMaxStatements.
+	MaxStatements int
+	// Logf, when non-nil, receives one line per completed request.
+	Logf func(format string, args ...any)
+}
+
+// DefaultMaxInflight is the admission bound used when Config leaves
+// MaxInflight unset.
+const DefaultMaxInflight = 64
+
+// DefaultMaxStatements is the open-handle bound used when Config leaves
+// MaxStatements unset.
+const DefaultMaxStatements = 256
+
+// Server is the HTTP face of one cleandb.DB. Create it with New, mount
+// Handler on an http.Server, and call BeginDrain before shutting down.
+type Server struct {
+	db  *cleandb.DB
+	cfg Config
+	mux *http.ServeMux
+
+	// sem holds one token per admitted in-flight query.
+	sem      chan struct{}
+	draining atomic.Bool
+
+	stmtMu  sync.Mutex
+	stmts   map[string]*stmtEntry
+	stmtSeq int64
+
+	// Request counters for /metrics: terminal outcome of every execution.
+	qOK, qFailed, qCanceled, qRejected atomic.Int64
+	inflight                           atomic.Int64
+}
+
+// stmtEntry is one prepared statement held by handle across requests.
+type stmtEntry struct {
+	handle string
+	query  string
+	stmt   *cleandb.Stmt
+	uses   atomic.Int64
+}
+
+// New builds a Server over db.
+func New(db *cleandb.DB, cfg Config) *Server {
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = DefaultMaxInflight
+	}
+	if cfg.MaxStatements <= 0 {
+		cfg.MaxStatements = DefaultMaxStatements
+	}
+	s := &Server{
+		db:    db,
+		cfg:   cfg,
+		mux:   http.NewServeMux(),
+		sem:   make(chan struct{}, cfg.MaxInflight),
+		stmts: map[string]*stmtEntry{},
+	}
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/statements", s.handlePrepare)
+	s.mux.HandleFunc("GET /v1/statements", s.handleListStatements)
+	s.mux.HandleFunc("POST /v1/statements/{handle}", s.handleExecStatement)
+	s.mux.HandleFunc("DELETE /v1/statements/{handle}", s.handleCloseStatement)
+	s.mux.HandleFunc("GET /v1/sources", s.handleListSources)
+	s.mux.HandleFunc("POST /v1/sources", s.handleRegisterSource)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	if s.cfg.Logf == nil {
+		return s.mux
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.mux.ServeHTTP(w, r)
+		s.cfg.Logf("%s %s (%s)", r.Method, r.URL.Path, time.Since(start).Round(time.Millisecond))
+	})
+}
+
+// BeginDrain flips /healthz to 503 so load balancers stop routing new
+// traffic; in-flight queries keep running. Call it before http.Server
+// Shutdown, which then waits for them.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// admit takes an in-flight token, or reports rejection when MaxInflight
+// queries are already executing.
+func (s *Server) admit() bool {
+	select {
+	case s.sem <- struct{}{}:
+		s.inflight.Add(1)
+		return true
+	default:
+		s.qRejected.Add(1)
+		return false
+	}
+}
+
+// release returns an admitted query's token.
+func (s *Server) release() {
+	s.inflight.Add(-1)
+	<-s.sem
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status":   "draining",
+			"inflight": s.inflight.Load(),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"inflight": s.inflight.Load(),
+	})
+}
+
+// apiError is the JSON error body every non-streaming failure answers with.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// writeJSON renders v as the response body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// httpError answers an error as a JSON body with the given status.
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, apiError{Error: err.Error()})
+}
+
+// decodeBody decodes a JSON request body into v, rejecting unknown fields so
+// typos ("querry") fail loudly instead of executing an empty statement.
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("request body: %w", err)
+	}
+	return nil
+}
+
+var errTooBusy = errors.New("server: too many in-flight queries, retry later")

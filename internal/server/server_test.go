@@ -1,0 +1,765 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cleandb"
+	"cleandb/internal/datagen"
+	"cleandb/internal/source"
+	"cleandb/internal/types"
+)
+
+// newTestServer mounts a Server over db on an httptest listener.
+func newTestServer(t testing.TB, db *cleandb.DB, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := New(db, cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// customerDB is a DB with a 400-row customer source.
+func customerDB(t testing.TB) *cleandb.DB {
+	t.Helper()
+	db := cleandb.Open(cleandb.WithWorkers(4))
+	db.RegisterRows("customer",
+		datagen.GenCustomer(datagen.CustomerConfig{Rows: 400, DupRate: 0.1, MaxDups: 4, Seed: 11}).Rows)
+	return db
+}
+
+// countLines counts non-empty lines of a response body.
+func countLines(r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	n := 0
+	for sc.Scan() {
+		if strings.TrimSpace(sc.Text()) != "" {
+			n++
+		}
+	}
+	return n, sc.Err()
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// settleGoroutines waits for the goroutine count to return to (near) its
+// baseline — the leak check of the cancellation tests.
+func settleGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: before %d, after %d", before, runtime.NumGoroutine())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// gateSource is a Source whose Scan blocks until released (or cancelled),
+// recording whether it observed the cancellation — how the tests hold a
+// query provably in flight and prove that a dropped client reaches the job
+// context.
+type gateSource struct {
+	startOnce sync.Once
+	started   chan struct{}
+	release   chan struct{}
+	sawCancel atomic.Bool
+}
+
+func newGate() *gateSource {
+	return &gateSource{started: make(chan struct{}), release: make(chan struct{})}
+}
+
+func (g *gateSource) Format() string               { return "mem" }
+func (g *gateSource) Schema() ([]string, error)    { return nil, nil }
+func (g *gateSource) Stats() (source.Stats, error) { return source.Stats{Rows: -1, Bytes: -1}, nil }
+
+func (g *gateSource) Scan(ctx context.Context, parts int) ([][]types.Value, error) {
+	g.startOnce.Do(func() { close(g.started) })
+	select {
+	case <-ctx.Done():
+		g.sawCancel.Store(true)
+		return nil, ctx.Err()
+	case <-g.release:
+		schema := types.NewSchema("id")
+		return [][]types.Value{{types.NewRecord(schema, []types.Value{types.Int(1)})}}, nil
+	}
+}
+
+// --- streaming queries -------------------------------------------------------
+
+func TestConcurrentStreamingQueries(t *testing.T) {
+	db := customerDB(t)
+	_, ts := newTestServer(t, db, Config{MaxInflight: 64})
+	// Expected counts per nation, computed in-process.
+	want := map[int]int{}
+	for n := 1; n <= 4; n++ {
+		res, err := db.Query(`SELECT c.name FROM customer c WHERE c.nationkey = ?`, int64(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[n] = res.RowCount()
+	}
+	const goroutines = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				nation := (g+i)%4 + 1
+				body := fmt.Sprintf(
+					`{"query":"SELECT c.name FROM customer c WHERE c.nationkey = :n","params":{"n":%d}}`, nation)
+				resp, err := http.Post(ts.URL+"/v1/query", "application/json", strings.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				lines, err := countLines(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("status = %d", resp.StatusCode)
+					return
+				}
+				if lines != want[nation] {
+					errs <- fmt.Errorf("nation %d: rows = %d, want %d", nation, lines, want[nation])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamingTrailersAndFormats(t *testing.T) {
+	db := customerDB(t)
+	_, ts := newTestServer(t, db, Config{})
+	ref, err := db.Query(`SELECT c.name FROM customer c`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := ref.RowCount()
+
+	// NDJSON (default): every line parses, trailers carry the result facts.
+	resp, err := http.Post(ts.URL+"/v1/query", "text/plain",
+		strings.NewReader(`SELECT c.name FROM customer c`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != formatNDJSON {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lines := 0
+	for sc.Scan() {
+		var row map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+			t.Fatalf("line %d is not JSON: %v", lines, err)
+		}
+		lines++
+	}
+	if lines != total {
+		t.Fatalf("rows = %d, want %d", lines, total)
+	}
+	// Trailers are populated only after the body is fully consumed.
+	if got := resp.Trailer.Get("Cleandb-Row-Count"); got != fmt.Sprint(total) {
+		t.Fatalf("Cleandb-Row-Count trailer = %q, want %d", got, total)
+	}
+	if got := resp.Trailer.Get("Cleandb-Sim-Ticks"); got == "" || got == "0" {
+		t.Fatalf("Cleandb-Sim-Ticks trailer = %q", got)
+	}
+
+	// CSV by Accept: header row + data rows.
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/query",
+		strings.NewReader(`SELECT c.name, c.nationkey FROM customer c`))
+	req.Header.Set("Accept", "text/csv")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if ct := resp2.Header.Get("Content-Type"); ct != formatCSV {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	body, _ := io.ReadAll(resp2.Body)
+	if !strings.HasPrefix(string(body), "name,nationkey\n") {
+		t.Fatalf("csv header missing: %q", string(body[:min(40, len(body))]))
+	}
+	if n := strings.Count(string(body), "\n"); n != total+1 {
+		t.Fatalf("csv lines = %d, want %d (header + rows)", n, total+1)
+	}
+
+	// An Accept nothing can satisfy is a 406, not a silent default.
+	req, _ = http.NewRequest("POST", ts.URL+"/v1/query",
+		strings.NewReader(`SELECT c.name FROM customer c`))
+	req.Header.Set("Accept", "application/xml")
+	resp3, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp3.Body)
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusNotAcceptable {
+		t.Fatalf("status = %d, want 406", resp3.StatusCode)
+	}
+}
+
+func TestQueryEnvelopeWithRepairs(t *testing.T) {
+	db := cleandb.Open(cleandb.WithWorkers(4))
+	db.RegisterRows("lineitem", datagen.GenLineitem(datagen.LineitemConfig{Rows: 2000, Seed: 9}))
+	_, ts := newTestServer(t, db, Config{})
+	q := `SELECT * FROM lineitem t1
+DENIAL(t2, t1.extendedprice < t2.extendedprice and t1.discount > t2.discount and t1.extendedprice < 905)
+REPAIR(t1.discount)`
+	resp, err := http.Post(ts.URL+"/v1/query?include=repairs", "text/plain", strings.NewReader(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var env queryEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	if len(env.Repairs) != 1 {
+		t.Fatalf("repairs = %+v, want one summary", env.Repairs)
+	}
+	r := env.Repairs[0]
+	if r.Source != "lineitem" || r.Col != "discount" || r.Changed == 0 || r.Remaining != 0 {
+		t.Fatalf("repair summary = %+v", r)
+	}
+	if env.Metrics.Comparisons == 0 {
+		t.Fatalf("metrics = %+v", env.Metrics)
+	}
+	if len(env.Rows) != env.RowCount {
+		t.Fatalf("rows = %d, row_count = %d", len(env.Rows), env.RowCount)
+	}
+}
+
+// --- admission control -------------------------------------------------------
+
+func TestAdmissionControl429(t *testing.T) {
+	db := cleandb.Open(cleandb.WithWorkers(2))
+	g := newGate()
+	db.RegisterSource("gated", g)
+	srv, ts := newTestServer(t, db, Config{MaxInflight: 1})
+
+	done := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/query", "text/plain", strings.NewReader(`SELECT g.id FROM gated g`))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				err = fmt.Errorf("first query status = %d", resp.StatusCode)
+			}
+		}
+		done <- err
+	}()
+	<-g.started // the one admission slot is now provably occupied
+
+	resp, err := http.Post(ts.URL+"/v1/query", "text/plain", strings.NewReader(`SELECT g.id FROM gated g`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 should carry Retry-After")
+	}
+	if srv.qRejected.Load() != 1 {
+		t.Fatalf("rejected counter = %d", srv.qRejected.Load())
+	}
+
+	close(g.release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// With the slot free again, the same query is admitted.
+	resp, err = http.Post(ts.URL+"/v1/query", "text/plain", strings.NewReader(`SELECT g.id FROM gated g`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-release status = %d", resp.StatusCode)
+	}
+}
+
+// --- cancellation ------------------------------------------------------------
+
+func TestClientDisconnectCancelsJob(t *testing.T) {
+	db := cleandb.Open(cleandb.WithWorkers(2))
+	g := newGate()
+	db.RegisterSource("gated", g)
+	srv, ts := newTestServer(t, db, Config{})
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/query",
+		strings.NewReader(`SELECT g.id FROM gated g`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientDone := make(chan struct{})
+	go func() {
+		defer close(clientDone)
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	<-g.started // the query is provably running server-side
+	cancel()    // the client walks away
+	<-clientDone
+
+	// The dropped connection must cancel the query's job context — observed
+	// by the source blocked inside the engine-side load — and account the
+	// execution as canceled, not failed.
+	waitFor(t, "job context cancellation", func() bool { return g.sawCancel.Load() })
+	waitFor(t, "canceled accounting", func() bool { return srv.qCanceled.Load() == 1 })
+	waitFor(t, "in-flight drain", func() bool { return srv.inflight.Load() == 0 })
+	if srv.qFailed.Load() != 0 {
+		t.Fatalf("canceled query counted as failed")
+	}
+	settleGoroutines(t, before)
+}
+
+func TestMidStreamDisconnectAborts(t *testing.T) {
+	// A result far larger than the connection buffers: the server is
+	// guaranteed to still be pumping partitions when the client hangs up.
+	db := cleandb.Open(cleandb.WithWorkers(4))
+	schema := types.NewSchema("id", "pad")
+	pad := strings.Repeat("x", 64)
+	rows := make([]types.Value, 200_000)
+	for i := range rows {
+		rows[i] = types.NewRecord(schema, []types.Value{types.Int(int64(i)), types.String(pad)})
+	}
+	db.RegisterRows("big", rows)
+	srv, ts := newTestServer(t, db, Config{})
+	before := runtime.NumGoroutine()
+
+	resp, err := http.Post(ts.URL+"/v1/query", "text/plain", strings.NewReader(`SELECT b.id, b.pad FROM big b`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read a little of the stream, then drop the connection mid-body.
+	if _, err := io.ReadFull(resp.Body, make([]byte, 1024)); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// The abort must reach a terminal state (no wedged pump), release the
+	// admission slot and leak nothing.
+	waitFor(t, "terminal accounting", func() bool {
+		return srv.qFailed.Load()+srv.qCanceled.Load() == 1
+	})
+	waitFor(t, "in-flight drain", func() bool { return srv.inflight.Load() == 0 })
+	settleGoroutines(t, before)
+
+	// The server is still healthy and serving.
+	resp2, err := http.Post(ts.URL+"/v1/query", "text/plain",
+		strings.NewReader(`SELECT b.id FROM big b WHERE b.id = 1`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines, err := countLines(resp2.Body)
+	resp2.Body.Close()
+	if err != nil || resp2.StatusCode != http.StatusOK || lines != 1 {
+		t.Fatalf("follow-up query: status %d rows %d err %v", resp2.StatusCode, lines, err)
+	}
+}
+
+// --- prepared statements -----------------------------------------------------
+
+func TestStatementLifecycle(t *testing.T) {
+	db := customerDB(t)
+	_, ts := newTestServer(t, db, Config{})
+
+	// Prepare.
+	resp, err := http.Post(ts.URL+"/v1/statements", "application/json",
+		strings.NewReader(`{"query":"SELECT c.name FROM customer c WHERE c.nationkey = :nation"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st stmtJSON
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || st.Handle == "" {
+		t.Fatalf("prepare: status %d, %+v", resp.StatusCode, st)
+	}
+	if len(st.Params) != 1 || st.Params[0] != "nation" {
+		t.Fatalf("params = %v", st.Params)
+	}
+
+	// Execute twice with different bindings; counts must match in-process
+	// execution.
+	for _, nation := range []int{1, 2} {
+		res, err := db.Query(`SELECT c.name FROM customer c WHERE c.nationkey = ?`, int64(nation))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/v1/statements/"+st.Handle, "application/json",
+			strings.NewReader(fmt.Sprintf(`{"params":{"nation":%d}}`, nation)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines, err := countLines(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK || lines != res.RowCount() {
+			t.Fatalf("nation %d: status %d rows %d, want %d", nation, resp.StatusCode, lines, res.RowCount())
+		}
+	}
+
+	// List shows the handle with its use count.
+	resp, err = http.Get(ts.URL + "/v1/statements")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []stmtJSON
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list) != 1 || list[0].Uses != 2 {
+		t.Fatalf("list = %+v", list)
+	}
+
+	// Close; the handle is gone.
+	req, _ := http.NewRequest("DELETE", ts.URL+"/v1/statements/"+st.Handle, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete status = %d", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/v1/statements/"+st.Handle, "application/json",
+		strings.NewReader(`{"params":{"nation":1}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("closed handle status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// --- sources over the wire ---------------------------------------------------
+
+func TestSourceRegistrationStaysLazy(t *testing.T) {
+	db := cleandb.Open(cleandb.WithWorkers(2))
+	_, ts := newTestServer(t, db, Config{})
+
+	// Register an inline CSV payload; it must land pending, not parsed.
+	resp, err := http.Post(ts.URL+"/v1/sources", "application/json",
+		strings.NewReader(`{"name":"dict","format":"csv","data":"term,weight\nalpha,1\nbeta,2\n"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info sourceJSON
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if info.Loaded {
+		t.Fatalf("registration parsed the payload: %+v", info)
+	}
+
+	// First query loads it.
+	resp, err = http.Post(ts.URL+"/v1/query", "text/plain", strings.NewReader(`SELECT d.term FROM dict d`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines, err := countLines(resp.Body)
+	resp.Body.Close()
+	if err != nil || lines != 2 {
+		t.Fatalf("rows = %d err = %v", lines, err)
+	}
+	resp, err = http.Get(ts.URL + "/v1/sources")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var infos []sourceJSON
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(infos) != 1 || !infos[0].Loaded || infos[0].Rows != 2 {
+		t.Fatalf("after query: %+v", infos)
+	}
+
+	// Bad requests are rejected.
+	for _, body := range []string{
+		`{"format":"csv","data":"a\n1\n"}`,             // no name
+		`{"name":"x","data":"a\n1\n"}`,                 // no format
+		`{"name":"x","format":"parquet","data":"..."}`, // unknown format
+		`{"name":"x","path":"/nonexistent/file.csv"}`,  // missing file
+	} {
+		resp, err := http.Post(ts.URL+"/v1/sources", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status = %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+// --- operability -------------------------------------------------------------
+
+func TestMetricsEndpoint(t *testing.T) {
+	db := customerDB(t)
+	srv, ts := newTestServer(t, db, Config{})
+	for i := 0; i < 3; i++ {
+		resp, err := http.Post(ts.URL+"/v1/query", "text/plain",
+			strings.NewReader(`SELECT c.name FROM customer c`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		`cleandb_queries_total{status="ok"} 3`,
+		"cleandb_plan_cache_hits_total 2",
+		"cleandb_plan_cache_misses_total 1",
+		"cleandb_plan_cache_hit_rate 0.6666666666666666",
+		"cleandb_queries_inflight 0",
+		"cleandb_sources 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, text)
+		}
+	}
+	if !strings.Contains(text, "cleandb_sim_ticks_total") {
+		t.Fatalf("metrics missing engine counters:\n%s", text)
+	}
+	_ = srv
+}
+
+func TestHealthzAndDrain(t *testing.T) {
+	db := customerDB(t)
+	srv, ts := newTestServer(t, db, Config{})
+	ref, err := db.Query(`SELECT c.name FROM customer c`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+	srv.BeginDrain()
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz = %d, want 503", resp.StatusCode)
+	}
+	// Draining refuses nothing in flight-wise: queries still execute.
+	resp, err = http.Post(ts.URL+"/v1/query", "text/plain", strings.NewReader(`SELECT c.name FROM customer c`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines, err := countLines(resp.Body)
+	resp.Body.Close()
+	if err != nil || lines != ref.RowCount() {
+		t.Fatalf("query during drain: rows %d (want %d) err %v", lines, ref.RowCount(), err)
+	}
+}
+
+func TestQueryErrorStatuses(t *testing.T) {
+	db := customerDB(t)
+	_, ts := newTestServer(t, db, Config{})
+	cases := []struct {
+		name, body string
+		status     int
+	}{
+		{"parse error", `SELECT FROM FROM`, http.StatusBadRequest},
+		{"unknown source", `SELECT x.a FROM nosuch x`, http.StatusBadRequest},
+		{"missing binding", `SELECT c.name FROM customer c WHERE c.nationkey = :n`, http.StatusBadRequest},
+		{"empty body", ``, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+"/v1/query", "text/plain", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var apiErr apiError
+		if err := json.NewDecoder(resp.Body).Decode(&apiErr); err != nil {
+			t.Fatalf("%s: error body not JSON: %v", tc.name, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.status {
+			t.Fatalf("%s: status = %d, want %d", tc.name, resp.StatusCode, tc.status)
+		}
+		if apiErr.Error == "" {
+			t.Fatalf("%s: empty error message", tc.name)
+		}
+	}
+
+	// A server-side deadline answers 504.
+	g := newGate()
+	db2 := cleandb.Open(cleandb.WithWorkers(2))
+	db2.RegisterSource("gated", g)
+	_, ts2 := newTestServer(t, db2, Config{QueryTimeout: 50 * time.Millisecond})
+	resp, err := http.Post(ts2.URL+"/v1/query", "text/plain", strings.NewReader(`SELECT g.id FROM gated g`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("timeout status = %d, want 504", resp.StatusCode)
+	}
+}
+
+func TestStatementHandleCap(t *testing.T) {
+	db := customerDB(t)
+	_, ts := newTestServer(t, db, Config{MaxStatements: 2})
+	prepare := func() (*http.Response, stmtJSON) {
+		resp, err := http.Post(ts.URL+"/v1/statements", "application/json",
+			strings.NewReader(`{"query":"SELECT c.name FROM customer c"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st stmtJSON
+		_ = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		return resp, st
+	}
+	var first stmtJSON
+	for i := 0; i < 2; i++ {
+		resp, st := prepare()
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("prepare %d: status = %d", i, resp.StatusCode)
+		}
+		if i == 0 {
+			first = st
+		}
+	}
+	// The cap rejects further prepares instead of growing without bound.
+	resp, _ := prepare()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-cap prepare status = %d, want 429", resp.StatusCode)
+	}
+	// Closing a handle frees a slot.
+	req, _ := http.NewRequest("DELETE", ts.URL+"/v1/statements/"+first.Handle, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, dresp.Body)
+	dresp.Body.Close()
+	resp, _ = prepare()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("post-delete prepare status = %d, want 201", resp.StatusCode)
+	}
+}
+
+func TestTextWildcardAcceptServesCSV(t *testing.T) {
+	// text/* must answer with the one text type served (text/csv), never
+	// application/x-ndjson outside the client's Accept range.
+	_, ts := newTestServer(t, customerDB(t), Config{})
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/query",
+		strings.NewReader(`SELECT c.name FROM customer c WHERE c.nationkey = 1`))
+	req.Header.Set("Accept", "text/*")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != formatCSV {
+		t.Fatalf("Content-Type = %q, want %q", ct, formatCSV)
+	}
+}
+
+func TestOversizedQueryBodyRejected(t *testing.T) {
+	// A text body past the 1 MiB cap must be rejected, not silently
+	// truncated into a different statement.
+	_, ts := newTestServer(t, customerDB(t), Config{})
+	big := `SELECT c.name FROM customer c WHERE c.address = '` +
+		strings.Repeat("x", maxQueryBody+1024) + `'`
+	resp, err := http.Post(ts.URL+"/v1/query", "text/plain", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized body status = %d, want 400", resp.StatusCode)
+	}
+}

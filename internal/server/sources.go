@@ -1,0 +1,167 @@
+package server
+
+import (
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"cleandb"
+	"cleandb/internal/source"
+)
+
+// sourceJSON describes one catalog entry over the wire.
+type sourceJSON struct {
+	Name   string `json:"name"`
+	Format string `json:"format"`
+	// Loaded reports whether the source has been scanned into partitions;
+	// registered-but-unreferenced sources stay pending (and unparsed).
+	Loaded bool   `json:"loaded"`
+	Error  string `json:"error,omitempty"`
+	// Rows is exact once loaded, a cheap hint before (-1 when counting
+	// would require a parse).
+	Rows  int64 `json:"rows"`
+	Bytes int64 `json:"bytes"`
+}
+
+func toSourceJSON(info cleandb.SourceInfo) sourceJSON {
+	out := sourceJSON{
+		Name: info.Name, Format: info.Format, Loaded: info.Loaded,
+		Rows: info.Rows, Bytes: info.Bytes,
+	}
+	if info.Err != nil {
+		out.Error = info.Err.Error()
+	}
+	return out
+}
+
+// handleListSources reports the catalog — loaded and pending — without
+// triggering any load.
+func (s *Server) handleListSources(w http.ResponseWriter, r *http.Request) {
+	infos := s.db.SourceInfos()
+	out := make([]sourceJSON, len(infos))
+	for i, info := range infos {
+		out[i] = toSourceJSON(info)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// registerSourceRequest is the body of POST /v1/sources: either a server-side
+// path (format inferred from the extension) or an inline payload with an
+// explicit format. Registration is lazy either way — nothing is parsed until
+// the first query references the source.
+type registerSourceRequest struct {
+	Name string `json:"name"`
+	// Path registers a file on the server's filesystem.
+	Path string `json:"path,omitempty"`
+	// Format and Data (or DataBase64 for binary colbin payloads) register an
+	// inline payload. Formats: csv, json, xml, colbin.
+	Format     string `json:"format,omitempty"`
+	Data       string `json:"data,omitempty"`
+	DataBase64 string `json:"data_base64,omitempty"`
+}
+
+// handleRegisterSource adds a catalog entry. The payload is recorded, not
+// parsed: a malformed file surfaces on first use, exactly as with the Go
+// API's lazy registration — except for path registrations, where a stat
+// catches typo'd paths immediately.
+func (s *Server) handleRegisterSource(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxSourceBody)
+	var req registerSourceRequest
+	if err := decodeBody(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Name == "" {
+		httpError(w, http.StatusBadRequest, errors.New("source name is required"))
+		return
+	}
+	switch {
+	case req.Path != "" && (req.Data != "" || req.DataBase64 != ""):
+		httpError(w, http.StatusBadRequest, errors.New("give either path or inline data, not both"))
+		return
+	case req.Path != "":
+		if _, err := os.Stat(req.Path); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := s.db.RegisterFile(req.Name, req.Path); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+	default:
+		src, err := inlineSource(&req)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		s.db.RegisterSource(req.Name, src)
+	}
+	info, err := s.db.SourceInfo(req.Name)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, toSourceJSON(info))
+}
+
+// inlineSource builds a byte-backed source from an inline payload.
+func inlineSource(req *registerSourceRequest) (cleandb.Source, error) {
+	var buf []byte
+	switch {
+	case req.Data != "" && req.DataBase64 != "":
+		return nil, errors.New("give either data or data_base64, not both")
+	case req.DataBase64 != "":
+		b, err := base64.StdEncoding.DecodeString(req.DataBase64)
+		if err != nil {
+			return nil, fmt.Errorf("data_base64: %w", err)
+		}
+		buf = b
+	case req.Data != "":
+		buf = []byte(req.Data)
+	default:
+		return nil, errors.New("inline registration needs data or data_base64")
+	}
+	switch strings.ToLower(req.Format) {
+	case "csv":
+		return source.CSVBytes(buf), nil
+	case "json", "jsonl", "ndjson":
+		return source.JSONBytes(buf), nil
+	case "xml":
+		return source.XMLBytes(buf), nil
+	case "colbin":
+		return source.ColbinBytes(buf), nil
+	case "":
+		return nil, errors.New("inline registration needs a format (csv, json, xml, colbin)")
+	default:
+		return nil, fmt.Errorf("unknown format %q (want csv, json, xml or colbin)", req.Format)
+	}
+}
+
+// maxQueryBody and maxSourceBody bound request bodies: statements are small,
+// inline payloads may not be.
+const (
+	maxQueryBody  = 1 << 20
+	maxSourceBody = 64 << 20
+)
+
+// copyBody drains the request body into w. The handlers already wrap the
+// body in http.MaxBytesReader, so an oversized body surfaces as its "request
+// body too large" error here — never as a silent truncation.
+func copyBody(w io.Writer, r *http.Request) (int64, error) {
+	return io.Copy(w, r.Body)
+}
+
+// sortStmts orders statement listings by handle sequence number.
+func sortStmts(out []stmtJSON) {
+	sort.Slice(out, func(i, j int) bool {
+		a, _ := strconv.Atoi(strings.TrimPrefix(out[i].Handle, "st-"))
+		b, _ := strconv.Atoi(strings.TrimPrefix(out[j].Handle, "st-"))
+		return a < b
+	})
+}

@@ -418,3 +418,75 @@ func TestFileSinkCreatesAtOpen(t *testing.T) {
 		t.Fatalf("file missing after Open+Close: %v", err)
 	}
 }
+
+// flushRecorder is a Flush-capable destination — the http.ResponseWriter
+// shape — recording how many bytes had arrived at each Flush call.
+type flushRecorder struct {
+	bytes.Buffer
+	flushes []int
+}
+
+func (f *flushRecorder) Flush() { f.flushes = append(f.flushes, f.Len()) }
+
+// TestStreamSinkFlushesThroughPerPartition locks the flush-through contract
+// the HTTP server relies on: against a Flush-capable destination, every
+// stitched partition must reach it immediately — not pool in the sink's
+// buffer until Close — and the final bytes must still match the materialized
+// writer exactly.
+func TestStreamSinkFlushesThroughPerPartition(t *testing.T) {
+	rows := genRows(64, 5)
+	parts := chunk(rows, 4)
+	var fr flushRecorder
+	s := NewJSONL(&fr)
+	if err := s.Open(nil); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range parts {
+		if err := s.WritePartition(i, p); err != nil {
+			t.Fatal(err)
+		}
+		if len(fr.flushes) != i+1 {
+			t.Fatalf("partition %d: flush calls = %d, want %d (each stitched partition must be pushed through)",
+				i, len(fr.flushes), i+1)
+		}
+		if i > 0 && fr.flushes[i] <= fr.flushes[i-1] {
+			t.Fatalf("partition %d: no new bytes reached the destination (%v)", i, fr.flushes)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := data.WriteJSON(&want, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fr.Bytes(), want.Bytes()) {
+		t.Fatal("flush-through changed the output bytes")
+	}
+}
+
+// TestStreamSinkNoFlushForPlainWriters: destinations without a Flush method
+// (plain buffers, files) keep the batched behaviour — bytes arrive at Close.
+func TestStreamSinkNoFlushForPlainWriters(t *testing.T) {
+	parts := chunk(genRows(8, 7), 2)
+	var buf bytes.Buffer
+	w := struct{ io.Writer }{&buf} // hide bytes.Buffer's method set
+	s := NewJSONL(w)
+	if err := s.Open(nil); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range parts {
+		if err := s.WritePartition(i, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("plain writer received %d bytes before Close", buf.Len())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("no bytes after Close")
+	}
+}

@@ -13,17 +13,36 @@ import (
 // streamSink is the shared half of the byte-stream sinks (CSV, JSON lines):
 // the file lifecycle, the ordered stitcher, abort, and peak accounting live
 // here once; the formats contribute only their per-partition encoding.
+//
+// Writer-backed sinks stream through: when the destination implements a
+// Flush method (http.ResponseWriter behind an HTTP response, bufio.Writer,
+// …), every stitched partition is pushed to it immediately instead of
+// pooling in the sink's buffer until Close. That is what lets a query server
+// deliver rows to a slow-reading client while later partitions are still
+// encoding — and what bounds the response memory to the partitions in
+// flight. Destinations without a Flush method (plain files, byte buffers)
+// keep the batched behaviour.
 type streamSink struct {
 	path string
 	w    io.Writer
 
-	f  *os.File
-	bw *bufio.Writer
-	st *stitcher
+	f     *os.File
+	bw    *bufio.Writer
+	st    *stitcher
+	flush func() error
 }
 
+// flusher is the error-returning flush shape (bufio.Writer).
+type flusher interface{ Flush() error }
+
+// httpFlusher is the error-less flush shape (http.ResponseWriter /
+// http.Flusher).
+type httpFlusher interface{ Flush() }
+
 // open creates the output file (when file-backed) and wires the buffered
-// writer and the ordered stitcher.
+// writer and the ordered stitcher. Flush-capable destinations get
+// flush-through streaming: each ordered partition is forwarded as soon as it
+// stitches.
 func (s *streamSink) open() error {
 	if s.path != "" {
 		f, err := os.Create(s.path)
@@ -32,10 +51,27 @@ func (s *streamSink) open() error {
 		}
 		s.f, s.w = f, f
 	}
+	switch fw := s.w.(type) {
+	case flusher:
+		s.flush = fw.Flush
+	case httpFlusher:
+		s.flush = func() error { fw.Flush(); return nil }
+	}
 	s.bw = bufio.NewWriter(s.w)
 	s.st = newStitcher(func(buf []byte) error {
-		_, err := s.bw.Write(buf)
-		return err
+		if _, err := s.bw.Write(buf); err != nil {
+			return err
+		}
+		if s.flush == nil {
+			return nil
+		}
+		// Flush-through: drain the sink's own buffer, then push the
+		// destination's (the header row written at Open rides along with the
+		// first partition).
+		if err := s.bw.Flush(); err != nil {
+			return err
+		}
+		return s.flush()
 	})
 	return nil
 }

@@ -85,6 +85,9 @@ func (System) TermValidate(ds *engine.Dataset, attr func(types.Value) string, di
 		Blocker:    nil, // cross product
 		Metric:     metric,
 		Theta:      theta,
+		// The caller passed theta explicitly; an intentional zero threshold
+		// must not be rewritten to cleaning.DefaultTheta.
+		ThetaSet: true,
 	})
 	return res, nil
 }

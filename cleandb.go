@@ -59,6 +59,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"cleandb/internal/core"
 	"cleandb/internal/engine"
@@ -165,14 +166,26 @@ func WithStandaloneOps() Option {
 	return func(db *DB) { db.unified = false }
 }
 
-// WithGroupStrategy overrides the grouping shuffle (ablation hooks).
+// WithRowExecution disables columnar batch execution: sources load as boxed
+// row partitions and every operator runs its row form, the pre-columnar
+// behaviour. Row and batch execution produce identical results and identical
+// cost metrics stage for stage; this switch exists for ablation and as an
+// escape hatch. It also disables the stats-driven strategy selection, which
+// needs the load-time column statistics.
+func WithRowExecution() Option {
+	return func(db *DB) { db.columnar = false }
+}
+
+// WithGroupStrategy overrides the grouping shuffle (ablation hooks). Pinning
+// a strategy disables the stats-driven automatic selection.
 func WithGroupStrategy(s physical.GroupStrategy) Option {
-	return func(db *DB) { db.config.Group = s }
+	return func(db *DB) { db.config.Group = s; db.stratPinned = true }
 }
 
 // WithThetaStrategy overrides the theta-join algorithm (ablation hooks).
+// Pinning a strategy disables the stats-driven automatic selection.
 func WithThetaStrategy(s physical.ThetaStrategy) Option {
-	return func(db *DB) { db.config.Theta = s }
+	return func(db *DB) { db.config.Theta = s; db.stratPinned = true }
 }
 
 // WithPlanCacheSize sets the capacity of the internal LRU plan cache used by
@@ -193,6 +206,13 @@ type DB struct {
 	ctx     *engine.Context
 	config  physical.Config
 	unified bool
+	// columnar selects batch execution: sources land as dictionary-encoded
+	// column vectors and operators run their vectorized forms where they
+	// exist. Default on; WithRowExecution turns it off.
+	columnar bool
+	// stratPinned records that an ablation option fixed a strategy, which
+	// turns the stats-driven automatic selection off.
+	stratPinned bool
 
 	mu      sync.RWMutex
 	catalog map[string]*sourceEntry
@@ -201,6 +221,12 @@ type DB struct {
 	// Loading a pending source does NOT bump the epoch: the rows are
 	// determined by the source, so plans stay valid across the load.
 	epoch int64
+
+	// statsEpoch increments when a source load completes. Plans embed it in
+	// their cache key: blocker fitting and strategy selection read source
+	// statistics, so a plan prepared before a load (against unknown stats)
+	// must not be served after the stats exist.
+	statsEpoch atomic.Int64
 
 	cacheCap int
 	cache    *planCache[*core.Prepared]
@@ -215,6 +241,14 @@ type DB struct {
 // SourceInfo read state mid-load without waiting behind the parse.
 type sourceEntry struct {
 	src source.Source
+	// batch selects the columnar scan: the source lands as column batches
+	// (native for colbin, converted in parallel for text formats) and row
+	// boxing is deferred to first row-level use.
+	batch bool
+	// onLoad, when set, runs once after a successful load — the DB bumps its
+	// stats epoch there so cached plans prepared against unknown statistics
+	// are not served once the statistics exist.
+	onLoad func()
 
 	loadMu sync.Mutex
 
@@ -234,7 +268,7 @@ func (e *sourceEntry) load(goctx context.Context, ectx *engine.Context) (*engine
 	if ds, loaded, err := e.peek(); loaded {
 		return ds, err
 	}
-	parts, err := e.src.Scan(goctx, ectx.Workers)
+	ds, err := e.scan(goctx, ectx)
 	if err != nil {
 		if goctx.Err() == nil {
 			e.mu.Lock()
@@ -243,11 +277,45 @@ func (e *sourceEntry) load(goctx context.Context, ectx *engine.Context) (*engine
 		}
 		return nil, err
 	}
-	ds := engine.FromPartitions(ectx, parts)
 	e.mu.Lock()
 	e.loaded, e.ds = true, ds
 	e.mu.Unlock()
+	if e.onLoad != nil {
+		e.onLoad()
+	}
 	return ds, nil
+}
+
+// scan parses the source, columnar or row-wise per the entry's mode.
+func (e *sourceEntry) scan(goctx context.Context, ectx *engine.Context) (*engine.Dataset, error) {
+	if !e.batch {
+		parts, err := e.src.Scan(goctx, ectx.Workers)
+		if err != nil {
+			return nil, err
+		}
+		return engine.FromPartitions(ectx, parts), nil
+	}
+	batches, rows, err := source.ScanIntoBatches(goctx, e.src, ectx.Workers)
+	if err != nil {
+		return nil, err
+	}
+	if batches == nil {
+		// Heterogeneous records cannot batch; the row form is the dataset.
+		return engine.FromPartitions(ectx, rows), nil
+	}
+	// All batches of one source share one dictionary; fold its interning
+	// counters into the instance-wide metrics once.
+	for _, b := range batches {
+		if b != nil && b.Dict != nil {
+			hits, misses := b.Dict.Stats()
+			ectx.Metrics().AddDictStats(hits, misses)
+			break
+		}
+	}
+	if rows != nil {
+		return engine.FromBatchesAndRows(ectx, batches, rows), nil
+	}
+	return engine.FromBatches(ectx, batches), nil
 }
 
 // peek reports the load state without triggering — or waiting on — a load.
@@ -263,14 +331,30 @@ func Open(opts ...Option) *DB {
 		ctx:      engine.NewContext(8),
 		catalog:  map[string]*sourceEntry{},
 		unified:  true,
+		columnar: true,
 		cacheCap: 128,
 	}
 	for _, o := range opts {
 		o(db)
 	}
+	// Stats-driven strategy selection needs the columnar load-time statistics
+	// and yields to explicitly pinned ablation strategies.
+	db.config.Auto = db.columnar && !db.stratPinned
 	db.cache = newPlanCache[*core.Prepared](db.cacheCap)
 	return db
 }
+
+// newEntry builds a catalog slot for src carrying the DB's execution mode
+// and load notification.
+func (db *DB) newEntry(src source.Source) *sourceEntry {
+	return &sourceEntry{src: src, batch: db.columnar, onLoad: db.noteLoad}
+}
+
+// noteLoad runs when any source finishes loading: the stats epoch moves so
+// plans prepared before the statistics existed stop being served from the
+// cache. Stale keys age out of the LRU; no purge is needed because the new
+// epoch makes them unreachable.
+func (db *DB) noteLoad() { db.statsEpoch.Add(1) }
 
 // register installs an entry under name, replacing any previous source of
 // that name, and invalidates cached plans.
@@ -293,7 +377,7 @@ func (db *DB) register(name string, e *sourceEntry) {
 // subsequent queries. Safe to call concurrently with queries: running
 // queries keep their catalog snapshot.
 func (db *DB) RegisterSource(name string, src Source) {
-	db.register(name, &sourceEntry{src: src})
+	db.register(name, db.newEntry(src))
 }
 
 // RegisterFile lazily registers a data file, inferring the format from the
@@ -352,7 +436,7 @@ func (db *DB) Load(ctx context.Context, name string) error {
 // registerEager scans src immediately and registers it only on success —
 // the contract of the original Register* readers.
 func (db *DB) registerEager(name string, src source.Source) error {
-	e := &sourceEntry{src: src}
+	e := db.newEntry(src)
 	if _, err := e.load(context.Background(), db.ctx); err != nil {
 		return err
 	}
@@ -362,13 +446,21 @@ func (db *DB) registerEager(name string, src source.Source) error {
 
 // RegisterRows adds an in-memory dataset to the catalog under name,
 // replacing any previous dataset of that name. Safe to call concurrently
-// with queries: running queries keep their catalog snapshot.
+// with queries: running queries keep their catalog snapshot. In columnar
+// mode the rows are dictionary-encoded into column batches here (an
+// in-memory scan cannot fail), so programmatic datasets take the vectorized
+// paths like file-backed ones.
 func (db *DB) RegisterRows(name string, rows []Value) {
-	db.register(name, &sourceEntry{
-		src:    source.FromRows(rows),
-		loaded: true,
-		ds:     engine.FromValues(db.ctx, rows),
-	})
+	e := db.newEntry(source.FromRows(rows))
+	if _, err := e.load(context.Background(), db.ctx); err != nil {
+		// Unreachable for an in-memory source; keep the row contract anyway.
+		e = &sourceEntry{
+			src:    source.FromRows(rows),
+			loaded: true,
+			ds:     engine.FromValues(db.ctx, rows),
+		}
+	}
+	db.register(name, e)
 }
 
 // RegisterCSV eagerly loads a CSV source (header row, type-inferred
@@ -551,10 +643,13 @@ func (db *DB) pipelineWith(catalog core.Catalog) *core.Pipeline {
 
 // cacheKey normalizes the statement text (whitespace runs outside string
 // literals collapse) and tags it with everything else a plan depends on: the
-// strategy configuration, unified mode and the catalog epoch.
-func (db *DB) cacheKey(query string, epoch int64) string {
-	return fmt.Sprintf("e%d|g%d|t%d|u%t|%s",
-		epoch, db.config.Group, db.config.Theta, db.unified, normalizeQuery(query))
+// strategy configuration, execution mode, unified mode, the catalog epoch
+// and the stats epoch (source statistics feed blocker fitting and strategy
+// selection, so a plan prepared before a load must miss after it).
+func (db *DB) cacheKey(query string, epoch, statsEpoch int64) string {
+	return fmt.Sprintf("e%d|s%d|c%t|a%t|g%d|t%d|u%t|%s",
+		epoch, statsEpoch, db.columnar, db.config.Auto,
+		db.config.Group, db.config.Theta, db.unified, normalizeQuery(query))
 }
 
 // normalizeQuery collapses whitespace runs to single spaces — but never
@@ -609,7 +704,8 @@ func (db *DB) prepare(ctx context.Context, query string) (*core.Prepared, bool, 
 	db.mu.RLock()
 	epoch := db.epoch
 	db.mu.RUnlock()
-	key := db.cacheKey(query, epoch)
+	statsEpoch := db.statsEpoch.Load()
+	key := db.cacheKey(query, epoch, statsEpoch)
 	if prep, ok := db.cache.get(key); ok {
 		return prep, true, nil
 	}
@@ -621,8 +717,10 @@ func (db *DB) prepare(ctx context.Context, query string) (*core.Prepared, bool, 
 	if err != nil {
 		return nil, false, err
 	}
-	if epoch2 != epoch {
-		key = db.cacheKey(query, epoch2)
+	// Preparation may itself have loaded pending sources (bumping the stats
+	// epoch); key the plan under the state it was actually built against.
+	if se2 := db.statsEpoch.Load(); epoch2 != epoch || se2 != statsEpoch {
+		key = db.cacheKey(query, epoch2, se2)
 	}
 	db.cache.put(key, prep, gen)
 	return prep, false, nil
@@ -859,17 +957,33 @@ type QueryMetrics struct {
 	// ExportedRows counts rows this execution pumped into a sink (ExecuteTo
 	// paths); zero for plain Query executions.
 	ExportedRows int64
+	// BatchesEvaluated counts column batches run through vectorized operator
+	// kernels; zero under WithRowExecution.
+	BatchesEvaluated int64
+	// SimCacheHits / SimCacheMisses count this execution's memoized
+	// pair-similarity probes: a hit answered a similarity comparison from the
+	// cache (the comparison is still charged to Comparisons).
+	SimCacheHits   int64
+	SimCacheMisses int64
+	// Strategies counts the physical strategies the executor chose, by name
+	// ("join:hash", "join:mbucket", "nest:aggregate", ...); nil when the
+	// query executed no joins or groupings.
+	Strategies map[string]int64
 }
 
 // Metrics returns the cost counters of this execution alone.
 func (r *Result) Metrics() QueryMetrics {
 	return QueryMetrics{
-		SimTicks:        r.inner.Stats.SimTicks,
-		Comparisons:     r.inner.Stats.Comparisons,
-		ShuffledRecords: r.inner.Stats.ShuffledRecords,
-		ShuffledBytes:   r.inner.Stats.ShuffledBytes,
-		PlanCacheHit:    r.planReused,
-		ExportedRows:    r.inner.Stats.ExportedRows,
+		SimTicks:         r.inner.Stats.SimTicks,
+		Comparisons:      r.inner.Stats.Comparisons,
+		ShuffledRecords:  r.inner.Stats.ShuffledRecords,
+		ShuffledBytes:    r.inner.Stats.ShuffledBytes,
+		PlanCacheHit:     r.planReused,
+		ExportedRows:     r.inner.Stats.ExportedRows,
+		BatchesEvaluated: r.inner.Stats.BatchesEvaluated,
+		SimCacheHits:     r.inner.Stats.SimCacheHits,
+		SimCacheMisses:   r.inner.Stats.SimCacheMisses,
+		Strategies:       r.inner.Stats.Strategies,
 	}
 }
 
@@ -918,16 +1032,39 @@ type Metrics struct {
 	ShuffledRecords int64
 	// ShuffledBytes estimates bytes moved across the simulated network.
 	ShuffledBytes int64
+	// BatchesEvaluated counts column batches run through vectorized operator
+	// kernels.
+	BatchesEvaluated int64
+	// DictHits / DictMisses count string-dictionary interning at load time: a
+	// hit found the string already encoded, a miss admitted a new distinct
+	// string. misses/(hits+misses) approximates column cardinality.
+	DictHits   int64
+	DictMisses int64
+	// SimCacheHits / SimCacheMisses count memoized pair-similarity probes
+	// across all queries.
+	SimCacheHits   int64
+	SimCacheMisses int64
+	// Strategies counts physical strategy choices by name across all queries;
+	// nil when none were recorded.
+	Strategies map[string]int64
 }
 
 // Metrics returns a snapshot of the instance-wide engine cost counters.
 func (db *DB) Metrics() Metrics {
 	m := db.ctx.Metrics()
+	dictHits, dictMisses := m.DictStats()
+	simHits, simMisses := m.SimCacheStats()
 	return Metrics{
-		SimTicks:        m.SimTicks(),
-		Comparisons:     m.Comparisons(),
-		ShuffledRecords: m.ShuffledRecords(),
-		ShuffledBytes:   m.ShuffledBytes(),
+		SimTicks:         m.SimTicks(),
+		Comparisons:      m.Comparisons(),
+		ShuffledRecords:  m.ShuffledRecords(),
+		ShuffledBytes:    m.ShuffledBytes(),
+		BatchesEvaluated: m.BatchesEvaluated(),
+		DictHits:         dictHits,
+		DictMisses:       dictMisses,
+		SimCacheHits:     simHits,
+		SimCacheMisses:   simMisses,
+		Strategies:       m.Strategies(),
 	}
 }
 

@@ -1,0 +1,319 @@
+package cleandb
+
+// Row/batch equivalence property tests: every query must produce identical
+// rows, repairs and cost metrics whether the engine executes over boxed rows
+// (WithRowExecution) or dictionary-encoded column batches (the default).
+// Stage costs are logged identically in both forms by design, so even
+// SimTicks — a straggler-sensitive max over per-worker costs — must match
+// tick for tick. The suite fuzzes over worker/partition counts and over the
+// physical strategy matrix, with strategies pinned so the stats-driven
+// automatic selection cannot make the two sides diverge.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cleandb/internal/datagen"
+	"cleandb/internal/physical"
+	"cleandb/internal/types"
+)
+
+// equivQueries covers the experiment query shapes: scans with filters
+// (numeric and dictionary-code string comparisons), an equi join, the FD /
+// DEDUP / term-validation (CLUSTER BY) cleaning pipelines, a DENIAL+REPAIR
+// denial-constraint pipeline, and the unified multi-operator query.
+var equivQueries = []struct {
+	name  string
+	query string
+	// repairs names the source whose repaired rows must also match.
+	repairs string
+}{
+	{name: "filter_project", query: `SELECT c.name AS n, c.nationkey AS k FROM customer c WHERE c.nationkey < 12`},
+	{name: "filter_string_eq", query: `SELECT c.custkey AS k FROM customer c WHERE c.address = '1 oak st'`},
+	{name: "equi_join", query: `SELECT c.name AS n, o.orderkey AS ok FROM customer c, lineitem o WHERE c.custkey = o.suppkey and o.discount > 0.05`},
+	{name: "fd", query: `SELECT * FROM customer c FD(c.address, prefix(c.phone))`},
+	{name: "dedup", query: `SELECT * FROM customer c DEDUP(attribute, LD, 0.8, c.address, c.name, c.phone)`},
+	{name: "term_validation", query: `SELECT * FROM customer c, dictionary d CLUSTER BY(token_filtering, LD, 0.7, c.name)`},
+	{
+		name: "denial_repair",
+		query: `SELECT * FROM lineitem t1
+DENIAL(t2, t1.extendedprice < t2.extendedprice and t1.discount > t2.discount and t1.extendedprice < 905)
+REPAIR(t1.discount)`,
+		repairs: "lineitem",
+	},
+	{
+		name: "unified",
+		query: `SELECT * FROM customer c
+FD(c.address, prefix(c.phone))
+FD(c.address, c.nationkey)
+DEDUP(attribute, LD, 0.8, c.address, c.name, c.phone)`,
+	},
+}
+
+// equivData generates the shared test relations once: paper-style customers
+// with duplicates, skewed lineitems with FD noise, and a term dictionary of
+// the clean customer names.
+func equivData() (customer, lineitem, dictionary []Value) {
+	cust := datagen.GenCustomer(datagen.CustomerConfig{Rows: 60, Seed: 7})
+	customer = cust.Rows
+	lineitem = datagen.GenLineitem(datagen.LineitemConfig{Rows: 150, NoiseDiscount: true, Seed: 11})
+	dictSchema := NewSchema("term")
+	seen := map[string]bool{}
+	for _, r := range customer {
+		n := r.Field("name").Str()
+		if !seen[n] {
+			seen[n] = true
+			dictionary = append(dictionary, NewRecord(dictSchema, []Value{String(n)}))
+		}
+	}
+	return customer, lineitem, dictionary
+}
+
+// equivPair opens a columnar DB and a row DB over identical catalogs.
+func equivPair(workers int, extra ...Option) (col, row *DB) {
+	customer, lineitem, dictionary := equivData()
+	build := func(opts ...Option) *DB {
+		db := Open(append([]Option{WithWorkers(workers)}, opts...)...)
+		db.RegisterRows("customer", customer)
+		db.RegisterRows("lineitem", lineitem)
+		db.RegisterRows("dictionary", dictionary)
+		return db
+	}
+	return build(extra...), build(append([]Option{WithRowExecution()}, extra...)...)
+}
+
+// canonRows renders rows to their canonical keys, preserving order: the two
+// execution forms must agree on content and order both.
+func canonRows(rows []Value) []string {
+	out := make([]string, len(rows))
+	for i, v := range rows {
+		out[i] = types.Key(v)
+	}
+	return out
+}
+
+func diffRows(t *testing.T, label string, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d rows columnar vs %d rows row-mode", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: row %d differs:\n columnar: %s\n row-mode: %s", label, i, got[i], want[i])
+		}
+	}
+}
+
+// checkEquiv runs one query on both DBs and asserts result and metric
+// equality. It returns the columnar execution's metrics so callers can make
+// assertions about the batch path having actually engaged.
+func checkEquiv(t *testing.T, col, row *DB, label, query, repairs string) QueryMetrics {
+	t.Helper()
+	resC, errC := col.Query(query)
+	resR, errR := row.Query(query)
+	if (errC == nil) != (errR == nil) {
+		t.Fatalf("%s: columnar err=%v, row err=%v", label, errC, errR)
+	}
+	if errC != nil {
+		t.Fatalf("%s: %v", label, errC)
+	}
+	diffRows(t, label+"/rows", canonRows(resC.Rows()), canonRows(resR.Rows()))
+	for _, task := range resR.TaskNames() {
+		gotC, okC := resC.TaskRowsOK(task)
+		gotR, _ := resR.TaskRowsOK(task)
+		if !okC {
+			t.Fatalf("%s: task %q missing from columnar result", label, task)
+		}
+		diffRows(t, label+"/task:"+task, canonRows(gotC), canonRows(gotR))
+	}
+	if repairs != "" {
+		diffRows(t, label+"/repaired",
+			canonRows(resC.RepairedRows(repairs)), canonRows(resR.RepairedRows(repairs)))
+	}
+	mc, mr := resC.Metrics(), resR.Metrics()
+	if mc.SimTicks != mr.SimTicks || mc.Comparisons != mr.Comparisons ||
+		mc.ShuffledRecords != mr.ShuffledRecords || mc.ShuffledBytes != mr.ShuffledBytes {
+		t.Fatalf("%s: metrics diverge:\n columnar: ticks=%d cmp=%d recs=%d bytes=%d\n row-mode: ticks=%d cmp=%d recs=%d bytes=%d",
+			label,
+			mc.SimTicks, mc.Comparisons, mc.ShuffledRecords, mc.ShuffledBytes,
+			mr.SimTicks, mr.Comparisons, mr.ShuffledRecords, mr.ShuffledBytes)
+	}
+	if mr.BatchesEvaluated != 0 {
+		t.Fatalf("%s: row-mode execution evaluated %d batches", label, mr.BatchesEvaluated)
+	}
+	return mc
+}
+
+// TestColumnarEquivalence is the core property: across worker counts and the
+// pinned strategy matrix, columnar execution ≡ row execution — same rows,
+// same repairs, same SimTicks/Comparisons/Shuffle metrics.
+func TestColumnarEquivalence(t *testing.T) {
+	strategies := []struct {
+		name  string
+		group physical.GroupStrategy
+		theta physical.ThetaStrategy
+	}{
+		{"aggregate_mbucket", physical.GroupAggregate, physical.ThetaMBucket},
+		{"hash_cartesian", physical.GroupHash, physical.ThetaCartesian},
+		{"sort_mbucket", physical.GroupSort, physical.ThetaMBucket},
+	}
+	var sawBatches bool
+	for _, workers := range []int{1, 3, 8} {
+		for _, st := range strategies {
+			col, row := equivPair(workers,
+				WithGroupStrategy(st.group), WithThetaStrategy(st.theta))
+			for _, q := range equivQueries {
+				label := fmt.Sprintf("w%d/%s/%s", workers, st.name, q.name)
+				mc := checkEquiv(t, col, row, label, q.query, q.repairs)
+				if mc.BatchesEvaluated > 0 {
+					sawBatches = true
+				}
+			}
+		}
+	}
+	// The property must not hold vacuously: at least the filter queries have
+	// to run their vectorized kernels on the columnar side.
+	if !sawBatches {
+		t.Fatal("no query evaluated column batches; the columnar path never engaged")
+	}
+}
+
+// TestColumnarEquivalenceDefaults compares default columnar execution (with
+// stats-driven strategy selection active) against default row execution.
+// Strategy choices may differ, so only results — rows, tasks, repairs — are
+// compared, plus the columnar-side observability counters.
+func TestColumnarEquivalenceDefaults(t *testing.T) {
+	col, row := equivPair(4)
+	for _, q := range equivQueries {
+		resC, err := col.Query(q.query)
+		if err != nil {
+			t.Fatalf("%s: columnar: %v", q.name, err)
+		}
+		resR, err := row.Query(q.query)
+		if err != nil {
+			t.Fatalf("%s: row: %v", q.name, err)
+		}
+		diffRows(t, q.name+"/rows", canonRows(resC.Rows()), canonRows(resR.Rows()))
+		if q.repairs != "" {
+			diffRows(t, q.name+"/repaired",
+				canonRows(resC.RepairedRows(q.repairs)), canonRows(resR.RepairedRows(q.repairs)))
+		}
+	}
+	m := col.Metrics()
+	if m.BatchesEvaluated == 0 {
+		t.Fatal("default columnar mode evaluated no batches")
+	}
+	if m.DictHits+m.DictMisses == 0 {
+		t.Fatal("columnar load interned no strings")
+	}
+	if len(m.Strategies) == 0 {
+		t.Fatal("stats-driven selection recorded no strategy choices")
+	}
+	if rm := row.Metrics(); rm.BatchesEvaluated != 0 || rm.DictHits+rm.DictMisses != 0 {
+		t.Fatalf("row mode touched columnar machinery: %+v", rm)
+	}
+}
+
+// TestColumnarEquivalenceFileSources runs the property over the file-backed
+// scan paths: CSV (rows scanned then batched) and colbin (batches decoded
+// natively, no transpose), against the row-mode scan of the same files.
+func TestColumnarEquivalenceFileSources(t *testing.T) {
+	customer, _, _ := equivData()
+	dir := t.TempDir()
+
+	csvPath := filepath.Join(dir, "customer.csv")
+	var sb strings.Builder
+	sb.WriteString("custkey,name,address,nationkey,phone\n")
+	for _, r := range customer {
+		fmt.Fprintf(&sb, "%d,%s,%s,%d,%s\n",
+			r.Field("custkey").Int(), r.Field("name").Str(), r.Field("address").Str(),
+			r.Field("nationkey").Int(), r.Field("phone").Str())
+	}
+	if err := os.WriteFile(csvPath, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	binPath := filepath.Join(dir, "customer.colbin")
+	{
+		db := Open(WithWorkers(2))
+		db.RegisterRows("customer", customer)
+		s, err := SinkFromPath(binPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.ExecuteTo(t.Context(), `SELECT * FROM customer c`, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	query := `SELECT c.name AS n FROM customer c WHERE c.nationkey < 9 and c.address = '1 oak st'`
+	for _, src := range []struct{ name, path string }{
+		{"csv", csvPath}, {"colbin", binPath},
+	} {
+		for _, workers := range []int{1, 4} {
+			build := func(opts ...Option) *DB {
+				db := Open(append([]Option{WithWorkers(workers)}, opts...)...)
+				if err := db.RegisterFile("customer", src.path); err != nil {
+					t.Fatal(err)
+				}
+				return db
+			}
+			col := build(WithGroupStrategy(physical.GroupAggregate), WithThetaStrategy(physical.ThetaMBucket))
+			row := build(WithRowExecution(), WithGroupStrategy(physical.GroupAggregate), WithThetaStrategy(physical.ThetaMBucket))
+			label := fmt.Sprintf("%s/w%d", src.name, workers)
+			mc := checkEquiv(t, col, row, label, query, "")
+			if mc.BatchesEvaluated == 0 {
+				t.Fatalf("%s: columnar file scan evaluated no batches", label)
+			}
+		}
+	}
+}
+
+// TestStatsEpochInvalidatesPlans pins the plan-cache satellite: a plan
+// prepared while a source was still pending (unknown statistics) must not be
+// served from the cache once the load has produced real statistics.
+func TestStatsEpochInvalidatesPlans(t *testing.T) {
+	customer, _, _ := equivData()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "customer.csv")
+	var sb strings.Builder
+	sb.WriteString("custkey,name,address,nationkey,phone\n")
+	for _, r := range customer {
+		fmt.Fprintf(&sb, "%d,%s,%s,%d,%s\n",
+			r.Field("custkey").Int(), r.Field("name").Str(), r.Field("address").Str(),
+			r.Field("nationkey").Int(), r.Field("phone").Str())
+	}
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	db := Open(WithWorkers(2))
+	db.RegisterCSVFile("customer", path)
+	const q = `SELECT c.name AS n FROM customer c WHERE c.nationkey < 9`
+	// First query loads the pending source mid-prepare: a miss, keyed under
+	// the post-load stats epoch.
+	if _, err := db.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	// Same statement again: stats unchanged, must now hit.
+	res, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Metrics().PlanCacheHit {
+		t.Fatal("second identical query should hit the plan cache")
+	}
+	// Re-registering bumps the catalog epoch; the reload that follows bumps
+	// the stats epoch. Either way the old plan must not be served.
+	db.RegisterCSVFile("customer", path)
+	res, err = db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics().PlanCacheHit {
+		t.Fatal("query after re-register must re-plan against fresh statistics")
+	}
+}

@@ -83,12 +83,25 @@ func TermValidate(ds *engine.Dataset, cfg TermValidationConfig) TermValidationRe
 			return key
 		}})
 
-	// Block the dictionary once (broadcast side).
+	// Block the dictionary once (broadcast side). Dictionary terms are
+	// interned alongside so the similarity phase probes the pair cache with
+	// integer codes; a dictionary entry reachable through several blocks (or
+	// probed by several occurrences of a dirty term) pays the metric once.
+	cache := textsim.NewPairCache(cfg.Metric, cfg.Theta)
 	dictGroups := map[string][]string{}
-	if cfg.Blocker != nil {
+	dictCodes := map[string][]uint32{}
+	var allCodes []uint32
+	if cfg.Blocker == nil {
+		allCodes = make([]uint32, len(cfg.Dictionary))
+		for i, d := range cfg.Dictionary {
+			allCodes[i] = cache.Intern(d)
+		}
+	} else {
 		for _, d := range cfg.Dictionary {
+			c := cache.Intern(d)
 			for _, k := range cfg.Blocker.Keys(d) {
 				dictGroups[k] = append(dictGroups[k], d)
+				dictCodes[k] = append(dictCodes[k], c)
 			}
 		}
 	}
@@ -120,29 +133,32 @@ func TermValidate(ds *engine.Dataset, cfg TermValidationConfig) TermValidationRe
 	// dictionary entries (the whole dictionary when unblocked). The stage
 	// cost is the candidate count, so skew in group sizes shows up as
 	// straggler time.
-	candidatesOf := func(p types.Value) []string {
+	candidatesOf := func(p types.Value) ([]string, []uint32) {
 		if cfg.Blocker == nil {
-			return cfg.Dictionary
+			return cfg.Dictionary, allCodes
 		}
-		return dictGroups[p.Field("bkey").Str()]
+		k := p.Field("bkey").Str()
+		return dictGroups[k], dictCodes[k]
 	}
 	sugSchema := types.NewSchema("term", "suggestion", "sim")
 	matches := blocked.FlatMapW("tv:sim", func(p types.Value) []types.Value {
 		var out []types.Value
 		term := p.Field("term").Str()
-		candidates := candidatesOf(p)
-		for _, cand := range candidates {
-			if cand != term && cfg.Metric.Above(term, cand, cfg.Theta) {
+		tc := cache.Intern(term)
+		candidates, codes := candidatesOf(p)
+		for i, cand := range candidates {
+			if cand != term && cache.Above(tc, codes[i], term, cand) {
 				out = append(out, types.NewRecord(sugSchema, []types.Value{
 					types.String(term), types.String(cand),
-					types.Float(cfg.Metric.Sim(term, cand)),
+					types.Float(cache.Sim(tc, codes[i], term, cand)),
 				}))
 			}
 		}
 		m.AddComparisons(int64(len(candidates)))
 		return out
 	}, func(p types.Value) int64 {
-		return int64(len(candidatesOf(p)))
+		c, _ := candidatesOf(p)
+		return int64(len(c))
 	})
 
 	// Distinct suggestions (a pair may match through several blocks).
@@ -153,6 +169,9 @@ func TermValidate(ds *engine.Dataset, cfg TermValidationConfig) TermValidationRe
 		engine.GroupAgg{Finish: func(_ types.Value, group []types.Value) types.Value {
 			return group[0]
 		}})
+
+	hits, misses := cache.Stats()
+	m.AddSimCacheStats(hits, misses)
 
 	res := TermValidationResult{
 		Repairs:     map[string]string{},

@@ -114,6 +114,15 @@ type ExecStats struct {
 	// ExportedRows counts rows this execution pumped into a sink
 	// (ExecuteToContext); zero for plain executions.
 	ExportedRows int64
+	// BatchesEvaluated counts column batches evaluated by vectorized
+	// operators; zero means the query ran entirely on the row path.
+	BatchesEvaluated int64
+	// SimCacheHits / SimCacheMisses count memoized pair-similarity probes.
+	SimCacheHits   int64
+	SimCacheMisses int64
+	// Strategies counts the physical strategies the executor chose, by name
+	// (e.g. "join:mbucket", "nest:aggregate"); nil when none were recorded.
+	Strategies map[string]int64
 }
 
 // Result is a completed CleanM query. Result rows are held as partitioned
@@ -132,6 +141,10 @@ type Result struct {
 	// workers is the job's cluster width, kept so post-hoc exports
 	// (RepairedTo) fan out like the execution did.
 	workers int
+	// primaryDS is the engine dataset behind Primary(), kept so sinks that
+	// understand column batches can drain the vectors directly instead of
+	// boxed rows. Nil when the primary output is row-backed.
+	primaryDS *engine.Dataset
 }
 
 // Primary returns the primary output view: the combined records when
@@ -408,7 +421,17 @@ func (pr *Prepared) executeWith(goctx context.Context, params map[string]types.V
 	res, err := pr.execute(ex, job, params)
 	var exported int64
 	if err == nil && s != nil {
-		exported, err = sink.Pump(goctx, s, res.Primary().Partitions(), job.Workers)
+		handled := false
+		if res.primaryDS != nil {
+			if batches := res.primaryDS.Batches(); batches != nil {
+				// Columnar export: the sink drains the vectors directly;
+				// handled=false means the sink is row-only and we box below.
+				exported, handled, err = sink.PumpBatches(goctx, s, batches)
+			}
+		}
+		if err == nil && !handled {
+			exported, err = sink.Pump(goctx, s, res.Primary().Partitions(), job.Workers)
+		}
 	}
 	// Partial work from failed or cancelled queries still moved data; account
 	// for it in the instance-wide accumulators either way.
@@ -417,12 +440,17 @@ func (pr *Prepared) executeWith(goctx context.Context, params map[string]types.V
 		return nil, err
 	}
 	m := job.Metrics()
+	simHits, simMisses := m.SimCacheStats()
 	res.Stats = ExecStats{
-		SimTicks:        m.SimTicks(),
-		Comparisons:     m.Comparisons(),
-		ShuffledRecords: m.ShuffledRecords(),
-		ShuffledBytes:   m.ShuffledBytes(),
-		ExportedRows:    exported,
+		SimTicks:         m.SimTicks(),
+		Comparisons:      m.Comparisons(),
+		ShuffledRecords:  m.ShuffledRecords(),
+		ShuffledBytes:    m.ShuffledBytes(),
+		ExportedRows:     exported,
+		BatchesEvaluated: m.BatchesEvaluated(),
+		SimCacheHits:     simHits,
+		SimCacheMisses:   simMisses,
+		Strategies:       m.Strategies(),
 	}
 	return res, nil
 }
@@ -446,7 +474,19 @@ func (pr *Prepared) execute(ex *physical.Executor, job *engine.Context, params m
 			if err != nil {
 				return nil, err
 			}
-			out = NewRowset(unwrapParts(d.Partitions()))
+			if d.Batches() != nil {
+				// Columnar result: defer row boxing until a consumer asks.
+				// Batch-capable sinks drain the vectors via primaryDS and
+				// never trigger it.
+				out = LazyRowset(int(d.Count()), func() [][]types.Value {
+					return unwrapParts(d.Partitions())
+				})
+			} else {
+				out = NewRowset(unwrapParts(d.Partitions()))
+			}
+			if i == 0 {
+				res.primaryDS = d
+			}
 		}
 		tr := TaskResult{
 			Name:   t.Name,

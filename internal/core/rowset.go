@@ -22,6 +22,13 @@ type Rowset struct {
 	parts [][]types.Value
 	n     int
 
+	// load materializes the partitions on first access when the result is
+	// held in columnar form: a batch-backed result defers row boxing until a
+	// consumer actually asks for rows, so exports that drain the vectors
+	// directly never box at all.
+	load  func() [][]types.Value
+	ponce sync.Once
+
 	once sync.Once
 	flat []types.Value
 }
@@ -36,12 +43,26 @@ func NewRowset(parts [][]types.Value) *Rowset {
 	return rs
 }
 
+// LazyRowset defers partition materialization to first row access. n must be
+// the total row count load will produce (known cheaply for columnar results).
+func LazyRowset(n int, load func() [][]types.Value) *Rowset {
+	return &Rowset{n: n, load: load}
+}
+
+// materialized returns the partitions, running the deferred load once.
+func (r *Rowset) materialized() [][]types.Value {
+	if r.load != nil {
+		r.ponce.Do(func() { r.parts = r.load() })
+	}
+	return r.parts
+}
+
 // NumPartitions returns the partition count.
 func (r *Rowset) NumPartitions() int {
 	if r == nil {
 		return 0
 	}
-	return len(r.parts)
+	return len(r.materialized())
 }
 
 // Partition returns partition i (shared storage; do not mutate). A nil
@@ -51,7 +72,7 @@ func (r *Rowset) Partition(i int) []types.Value {
 	if r == nil {
 		panic("core: Partition on an empty Rowset")
 	}
-	return r.parts[i]
+	return r.materialized()[i]
 }
 
 // Partitions returns every partition in order (shared storage; do not
@@ -60,7 +81,7 @@ func (r *Rowset) Partitions() [][]types.Value {
 	if r == nil {
 		return nil
 	}
-	return r.parts
+	return r.materialized()
 }
 
 // Len returns the total row count without flattening anything.
@@ -78,7 +99,7 @@ func (r *Rowset) All() iter.Seq[types.Value] {
 		if r == nil {
 			return
 		}
-		for _, p := range r.parts {
+		for _, p := range r.materialized() {
 			for _, v := range p {
 				if !yield(v) {
 					return
@@ -99,7 +120,7 @@ func (r *Rowset) Rows() []types.Value {
 	}
 	r.once.Do(func() {
 		r.flat = make([]types.Value, 0, r.n)
-		for _, p := range r.parts {
+		for _, p := range r.materialized() {
 			r.flat = append(r.flat, p...)
 		}
 	})

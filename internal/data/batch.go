@@ -1,0 +1,618 @@
+package data
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"cleandb/internal/types"
+)
+
+// This file is the columnar half of the data model: partitions carried as
+// typed column vectors with dictionary-encoded strings instead of boxed
+// []types.Value rows. colbin already stores columns on disk; ColumnBatch is
+// the in-memory shape that lets the engine keep that structure from load to
+// sink, falling back to rows only at true row boundaries (shuffle by
+// arbitrary key, user-defined flatMaps, nested construction).
+
+// Dict is an append-only, concurrency-safe string interner shared by every
+// batch of one source. Codes are dense indices into the entry table, so a
+// string equality test over two interned values is a uint32 compare and a
+// distinct-count estimate is a bitset over codes.
+type Dict struct {
+	mu    sync.RWMutex
+	codes map[string]uint32
+	strs  []string
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{codes: make(map[string]uint32)}
+}
+
+// Code interns s, returning its dense code. Safe for concurrent use.
+func (d *Dict) Code(s string) uint32 {
+	d.mu.RLock()
+	c, ok := d.codes[s]
+	d.mu.RUnlock()
+	if ok {
+		d.hits.Add(1)
+		return c
+	}
+	d.mu.Lock()
+	c, ok = d.codes[s]
+	if !ok {
+		c = uint32(len(d.strs))
+		d.strs = append(d.strs, s)
+		d.codes[s] = c
+	}
+	d.mu.Unlock()
+	if ok {
+		d.hits.Add(1)
+	} else {
+		d.misses.Add(1)
+	}
+	return c
+}
+
+// Lookup returns the code of s without interning it.
+func (d *Dict) Lookup(s string) (uint32, bool) {
+	d.mu.RLock()
+	c, ok := d.codes[s]
+	d.mu.RUnlock()
+	return c, ok
+}
+
+// Str returns the string for code c.
+func (d *Dict) Str(c uint32) string {
+	d.mu.RLock()
+	s := d.strs[c]
+	d.mu.RUnlock()
+	return s
+}
+
+// Len returns the number of distinct entries.
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	n := len(d.strs)
+	d.mu.RUnlock()
+	return n
+}
+
+// Snapshot returns the entry table as of now. Entries are immutable once
+// interned, so the returned slice stays valid for every code below its
+// length even while other goroutines keep interning.
+func (d *Dict) Snapshot() []string {
+	d.mu.RLock()
+	s := d.strs
+	d.mu.RUnlock()
+	return s
+}
+
+// Stats returns how many Code calls found an existing entry (hits) versus
+// allocated a new one (misses). The ratio is the dictionary hit rate the
+// metrics surface exports: high hit rates mean the dictionary is doing its
+// job of collapsing repeated strings into integer compares.
+func (d *Dict) Stats() (hits, misses int64) {
+	return d.hits.Load(), d.misses.Load()
+}
+
+// VecKind enumerates the physical representation of a column vector.
+type VecKind uint8
+
+// Column vector kinds. VecAny is the escape hatch: a boxed value per row,
+// used for lists, records, all-null columns and mixed-kind columns so that
+// batch↔row conversion is always bit-exact.
+const (
+	VecAny VecKind = iota
+	VecInt
+	VecFloat
+	VecBool
+	VecStr
+)
+
+// Column is one typed vector of a batch. Exactly one payload slice (by
+// Kind) is populated; Nulls is a validity bitmap (bit set = null) that is
+// nil when the column has no nulls, and unused for VecAny, where nulls are
+// boxed like any other value.
+type Column struct {
+	Kind   VecKind
+	Ints   []int64
+	Floats []float64
+	Bools  []bool
+	Codes  []uint32 // dictionary codes, VecStr
+	Vals   []types.Value
+	Nulls  []uint64
+}
+
+// Len returns the row count of the column.
+func (c *Column) Len() int {
+	switch c.Kind {
+	case VecInt:
+		return len(c.Ints)
+	case VecFloat:
+		return len(c.Floats)
+	case VecBool:
+		return len(c.Bools)
+	case VecStr:
+		return len(c.Codes)
+	default:
+		return len(c.Vals)
+	}
+}
+
+// Null reports whether row i is null. For VecAny columns nulls live in the
+// boxed values instead.
+func (c *Column) Null(i int) bool {
+	if c.Kind == VecAny {
+		return c.Vals[i].IsNull()
+	}
+	return c.Nulls != nil && c.Nulls[i>>6]>>(uint(i)&63)&1 == 1
+}
+
+// Value boxes row i back into a types.Value. strs must be the dictionary
+// snapshot for VecStr columns (pass nil otherwise).
+func (c *Column) Value(i int, strs []string) types.Value {
+	if c.Kind != VecAny && c.Null(i) {
+		return types.Null()
+	}
+	switch c.Kind {
+	case VecInt:
+		return types.Int(c.Ints[i])
+	case VecFloat:
+		return types.Float(c.Floats[i])
+	case VecBool:
+		return types.Bool(c.Bools[i])
+	case VecStr:
+		return types.String(strs[c.Codes[i]])
+	default:
+		return c.Vals[i]
+	}
+}
+
+func newNulls(n int) []uint64 { return make([]uint64, (n+63)/64) }
+
+func setNull(bm []uint64, i int) { bm[i>>6] |= 1 << (uint(i) & 63) }
+
+// ColumnBatch is one partition in columnar form: a column vector per schema
+// field plus the source-wide string dictionary. Batches are immutable; all
+// transformations (Gather, Slice, Concat) build new batches that share the
+// dictionary, so codes stay comparable across every batch of a source.
+type ColumnBatch struct {
+	Schema *types.Schema
+	Dict   *Dict
+	Cols   []Column
+	N      int
+}
+
+// Strings returns the dictionary snapshot to pass to Column.Value, or nil
+// when the batch has no dictionary.
+func (b *ColumnBatch) Strings() []string {
+	if b.Dict == nil {
+		return nil
+	}
+	return b.Dict.Snapshot()
+}
+
+// Col returns the index of the named column, or -1.
+func (b *ColumnBatch) Col(name string) int {
+	if b.Schema == nil {
+		return -1
+	}
+	if i, ok := b.Schema.Index(name); ok {
+		return i
+	}
+	return -1
+}
+
+// BatchFromRows converts a partition of record rows into a batch, interning
+// strings into dict (a fresh dictionary when nil). It returns nil — caller
+// keeps the row form — when the rows are not records sharing one schema:
+// heterogeneous JSON objects, already-wrapped env records and scalar
+// streams stay rows.
+//
+// Column typing is conservative so that Rows-of(BatchFromRows(rows)) is
+// bit-identical to rows: a column lands in a typed vector only when every
+// non-null value has that one kind; mixed int/float columns, lists, records
+// and all-null columns keep boxed values.
+func BatchFromRows(rows []types.Value, dict *Dict) *ColumnBatch {
+	if dict == nil {
+		dict = NewDict()
+	}
+	if len(rows) == 0 {
+		return &ColumnBatch{Dict: dict}
+	}
+	rec := rows[0].Record()
+	if rec == nil {
+		return nil
+	}
+	schema := rec.Schema
+	for _, r := range rows {
+		if rr := r.Record(); rr == nil || rr.Schema != schema {
+			return nil
+		}
+	}
+	b := &ColumnBatch{Schema: schema, Dict: dict, Cols: make([]Column, len(schema.Names)), N: len(rows)}
+	for c := range b.Cols {
+		b.Cols[c] = columnFromRows(rows, c, dict)
+	}
+	return b
+}
+
+// columnFromRows builds one typed column; two passes, kind scan then fill.
+func columnFromRows(rows []types.Value, c int, dict *Dict) Column {
+	kind := VecAny
+	decided := false
+	for _, r := range rows {
+		v := r.Record().Fields[c]
+		var want VecKind
+		switch v.Kind() {
+		case types.KindNull:
+			continue
+		case types.KindInt:
+			want = VecInt
+		case types.KindFloat:
+			want = VecFloat
+		case types.KindBool:
+			want = VecBool
+		case types.KindString:
+			want = VecStr
+		default:
+			return anyColumn(rows, c)
+		}
+		if !decided {
+			kind, decided = want, true
+		} else if kind != want {
+			return anyColumn(rows, c)
+		}
+	}
+	if !decided {
+		return anyColumn(rows, c)
+	}
+	n := len(rows)
+	col := Column{Kind: kind}
+	var nulls []uint64
+	markNull := func(i int) {
+		if nulls == nil {
+			nulls = newNulls(n)
+		}
+		setNull(nulls, i)
+	}
+	switch kind {
+	case VecInt:
+		col.Ints = make([]int64, n)
+		for i, r := range rows {
+			v := r.Record().Fields[c]
+			if v.IsNull() {
+				markNull(i)
+			} else {
+				col.Ints[i] = v.Int()
+			}
+		}
+	case VecFloat:
+		col.Floats = make([]float64, n)
+		for i, r := range rows {
+			v := r.Record().Fields[c]
+			if v.IsNull() {
+				markNull(i)
+			} else {
+				col.Floats[i] = v.Float()
+			}
+		}
+	case VecBool:
+		col.Bools = make([]bool, n)
+		for i, r := range rows {
+			v := r.Record().Fields[c]
+			if v.IsNull() {
+				markNull(i)
+			} else {
+				col.Bools[i] = v.Bool()
+			}
+		}
+	case VecStr:
+		col.Codes = make([]uint32, n)
+		for i, r := range rows {
+			v := r.Record().Fields[c]
+			if v.IsNull() {
+				markNull(i)
+			} else {
+				col.Codes[i] = dict.Code(v.Str())
+			}
+		}
+	}
+	col.Nulls = nulls
+	return col
+}
+
+func anyColumn(rows []types.Value, c int) Column {
+	vals := make([]types.Value, len(rows))
+	for i, r := range rows {
+		vals[i] = r.Record().Fields[c]
+	}
+	return Column{Kind: VecAny, Vals: vals}
+}
+
+// AppendRows boxes every row of the batch back into record values, appended
+// to dst. When wrap is non-nil each record is additionally wrapped in a
+// one-field record over wrap — the scan-env shape the physical plans bind.
+func (b *ColumnBatch) AppendRows(dst []types.Value, wrap *types.Schema) []types.Value {
+	strs := b.Strings()
+	for i := 0; i < b.N; i++ {
+		fields := make([]types.Value, len(b.Cols))
+		for c := range b.Cols {
+			fields[c] = b.Cols[c].Value(i, strs)
+		}
+		v := types.NewRecord(b.Schema, fields)
+		if wrap != nil {
+			v = types.NewRecord(wrap, []types.Value{v})
+		}
+		dst = append(dst, v)
+	}
+	return dst
+}
+
+// Rows boxes the batch back into a fresh row slice.
+func (b *ColumnBatch) Rows() []types.Value {
+	return b.AppendRows(make([]types.Value, 0, b.N), nil)
+}
+
+// Row boxes a single row.
+func (b *ColumnBatch) Row(i int, strs []string) types.Value {
+	fields := make([]types.Value, len(b.Cols))
+	for c := range b.Cols {
+		fields[c] = b.Cols[c].Value(i, strs)
+	}
+	return types.NewRecord(b.Schema, fields)
+}
+
+// Gather builds a new batch containing the selected rows in order, sharing
+// the schema and dictionary. It is the columnar filter's output step.
+func (b *ColumnBatch) Gather(sel []int32) *ColumnBatch {
+	out := &ColumnBatch{Schema: b.Schema, Dict: b.Dict, Cols: make([]Column, len(b.Cols)), N: len(sel)}
+	for ci := range b.Cols {
+		src := &b.Cols[ci]
+		dst := Column{Kind: src.Kind}
+		switch src.Kind {
+		case VecInt:
+			dst.Ints = make([]int64, len(sel))
+			for i, j := range sel {
+				dst.Ints[i] = src.Ints[j]
+			}
+		case VecFloat:
+			dst.Floats = make([]float64, len(sel))
+			for i, j := range sel {
+				dst.Floats[i] = src.Floats[j]
+			}
+		case VecBool:
+			dst.Bools = make([]bool, len(sel))
+			for i, j := range sel {
+				dst.Bools[i] = src.Bools[j]
+			}
+		case VecStr:
+			dst.Codes = make([]uint32, len(sel))
+			for i, j := range sel {
+				dst.Codes[i] = src.Codes[j]
+			}
+		default:
+			dst.Vals = make([]types.Value, len(sel))
+			for i, j := range sel {
+				dst.Vals[i] = src.Vals[j]
+			}
+		}
+		if src.Nulls != nil {
+			var nulls []uint64
+			for i, j := range sel {
+				if src.Null(int(j)) {
+					if nulls == nil {
+						nulls = newNulls(len(sel))
+					}
+					setNull(nulls, i)
+				}
+			}
+			dst.Nulls = nulls
+		}
+		out.Cols[ci] = dst
+	}
+	return out
+}
+
+// Slice returns rows [lo, hi) as a new batch. Payload vectors are shared
+// sub-slices (batches are immutable); the null bitmap is rebuilt because
+// bitmaps cannot be sliced at arbitrary bit offsets.
+func (b *ColumnBatch) Slice(lo, hi int) *ColumnBatch {
+	n := hi - lo
+	out := &ColumnBatch{Schema: b.Schema, Dict: b.Dict, Cols: make([]Column, len(b.Cols)), N: n}
+	for ci := range b.Cols {
+		src := &b.Cols[ci]
+		dst := Column{Kind: src.Kind}
+		switch src.Kind {
+		case VecInt:
+			dst.Ints = src.Ints[lo:hi]
+		case VecFloat:
+			dst.Floats = src.Floats[lo:hi]
+		case VecBool:
+			dst.Bools = src.Bools[lo:hi]
+		case VecStr:
+			dst.Codes = src.Codes[lo:hi]
+		default:
+			dst.Vals = src.Vals[lo:hi]
+		}
+		if src.Nulls != nil {
+			var nulls []uint64
+			for i := lo; i < hi; i++ {
+				if src.Null(i) {
+					if nulls == nil {
+						nulls = newNulls(n)
+					}
+					setNull(nulls, i-lo)
+				}
+			}
+			dst.Nulls = nulls
+		}
+		out.Cols[ci] = dst
+	}
+	return out
+}
+
+// ConcatBatches concatenates batches that share one schema, dictionary and
+// per-column vector kinds into a single batch, or returns nil when their
+// shapes disagree (the caller then falls back to row concatenation). Empty
+// batches are ignored. This is the column-chunk exchange primitive behind
+// batch repartitioning.
+func ConcatBatches(bs []*ColumnBatch) *ColumnBatch {
+	var live []*ColumnBatch
+	total := 0
+	for _, b := range bs {
+		if b == nil {
+			return nil
+		}
+		if b.N == 0 {
+			continue
+		}
+		live = append(live, b)
+		total += b.N
+	}
+	if len(live) == 0 {
+		if len(bs) > 0 {
+			return &ColumnBatch{Schema: bs[0].Schema, Dict: bs[0].Dict}
+		}
+		return &ColumnBatch{}
+	}
+	first := live[0]
+	for _, b := range live[1:] {
+		if b.Schema != first.Schema || b.Dict != first.Dict {
+			return nil
+		}
+		for c := range b.Cols {
+			if b.Cols[c].Kind != first.Cols[c].Kind {
+				return nil
+			}
+		}
+	}
+	out := &ColumnBatch{Schema: first.Schema, Dict: first.Dict, Cols: make([]Column, len(first.Cols)), N: total}
+	for ci := range first.Cols {
+		dst := Column{Kind: first.Cols[ci].Kind}
+		anyNull := false
+		for _, b := range live {
+			if b.Cols[ci].Nulls != nil {
+				anyNull = true
+			}
+		}
+		var nulls []uint64
+		if anyNull {
+			nulls = newNulls(total)
+		}
+		off := 0
+		for _, b := range live {
+			src := &b.Cols[ci]
+			switch dst.Kind {
+			case VecInt:
+				if dst.Ints == nil {
+					dst.Ints = make([]int64, 0, total)
+				}
+				dst.Ints = append(dst.Ints, src.Ints...)
+			case VecFloat:
+				if dst.Floats == nil {
+					dst.Floats = make([]float64, 0, total)
+				}
+				dst.Floats = append(dst.Floats, src.Floats...)
+			case VecBool:
+				if dst.Bools == nil {
+					dst.Bools = make([]bool, 0, total)
+				}
+				dst.Bools = append(dst.Bools, src.Bools...)
+			case VecStr:
+				if dst.Codes == nil {
+					dst.Codes = make([]uint32, 0, total)
+				}
+				dst.Codes = append(dst.Codes, src.Codes...)
+			default:
+				if dst.Vals == nil {
+					dst.Vals = make([]types.Value, 0, total)
+				}
+				dst.Vals = append(dst.Vals, src.Vals...)
+			}
+			if src.Nulls != nil {
+				for i := 0; i < b.N; i++ {
+					if src.Null(i) {
+						setNull(nulls, off+i)
+					}
+				}
+			}
+			off += b.N
+		}
+		dst.Nulls = nulls
+		out.Cols[ci] = dst
+	}
+	return out
+}
+
+// RemapDict re-interns the batch's dictionary codes into shared, then makes
+// shared the batch's dictionary. Sources build per-partition batches with
+// per-partition dictionaries on parallel goroutines, then merge them into
+// the per-source dictionary with one lock acquisition per distinct string
+// instead of one per row.
+func (b *ColumnBatch) RemapDict(shared *Dict) {
+	if b.Dict == shared {
+		return
+	}
+	old := b.Dict.Snapshot()
+	remap := make([]uint32, len(old))
+	for i, s := range old {
+		remap[i] = shared.Code(s)
+	}
+	for ci := range b.Cols {
+		col := &b.Cols[ci]
+		if col.Kind != VecStr {
+			continue
+		}
+		for i, c := range col.Codes {
+			col.Codes[i] = remap[c]
+		}
+	}
+	b.Dict = shared
+}
+
+// DistinctCodes estimates the distinct-value count of a VecStr column
+// across batches by bitsetting dictionary codes, examining at most sampleCap
+// rows. It returns the distinct count seen, the rows examined and ok=false
+// when the column is not dictionary-encoded in every batch. Sampling keeps
+// the planner's stats probe O(sampleCap) on huge sources.
+func DistinctCodes(bs []*ColumnBatch, col int, sampleCap int) (distinct, sampled int, ok bool) {
+	var dict *Dict
+	for _, b := range bs {
+		if b == nil || b.N == 0 {
+			continue
+		}
+		if col < 0 || col >= len(b.Cols) || b.Cols[col].Kind != VecStr {
+			return 0, 0, false
+		}
+		dict = b.Dict
+	}
+	if dict == nil {
+		return 0, 0, true
+	}
+	seen := make([]uint64, (dict.Len()+63)/64)
+	for _, b := range bs {
+		if b == nil || b.N == 0 {
+			continue
+		}
+		c := &b.Cols[col]
+		for i, code := range c.Codes {
+			if sampled >= sampleCap {
+				return distinct, sampled, true
+			}
+			sampled++
+			if c.Nulls != nil && c.Null(i) {
+				continue
+			}
+			if seen[code>>6]>>(code&63)&1 == 0 {
+				seen[code>>6] |= 1 << (code & 63)
+				distinct++
+			}
+		}
+	}
+	return distinct, sampled, true
+}

@@ -1,0 +1,234 @@
+package data
+
+import (
+	"strings"
+	"testing"
+
+	"cleandb/internal/types"
+)
+
+func batchRows() []types.Value {
+	schema := types.NewSchema("id", "name", "score", "flag", "tags")
+	rows := make([]types.Value, 50)
+	for i := range rows {
+		fields := []types.Value{
+			types.Int(int64(i)),
+			types.String("name-" + string(rune('a'+i%7))),
+			types.Float(float64(i) / 3),
+			types.Bool(i%2 == 0),
+			types.List(types.String("x"), types.Int(int64(i))),
+		}
+		// Sprinkle nulls through every column so validity bitmaps are
+		// exercised on typed and boxed vectors alike.
+		if i%9 == 0 {
+			fields[i%5] = types.Null()
+		}
+		rows[i] = types.NewRecord(schema, fields)
+	}
+	return rows
+}
+
+func requireRowsEqual(t *testing.T, got, want []types.Value) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%d rows, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if !types.Equal(got[i], want[i]) {
+			t.Fatalf("row %d: %v != %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBatchFromRowsRoundTrip(t *testing.T) {
+	rows := batchRows()
+	b := BatchFromRows(rows, nil)
+	if b == nil {
+		t.Fatal("homogeneous records should batch")
+	}
+	if b.N != len(rows) {
+		t.Fatalf("N = %d, want %d", b.N, len(rows))
+	}
+	if k := b.Cols[b.Col("name")].Kind; k != VecStr {
+		t.Fatalf("name column kind = %v, want VecStr", k)
+	}
+	if k := b.Cols[b.Col("tags")].Kind; k != VecAny {
+		t.Fatalf("tags column kind = %v, want VecAny (lists stay boxed)", k)
+	}
+	requireRowsEqual(t, b.Rows(), rows)
+}
+
+func TestBatchFromRowsRejectsNonRecords(t *testing.T) {
+	if b := BatchFromRows([]types.Value{types.Int(1), types.Int(2)}, nil); b != nil {
+		t.Fatal("scalar rows must stay rows")
+	}
+	s1 := types.NewSchema("a")
+	s2 := types.NewSchema("a", "b")
+	mixed := []types.Value{
+		types.NewRecord(s1, []types.Value{types.Int(1)}),
+		types.NewRecord(s2, []types.Value{types.Int(1), types.Int(2)}),
+	}
+	if b := BatchFromRows(mixed, nil); b != nil {
+		t.Fatal("mixed-schema rows must stay rows")
+	}
+}
+
+func TestGatherSliceConcatRoundTrip(t *testing.T) {
+	rows := batchRows()
+	b := BatchFromRows(rows, nil)
+
+	sel := []int32{0, 3, 9, 9, 44}
+	var want []types.Value
+	for _, j := range sel {
+		want = append(want, rows[j])
+	}
+	requireRowsEqual(t, b.Gather(sel).Rows(), want)
+
+	requireRowsEqual(t, b.Slice(10, 30).Rows(), rows[10:30])
+
+	cc := ConcatBatches([]*ColumnBatch{b.Slice(0, 17), b.Slice(17, 17), b.Slice(17, 50)})
+	if cc == nil {
+		t.Fatal("same-shape slices must concatenate")
+	}
+	requireRowsEqual(t, cc.Rows(), rows)
+
+	// Batches of different dictionaries do not concatenate.
+	other := BatchFromRows(rows, NewDict())
+	if ConcatBatches([]*ColumnBatch{b, other}) != nil {
+		t.Fatal("different dictionaries must not concatenate")
+	}
+}
+
+func TestRemapDictUnifiesCodes(t *testing.T) {
+	schema := types.NewSchema("s")
+	mk := func(ss ...string) []types.Value {
+		out := make([]types.Value, len(ss))
+		for i, s := range ss {
+			out[i] = types.NewRecord(schema, []types.Value{types.String(s)})
+		}
+		return out
+	}
+	b1 := BatchFromRows(mk("x", "y", "z"), NewDict())
+	b2 := BatchFromRows(mk("z", "w", "x"), NewDict())
+	shared := NewDict()
+	b1.RemapDict(shared)
+	b2.RemapDict(shared)
+	if b1.Dict != shared || b2.Dict != shared {
+		t.Fatal("remap must install the shared dictionary")
+	}
+	// Equal strings now share codes across batches: b1's "z" == b2's "z",
+	// b1's "x" == b2's "x".
+	if b1.Cols[0].Codes[2] != b2.Cols[0].Codes[0] {
+		t.Fatal("codes for equal strings must agree after remap")
+	}
+	if b1.Cols[0].Codes[0] != b2.Cols[0].Codes[2] {
+		t.Fatal("codes for equal strings must agree after remap")
+	}
+	if shared.Len() != 4 {
+		t.Fatalf("shared dictionary has %d entries, want 4", shared.Len())
+	}
+}
+
+func TestDistinctCodes(t *testing.T) {
+	schema := types.NewSchema("s", "n")
+	rows := make([]types.Value, 40)
+	for i := range rows {
+		v := types.Value(types.String("v" + string(rune('a'+i%6))))
+		if i == 13 {
+			v = types.Null()
+		}
+		rows[i] = types.NewRecord(schema, []types.Value{v, types.Int(int64(i))})
+	}
+	b := BatchFromRows(rows, nil)
+	distinct, sampled, ok := DistinctCodes([]*ColumnBatch{b}, 0, 1<<20)
+	if !ok || distinct != 6 || sampled != 40 {
+		t.Fatalf("distinct=%d sampled=%d ok=%v, want 6/40/true", distinct, sampled, ok)
+	}
+	// The sample cap bounds the probe.
+	if _, sampled, _ := DistinctCodes([]*ColumnBatch{b}, 0, 10); sampled != 10 {
+		t.Fatalf("sampled = %d, want cap 10", sampled)
+	}
+	// Non-string columns are not dictionary-encoded.
+	if _, _, ok := DistinctCodes([]*ColumnBatch{b}, 1, 100); ok {
+		t.Fatal("int column must report ok=false")
+	}
+}
+
+// FuzzDictionaryRoundTrip drives the string dictionary and the VecStr
+// column path with arbitrary token streams: interning must be stable
+// (Str∘Code = id, dense codes, consistent Lookup), batching rows through the
+// dictionary and boxing them back must be lossless, and remapping
+// per-partition dictionaries into a shared one must preserve every decoded
+// string while unifying codes.
+func FuzzDictionaryRoundTrip(f *testing.F) {
+	f.Add("alpha,beta,alpha,,gamma")
+	f.Add("")
+	f.Add(",,,")
+	f.Add("x")
+	f.Add("\x00\xff,é,é")
+	f.Fuzz(func(t *testing.T, in string) {
+		tokens := strings.Split(in, ",")
+		d := NewDict()
+		codes := make([]uint32, len(tokens))
+		for i, s := range tokens {
+			codes[i] = d.Code(s)
+			if int(codes[i]) >= d.Len() {
+				t.Fatalf("code %d out of range (len %d)", codes[i], d.Len())
+			}
+		}
+		for i, s := range tokens {
+			if got := d.Str(codes[i]); got != s {
+				t.Fatalf("Str(Code(%q)) = %q", s, got)
+			}
+			if c, ok := d.Lookup(s); !ok || c != codes[i] {
+				t.Fatalf("Lookup(%q) = %d,%v, want %d,true", s, c, ok, codes[i])
+			}
+			if c2 := d.Code(s); c2 != codes[i] {
+				t.Fatalf("re-interning %q moved its code %d -> %d", s, codes[i], c2)
+			}
+		}
+		snap := d.Snapshot()
+		if len(snap) != d.Len() {
+			t.Fatalf("snapshot len %d != dict len %d", len(snap), d.Len())
+		}
+		seen := map[string]bool{}
+		for _, s := range snap {
+			if seen[s] {
+				t.Fatalf("duplicate dictionary entry %q", s)
+			}
+			seen[s] = true
+		}
+		// Every token was interned twice (build loop + verify loop): misses
+		// count the distinct entries, hits the rest.
+		hits, misses := d.Stats()
+		if misses != int64(d.Len()) || hits+misses != int64(2*len(tokens)) {
+			t.Fatalf("stats hits=%d misses=%d over %d interns of %d distinct",
+				hits, misses, 2*len(tokens), d.Len())
+		}
+
+		// Rows → batch → rows through the dictionary is lossless, and
+		// remapping into a shared dictionary changes codes but not values.
+		schema := types.NewSchema("s")
+		rows := make([]types.Value, len(tokens))
+		for i, s := range tokens {
+			rows[i] = types.NewRecord(schema, []types.Value{types.String(s)})
+		}
+		b := BatchFromRows(rows, NewDict())
+		if b == nil {
+			t.Fatal("string records must batch")
+		}
+		got := b.Rows()
+		shared := NewDict()
+		shared.Code("pre-existing entry")
+		b.RemapDict(shared)
+		got2 := b.Rows()
+		for i := range rows {
+			if !types.Equal(got[i], rows[i]) {
+				t.Fatalf("row %d: %v != %v", i, got[i], rows[i])
+			}
+			if !types.Equal(got2[i], rows[i]) {
+				t.Fatalf("row %d after remap: %v != %v", i, got2[i], rows[i])
+			}
+		}
+	})
+}

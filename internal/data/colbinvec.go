@@ -1,0 +1,354 @@
+package data
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"cleandb/internal/types"
+)
+
+// Vector-native colbin codec: decode column chunks straight into typed
+// Column vectors (no boxed values, no transpose) and encode Column vectors
+// straight back into chunks. The byte output matches the row-based encoder
+// exactly, so a colbin file written from batches is indistinguishable from
+// one written from rows.
+
+// DecodeColumnVec decodes column c into a typed vector, interning string
+// chunk dictionaries into dict. The on-disk chunk dictionary is remapped
+// into dict with one interning per distinct string — no per-row hashing.
+// List columns come back as boxed VecAny vectors (their nesting has no
+// vector form).
+func (info *ColbinInfo) DecodeColumnVec(c int, dict *Dict) (Column, error) {
+	t := info.Types[c]
+	if t == ColStringList {
+		vals, err := info.DecodeColumn(c)
+		if err != nil {
+			return Column{}, err
+		}
+		return Column{Kind: VecAny, Vals: vals}, nil
+	}
+	cur := &byteCursor{buf: info.extents[c]}
+	nrows := info.Rows
+	bitmap, err := cur.take((nrows + 7) / 8)
+	if err != nil {
+		return Column{}, err
+	}
+	var nulls []uint64
+	for i := 0; i < nrows; i++ {
+		if bitmap[i/8]&(1<<(i%8)) != 0 {
+			if nulls == nil {
+				nulls = newNulls(nrows)
+			}
+			setNull(nulls, i)
+		}
+	}
+	col := Column{Nulls: nulls}
+	switch t {
+	case ColInt:
+		col.Kind = VecInt
+		col.Ints = make([]int64, nrows)
+		for i := 0; i < nrows; i++ {
+			n, err := cur.varint()
+			if err != nil {
+				return Column{}, err
+			}
+			col.Ints[i] = n
+		}
+	case ColFloat:
+		col.Kind = VecFloat
+		col.Floats = make([]float64, nrows)
+		for i := 0; i < nrows; i++ {
+			b, err := cur.take(8)
+			if err != nil {
+				return Column{}, err
+			}
+			col.Floats[i] = math.Float64frombits(binary.LittleEndian.Uint64(b))
+		}
+	case ColBool:
+		col.Kind = VecBool
+		col.Bools = make([]bool, nrows)
+		for i := 0; i < nrows; i++ {
+			b, err := cur.byte()
+			if err != nil {
+				return Column{}, err
+			}
+			col.Bools[i] = b != 0
+		}
+	case ColString:
+		col.Kind = VecStr
+		codes, err := decodeStringChunkCodes(cur, nrows, dict)
+		if err != nil {
+			return Column{}, err
+		}
+		col.Codes = codes
+	default:
+		vals, err := info.DecodeColumn(c)
+		if err != nil {
+			return Column{}, err
+		}
+		return Column{Kind: VecAny, Vals: vals}, nil
+	}
+	return col, nil
+}
+
+// decodeStringChunkCodes reads a string chunk as dictionary codes: the
+// chunk's local dictionary is interned into dict once, then the per-row
+// indices are remapped through that table.
+func decodeStringChunkCodes(cur *byteCursor, n int, dict *Dict) ([]uint32, error) {
+	dictSize, err := cur.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if dictSize > uint64(cur.remaining()) {
+		return nil, fmt.Errorf("data: colbin: dictionary size %d exceeds input", dictSize)
+	}
+	remap := make([]uint32, dictSize)
+	for i := range remap {
+		s, err := cur.str()
+		if err != nil {
+			return nil, err
+		}
+		remap[i] = dict.Code(s)
+	}
+	var empty uint32
+	emptySet := false
+	out := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		idx, err := cur.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if idx == 0 || idx > uint64(len(remap)) {
+			// Out-of-range indices decode as "" — same as DecodeColumn.
+			if !emptySet {
+				empty = dict.Code("")
+				emptySet = true
+			}
+			out[i] = empty
+		} else {
+			out[i] = remap[idx-1]
+		}
+	}
+	return out, nil
+}
+
+// ColTypeForColumn infers the colbin column type of a vector with the same
+// result the row-based ColbinTypeOf would give for the boxed rows: typed
+// vectors map directly, all-null columns fall back to ColString, boxed
+// vectors are scanned value by value.
+func ColTypeForColumn(col *Column, strs []string) ColType {
+	if col.Kind == VecAny {
+		return ColTypeOfValues(col.Vals)
+	}
+	allNull := true
+	n := col.Len()
+	for i := 0; i < n; i++ {
+		if !col.Null(i) {
+			allNull = false
+			break
+		}
+	}
+	if allNull {
+		return ColString
+	}
+	switch col.Kind {
+	case VecInt:
+		return ColInt
+	case VecFloat:
+		return ColFloat
+	case VecBool:
+		return ColBool
+	default:
+		return ColString
+	}
+}
+
+// ColTypeOfValues is ColbinTypeOf over a flat value slice.
+func ColTypeOfValues(vals []types.Value) ColType {
+	t := ColInt
+	decided := false
+	for _, v := range vals {
+		switch v.Kind() {
+		case types.KindNull:
+			continue
+		case types.KindInt:
+			if !decided {
+				t = ColInt
+				decided = true
+			}
+			if t == ColFloat || t == ColInt {
+				continue
+			}
+			return ColString
+		case types.KindFloat:
+			if !decided || t == ColInt {
+				t = ColFloat
+				decided = true
+				continue
+			}
+			if t == ColFloat {
+				continue
+			}
+			return ColString
+		case types.KindBool:
+			if !decided {
+				t = ColBool
+				decided = true
+				continue
+			}
+			if t != ColBool {
+				return ColString
+			}
+		case types.KindString:
+			if !decided {
+				t = ColString
+				decided = true
+				continue
+			}
+			if t != ColString {
+				return ColString
+			}
+		case types.KindList:
+			return ColStringList
+		default:
+			return ColString
+		}
+	}
+	if !decided {
+		return ColString
+	}
+	return t
+}
+
+// EncodeColumnVec encodes a column vector as one colbin chunk (null bitmap
+// plus typed payload), byte-identical to EncodeColbinColumn over the boxed
+// rows. strs is the dictionary snapshot for VecStr columns. When the vector
+// kind cannot encode as t directly, the column is boxed and encoded through
+// the value path.
+func EncodeColumnVec(col *Column, strs []string, t ColType) ([]byte, error) {
+	fast := (col.Kind == VecInt && t == ColInt) ||
+		(col.Kind == VecFloat && t == ColFloat) ||
+		(col.Kind == VecBool && t == ColBool) ||
+		(col.Kind == VecStr && t == ColString)
+	if !fast {
+		n := col.Len()
+		vals := make([]types.Value, n)
+		for i := 0; i < n; i++ {
+			vals[i] = col.Value(i, strs)
+		}
+		return EncodeValuesColumn(vals, t)
+	}
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	n := col.Len()
+	bitmap := make([]byte, (n+7)/8)
+	for i := 0; i < n; i++ {
+		if col.Null(i) {
+			bitmap[i/8] |= 1 << (i % 8)
+		}
+	}
+	bw.Write(bitmap)
+	switch col.Kind {
+	case VecInt:
+		for i, v := range col.Ints {
+			if col.Null(i) {
+				v = 0 // the row encoder writes Null.Int() == 0
+			}
+			writeVarint(bw, v)
+		}
+	case VecFloat:
+		var b [8]byte
+		for i, v := range col.Floats {
+			if col.Null(i) {
+				v = 0
+			}
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+			bw.Write(b[:])
+		}
+	case VecBool:
+		for i, v := range col.Bools {
+			b := byte(0)
+			if v && !col.Null(i) {
+				b = 1
+			}
+			bw.WriteByte(b)
+		}
+	case VecStr:
+		vals := make([]string, n)
+		for i, c := range col.Codes {
+			if col.Null(i) {
+				vals[i] = "null" // Null.String(), as the row encoder writes
+			} else {
+				vals[i] = strs[c]
+			}
+		}
+		writeStringChunk(bw, vals)
+	}
+	if err := bw.Flush(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// EncodeValuesColumn encodes a flat value slice as one colbin chunk,
+// mirroring writeColumn over rows.
+func EncodeValuesColumn(vals []types.Value, t ColType) ([]byte, error) {
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	bitmap := make([]byte, (len(vals)+7)/8)
+	for i, v := range vals {
+		if v.IsNull() {
+			bitmap[i/8] |= 1 << (i % 8)
+		}
+	}
+	bw.Write(bitmap)
+	switch t {
+	case ColInt:
+		for _, v := range vals {
+			writeVarint(bw, v.Int())
+		}
+	case ColFloat:
+		var b [8]byte
+		for _, v := range vals {
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(v.Float()))
+			bw.Write(b[:])
+		}
+	case ColBool:
+		for _, v := range vals {
+			b := byte(0)
+			if v.Bool() {
+				b = 1
+			}
+			bw.WriteByte(b)
+		}
+	case ColString:
+		ss := make([]string, len(vals))
+		for i, v := range vals {
+			ss[i] = v.String()
+		}
+		writeStringChunk(bw, ss)
+	case ColStringList:
+		var flat []string
+		for _, v := range vals {
+			if v.Kind() == types.KindList {
+				writeUvarint(bw, uint64(len(v.List())))
+				for _, e := range v.List() {
+					flat = append(flat, e.String())
+				}
+			} else if v.IsNull() {
+				writeUvarint(bw, 0)
+			} else {
+				writeUvarint(bw, 1)
+				flat = append(flat, v.String())
+			}
+		}
+		writeStringChunk(bw, flat)
+	}
+	if err := bw.Flush(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,270 @@
+package engine
+
+import (
+	"sync"
+
+	"cleandb/internal/data"
+	"cleandb/internal/types"
+)
+
+// Batch-backed datasets: partitions carried as typed column vectors
+// (data.ColumnBatch) instead of boxed rows. Columnar operators —
+// WrapRecords, FilterBatches, batch repartitioning — work on the vectors
+// directly; every row-level operator transparently materializes rows first
+// through a shared, once-per-dataset cache, so the two forms compose
+// freely. Stage costs are logged identically in both forms, keeping
+// SimTicks and the comparison budget representation-independent.
+
+// rowCache materializes a batch-backed dataset's row form at most once,
+// shared across WithContext rebinds so a catalog source pays the boxing
+// cost once, not once per query.
+type rowCache struct {
+	once  sync.Once
+	parts [][]types.Value
+}
+
+// FromBatches wraps column batches as a dataset. Rows materialize lazily on
+// first use by a row-level operator.
+func FromBatches(ctx *Context, batches []*data.ColumnBatch) *Dataset {
+	if len(batches) == 0 {
+		return FromPartitions(ctx, nil)
+	}
+	return &Dataset{ctx: ctx, batches: batches, mat: &rowCache{}}
+}
+
+// FromBatchesAndRows wraps column batches whose row form already exists
+// (text formats scan rows first and batch them afterwards): columnar
+// operators use the batches, row operators reuse the rows for free.
+func FromBatchesAndRows(ctx *Context, batches []*data.ColumnBatch, parts [][]types.Value) *Dataset {
+	if len(batches) == 0 || len(batches) != len(parts) {
+		return FromPartitions(ctx, parts)
+	}
+	return &Dataset{ctx: ctx, batches: batches, parts: parts}
+}
+
+// Batches returns the dataset's column batches, or nil when it is
+// row-backed. Entries may be nil after a cancelled job; treat nil as empty.
+func (d *Dataset) Batches() []*data.ColumnBatch { return d.batches }
+
+// WrapSchema returns the one-field env schema rows are wrapped in at
+// materialization, when the dataset is a wrapped scan view.
+func (d *Dataset) WrapSchema() *types.Schema { return d.wrap }
+
+// rows returns the dataset's row partitions, materializing them from the
+// batch form on first use. Materialization ignores job cancellation on
+// purpose: the cache is shared across queries, and a half-built cache
+// poisoned by one cancelled query would silently corrupt the next.
+func (d *Dataset) rows() [][]types.Value {
+	if d.parts != nil {
+		return d.parts
+	}
+	if d.mat == nil {
+		return d.parts
+	}
+	d.mat.once.Do(func() {
+		d.mat.parts = d.buildRows()
+	})
+	return d.mat.parts
+}
+
+func (d *Dataset) buildRows() [][]types.Value {
+	bg := &Context{Workers: d.ctx.Workers}
+	if d.inner != nil {
+		base := d.inner.rows()
+		out := make([][]types.Value, len(base))
+		bg.runParallel(len(base), func(i int) {
+			in := base[i]
+			res := make([]types.Value, len(in))
+			for j, v := range in {
+				res[j] = types.NewRecord(d.wrap, []types.Value{v})
+			}
+			out[i] = res
+		})
+		return out
+	}
+	out := make([][]types.Value, len(d.batches))
+	bg.runParallel(len(d.batches), func(i int) {
+		b := d.batches[i]
+		if b == nil || b.N == 0 {
+			out[i] = nil
+			return
+		}
+		out[i] = b.AppendRows(make([]types.Value, 0, b.N), d.wrap)
+	})
+	return out
+}
+
+// WrapRecords is the columnar form of the scan-env Map: every record
+// becomes a one-field record over wrap at materialization time, while the
+// column vectors stay available for batch operators downstream. The stage
+// is logged with exactly the cost the row path's Map would record, so the
+// cost model cannot tell the two forms apart.
+func (d *Dataset) WrapRecords(name string, wrap *types.Schema) *Dataset {
+	costs := make([]int64, len(d.batches))
+	for i, b := range d.batches {
+		if b != nil {
+			costs[i] = int64(b.N)
+		}
+	}
+	d.finishNarrow(name, costs)
+	return &Dataset{ctx: d.ctx, batches: d.batches, wrap: wrap, inner: d, mat: &rowCache{}}
+}
+
+// WrapBare re-wraps the dataset's bare data batches in a fresh one-field
+// env schema, discarding the current wrap — the columnar form of projecting
+// the scanned record itself (a SELECT-* reduce head). The vectors pass
+// through untouched; only the schema rows materialize under changes. The
+// stage logs the cost the row path's Map would.
+func (d *Dataset) WrapBare(name string, wrap *types.Schema) *Dataset {
+	costs := make([]int64, len(d.batches))
+	for i, b := range d.batches {
+		if b != nil {
+			costs[i] = int64(b.N)
+		}
+	}
+	d.finishNarrow(name, costs)
+	// Share the base dataset's boxed bare rows when this is a wrapped scan
+	// view; filtered batches box their own rows at materialization.
+	return &Dataset{ctx: d.ctx, batches: d.batches, wrap: wrap, inner: d.inner, mat: &rowCache{}}
+}
+
+// FilterBatches evaluates a columnar predicate kernel per batch: the kernel
+// returns the selected row indices, which gather into new batches without
+// any row being boxed. Stage cost and recordsProcessed match the row path's
+// Filter exactly.
+func (d *Dataset) FilterBatches(name string, kernel func(*data.ColumnBatch) []int32) *Dataset {
+	in := d.batches
+	outB := make([]*data.ColumnBatch, len(in))
+	costs := make([]int64, len(in))
+	d.ctx.runParallel(len(in), func(i int) {
+		b := in[i]
+		if b == nil || b.N == 0 {
+			outB[i] = b
+			return
+		}
+		sel := kernel(b)
+		outB[i] = b.Gather(sel)
+		costs[i] = int64(b.N)
+		d.ctx.metrics.batchesEvaluated.Add(1)
+	})
+	d.finishNarrow(name, costs)
+	return &Dataset{ctx: d.ctx, batches: outB, wrap: d.wrap, mat: &rowCache{}}
+}
+
+// repartitionBatches redistributes a batch-backed dataset into n contiguous
+// chunks by exchanging column chunks — zero-copy slices of the source
+// vectors concatenated per target partition — instead of boxed row slices.
+// It returns nil when the batches do not share one shape (the caller falls
+// back to the row exchange). The logged stage is identical to the row
+// path's repartition, including the byte volume the boxed rows would have.
+func (d *Dataset) repartitionBatches(n int) *Dataset {
+	if n < 1 {
+		n = 1
+	}
+	var live []*data.ColumnBatch
+	total := 0
+	var bytes int64
+	costs := make([]int64, len(d.batches))
+	for i, b := range d.batches {
+		if b == nil || b.N == 0 {
+			continue
+		}
+		live = append(live, b)
+		total += b.N
+		costs[i] = int64(b.N)
+		bytes += batchRowBytes(b, d.wrap != nil)
+	}
+	per := (total + n - 1) / n
+	if per == 0 {
+		per = 1
+	}
+	outB := make([]*data.ColumnBatch, n)
+	for p := 0; p < n; p++ {
+		lo := p * per
+		if lo > total {
+			lo = total
+		}
+		hi := lo + per
+		if hi > total {
+			hi = total
+		}
+		var pieces []*data.ColumnBatch
+		off := 0
+		for _, b := range live {
+			blo, bhi := lo-off, hi-off
+			if blo < 0 {
+				blo = 0
+			}
+			if bhi > b.N {
+				bhi = b.N
+			}
+			if blo < bhi {
+				pieces = append(pieces, b.Slice(blo, bhi))
+			}
+			off += b.N
+		}
+		switch len(pieces) {
+		case 0:
+			outB[p] = nil
+		case 1:
+			outB[p] = pieces[0]
+		default:
+			cc := data.ConcatBatches(pieces)
+			if cc == nil {
+				return nil
+			}
+			outB[p] = cc
+		}
+	}
+	d.ctx.metrics.logStage(StageStats{
+		Name:            "repartition",
+		WorkerCosts:     costs,
+		ShuffledRecords: int64(total),
+		ShuffledBytes:   bytes,
+	})
+	return &Dataset{ctx: d.ctx, batches: outB, wrap: d.wrap, mat: &rowCache{}}
+}
+
+// batchRowBytes computes the types.SizeBytes sum the boxed rows of b would
+// report, straight from the vectors, so the batch repartition logs the same
+// shuffle volume as the row repartition.
+func batchRowBytes(b *data.ColumnBatch, wrapped bool) int64 {
+	var strs []string
+	var total int64
+	total += int64(b.N) * 24 // record header per row
+	if wrapped {
+		total += int64(b.N) * 24 // env wrapper record per row
+	}
+	for ci := range b.Cols {
+		col := &b.Cols[ci]
+		switch col.Kind {
+		case data.VecInt, data.VecFloat:
+			total += int64(b.N) * 8
+			if col.Nulls != nil {
+				for i := 0; i < b.N; i++ {
+					if col.Null(i) {
+						total -= 7 // null costs 1, not 8
+					}
+				}
+			}
+		case data.VecBool:
+			total += int64(b.N) * 1
+		case data.VecStr:
+			if strs == nil {
+				strs = b.Strings()
+			}
+			for i, c := range col.Codes {
+				if col.Nulls != nil && col.Null(i) {
+					total += 1
+				} else {
+					total += 16 + int64(len(strs[c]))
+				}
+			}
+		default:
+			for _, v := range col.Vals {
+				total += int64(types.SizeBytes(v))
+			}
+		}
+	}
+	return total
+}

@@ -29,6 +29,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"cleandb/internal/data"
 	"cleandb/internal/types"
 )
 
@@ -86,13 +87,20 @@ func (c *Context) Err() error {
 
 // Metrics accumulates cost-model counters for a job.
 type Metrics struct {
-	mu     sync.Mutex
-	stages []StageStats
+	mu         sync.Mutex
+	stages     []StageStats
+	strategies map[string]int64
 
 	recordsProcessed atomic.Int64
 	shuffledRecords  atomic.Int64
 	shuffledBytes    atomic.Int64
 	comparisons      atomic.Int64
+
+	batchesEvaluated atomic.Int64
+	dictHits         atomic.Int64
+	dictMisses       atomic.Int64
+	simCacheHits     atomic.Int64
+	simCacheMisses   atomic.Int64
 }
 
 // StageStats describes one executed stage.
@@ -130,11 +138,70 @@ func (c *Context) Metrics() *Metrics { return &c.metrics }
 func (m *Metrics) Reset() {
 	m.mu.Lock()
 	m.stages = nil
+	m.strategies = nil
 	m.mu.Unlock()
 	m.recordsProcessed.Store(0)
 	m.shuffledRecords.Store(0)
 	m.shuffledBytes.Store(0)
 	m.comparisons.Store(0)
+	m.batchesEvaluated.Store(0)
+	m.dictHits.Store(0)
+	m.dictMisses.Store(0)
+	m.simCacheHits.Store(0)
+	m.simCacheMisses.Store(0)
+}
+
+// BatchesEvaluated returns how many column batches were evaluated by
+// vectorized kernels instead of row-at-a-time interpretation.
+func (m *Metrics) BatchesEvaluated() int64 { return m.batchesEvaluated.Load() }
+
+// AddDictStats folds string-dictionary interning counters in: hits found an
+// existing entry, misses allocated one.
+func (m *Metrics) AddDictStats(hits, misses int64) {
+	m.dictHits.Add(hits)
+	m.dictMisses.Add(misses)
+}
+
+// DictStats returns the dictionary interning counters.
+func (m *Metrics) DictStats() (hits, misses int64) {
+	return m.dictHits.Load(), m.dictMisses.Load()
+}
+
+// AddSimCacheStats folds pair-similarity cache counters in.
+func (m *Metrics) AddSimCacheStats(hits, misses int64) {
+	m.simCacheHits.Add(hits)
+	m.simCacheMisses.Add(misses)
+}
+
+// SimCacheStats returns the pair-similarity cache counters.
+func (m *Metrics) SimCacheStats() (hits, misses int64) {
+	return m.simCacheHits.Load(), m.simCacheMisses.Load()
+}
+
+// NoteStrategy records that the planner chose the named execution strategy
+// (e.g. "theta:mbucket", "group:aggregate-by-key") once, making the
+// stats-driven choices observable in Result.Metrics and /metrics.
+func (m *Metrics) NoteStrategy(name string) {
+	m.mu.Lock()
+	if m.strategies == nil {
+		m.strategies = make(map[string]int64)
+	}
+	m.strategies[name]++
+	m.mu.Unlock()
+}
+
+// Strategies returns a copy of the strategy-choice counters.
+func (m *Metrics) Strategies() map[string]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.strategies) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(m.strategies))
+	for k, v := range m.strategies {
+		out[k] = v
+	}
+	return out
 }
 
 // AddComparisons counts n pairwise (similarity or predicate) comparisons.
@@ -215,13 +282,27 @@ func (m *Metrics) Merge(src *Metrics) {
 		return
 	}
 	stages := src.Stages()
+	strategies := src.Strategies()
 	m.mu.Lock()
 	m.stages = append(m.stages, stages...)
+	if len(strategies) > 0 {
+		if m.strategies == nil {
+			m.strategies = make(map[string]int64, len(strategies))
+		}
+		for k, v := range strategies {
+			m.strategies[k] += v
+		}
+	}
 	m.mu.Unlock()
 	m.recordsProcessed.Add(src.recordsProcessed.Load())
 	m.shuffledRecords.Add(src.shuffledRecords.Load())
 	m.shuffledBytes.Add(src.shuffledBytes.Load())
 	m.comparisons.Add(src.comparisons.Load())
+	m.batchesEvaluated.Add(src.batchesEvaluated.Load())
+	m.dictHits.Add(src.dictHits.Load())
+	m.dictMisses.Add(src.dictMisses.Load())
+	m.simCacheHits.Add(src.simCacheHits.Load())
+	m.simCacheMisses.Add(src.simCacheMisses.Load())
 }
 
 func (m *Metrics) logStage(s StageStats) {
@@ -277,9 +358,19 @@ func (c *Context) runParallel(n int, f func(i int)) {
 }
 
 // Dataset is a partitioned, immutable collection of values bound to a Context.
+//
+// A dataset is row-backed (parts set), batch-backed (batches set, rows
+// materialized lazily through mat), or both (batch-backed with its row form
+// already built). wrap and inner implement wrapped scan views: see
+// WrapRecords in batch.go.
 type Dataset struct {
 	ctx   *Context
 	parts [][]types.Value
+
+	batches []*data.ColumnBatch
+	wrap    *types.Schema
+	inner   *Dataset
+	mat     *rowCache
 }
 
 // Context returns the dataset's execution context.
@@ -293,22 +384,28 @@ func (d *Dataset) WithContext(ctx *Context) *Dataset {
 	if ctx == nil || ctx == d.ctx {
 		return d
 	}
-	return &Dataset{ctx: ctx, parts: d.parts}
+	return &Dataset{ctx: ctx, parts: d.parts, batches: d.batches, wrap: d.wrap, inner: d.inner, mat: d.mat}
 }
 
 // NumPartitions returns the partition count.
-func (d *Dataset) NumPartitions() int { return len(d.parts) }
+func (d *Dataset) NumPartitions() int {
+	if d.parts == nil && d.batches != nil {
+		return len(d.batches)
+	}
+	return len(d.parts)
+}
 
 // Partition returns partition i (shared storage; do not mutate).
-func (d *Dataset) Partition(i int) []types.Value { return d.parts[i] }
+func (d *Dataset) Partition(i int) []types.Value { return d.rows()[i] }
 
 // Partitions returns every partition in order (shared storage; do not mutate
 // the outer or the inner slices). This is the copy-free hand-off for result
 // consumers: where Collect concatenates every partition into one fresh
 // slice, Partitions lets downstream layers — result views, sinks — drain the
 // data partition by partition without the engine ever building the O(result)
-// merged copy.
-func (d *Dataset) Partitions() [][]types.Value { return d.parts }
+// merged copy. Batch-backed datasets materialize their rows here; consumers
+// that can drain vectors directly should check Batches first.
+func (d *Dataset) Partitions() [][]types.Value { return d.rows() }
 
 // FromValues partitions vs into ctx.Workers chunks, preserving order.
 func FromValues(ctx *Context, vs []types.Value) *Dataset {
@@ -349,19 +446,30 @@ func FromPartitions(ctx *Context, parts [][]types.Value) *Dataset {
 
 // Collect concatenates all partitions in order.
 func (d *Dataset) Collect() []types.Value {
+	parts := d.rows()
 	var n int
-	for _, p := range d.parts {
+	for _, p := range parts {
 		n += len(p)
 	}
 	out := make([]types.Value, 0, n)
-	for _, p := range d.parts {
+	for _, p := range parts {
 		out = append(out, p...)
 	}
 	return out
 }
 
-// Count returns the total number of records.
+// Count returns the total number of records. Batch-backed datasets answer
+// from the vector lengths without materializing rows.
 func (d *Dataset) Count() int64 {
+	if d.parts == nil && d.batches != nil {
+		var n int64
+		for _, b := range d.batches {
+			if b != nil {
+				n += int64(b.N)
+			}
+		}
+		return n
+	}
 	var n int64
 	for _, p := range d.parts {
 		n += int64(len(p))
@@ -371,5 +479,5 @@ func (d *Dataset) Count() int64 {
 
 // String summarizes the dataset.
 func (d *Dataset) String() string {
-	return fmt.Sprintf("Dataset(%d records, %d partitions)", d.Count(), len(d.parts))
+	return fmt.Sprintf("Dataset(%d records, %d partitions)", d.Count(), d.NumPartitions())
 }

@@ -53,8 +53,8 @@ func (d *Dataset) hashJoin(name string, right *Dataset, lkey, rkey KeyFunc, comb
 			}
 		}
 	}
-	route(d.parts, lkey, lb)
-	route(right.parts, rkey, rb)
+	route(d.rows(), lkey, lb)
+	route(right.rows(), rkey, rb)
 
 	out := make([][]types.Value, w)
 	costs := make([]int64, w)
@@ -101,17 +101,18 @@ func (d *Dataset) BroadcastJoin(name string, right []types.Value, rkey func(type
 	for _, rv := range right {
 		bcastBytes += int64(types.SizeBytes(rv))
 	}
-	out := make([][]types.Value, len(d.parts))
-	costs := make([]int64, len(d.parts))
-	d.ctx.runParallel(len(d.parts), func(i int) {
+	parts := d.rows()
+	out := make([][]types.Value, len(parts))
+	costs := make([]int64, len(parts))
+	d.ctx.runParallel(len(parts), func(i int) {
 		var res []types.Value
-		for _, lv := range d.parts[i] {
+		for _, lv := range parts[i] {
 			for _, rv := range table[types.Key(lkey(lv))] {
 				res = append(res, combine(lv, rv))
 			}
 		}
 		out[i] = res
-		costs[i] = int64(len(d.parts[i]))
+		costs[i] = int64(len(parts[i]))
 	})
 	d.ctx.metrics.logStage(StageStats{
 		Name: name + ":broadcast", WorkerCosts: costs,
@@ -135,12 +136,13 @@ func (d *Dataset) CartesianFilter(name string, right *Dataset, pred func(l, r ty
 		return nil, ErrBudgetExceeded
 	}
 	var shuffled int64 = m * int64(d.ctx.Workers) // right side replicated everywhere
-	out := make([][]types.Value, len(d.parts))
-	costs := make([]int64, len(d.parts))
-	d.ctx.runParallel(len(d.parts), func(i int) {
+	parts := d.rows()
+	out := make([][]types.Value, len(parts))
+	costs := make([]int64, len(parts))
+	d.ctx.runParallel(len(parts), func(i int) {
 		var res []types.Value
 		since := 0
-		for _, lv := range d.parts[i] {
+		for _, lv := range parts[i] {
 			if since += len(rall); since >= cancelCheckEvery {
 				since = 0
 				if d.ctx.Err() != nil {
@@ -154,7 +156,7 @@ func (d *Dataset) CartesianFilter(name string, right *Dataset, pred func(l, r ty
 			}
 		}
 		out[i] = res
-		costs[i] = int64(len(d.parts[i])) * m
+		costs[i] = int64(len(parts[i])) * m
 	})
 	if err := d.ctx.Err(); err != nil {
 		return nil, err

@@ -9,10 +9,11 @@ import (
 // Map applies f to every record, producing a new dataset with the same
 // partitioning. This is a narrow (shuffle-free) operator.
 func (d *Dataset) Map(name string, f func(types.Value) types.Value) *Dataset {
-	out := make([][]types.Value, len(d.parts))
-	costs := make([]int64, len(d.parts))
-	d.ctx.runParallel(len(d.parts), func(i int) {
-		in := d.parts[i]
+	parts := d.rows()
+	out := make([][]types.Value, len(parts))
+	costs := make([]int64, len(parts))
+	d.ctx.runParallel(len(parts), func(i int) {
+		in := parts[i]
 		res := make([]types.Value, len(in))
 		for j, v := range in {
 			res[j] = f(v)
@@ -26,10 +27,11 @@ func (d *Dataset) Map(name string, f func(types.Value) types.Value) *Dataset {
 
 // Filter keeps the records for which pred returns true.
 func (d *Dataset) Filter(name string, pred func(types.Value) bool) *Dataset {
-	out := make([][]types.Value, len(d.parts))
-	costs := make([]int64, len(d.parts))
-	d.ctx.runParallel(len(d.parts), func(i int) {
-		in := d.parts[i]
+	parts := d.rows()
+	out := make([][]types.Value, len(parts))
+	costs := make([]int64, len(parts))
+	d.ctx.runParallel(len(parts), func(i int) {
+		in := parts[i]
 		res := make([]types.Value, 0, len(in)/2)
 		for _, v := range in {
 			if pred(v) {
@@ -46,10 +48,11 @@ func (d *Dataset) Filter(name string, pred func(types.Value) bool) *Dataset {
 // FlatMap applies f to every record and concatenates the results. It is how
 // the physical level implements the Unnest operator (paper Table 2).
 func (d *Dataset) FlatMap(name string, f func(types.Value) []types.Value) *Dataset {
-	out := make([][]types.Value, len(d.parts))
-	costs := make([]int64, len(d.parts))
-	d.ctx.runParallel(len(d.parts), func(i int) {
-		in := d.parts[i]
+	parts := d.rows()
+	out := make([][]types.Value, len(parts))
+	costs := make([]int64, len(parts))
+	d.ctx.runParallel(len(parts), func(i int) {
+		in := parts[i]
 		var res []types.Value
 		for _, v := range in {
 			res = append(res, f(v)...)
@@ -66,10 +69,11 @@ func (d *Dataset) FlatMap(name string, f func(types.Value) []types.Value) *Datas
 // comparison stages (dedup within blocks) use it so that a worker holding a
 // popular block is correctly modeled as the straggler.
 func (d *Dataset) FlatMapW(name string, f func(types.Value) []types.Value, weight func(types.Value) int64) *Dataset {
-	out := make([][]types.Value, len(d.parts))
-	costs := make([]int64, len(d.parts))
-	d.ctx.runParallel(len(d.parts), func(i int) {
-		in := d.parts[i]
+	parts := d.rows()
+	out := make([][]types.Value, len(parts))
+	costs := make([]int64, len(parts))
+	d.ctx.runParallel(len(parts), func(i int) {
+		in := parts[i]
 		var res []types.Value
 		var cost int64
 		for _, v := range in {
@@ -86,11 +90,12 @@ func (d *Dataset) FlatMapW(name string, f func(types.Value) []types.Value, weigh
 // MapPartitions applies f to each whole partition. The paper's Nest operator
 // lowers to aggregateByKey followed by mapPartitions (Table 2).
 func (d *Dataset) MapPartitions(name string, f func(int, []types.Value) []types.Value) *Dataset {
-	out := make([][]types.Value, len(d.parts))
-	costs := make([]int64, len(d.parts))
-	d.ctx.runParallel(len(d.parts), func(i int) {
-		out[i] = f(i, d.parts[i])
-		costs[i] = int64(len(d.parts[i]))
+	parts := d.rows()
+	out := make([][]types.Value, len(parts))
+	costs := make([]int64, len(parts))
+	d.ctx.runParallel(len(parts), func(i int) {
+		out[i] = f(i, parts[i])
+		costs[i] = int64(len(parts[i]))
 	})
 	d.finishNarrow(name, costs)
 	return &Dataset{ctx: d.ctx, parts: out}
@@ -98,15 +103,21 @@ func (d *Dataset) MapPartitions(name string, f func(int, []types.Value) []types.
 
 // Union appends other's partitions to d's (no shuffle).
 func (d *Dataset) Union(other *Dataset) *Dataset {
-	parts := make([][]types.Value, 0, len(d.parts)+len(other.parts))
-	parts = append(parts, d.parts...)
-	parts = append(parts, other.parts...)
+	dp, op := d.rows(), other.rows()
+	parts := make([][]types.Value, 0, len(dp)+len(op))
+	parts = append(parts, dp...)
+	parts = append(parts, op...)
 	return &Dataset{ctx: d.ctx, parts: parts}
 }
 
 // Repartition redistributes records into n contiguous chunks, modeling an
 // explicit exchange: all records count as shuffled.
 func (d *Dataset) Repartition(n int) *Dataset {
+	if d.parts == nil && d.batches != nil {
+		if out := d.repartitionBatches(n); out != nil {
+			return out
+		}
+	}
 	all := d.Collect()
 	var bytes int64
 	for _, v := range all {
@@ -146,7 +157,7 @@ func (d *Dataset) Sample(k int) []types.Value {
 	}
 	var out []types.Value
 	i := 0
-	for _, p := range d.parts {
+	for _, p := range d.rows() {
 		for _, v := range p {
 			if i%k == 0 {
 				out = append(out, v)
@@ -167,8 +178,9 @@ func (d *Dataset) finishNarrow(name string, costs []int64) {
 }
 
 func partitionCosts(d *Dataset) []int64 {
-	costs := make([]int64, len(d.parts))
-	for i, p := range d.parts {
+	parts := d.rows()
+	costs := make([]int64, len(parts))
+	for i, p := range parts {
 		costs[i] = int64(len(p))
 	}
 	return costs

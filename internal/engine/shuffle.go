@@ -90,12 +90,13 @@ func (d *Dataset) AggregateByKey(name string, key KeyFunc, agg Aggregator) *Data
 		key    types.Value
 		acc    interface{}
 	}
-	localPairs := make([][]kv, len(d.parts))
-	mapCosts := make([]int64, len(d.parts))
-	d.ctx.runParallel(len(d.parts), func(i int) {
+	parts := d.rows()
+	localPairs := make([][]kv, len(parts))
+	mapCosts := make([]int64, len(parts))
+	d.ctx.runParallel(len(parts), func(i int) {
 		local := make(map[string]*kv, 64)
 		order := make([]string, 0, 64)
-		for _, v := range d.parts[i] {
+		for _, v := range parts[i] {
 			k := key(v)
 			ks := types.Key(k)
 			e, ok := local[ks]
@@ -111,7 +112,7 @@ func (d *Dataset) AggregateByKey(name string, key KeyFunc, agg Aggregator) *Data
 			pairs = append(pairs, *local[ks])
 		}
 		localPairs[i] = pairs
-		mapCosts[i] = int64(len(d.parts[i]))
+		mapCosts[i] = int64(len(parts[i]))
 	})
 	d.ctx.metrics.recordsProcessed.Add(sumCosts(mapCosts))
 	d.ctx.metrics.logStage(StageStats{Name: name + ":combine", WorkerCosts: mapCosts})
@@ -199,7 +200,7 @@ func (d *Dataset) SortShuffleGroup(name string, key KeyFunc, agg Aggregator) *Da
 	// Shuffle every record to its range.
 	buckets := make([][]kr, w)
 	var shuffled, bytes int64
-	for _, p := range d.parts {
+	for _, p := range d.rows() {
 		for _, v := range p {
 			k := key(v)
 			ks := types.Key(k)
@@ -261,7 +262,7 @@ func (d *Dataset) HashShuffleGroup(name string, key KeyFunc, agg Aggregator) *Da
 	}
 	buckets := make([][]kr, w)
 	var shuffled, bytes int64
-	for _, p := range d.parts {
+	for _, p := range d.rows() {
 		for _, v := range p {
 			k := key(v)
 			b := int(types.Hash(k) % uint64(w))

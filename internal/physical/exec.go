@@ -23,6 +23,7 @@ import (
 	"sort"
 
 	"cleandb/internal/algebra"
+	"cleandb/internal/data"
 	"cleandb/internal/engine"
 	"cleandb/internal/monoid"
 	"cleandb/internal/types"
@@ -58,6 +59,11 @@ const (
 type Config struct {
 	Group GroupStrategy
 	Theta ThetaStrategy
+	// Auto derives the strategy per operator from source statistics — row
+	// counts, band-predicate presence, dictionary distinct-value estimates —
+	// instead of the fixed Group/Theta configuration. Decisions are recorded
+	// in the metrics' strategy counters.
+	Auto bool
 }
 
 // Executor runs algebra plans against a catalog of datasets.
@@ -184,7 +190,13 @@ func (ex *Executor) execScan(n *algebra.Scan) (*engine.Dataset, error) {
 	// Rebase the shared catalog dataset onto this executor's (job) context:
 	// downstream operators then charge this query's metrics and observe its
 	// cancellation, not the instance-wide context the data was loaded under.
-	return src.WithContext(ex.Ctx).Map("scan:"+n.Source, func(v types.Value) types.Value {
+	rebased := src.WithContext(ex.Ctx)
+	if rebased.Batches() != nil {
+		// Columnar source: keep the vectors and defer the env wrapping to
+		// row materialization. The stage logs the same cost the Map would.
+		return rebased.WrapRecords("scan:"+n.Source, schema), nil
+	}
+	return rebased.Map("scan:"+n.Source, func(v types.Value) types.Value {
 		return types.NewRecord(schema, []types.Value{v})
 	}), nil
 }
@@ -197,6 +209,11 @@ func (ex *Executor) execSelect(n *algebra.Select) (*engine.Dataset, error) {
 	pred, err := ex.compile(n.Pred, n.Child)
 	if err != nil {
 		return nil, err
+	}
+	if binds := n.Child.Binds(); len(binds) == 1 && child.Batches() != nil && child.WrapSchema() != nil {
+		if kernel := ex.compileBatchKernel(n.Pred, binds[0]); kernel != nil {
+			return child.FilterBatches("select", kernel), nil
+		}
 	}
 	return child.Filter("select", func(v types.Value) bool {
 		return evalEnv(pred, v).Bool()
@@ -262,6 +279,19 @@ func (ex *Executor) execReduce(n *algebra.Reduce) (*engine.Dataset, error) {
 	if n.M.Collection() {
 		// Table 2: ∆ → map→filter. A collection reduce is a projection of
 		// the head per surviving record.
+		if v, ok := n.Head.(*monoid.Var); ok {
+			if binds := n.Child.Binds(); len(binds) == 1 && v.Name == binds[0] &&
+				child.Batches() != nil && child.WrapSchema() != nil {
+				// SELECT-* head over a columnar child: the output records are
+				// the scanned records under a new env wrapper — rewrap the
+				// vectors instead of boxing a projection per row.
+				mapped := child.WrapBare("reduce:"+n.M.Name(), schema)
+				if n.M.Name() == "set" {
+					return distinct(mapped, "reduce:set", schema), nil
+				}
+				return mapped, nil
+			}
+		}
 		mapped := child.Map("reduce:"+n.M.Name(), func(v types.Value) types.Value {
 			return types.NewRecord(schema, []types.Value{evalEnv(head, v)})
 		})
@@ -396,14 +426,89 @@ func (ex *Executor) execNest(n *algebra.Nest) (*engine.Dataset, error) {
 		}
 		return types.ListOf(parts)
 	}
-	switch ex.Config.Group {
+	strat := ex.Config.Group
+	if ex.Config.Auto {
+		strat = ex.chooseGroup(n, child)
+	}
+	switch strat {
 	case GroupSort:
+		ex.Ctx.Metrics().NoteStrategy("nest:sort")
 		return child.SortShuffleGroup("nest", keyFn, na), nil
 	case GroupHash:
+		ex.Ctx.Metrics().NoteStrategy("nest:hash")
 		return child.HashShuffleGroup("nest", keyFn, na), nil
 	default:
+		ex.Ctx.Metrics().NoteStrategy("nest:aggregate")
 		return child.AggregateByKey("nest", keyFn, na), nil
 	}
+}
+
+// Stats-driven strategy selection thresholds.
+const (
+	// statsSampleCap bounds the rows a distinct-value probe examines.
+	statsSampleCap = 1 << 14
+	// hashGroupKeyRatio: above this distinct/sampled ratio, map-side
+	// combining stops reducing shuffle volume and the hash shuffle wins.
+	hashGroupKeyRatio = 0.5
+	// smallCrossThreshold: below this candidate-pair count, the cartesian
+	// filter beats the partitioned theta machinery.
+	smallCrossThreshold = 1 << 14
+)
+
+// chooseGroup picks the grouping shuffle from a dictionary-based distinct-key
+// estimate: grouping a batch-backed scan on a dictionary-encoded column, the
+// distinct-code bitset over a bounded sample tells whether keys repeat. When
+// nearly every row has its own key, local pre-aggregation buffers the input
+// for no volume reduction, so the hash shuffle is chosen; repetitive keys
+// keep the default combine-then-merge.
+func (ex *Executor) chooseGroup(n *algebra.Nest, child *engine.Dataset) GroupStrategy {
+	binds := n.Child.Binds()
+	if len(n.Keys) != 1 || len(binds) != 1 {
+		return GroupAggregate
+	}
+	f, ok := n.Keys[0].(*monoid.Field)
+	if !ok {
+		return GroupAggregate
+	}
+	v, ok := f.Rec.(*monoid.Var)
+	if !ok || v.Name != binds[0] {
+		return GroupAggregate
+	}
+	batches := child.Batches()
+	if batches == nil || child.WrapSchema() == nil {
+		return GroupAggregate
+	}
+	col := -1
+	for _, b := range batches {
+		if b != nil && b.N > 0 {
+			col = b.Col(f.Name)
+			break
+		}
+	}
+	if col < 0 {
+		return GroupAggregate
+	}
+	distinct, sampled, ok := data.DistinctCodes(batches, col, statsSampleCap)
+	if !ok || sampled == 0 {
+		return GroupAggregate
+	}
+	if float64(distinct) > hashGroupKeyRatio*float64(sampled) {
+		return GroupHash
+	}
+	return GroupAggregate
+}
+
+// chooseTheta picks the theta strategy from the sides' row counts: tiny
+// cross products run the cartesian filter directly (the partitioned matrix
+// machinery costs more than it saves); everything else uses the
+// statistics-aware mbucket join, which sorts and prunes when a band conjunct
+// exists and still balances buckets by LPT when none does.
+func (ex *Executor) chooseTheta(left, right *engine.Dataset) ThetaStrategy {
+	lc, rc := left.Count(), right.Count()
+	if lc*rc <= smallCrossThreshold {
+		return ThetaCartesian
+	}
+	return ThetaMBucket
 }
 
 func (ex *Executor) execJoin(n *algebra.Join) (*engine.Dataset, error) {
@@ -439,6 +544,7 @@ func (ex *Executor) execJoin(n *algebra.Join) (*engine.Dataset, error) {
 		if err != nil {
 			return nil, err
 		}
+		ex.Ctx.Metrics().NoteStrategy("join:hash")
 		var joined *engine.Dataset
 		if n.Outer {
 			joined = left.LeftOuterHashJoin("join", right, lk, rk, combine)
@@ -462,6 +568,10 @@ func (ex *Executor) execJoin(n *algebra.Join) (*engine.Dataset, error) {
 	var pred func(l, r types.Value) bool
 	if predExpr == nil {
 		pred = func(l, r types.Value) bool { return true }
+	} else if spec, ok := ex.compilePairPred(predExpr, n.Left, n.Right); ok {
+		// Specialized pair predicate: no per-pair argument slice, no
+		// compiled-tree walk in the innermost loop.
+		pred = spec
 	} else {
 		binds := append(append([]string{}, n.Left.Binds()...), n.Right.Binds()...)
 		ce, err := ex.compiler.Compile(predExpr, slots(binds))
@@ -484,8 +594,13 @@ func (ex *Executor) execJoin(n *algebra.Join) (*engine.Dataset, error) {
 		}
 	}
 
-	switch ex.Config.Theta {
+	strat := ex.Config.Theta
+	if ex.Config.Auto {
+		strat = ex.chooseTheta(left, right)
+	}
+	switch strat {
 	case ThetaCartesian:
+		ex.Ctx.Metrics().NoteStrategy("join:cartesian")
 		return left.CartesianFilter("join", right, pred, combine)
 	case ThetaMinMax:
 		lAttr, rAttr, prune := ex.deriveBand(n)
@@ -501,8 +616,10 @@ func (ex *Executor) execJoin(n *algebra.Join) (*engine.Dataset, error) {
 			}
 			return !prune(lmin, lmax, rmin, rmax)
 		}
+		ex.Ctx.Metrics().NoteStrategy("join:minmax")
 		return left.MinMaxBlockJoin("join", right, lAttr, rAttr, overlap, pred, combine)
 	default:
+		ex.Ctx.Metrics().NoteStrategy("join:mbucket")
 		lAttr, rAttr, prune := ex.deriveBand(n)
 		stats := engine.ThetaJoinStats{}
 		if lAttr != nil {

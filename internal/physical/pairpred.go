@@ -1,0 +1,171 @@
+package physical
+
+import (
+	"cleandb/internal/algebra"
+	"cleandb/internal/monoid"
+	"cleandb/internal/types"
+)
+
+// Theta-join pair predicates run once per candidate pair — the innermost
+// loop of the engine. The generic path allocates an argument slice per pair
+// and walks the compiled expression tree; this file specializes the common
+// predicate shapes (comparisons and arithmetic over the two sides' fields,
+// conjunctions, disjunctions, negation) into a direct closure over the two
+// environment records with zero per-pair allocation. Semantics are exactly
+// the compiled path's: comparisons via types.Equal/types.Compare, arithmetic
+// via monoid.ApplyBinOp, evaluation errors never arise because parameters
+// resolve at compile time and the supported node set is error-free.
+
+// pairAcc evaluates a sub-expression against the left and right env records.
+type pairAcc func(l, r types.Value) types.Value
+
+// compilePairPred specializes the theta predicate of a join. It reports
+// ok=false when the predicate falls outside the supported subset (builtin
+// calls, comprehensions, record construction), in which case the caller uses
+// the generic compiled-expression path.
+func (ex *Executor) compilePairPred(theta monoid.Expr, left, right algebra.Plan) (func(l, r types.Value) bool, bool) {
+	slots := map[string]pairSlot{}
+	for i, b := range left.Binds() {
+		slots[b] = pairSlot{idx: i, right: false}
+	}
+	for i, b := range right.Binds() {
+		slots[b] = pairSlot{idx: i, right: true}
+	}
+	acc, ok := ex.compilePairAcc(theta, slots)
+	if !ok {
+		return nil, false
+	}
+	return func(l, r types.Value) bool { return acc(l, r).Bool() }, true
+}
+
+type pairSlot struct {
+	idx   int
+	right bool
+}
+
+func (ex *Executor) compilePairAcc(e monoid.Expr, slots map[string]pairSlot) (pairAcc, bool) {
+	switch n := e.(type) {
+	case *monoid.Const:
+		v := n.Val
+		return func(_, _ types.Value) types.Value { return v }, true
+	case *monoid.Param:
+		v, ok := ex.compiler.Params[n.Key]
+		if !ok {
+			return nil, false
+		}
+		return func(_, _ types.Value) types.Value { return v }, true
+	case *monoid.Var:
+		s, ok := slots[n.Name]
+		if !ok {
+			return nil, false
+		}
+		return slotAcc(s), true
+	case *monoid.Field:
+		// The hot shape: side.field — resolve the env slot once, look the
+		// field up on the bound record per pair.
+		if v, ok := n.Rec.(*monoid.Var); ok {
+			s, ok := slots[v.Name]
+			if !ok {
+				return nil, false
+			}
+			base := slotAcc(s)
+			name := n.Name
+			return func(l, r types.Value) types.Value { return base(l, r).Field(name) }, true
+		}
+		inner, ok := ex.compilePairAcc(n.Rec, slots)
+		if !ok {
+			return nil, false
+		}
+		name := n.Name
+		return func(l, r types.Value) types.Value { return inner(l, r).Field(name) }, true
+	case *monoid.UnOp:
+		inner, ok := ex.compilePairAcc(n.E, slots)
+		if !ok {
+			return nil, false
+		}
+		switch n.Op {
+		case "not":
+			return func(l, r types.Value) types.Value { return types.Bool(!inner(l, r).Bool()) }, true
+		case "-":
+			return func(l, r types.Value) types.Value {
+				v := inner(l, r)
+				if v.Kind() == types.KindFloat {
+					return types.Float(-v.Float())
+				}
+				return types.Int(-v.Int())
+			}, true
+		}
+		return nil, false
+	case *monoid.BinOp:
+		return ex.compilePairBinOp(n, slots)
+	}
+	return nil, false
+}
+
+func (ex *Executor) compilePairBinOp(n *monoid.BinOp, slots map[string]pairSlot) (pairAcc, bool) {
+	la, ok := ex.compilePairAcc(n.L, slots)
+	if !ok {
+		return nil, false
+	}
+	ra, ok := ex.compilePairAcc(n.R, slots)
+	if !ok {
+		return nil, false
+	}
+	switch n.Op {
+	case "and":
+		return func(l, r types.Value) types.Value {
+			if !la(l, r).Bool() {
+				return types.Bool(false)
+			}
+			return types.Bool(ra(l, r).Bool())
+		}, true
+	case "or":
+		return func(l, r types.Value) types.Value {
+			if la(l, r).Bool() {
+				return types.Bool(true)
+			}
+			return types.Bool(ra(l, r).Bool())
+		}, true
+	case "==":
+		return func(l, r types.Value) types.Value {
+			return types.Bool(types.Equal(la(l, r), ra(l, r)))
+		}, true
+	case "!=":
+		return func(l, r types.Value) types.Value {
+			return types.Bool(!types.Equal(la(l, r), ra(l, r)))
+		}, true
+	case "<", "<=", ">", ">=":
+		op := n.Op
+		return func(l, r types.Value) types.Value {
+			return types.Bool(cmpOrd(op, types.Compare(la(l, r), ra(l, r))))
+		}, true
+	case "+", "-", "*", "/", "%":
+		op := n.Op
+		return func(l, r types.Value) types.Value {
+			v, err := monoid.ApplyBinOp(op, la(l, r), ra(l, r))
+			if err != nil {
+				return types.Null()
+			}
+			return v
+		}, true
+	}
+	return nil, false
+}
+
+// slotAcc reads one binding from the appropriate side's env record. A nil
+// record (the padded side of an outer pair) yields Null, matching the
+// generic path's null padding.
+func slotAcc(s pairSlot) pairAcc {
+	idx, right := s.idx, s.right
+	return func(l, r types.Value) types.Value {
+		side := l
+		if right {
+			side = r
+		}
+		rec := side.Record()
+		if rec == nil || idx >= len(rec.Fields) {
+			return types.Null()
+		}
+		return rec.Fields[idx]
+	}
+}

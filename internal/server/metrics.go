@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"net/http"
+	"sort"
 	"strings"
 )
 
@@ -25,6 +26,29 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("cleandb_comparisons_total", "Pairwise similarity/predicate checks across all queries.", m.Comparisons)
 	counter("cleandb_shuffled_records_total", "Records moved across the simulated network.", m.ShuffledRecords)
 	counter("cleandb_shuffled_bytes_total", "Estimated bytes moved across the simulated network.", m.ShuffledBytes)
+
+	counter("cleandb_batches_evaluated_total", "Column batches run through vectorized operator kernels.", m.BatchesEvaluated)
+	counter("cleandb_dict_hits_total", "Load-time dictionary internings that found the string already encoded.", m.DictHits)
+	counter("cleandb_dict_misses_total", "Load-time dictionary internings that admitted a new distinct string.", m.DictMisses)
+	dictRate := 0.0
+	if total := m.DictHits + m.DictMisses; total > 0 {
+		dictRate = float64(m.DictHits) / float64(total)
+	}
+	gauge("cleandb_dict_hit_rate", "Fraction of dictionary internings served by an existing code.", dictRate)
+	counter("cleandb_simcache_hits_total", "Similarity comparisons answered from the pair cache.", m.SimCacheHits)
+	counter("cleandb_simcache_misses_total", "Similarity comparisons computed and memoized.", m.SimCacheMisses)
+	if len(m.Strategies) > 0 {
+		name := "cleandb_strategy_choices_total"
+		fmt.Fprintf(&sb, "# HELP %s Physical strategy choices by the executor, by strategy name.\n# TYPE %s counter\n", name, name)
+		keys := make([]string, 0, len(m.Strategies))
+		for k := range m.Strategies {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&sb, "%s{strategy=%q} %d\n", name, k, m.Strategies[k])
+		}
+	}
 
 	cs := s.db.PlanCacheStats()
 	counter("cleandb_plan_cache_hits_total", "Plan cache lookups served without re-planning.", cs.Hits)

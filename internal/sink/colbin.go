@@ -26,6 +26,10 @@ type Colbin struct {
 
 	f *os.File
 
+	// wroteBatch marks that the columnar fast path already emitted the file
+	// body; Close then skips the row-based encode.
+	wroteBatch bool
+
 	collector
 }
 
@@ -90,7 +94,49 @@ func (s *Colbin) Abort() error {
 	return err
 }
 
+// WriteBatch is the columnar fast path: the result's column vectors encode
+// straight to colbin chunks — type inference reads the vector kind, string
+// columns re-dictionarize from codes, and no row is ever boxed. It replaces
+// the entire WritePartition/Close row protocol; the driver (PumpBatches)
+// calls it between Open and Close, and Close then only flushes the file.
+func (s *Colbin) WriteBatch(ctx context.Context, b *data.ColumnBatch) error {
+	s.wroteBatch = true
+	if b == nil || b.N == 0 || b.Schema == nil {
+		return data.WriteColbinHeader(s.w, nil, nil, 0)
+	}
+	names := b.Schema.Names
+	strs := b.Strings()
+	colTypes := make([]data.ColType, len(names))
+	chunks := make([][]byte, len(names))
+	err := runParallel(ctx, len(names), runtime.GOMAXPROCS(0), func(c int) error {
+		col := &b.Cols[c]
+		colTypes[c] = data.ColTypeForColumn(col, strs)
+		buf, err := data.EncodeColumnVec(col, strs, colTypes[c])
+		if err != nil {
+			return err
+		}
+		chunks[c] = buf
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if err := data.WriteColbinHeader(s.w, names, colTypes, b.N); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(s.w)
+	for _, chunk := range chunks {
+		if _, err := bw.Write(chunk); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
 func (s *Colbin) encode(ctx context.Context) error {
+	if s.wroteBatch {
+		return nil
+	}
 	parts, err := s.ordered()
 	if err != nil {
 		return err

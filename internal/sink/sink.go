@@ -30,6 +30,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"cleandb/internal/data"
 	"cleandb/internal/par"
 	"cleandb/internal/types"
 )
@@ -127,6 +128,61 @@ func Pump(ctx context.Context, s Sink, parts [][]types.Value, workers int) (int6
 		return 0, err
 	}
 	return rows.Load(), nil
+}
+
+// BatchSink is the optional columnar capability of a Sink: consume the
+// result as one concatenated column batch with zero row boxing. Colbin
+// implements it — the batch's vectors are its on-disk layout.
+type BatchSink interface {
+	WriteBatch(ctx context.Context, b *data.ColumnBatch) error
+}
+
+// PumpBatches drives an export straight from column batches when the sink
+// can take them. It reports handled=false — without having touched the sink
+// — when the sink is row-only or the batches do not share one shape; the
+// caller then falls back to the row-based Pump. On the fast path it opens
+// the sink, hands it the concatenated batch, and closes, mirroring Pump's
+// abort-on-failure contract.
+func PumpBatches(ctx context.Context, s Sink, batches []*data.ColumnBatch) (int64, bool, error) {
+	bs, ok := s.(BatchSink)
+	if !ok {
+		return 0, false, nil
+	}
+	live := make([]*data.ColumnBatch, 0, len(batches))
+	for _, b := range batches {
+		if b != nil {
+			live = append(live, b)
+		}
+	}
+	cc := data.ConcatBatches(live)
+	if cc == nil {
+		return 0, false, nil
+	}
+	var names []string
+	if cc.Schema != nil && cc.N > 0 {
+		names = cc.Schema.Names
+	}
+	if err := s.Open(names); err != nil {
+		return 0, true, err
+	}
+	if err := bs.WriteBatch(ctx, cc); err != nil {
+		if a, ok := s.(Aborter); ok {
+			a.Abort()
+		} else {
+			s.Close()
+		}
+		return 0, true, err
+	}
+	var err error
+	if cc2, ok := s.(ctxCloser); ok {
+		err = cc2.CloseContext(ctx)
+	} else {
+		err = s.Close()
+	}
+	if err != nil {
+		return 0, true, err
+	}
+	return int64(cc.N), true, nil
 }
 
 // schemaOf returns the column names of the first record in parts, or nil

@@ -1,0 +1,135 @@
+package textsim
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// PairCache memoizes thresholded similarity verdicts (and exact similarity
+// values) for string pairs, keyed by interned string codes so a repeat pair
+// costs two map probes instead of an edit-distance dynamic program.
+//
+// Blocking-based cleaning operators generate overlapping candidate sets:
+// token filtering assigns a record to one block per q-gram, so the same
+// record pair is compared once per shared token; term validation probes the
+// same dictionary entries for every occurrence of a dirty term. The cache
+// collapses those repeats. Interned codes double as an equality shortcut:
+// every supported metric gives sim(s,s)=1, so equal codes answer Above
+// without touching the metric at all.
+//
+// A PairCache is scoped to one operator invocation (one query); it is safe
+// for concurrent use by the partition workers of that invocation.
+type PairCache struct {
+	metric Metric
+	theta  float64
+
+	imu   sync.RWMutex
+	codes map[string]uint32
+	n     uint32
+
+	shards [pairCacheShards]pairShard
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+const pairCacheShards = 16
+
+type pairShard struct {
+	mu    sync.RWMutex
+	above map[uint64]bool
+	sims  map[uint64]float64
+}
+
+// NewPairCache builds a cache for one metric at one threshold.
+func NewPairCache(metric Metric, theta float64) *PairCache {
+	return &PairCache{metric: metric, theta: theta, codes: make(map[string]uint32)}
+}
+
+// Intern returns a dense code for s, minting one on first sight. Callers
+// intern each value once (O(members) hashes) so the pair loops (O(members²))
+// run on integer keys.
+func (c *PairCache) Intern(s string) uint32 {
+	c.imu.RLock()
+	code, ok := c.codes[s]
+	c.imu.RUnlock()
+	if ok {
+		return code
+	}
+	c.imu.Lock()
+	code, ok = c.codes[s]
+	if !ok {
+		code = c.n
+		c.n++
+		c.codes[s] = code
+	}
+	c.imu.Unlock()
+	return code
+}
+
+// pairKey packs an unordered code pair; every supported metric is
+// symmetric, so (a,b) and (b,a) share one entry.
+func pairKey(ca, cb uint32) uint64 {
+	if ca > cb {
+		ca, cb = cb, ca
+	}
+	return uint64(ca)<<32 | uint64(cb)
+}
+
+// Above reports whether metric(a,b) > theta, where ca and cb are the
+// interned codes of a and b. Equal codes short-circuit to sim=1.
+func (c *PairCache) Above(ca, cb uint32, a, b string) bool {
+	if ca == cb {
+		c.hits.Add(1)
+		return c.theta < 1
+	}
+	k := pairKey(ca, cb)
+	sh := &c.shards[k%pairCacheShards]
+	sh.mu.RLock()
+	v, ok := sh.above[k]
+	sh.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return v
+	}
+	c.misses.Add(1)
+	v = c.metric.Above(a, b, c.theta)
+	sh.mu.Lock()
+	if sh.above == nil {
+		sh.above = make(map[uint64]bool, 256)
+	}
+	sh.above[k] = v
+	sh.mu.Unlock()
+	return v
+}
+
+// Sim returns metric(a,b), memoized like Above but caching the exact value.
+func (c *PairCache) Sim(ca, cb uint32, a, b string) float64 {
+	if ca == cb {
+		c.hits.Add(1)
+		return 1
+	}
+	k := pairKey(ca, cb)
+	sh := &c.shards[k%pairCacheShards]
+	sh.mu.RLock()
+	v, ok := sh.sims[k]
+	sh.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return v
+	}
+	c.misses.Add(1)
+	v = c.metric.Sim(a, b)
+	sh.mu.Lock()
+	if sh.sims == nil {
+		sh.sims = make(map[uint64]float64, 64)
+	}
+	sh.sims[k] = v
+	sh.mu.Unlock()
+	return v
+}
+
+// Stats returns the hit/miss counters (Intern calls are not counted).
+func (c *PairCache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}

@@ -268,6 +268,7 @@ func (e *sourceEntry) load(goctx context.Context, ectx *engine.Context) (*engine
 	if ds, loaded, err := e.peek(); loaded {
 		return ds, err
 	}
+	//lint:ignore locksnapshot loadMu is the per-source single-flight latch: holding it across the first scan is the point
 	ds, err := e.scan(goctx, ectx)
 	if err != nil {
 		if goctx.Err() == nil {

@@ -70,6 +70,7 @@ func (System) DCCheck(ds *engine.Dataset, cfg cleaning.DCConfig) (*engine.Datase
 func (System) DedupCustomer(ds *engine.Dataset, metric textsim.Metric, theta float64) (*engine.Dataset, error) {
 	// Verify the input is the customer schema — the UDF hard-codes it.
 	ok := false
+	//lint:ignore ctxcancel schema probe reads at most one record per partition
 	for i := 0; i < ds.NumPartitions() && !ok; i++ {
 		for _, v := range ds.Partition(i) {
 			rec := v.Record()

@@ -189,16 +189,19 @@ func repairRound(ds *engine.Dataset, pairs [][2]types.Value, cfg DCRepairConfig,
 	// One record per cluster: the member tuples as a list value. Solving runs
 	// as an engine stage so cluster skew (one giant cluster) is charged to
 	// SimTicks like any other straggler.
+	ctx := ds.Context()
 	groups := uf.Groups()
 	clusterRows := make([]types.Value, len(groups))
 	for i, members := range groups {
+		if ctx.Err() != nil {
+			break // cancelled: the solve stage below aborts anyway
+		}
 		vals := make([]types.Value, len(members))
 		for j, k := range members {
 			vals[j] = byKey[k]
 		}
 		clusterRows[i] = types.ListOf(vals)
 	}
-	ctx := ds.Context()
 	clusters := engine.FromValues(ctx, clusterRows)
 	solved := clusters.FlatMapW("dcrepair:solve", func(cluster types.Value) []types.Value {
 		members := cluster.List()

@@ -110,6 +110,9 @@ func Dedup(ds *engine.Dataset, cfg DedupConfig) *engine.Dataset {
 		var out []types.Value
 		var comparisons int64
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				break // cancelled mid-block: the driver discards partial output
+			}
 			for j := i + 1; j < n; j++ {
 				comparisons++
 				if keys[i] == keys[j] {

@@ -98,6 +98,9 @@ func TermValidate(ds *engine.Dataset, cfg TermValidationConfig) TermValidationRe
 		}
 	} else {
 		for _, d := range cfg.Dictionary {
+			if ctx.Err() != nil {
+				break // cancelled: the blocking stage below aborts anyway
+			}
 			c := cache.Intern(d)
 			for _, k := range cfg.Blocker.Keys(d) {
 				dictGroups[k] = append(dictGroups[k], d)

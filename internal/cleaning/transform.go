@@ -36,6 +36,7 @@ func SplitDate(ds *engine.Dataset, col string) *engine.Dataset {
 // columns. All records of a generated dataset share one schema, so computing
 // it once up front keeps the per-record map race-free and cheap.
 func extendedSchema(ds *engine.Dataset, extra ...string) *types.Schema {
+	//lint:ignore ctxcancel early-exit probe: returns at the first record found
 	for i := 0; i < ds.NumPartitions(); i++ {
 		for _, v := range ds.Partition(i) {
 			if rec := v.Record(); rec != nil {

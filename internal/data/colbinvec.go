@@ -124,6 +124,7 @@ func decodeStringChunkCodes(cur *byteCursor, n int, dict *Dict) ([]uint32, error
 		if idx == 0 || idx > uint64(len(remap)) {
 			// Out-of-range indices decode as "" — same as DecodeColumn.
 			if !emptySet {
+				//lint:ignore dictcode interned at most once, and only when a dangling index occurs — hoisting would pollute the dictionary with ""
 				empty = dict.Code("")
 				emptySet = true
 			}

@@ -179,6 +179,7 @@ func (d *Dataset) repartitionBatches(n int) *Dataset {
 		per = 1
 	}
 	outB := make([]*data.ColumnBatch, n)
+	//lint:ignore ctxcancel O(partitions·batches) slice bookkeeping, no per-row work
 	for p := 0; p < n; p++ {
 		lo := p * per
 		if lo > total {

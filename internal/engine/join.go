@@ -209,6 +209,7 @@ func (d *Dataset) ThetaJoin(name string, right *Dataset, stats ThetaJoinStats, p
 	}
 	var cells []cell
 	var candidate int64
+	//lint:ignore ctxcancel cell enumeration is O(buckets²) with constant work per cell
 	for li, L := range lb {
 		for ri, R := range rb {
 			if len(L) == 0 || len(R) == 0 {
@@ -236,6 +237,7 @@ func (d *Dataset) ThetaJoin(name string, right *Dataset, stats ThetaJoinStats, p
 	w := d.ctx.Workers
 	assign := make([][]cell, w)
 	loads := make([]int64, w)
+	//lint:ignore ctxcancel LPT assignment is O(cells·workers) bookkeeping, no per-row work
 	for _, c := range cells {
 		best := 0
 		for i := 1; i < w; i++ {
@@ -305,6 +307,17 @@ func (d *Dataset) MinMaxBlockJoin(name string, right *Dataset, lattr, rattr func
 	}
 	var cells []cell
 	var candidate int64
+	// Precompute the right-bucket ranges once: recomputing them inside the
+	// cell nest would rescan every right row per left bucket.
+	type rng struct{ min, max float64 }
+	rranges := make([]rng, len(rb))
+	for ri, R := range rb {
+		if len(R) > 0 {
+			rmin, rmax := minMaxOf(R, rattr)
+			rranges[ri] = rng{rmin, rmax}
+		}
+	}
+	//lint:ignore ctxcancel cell enumeration is O(buckets²) with constant work per cell after the range precompute
 	for li, L := range lb {
 		if len(L) == 0 {
 			continue
@@ -314,8 +327,7 @@ func (d *Dataset) MinMaxBlockJoin(name string, right *Dataset, lattr, rattr func
 			if len(R) == 0 {
 				continue
 			}
-			rmin, rmax := minMaxOf(R, rattr)
-			if !overlap(lmin, lmax, rmin, rmax) {
+			if !overlap(lmin, lmax, rranges[ri].min, rranges[ri].max) {
 				continue
 			}
 			c := int64(len(L)) * int64(len(R))

@@ -158,6 +158,9 @@ func (d *Dataset) Sample(k int) []types.Value {
 	var out []types.Value
 	i := 0
 	for _, p := range d.rows() {
+		if d.ctx.Err() != nil {
+			break // partial sample: the cancelled query never uses it
+		}
 		for _, v := range p {
 			if i%k == 0 {
 				out = append(out, v)

@@ -124,6 +124,9 @@ func (d *Dataset) AggregateByKey(name string, key KeyFunc, agg Aggregator) *Data
 	buckets := make([][]kv, w)
 	var shuffled, bytes int64
 	for _, pairs := range localPairs {
+		if d.ctx.Err() != nil {
+			break // cancelled: the reduce stage below aborts anyway
+		}
 		for _, p := range pairs {
 			b := int(types.Hash(p.key) % uint64(w))
 			buckets[b] = append(buckets[b], p)
@@ -201,6 +204,9 @@ func (d *Dataset) SortShuffleGroup(name string, key KeyFunc, agg Aggregator) *Da
 	buckets := make([][]kr, w)
 	var shuffled, bytes int64
 	for _, p := range d.rows() {
+		if d.ctx.Err() != nil {
+			break // cancelled: the sort stage below aborts anyway
+		}
 		for _, v := range p {
 			k := key(v)
 			ks := types.Key(k)
@@ -263,6 +269,9 @@ func (d *Dataset) HashShuffleGroup(name string, key KeyFunc, agg Aggregator) *Da
 	buckets := make([][]kr, w)
 	var shuffled, bytes int64
 	for _, p := range d.rows() {
+		if d.ctx.Err() != nil {
+			break // cancelled: the reduce stage below aborts anyway
+		}
 		for _, v := range p {
 			k := key(v)
 			b := int(types.Hash(k) % uint64(w))

@@ -1,0 +1,98 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer inspects one
+// type-checked package through a Pass and reports Diagnostics.
+//
+// The container this repository builds in has no module proxy access, so the
+// real x/tools framework cannot be pulled in; this package mirrors its shape
+// (Analyzer{Name, Doc, Run}, Pass{Fset, Files, Pkg, TypesInfo, Report}) so
+// the cleanlint analyzers would port to the upstream API mechanically if the
+// dependency ever becomes available.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in //lint:ignore
+	// suppression comments. Lower-case, no spaces.
+	Name string
+
+	// Doc states the invariant the analyzer enforces. The first line is the
+	// short summary shown by cleanlint -list.
+	Doc string
+
+	// Scope restricts the analyzer to packages whose import path matches one
+	// of the entries (exact match, or prefix match when the entry ends with
+	// "/..."). An empty Scope means every package is analyzed.
+	Scope []string
+
+	// Run performs the check on one package and reports findings through
+	// pass.Report. The returned value is unused (kept for upstream parity).
+	Run func(pass *Pass) (interface{}, error)
+}
+
+// AppliesTo reports whether the analyzer's Scope admits the package path.
+func (a *Analyzer) AppliesTo(pkgPath string) bool {
+	if len(a.Scope) == 0 {
+		return true
+	}
+	for _, s := range a.Scope {
+		if prefix, ok := cutSuffix(s, "/..."); ok {
+			if pkgPath == prefix || hasPathPrefix(pkgPath, prefix) {
+				return true
+			}
+		} else if pkgPath == s {
+			return true
+		}
+	}
+	return false
+}
+
+func cutSuffix(s, suffix string) (string, bool) {
+	if len(s) >= len(suffix) && s[len(s)-len(suffix):] == suffix {
+		return s[:len(s)-len(suffix)], true
+	}
+	return s, false
+}
+
+func hasPathPrefix(path, prefix string) bool {
+	return len(path) > len(prefix)+1 && path[:len(prefix)] == prefix && path[len(prefix)] == '/'
+}
+
+// Pass carries one type-checked package to an Analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. Drivers install it; analyzers call it
+	// (usually via Reportf).
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}
+
+// Inspect walks every file of the pass in depth-first order, calling f for
+// each node; f returning false prunes the subtree (ast.Inspect semantics).
+func (p *Pass) Inspect(f func(ast.Node) bool) {
+	for _, file := range p.Files {
+		ast.Inspect(file, f)
+	}
+}

@@ -1,0 +1,137 @@
+// Package analysistest runs one analyzer over a fixture package and checks
+// its diagnostics against // want annotations, mirroring the conventions of
+// golang.org/x/tools/go/analysis/analysistest: fixtures live under
+// testdata/src/<importpath>/, and a line expecting diagnostics carries a
+// trailing comment of Go string literals, each a regexp one diagnostic on
+// that line must match:
+//
+//	for i := range rows { // want `nested loop .* no reachable cancellation`
+//
+// Unmatched diagnostics and unmatched expectations both fail the test.
+// Fixtures import the module's real packages (engine, data, sink, textsim),
+// resolved from compiled export data, so the analyzers are tested against the
+// true types rather than stubs.
+package analysistest
+
+import (
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"cleandb/internal/lint/analysis"
+	"cleandb/internal/lint/load"
+)
+
+// Run loads testdata/src/<importPath> beneath testdataDir, applies the
+// analyzer, and reports any mismatch between diagnostics and // want
+// annotations as test errors.
+func Run(t *testing.T, testdataDir string, a *analysis.Analyzer, importPath string) {
+	t.Helper()
+	dir := filepath.Join(testdataDir, "src", filepath.FromSlash(importPath))
+	pkg, err := load.FixturePackage(dir, importPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", importPath, err)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Pkg,
+		TypesInfo: pkg.TypesInfo,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, pkg)
+
+	// Match diagnostics against expectations on their line.
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		key := lineKey{pos.Filename, pos.Line}
+		matched := false
+		for _, w := range wants[key] {
+			if !w.used && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: [%s] %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.used {
+				t.Errorf("%s:%d: no diagnostic matching %q", key.file, key.line, w.re)
+			}
+		}
+	}
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re   *regexp.Regexp
+	used bool
+}
+
+// wantRE extracts the Go string literals following a "// want" marker.
+var wantRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// collectWants parses every // want comment in the fixture. The expectation
+// anchors to the line the comment starts on.
+func collectWants(t *testing.T, pkg *load.Package) map[lineKey][]*want {
+	t.Helper()
+	wants := map[lineKey][]*want{}
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				marker, rest := splitWant(c)
+				if !marker {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := lineKey{pos.Filename, pos.Line}
+				lits := wantRE.FindAllString(rest, -1)
+				if len(lits) == 0 {
+					t.Errorf("%s: // want comment with no string literals", pos)
+					continue
+				}
+				for _, lit := range lits {
+					s, err := strconv.Unquote(lit)
+					if err != nil {
+						t.Errorf("%s: bad want literal %s: %v", pos, lit, err)
+						continue
+					}
+					re, err := regexp.Compile(s)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", pos, s, err)
+						continue
+					}
+					wants[key] = append(wants[key], &want{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitWant reports whether the comment is a // want annotation and returns
+// the text after the marker.
+func splitWant(c *ast.Comment) (bool, string) {
+	const marker = "// want "
+	if len(c.Text) > len(marker) && c.Text[:len(marker)] == marker {
+		return true, c.Text[len(marker):]
+	}
+	return false, ""
+}

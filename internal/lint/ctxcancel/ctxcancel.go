@@ -1,0 +1,141 @@
+// Package ctxcancel enforces the job-context discipline of the engine:
+// operator code iterating candidate pairs — a loop nest at least two deep —
+// must poll cancellation somewhere inside the nest, the way the theta-join
+// worker loops do (internal/engine/join.go). A query whose client has gone
+// away must stop burning cores mid-join, not at the next partition boundary.
+package ctxcancel
+
+import (
+	"go/ast"
+	"go/types"
+
+	"cleandb/internal/lint/analysis"
+	"cleandb/internal/lint/lintutil"
+)
+
+// Analyzer flags nested pair loops that never poll the job context.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxcancel",
+	Doc: "nested operator loops must poll job-context cancellation\n\n" +
+		"In operator code, a loop containing another loop (a pair/partition " +
+		"nest) must contain a reachable cancellation check — ctx.Err() on a " +
+		"context.Context or engine.Context, amortized if desired — anywhere " +
+		"inside the nest. Only functions that can reach a cancellable context " +
+		"(a context value, or an engine Dataset/Context in scope) are held to " +
+		"this; the check may sit in any level of the nest, matching the " +
+		"amortized pattern of the engine's join loops.",
+	Scope: []string{
+		"cleandb/internal/engine",
+		"cleandb/internal/cleaning",
+		"cleandb/internal/sparksql",
+		"cleandb/internal/bigdansing",
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		lintutil.FuncScopes(file, func(name string, body *ast.BlockStmt, decl ast.Node) {
+			checkScope(pass, name, body)
+		})
+	}
+	return nil, nil
+}
+
+func checkScope(pass *analysis.Pass, name string, body *ast.BlockStmt) {
+	if !contextReachable(pass, body) {
+		return
+	}
+	// Find outermost loops of the scope; for each, flag when it contains a
+	// nested loop but no cancellation check anywhere in the nest.
+	lintutil.InspectScope(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			if hasNestedLoop(n) && !hasCancelCheck(pass, n) {
+				pass.Reportf(n.Pos(),
+					"nested loop in %q has no reachable cancellation check; poll ctx.Err() (amortized) inside the nest like the engine join loops do",
+					name)
+			}
+			return false // inner loops are covered by the outer report
+		}
+		return true
+	})
+}
+
+// contextReachable reports whether the scope can get at a cancellable
+// context: an expression of type context.Context, engine.Context, or an
+// engine Dataset (which exposes Context()).
+func contextReachable(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	reachable := false
+	// Receivers and parameters are part of the scope even when unused in it;
+	// identifiers used in the body cover locals and captured closure state.
+	lintutil.InspectScope(body, func(n ast.Node) bool {
+		if reachable {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[id]
+		}
+		if v, ok := obj.(*types.Var); ok && isCancellable(v.Type()) {
+			reachable = true
+			return false
+		}
+		return true
+	})
+	return reachable
+}
+
+func isCancellable(t types.Type) bool {
+	return lintutil.NamedIs(t, "context", "Context") ||
+		lintutil.NamedIs(t, "cleandb/internal/engine", "Context") ||
+		lintutil.NamedIs(t, "cleandb/internal/engine", "Dataset")
+}
+
+// hasNestedLoop reports whether loop contains another loop within the same
+// function scope.
+func hasNestedLoop(loop ast.Node) bool {
+	nested := false
+	first := true
+	ast.Inspect(loop, func(n ast.Node) bool {
+		if nested {
+			return false
+		}
+		switch n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt, *ast.RangeStmt:
+			if first {
+				first = false
+				return true
+			}
+			nested = true
+			return false
+		}
+		return true
+	})
+	return nested
+}
+
+// hasCancelCheck reports whether any node inside the nest polls cancellation.
+func hasCancelCheck(pass *analysis.Pass, loop ast.Node) bool {
+	found := false
+	ast.Inspect(loop, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if lintutil.IsContextErrCheck(pass.TypesInfo, n) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

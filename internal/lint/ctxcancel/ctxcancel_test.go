@@ -1,0 +1,12 @@
+package ctxcancel_test
+
+import (
+	"testing"
+
+	"cleandb/internal/lint/analysistest"
+	"cleandb/internal/lint/ctxcancel"
+)
+
+func TestCtxCancel(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxcancel.Analyzer, "ctxfixture")
+}

@@ -1,0 +1,87 @@
+// Package ctxfixture exercises the ctxcancel analyzer against the real
+// engine context and dataset types.
+package ctxfixture
+
+import (
+	"context"
+
+	"cleandb/internal/engine"
+)
+
+// uncheckedNest can reach a cancellable context but the pair nest never
+// polls it: the outer loop is flagged.
+func uncheckedNest(ctx context.Context, parts [][]int) int {
+	_ = ctx
+	n := 0
+	for _, p := range parts { // want `no reachable cancellation check`
+		for range p {
+			n++
+		}
+	}
+	return n
+}
+
+// amortizedCheck polls ctx.Err() every so often, the engine join pattern.
+func amortizedCheck(ctx context.Context, parts [][]int) int {
+	n, since := 0, 0
+	for _, p := range parts {
+		if since++; since >= 1024 {
+			since = 0
+			if ctx.Err() != nil {
+				return n
+			}
+		}
+		for range p {
+			n++
+		}
+	}
+	return n
+}
+
+// engineNest reaches the job context through a Dataset and never polls:
+// flagged.
+func engineNest(d *engine.Dataset) int {
+	n := 0
+	for _, part := range d.Partitions() { // want `no reachable cancellation check`
+		for range part {
+			n++
+		}
+	}
+	return n
+}
+
+// engineChecked polls the engine context's Err inside the nest.
+func engineChecked(d *engine.Dataset) int {
+	n := 0
+	for _, part := range d.Partitions() {
+		for range part {
+			if d.Context().Err() != nil {
+				return n
+			}
+			n++
+		}
+	}
+	return n
+}
+
+// noContext has no cancellable context anywhere in scope; a pure helper
+// nest is the caller's responsibility, not this function's.
+func noContext(parts [][]int) int {
+	n := 0
+	for _, p := range parts {
+		for range p {
+			n++
+		}
+	}
+	return n
+}
+
+// singleLoop is not a nest: the partition driver polls between items.
+func singleLoop(ctx context.Context, rows []int) int {
+	_ = ctx
+	n := 0
+	for range rows {
+		n++
+	}
+	return n
+}

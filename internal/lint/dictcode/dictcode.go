@@ -1,0 +1,188 @@
+// Package dictcode guards the dictionary-encoding invariants behind the
+// columnar fast path: codes minted by one data.Dict are meaningless in
+// another, so comparing codes that came from two distinct dictionaries —
+// without RemapDict unifying them first — is silently wrong (two different
+// strings can share a code; equal strings can differ). It also flags
+// Dict.Code calls with loop-invariant arguments inside per-row loops: Code
+// interns (it takes the write lock on a miss), so the lookup belongs outside
+// the loop, as the vectorized filter kernels do.
+package dictcode
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"cleandb/internal/lint/analysis"
+	"cleandb/internal/lint/lintutil"
+)
+
+// Analyzer flags cross-dictionary code comparisons and unhoisted interning.
+var Analyzer = &analysis.Analyzer{
+	Name: "dictcode",
+	Doc: "dictionary codes are only comparable within one data.Dict\n\n" +
+		"Flags (1) comparisons where both operands are codes obtained from " +
+		"syntactically distinct *data.Dict values — remap through one shared " +
+		"dictionary (ColumnBatch.RemapDict) before comparing codes; and (2) " +
+		"Dict.Code/Dict.Lookup calls inside loops whose receiver and " +
+		"arguments are loop-invariant — hoist the lookup out of the per-row " +
+		"loop, since Code takes the interner's write lock on a miss.",
+	Run: run,
+}
+
+const dataPkg = "cleandb/internal/data"
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		lintutil.FuncScopes(file, func(name string, body *ast.BlockStmt, decl ast.Node) {
+			checkHoisting(pass, body)
+			checkCrossDict(pass, body)
+		})
+	}
+	return nil, nil
+}
+
+// dictCall matches d.Code(x) / d.Lookup(x) and returns the receiver.
+func dictCall(info *types.Info, n ast.Node) (recv ast.Expr, ok bool) {
+	call, isCall := n.(*ast.CallExpr)
+	if !isCall {
+		return nil, false
+	}
+	fn := lintutil.Callee(info, call)
+	if fn == nil {
+		return nil, false
+	}
+	if !lintutil.IsMethod(fn, dataPkg, "Dict", "Code") &&
+		!lintutil.IsMethod(fn, dataPkg, "Dict", "Lookup") {
+		return nil, false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, false
+	}
+	return sel.X, true
+}
+
+// checkHoisting flags Dict.Code/Lookup calls inside loops when receiver and
+// every argument are invariant with respect to the innermost enclosing loop.
+func checkHoisting(pass *analysis.Pass, body *ast.BlockStmt) {
+	var loops []ast.Node
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = append(loops, n)
+			ast.Inspect(loopBody(n), walk)
+			loops = loops[:len(loops)-1]
+			return false
+		case *ast.CallExpr:
+			if len(loops) == 0 {
+				return true
+			}
+			recv, ok := dictCall(pass.TypesInfo, x)
+			if !ok {
+				return true
+			}
+			inner := loops[len(loops)-1]
+			invariant := lintutil.LoopInvariant(pass.TypesInfo, recv, inner)
+			for _, arg := range x.Args {
+				invariant = invariant && lintutil.LoopInvariant(pass.TypesInfo, arg, inner)
+			}
+			if invariant {
+				pass.Reportf(x.Pos(),
+					"Dict.%s with loop-invariant receiver and arguments inside a loop; hoist the lookup before the loop (Code takes the interner write lock on a miss)",
+					calleeName(pass, x))
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+}
+
+func calleeName(pass *analysis.Pass, call *ast.CallExpr) string {
+	if fn := lintutil.Callee(pass.TypesInfo, call); fn != nil {
+		return fn.Name()
+	}
+	return "Code"
+}
+
+// checkCrossDict flags comparisons whose two operands are dictionary codes
+// obtained from distinct Dict expressions within this scope.
+func checkCrossDict(pass *analysis.Pass, body *ast.BlockStmt) {
+	// Provenance: variable object -> canonical receiver text of the Dict
+	// that minted it.
+	prov := map[types.Object]string{}
+	lintutil.InspectScope(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		recv, ok := dictCall(pass.TypesInfo, as.Rhs[0])
+		if !ok || len(as.Lhs) == 0 {
+			return true
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok {
+			if obj := objectOf(pass.TypesInfo, id); obj != nil {
+				prov[obj] = types.ExprString(recv)
+			}
+		}
+		return true
+	})
+	lintutil.InspectScope(body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || !isComparison(be.Op) {
+			return true
+		}
+		lp := provenanceOf(pass.TypesInfo, prov, be.X)
+		rp := provenanceOf(pass.TypesInfo, prov, be.Y)
+		if lp != "" && rp != "" && lp != rp {
+			pass.Reportf(be.Pos(),
+				"comparing dictionary codes from distinct dictionaries (%s vs %s); codes are only comparable within one data.Dict — remap into a shared dictionary first",
+				lp, rp)
+		}
+		return true
+	})
+}
+
+func isComparison(op token.Token) bool {
+	switch op {
+	case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+		return true
+	}
+	return false
+}
+
+// provenanceOf resolves the minting dictionary of an expression: a direct
+// d.Code(x) call, or a variable assigned from one in this scope.
+func provenanceOf(info *types.Info, prov map[types.Object]string, e ast.Expr) string {
+	e = ast.Unparen(e)
+	if recv, ok := dictCall(info, e); ok {
+		return types.ExprString(recv)
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := objectOf(info, id); obj != nil {
+			return prov[obj]
+		}
+	}
+	return ""
+}
+
+func objectOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// loopBody returns the statement body of a loop node.
+func loopBody(n ast.Node) ast.Node {
+	switch l := n.(type) {
+	case *ast.ForStmt:
+		return l.Body
+	case *ast.RangeStmt:
+		return l.Body
+	}
+	return n
+}

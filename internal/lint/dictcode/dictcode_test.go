@@ -1,0 +1,12 @@
+package dictcode_test
+
+import (
+	"testing"
+
+	"cleandb/internal/lint/analysistest"
+	"cleandb/internal/lint/dictcode"
+)
+
+func TestDictCode(t *testing.T) {
+	analysistest.Run(t, "testdata", dictcode.Analyzer, "dictfixture")
+}

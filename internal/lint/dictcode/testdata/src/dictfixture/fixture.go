@@ -1,0 +1,60 @@
+// Package dictfixture exercises the dictcode analyzer against the real
+// data.Dict interner.
+package dictfixture
+
+import "cleandb/internal/data"
+
+// unhoistedCode interns a constant on every iteration: flagged — Code takes
+// the interner write lock on a miss and belongs before the loop.
+func unhoistedCode(d *data.Dict, codes []uint32) int {
+	n := 0
+	for _, c := range codes {
+		if c == d.Code("active") { // want `loop-invariant receiver and arguments`
+			n++
+		}
+	}
+	return n
+}
+
+// hoistedCode is the blessed shape: intern once, compare codes in the loop.
+func hoistedCode(d *data.Dict, codes []uint32) int {
+	want := d.Code("active")
+	n := 0
+	for _, c := range codes {
+		if c == want {
+			n++
+		}
+	}
+	return n
+}
+
+// variantLookup resolves the row's own value — nothing to hoist.
+func variantLookup(d *data.Dict, rows []string) int {
+	n := 0
+	for _, r := range rows {
+		if _, ok := d.Lookup(r); ok {
+			n++
+		}
+	}
+	return n
+}
+
+// crossDictCompare compares codes minted by two dictionaries: flagged —
+// equal codes do not mean equal strings across interners.
+func crossDictCompare(left, right *data.Dict, a, b string) bool {
+	return left.Code(a) == right.Code(b) // want `distinct dictionaries`
+}
+
+// crossDictVars is the same bug with the codes parked in locals: flagged.
+func crossDictVars(left, right *data.Dict, a, b string) bool {
+	ca := left.Code(a)
+	cb := right.Code(b)
+	return ca == cb // want `distinct dictionaries`
+}
+
+// sameDict codes from one dictionary are comparable.
+func sameDict(d *data.Dict, a, b string) bool {
+	ca := d.Code(a)
+	cb := d.Code(b)
+	return ca == cb
+}

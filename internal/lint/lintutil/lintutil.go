@@ -1,0 +1,178 @@
+// Package lintutil holds the type-resolution helpers shared by the cleanlint
+// analyzers: static callee resolution, package/type identity tests that are
+// robust to vendoring prefixes, and loop-invariance checks.
+package lintutil
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PathIs reports whether a package path denotes want: an exact match, or a
+// suffix match on a path boundary (so "vendor/cleandb/internal/textsim"
+// still counts as "cleandb/internal/textsim").
+func PathIs(path, want string) bool {
+	return path == want || strings.HasSuffix(path, "/"+want)
+}
+
+// PkgIs reports whether pkg's import path denotes want. A nil pkg (builtins,
+// unsafe) never matches.
+func PkgIs(pkg *types.Package, want string) bool {
+	return pkg != nil && PathIs(pkg.Path(), want)
+}
+
+// Callee resolves the static callee of a call expression: a declared
+// function or method. Calls through function-typed values, conversions and
+// builtins yield nil.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsFunc reports whether fn is the package-level function pkgPath.name.
+func IsFunc(fn *types.Func, pkgPath, name string) bool {
+	return fn != nil && fn.Name() == name && PkgIs(fn.Pkg(), pkgPath) &&
+		(fn.Signature() == nil || fn.Signature().Recv() == nil)
+}
+
+// IsMethod reports whether fn is the method pkgPath.recvType.name, looking
+// through pointers on the receiver.
+func IsMethod(fn *types.Func, pkgPath, recvType, name string) bool {
+	if fn == nil || fn.Name() != name || !PkgIs(fn.Pkg(), pkgPath) {
+		return false
+	}
+	sig := fn.Signature()
+	if sig == nil || sig.Recv() == nil {
+		return false
+	}
+	return NamedIs(sig.Recv().Type(), pkgPath, recvType)
+}
+
+// NamedIs reports whether t (after stripping pointers and aliases) is the
+// named type pkgPath.name.
+func NamedIs(t types.Type, pkgPath, name string) bool {
+	n := NamedOf(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && PkgIs(obj.Pkg(), pkgPath)
+}
+
+// NamedOf strips pointers and aliases from t and returns the named type
+// underneath, or nil.
+func NamedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// LoopInvariant reports whether every identifier used by expr is defined
+// outside the given loop node — i.e. the expression's value cannot change
+// across iterations (writes inside the loop to outer variables are not
+// tracked; callers use this as a hoistability hint, not a proof).
+func LoopInvariant(info *types.Info, expr ast.Expr, loop ast.Node) bool {
+	invariant := true
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			// A call with side effects (interning!) is exactly what the
+			// caller wants hoisted, so its presence does not break
+			// invariance; its arguments are still inspected.
+			_ = call
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if _, isVar := obj.(*types.Var); !isVar {
+			return true
+		}
+		if obj.Pos() >= loop.Pos() && obj.Pos() < loop.End() {
+			invariant = false
+			return false
+		}
+		return true
+	})
+	return invariant
+}
+
+// IsContextErrCheck reports whether n polls job cancellation: a call to the
+// Err method of context.Context or of the engine's job context, or a receive
+// from a Done channel.
+func IsContextErrCheck(info *types.Info, n ast.Node) bool {
+	switch x := n.(type) {
+	case *ast.CallExpr:
+		fn := Callee(info, x)
+		if fn == nil || (fn.Name() != "Err" && fn.Name() != "Done") {
+			return false
+		}
+		sig := fn.Signature()
+		if sig == nil || sig.Recv() == nil {
+			return false
+		}
+		t := sig.Recv().Type()
+		return NamedIs(t, "context", "Context") ||
+			NamedIs(t, "cleandb/internal/engine", "Context") ||
+			isContextInterface(t)
+	}
+	return false
+}
+
+// isContextInterface matches interface receivers that embed context.Context
+// (the Err method of the stdlib interface itself).
+func isContextInterface(t types.Type) bool {
+	n := NamedOf(t)
+	if n == nil {
+		return false
+	}
+	return PkgIs(n.Obj().Pkg(), "context") && n.Obj().Name() == "Context"
+}
+
+// FuncScopes yields every function body in the file as an independent
+// analysis scope: each declared function, and each function literal. A
+// function literal is its own scope — closures handed to the engine's
+// parallel drivers are the unit that must uphold per-loop invariants.
+func FuncScopes(file *ast.File, visit func(name string, body *ast.BlockStmt, decl ast.Node)) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				visit(fn.Name.Name, fn.Body, fn)
+			}
+		case *ast.FuncLit:
+			visit("func literal", fn.Body, fn)
+		}
+		return true
+	})
+}
+
+// InspectScope walks body depth-first like ast.Inspect but does not descend
+// into nested function literals — they are separate scopes.
+func InspectScope(body *ast.BlockStmt, f func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return f(n)
+	})
+}

@@ -1,0 +1,272 @@
+// Package load type-checks Go packages for the cleanlint analyzers without
+// golang.org/x/tools: it shells out to `go list -export` for package layout
+// and compiled export data, parses the target packages' sources, and
+// type-checks them with the standard library's gc-export-data importer. The
+// result is the same (Fset, Files, Pkg, TypesInfo) quadruple an
+// analysis.Pass needs.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one type-checked target package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	TypesInfo  *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Packages loads and type-checks the packages matching patterns (e.g.
+// "./..."), resolving their dependencies from compiled export data. dir is
+// the directory the patterns are relative to (the module root, typically).
+func Packages(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	out, err := runGo(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	var targets []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("load: decoding go list output: %v", err)
+		}
+		if p.Error != nil && !p.DepOnly {
+			return nil, fmt.Errorf("load: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			q := p
+			targets = append(targets, &q)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := checkPackage(t.ImportPath, t.Dir, t.GoFiles, exports)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// FixturePackage type-checks the fixture sources in dir as the package
+// importPath. Imports — standard library and this module's real packages
+// alike — resolve from compiled export data, so fixtures exercise the
+// analyzers against the real engine/data/sink types.
+func FixturePackage(dir, importPath string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, e.Name())
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("load: no .go files in %s", dir)
+	}
+	sort.Strings(files)
+	imports, err := scanImports(dir, files)
+	if err != nil {
+		return nil, err
+	}
+	exports, err := exportDataFor(imports)
+	if err != nil {
+		return nil, err
+	}
+	return checkPackage(importPath, dir, files, exports)
+}
+
+// CheckFiles type-checks an explicit file list as importPath, resolving
+// imports from the given export-data map (import path -> export file). File
+// names are joined to dir; absolute names may be passed with an empty dir.
+// This is the entry point for the `go vet -vettool` protocol, where the vet
+// driver hands cleanlint the file list and import map directly.
+func CheckFiles(importPath, dir string, goFiles []string, exports map[string]string) (*Package, error) {
+	return checkPackage(importPath, dir, goFiles, exports)
+}
+
+func checkPackage(importPath, dir string, goFiles []string, exports map[string]string) (*Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, gf := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, gf), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("load: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %v", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath, Dir: dir,
+		Fset: fset, Files: files, Pkg: pkg, TypesInfo: info,
+	}, nil
+}
+
+// scanImports collects the import paths named by the given files.
+func scanImports(dir string, goFiles []string) ([]string, error) {
+	fset := token.NewFileSet()
+	seen := map[string]bool{}
+	for _, gf := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, gf), nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, imp := range f.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			if p != "unsafe" && p != "C" {
+				seen[p] = true
+			}
+		}
+	}
+	paths := make([]string, 0, len(seen))
+	for p := range seen {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+var (
+	exportMu    sync.Mutex
+	exportCache = map[string]string{} // import path -> export data file
+)
+
+// exportDataFor resolves export data files for the given import paths (and
+// their transitive dependencies), caching across calls — fixture tests load
+// many small packages with overlapping imports.
+func exportDataFor(paths []string) (map[string]string, error) {
+	exportMu.Lock()
+	defer exportMu.Unlock()
+	var missing []string
+	for _, p := range paths {
+		if _, ok := exportCache[p]; !ok {
+			missing = append(missing, p)
+		}
+	}
+	if len(missing) > 0 {
+		dir, err := ModuleDir()
+		if err != nil {
+			return nil, err
+		}
+		args := append([]string{"list", "-e", "-export", "-deps", "-json"}, missing...)
+		out, err := runGo(dir, args...)
+		if err != nil {
+			return nil, err
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var p listPkg
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				return nil, err
+			}
+			if p.Export != "" {
+				exportCache[p.ImportPath] = p.Export
+			}
+		}
+	}
+	res := make(map[string]string, len(exportCache))
+	for k, v := range exportCache {
+		res[k] = v
+	}
+	return res, nil
+}
+
+var (
+	modOnce sync.Once
+	modDir  string
+	modErr  error
+)
+
+// ModuleDir locates the enclosing module root (the directory of go.mod).
+func ModuleDir() (string, error) {
+	modOnce.Do(func() {
+		out, err := runGo("", "env", "GOMOD")
+		if err != nil {
+			modErr = err
+			return
+		}
+		gomod := strings.TrimSpace(string(out))
+		if gomod == "" || gomod == os.DevNull {
+			modErr = fmt.Errorf("load: not inside a module")
+			return
+		}
+		modDir = filepath.Dir(gomod)
+	})
+	return modDir, modErr
+}
+
+func runGo(dir string, args ...string) ([]byte, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("load: go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	return out, nil
+}

@@ -1,0 +1,287 @@
+// Package locksnapshot enforces the snapshot-per-query discipline around the
+// catalog mutexes: a sync.Mutex/RWMutex must not be held across operator
+// execution or channel operations. The correct shape — established when the
+// catalog went concurrent — is lock, copy the few pointers you need, unlock,
+// then execute; holding the lock through a query or a channel send turns
+// every registration into a head-of-line blocker (and risks deadlock when
+// the channel's consumer needs the same lock).
+package locksnapshot
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"cleandb/internal/lint/analysis"
+	"cleandb/internal/lint/lintutil"
+)
+
+// Analyzer flags blocking work performed while a mutex is held.
+var Analyzer = &analysis.Analyzer{
+	Name: "locksnapshot",
+	Doc: "mutexes must not be held across operator execution or channel ops\n\n" +
+		"Between mu.Lock()/mu.RLock() and the matching unlock (including a " +
+		"deferred unlock, which holds to function end), the function must " +
+		"not send on or receive from channels, select, or call into " +
+		"context-taking execution paths (anything accepting a " +
+		"context.Context runs operator-scale work). Snapshot under the " +
+		"lock, release it, then execute.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		lintutil.FuncScopes(file, func(name string, body *ast.BlockStmt, decl ast.Node) {
+			w := &walker{pass: pass}
+			w.block(body.List, map[string]bool{})
+		})
+	}
+	return nil, nil
+}
+
+type walker struct {
+	pass *analysis.Pass
+}
+
+// block walks one statement list with the set of held locks (canonical
+// receiver text of the mutex). Branch statements fork a copy; the merged
+// result keeps a lock held if any branch left it held (conservative).
+func (w *walker) block(stmts []ast.Stmt, held map[string]bool) {
+	for _, s := range stmts {
+		w.stmt(s, held)
+	}
+}
+
+func (w *walker) stmt(s ast.Stmt, held map[string]bool) {
+	switch x := s.(type) {
+	case *ast.ExprStmt:
+		if mu, locks, ok := lockOp(w.pass.TypesInfo, x.X); ok {
+			if locks {
+				held[mu] = true
+			} else {
+				delete(held, mu)
+			}
+			return
+		}
+		w.expr(x.X, held)
+	case *ast.DeferStmt:
+		if mu, locks, ok := lockOp(w.pass.TypesInfo, x.Call); ok && !locks {
+			// Deferred unlock: the lock stays held for the remainder of the
+			// function — which is exactly the region to police.
+			_ = mu
+			return
+		}
+		w.expr(x.Call, held)
+	case *ast.AssignStmt:
+		for _, r := range x.Rhs {
+			w.expr(r, held)
+		}
+		for _, l := range x.Lhs {
+			w.expr(l, held)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range x.Results {
+			w.expr(r, held)
+		}
+	case *ast.IfStmt:
+		if x.Init != nil {
+			w.stmt(x.Init, held)
+		}
+		w.expr(x.Cond, held)
+		thenHeld, elseHeld := cloneSet(held), cloneSet(held)
+		w.block(x.Body.List, thenHeld)
+		if x.Else != nil {
+			w.stmt(x.Else, elseHeld)
+		}
+		mergeInto(held, thenHeld, elseHeld)
+	case *ast.BlockStmt:
+		w.block(x.List, held)
+	case *ast.ForStmt:
+		if x.Init != nil {
+			w.stmt(x.Init, held)
+		}
+		if x.Cond != nil {
+			w.expr(x.Cond, held)
+		}
+		bodyHeld := cloneSet(held)
+		w.block(x.Body.List, bodyHeld)
+		if x.Post != nil {
+			w.stmt(x.Post, bodyHeld)
+		}
+		mergeInto(held, bodyHeld)
+	case *ast.RangeStmt:
+		w.expr(x.X, held)
+		if len(held) > 0 {
+			if t := w.pass.TypesInfo.TypeOf(x.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					w.report(x.Pos(), held, "ranging over a channel")
+				}
+			}
+		}
+		bodyHeld := cloneSet(held)
+		w.block(x.Body.List, bodyHeld)
+		mergeInto(held, bodyHeld)
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			w.stmt(x.Init, held)
+		}
+		if x.Tag != nil {
+			w.expr(x.Tag, held)
+		}
+		w.caseBodies(x.Body, held)
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			w.stmt(x.Init, held)
+		}
+		w.caseBodies(x.Body, held)
+	case *ast.SelectStmt:
+		if len(held) > 0 {
+			w.report(x.Pos(), held, "select over channels")
+		}
+		w.caseBodies(x.Body, held)
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			w.report(x.Pos(), held, "channel send")
+		}
+		w.expr(x.Chan, held)
+		w.expr(x.Value, held)
+	case *ast.GoStmt:
+		// The goroutine runs outside the lock's critical section; its body
+		// is a separate scope (FuncScopes visits literals independently).
+		for _, a := range x.Call.Args {
+			w.expr(a, held)
+		}
+	case *ast.LabeledStmt:
+		w.stmt(x.Stmt, held)
+	case *ast.DeclStmt:
+		ast.Inspect(x, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			if e, ok := n.(*ast.CallExpr); ok {
+				w.checkCall(e, held)
+			}
+			return true
+		})
+	}
+}
+
+func (w *walker) caseBodies(body *ast.BlockStmt, held map[string]bool) {
+	var states []map[string]bool
+	for _, cs := range body.List {
+		var list []ast.Stmt
+		switch cc := cs.(type) {
+		case *ast.CaseClause:
+			list = cc.Body
+		case *ast.CommClause:
+			list = cc.Body
+		}
+		st := cloneSet(held)
+		w.block(list, st)
+		states = append(states, st)
+	}
+	mergeInto(held, states...)
+}
+
+// expr scans an expression for channel receives and offending calls.
+func (w *walker) expr(e ast.Expr, held map[string]bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if x.Op.String() == "<-" && len(held) > 0 {
+				w.report(x.Pos(), held, "channel receive")
+			}
+		case *ast.CallExpr:
+			w.checkCall(x, held)
+		}
+		return true
+	})
+}
+
+// checkCall flags calls that run operator-scale work while a lock is held:
+// any call whose static callee takes a context.Context parameter.
+func (w *walker) checkCall(call *ast.CallExpr, held map[string]bool) {
+	if len(held) == 0 {
+		return
+	}
+	fn := lintutil.Callee(w.pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	sig := fn.Signature()
+	if sig == nil {
+		return
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if lintutil.NamedIs(sig.Params().At(i).Type(), "context", "Context") {
+			w.report(call.Pos(), held,
+				"call to context-taking "+fn.Name())
+			return
+		}
+	}
+}
+
+func (w *walker) report(pos token.Pos, held map[string]bool, what string) {
+	names := make([]string, 0, len(held))
+	for mu := range held {
+		names = append(names, mu)
+	}
+	sort.Strings(names)
+	w.pass.Reportf(pos,
+		"%s while %s is held; snapshot under the lock, release it, then do blocking work",
+		what, strings.Join(names, ", "))
+}
+
+func cloneSet(s map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(s))
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}
+
+func mergeInto(dst map[string]bool, srcs ...map[string]bool) {
+	for _, s := range srcs {
+		for k := range s {
+			dst[k] = true
+		}
+	}
+}
+
+// lockOp matches mu.Lock()/RLock()/Unlock()/RUnlock() on a sync mutex and
+// returns the canonical mutex text and whether the op acquires.
+func lockOp(info *types.Info, e ast.Expr) (mu string, locks, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return "", false, false
+	}
+	fn := lintutil.Callee(info, call)
+	if fn == nil {
+		return "", false, false
+	}
+	var acquires bool
+	switch fn.Name() {
+	case "Lock", "RLock":
+		acquires = true
+	case "Unlock", "RUnlock":
+		acquires = false
+	default:
+		return "", false, false
+	}
+	if !lintutil.IsMethod(fn, "sync", "Mutex", fn.Name()) &&
+		!lintutil.IsMethod(fn, "sync", "RWMutex", fn.Name()) {
+		return "", false, false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	return types.ExprString(sel.X), acquires, true
+}

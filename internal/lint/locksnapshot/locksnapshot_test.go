@@ -1,0 +1,12 @@
+package locksnapshot_test
+
+import (
+	"testing"
+
+	"cleandb/internal/lint/analysistest"
+	"cleandb/internal/lint/locksnapshot"
+)
+
+func TestLockSnapshot(t *testing.T) {
+	analysistest.Run(t, "testdata", locksnapshot.Analyzer, "lockfixture")
+}

@@ -1,0 +1,91 @@
+// Package lockfixture exercises the locksnapshot analyzer.
+package lockfixture
+
+import (
+	"context"
+	"sync"
+)
+
+type registry struct {
+	mu    sync.RWMutex
+	items map[string]int
+}
+
+// execute stands in for operator execution: anything that takes a context is
+// assumed to run query-scale work.
+func execute(ctx context.Context, name string) error {
+	_ = ctx
+	_ = name
+	return nil
+}
+
+// sendWhileLocked streams results while holding the read lock: flagged.
+func (r *registry) sendWhileLocked(out chan<- int) {
+	r.mu.RLock()
+	for _, v := range r.items {
+		out <- v // want `channel send while r.mu is held`
+	}
+	r.mu.RUnlock()
+}
+
+// snapshotThenSend is the blessed shape: copy under the lock, send after.
+func (r *registry) snapshotThenSend(out chan<- int) {
+	r.mu.RLock()
+	vals := make([]int, 0, len(r.items))
+	for _, v := range r.items {
+		vals = append(vals, v)
+	}
+	r.mu.RUnlock()
+	for _, v := range vals {
+		out <- v
+	}
+}
+
+// execWhileLocked holds the catalog lock across operator execution — the
+// deferred unlock keeps it held to function end: flagged.
+func (r *registry) execWhileLocked(ctx context.Context) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name := range r.items {
+		if err := execute(ctx, name); err != nil { // want `context-taking execute while r.mu is held`
+			return err
+		}
+	}
+	return nil
+}
+
+// unlockThenExec snapshots the names, releases the lock, then executes.
+func (r *registry) unlockThenExec(ctx context.Context) error {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.items))
+	for name := range r.items {
+		names = append(names, name)
+	}
+	r.mu.RUnlock()
+	for _, name := range names {
+		if err := execute(ctx, name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// recvWhileLocked blocks on a channel receive under the write lock: flagged.
+func (r *registry) recvWhileLocked(in <-chan int) int {
+	r.mu.Lock()
+	v := <-in // want `channel receive while r.mu is held`
+	r.items["last"] = v
+	r.mu.Unlock()
+	return v
+}
+
+// goroutineIsSeparate: the spawned body runs outside the critical section
+// and is analyzed as its own scope.
+func (r *registry) goroutineIsSeparate(out chan<- int) {
+	r.mu.Lock()
+	n := len(r.items)
+	r.mu.Unlock()
+	go func() {
+		out <- n
+	}()
+}

@@ -1,0 +1,181 @@
+// Package metricscharge enforces the cost-model invariant at the heart of
+// CleanM's optimizability claim (paper §4–6): every pairwise similarity
+// comparison an operator performs must be charged to engine.Metrics, or the
+// optimizer's strategy choices and the comparison budget are measured against
+// a fiction. A loop that calls a textsim comparator without the enclosing
+// function charging Metrics.AddComparisons (or logging a stage cost, which
+// charges through the stage ledger) is flagged.
+package metricscharge
+
+import (
+	"go/ast"
+
+	"cleandb/internal/lint/analysis"
+	"cleandb/internal/lint/lintutil"
+)
+
+// Analyzer flags comparison loops that never charge the cost model.
+var Analyzer = &analysis.Analyzer{
+	Name: "metricscharge",
+	Doc: "comparison loops must charge engine.Metrics in the same function\n\n" +
+		"A function in operator code that calls a textsim comparator inside a " +
+		"loop must also call Metrics.AddComparisons (or log a stage through " +
+		"the Metrics ledger) in that same function scope, so the cost model " +
+		"sees exactly the work performed. Functions that only hand comparators " +
+		"to already-charging callbacks are not flagged: the call must be " +
+		"lexically inside a loop of the offending scope.",
+	Scope: []string{
+		"cleandb/internal/engine",
+		"cleandb/internal/cleaning",
+		"cleandb/internal/physical",
+		"cleandb/internal/sparksql",
+		"cleandb/internal/bigdansing",
+	},
+	Run: run,
+}
+
+const textsimPkg = "cleandb/internal/textsim"
+
+// comparatorFuncs are the package-level textsim comparators.
+var comparatorFuncs = map[string]bool{
+	"Levenshtein":       true,
+	"LevenshteinWithin": true,
+	"Similarity":        true,
+	"SimilarAbove":      true,
+	"Jaccard":           true,
+	"JaroWinkler":       true,
+}
+
+// comparatorMethods maps receiver type -> method names that run (or memoize)
+// a similarity metric.
+var comparatorMethods = map[string]map[string]bool{
+	"Metric":    {"Sim": true, "Above": true},
+	"PairCache": {"Sim": true, "Above": true},
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		lintutil.FuncScopes(file, func(name string, body *ast.BlockStmt, decl ast.Node) {
+			checkScope(pass, body)
+		})
+	}
+	return nil, nil
+}
+
+// checkScope flags the outermost loop around each uncharged comparator call
+// in one function scope (nested function literals are separate scopes).
+func checkScope(pass *analysis.Pass, body *ast.BlockStmt) {
+	if chargesMetrics(pass, body) {
+		return
+	}
+	reported := map[ast.Node]bool{}
+	var loops []ast.Node
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = append(loops, n)
+			for _, c := range children(n) {
+				ast.Inspect(c, walk)
+			}
+			loops = loops[:len(loops)-1]
+			return false
+		case *ast.CallExpr:
+			if len(loops) > 0 && isComparator(pass, x) && !reported[loops[0]] {
+				reported[loops[0]] = true
+				pass.Reportf(loops[0].Pos(),
+					"loop runs textsim comparisons but %q never charges engine.Metrics (AddComparisons or a logged stage); the cost model under-counts this operator",
+					scopeLabel(pass, body))
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+}
+
+// children returns the walkable parts of a loop node (init/cond/post/body or
+// key/value/x/body), so the loop-stack depth stays accurate during traversal.
+func children(n ast.Node) []ast.Node {
+	var out []ast.Node
+	switch l := n.(type) {
+	case *ast.ForStmt:
+		for _, c := range []ast.Node{l.Init, l.Cond, l.Post, l.Body} {
+			if c != nil {
+				out = append(out, c)
+			}
+		}
+	case *ast.RangeStmt:
+		for _, c := range []ast.Node{l.X, l.Body} {
+			if c != nil {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// chargesMetrics reports whether the scope contains a charge to the cost
+// model: Metrics.AddComparisons, the stage ledger (Metrics.logStage), or the
+// budget-overflow saturation helper.
+func chargesMetrics(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	lintutil.InspectScope(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		fn := lintutil.Callee(pass.TypesInfo, call)
+		if fn == nil {
+			return true
+		}
+		const enginePkg = "cleandb/internal/engine"
+		if lintutil.IsMethod(fn, enginePkg, "Metrics", "AddComparisons") ||
+			lintutil.IsMethod(fn, enginePkg, "Metrics", "logStage") ||
+			lintutil.IsFunc(fn, enginePkg, "chargeBudgetOverflow") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isComparator reports whether call invokes a textsim similarity primitive.
+func isComparator(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := lintutil.Callee(pass.TypesInfo, call)
+	if fn == nil {
+		return false
+	}
+	if comparatorFuncs[fn.Name()] && lintutil.IsFunc(fn, textsimPkg, fn.Name()) {
+		return true
+	}
+	for recv, methods := range comparatorMethods {
+		if methods[fn.Name()] && lintutil.IsMethod(fn, textsimPkg, recv, fn.Name()) {
+			return true
+		}
+	}
+	return false
+}
+
+// scopeLabel names the scope for diagnostics: the enclosing declared
+// function when identifiable, else "this function literal".
+func scopeLabel(pass *analysis.Pass, body *ast.BlockStmt) string {
+	for _, file := range pass.Files {
+		if file.Pos() <= body.Pos() && body.End() <= file.End() {
+			var name string
+			ast.Inspect(file, func(n ast.Node) bool {
+				if fd, ok := n.(*ast.FuncDecl); ok && fd.Body != nil &&
+					fd.Body.Pos() <= body.Pos() && body.End() <= fd.Body.End() {
+					name = fd.Name.Name
+				}
+				return true
+			})
+			if name != "" {
+				return name
+			}
+		}
+	}
+	return "this function literal"
+}

@@ -1,0 +1,12 @@
+package metricscharge_test
+
+import (
+	"testing"
+
+	"cleandb/internal/lint/analysistest"
+	"cleandb/internal/lint/metricscharge"
+)
+
+func TestMetricsCharge(t *testing.T) {
+	analysistest.Run(t, "testdata", metricscharge.Analyzer, "metricsfixture")
+}

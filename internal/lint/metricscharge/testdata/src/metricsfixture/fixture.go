@@ -1,0 +1,87 @@
+// Package metricsfixture exercises the metricscharge analyzer against the
+// real engine and textsim packages.
+package metricsfixture
+
+import (
+	"cleandb/internal/engine"
+	"cleandb/internal/textsim"
+)
+
+// unchargedPairs runs a pairwise comparison nest and never charges the cost
+// model: the outer loop is flagged.
+func unchargedPairs(rows []string) int {
+	n := 0
+	for i := range rows { // want `never charges engine.Metrics`
+		for j := i + 1; j < len(rows); j++ {
+			if textsim.SimilarAbove(rows[i], rows[j], 0.9) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// chargedPairs does the same work but settles the bill with AddComparisons.
+func chargedPairs(ctx *engine.Context, rows []string) int {
+	n := 0
+	var comparisons int64
+	for i := range rows {
+		for j := i + 1; j < len(rows); j++ {
+			comparisons++
+			if textsim.SimilarAbove(rows[i], rows[j], 0.9) {
+				n++
+			}
+		}
+	}
+	ctx.Metrics().AddComparisons(comparisons)
+	return n
+}
+
+// metricInLoop calls a Metric method per row without charging: flagged.
+func metricInLoop(m textsim.Metric, rows []string, probe string) int {
+	n := 0
+	for _, r := range rows { // want `never charges engine.Metrics`
+		if m.Above(probe, r, 0.8) {
+			n++
+		}
+	}
+	return n
+}
+
+// cachedPairs memoizes through a PairCache, which still runs the metric on a
+// miss — it must be charged like a direct comparison: flagged.
+func cachedPairs(cache *textsim.PairCache, codes []uint32, rows []string) int {
+	n := 0
+	for i := range rows { // want `never charges engine.Metrics`
+		for j := i + 1; j < len(rows); j++ {
+			if cache.Above(codes[i], codes[j], rows[i], rows[j]) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// oneShot compares outside any loop: constant work, not the analyzer's
+// business.
+func oneShot(a, b string) float64 {
+	return textsim.Similarity(a, b)
+}
+
+// chargingClosure hands the loop to a function literal that charges for
+// itself; the literal is its own scope and neither scope is flagged.
+func chargingClosure(ctx *engine.Context, parts [][]string) {
+	compare := func(rows []string) {
+		var comparisons int64
+		for i := range rows {
+			for j := i + 1; j < len(rows); j++ {
+				comparisons++
+				_ = textsim.Levenshtein(rows[i], rows[j])
+			}
+		}
+		ctx.Metrics().AddComparisons(comparisons)
+	}
+	for _, p := range parts {
+		compare(p)
+	}
+}

@@ -1,0 +1,616 @@
+// Package sinkrelease enforces the sink abort contract of the export layer:
+// a sink.Sink that was successfully opened must reach Close (or
+// CloseContext, or the Aborter hook) on every control-flow path out of the
+// function that opened it — otherwise a failed or early-returning export
+// leaks file descriptors and leaves partial files looking finished.
+//
+// The analysis is a per-function abstract interpretation over the statement
+// tree: branches fork the open-sink state and merge conservatively (a sink
+// is released only when every surviving path released it), loops merge with
+// their zero-iteration skip, defers of a release apply to every exit, and
+// handing the sink to another function (as an argument, a return value, a
+// channel send or a composite) transfers ownership and ends tracking. The
+// error-return branch of the Open call itself is exempt: the driver contract
+// says a failed Open released its own resources.
+package sinkrelease
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"cleandb/internal/lint/analysis"
+	"cleandb/internal/lint/lintutil"
+)
+
+// Analyzer flags opened sinks that can leak on some path.
+var Analyzer = &analysis.Analyzer{
+	Name: "sinkrelease",
+	Doc: "every opened sink.Sink must reach Close or Abort on all paths\n\n" +
+		"After s.Open(schema) succeeds, every path to a return must call " +
+		"s.Close / s.CloseContext / s.Abort or transfer ownership of s " +
+		"(pass it to another function, return it, store it away). Paths " +
+		"under the Open error check are exempt — a failed Open releases " +
+		"its own resources per the Sink contract.",
+	Run: run,
+}
+
+const sinkPkg = "cleandb/internal/sink"
+
+var releaseMethods = map[string]bool{
+	"Close":        true,
+	"CloseContext": true,
+	"Abort":        true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	iface := sinkInterface(pass.Pkg)
+	if iface == nil {
+		return nil, nil // package cannot name a sink; nothing to check
+	}
+	for _, file := range pass.Files {
+		lintutil.FuncScopes(file, func(name string, body *ast.BlockStmt, decl ast.Node) {
+			checkScope(pass, iface, body)
+		})
+	}
+	return nil, nil
+}
+
+// sinkInterface finds the sink.Sink interface type through the package's
+// import graph (direct or transitive), or nil when unreachable.
+func sinkInterface(pkg *types.Package) *types.Interface {
+	seen := map[*types.Package]bool{}
+	var find func(p *types.Package) *types.Interface
+	find = func(p *types.Package) *types.Interface {
+		if seen[p] {
+			return nil
+		}
+		seen[p] = true
+		if lintutil.PkgIs(p, sinkPkg) {
+			if obj, ok := p.Scope().Lookup("Sink").(*types.TypeName); ok {
+				if iface, ok := obj.Type().Underlying().(*types.Interface); ok {
+					return iface
+				}
+			}
+			return nil
+		}
+		for _, imp := range p.Imports() {
+			if iface := find(imp); iface != nil {
+				return iface
+			}
+		}
+		return nil
+	}
+	return find(pkg)
+}
+
+// openInfo tracks one opened sink within a scope.
+type openInfo struct {
+	openPos token.Pos
+	errVar  types.Object // error result of the Open call, if bound
+}
+
+// state is the abstract open-sink set along one path.
+type state struct {
+	open map[types.Object]openInfo
+}
+
+func (s *state) clone() *state {
+	c := &state{open: make(map[types.Object]openInfo, len(s.open))}
+	for k, v := range s.open {
+		c.open[k] = v
+	}
+	return c
+}
+
+// checker runs the abstract interpretation of one function scope.
+type checker struct {
+	pass     *analysis.Pass
+	iface    *types.Interface
+	deferred map[types.Object]bool         // sinks released by a defer
+	alias    map[types.Object]types.Object // type-assert views of a sink var
+	reported map[token.Pos]bool
+}
+
+// canonical resolves an alias chain (a, ok := s.(Aborter) makes a a view of
+// s) back to the variable the Open was tracked under.
+func (c *checker) canonical(obj types.Object) types.Object {
+	for i := 0; i < len(c.alias); i++ {
+		next, ok := c.alias[obj]
+		if !ok {
+			return obj
+		}
+		obj = next
+	}
+	return obj
+}
+
+func checkScope(pass *analysis.Pass, iface *types.Interface, body *ast.BlockStmt) {
+	if hasGoto(body) {
+		return // goto breaks the structural walk; rare enough to skip
+	}
+	c := &checker{
+		pass:     pass,
+		iface:    iface,
+		deferred: map[types.Object]bool{},
+		alias:    map[types.Object]types.Object{},
+		reported: map[token.Pos]bool{},
+	}
+	// Pre-scan: type-assert aliases (a, ok := s.(Aborter)) are purely
+	// syntactic, so resolve them up front — releasing the Aborter view
+	// releases the sink, including from a defer.
+	lintutil.InspectScope(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) == 0 {
+			return true
+		}
+		ta, ok := ast.Unparen(as.Rhs[0]).(*ast.TypeAssertExpr)
+		if !ok || ta.Type == nil {
+			return true
+		}
+		src, ok := ast.Unparen(ta.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		dst, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		srcObj, dstObj := objectOf(pass.TypesInfo, src), objectOf(pass.TypesInfo, dst)
+		if srcObj != nil && dstObj != nil && srcObj != dstObj {
+			c.alias[dstObj] = srcObj
+		}
+		return true
+	})
+	// Pre-scan: defers (registered on any path) that release a sink var make
+	// that var safe on every exit; conservative but matches real usage.
+	lintutil.InspectScope(body, func(n ast.Node) bool {
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if obj := c.releasedVar(d.Call); obj != nil {
+			c.deferred[obj] = true
+		}
+		if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if obj := c.releasedVar(call); obj != nil {
+						c.deferred[obj] = true
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+	st := &state{open: map[types.Object]openInfo{}}
+	terminated := c.block(body.List, st)
+	if !terminated {
+		c.leakCheck(st, body.End())
+	}
+}
+
+func hasGoto(body *ast.BlockStmt) bool {
+	found := false
+	lintutil.InspectScope(body, func(n ast.Node) bool {
+		if b, ok := n.(*ast.BranchStmt); ok && b.Tok == token.GOTO {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// leakCheck reports every sink still open when a path exits the function.
+func (c *checker) leakCheck(st *state, at token.Pos) {
+	for obj, info := range st.open {
+		if c.deferred[obj] {
+			continue
+		}
+		if c.reported[info.openPos] {
+			continue
+		}
+		c.reported[info.openPos] = true
+		c.pass.Reportf(info.openPos,
+			"sink %q opened here does not reach Close/CloseContext/Abort on every path; a failed export leaks the sink and may leave a complete-looking file",
+			obj.Name())
+	}
+}
+
+// block interprets a statement list; reports leaks at returns. Returns true
+// when every path through the list terminates (return/panic).
+func (c *checker) block(stmts []ast.Stmt, st *state) bool {
+	for _, s := range stmts {
+		if c.stmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+// stmt interprets one statement, mutating st; true means the path terminated.
+func (c *checker) stmt(s ast.Stmt, st *state) bool {
+	switch x := s.(type) {
+	case *ast.ReturnStmt:
+		for _, r := range x.Results {
+			c.scanEffects(r, st)
+			c.scanTransfers(r, st)
+		}
+		c.leakCheck(st, x.Pos())
+		return true
+	case *ast.BlockStmt:
+		return c.block(x.List, st)
+	case *ast.IfStmt:
+		if x.Init != nil {
+			c.stmt(x.Init, st)
+		}
+		c.scanEffects(x.Cond, st)
+		thenSt, elseSt := st.clone(), st.clone()
+		// Open's error branch: the sink is not open where err != nil.
+		if errObj, neq := errCheck(c.pass.TypesInfo, x.Cond); errObj != nil {
+			failSt := thenSt
+			if !neq {
+				failSt = elseSt
+			}
+			for obj, info := range failSt.open {
+				if info.errVar == errObj {
+					delete(failSt.open, obj)
+				}
+			}
+		}
+		thenTerm := c.block(x.Body.List, thenSt)
+		elseTerm := false
+		if x.Else != nil {
+			elseTerm = c.stmt(x.Else, elseSt)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			*st = *elseSt
+		case elseTerm:
+			*st = *thenSt
+		default:
+			*st = *merge(thenSt, elseSt)
+		}
+		return false
+	case *ast.ForStmt:
+		if x.Init != nil {
+			c.stmt(x.Init, st)
+		}
+		if x.Cond != nil {
+			c.scanEffects(x.Cond, st)
+		}
+		bodySt := st.clone()
+		c.block(x.Body.List, bodySt)
+		if x.Post != nil {
+			c.stmt(x.Post, bodySt)
+		}
+		*st = *merge(st, bodySt)
+		return false
+	case *ast.RangeStmt:
+		c.scanEffects(x.X, st)
+		bodySt := st.clone()
+		c.block(x.Body.List, bodySt)
+		*st = *merge(st, bodySt)
+		return false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return c.branchy(s, st)
+	case *ast.DeferStmt:
+		// Defers were pre-scanned; still record transfers of other sinks.
+		for _, a := range x.Call.Args {
+			c.scanTransfers(a, st)
+		}
+		return false
+	case *ast.GoStmt:
+		c.scanEffects(x.Call, st)
+		return false
+	case *ast.LabeledStmt:
+		return c.stmt(x.Stmt, st)
+	case *ast.ExprStmt:
+		c.scanEffects(x.X, st)
+		if call, ok := ast.Unparen(x.X).(*ast.CallExpr); ok {
+			if isPanic(c.pass.TypesInfo, call) {
+				return true
+			}
+			c.openCall(call, nil, st)
+		}
+		return false
+	case *ast.AssignStmt:
+		for _, r := range x.Rhs {
+			c.scanEffects(r, st)
+		}
+		for _, r := range x.Rhs {
+			if _, isCall := ast.Unparen(r).(*ast.CallExpr); !isCall {
+				// Aliasing a tracked sink (x := s) transfers it; a call RHS
+				// already had its arguments scanned by scanEffects.
+				c.scanTransfers(r, st)
+			}
+		}
+		if len(x.Rhs) == 1 {
+			if call, ok := ast.Unparen(x.Rhs[0]).(*ast.CallExpr); ok {
+				var errObj types.Object
+				if len(x.Lhs) > 0 {
+					if id, ok := x.Lhs[len(x.Lhs)-1].(*ast.Ident); ok {
+						errObj = objectOf(c.pass.TypesInfo, id)
+					}
+				}
+				c.openCall(call, errObj, st)
+			}
+		}
+		return false
+	case *ast.DeclStmt:
+		ast.Inspect(x, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				c.scanEffects(e, st)
+			}
+			return true
+		})
+		return false
+	case *ast.SendStmt:
+		c.scanEffects(x.Chan, st)
+		c.scanEffects(x.Value, st)
+		c.scanTransfers(x.Value, st)
+		return false
+	case *ast.BranchStmt:
+		// break/continue: path leaves this block without returning; treat as
+		// non-terminating and let the loop merge handle it (conservative).
+		return false
+	case *ast.IncDecStmt, *ast.EmptyStmt:
+		return false
+	}
+	return false
+}
+
+// branchy merges the case bodies of switch/type-switch/select statements.
+func (c *checker) branchy(s ast.Stmt, st *state) bool {
+	var bodies []*ast.BlockStmt
+	var hasDefault bool
+	collect := func(list []ast.Stmt) {
+		for _, cs := range list {
+			switch cc := cs.(type) {
+			case *ast.CaseClause:
+				if cc.List == nil {
+					hasDefault = true
+				}
+				bodies = append(bodies, &ast.BlockStmt{List: cc.Body})
+			case *ast.CommClause:
+				if cc.Comm == nil {
+					hasDefault = true
+				}
+				bodies = append(bodies, &ast.BlockStmt{List: cc.Body})
+			}
+		}
+	}
+	switch x := s.(type) {
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			c.stmt(x.Init, st)
+		}
+		if x.Tag != nil {
+			c.scanEffects(x.Tag, st)
+		}
+		collect(x.Body.List)
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			c.stmt(x.Init, st)
+		}
+		collect(x.Body.List)
+	case *ast.SelectStmt:
+		collect(x.Body.List)
+	}
+	if len(bodies) == 0 {
+		return false
+	}
+	var states []*state
+	allTerm := true
+	for _, b := range bodies {
+		bs := st.clone()
+		if !c.block(b.List, bs) {
+			states = append(states, bs)
+			allTerm = false
+		}
+	}
+	if !hasDefault {
+		states = append(states, st.clone()) // fall-through path
+		allTerm = false
+	}
+	if allTerm {
+		return true
+	}
+	m := states[0]
+	for _, s2 := range states[1:] {
+		m = merge(m, s2)
+	}
+	*st = *m
+	return false
+}
+
+// merge unions the open sets: a sink is open after the merge if it is open
+// on any incoming path (must-release semantics).
+func merge(a, b *state) *state {
+	m := a.clone()
+	for k, v := range b.open {
+		if _, ok := m.open[k]; !ok {
+			m.open[k] = v
+		}
+	}
+	return m
+}
+
+// openCall records s.Open(...) on a sink-typed identifier receiver.
+func (c *checker) openCall(call *ast.CallExpr, errObj types.Object, st *state) {
+	fn := lintutil.Callee(c.pass.TypesInfo, call)
+	if fn == nil || fn.Name() != "Open" {
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := objectOf(c.pass.TypesInfo, id)
+	// Only variables: a package-qualified call (pkg.Open) puts a *PkgName
+	// here, and that is not a sink being opened.
+	if v, ok := obj.(*types.Var); !ok || !c.isSink(v.Type()) {
+		return
+	}
+	st.open[obj] = openInfo{openPos: call.Pos(), errVar: errObj}
+}
+
+// scanEffects finds releases (and nested Open error handling has its own
+// path) inside an expression: method calls releasing a tracked sink.
+func (c *checker) scanEffects(e ast.Expr, st *state) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if obj := c.releasedVar(call); obj != nil {
+				delete(st.open, obj)
+			}
+			// A tracked sink passed as an argument transfers ownership.
+			for _, a := range call.Args {
+				c.scanTransfers(a, st)
+			}
+		}
+		return true
+	})
+}
+
+// scanTransfers drops tracking for sinks whose value escapes through e: a
+// bare identifier use (alias, return value, channel payload, composite
+// element, closure capture). Method-call receivers (s.Open, s.Close) and
+// field reads are uses, not transfers, and are skipped.
+func (c *checker) scanTransfers(e ast.Expr, st *state) {
+	if e == nil {
+		return
+	}
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := objectOf(c.pass.TypesInfo, x); obj != nil {
+			delete(st.open, obj)
+		}
+	case *ast.CallExpr:
+		for _, a := range x.Args {
+			c.scanTransfers(a, st)
+		}
+	case *ast.SelectorExpr:
+		// Field read / method value: the base does not escape here.
+	case *ast.UnaryExpr:
+		c.scanTransfers(x.X, st)
+	case *ast.StarExpr:
+		c.scanTransfers(x.X, st)
+	case *ast.BinaryExpr:
+		c.scanTransfers(x.X, st)
+		c.scanTransfers(x.Y, st)
+	case *ast.IndexExpr:
+		c.scanTransfers(x.X, st)
+	case *ast.KeyValueExpr:
+		c.scanTransfers(x.Value, st)
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			c.scanTransfers(el, st)
+		}
+	case *ast.FuncLit:
+		// A closure capturing the sink may release or leak it later;
+		// conservatively treat the capture as an ownership transfer.
+		ast.Inspect(x.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := objectOf(c.pass.TypesInfo, id); obj != nil {
+					if _, tracked := st.open[obj]; tracked {
+						delete(st.open, obj)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// releasedVar returns the tracked-variable object released by call (a
+// Close/CloseContext/Abort method call on an identifier), or nil.
+func (c *checker) releasedVar(call *ast.CallExpr) types.Object {
+	fn := lintutil.Callee(c.pass.TypesInfo, call)
+	if fn == nil || !releaseMethods[fn.Name()] {
+		return nil
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return c.canonical(objectOf(c.pass.TypesInfo, id))
+}
+
+// isSink reports whether t implements the sink.Sink interface.
+func (c *checker) isSink(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, c.iface) ||
+		types.Implements(types.NewPointer(t), c.iface)
+}
+
+func isPanic(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if id.Name != "panic" {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// errCheck matches a condition of the form `err != nil` / `err == nil`,
+// returning the error object and whether the comparison is `!=`.
+func errCheck(info *types.Info, cond ast.Expr) (types.Object, bool) {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (be.Op != token.NEQ && be.Op != token.EQL) {
+		return nil, false
+	}
+	x, y := ast.Unparen(be.X), ast.Unparen(be.Y)
+	if isNil(info, x) {
+		x, y = y, x
+	}
+	if !isNil(info, y) {
+		return nil, false
+	}
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	obj := objectOf(info, id)
+	if obj == nil || obj.Type() == nil || obj.Type().String() != "error" {
+		return nil, false
+	}
+	return obj, be.Op == token.NEQ
+}
+
+func isNil(info *types.Info, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNilObj := info.Uses[id].(*types.Nil)
+	return isNilObj
+}
+
+func objectOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}

@@ -1,0 +1,12 @@
+package sinkrelease_test
+
+import (
+	"testing"
+
+	"cleandb/internal/lint/analysistest"
+	"cleandb/internal/lint/sinkrelease"
+)
+
+func TestSinkRelease(t *testing.T) {
+	analysistest.Run(t, "testdata", sinkrelease.Analyzer, "sinkfixture")
+}

@@ -1,0 +1,99 @@
+// Package sinkfixture exercises the sinkrelease analyzer against the real
+// sink.Sink contract.
+package sinkfixture
+
+import (
+	"cleandb/internal/sink"
+	"cleandb/internal/types"
+)
+
+// memSink implements sink.Sink (and Aborter) for the fixtures.
+type memSink struct{ rows int }
+
+func (m *memSink) Open(schema []string) error { return nil }
+func (m *memSink) WritePartition(i int, rows []types.Value) error {
+	m.rows += len(rows)
+	return nil
+}
+func (m *memSink) Close() error { return nil }
+func (m *memSink) Abort() error { return nil }
+
+var _ sink.Sink = (*memSink)(nil)
+
+// leakOnError closes on success but leaks the sink when the write fails.
+func leakOnError(s *memSink, rows []types.Value) error {
+	if err := s.Open(nil); err != nil { // want `does not reach Close`
+		return err
+	}
+	if err := s.WritePartition(0, rows); err != nil {
+		return err // leaks s
+	}
+	return s.Close()
+}
+
+// earlyReturn leaks on the skip path.
+func earlyReturn(s *memSink, rows []types.Value, skip bool) error {
+	if err := s.Open(nil); err != nil { // want `does not reach Close`
+		return err
+	}
+	if skip {
+		return nil // leaks s
+	}
+	return s.Close()
+}
+
+// deferredClose releases through a defer: every exit is covered.
+func deferredClose(s *memSink, rows []types.Value) error {
+	if err := s.Open(nil); err != nil {
+		return err
+	}
+	defer s.Close()
+	return s.WritePartition(0, rows)
+}
+
+// abortOnFailure mirrors sink.Pump: Close on success, Abort on failure.
+func abortOnFailure(s *memSink, rows []types.Value) error {
+	if err := s.Open(nil); err != nil {
+		return err
+	}
+	if err := s.WritePartition(0, rows); err != nil {
+		_ = s.Abort()
+		return err
+	}
+	return s.Close()
+}
+
+// openErrorExempt relies on the contract that a failed Open released its own
+// resources: returning on the error branch is not a leak.
+func openErrorExempt(s *memSink) error {
+	if err := s.Open(nil); err != nil {
+		return err
+	}
+	return s.Close()
+}
+
+// assertedRelease releases through a type-asserted view of the sink, the
+// way sink.Pump aborts through the optional Aborter interface.
+func assertedRelease(s sink.Sink, rows []types.Value) error {
+	if err := s.Open(nil); err != nil {
+		return err
+	}
+	if err := s.WritePartition(0, rows); err != nil {
+		if a, ok := s.(interface{ Abort() error }); ok {
+			_ = a.Abort()
+		} else {
+			_ = s.Close()
+		}
+		return err
+	}
+	return s.Close()
+}
+
+// transferred hands the opened sink to the caller: ownership moves with it.
+func transferred() (sink.Sink, error) {
+	s := &memSink{}
+	if err := s.Open(nil); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

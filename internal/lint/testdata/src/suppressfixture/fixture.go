@@ -1,0 +1,28 @@
+// Package suppressfixture exercises the //lint:ignore suppression mechanism
+// of the cleanlint driver against real dictcode violations.
+package suppressfixture
+
+import "cleandb/internal/data"
+
+// suppressedSameLine carries a justified ignore trailing the flagged line.
+func suppressedSameLine(left, right *data.Dict, a, b string) bool {
+	return left.Code(a) == right.Code(b) //lint:ignore dictcode fixture: suppressed on the same line
+}
+
+// suppressedLineAbove carries a justified ignore on the line above.
+func suppressedLineAbove(left, right *data.Dict, a, b string) bool {
+	//lint:ignore dictcode fixture: suppressed from the line above
+	return left.Code(a) == right.Code(b)
+}
+
+// unsuppressed has no ignore: the diagnostic survives.
+func unsuppressed(left, right *data.Dict, a, b string) bool {
+	return left.Code(a) == right.Code(b)
+}
+
+// missingJustification: an ignore without a reason is itself diagnosed and
+// does not suppress anything.
+func missingJustification(left, right *data.Dict, a, b string) bool {
+	//lint:ignore dictcode
+	return left.Code(a) == right.Code(b)
+}

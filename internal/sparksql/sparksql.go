@@ -70,6 +70,9 @@ func (System) TermValidate(ds *engine.Dataset, attr func(types.Value) string, di
 	// operators do, so hopeless jobs fail fast.
 	distinct := map[string]struct{}{}
 	for i := 0; i < ds.NumPartitions(); i++ {
+		if err := ctx.Err(); err != nil {
+			return cleaning.TermValidationResult{}, err
+		}
 		for _, v := range ds.Partition(i) {
 			distinct[attr(v)] = struct{}{}
 		}

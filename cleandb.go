@@ -535,6 +535,12 @@ type SourceInfo struct {
 	Rows int64
 	// Bytes is the encoded size hint (-1 when unknown).
 	Bytes int64
+	// Path is the backing file path for file-backed sources, "" for
+	// in-memory ones. A cluster coordinator ships file-backed entries to
+	// workers by path.
+	Path string
+	// Partitions is the loaded partition count, 0 before the first scan.
+	Partitions int
 }
 
 // SourceInfo reports a source's format and loaded-vs-pending-vs-failed
@@ -547,7 +553,8 @@ func (db *DB) SourceInfo(name string) (SourceInfo, error) {
 	if !ok {
 		return SourceInfo{}, fmt.Errorf("cleandb: unknown source %q", name)
 	}
-	info := SourceInfo{Name: name, Format: e.src.Format(), Rows: -1, Bytes: -1}
+	info := SourceInfo{Name: name, Format: e.src.Format(), Rows: -1, Bytes: -1,
+		Path: source.PathOf(e.src)}
 	if st, err := e.src.Stats(); err == nil {
 		info.Rows, info.Bytes = st.Rows, st.Bytes
 	}
@@ -557,6 +564,7 @@ func (db *DB) SourceInfo(name string) (SourceInfo, error) {
 		} else {
 			info.Loaded = true
 			info.Rows = ds.Count()
+			info.Partitions = ds.NumPartitions()
 		}
 	}
 	return info, nil
@@ -640,6 +648,17 @@ func (db *DB) pipelineWith(catalog core.Catalog) *core.Pipeline {
 	p.Config = db.config
 	p.Unified = db.unified
 	return p
+}
+
+// ConfigFingerprint summarizes every Open-time option that affects query
+// results or cost metrics. Cluster nodes compare fingerprints when a worker
+// registers: the distributed execution model replays the same plan on every
+// node, which is only sound when all nodes resolve a statement to the same
+// physical plan.
+func (db *DB) ConfigFingerprint() string {
+	return fmt.Sprintf("w%d|b%d|c%t|a%t|g%d|t%d|u%t",
+		db.ctx.Workers, db.ctx.CompBudget, db.columnar, db.config.Auto,
+		db.config.Group, db.config.Theta, db.unified)
 }
 
 // cacheKey normalizes the statement text (whitespace runs outside string

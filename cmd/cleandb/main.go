@@ -15,10 +15,13 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -34,6 +37,7 @@ import (
 	"cleandb"
 	"cleandb/internal/data"
 	"cleandb/internal/datagen"
+	"cleandb/internal/dist"
 	"cleandb/internal/lang"
 	"cleandb/internal/server"
 	"cleandb/internal/sink"
@@ -77,6 +81,8 @@ subcommands:
            [-out out.{csv,jsonl,colbin}] 'CLEANM QUERY'
   serve    -http :8080 [-src name=path ...] [-workers N]
            [-max-inflight N] [-timeout D] [-drain-timeout D]
+           [-role single|coordinator|worker] [-advertise URL]
+           [-coordinator URL] [-exchange-timeout D]
   gen      -kind tpch-lineitem|tpch-customer|dblp|mag -rows N -out path
   convert  -in path -out path [-workers N]
 
@@ -102,7 +108,13 @@ NDJSON or CSV, POST /v1/statements prepares once and executes by handle,
 GET/POST /v1/sources work the lazy source catalog over the wire, and
 /healthz + /metrics (Prometheus) make it operable. SIGINT/SIGTERM drain
 gracefully: health flips to 503, in-flight queries finish (bounded by
--drain-timeout), then the listener closes.`)
+-drain-timeout), then the listener closes.
+
+-role forms a cleaning cluster: one coordinator plus workers started with
+-coordinator http://coord:8080 (each node registers the same -src files).
+Queries sent to the coordinator fan their join work out across the workers,
+exchanging intermediate partitions as binary colbin frames; a worker lost
+mid-query is evicted and its share re-executes elsewhere.`)
 }
 
 type srcList []string
@@ -446,6 +458,10 @@ func cmdServe(args []string) error {
 	timeout := fs.Duration("timeout", 0, "per-query server-side deadline (0 = none)")
 	drain := fs.Duration("drain-timeout", 15*time.Second, "grace period for in-flight queries at shutdown")
 	quiet := fs.Bool("quiet", false, "suppress the per-request access log")
+	role := fs.String("role", "single", "cluster role: single, coordinator, or worker")
+	advertise := fs.String("advertise", "", "base URL peers reach this node on (default http://<-http addr>)")
+	coordURL := fs.String("coordinator", "", "worker role: the coordinator's base URL to register with")
+	exchangeTimeout := fs.Duration("exchange-timeout", 30*time.Second, "coordinator role: barrier failure-detector timeout")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -470,11 +486,38 @@ func cmdServe(args []string) error {
 	if !*quiet {
 		cfg.Logf = log.New(os.Stderr, "cleandb: ", log.LstdFlags).Printf
 	}
+	if *advertise == "" {
+		*advertise = advertiseFor(*addr)
+	}
+	switch *role {
+	case "single":
+	case "coordinator":
+		coord := dist.NewCoordinator(db, dist.Config{
+			AdvertiseURL:    *advertise,
+			ExchangeTimeout: *exchangeTimeout,
+			Logf:            cfg.Logf,
+		})
+		defer coord.Close()
+		cfg.Coordinator = coord
+	case "worker":
+		if *coordURL == "" {
+			return fmt.Errorf("serve: -role worker requires -coordinator URL")
+		}
+		cfg.Worker = dist.NewWorker(db)
+	default:
+		return fmt.Errorf("serve: unknown -role %q (want single, coordinator or worker)", *role)
+	}
 	srv := server.New(db, cfg)
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if cfg.Worker != nil {
+		// Register with the coordinator in the background, retrying until it
+		// answers: the worker serves fragments as soon as registration lands,
+		// and keeps serving locally either way.
+		go registerWorker(ctx, *coordURL, *advertise, cfg.Worker.Fingerprint())
+	}
 	done := make(chan error, 1)
 	go func() {
 		<-ctx.Done()
@@ -484,12 +527,58 @@ func cmdServe(args []string) error {
 		defer cancel()
 		done <- hs.Shutdown(sctx)
 	}()
-	fmt.Fprintf(os.Stderr, "cleandb: serving on %s (%d sources, max-inflight %d)\n",
-		*addr, len(sources), *maxInflight)
+	fmt.Fprintf(os.Stderr, "cleandb: serving on %s as %s (%d sources, max-inflight %d)\n",
+		*addr, *role, len(sources), *maxInflight)
 	if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
 	return <-done
+}
+
+// advertiseFor derives a reachable base URL from a listen address: a bare
+// ":8080" means any interface, so localhost stands in.
+func advertiseFor(addr string) string {
+	if strings.HasPrefix(addr, ":") {
+		return "http://localhost" + addr
+	}
+	return "http://" + addr
+}
+
+// registerWorker announces a worker to its coordinator, retrying with backoff
+// until the registration lands or the process shuts down. Re-registration is
+// idempotent on the coordinator, so retrying after a transient failure or a
+// coordinator restart is always safe.
+func registerWorker(ctx context.Context, coordURL, advertise, fingerprint string) {
+	body, _ := json.Marshal(map[string]string{"url": advertise, "fingerprint": fingerprint})
+	delay := time.Second
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			coordURL+"/v1/cluster/register", bytes.NewReader(body))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cleandb: register: %v\n", err)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				fmt.Fprintf(os.Stderr, "cleandb: registered with %s: %s\n", coordURL, strings.TrimSpace(string(msg)))
+				return
+			}
+			err = fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(msg)))
+		}
+		fmt.Fprintf(os.Stderr, "cleandb: register with %s failed (%v), retrying in %s\n", coordURL, err, delay)
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(delay):
+		}
+		if delay < 30*time.Second {
+			delay *= 2
+		}
+	}
 }
 
 func cmdGen(args []string) error {

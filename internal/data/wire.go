@@ -1,0 +1,586 @@
+package data
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"cleandb/internal/types"
+)
+
+// This file is the network wire format of the cleaning cluster: one slot of a
+// distributed exchange travels as a single self-contained frame. Two payload
+// shapes share the framing. Uniform flat record rows ship columnar — the same
+// typed-vector layout as colbin, with a frame-local string dictionary (the
+// "delta": exactly the strings those rows reference) that the receiver merges
+// into its session dictionary via RemapDict. Everything else — nested join
+// pairs, mixed-kind columns, scalar streams — ships through a generic
+// recursive value codec that preserves types.Value bit-exactly (schema
+// sharing, float bits, int/float distinction), so a remote slot output is
+// indistinguishable from a locally computed one.
+//
+// Frame layout:
+//
+//	magic "CWX1" | type u8 | payload len u32 LE | payload | crc32(payload) u32 LE
+//
+// Decoding is fuzz-hardened: corrupt or truncated frames must error, never
+// panic, and never allocate more than O(len(frame)) — every count read from
+// the wire is capped by the bytes remaining to back it.
+
+// Frame payload types.
+const (
+	frameRows  byte = 1 // generic recursive value codec
+	frameBatch byte = 2 // columnar vectors + dictionary delta
+)
+
+var wireMagic = [4]byte{'C', 'W', 'X', '1'}
+
+const frameOverhead = 4 + 1 + 4 + 4 // magic + type + len + crc
+
+// maxValueDepth bounds the recursion of the generic value codec; real rows
+// nest a handful of levels, adversarial frames could otherwise nest one list
+// per two payload bytes.
+const maxValueDepth = 1000
+
+// ErrFrameCorrupt is wrapped by every decode error.
+var ErrFrameCorrupt = errors.New("data: corrupt wire frame")
+
+func corrupt(format string, args ...interface{}) error {
+	return fmt.Errorf("%w: %s", ErrFrameCorrupt, fmt.Sprintf(format, args...))
+}
+
+// EncodeRowsFrame encodes one slot's rows into a wire frame. Uniform flat
+// record rows go columnar with a frame-local dictionary delta; anything else
+// falls back to the generic value codec.
+func EncodeRowsFrame(rows []types.Value) []byte {
+	if len(rows) > 0 {
+		if b := BatchFromRows(rows, NewDict()); b != nil && b.Schema != nil && len(b.Schema.Names) > 0 && batchWireable(b) {
+			return sealFrame(frameBatch, encodeBatchPayload(b))
+		}
+	}
+	return sealFrame(frameRows, encodeRowsPayload(rows))
+}
+
+// DecodeRowsFrame decodes a frame produced by EncodeRowsFrame. For columnar
+// frames the frame-local dictionary is merged into dict via RemapDict when
+// dict is non-nil, so decoded string codes stay comparable across the
+// receiver's session. Round trip is bit-exact: types.Key of every decoded row
+// equals types.Key of the encoded one.
+func DecodeRowsFrame(buf []byte, dict *Dict) ([]types.Value, error) {
+	if len(buf) < frameOverhead {
+		return nil, corrupt("short frame: %d bytes", len(buf))
+	}
+	if [4]byte(buf[:4]) != wireMagic {
+		return nil, corrupt("bad magic %q", buf[:4])
+	}
+	typ := buf[4]
+	plen := binary.LittleEndian.Uint32(buf[5:9])
+	if int(plen) != len(buf)-frameOverhead {
+		return nil, corrupt("payload length %d does not match frame size %d", plen, len(buf))
+	}
+	payload := buf[9 : 9+plen]
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(buf[9+plen:]); got != want {
+		return nil, corrupt("crc mismatch: computed %08x, frame says %08x", got, want)
+	}
+	switch typ {
+	case frameRows:
+		return decodeRowsPayload(payload)
+	case frameBatch:
+		return decodeBatchPayload(payload, dict)
+	default:
+		return nil, corrupt("unknown frame type %d", typ)
+	}
+}
+
+func batchWireable(b *ColumnBatch) bool {
+	for i := range b.Cols {
+		if b.Cols[i].Kind == VecAny {
+			return false
+		}
+	}
+	return true
+}
+
+func sealFrame(typ byte, payload []byte) []byte {
+	out := make([]byte, 0, frameOverhead+len(payload))
+	out = append(out, wireMagic[:]...)
+	out = append(out, typ)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(payload)))
+	out = append(out, payload...)
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(payload))
+	return out
+}
+
+// ---- encoder ----
+
+type wireWriter struct {
+	buf []byte
+	// strs interns every string of the frame (dictionary entries, schema
+	// field names, plain strings) into one table written at the front.
+	strs    []string
+	strIdx  map[string]int
+	schemas []*types.Schema
+	schIdx  map[*types.Schema]int
+}
+
+func newWireWriter() *wireWriter {
+	return &wireWriter{strIdx: make(map[string]int), schIdx: make(map[*types.Schema]int)}
+}
+
+func (w *wireWriter) uvarint(v uint64) { w.buf = binary.AppendUvarint(w.buf, v) }
+
+func (w *wireWriter) svarint(v int64) { w.buf = binary.AppendUvarint(w.buf, zigzag(v)) }
+
+func (w *wireWriter) float(f float64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, math.Float64bits(f))
+}
+
+func (w *wireWriter) str(s string) int {
+	if i, ok := w.strIdx[s]; ok {
+		return i
+	}
+	i := len(w.strs)
+	w.strs = append(w.strs, s)
+	w.strIdx[s] = i
+	return i
+}
+
+func (w *wireWriter) schema(s *types.Schema) int {
+	if i, ok := w.schIdx[s]; ok {
+		return i
+	}
+	for _, name := range s.Names {
+		w.str(name)
+	}
+	i := len(w.schemas)
+	w.schemas = append(w.schemas, s)
+	w.schIdx[s] = i
+	return i
+}
+
+// tables renders the string and schema tables that prefix every payload.
+func (w *wireWriter) tables() []byte {
+	var head []byte
+	head = binary.AppendUvarint(head, uint64(len(w.strs)))
+	for _, s := range w.strs {
+		head = binary.AppendUvarint(head, uint64(len(s)))
+		head = append(head, s...)
+	}
+	head = binary.AppendUvarint(head, uint64(len(w.schemas)))
+	for _, sc := range w.schemas {
+		head = binary.AppendUvarint(head, uint64(len(sc.Names)))
+		for _, name := range sc.Names {
+			head = binary.AppendUvarint(head, uint64(w.strIdx[name]))
+		}
+	}
+	return append(head, w.buf...)
+}
+
+// Value tags of the generic codec.
+const (
+	tagNull byte = iota
+	tagFalse
+	tagTrue
+	tagInt
+	tagFloat
+	tagString
+	tagList
+	tagRecord
+)
+
+func (w *wireWriter) value(v types.Value) {
+	switch v.Kind() {
+	case types.KindNull:
+		w.buf = append(w.buf, tagNull)
+	case types.KindBool:
+		if v.Bool() {
+			w.buf = append(w.buf, tagTrue)
+		} else {
+			w.buf = append(w.buf, tagFalse)
+		}
+	case types.KindInt:
+		w.buf = append(w.buf, tagInt)
+		w.svarint(v.Int())
+	case types.KindFloat:
+		w.buf = append(w.buf, tagFloat)
+		w.float(v.Float())
+	case types.KindString:
+		w.buf = append(w.buf, tagString)
+		w.uvarint(uint64(w.str(v.Str())))
+	case types.KindList:
+		l := v.List()
+		w.buf = append(w.buf, tagList)
+		w.uvarint(uint64(len(l)))
+		for _, e := range l {
+			w.value(e)
+		}
+	case types.KindRecord:
+		rec := v.Record()
+		w.buf = append(w.buf, tagRecord)
+		w.uvarint(uint64(w.schema(rec.Schema)))
+		for _, f := range rec.Fields {
+			w.value(f)
+		}
+	}
+}
+
+func encodeRowsPayload(rows []types.Value) []byte {
+	w := newWireWriter()
+	w.uvarint(uint64(len(rows)))
+	for _, v := range rows {
+		w.value(v)
+	}
+	return w.tables()
+}
+
+func encodeBatchPayload(b *ColumnBatch) []byte {
+	w := newWireWriter()
+	// The batch was built with a fresh frame-local dictionary, so its entry
+	// table is exactly the delta this frame introduces; interning it first
+	// keeps the wire codes equal to the batch codes.
+	for _, s := range b.Dict.Snapshot() {
+		w.str(s)
+	}
+	w.uvarint(uint64(w.schema(b.Schema)))
+	w.uvarint(uint64(b.N))
+	for ci := range b.Cols {
+		col := &b.Cols[ci]
+		w.buf = append(w.buf, byte(col.Kind))
+		if col.Nulls != nil {
+			w.buf = append(w.buf, 1)
+			for _, word := range col.Nulls {
+				w.buf = binary.LittleEndian.AppendUint64(w.buf, word)
+			}
+		} else {
+			w.buf = append(w.buf, 0)
+		}
+		switch col.Kind {
+		case VecInt:
+			for _, x := range col.Ints {
+				w.svarint(x)
+			}
+		case VecFloat:
+			for _, f := range col.Floats {
+				w.float(f)
+			}
+		case VecBool:
+			for _, bo := range col.Bools {
+				if bo {
+					w.buf = append(w.buf, 1)
+				} else {
+					w.buf = append(w.buf, 0)
+				}
+			}
+		case VecStr:
+			for _, c := range col.Codes {
+				w.uvarint(uint64(c))
+			}
+		}
+	}
+	return w.tables()
+}
+
+// ---- decoder ----
+
+type wireReader struct {
+	buf     []byte
+	off     int
+	strs    []string
+	schemas []*types.Schema
+}
+
+func (r *wireReader) remaining() int { return len(r.buf) - r.off }
+
+func (r *wireReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		return 0, corrupt("truncated varint at offset %d", r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+// count reads a length-prefix and rejects values no payload of this size
+// could back: every counted element costs at least one byte, so a count
+// beyond the remaining bytes is corruption, and honoring it would let a
+// 20-byte frame demand a multi-gigabyte allocation.
+func (r *wireReader) count() (int, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(r.remaining()) {
+		return 0, corrupt("count %d exceeds %d remaining payload bytes", v, r.remaining())
+	}
+	return int(v), nil
+}
+
+func (r *wireReader) svarint() (int64, error) {
+	v, err := r.uvarint()
+	return unzigzag(v), err
+}
+
+func (r *wireReader) take(n int) ([]byte, error) {
+	if n < 0 || n > r.remaining() {
+		return nil, corrupt("need %d bytes, have %d", n, r.remaining())
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+func (r *wireReader) byte() (byte, error) {
+	b, err := r.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (r *wireReader) float() (float64, error) {
+	b, err := r.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b)), nil
+}
+
+func (r *wireReader) tables() error {
+	ns, err := r.count()
+	if err != nil {
+		return err
+	}
+	r.strs = make([]string, ns)
+	for i := range r.strs {
+		n, err := r.count()
+		if err != nil {
+			return err
+		}
+		b, err := r.take(n)
+		if err != nil {
+			return err
+		}
+		r.strs[i] = string(b)
+	}
+	nsch, err := r.count()
+	if err != nil {
+		return err
+	}
+	r.schemas = make([]*types.Schema, nsch)
+	for i := range r.schemas {
+		nf, err := r.count()
+		if err != nil {
+			return err
+		}
+		names := make([]string, nf)
+		for j := range names {
+			idx, err := r.uvarint()
+			if err != nil {
+				return err
+			}
+			if idx >= uint64(len(r.strs)) {
+				return corrupt("schema field name index %d out of range %d", idx, len(r.strs))
+			}
+			names[j] = r.strs[idx]
+		}
+		r.schemas[i] = types.NewSchema(names...)
+	}
+	return nil
+}
+
+func (r *wireReader) value(depth int) (types.Value, error) {
+	if depth > maxValueDepth {
+		return types.Value{}, corrupt("value nesting exceeds %d", maxValueDepth)
+	}
+	tag, err := r.byte()
+	if err != nil {
+		return types.Value{}, err
+	}
+	switch tag {
+	case tagNull:
+		return types.Null(), nil
+	case tagFalse:
+		return types.Bool(false), nil
+	case tagTrue:
+		return types.Bool(true), nil
+	case tagInt:
+		x, err := r.svarint()
+		return types.Int(x), err
+	case tagFloat:
+		f, err := r.float()
+		return types.Float(f), err
+	case tagString:
+		idx, err := r.uvarint()
+		if err != nil {
+			return types.Value{}, err
+		}
+		if idx >= uint64(len(r.strs)) {
+			return types.Value{}, corrupt("string index %d out of range %d", idx, len(r.strs))
+		}
+		return types.String(r.strs[idx]), nil
+	case tagList:
+		n, err := r.count()
+		if err != nil {
+			return types.Value{}, err
+		}
+		elems := make([]types.Value, n)
+		for i := range elems {
+			if elems[i], err = r.value(depth + 1); err != nil {
+				return types.Value{}, err
+			}
+		}
+		return types.ListOf(elems), nil
+	case tagRecord:
+		idx, err := r.uvarint()
+		if err != nil {
+			return types.Value{}, err
+		}
+		if idx >= uint64(len(r.schemas)) {
+			return types.Value{}, corrupt("schema index %d out of range %d", idx, len(r.schemas))
+		}
+		schema := r.schemas[idx]
+		fields := make([]types.Value, len(schema.Names))
+		for i := range fields {
+			if fields[i], err = r.value(depth + 1); err != nil {
+				return types.Value{}, err
+			}
+		}
+		return types.NewRecord(schema, fields), nil
+	default:
+		return types.Value{}, corrupt("unknown value tag %d", tag)
+	}
+}
+
+func decodeRowsPayload(payload []byte) ([]types.Value, error) {
+	r := &wireReader{buf: payload}
+	if err := r.tables(); err != nil {
+		return nil, err
+	}
+	n, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]types.Value, n)
+	for i := range rows {
+		if rows[i], err = r.value(0); err != nil {
+			return nil, err
+		}
+	}
+	if r.remaining() != 0 {
+		return nil, corrupt("%d trailing payload bytes", r.remaining())
+	}
+	return rows, nil
+}
+
+func decodeBatchPayload(payload []byte, dict *Dict) ([]types.Value, error) {
+	r := &wireReader{buf: payload}
+	if err := r.tables(); err != nil {
+		return nil, err
+	}
+	schIdx, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if schIdx >= uint64(len(r.schemas)) {
+		return nil, corrupt("schema index %d out of range %d", schIdx, len(r.schemas))
+	}
+	schema := r.schemas[schIdx]
+	if len(schema.Names) == 0 {
+		return nil, corrupt("columnar frame with zero columns")
+	}
+	n, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	frameDict := NewDict()
+	for _, s := range r.strs {
+		frameDict.Code(s)
+	}
+	b := &ColumnBatch{Schema: schema, Dict: frameDict, Cols: make([]Column, len(schema.Names)), N: n}
+	for ci := range b.Cols {
+		kindB, err := r.byte()
+		if err != nil {
+			return nil, err
+		}
+		kind := VecKind(kindB)
+		if kind == VecAny || kind > VecStr {
+			return nil, corrupt("column %d: invalid vector kind %d", ci, kindB)
+		}
+		col := Column{Kind: kind}
+		hasNulls, err := r.byte()
+		if err != nil {
+			return nil, err
+		}
+		switch hasNulls {
+		case 0:
+		case 1:
+			words := (n + 63) / 64
+			raw, err := r.take(words * 8)
+			if err != nil {
+				return nil, err
+			}
+			col.Nulls = make([]uint64, words)
+			for wi := range col.Nulls {
+				col.Nulls[wi] = binary.LittleEndian.Uint64(raw[wi*8:])
+			}
+		default:
+			return nil, corrupt("column %d: invalid null-bitmap flag %d", ci, hasNulls)
+		}
+		switch kind {
+		case VecInt:
+			col.Ints = make([]int64, n)
+			for i := range col.Ints {
+				if col.Ints[i], err = r.svarint(); err != nil {
+					return nil, err
+				}
+			}
+		case VecFloat:
+			raw, err := r.take(n * 8)
+			if err != nil {
+				return nil, err
+			}
+			col.Floats = make([]float64, n)
+			for i := range col.Floats {
+				col.Floats[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+			}
+		case VecBool:
+			raw, err := r.take(n)
+			if err != nil {
+				return nil, err
+			}
+			col.Bools = make([]bool, n)
+			for i, by := range raw {
+				if by > 1 {
+					return nil, corrupt("column %d: invalid bool byte %d", ci, by)
+				}
+				col.Bools[i] = by == 1
+			}
+		case VecStr:
+			col.Codes = make([]uint32, n)
+			for i := range col.Codes {
+				code, err := r.uvarint()
+				if err != nil {
+					return nil, err
+				}
+				if code >= uint64(len(r.strs)) {
+					return nil, corrupt("column %d: dictionary code %d out of range %d", ci, code, len(r.strs))
+				}
+				col.Codes[i] = uint32(code)
+			}
+		}
+		b.Cols[ci] = col
+	}
+	if r.remaining() != 0 {
+		return nil, corrupt("%d trailing payload bytes", r.remaining())
+	}
+	if dict != nil {
+		b.RemapDict(dict)
+	}
+	return b.Rows(), nil
+}
+
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }

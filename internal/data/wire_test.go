@@ -1,0 +1,192 @@
+package data
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"cleandb/internal/types"
+)
+
+var wireRowSchema = types.NewSchema("id", "name", "price", "flag", "note")
+
+func wireSampleRows() []types.Value {
+	mk := func(id int64, name string, price float64, flag bool, note types.Value) types.Value {
+		return types.NewRecord(wireRowSchema, []types.Value{
+			types.Int(id), types.String(name), types.Float(price), types.Bool(flag), note,
+		})
+	}
+	return []types.Value{
+		mk(1, "alpha", 3.25, true, types.String("x")),
+		mk(-9, "beta", math.Inf(-1), false, types.Null()),
+		mk(math.MaxInt64, "alpha", math.SmallestNonzeroFloat64, true, types.String("y")),
+		mk(math.MinInt64, "", -0.0, false, types.Null()),
+	}
+}
+
+func wireNestedRows() []types.Value {
+	pair := types.NewSchema("left", "right")
+	inner := types.NewSchema("k", "vs")
+	l := types.NewRecord(inner, []types.Value{types.Int(7), types.ListOf([]types.Value{types.String("a"), types.Int(2), types.Null()})})
+	r := types.NewRecord(inner, []types.Value{types.Float(2.5), types.ListOf(nil)})
+	return []types.Value{
+		types.NewRecord(pair, []types.Value{l, r}),
+		types.NewRecord(pair, []types.Value{r, types.Null()}),
+	}
+}
+
+func keysOf(rows []types.Value) []string {
+	out := make([]string, len(rows))
+	for i, v := range rows {
+		out[i] = types.Key(v)
+	}
+	return out
+}
+
+func checkRoundTrip(t *testing.T, rows []types.Value, wantType byte) {
+	t.Helper()
+	frame := EncodeRowsFrame(rows)
+	if frame[4] != wantType {
+		t.Fatalf("frame type = %d, want %d", frame[4], wantType)
+	}
+	got, err := DecodeRowsFrame(frame, NewDict())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	want, gotK := keysOf(rows), keysOf(got)
+	if len(want) != len(gotK) {
+		t.Fatalf("row count = %d, want %d", len(gotK), len(want))
+	}
+	for i := range want {
+		if want[i] != gotK[i] {
+			t.Fatalf("row %d: decoded %q, want %q", i, gotK[i], want[i])
+		}
+	}
+}
+
+func TestWireFrameRoundTripColumnar(t *testing.T) {
+	checkRoundTrip(t, wireSampleRows(), frameBatch)
+}
+
+func TestWireFrameRoundTripGeneric(t *testing.T) {
+	checkRoundTrip(t, wireNestedRows(), frameRows)
+	checkRoundTrip(t, nil, frameRows)
+	checkRoundTrip(t, []types.Value{types.Int(1), types.String("solo"), types.Null()}, frameRows)
+	// A mixed int/float column forces the VecAny fallback and thus the
+	// generic codec; the int/float distinction must survive the wire.
+	s := types.NewSchema("v")
+	checkRoundTrip(t, []types.Value{
+		types.NewRecord(s, []types.Value{types.Int(3)}),
+		types.NewRecord(s, []types.Value{types.Float(3)}),
+	}, frameRows)
+}
+
+func TestWireFrameDictDelta(t *testing.T) {
+	session := NewDict()
+	session.Code("preexisting")
+	frameA := EncodeRowsFrame(wireSampleRows())
+	rowsA, err := DecodeRowsFrame(frameA, session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strings from the frame-local delta must now resolve through the
+	// session dictionary, alongside entries interned before the frame.
+	for _, want := range []string{"preexisting", "alpha", "beta"} {
+		if _, ok := session.Lookup(want); !ok {
+			t.Fatalf("session dict missing %q after remap", want)
+		}
+	}
+	if got := rowsA[0].Record().Fields[1].Str(); got != "alpha" {
+		t.Fatalf("decoded name = %q, want alpha", got)
+	}
+}
+
+func TestWireFrameCorruption(t *testing.T) {
+	frame := EncodeRowsFrame(wireSampleRows())
+	// Truncation at every prefix must error, never panic.
+	for n := 0; n < len(frame); n++ {
+		if _, err := DecodeRowsFrame(frame[:n], NewDict()); err == nil {
+			t.Fatalf("truncated frame of %d bytes decoded without error", n)
+		}
+	}
+	// Any single corrupted payload byte must fail the checksum.
+	for i := 9; i < len(frame)-4; i++ {
+		bad := append([]byte(nil), frame...)
+		bad[i] ^= 0xff
+		if _, err := DecodeRowsFrame(bad, NewDict()); !errors.Is(err, ErrFrameCorrupt) {
+			t.Fatalf("payload byte %d corrupted: err = %v, want ErrFrameCorrupt", i, err)
+		}
+	}
+	if _, err := DecodeRowsFrame([]byte("XXXX\x01\x00\x00\x00\x00\x00\x00\x00\x00"), NewDict()); !errors.Is(err, ErrFrameCorrupt) {
+		t.Fatalf("bad magic: err = %v", err)
+	}
+}
+
+// TestWireFrameNoOverAllocation crafts a tiny frame whose length prefixes
+// claim gigantic counts; the decoder must reject it instead of allocating.
+func TestWireFrameNoOverAllocation(t *testing.T) {
+	payload := binary.AppendUvarint(nil, 1<<40) // string table "contains" 2^40 entries
+	frame := sealFrame(frameRows, payload)
+	if _, err := DecodeRowsFrame(frame, NewDict()); !errors.Is(err, ErrFrameCorrupt) {
+		t.Fatalf("huge string count: err = %v, want ErrFrameCorrupt", err)
+	}
+	// Same through the row-count prefix: empty tables, then 2^40 rows.
+	payload = binary.AppendUvarint(nil, 0)
+	payload = binary.AppendUvarint(payload, 0)
+	payload = binary.AppendUvarint(payload, 1<<40)
+	frame = sealFrame(frameRows, payload)
+	if _, err := DecodeRowsFrame(frame, NewDict()); !errors.Is(err, ErrFrameCorrupt) {
+		t.Fatalf("huge row count: err = %v, want ErrFrameCorrupt", err)
+	}
+}
+
+func TestWireFrameDepthLimit(t *testing.T) {
+	// maxValueDepth+10 nested single-element lists: the encoder would never
+	// produce this, so build the payload by hand.
+	var w wireWriter
+	w.buf = binary.AppendUvarint(nil, 0) // no strings
+	w.buf = binary.AppendUvarint(w.buf, 0)
+	w.buf = binary.AppendUvarint(w.buf, 1) // one row
+	for i := 0; i < maxValueDepth+10; i++ {
+		w.buf = append(w.buf, tagList)
+		w.buf = binary.AppendUvarint(w.buf, 1)
+	}
+	w.buf = append(w.buf, tagNull)
+	if _, err := DecodeRowsFrame(sealFrame(frameRows, w.buf), NewDict()); !errors.Is(err, ErrFrameCorrupt) {
+		t.Fatalf("deep nesting: err = %v, want ErrFrameCorrupt", err)
+	}
+}
+
+// FuzzWireFrameRoundTrip hardens the exchange wire path: arbitrary bytes must
+// decode cleanly or error — never panic, never allocate beyond the input size
+// — and whatever does decode must survive a re-encode round trip bit-exactly.
+func FuzzWireFrameRoundTrip(f *testing.F) {
+	f.Add(EncodeRowsFrame(wireSampleRows()))
+	f.Add(EncodeRowsFrame(wireNestedRows()))
+	f.Add(EncodeRowsFrame(nil))
+	f.Add(EncodeRowsFrame([]types.Value{types.String(strings.Repeat("z", 300)), types.Int(-1)}))
+	f.Add([]byte("CWX1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		rows, err := DecodeRowsFrame(raw, NewDict())
+		if err != nil {
+			return
+		}
+		frame := EncodeRowsFrame(rows)
+		again, err := DecodeRowsFrame(frame, NewDict())
+		if err != nil {
+			t.Fatalf("re-encode of decoded rows failed: %v", err)
+		}
+		want, got := keysOf(rows), keysOf(again)
+		if len(want) != len(got) {
+			t.Fatalf("round trip row count %d != %d", len(got), len(want))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("round trip row %d: %q != %q", i, got[i], want[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,158 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+
+	"cleandb/internal/data"
+	"cleandb/internal/types"
+)
+
+// exchange.go holds the two engine.Exchange implementations: the
+// coordinator's in-process seat at the barrier hub, and the worker's seat,
+// which long-polls the coordinator's exchange endpoint over HTTP.
+
+// encodeLocal encodes each computed slot's rows into a wire frame.
+func encodeLocal(local map[int][]types.Value) map[int][]byte {
+	frames := make(map[int][]byte, len(local))
+	for slot, rows := range local {
+		frames[slot] = data.EncodeRowsFrame(rows)
+	}
+	return frames
+}
+
+// decodeFull turns the barrier's full frame vector back into row slices,
+// reusing the rows this node computed itself and decoding only the peers'
+// frames — into this node's session dictionary, so string codes stay
+// consistent with everything else the node has interned.
+func decodeFull(frames [][]byte, local map[int][]types.Value, dict *data.Dict) ([][]types.Value, error) {
+	out := make([][]types.Value, len(frames))
+	for i, frame := range frames {
+		if rows, ok := local[i]; ok {
+			out[i] = rows
+			continue
+		}
+		rows, err := data.DecodeRowsFrame(frame, dict)
+		if err != nil {
+			return nil, fmt.Errorf("dist: exchange slot %d: %w", i, err)
+		}
+		out[i] = rows
+	}
+	return out, nil
+}
+
+// localExchange is the coordinator's seat at the barrier of one session.
+type localExchange struct {
+	s    *hubSession
+	ctx  context.Context // the coordinator's own query context
+	dict *data.Dict
+	// execSlots counts the masked slots this node actually executed —
+	// placement share plus reassigned extras. It is the real (not simulated)
+	// measure of how the join work divided across the cluster.
+	execSlots atomic.Int64
+}
+
+func newLocalExchange(s *hubSession, ctx context.Context) *localExchange {
+	return &localExchange{s: s, ctx: ctx, dict: data.NewDict()}
+}
+
+func (x *localExchange) Mask(stage string, n int) []int {
+	return ownedSlots(stage, n, x.s.members[0], x.s.members)
+}
+
+func (x *localExchange) Gather(stage string, n int, local map[int][]types.Value) ([][]types.Value, []int, error) {
+	x.execSlots.Add(int64(len(local)))
+	full, extra, err := x.s.gather(x.ctx, x.s.members[0], stage, n, encodeLocal(local))
+	if err != nil || len(extra) > 0 {
+		return nil, extra, err
+	}
+	rows, err := decodeFull(full, local, x.dict)
+	return rows, nil, err
+}
+
+// remoteExchange is a worker's seat: every gather is a long-poll POST of the
+// worker's slot frames to the coordinator, answered once the stage resolves.
+type remoteExchange struct {
+	client  *http.Client
+	url     string // coordinator exchange endpoint
+	session string
+	self    string
+	members []string
+	ctx     context.Context // the fragment request's context
+	dict    *data.Dict
+	// execSlots mirrors localExchange's counter for this worker's share.
+	execSlots atomic.Int64
+}
+
+func (x *remoteExchange) Mask(stage string, n int) []int {
+	return ownedSlots(stage, n, x.self, x.members)
+}
+
+func (x *remoteExchange) Gather(stage string, n int, local map[int][]types.Value) ([][]types.Value, []int, error) {
+	x.execSlots.Add(int64(len(local)))
+	body, err := encodeExchangeRequest(
+		exchangeHeader{Session: x.session, Self: x.self, Stage: stage, N: n},
+		encodeLocal(local))
+	if err != nil {
+		return nil, nil, err
+	}
+	reply, err := x.post(body)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep, frames, err := decodeExchangeReply(reply)
+	if err != nil {
+		return nil, nil, err
+	}
+	switch rep.Status {
+	case "extra":
+		return nil, rep.Extra, nil
+	case "full":
+		if len(frames) != n {
+			return nil, nil, fmt.Errorf("dist: exchange reply carries %d frames, want %d", len(frames), n)
+		}
+		rows, err := decodeFull(frames, local, x.dict)
+		return rows, nil, err
+	default:
+		return nil, nil, fmt.Errorf("dist: exchange reply status %q", rep.Status)
+	}
+}
+
+// post sends one gather long-poll, retrying once on a transport error. Any
+// HTTP response — success or error status — is authoritative (the barrier is
+// idempotent for resubmitted frames, so a retried submit is safe); only a
+// dropped connection warrants the second attempt.
+func (x *remoteExchange) post(body []byte) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		if err := x.ctx.Err(); err != nil {
+			return nil, err
+		}
+		req, err := http.NewRequestWithContext(x.ctx, http.MethodPost, x.url, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		resp, err := x.client.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		reply, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("dist: exchange rejected: %s: %s", resp.Status, strings.TrimSpace(string(reply)))
+		}
+		return reply, nil
+	}
+	return nil, fmt.Errorf("dist: exchange transport failed after retry: %w", lastErr)
+}

@@ -1,0 +1,353 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// hub.go is the coordinator-side barrier state machine. One hubSession exists
+// per distributed query; one stageBarrier per masked stage of that query.
+//
+// Every member (the coordinator via localExchange, workers via the exchange
+// RPC) submits the slot outputs it computed and blocks until the stage's full
+// slot vector is known. Failure handling is slot reassignment: when a member
+// dies — detected eagerly when its fragment RPC fails, or by the barrier
+// timeout backstop — its unfilled slots move to the lowest-indexed live
+// member, which is woken (or told at its next submit) to compute them and
+// resubmit. The coordinator is members[0] and is never marked dead, so there
+// is always a live member to take over: a session degrades one worker at a
+// time all the way down to coordinator-only execution, which is exactly the
+// single-process path.
+//
+// Slot outputs are stored and relayed as encoded wire frames (data
+// package framing): the hub never decodes worker payloads, it hands each
+// member the frames it is missing and lets the receiver decode into its own
+// session dictionary.
+
+// errEvicted is returned to a member the session has declared dead; the
+// member's fragment fails, which is idempotent with however it was evicted.
+var errEvicted = fmt.Errorf("dist: member evicted from session")
+
+// gatherResult is what wakes a parked member: exactly one field is set.
+type gatherResult struct {
+	frames [][]byte // stage complete: all n slot frames
+	extra  []int    // a peer died: compute these slots and resubmit
+	err    error
+}
+
+// wakeMsg is a deferred channel send: barrier mutations collect wakes under
+// the session lock and deliver them after unlock (channels are buffered, so
+// delivery never blocks, but sending under the lock would still couple lock
+// hold time to scheduler behavior).
+type wakeMsg struct {
+	ch chan gatherResult
+	r  gatherResult
+}
+
+func deliver(wakes []wakeMsg) {
+	for _, w := range wakes {
+		w.ch <- w.r
+	}
+}
+
+// stageBarrier collects one masked stage.
+type stageBarrier struct {
+	n       int
+	frames  [][]byte // frames[slot] != nil once filled
+	missing int
+	done    bool
+	// owed tracks the open slots each live member is responsible for: its
+	// placement mask at creation, plus reassigned slots, minus submissions.
+	owed map[string][]int
+	// pending holds reassigned slots for members that were not parked when
+	// the reassignment happened; delivered at their next submit.
+	pending map[string][]int
+	// waiters holds the one parked channel per member that has submitted and
+	// awaits completion.
+	waiters map[string]chan gatherResult
+}
+
+// hubSession is the barrier state of one distributed query.
+type hubSession struct {
+	id      string
+	members []string // members[0] is the coordinator; never marked dead
+	timeout time.Duration
+	ctx     context.Context
+	cancel  context.CancelFunc
+
+	mu     sync.Mutex
+	dead   map[string]bool
+	stages map[string]*stageBarrier
+}
+
+func newHubSession(ctx context.Context, id string, members []string, timeout time.Duration) *hubSession {
+	sctx, cancel := context.WithCancel(ctx)
+	return &hubSession{
+		id: id, members: members, timeout: timeout,
+		ctx: sctx, cancel: cancel,
+		dead:   make(map[string]bool),
+		stages: make(map[string]*stageBarrier),
+	}
+}
+
+// close ends the session: every parked member unblocks with the session
+// context's error (or context.Canceled if it was still live).
+func (s *hubSession) close() { s.cancel() }
+
+func (s *hubSession) isDead(member string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dead[member]
+}
+
+// deadMembers returns the ids evicted so far, in member order.
+func (s *hubSession) deadMembers() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for _, m := range s.members {
+		if s.dead[m] {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// gather is the barrier entry point: member submits the frames of the slots
+// it computed (keyed by slot index) and blocks until the stage resolves.
+// callCtx carries the caller's own liveness (a worker's RPC context); the
+// session context bounds everything.
+func (s *hubSession) gather(callCtx context.Context, member, stage string, n int, local map[int][]byte) ([][]byte, []int, error) {
+	for {
+		full, extra, ch, err := s.submit(member, stage, n, local)
+		if err != nil || full != nil || len(extra) > 0 {
+			return full, extra, err
+		}
+		r, err := s.wait(callCtx, stage, ch)
+		if err != nil {
+			return nil, nil, err
+		}
+		if r.err != nil {
+			return nil, nil, r.err
+		}
+		if len(r.extra) > 0 {
+			return nil, r.extra, nil
+		}
+		return r.frames, nil, nil
+	}
+}
+
+// submit folds the member's frames into the barrier. It returns the full
+// frame vector when this submission completes the stage, reassigned extra
+// slots when some are pending for this member, or a parked channel.
+func (s *hubSession) submit(member, stage string, n int, local map[int][]byte) (full [][]byte, extra []int, ch chan gatherResult, err error) {
+	s.mu.Lock()
+	if s.dead[member] {
+		s.mu.Unlock()
+		return nil, nil, nil, fmt.Errorf("%w (%s, session %s)", errEvicted, member, s.id)
+	}
+	if !s.isMemberLocked(member) {
+		s.mu.Unlock()
+		return nil, nil, nil, fmt.Errorf("dist: %s is not a member of session %s", member, s.id)
+	}
+	b, err := s.stageLocked(stage, n)
+	if err != nil {
+		s.mu.Unlock()
+		return nil, nil, nil, err
+	}
+	for slot, frame := range local {
+		if slot < 0 || slot >= n || frame == nil {
+			s.mu.Unlock()
+			return nil, nil, nil, fmt.Errorf("dist: stage %s: invalid slot submission %d/%d", stage, slot, n)
+		}
+		if b.frames[slot] == nil {
+			b.frames[slot] = frame
+			b.missing--
+		}
+	}
+	if len(local) > 0 {
+		b.owed[member] = dropSlots(b.owed[member], local)
+	}
+	if ext := b.pending[member]; len(ext) > 0 && !b.done {
+		delete(b.pending, member)
+		s.mu.Unlock()
+		return nil, ext, nil, nil
+	}
+	if b.missing == 0 {
+		var wakes []wakeMsg
+		if !b.done {
+			b.done = true
+			for _, c := range b.waiters {
+				wakes = append(wakes, wakeMsg{c, gatherResult{frames: b.frames}})
+			}
+			b.waiters = make(map[string]chan gatherResult)
+		}
+		frames := b.frames
+		s.mu.Unlock()
+		deliver(wakes)
+		return frames, nil, nil, nil
+	}
+	c := make(chan gatherResult, 1)
+	b.waiters[member] = c
+	s.mu.Unlock()
+	return nil, nil, c, nil
+}
+
+// wait parks on ch until the barrier resolves it. The timeout backstop
+// periodically sweeps the stage for members that owe slots but never showed
+// up — a crashed worker whose fragment RPC failure was not observed — and
+// reassigns their slots.
+func (s *hubSession) wait(callCtx context.Context, stage string, ch chan gatherResult) (gatherResult, error) {
+	timer := time.NewTimer(s.timeout)
+	defer timer.Stop()
+	for {
+		select {
+		case r := <-ch:
+			return r, nil
+		case <-s.ctx.Done():
+			return gatherResult{}, s.ctx.Err()
+		case <-callCtx.Done():
+			return gatherResult{}, callCtx.Err()
+		case <-timer.C:
+			s.sweep(stage)
+			timer.Reset(s.timeout)
+		}
+	}
+}
+
+// sweep declares dead every member that owes the stage slots without being
+// parked: after a full timeout period a live member would have either
+// submitted (owing nothing) or parked (waiting on others).
+func (s *hubSession) sweep(stage string) {
+	s.mu.Lock()
+	var wakes []wakeMsg
+	if b := s.stages[stage]; b != nil && !b.done {
+		var victims []string
+		for m, slots := range b.owed {
+			if len(slots) > 0 && b.waiters[m] == nil && m != s.members[0] && !s.dead[m] {
+				victims = append(victims, m)
+			}
+		}
+		for _, m := range victims {
+			wakes = append(wakes, s.markDeadLocked(m)...)
+		}
+	}
+	s.mu.Unlock()
+	deliver(wakes)
+}
+
+// markDead evicts a member (a failed fragment RPC is the eager caller) and
+// reassigns its open slots in every in-flight barrier.
+func (s *hubSession) markDead(member string) {
+	s.mu.Lock()
+	wakes := s.markDeadLocked(member)
+	s.mu.Unlock()
+	deliver(wakes)
+}
+
+func (s *hubSession) markDeadLocked(member string) []wakeMsg {
+	if member == s.members[0] || s.dead[member] || !s.isMemberLocked(member) {
+		return nil
+	}
+	s.dead[member] = true
+	var wakes []wakeMsg
+	for _, b := range s.stages {
+		wakes = append(wakes, s.reassignLocked(b, member)...)
+	}
+	return wakes
+}
+
+// reassignLocked moves the open slots of a dead member to the lowest live
+// member — waking it if parked, queueing otherwise — and unblocks the dead
+// member's parked call, if any, with eviction.
+func (s *hubSession) reassignLocked(b *stageBarrier, from string) []wakeMsg {
+	var wakes []wakeMsg
+	if ch := b.waiters[from]; ch != nil {
+		delete(b.waiters, from)
+		wakes = append(wakes, wakeMsg{ch, gatherResult{err: fmt.Errorf("%w (%s, session %s)", errEvicted, from, s.id)}})
+	}
+	slots := b.owed[from]
+	delete(b.owed, from)
+	delete(b.pending, from)
+	var open []int
+	for _, sl := range slots {
+		if b.frames[sl] == nil {
+			open = append(open, sl)
+		}
+	}
+	if len(open) == 0 || b.done {
+		return wakes
+	}
+	target := s.lowestLiveLocked()
+	b.owed[target] = append(b.owed[target], open...)
+	if ch := b.waiters[target]; ch != nil {
+		delete(b.waiters, target)
+		wakes = append(wakes, wakeMsg{ch, gatherResult{extra: open}})
+	} else {
+		b.pending[target] = append(b.pending[target], open...)
+	}
+	return wakes
+}
+
+func (s *hubSession) lowestLiveLocked() string {
+	for _, m := range s.members {
+		if !s.dead[m] {
+			return m
+		}
+	}
+	return s.members[0] // unreachable: members[0] is never dead
+}
+
+func (s *hubSession) isMemberLocked(member string) bool {
+	for _, m := range s.members {
+		if m == member {
+			return true
+		}
+	}
+	return false
+}
+
+// stageLocked returns the stage's barrier, creating it on first touch: owed
+// slots follow placement over the *initial* membership (what every node's
+// mask used), with slots of already-dead members reassigned immediately.
+func (s *hubSession) stageLocked(stage string, n int) (*stageBarrier, error) {
+	if b := s.stages[stage]; b != nil {
+		if b.n != n {
+			return nil, fmt.Errorf("dist: stage %s: slot count mismatch (%d vs %d) — diverging fragments", stage, b.n, n)
+		}
+		return b, nil
+	}
+	b := &stageBarrier{
+		n: n, frames: make([][]byte, n), missing: n,
+		owed:    make(map[string][]int),
+		pending: make(map[string][]int),
+		waiters: make(map[string]chan gatherResult),
+	}
+	for _, m := range s.members {
+		if slots := ownedSlots(stage, n, m, s.members); len(slots) > 0 {
+			b.owed[m] = slots
+		}
+	}
+	s.stages[stage] = b
+	for _, m := range s.members {
+		if s.dead[m] && len(b.owed[m]) > 0 {
+			// Reassignment wakes nobody here: the barrier is brand new, so no
+			// waiter can be parked on it yet.
+			s.reassignLocked(b, m)
+		}
+	}
+	return b, nil
+}
+
+// dropSlots removes the submitted slot indices from owed.
+func dropSlots(owed []int, submitted map[int][]byte) []int {
+	out := owed[:0]
+	for _, sl := range owed {
+		if _, ok := submitted[sl]; !ok {
+			out = append(out, sl)
+		}
+	}
+	return out
+}

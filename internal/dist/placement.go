@@ -1,0 +1,72 @@
+// Package dist is the cleaning cluster: coordinator/worker roles over the
+// single-process engine.
+//
+// The execution model is SPMD over a replicated catalog. A query arriving at
+// the coordinator is planned into per-worker fragments that are the *whole
+// query*: every node — the coordinator included — executes the same pipeline
+// over the same sources, so every node's narrow stages, shuffles, statistics
+// and strategy choices are bit-identical to single-process execution. The
+// expensive O(n·m) comparison loops (theta, min-max, cartesian and hash
+// joins) are the exception: the engine masks them (engine.Exchange), each
+// node computes only the slots placement assigns to it, and the coordinator's
+// barrier hub exchanges the slot outputs as framed colbin batches. The
+// coordinator therefore finishes holding exactly the single-process result —
+// rows, repairs and cost metrics — having personally executed only its share
+// of the join work.
+//
+// Placement is rendezvous (highest-random-weight) hashing: a pure function of
+// (key, membership), so every node computes the same assignment without
+// coordination, and membership changes move only the keys owned by the nodes
+// that came or went. The same scheme keys both catalog partition custody
+// (source name + partition index, reported by the coordinator's /healthz) and
+// masked-stage slots (stage id + slot index).
+package dist
+
+import (
+	"hash/fnv"
+	"strconv"
+)
+
+// owner returns the member with the highest rendezvous weight for key.
+// Deterministic for any member order; ties break toward the smaller id.
+func owner(key string, members []string) string {
+	best, bestH := "", uint64(0)
+	for _, m := range members {
+		h := fnv.New64a()
+		h.Write([]byte(m))
+		h.Write([]byte{0})
+		h.Write([]byte(key))
+		v := h.Sum64()
+		if best == "" || v > bestH || (v == bestH && m < best) {
+			best, bestH = m, v
+		}
+	}
+	return best
+}
+
+func slotKey(stage string, slot int) string {
+	return "slot/" + stage + "#" + strconv.Itoa(slot)
+}
+
+// ownedSlots returns the slots of [0,n) that placement assigns to self under
+// the given membership. Unioned over all members the result is exactly [0,n),
+// disjoint — the mask contract of engine.Exchange.
+func ownedSlots(stage string, n int, self string, members []string) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		if owner(slotKey(stage, i), members) == self {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// PartitionOwner returns the member with custody of one source partition —
+// the consistent catalog assignment keyed by source name + partition index.
+// Custody is advisory under replicated catalogs (every node holds every
+// partition, which is what makes worker loss survivable); it drives the
+// placement report on the coordinator's /healthz and re-plans automatically
+// when the live membership changes.
+func PartitionOwner(source string, part int, members []string) string {
+	return owner("part/"+source+"/"+strconv.Itoa(part), members)
+}

@@ -1,0 +1,93 @@
+package dist
+
+import (
+	"math"
+
+	"cleandb"
+)
+
+// proto.go defines the JSON control-plane messages between coordinator and
+// workers. The data plane (slot frames through the exchange) is binary; see
+// wirebody.go.
+
+// registerRequest is a worker announcing itself to the coordinator.
+type registerRequest struct {
+	// URL is the worker's advertised base URL; the coordinator POSTs
+	// fragments to URL+"/v1/cluster/fragment" and probes URL+"/healthz".
+	URL string `json:"url"`
+	// Fingerprint is the worker DB's ConfigFingerprint; registration is
+	// refused on mismatch, because SPMD replay requires identical planning.
+	Fingerprint string `json:"fingerprint"`
+}
+
+type registerResponse struct {
+	// ID is the member id the coordinator assigned ("w0001", ...); stable
+	// across re-registration from the same URL.
+	ID          string `json:"id"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// sourceSpec ships one catalog entry by path. Only file-backed sources are
+// shippable; in-memory sources stay coordinator-local, and a worker fragment
+// that needs one fails over to the coordinator via slot reassignment.
+type sourceSpec struct {
+	Name   string `json:"name"`
+	Path   string `json:"path"`
+	Format string `json:"format"`
+}
+
+// fragmentRequest asks a worker to execute its share of one query.
+type fragmentRequest struct {
+	Session string `json:"session"`
+	// Self is this worker's member id; Members the session membership with
+	// the coordinator first — the inputs every node feeds placement.
+	Self    string   `json:"self"`
+	Members []string `json:"members"`
+	// ExchangeURL is the coordinator's exchange endpoint for this session.
+	ExchangeURL string `json:"exchange_url"`
+	// Fingerprint must match the worker's DB configuration.
+	Fingerprint string         `json:"fingerprint"`
+	Query       string         `json:"query"`
+	Params      map[string]any `json:"params,omitempty"`
+	// TimeoutMs bounds the fragment wall clock when positive.
+	TimeoutMs int64        `json:"timeout_ms,omitempty"`
+	Sources   []sourceSpec `json:"sources"`
+}
+
+// fragmentResponse reports the fragment outcome. Under SPMD the worker's
+// counters are its local view of the shared query (identical SimTicks, local
+// share of Comparisons); the coordinator merges them into trailer metrics.
+type fragmentResponse struct {
+	Err             string `json:"err,omitempty"`
+	Rows            int64  `json:"rows"`
+	SimTicks        int64  `json:"sim_ticks"`
+	Comparisons     int64  `json:"comparisons"`
+	ShuffledRecords int64  `json:"shuffled_records"`
+	ShuffledBytes   int64  `json:"shuffled_bytes"`
+	// Repairs counts REPAIR clauses executed; RepairsChanged the values they
+	// rewrote — equal on every live node when the run is consistent.
+	Repairs        int64 `json:"repairs"`
+	RepairsChanged int64 `json:"repairs_changed"`
+	// ExecSlots counts the masked join slots this node actually executed:
+	// its placement share plus any slots reassigned to it. Unlike the
+	// simulated counters above, this one measures real work division.
+	ExecSlots int64 `json:"exec_slots"`
+}
+
+// namedArgs converts a JSON params map to cleandb named arguments, mirroring
+// the server's queryRequest conversion exactly: whole floats within the
+// contiguous-integer range become int64, so a fragment binds the same typed
+// values the coordinator bound.
+func namedArgs(params map[string]any) []any {
+	if len(params) == 0 {
+		return nil
+	}
+	out := make([]any, 0, len(params))
+	for k, v := range params {
+		if f, ok := v.(float64); ok && f == math.Trunc(f) && math.Abs(f) < (1<<53) {
+			v = int64(f)
+		}
+		out = append(out, cleandb.Named(k, v))
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+package dist
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+)
+
+// wirebody.go is the HTTP body layout of the exchange RPC: a JSON header
+// (routing: session, member, stage, slot count) followed by the binary slot
+// frames produced by data.EncodeRowsFrame. Frames pass through the hub
+// opaque; only the receiving member decodes them, into its own session
+// dictionary.
+//
+// Request body:  u32 header len | header JSON | uvarint count | count × (uvarint slot, uvarint frame len, frame)
+// Reply body:    u32 header len | header JSON | if status=="full": uvarint n × (uvarint frame len, frame)
+
+// exchangeHeader routes one gather submission.
+type exchangeHeader struct {
+	Session string `json:"session"`
+	Self    string `json:"self"`
+	Stage   string `json:"stage"`
+	N       int    `json:"n"`
+}
+
+// exchangeReply is the JSON header of the RPC response.
+type exchangeReply struct {
+	// Status is "full" (every slot frame follows) or "extra" (compute the
+	// Extra slots and call again).
+	Status string `json:"status"`
+	Extra  []int  `json:"extra,omitempty"`
+}
+
+func appendHeader(buf []byte, hdr any) ([]byte, error) {
+	js, err := json.Marshal(hdr)
+	if err != nil {
+		return nil, err
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(js)))
+	return append(buf, js...), nil
+}
+
+func splitHeader(body []byte, hdr any) (rest []byte, err error) {
+	if len(body) < 4 {
+		return nil, fmt.Errorf("dist: exchange body too short (%d bytes)", len(body))
+	}
+	hlen := binary.LittleEndian.Uint32(body[:4])
+	if int(hlen) > len(body)-4 {
+		return nil, fmt.Errorf("dist: exchange header length %d exceeds body", hlen)
+	}
+	if err := json.Unmarshal(body[4:4+hlen], hdr); err != nil {
+		return nil, fmt.Errorf("dist: exchange header: %w", err)
+	}
+	return body[4+hlen:], nil
+}
+
+type byteCursor struct {
+	b   []byte
+	off int
+}
+
+func (c *byteCursor) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(c.b[c.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("dist: truncated varint in exchange body at offset %d", c.off)
+	}
+	c.off += n
+	return v, nil
+}
+
+func (c *byteCursor) take(n uint64) ([]byte, error) {
+	if n > uint64(len(c.b)-c.off) {
+		return nil, fmt.Errorf("dist: exchange body needs %d bytes, has %d", n, len(c.b)-c.off)
+	}
+	out := c.b[c.off : c.off+int(n)]
+	c.off += int(n)
+	return out, nil
+}
+
+func encodeExchangeRequest(hdr exchangeHeader, frames map[int][]byte) ([]byte, error) {
+	buf, err := appendHeader(nil, hdr)
+	if err != nil {
+		return nil, err
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(frames)))
+	for slot, frame := range frames {
+		buf = binary.AppendUvarint(buf, uint64(slot))
+		buf = binary.AppendUvarint(buf, uint64(len(frame)))
+		buf = append(buf, frame...)
+	}
+	return buf, nil
+}
+
+func decodeExchangeRequest(body []byte) (exchangeHeader, map[int][]byte, error) {
+	var hdr exchangeHeader
+	rest, err := splitHeader(body, &hdr)
+	if err != nil {
+		return hdr, nil, err
+	}
+	cur := &byteCursor{b: rest}
+	count, err := cur.uvarint()
+	if err != nil {
+		return hdr, nil, err
+	}
+	if count > uint64(len(rest)) {
+		return hdr, nil, fmt.Errorf("dist: exchange frame count %d exceeds body size", count)
+	}
+	frames := make(map[int][]byte, count)
+	for i := uint64(0); i < count; i++ {
+		slot, err := cur.uvarint()
+		if err != nil {
+			return hdr, nil, err
+		}
+		flen, err := cur.uvarint()
+		if err != nil {
+			return hdr, nil, err
+		}
+		frame, err := cur.take(flen)
+		if err != nil {
+			return hdr, nil, err
+		}
+		frames[int(slot)] = frame
+	}
+	return hdr, frames, nil
+}
+
+func encodeExchangeReply(rep exchangeReply, frames [][]byte) ([]byte, error) {
+	buf, err := appendHeader(nil, rep)
+	if err != nil {
+		return nil, err
+	}
+	if rep.Status == "full" {
+		buf = binary.AppendUvarint(buf, uint64(len(frames)))
+		for _, frame := range frames {
+			buf = binary.AppendUvarint(buf, uint64(len(frame)))
+			buf = append(buf, frame...)
+		}
+	}
+	return buf, nil
+}
+
+func decodeExchangeReply(body []byte) (exchangeReply, [][]byte, error) {
+	var rep exchangeReply
+	rest, err := splitHeader(body, &rep)
+	if err != nil {
+		return rep, nil, err
+	}
+	if rep.Status != "full" {
+		return rep, nil, nil
+	}
+	cur := &byteCursor{b: rest}
+	count, err := cur.uvarint()
+	if err != nil {
+		return rep, nil, err
+	}
+	if count > uint64(len(rest)) {
+		return rep, nil, fmt.Errorf("dist: exchange frame count %d exceeds body size", count)
+	}
+	frames := make([][]byte, count)
+	for i := range frames {
+		flen, err := cur.uvarint()
+		if err != nil {
+			return rep, nil, err
+		}
+		if frames[i], err = cur.take(flen); err != nil {
+			return rep, nil, err
+		}
+	}
+	return rep, frames, nil
+}

@@ -54,6 +54,16 @@ type Context struct {
 	// Operator loops poll it and abort promptly once it is done.
 	goctx context.Context
 
+	// exchange, when non-nil, distributes masked wide stages across a
+	// cleaning cluster (see Exchange in exchange.go). Nil means every slot
+	// runs locally — the single-process path.
+	exchange Exchange
+	// stageSeq numbers masked stages in plan order so every node of a
+	// distributed job derives identical stage identifiers.
+	stageSeq atomic.Int64
+	// failed holds the first job-poisoning error reported via Fail.
+	failed atomic.Pointer[failBox]
+
 	metrics Metrics
 }
 
@@ -70,15 +80,26 @@ func NewContext(workers int) *Context {
 // isolation), and bound to goctx for cancellation. Merge the job's metrics
 // back into a global collector with Metrics.Merge when the query completes.
 func (c *Context) Job(goctx context.Context) *Context {
+	j := &Context{Workers: c.Workers, CompBudget: c.CompBudget}
+	if goctx != nil {
+		if ex, ok := goctx.Value(exchangeCtxKey{}).(Exchange); ok {
+			j.exchange = ex
+		}
+	}
 	if goctx == context.Background() {
 		goctx = nil
 	}
-	return &Context{Workers: c.Workers, CompBudget: c.CompBudget, goctx: goctx}
+	j.goctx = goctx
+	return j
 }
 
-// Err reports the cancellation state of the job's Go context: nil while the
-// job may keep running, context.Canceled / context.DeadlineExceeded after.
+// Err reports whether the job may keep running: nil while it may, the
+// poisoning error after Fail, or the Go context's cancellation error
+// (context.Canceled / context.DeadlineExceeded) after cancellation.
 func (c *Context) Err() error {
+	if b := c.failed.Load(); b != nil {
+		return b.err
+	}
 	if c.goctx == nil {
 		return nil
 	}

@@ -56,9 +56,14 @@ func (d *Dataset) hashJoin(name string, right *Dataset, lkey, rkey KeyFunc, comb
 	route(d.rows(), lkey, lb)
 	route(right.rows(), rkey, rb)
 
-	out := make([][]types.Value, w)
+	// Per-slot costs depend only on bucket sizes, never on execution, so a
+	// distributed run charges identical stage stats on every node even though
+	// each node probes only the buckets it owns.
 	costs := make([]int64, w)
-	d.ctx.runParallel(w, func(b int) {
+	for b := 0; b < w; b++ {
+		costs[b] = int64(len(lb[b]) + len(rb[b]))
+	}
+	out, err := d.ctx.maskedRun(name+":hashjoin", w, func(b int) []types.Value {
 		table := make(map[string][]types.Value, len(rb[b]))
 		for _, rv := range rb[b] {
 			ks := types.Key(rkey(rv))
@@ -78,9 +83,13 @@ func (d *Dataset) hashJoin(name string, right *Dataset, lkey, rkey KeyFunc, comb
 				res = append(res, combine(lv, rv))
 			}
 		}
-		out[b] = res
-		costs[b] = int64(len(lb[b]) + len(rb[b]))
+		return res
 	})
+	if err != nil {
+		// hashJoin has no error return; the poisoned/cancelled job surfaces
+		// the failure at the end of the query via Context.Err.
+		out = make([][]types.Value, w)
+	}
 	d.ctx.metrics.logStage(StageStats{
 		Name: name + ":hashjoin", WorkerCosts: costs,
 		ShuffledRecords: shuffled, ShuffledBytes: bytes,
@@ -137,16 +146,18 @@ func (d *Dataset) CartesianFilter(name string, right *Dataset, pred func(l, r ty
 	}
 	var shuffled int64 = m * int64(d.ctx.Workers) // right side replicated everywhere
 	parts := d.rows()
-	out := make([][]types.Value, len(parts))
 	costs := make([]int64, len(parts))
-	d.ctx.runParallel(len(parts), func(i int) {
+	for i := range parts {
+		costs[i] = int64(len(parts[i])) * m
+	}
+	out, err := d.ctx.maskedRun(name+":cartesian", len(parts), func(i int) []types.Value {
 		var res []types.Value
 		since := 0
 		for _, lv := range parts[i] {
 			if since += len(rall); since >= cancelCheckEvery {
 				since = 0
 				if d.ctx.Err() != nil {
-					return
+					return res
 				}
 			}
 			for _, rv := range rall {
@@ -155,10 +166,9 @@ func (d *Dataset) CartesianFilter(name string, right *Dataset, pred func(l, r ty
 				}
 			}
 		}
-		out[i] = res
-		costs[i] = int64(len(parts[i])) * m
+		return res
 	})
-	if err := d.ctx.Err(); err != nil {
+	if err != nil {
 		return nil, err
 	}
 	d.ctx.metrics.AddComparisons(n * m)
@@ -249,8 +259,7 @@ func (d *Dataset) ThetaJoin(name string, right *Dataset, stats ThetaJoinStats, p
 		loads[best] += c.cost
 	}
 
-	out := make([][]types.Value, w)
-	d.ctx.runParallel(w, func(wi int) {
+	out, err := d.ctx.maskedRun(name+":thetajoin", w, func(wi int) []types.Value {
 		var res []types.Value
 		since := 0
 		for _, c := range assign[wi] {
@@ -258,7 +267,7 @@ func (d *Dataset) ThetaJoin(name string, right *Dataset, stats ThetaJoinStats, p
 				if since += len(rb[c.ri]); since >= cancelCheckEvery {
 					since = 0
 					if d.ctx.Err() != nil {
-						return
+						return res
 					}
 				}
 				for _, rv := range rb[c.ri] {
@@ -268,9 +277,9 @@ func (d *Dataset) ThetaJoin(name string, right *Dataset, stats ThetaJoinStats, p
 				}
 			}
 		}
-		out[wi] = res
+		return res
 	})
-	if err := d.ctx.Err(); err != nil {
+	if err != nil {
 		return nil, err
 	}
 	d.ctx.metrics.AddComparisons(candidate)
@@ -341,12 +350,11 @@ func (d *Dataset) MinMaxBlockJoin(name string, right *Dataset, lattr, rattr func
 		return nil, ErrBudgetExceeded
 	}
 	w := d.ctx.Workers
-	out := make([][]types.Value, w)
 	loads := make([]int64, w)
 	for i, c := range cells {
 		loads[i%w] += c.cost
 	}
-	d.ctx.runParallel(w, func(wi int) {
+	out, err := d.ctx.maskedRun(name+":minmaxjoin", w, func(wi int) []types.Value {
 		var res []types.Value
 		since := 0
 		for i, c := range cells {
@@ -357,7 +365,7 @@ func (d *Dataset) MinMaxBlockJoin(name string, right *Dataset, lattr, rattr func
 				if since += len(rb[c.ri]); since >= cancelCheckEvery {
 					since = 0
 					if d.ctx.Err() != nil {
-						return
+						return res
 					}
 				}
 				for _, rv := range rb[c.ri] {
@@ -367,9 +375,9 @@ func (d *Dataset) MinMaxBlockJoin(name string, right *Dataset, lattr, rattr func
 				}
 			}
 		}
-		out[wi] = res
+		return res
 	})
-	if err := d.ctx.Err(); err != nil {
+	if err != nil {
 		return nil, err
 	}
 	d.ctx.metrics.AddComparisons(candidate)

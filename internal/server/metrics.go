@@ -68,6 +68,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&sb, "%s{status=\"rejected\"} %d\n", name, s.qRejected.Load())
 
 	gauge("cleandb_queries_inflight", "Queries currently executing.", float64(s.inflight.Load()))
+	if s.cfg.Coordinator != nil {
+		counter("cleandb_cluster_sessions_total", "Distributed query sessions opened.", s.distSessions.Load())
+		name := "cleandb_cluster_fragments_total"
+		fmt.Fprintf(&sb, "# HELP %s Worker fragment executions by outcome.\n# TYPE %s counter\n", name, name)
+		fmt.Fprintf(&sb, "%s{status=\"ok\"} %d\n", name, s.distFragOK.Load())
+		fmt.Fprintf(&sb, "%s{status=\"error\"} %d\n", name, s.distFragFailed.Load())
+		counter("cleandb_cluster_evictions_total", "Members evicted from sessions mid-query.", s.distEvictions.Load())
+		alive := 0
+		st := s.cfg.Coordinator.Status()
+		for _, wk := range st.Workers {
+			if wk.Alive {
+				alive++
+			}
+		}
+		gauge("cleandb_cluster_workers_alive", "Workers currently passing health probes.", float64(alive))
+		gauge("cleandb_cluster_workers_registered", "Workers ever registered.", float64(len(st.Workers)))
+	}
 	s.stmtMu.Lock()
 	open := len(s.stmts)
 	s.stmtMu.Unlock()

@@ -13,6 +13,7 @@ import (
 
 	"cleandb"
 	"cleandb/internal/data"
+	"cleandb/internal/dist"
 	"cleandb/internal/engine"
 )
 
@@ -73,6 +74,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.execute(w, r, execFuncs{
+		query:  req.Query,
+		params: req.Params,
 		run: func(ctx context.Context) (*cleandb.Result, error) {
 			return s.db.QueryContext(ctx, req.Query, req.args()...)
 		},
@@ -83,8 +86,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 // execFuncs abstracts "run this statement" over the ad-hoc and the prepared
-// paths, in both the buffered (envelope) and the streaming shape.
+// paths, in both the buffered (envelope) and the streaming shape. query and
+// params carry the statement in shippable form for the coordinator role,
+// which replays it on the workers.
 type execFuncs struct {
+	query  string
+	params map[string]any
 	run    func(ctx context.Context) (*cleandb.Result, error)
 	stream func(ctx context.Context, sink cleandb.Sink) (*cleandb.Result, error)
 }
@@ -92,9 +99,16 @@ type execFuncs struct {
 // execute admits, applies the server deadline, dispatches on the response
 // mode and accounts the outcome. This is the one chokepoint every query
 // execution — ad-hoc or prepared — funnels through.
+//
+// In the coordinator role it opens a distributed session first: workers
+// execute the same statement with their masked-stage outputs exchanged
+// through the barrier, and the local execution below — unchanged in every
+// other respect — contributes only its placement share of the join work. The
+// session rides the query context, so a client disconnect or server deadline
+// cancels the remote fragments along with the local operators.
 func (s *Server) execute(w http.ResponseWriter, r *http.Request, ex execFuncs) {
 	if !s.admit() {
-		w.Header().Set("Retry-After", "1")
+		retryAfter(w)
 		httpError(w, http.StatusTooManyRequests, errTooBusy)
 		return
 	}
@@ -105,18 +119,45 @@ func (s *Server) execute(w http.ResponseWriter, r *http.Request, ex execFuncs) {
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
 		defer cancel()
 	}
+	var sess *dist.Session
+	if s.cfg.Coordinator != nil && ex.query != "" {
+		if sess = s.cfg.Coordinator.StartSession(ctx, ex.query, ex.params); sess != nil {
+			s.distSessions.Add(1)
+			ctx = sess.Attach(ctx)
+			defer sess.Close()
+		}
+	}
 	if r.URL.Query().Get("include") == "repairs" {
-		s.executeEnvelope(w, ctx, ex)
+		s.executeEnvelope(w, ctx, ex, sess)
 		return
 	}
-	s.executeStream(w, ctx, r, ex)
+	s.executeStream(w, ctx, r, ex, sess)
+}
+
+// finishSession collects the worker fragment outcomes after a successful
+// coordinator execution and folds them into the Prometheus counters. Nil in,
+// nil out (single-process execution).
+func (s *Server) finishSession(sess *dist.Session) []dist.FragmentResult {
+	if sess == nil {
+		return nil
+	}
+	frags := sess.Finish()
+	for _, f := range frags {
+		if f.Err == "" {
+			s.distFragOK.Add(1)
+		} else {
+			s.distFragFailed.Add(1)
+		}
+	}
+	s.distEvictions.Add(int64(len(sess.Dead())))
+	return frags
 }
 
 // executeEnvelope answers the materialized JSON envelope: rows, per-task
 // names, repair summaries and metrics in one document. Unlike the streaming
 // path this buffers the full result — it is the debugging/repair-inspection
 // mode, not the bulk-transfer one.
-func (s *Server) executeEnvelope(w http.ResponseWriter, ctx context.Context, ex execFuncs) {
+func (s *Server) executeEnvelope(w http.ResponseWriter, ctx context.Context, ex execFuncs, sess *dist.Session) {
 	res, err := ex.run(ctx)
 	if err != nil {
 		s.failQuery(w, err, false)
@@ -133,6 +174,7 @@ func (s *Server) executeEnvelope(w http.ResponseWriter, ctx context.Context, ex 
 		Tasks:    res.TaskNames(),
 		Repairs:  repairSummaries(res),
 		Metrics:  metricsOf(res),
+		Cluster:  clusterOf(sess, s.finishSession(sess)),
 	})
 }
 
@@ -143,6 +185,36 @@ type queryEnvelope struct {
 	Tasks    []string        `json:"tasks,omitempty"`
 	Repairs  []repairJSON    `json:"repairs,omitempty"`
 	Metrics  queryMetricJSON `json:"metrics"`
+	Cluster  *clusterJSON    `json:"cluster,omitempty"`
+}
+
+// clusterJSON reports the distributed execution of one query: which workers
+// carried fragments, their local cost shares, and who was evicted mid-query.
+type clusterJSON struct {
+	Workers []fragmentJSON `json:"workers"`
+	Dead    []string       `json:"dead,omitempty"`
+}
+
+type fragmentJSON struct {
+	Worker      string `json:"worker"`
+	Err         string `json:"err,omitempty"`
+	Rows        int64  `json:"rows"`
+	SimTicks    int64  `json:"sim_ticks"`
+	Comparisons int64  `json:"comparisons"`
+}
+
+func clusterOf(sess *dist.Session, frags []dist.FragmentResult) *clusterJSON {
+	if sess == nil {
+		return nil
+	}
+	out := &clusterJSON{Dead: sess.Dead()}
+	for _, f := range frags {
+		out.Workers = append(out.Workers, fragmentJSON{
+			Worker: f.Worker, Err: f.Err, Rows: f.Rows,
+			SimTicks: f.SimTicks, Comparisons: f.Comparisons,
+		})
+	}
+	return out
 }
 
 type repairJSON struct {
@@ -226,6 +298,14 @@ const (
 	trailerComparisons = "Cleandb-Comparisons"
 	trailerPlanCache   = "Cleandb-Plan-Cache-Hit"
 	trailerRepairs     = "Cleandb-Repairs-Changed"
+	// Cluster trailers, present on distributed executions only: how many
+	// worker fragments completed, the comparisons they contributed (the
+	// coordinator's own trailerComparisons already counts the full query
+	// under SPMD; this is the share offloaded), and the members evicted
+	// mid-query, if any.
+	trailerClusterWorkers     = "Cleandb-Cluster-Workers"
+	trailerClusterComparisons = "Cleandb-Cluster-Comparisons"
+	trailerClusterDead        = "Cleandb-Cluster-Dead"
 )
 
 // executeStream pumps the result partitions straight into the response
@@ -233,7 +313,7 @@ const (
 // order, and flush through to the client as they land. Result facts that are
 // only known at the end (row count, metrics, repair outcome) arrive as HTTP
 // trailers.
-func (s *Server) executeStream(w http.ResponseWriter, ctx context.Context, r *http.Request, ex execFuncs) {
+func (s *Server) executeStream(w http.ResponseWriter, ctx context.Context, r *http.Request, ex execFuncs, sess *dist.Session) {
 	format, err := pickFormat(r.Header.Get("Accept"))
 	if err != nil {
 		httpError(w, http.StatusNotAcceptable, err)
@@ -248,9 +328,11 @@ func (s *Server) executeStream(w http.ResponseWriter, ctx context.Context, r *ht
 	}
 	// Announce the trailers before the first body byte; set the content type
 	// now so an immediate first partition carries it.
-	w.Header().Set("Trailer", strings.Join([]string{
-		trailerRows, trailerTicks, trailerComparisons, trailerPlanCache, trailerRepairs,
-	}, ", "))
+	trailers := []string{trailerRows, trailerTicks, trailerComparisons, trailerPlanCache, trailerRepairs}
+	if sess != nil {
+		trailers = append(trailers, trailerClusterWorkers, trailerClusterComparisons, trailerClusterDead)
+	}
+	w.Header().Set("Trailer", strings.Join(trailers, ", "))
 	w.Header().Set("Content-Type", format)
 
 	res, err := ex.stream(ctx, sink)
@@ -269,6 +351,19 @@ func (s *Server) executeStream(w http.ResponseWriter, ctx context.Context, r *ht
 	w.Header().Set(trailerComparisons, strconv.FormatInt(m.Comparisons, 10))
 	w.Header().Set(trailerPlanCache, strconv.FormatBool(m.PlanCacheHit))
 	w.Header().Set(trailerRepairs, strconv.FormatInt(changed, 10))
+	if sess != nil {
+		frags := s.finishSession(sess)
+		var ok, comps int64
+		for _, f := range frags {
+			if f.Err == "" {
+				ok++
+				comps += f.Comparisons
+			}
+		}
+		w.Header().Set(trailerClusterWorkers, strconv.FormatInt(ok, 10))
+		w.Header().Set(trailerClusterComparisons, strconv.FormatInt(comps, 10))
+		w.Header().Set(trailerClusterDead, strings.Join(sess.Dead(), ","))
+	}
 	// A zero-row result never touched the sink: force the header out so the
 	// client sees a completed, empty 200 rather than nothing.
 	if cw.n.Load() == 0 {
@@ -373,7 +468,7 @@ func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
 	s.stmtMu.Lock()
 	if len(s.stmts) >= s.cfg.MaxStatements {
 		s.stmtMu.Unlock()
-		w.Header().Set("Retry-After", "1")
+		retryAfter(w)
 		httpError(w, http.StatusTooManyRequests,
 			fmt.Errorf("server: %d prepared statements already open; DELETE unused handles", s.cfg.MaxStatements))
 		return
@@ -412,6 +507,8 @@ func (s *Server) handleExecStatement(w http.ResponseWriter, r *http.Request) {
 	}
 	e.uses.Add(1)
 	s.execute(w, r, execFuncs{
+		query:  e.query,
+		params: req.Params,
 		run: func(ctx context.Context) (*cleandb.Result, error) {
 			return e.stmt.ExecContext(ctx, req.args()...)
 		},

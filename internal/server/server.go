@@ -40,12 +40,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"cleandb"
+	"cleandb/internal/dist"
 )
 
 // Config parameterizes the server. The zero value serves with the defaults.
@@ -68,6 +71,15 @@ type Config struct {
 	MaxStatements int
 	// Logf, when non-nil, receives one line per completed request.
 	Logf func(format string, args ...any)
+	// Coordinator, when non-nil, runs this server in the coordinator role:
+	// queries fan out across registered workers, and the cluster endpoints
+	// (/v1/cluster/register, /v1/cluster/exchange) are mounted. With no
+	// workers registered the server behaves exactly like a single-process
+	// one.
+	Coordinator *dist.Coordinator
+	// Worker, when non-nil, runs this server in the worker role: it serves
+	// query fragments on /v1/cluster/fragment for its coordinator.
+	Worker *dist.Worker
 }
 
 // DefaultMaxInflight is the admission bound used when Config leaves
@@ -96,6 +108,11 @@ type Server struct {
 	// Request counters for /metrics: terminal outcome of every execution.
 	qOK, qFailed, qCanceled, qRejected atomic.Int64
 	inflight                           atomic.Int64
+
+	// Cluster counters for /metrics (coordinator role only): distributed
+	// sessions opened, per-worker fragment outcomes, and mid-query
+	// evictions survived.
+	distSessions, distFragOK, distFragFailed, distEvictions atomic.Int64
 }
 
 // stmtEntry is one prepared statement held by handle across requests.
@@ -130,6 +147,13 @@ func New(db *cleandb.DB, cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/sources", s.handleRegisterSource)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.Coordinator != nil {
+		s.mux.HandleFunc("POST /v1/cluster/register", cfg.Coordinator.HandleRegister)
+		s.mux.HandleFunc("POST /v1/cluster/exchange", cfg.Coordinator.HandleExchange)
+	}
+	if cfg.Worker != nil {
+		s.mux.HandleFunc("POST /v1/cluster/fragment", cfg.Worker.HandleFragment)
+	}
 	return s
 }
 
@@ -170,17 +194,30 @@ func (s *Server) release() {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status, code := "ok", http.StatusOK
 	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
-			"status":   "draining",
-			"inflight": s.inflight.Load(),
-		})
-		return
+		status, code = "draining", http.StatusServiceUnavailable
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":   "ok",
+	body := map[string]any{
+		"status":   status,
 		"inflight": s.inflight.Load(),
-	})
+	}
+	if s.cfg.Coordinator != nil {
+		// The coordinator's liveness report: per-worker health and the
+		// consistent-placement partition custody of the loaded catalog.
+		body["cluster"] = s.cfg.Coordinator.Status()
+	}
+	if s.cfg.Worker != nil {
+		body["role"] = "worker"
+	}
+	writeJSON(w, code, body)
+}
+
+// retryAfter stamps a jittered Retry-After on a 429: spreading the value over
+// 1..3 seconds keeps a herd of rejected clients from retrying in lockstep
+// against the same admission window.
+func retryAfter(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", strconv.Itoa(1+rand.IntN(3)))
 }
 
 // apiError is the JSON error body every non-streaming failure answers with.

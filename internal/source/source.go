@@ -79,6 +79,23 @@ func FromPath(path string) (Source, error) {
 	}
 }
 
+// Path returns the backing file path of a file-backed source, "" for
+// in-memory buffers. A cluster coordinator uses it to ship catalog entries to
+// workers by path (the nodes share storage); in-memory sources stay local.
+func (s *CSV) Path() string    { return s.src.path }
+func (s *JSON) Path() string   { return s.src.path }
+func (s *XML) Path() string    { return s.src.path }
+func (s *Colbin) Path() string { return s.src.path }
+
+// PathOf extracts the backing file path from any source that exposes one,
+// "" otherwise (in-memory buffers, custom sources).
+func PathOf(s Source) string {
+	if p, ok := s.(interface{ Path() string }); ok {
+		return p.Path()
+	}
+	return ""
+}
+
 // headPrefixBytes bounds how much of a file-backed source Schema/Stats read
 // when parsing just its header.
 const headPrefixBytes = 1 << 20

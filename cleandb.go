@@ -63,6 +63,7 @@ import (
 
 	"cleandb/internal/core"
 	"cleandb/internal/engine"
+	"cleandb/internal/incr"
 	"cleandb/internal/physical"
 	"cleandb/internal/sink"
 	"cleandb/internal/source"
@@ -230,6 +231,12 @@ type DB struct {
 
 	cacheCap int
 	cache    *planCache[*core.Prepared]
+
+	// viewCap/views: the materialized cleaning-view cache (WithViewCache);
+	// disabled by default. Entries are stamped with per-source epochs, so
+	// appends turn exact hits into delta hits rather than stale misses.
+	viewCap int
+	views   *incr.Cache[viewEntry]
 }
 
 // sourceEntry is one catalog slot: a source plus its load-once state.
@@ -249,6 +256,10 @@ type sourceEntry struct {
 	// stats epoch there so cached plans prepared against unknown statistics
 	// are not served once the statistics exist.
 	onLoad func()
+	// id is the entry's registration identity (unique per Register call);
+	// view-cache stamps embed it so a re-registered source never matches
+	// its predecessor's cached views.
+	id string
 
 	loadMu sync.Mutex
 
@@ -256,6 +267,20 @@ type sourceEntry struct {
 	loaded bool
 	ds     *engine.Dataset
 	err    error
+	// baseGen moves whenever the base partitions are replaced (a reset
+	// re-scan); deltaEpoch moves on every append. Together with id they are
+	// the incr.Stamp the view cache keys freshness on.
+	baseGen    int64
+	deltaEpoch int64
+	// Append accounting: appends counts append operations, appendRows the
+	// rows they landed, appendBytes the encoded payload bytes (0 for
+	// programmatic rows), memRows the appended rows that exist only in this
+	// process's memory — not re-derivable from the backing file, which is
+	// what makes a cluster session refuse to ship the source.
+	appends     int64
+	appendRows  int64
+	appendBytes int64
+	memRows     int64
 }
 
 // load scans the source into a partitioned dataset exactly once. Scan
@@ -342,13 +367,16 @@ func Open(opts ...Option) *DB {
 	// and yields to explicitly pinned ablation strategies.
 	db.config.Auto = db.columnar && !db.stratPinned
 	db.cache = newPlanCache[*core.Prepared](db.cacheCap)
+	if db.viewCap > 0 {
+		db.views = incr.NewCache[viewEntry](db.viewCap)
+	}
 	return db
 }
 
 // newEntry builds a catalog slot for src carrying the DB's execution mode
 // and load notification.
 func (db *DB) newEntry(src source.Source) *sourceEntry {
-	return &sourceEntry{src: src, batch: db.columnar, onLoad: db.noteLoad}
+	return &sourceEntry{src: src, batch: db.columnar, onLoad: db.noteLoad, id: newEntryID()}
 }
 
 // noteLoad runs when any source finishes loading: the stats epoch moves so
@@ -369,6 +397,9 @@ func (db *DB) register(name string, e *sourceEntry) {
 	// pressure. (The epoch stays in the key so an in-flight prepare against
 	// the old snapshot cannot resurface as a stale hit after the purge.)
 	db.cache.purge()
+	// Cached views of the replaced source are stale by stamp identity, but
+	// purge anyway so dead results don't pin memory until LRU pressure.
+	db.views.Purge()
 }
 
 // RegisterSource adds a pluggable data source to the catalog under name,
@@ -457,6 +488,7 @@ func (db *DB) RegisterRows(name string, rows []Value) {
 		// Unreachable for an in-memory source; keep the row contract anyway.
 		e = &sourceEntry{
 			src:    source.FromRows(rows),
+			id:     newEntryID(),
 			loaded: true,
 			ds:     engine.FromValues(db.ctx, rows),
 		}
@@ -541,6 +573,19 @@ type SourceInfo struct {
 	Path string
 	// Partitions is the loaded partition count, 0 before the first scan.
 	Partitions int
+	// BaseGen is the source's base generation (moves when the base
+	// partitions are replaced by a reset re-scan); DeltaEpoch its delta
+	// epoch (moves on every append). Both 0 for a never-appended source.
+	BaseGen, DeltaEpoch int64
+	// Appends counts append operations since load; AppendedRows the rows
+	// they landed. A reset re-scan folds appended file rows into the base
+	// and zeroes both.
+	Appends, AppendedRows int64
+	// MemRows counts appended rows that exist only in this process's memory
+	// (payload or programmatic appends) — not re-derivable from Path, so a
+	// cluster coordinator cannot ship the source and must run such queries
+	// single-process.
+	MemRows int64
 }
 
 // SourceInfo reports a source's format and loaded-vs-pending-vs-failed
@@ -563,8 +608,26 @@ func (db *DB) SourceInfo(name string) (SourceInfo, error) {
 			info.Err = err
 		} else {
 			info.Loaded = true
+			// Recompute the row/byte hints from the loaded state rather than
+			// trusting the pre-scan hints: any path that replaced or extended
+			// the partitions (append, tail refresh, reset re-scan) makes the
+			// registration-time numbers stale. The dataset knows its exact row
+			// count; the byte count is the parsed high-water mark plus any
+			// inline payload bytes, falling back to the source's current size
+			// hint for formats without a tail mark.
 			info.Rows = ds.Count()
 			info.Partitions = ds.NumPartitions()
+			e.mu.Lock()
+			info.BaseGen, info.DeltaEpoch = e.baseGen, e.deltaEpoch
+			info.Appends, info.AppendedRows = e.appends, e.appendRows
+			info.MemRows = e.memRows
+			appendBytes := e.appendBytes
+			e.mu.Unlock()
+			if t, ok := source.TailerOf(e.src); ok {
+				info.Bytes = t.Consumed() + appendBytes
+			} else if info.Bytes >= 0 {
+				info.Bytes += appendBytes
+			}
 		}
 	}
 	return info, nil
@@ -788,10 +851,17 @@ func (db *DB) QueryContext(ctx context.Context, q string, args ...any) (*Result,
 	if err != nil {
 		return nil, err
 	}
+	if res, vh, served, err := db.viewExecute(ctx, q, prep, params); served || err != nil {
+		if err != nil {
+			return nil, err
+		}
+		return &Result{inner: res, planReused: hit, viewHit: vh}, nil
+	}
 	res, err := prep.ExecuteContext(ctx, params)
 	if err != nil {
 		return nil, err
 	}
+	db.storeView(q, prep, params, res)
 	return &Result{inner: res, planReused: hit}, nil
 }
 
@@ -817,10 +887,22 @@ func (db *DB) ExecuteTo(ctx context.Context, q string, s Sink, args ...any) (*Re
 	if err != nil {
 		return nil, err
 	}
+	if res, vh, served, err := db.viewExecute(ctx, q, prep, params); served || err != nil {
+		if err != nil {
+			return nil, err
+		}
+		// A view answers the statement without re-executing; the export
+		// itself still streams partition-parallel under ctx.
+		if _, err := res.ExportTo(ctx, s); err != nil {
+			return nil, err
+		}
+		return &Result{inner: res, planReused: hit, viewHit: vh}, nil
+	}
 	res, err := prep.ExecuteToContext(ctx, params, s)
 	if err != nil {
 		return nil, err
 	}
+	db.storeView(q, prep, params, res)
 	return &Result{inner: res, planReused: hit}, nil
 }
 
@@ -874,7 +956,16 @@ type Result struct {
 	// planReused reports whether this execution reused an already-prepared
 	// plan (plan-cache hit, or any execution of a Stmt).
 	planReused bool
+	// viewHit records how the materialized view cache served this
+	// execution: "" (full execution), "exact", or "delta".
+	viewHit string
 }
+
+// ViewHit reports whether this execution was served by the materialized
+// view cache: "" for a full execution, "exact" for a verbatim cached
+// answer, "delta" for a cached base merged with a delta pass over appended
+// rows.
+func (r *Result) ViewHit() string { return r.viewHit }
 
 // Rows returns the query's primary output records. For multi-operator
 // cleaning queries this is the combined violation report (one record per

@@ -137,12 +137,16 @@ func cmdQuery(args []string) error {
 	timeout := fs.Duration("timeout", 0, "per-statement deadline (0 = none)")
 	taskName := fs.String("task", "", "also print the named cleaning task's own output rows")
 	serve := fs.Bool("serve", false, "read statements from stdin and execute them concurrently")
+	viewCache := fs.Int("view-cache", 0, "materialized cleaning views to cache (0 = off); repeated statements over unchanged or appended sources serve incrementally")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	opts := []cleandb.Option{cleandb.WithWorkers(*workers)}
 	if *standalone {
 		opts = append(opts, cleandb.WithStandaloneOps())
+	}
+	if *viewCache > 0 {
+		opts = append(opts, cleandb.WithViewCache(*viewCache))
 	}
 	db := cleandb.Open(opts...)
 	for _, s := range sources {
@@ -462,6 +466,7 @@ func cmdServe(args []string) error {
 	advertise := fs.String("advertise", "", "base URL peers reach this node on (default http://<-http addr>)")
 	coordURL := fs.String("coordinator", "", "worker role: the coordinator's base URL to register with")
 	exchangeTimeout := fs.Duration("exchange-timeout", 30*time.Second, "coordinator role: barrier failure-detector timeout")
+	viewCache := fs.Int("view-cache", 0, "materialized cleaning views to cache (0 = off); re-polled statements over unchanged or appended sources serve incrementally")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -471,6 +476,9 @@ func cmdServe(args []string) error {
 	opts := []cleandb.Option{cleandb.WithWorkers(*workers)}
 	if *standalone {
 		opts = append(opts, cleandb.WithStandaloneOps())
+	}
+	if *viewCache > 0 {
+		opts = append(opts, cleandb.WithViewCache(*viewCache))
 	}
 	db := cleandb.Open(opts...)
 	for _, s := range sources {

@@ -1,0 +1,441 @@
+package cleandb
+
+// Incremental-cleaning equivalence property tests: appending rows to a
+// source and re-running a cleaning statement through the materialized view
+// cache must produce results bit-identical — rows, task rows, repair
+// summaries — to a cold full re-clean over the complete data, while the
+// delta execution's comparison count stays strictly below the cold run's
+// for pair-enumerating (DC) work. The suite fuzzes over worker counts, the
+// pinned strategy matrix and the source encodings (in-memory rows, CSV
+// files via tail refresh, colbin via programmatic appends).
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"cleandb/internal/data"
+	"cleandb/internal/datagen"
+	"cleandb/internal/physical"
+)
+
+// incrQueries are the delta-decomposable statements: single-task DENIAL
+// (detect-only and REPAIR) and single-task DEDUP with append-stable
+// blocking. Each queries exactly one source.
+var incrQueries = []struct {
+	name    string
+	query   string
+	source  string
+	repairs string
+	// dc marks statements whose cold run charges per-pair comparisons, so
+	// the delta run's count must be strictly below it.
+	dc bool
+}{
+	{
+		name:   "dedup_attribute",
+		query:  `SELECT * FROM customer c DEDUP(attribute, LD, 0.8, c.address, c.name, c.phone)`,
+		source: "customer",
+	},
+	{
+		name:   "dedup_tf",
+		query:  `SELECT * FROM customer c DEDUP(token_filtering, LD, 0.7, c.name)`,
+		source: "customer",
+	},
+	{
+		name: "denial_detect",
+		query: `SELECT * FROM lineitem t1
+DENIAL(t2, t1.extendedprice < t2.extendedprice and t1.discount > t2.discount and t1.extendedprice < 9050)`,
+		source: "lineitem",
+		dc:     true,
+	},
+	{
+		name: "denial_repair",
+		query: `SELECT * FROM lineitem t1
+DENIAL(t2, t1.extendedprice < t2.extendedprice and t1.discount > t2.discount and t1.extendedprice < 9050)
+REPAIR(t1.discount)`,
+		source:  "lineitem",
+		repairs: "lineitem",
+		dc:      true,
+	},
+}
+
+// incrData returns the full relations plus the ~10% tail that plays the
+// appended delta.
+func incrData() (custBase, custDelta, lineBase, lineDelta []Value) {
+	customer := datagen.GenCustomer(datagen.CustomerConfig{Rows: 60, Seed: 7}).Rows
+	lineitem := datagen.GenLineitem(datagen.LineitemConfig{Rows: 150, NoiseDiscount: true, Seed: 11})
+	cb := len(customer) - len(customer)/10
+	lb := len(lineitem) - len(lineitem)/10
+	return customer[:cb], customer[cb:], lineitem[:lb], lineitem[lb:]
+}
+
+// checkIncrEquiv compares a delta-served result against a cold full
+// execution: identical rows, task rows and repaired rows.
+func checkIncrEquiv(t *testing.T, label string, got, want *Result, repairs string) {
+	t.Helper()
+	diffRows(t, label+"/rows", canonRows(got.Rows()), canonRows(want.Rows()))
+	for _, task := range want.TaskNames() {
+		wantRows, _ := want.TaskRowsOK(task)
+		gotRows, ok := got.TaskRowsOK(task)
+		if !ok {
+			t.Fatalf("%s: task %q missing from incremental result", label, task)
+		}
+		diffRows(t, label+"/task:"+task, canonRows(gotRows), canonRows(wantRows))
+	}
+	if repairs != "" {
+		diffRows(t, label+"/repaired",
+			canonRows(got.RepairedRows(repairs)), canonRows(want.RepairedRows(repairs)))
+	}
+}
+
+// TestIncrementalAppendEquivalence is the core property over in-memory
+// sources: base query (cold, view stored) → exact hit → append → delta hit
+// bit-identical to a cold DB holding all rows, with DC comparisons strictly
+// below the cold run's.
+func TestIncrementalAppendEquivalence(t *testing.T) {
+	strategies := []struct {
+		name  string
+		group physical.GroupStrategy
+		theta physical.ThetaStrategy
+	}{
+		{"aggregate_mbucket", physical.GroupAggregate, physical.ThetaMBucket},
+		{"hash_cartesian", physical.GroupHash, physical.ThetaCartesian},
+		{"sort_mbucket", physical.GroupSort, physical.ThetaMBucket},
+	}
+	custBase, custDelta, lineBase, lineDelta := incrData()
+	for _, workers := range []int{1, 3, 8} {
+		for _, st := range strategies {
+			opts := []Option{WithWorkers(workers),
+				WithGroupStrategy(st.group), WithThetaStrategy(st.theta)}
+			inc := Open(append([]Option{WithViewCache(8)}, opts...)...)
+			inc.RegisterRows("customer", custBase)
+			inc.RegisterRows("lineitem", lineBase)
+			cold := Open(opts...)
+			cold.RegisterRows("customer", append(append([]Value{}, custBase...), custDelta...))
+			cold.RegisterRows("lineitem", append(append([]Value{}, lineBase...), lineDelta...))
+
+			for _, q := range incrQueries {
+				label := fmt.Sprintf("w%d/%s/%s", workers, st.name, q.name)
+				first, err := inc.Query(q.query)
+				if err != nil {
+					t.Fatalf("%s: base query: %v", label, err)
+				}
+				if first.ViewHit() != "" {
+					t.Fatalf("%s: first execution served from view %q", label, first.ViewHit())
+				}
+				again, err := inc.Query(q.query)
+				if err != nil {
+					t.Fatalf("%s: repeat query: %v", label, err)
+				}
+				if again.ViewHit() != "exact" {
+					t.Fatalf("%s: repeat execution not an exact view hit (got %q)", label, again.ViewHit())
+				}
+				diffRows(t, label+"/exact", canonRows(again.Rows()), canonRows(first.Rows()))
+			}
+
+			if err := inc.Append("customer", custDelta); err != nil {
+				t.Fatalf("append customer: %v", err)
+			}
+			if err := inc.Append("lineitem", lineDelta); err != nil {
+				t.Fatalf("append lineitem: %v", err)
+			}
+
+			for _, q := range incrQueries {
+				label := fmt.Sprintf("w%d/%s/%s", workers, st.name, q.name)
+				got, err := inc.Query(q.query)
+				if err != nil {
+					t.Fatalf("%s: delta query: %v", label, err)
+				}
+				if got.ViewHit() != "delta" {
+					t.Fatalf("%s: appended re-execution not a delta view hit (got %q)", label, got.ViewHit())
+				}
+				want, err := cold.Query(q.query)
+				if err != nil {
+					t.Fatalf("%s: cold query: %v", label, err)
+				}
+				checkIncrEquiv(t, label, got, want, q.repairs)
+				if q.dc {
+					// The delta pass charges its candidate pairs to Comparisons;
+					// the cold join splits its pair work between Comparisons and
+					// stage ticks. Total pair-work must shrink to the delta.
+					gm, wm := got.Metrics(), want.Metrics()
+					gc := gm.Comparisons + gm.SimTicks
+					wc := wm.Comparisons + wm.SimTicks
+					if gm.Comparisons == 0 {
+						t.Fatalf("%s: delta pass charged no comparisons", label)
+					}
+					if gc >= wc {
+						t.Fatalf("%s: delta pair-work %d not below cold %d", label, gc, wc)
+					}
+				}
+			}
+
+			vs := inc.ViewCacheStats()
+			if vs.Hits == 0 || vs.DeltaHits == 0 {
+				t.Fatalf("view cache never engaged: %+v", vs)
+			}
+		}
+	}
+}
+
+// writeCSVFile renders rows as CSV (header + cells) into path.
+func writeCSVFile(t *testing.T, path string, rows []Value) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := data.WriteCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// appendCSVFile renders rows as headerless CSV lines appended to path.
+func appendCSVFile(t *testing.T, path string, rows []Value) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := data.WriteCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.Bytes()
+	if i := bytes.IndexByte(body, '\n'); i >= 0 {
+		body = body[i+1:]
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write(body); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIncrementalCSVRefreshEquivalence drives the tail-a-file path: append
+// bytes past the high-water mark, Refresh, and the delta-served result must
+// match a cold DB scanning the grown file in full.
+func TestIncrementalCSVRefreshEquivalence(t *testing.T) {
+	custBase, custDelta, _, _ := incrData()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "customer.csv")
+	writeCSVFile(t, path, custBase)
+
+	inc := Open(WithViewCache(4))
+	inc.RegisterCSVFile("customer", path)
+	query := `SELECT * FROM customer c DEDUP(token_filtering, LD, 0.7, c.name)`
+	if _, err := inc.Query(query); err != nil {
+		t.Fatalf("base query: %v", err)
+	}
+
+	appendCSVFile(t, path, custDelta)
+	added, err := inc.Refresh(context.Background(), "customer")
+	if err != nil {
+		t.Fatalf("refresh: %v", err)
+	}
+	if added != len(custDelta) {
+		t.Fatalf("refresh added %d rows, want %d", added, len(custDelta))
+	}
+
+	got, err := inc.Query(query)
+	if err != nil {
+		t.Fatalf("delta query: %v", err)
+	}
+	if got.ViewHit() != "delta" {
+		t.Fatalf("post-refresh execution not a delta view hit (got %q)", got.ViewHit())
+	}
+
+	cold := Open()
+	cold.RegisterCSVFile("customer", path)
+	want, err := cold.Query(query)
+	if err != nil {
+		t.Fatalf("cold query: %v", err)
+	}
+	checkIncrEquiv(t, "csv_refresh", got, want, "")
+
+	info, err := inc.SourceInfo("customer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.DeltaEpoch != 1 || info.AppendedRows != int64(len(custDelta)) {
+		t.Fatalf("source info epochs wrong: %+v", info)
+	}
+	if int(info.Rows) != len(custBase)+len(custDelta) {
+		t.Fatalf("source info rows %d, want %d", info.Rows, len(custBase)+len(custDelta))
+	}
+}
+
+// TestIncrementalColbinAppendEquivalence drives programmatic appends against
+// a colbin-backed source: both the incremental DB (view cache on) and the
+// cold DB (off) hold base colbin + appended rows; the view-served result
+// must match the cold full execution.
+func TestIncrementalColbinAppendEquivalence(t *testing.T) {
+	custBase, custDelta, _, _ := incrData()
+
+	// Encode the base rows as colbin via the public export path.
+	enc := Open()
+	enc.RegisterRows("customer", custBase)
+	var buf bytes.Buffer
+	if _, err := enc.ExecuteTo(context.Background(), `SELECT * FROM customer c`, NewColbinSink(&buf)); err != nil {
+		t.Fatalf("encode colbin: %v", err)
+	}
+
+	build := func(opts ...Option) *DB {
+		db := Open(opts...)
+		if err := db.RegisterColbin("customer", bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("register colbin: %v", err)
+		}
+		if err := db.Append("customer", custDelta); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+		return db
+	}
+	query := `SELECT * FROM customer c DEDUP(attribute, LD, 0.8, c.address, c.name, c.phone)`
+
+	inc := build(WithViewCache(4))
+	// Warm the view over the base, then append and go delta.
+	inc2 := Open(WithViewCache(4))
+	if err := inc2.RegisterColbin("customer", bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inc2.Query(query); err != nil {
+		t.Fatalf("base query: %v", err)
+	}
+	if err := inc2.Append("customer", custDelta); err != nil {
+		t.Fatal(err)
+	}
+	got, err := inc2.Query(query)
+	if err != nil {
+		t.Fatalf("delta query: %v", err)
+	}
+	if got.ViewHit() != "delta" {
+		t.Fatalf("appended re-execution not a delta view hit (got %q)", got.ViewHit())
+	}
+
+	want, err := inc.Query(query) // full execution: nothing cached for this state
+	if err != nil {
+		t.Fatalf("cold query: %v", err)
+	}
+	checkIncrEquiv(t, "colbin_append", got, want, "")
+}
+
+// TestConcurrentAppendWhileQuerying races appends against queries on a
+// shared view-cached DB (-race is the real assertion) and checks that
+// goroutines settle afterwards. Every query must succeed and report a row
+// count consistent with some append prefix.
+func TestConcurrentAppendWhileQuerying(t *testing.T) {
+	before := runtime.NumGoroutine()
+	customer := datagen.GenCustomer(datagen.CustomerConfig{Rows: 60, Seed: 7}).Rows
+	base, delta := customer[:40], customer[40:]
+
+	db := Open(WithWorkers(4), WithViewCache(8))
+	db.RegisterRows("customer", base)
+	query := `SELECT * FROM customer c DEDUP(token_filtering, LD, 0.7, c.name)`
+	if _, err := db.Query(query); err != nil {
+		t.Fatalf("warmup: %v", err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, row := range delta {
+			if err := db.Append("customer", []Value{row}); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if _, err := db.Query(query); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent append/query: %v", err)
+	}
+
+	// The settled state must equal a cold run over all rows.
+	got, err := db.Query(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := Open(WithWorkers(4))
+	cold.RegisterRows("customer", customer)
+	want, err := cold.Query(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffRows(t, "settled", canonRows(got.Rows()), canonRows(want.Rows()))
+
+	for i := 0; i < 50 && runtime.NumGoroutine() > before; i++ {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > before {
+		t.Fatalf("goroutine leak: %d before, %d after", before, now)
+	}
+}
+
+// TestSourceInfoRecomputedAfterReload is the regression test for the stale
+// row/byte hints: after a reset re-scan replaces the base partitions, the
+// reported rows and bytes must describe the current data, not the
+// registration-time hints.
+func TestSourceInfoRecomputedAfterReload(t *testing.T) {
+	custBase, custDelta, _, _ := incrData()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "customer.csv")
+	writeCSVFile(t, path, custBase)
+
+	db := Open()
+	db.RegisterCSVFile("customer", path)
+	if err := db.Load(context.Background(), "customer"); err != nil {
+		t.Fatal(err)
+	}
+	info, err := db.SourceInfo("customer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := os.Stat(path)
+	if int(info.Rows) != len(custBase) || info.Bytes != st.Size() {
+		t.Fatalf("loaded info rows=%d bytes=%d, want rows=%d bytes=%d",
+			info.Rows, info.Bytes, len(custBase), st.Size())
+	}
+
+	// Rewrite the file wholesale (shrink): Refresh must reset to a full
+	// re-scan and the info must track the new content exactly.
+	all := append(append([]Value{}, custBase[:10]...), custDelta...)
+	writeCSVFile(t, path, all)
+	if _, err := db.Refresh(context.Background(), "customer"); err != nil {
+		t.Fatal(err)
+	}
+	info, err = db.SourceInfo("customer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ = os.Stat(path)
+	if int(info.Rows) != len(all) || info.Bytes != st.Size() {
+		t.Fatalf("reloaded info rows=%d bytes=%d, want rows=%d bytes=%d",
+			info.Rows, info.Bytes, len(all), st.Size())
+	}
+	if info.BaseGen == 0 {
+		t.Fatalf("reset re-scan did not move the base generation: %+v", info)
+	}
+	if info.Appends != 0 || info.AppendedRows != 0 {
+		t.Fatalf("reset re-scan kept append counters: %+v", info)
+	}
+}

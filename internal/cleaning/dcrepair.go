@@ -99,8 +99,22 @@ func RepairDC(ds *engine.Dataset, cfg DCRepairConfig) (*RepairResult, error) {
 		return nil, err
 	}
 	res := &RepairResult{Repaired: ds}
+	var pairs [][2]types.Value
+	var dirty, touched map[string]bool
 	for round := 1; round <= cfg.MaxRounds; round++ {
-		pairs, err := violatingPairs(res.Repaired, cfg, round)
+		if err := ds.Context().Err(); err != nil {
+			return nil, err
+		}
+		var err error
+		if round == 1 {
+			pairs, err = violatingPairs(res.Repaired, cfg, round)
+		} else {
+			// A pair's violation status depends only on its members' values,
+			// so pairs untouched by the previous round's rewrites carry over
+			// verbatim and only pairs involving a rewritten row need
+			// re-detection — the re-check costs O(delta), not O(n²).
+			pairs, err = recheckPairs(res.Repaired, pairs, dirty, touched, cfg)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -112,7 +126,7 @@ func RepairDC(ds *engine.Dataset, cfg DCRepairConfig) (*RepairResult, error) {
 			return res, nil
 		}
 		res.Rounds = round
-		repaired, entries, clusters := repairRound(res.Repaired, pairs, cfg, round)
+		repaired, entries, newKeys, clusters := repairRound(res.Repaired, pairs, cfg, round)
 		res.Repaired = repaired
 		res.Entries = append(res.Entries, entries...)
 		res.Changed += int64(len(entries))
@@ -123,6 +137,13 @@ func RepairDC(ds *engine.Dataset, cfg DCRepairConfig) (*RepairResult, error) {
 			// spinning until MaxRounds.
 			res.Remaining = int64(len(pairs))
 			return res, nil
+		}
+		dirty = make(map[string]bool, 2*len(entries))
+		touched = make(map[string]bool, len(entries))
+		for i, e := range entries {
+			dirty[e.Key] = true
+			dirty[newKeys[i]] = true
+			touched[newKeys[i]] = true
 		}
 	}
 	leftover, err := DCCheck(res.Repaired, cfg.Check)
@@ -174,9 +195,34 @@ func violatingPairs(ds *engine.Dataset, cfg DCRepairConfig, round int) ([][2]typ
 	return out, nil
 }
 
+// recheckPairs computes the next round's violating pairs from the previous
+// round's: pairs whose members were both untouched by the round's rewrites
+// keep their violation status, so only pairs involving a rewritten row
+// (touched: the rewritten rows' new keys) are freshly enumerated against the
+// whole dataset. dirty holds both the old and new keys of rewritten rows;
+// ApplyValueRepairs rewrites every instance sharing an old key, so a
+// previous pair with neither key dirty is guaranteed to pair two unchanged
+// rows.
+func recheckPairs(ds *engine.Dataset, prev [][2]types.Value, dirty, touched map[string]bool, cfg DCRepairConfig) ([][2]types.Value, error) {
+	var carried [][2]types.Value
+	for _, p := range prev {
+		if !dirty[types.Key(p[0])] && !dirty[types.Key(p[1])] {
+			carried = append(carried, p)
+		}
+	}
+	fresh, err := DeltaDCPairs(ds, func(_ int, v types.Value) bool { return touched[types.Key(v)] }, cfg.Check)
+	if err != nil {
+		return nil, err
+	}
+	return append(carried, fresh...), nil
+}
+
 // repairRound clusters the violating pairs, solves every cluster in parallel
-// on the engine worker pool, and applies the resulting value repairs.
-func repairRound(ds *engine.Dataset, pairs [][2]types.Value, cfg DCRepairConfig, round int) (*engine.Dataset, []RepairEntry, int) {
+// on the engine worker pool, and applies the resulting value repairs. Besides
+// the entries it returns, aligned with them, the canonical keys of the
+// rewritten rows *after* the rewrite — the fresh set the next round's
+// delta re-check enumerates against.
+func repairRound(ds *engine.Dataset, pairs [][2]types.Value, cfg DCRepairConfig, round int) (*engine.Dataset, []RepairEntry, []string, int) {
 	uf := NewUnionFind()
 	byKey := map[string]types.Value{}
 	intervals := repairIntervals(pairs, cfg)
@@ -240,8 +286,13 @@ func repairRound(ds *engine.Dataset, pairs [][2]types.Value, cfg DCRepairConfig,
 		newValues[entries[i].Key] = entries[i].New
 	}
 	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
+	newKeys := make([]string, len(entries))
+	for i, e := range entries {
+		w, _ := rewriteValueCol(byKey[e.Key], cfg.RepairCol, e.New)
+		newKeys[i] = types.Key(w)
+	}
 	repaired, _ := ApplyValueRepairs(ds, cfg.RepairCol, newValues)
-	return repaired, entries, len(groups)
+	return repaired, entries, newKeys, len(groups)
 }
 
 // solveCost models the per-cluster solver work (sort + pool passes): n·log n.
@@ -482,28 +533,37 @@ func ApplyValueRepairs(ds *engine.Dataset, col string, repairs map[string]float6
 		res := make([]types.Value, len(part))
 		var local int64
 		for i, v := range part {
-			rec := v.Record()
-			if rec == nil {
-				res[i] = v
-				continue
-			}
 			repl, ok := repairs[types.Key(v)]
 			if !ok {
 				res[i] = v
 				continue
 			}
-			idx, ok := rec.Schema.Index(col)
-			if !ok {
-				res[i] = v
-				continue
+			w, rewritten := rewriteValueCol(v, col, repl)
+			res[i] = w
+			if rewritten {
+				local++
 			}
-			fields := append([]types.Value(nil), rec.Fields...)
-			fields[idx] = types.Float(repl)
-			res[i] = types.NewRecord(rec.Schema, fields)
-			local++
 		}
 		changed.Add(local)
 		return res
 	})
 	return out, changed.Load()
+}
+
+// rewriteValueCol returns v with the named numeric column replaced — the
+// single rewrite rule ApplyValueRepairs applies and repairRound's new-key
+// computation must mirror exactly. Non-records and records without the
+// column come back unchanged (rewritten=false).
+func rewriteValueCol(v types.Value, col string, repl float64) (types.Value, bool) {
+	rec := v.Record()
+	if rec == nil {
+		return v, false
+	}
+	idx, ok := rec.Schema.Index(col)
+	if !ok {
+		return v, false
+	}
+	fields := append([]types.Value(nil), rec.Fields...)
+	fields[idx] = types.Float(repl)
+	return types.NewRecord(rec.Schema, fields), true
 }

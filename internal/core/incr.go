@@ -1,0 +1,524 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"cleandb/internal/cleaning"
+	"cleandb/internal/engine"
+	"cleandb/internal/incr"
+	"cleandb/internal/lang"
+	"cleandb/internal/monoid"
+	"cleandb/internal/physical"
+	"cleandb/internal/sink"
+	"cleandb/internal/types"
+)
+
+// This file is the core half of incremental execution: deciding whether a
+// prepared statement can answer an appended-source re-execution with a delta
+// pass, compiling the analyzed DENIAL/DEDUP structure into the delta
+// detectors, and merging delta pairs into a cached Result so the outcome is
+// bit-identical (rows, task rows, repair summaries) to a cold full re-clean.
+//
+// The bit-identity contract leans on two facts. First, every single-task
+// DENIAL/DEDUP execution — cold or incremental — reports its pair rows in
+// canonical key order (execute() sorts them), so "merge equals recompute" is
+// well-defined without reconstructing a partition-dependent order. Second,
+// append-only deltas never change old rows, so a cached pair set stays valid
+// verbatim and the delta enumerators only add pairs touching fresh tuples.
+// Of the execution metrics, rows/repairs are pinned; cost counters
+// (SimTicks, Comparisons, shuffle volumes) measure the work actually done,
+// which for an incremental run is the delta — that asymmetry is the point.
+
+// IncrKind classifies what the incremental layer can do with a statement.
+type IncrKind int
+
+const (
+	// IncrNone: the statement must re-execute in full (multiple tasks,
+	// unified plans, plain queries, or an append-unstable blocker).
+	IncrNone IncrKind = iota
+	// IncrDenial: a single DENIAL task (detect-only or REPAIR).
+	IncrDenial
+	// IncrDedup: a single DEDUP task with an append-stable blocker.
+	IncrDedup
+)
+
+// IncrInfo describes the incremental eligibility of a Prepared.
+type IncrInfo struct {
+	Kind IncrKind
+	// Source is the one source the delta pass re-reads; appends to it can
+	// be answered incrementally, any other change forces a full run.
+	Source string
+}
+
+// Incremental reports whether this statement can be re-executed over an
+// appended source by a delta pass plus a cached prior Result. Eligibility is
+// structural (single task, single source, delta-decomposable operator); the
+// caller still decides whether a suitable cached Result exists.
+func (pr *Prepared) Incremental() IncrInfo {
+	if len(pr.tasks) != 1 || pr.combined != nil {
+		return IncrInfo{}
+	}
+	t := pr.tasks[0]
+	switch {
+	case t.Denial != nil:
+		if len(pr.sources) != 1 {
+			return IncrInfo{}
+		}
+		return IncrInfo{Kind: IncrDenial, Source: t.Denial.Source}
+	case t.Dedup != nil:
+		if len(pr.sources) != 1 || !appendStableBlocker(&t) {
+			return IncrInfo{}
+		}
+		return IncrInfo{Kind: IncrDedup, Source: t.Dedup.Source}
+	}
+	return IncrInfo{}
+}
+
+// appendStableBlocker reports whether the task's blocking keys depend on
+// nothing but the blocked row itself. Exact/attribute blocking, token
+// filtering and length filtering qualify; a fitted blocker (k-means centers
+// chosen from a data sample) does not — appending rows changes the fit, and
+// with it the block keys of old rows, so the cached pair set would be
+// computed against a different blocking than the delta's.
+func appendStableBlocker(t *lang.Task) bool {
+	spec := t.Dedup
+	if spec.BlockerFn == "" {
+		return true // exact value blocking: no builtin at all
+	}
+	b, ok := t.Blockers[spec.BlockerFn]
+	if !ok {
+		return false
+	}
+	switch strings.ToLower(strings.TrimSpace(b.Spec.Op)) {
+	case "token_filtering", "tf", "token filtering", "length", "len":
+		return true
+	}
+	return false
+}
+
+// Source returns the dataset this statement resolved for name at prepare
+// time, nil when the statement does not read it. A view cache compares it
+// by identity with the catalog's current dataset to know that the stamps it
+// records describe exactly the data the execution saw — an append racing
+// the execution makes the pointers differ and the view is simply not
+// cached.
+func (pr *Prepared) Source(name string) *engine.Dataset {
+	return pr.sources[name]
+}
+
+// SourceNames lists the sources this statement resolved at prepare time,
+// sorted — the set a materialized view of it must be stamped against.
+func (pr *Prepared) SourceNames() []string {
+	out := make([]string, 0, len(pr.sources))
+	for name := range pr.sources {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DeltaBase hands ExecuteDeltaContext the cached prior execution: the
+// Result computed when the source held BaseRows rows. Rows at global index
+// >= BaseRows are the appended delta.
+type DeltaBase struct {
+	Res      *Result
+	BaseRows int
+}
+
+// ExecuteDeltaContext re-executes this statement over an appended source by
+// enumerating only the pairs that touch fresh rows and merging them into the
+// cached prior Result. The returned Result's rows, task rows and repair
+// summaries are bit-identical to ExecuteContext's over the same data; its
+// cost counters reflect the delta work actually performed. The caller must
+// have checked Incremental() and that base.Res was produced by an equivalent
+// statement over the same base rows — this method trusts both.
+func (pr *Prepared) ExecuteDeltaContext(goctx context.Context, params map[string]types.Value, base DeltaBase) (*Result, error) {
+	for _, k := range pr.params {
+		if _, ok := params[k]; !ok {
+			return nil, fmt.Errorf("core: parameter %s is not bound", (&monoid.Param{Key: k}).String())
+		}
+	}
+	info := pr.Incremental()
+	if info.Kind == IncrNone {
+		return nil, fmt.Errorf("core: statement is not incrementally executable")
+	}
+	if base.Res == nil || len(base.Res.Tasks) != 1 {
+		return nil, fmt.Errorf("core: delta execution needs a cached single-task result")
+	}
+	src, ok := pr.sources[info.Source]
+	if !ok {
+		return nil, fmt.Errorf("core: source %q not in catalog", info.Source)
+	}
+
+	job := pr.pipeline.Ctx.Job(goctx)
+	ds := src.WithContext(job)
+	freshAt := func(i int, _ types.Value) bool { return i >= base.BaseRows }
+
+	var merged []types.Value
+	var keys []string
+	var err error
+	switch info.Kind {
+	case IncrDenial:
+		merged, keys, err = pr.denialDeltaRows(ds, freshAt, base, params)
+	case IncrDedup:
+		merged, keys, err = pr.dedupDeltaRows(ds, freshAt, base, params)
+	}
+	if err == nil {
+		err = job.Err()
+	}
+	if err != nil {
+		pr.pipeline.Ctx.Metrics().Merge(job.Metrics())
+		return nil, err
+	}
+
+	res := &Result{Explanation: pr.explain, workers: job.Workers, canonKeys: keys}
+	t := pr.tasks[0]
+	tr := TaskResult{
+		Name:   t.Name,
+		Output: NewRowset(partitionRows(merged, job.Workers)),
+		Plan:   pr.plans[0],
+		Comp:   pr.norm[0],
+	}
+	if t.Denial != nil && t.Denial.RepairAttr != nil {
+		// The merged pair list seeds the relaxation loop exactly as the cold
+		// plan output would; RepairDC's own later rounds are incremental
+		// either way, so cold and delta executions heal identically.
+		ex := physical.NewExecutor(job, pr.sources)
+		ex.Config = pr.pipeline.Config
+		for name, fn := range pr.builtins {
+			ex.AddBuiltin(name, fn)
+		}
+		ex.SetParams(params)
+		sum, err := pr.runRepair(ex, &pr.tasks[0], pr.plans[0], merged, map[string]*engine.Dataset{}, params)
+		if err != nil {
+			pr.pipeline.Ctx.Metrics().Merge(job.Metrics())
+			return nil, err
+		}
+		tr.Repair = sum
+	}
+	res.Tasks = append(res.Tasks, tr)
+
+	pr.pipeline.Ctx.Metrics().Merge(job.Metrics())
+	m := job.Metrics()
+	simHits, simMisses := m.SimCacheStats()
+	res.Stats = ExecStats{
+		SimTicks:         m.SimTicks(),
+		Comparisons:      m.Comparisons(),
+		ShuffledRecords:  m.ShuffledRecords(),
+		ShuffledBytes:    m.ShuffledBytes(),
+		BatchesEvaluated: m.BatchesEvaluated(),
+		SimCacheHits:     simHits,
+		SimCacheMisses:   simMisses,
+		Strategies:       m.Strategies(),
+	}
+	return res, nil
+}
+
+// denialDeltaRows merges the cached violation pairs with the fresh-touching
+// ones (bag semantics: DENIAL emits every violating index pair). Both inputs
+// are key-sorted runs — the cached view by the canonical-ordering contract,
+// the fresh pairs by an explicit sort — so the merge re-serializes only the
+// fresh pairs, not the whole cached output.
+func (pr *Prepared) denialDeltaRows(ds *engine.Dataset, freshAt func(int, types.Value) bool, base DeltaBase, params map[string]types.Value) ([]types.Value, []string, error) {
+	spec := pr.tasks[0].Denial
+	cfg, err := compileDenialCheck(spec, pr.pipeline.Config.Theta, params)
+	if err != nil {
+		return nil, nil, err
+	}
+	pairs, err := cleaning.DeltaDCPairs(ds, freshAt, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	prior := base.Res.Tasks[0].Output.Rows()
+	priorKeys := base.Res.priorKeys(prior)
+	fresh := make([]types.Value, len(pairs))
+	for i, p := range pairs {
+		fresh[i] = types.NewRecord(pairSchema, []types.Value{p[0], p[1]})
+	}
+	freshKeys := sortRowsByKey(fresh)
+	rows, keys := mergeSortedRuns(prior, priorKeys, fresh, freshKeys)
+	return rows, keys, nil
+}
+
+// dedupDeltaRows merges the cached duplicate pairs with the fresh-touching
+// ones (set semantics: a pair reported for the base is skipped even when a
+// value-identical fresh row rediscovers it). As with denialDeltaRows, only
+// the fresh pairs are serialized and sorted; the cached run merges by its
+// stored keys.
+func (pr *Prepared) dedupDeltaRows(ds *engine.Dataset, freshAt func(int, types.Value) bool, base DeltaBase, params map[string]types.Value) ([]types.Value, []string, error) {
+	d, err := pr.compileDedupDelta(params)
+	if err != nil {
+		return nil, nil, err
+	}
+	pairs, err := d.Pairs(ds, freshAt)
+	if err != nil {
+		return nil, nil, err
+	}
+	prior := base.Res.Tasks[0].Output.Rows()
+	priorKeys := base.Res.priorKeys(prior)
+	seen := make(map[string]bool, len(priorKeys))
+	for _, k := range priorKeys {
+		seen[k] = true
+	}
+	fresh := make([]types.Value, 0, len(pairs))
+	for _, p := range pairs {
+		r := types.NewRecord(pairSchema, []types.Value{p[0], p[1]})
+		if k := types.Key(r); !seen[k] {
+			seen[k] = true
+			fresh = append(fresh, r)
+		}
+	}
+	freshKeys := sortRowsByKey(fresh)
+	rows, keys := mergeSortedRuns(prior, priorKeys, fresh, freshKeys)
+	return rows, keys, nil
+}
+
+// priorKeys returns the canonical keys of the cached result's primary rows,
+// reusing the keys recorded at sort time when they match and recomputing
+// them otherwise (a defensive path for results that lost their keys).
+func (r *Result) priorKeys(rows []types.Value) []string {
+	if len(r.canonKeys) == len(rows) {
+		return r.canonKeys
+	}
+	keys := make([]string, len(rows))
+	for i, row := range rows {
+		keys[i] = types.Key(row)
+	}
+	return keys
+}
+
+// mergeSortedRuns merges two key-sorted runs into one canonical ordering.
+// Ties break toward the prior run, which keeps the merge stable; equal keys
+// mean equal values, so the choice is unobservable. If either run is
+// unexpectedly out of order (a corrupted cache), the result degrades to a
+// full sort rather than a wrong answer.
+func mergeSortedRuns(a []types.Value, aKeys []string, b []types.Value, bKeys []string) ([]types.Value, []string) {
+	if !sort.StringsAreSorted(aKeys) || !sort.StringsAreSorted(bKeys) {
+		rows := append(append(make([]types.Value, 0, len(a)+len(b)), a...), b...)
+		return rows, sortRowsByKey(rows)
+	}
+	rows := make([]types.Value, 0, len(a)+len(b))
+	keys := make([]string, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if aKeys[i] <= bKeys[j] {
+			rows, keys = append(rows, a[i]), append(keys, aKeys[i])
+			i++
+		} else {
+			rows, keys = append(rows, b[j]), append(keys, bKeys[j])
+			j++
+		}
+	}
+	rows = append(append(rows, a[i:]...), b[j:]...)
+	keys = append(append(keys, aKeys[i:]...), bKeys[j:]...)
+	return rows, keys
+}
+
+// pairSchema is the {a, b} record shape of DENIAL and DEDUP task output.
+var pairSchema = types.NewSchema("a", "b")
+
+// compileDenialCheck compiles the analyzed DENIAL structure into the
+// cleaning layer's check configuration, mirroring buildRepairConfig's
+// predicate and filter compilation but without requiring a REPAIR clause:
+// the band (when any same-attribute cross inequality exists) is only a
+// pruning aid — any conjunct of the predicate is a sound necessary
+// condition — so detect-only constraints without one still work, just
+// without pruning.
+func compileDenialCheck(spec *lang.DenialSpec, theta physical.ThetaStrategy, params map[string]types.Value) (cleaning.DCConfig, error) {
+	var cfg cleaning.DCConfig
+	comp := monoid.NewCompiler()
+	comp.Params = params
+
+	predCE, err := comp.Compile(spec.Pred, map[string]int{spec.Alias: 0, spec.SecondAlias: 1})
+	if err != nil {
+		return cfg, err
+	}
+	cfg.Pred = func(t1, t2 types.Value) bool {
+		v, err := predCE([]types.Value{t1, t2})
+		return err == nil && v.Bool()
+	}
+
+	if len(spec.T1Conjuncts) > 0 {
+		f := spec.T1Conjuncts[0]
+		for _, c := range spec.T1Conjuncts[1:] {
+			f = &monoid.BinOp{Op: "and", L: f, R: c}
+		}
+		ce, err := comp.Compile(f, map[string]int{spec.Alias: 0})
+		if err != nil {
+			return cfg, err
+		}
+		cfg.LeftFilter = func(v types.Value) bool {
+			out, err := ce([]types.Value{v})
+			return err == nil && out.Bool()
+		}
+	}
+
+	for _, c := range spec.CrossConjuncts {
+		t1Expr, op, same := sameAttrInequality(c, spec)
+		if t1Expr == nil || !same {
+			continue
+		}
+		bandCE, err := comp.Compile(t1Expr, map[string]int{spec.Alias: 0})
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Band = func(v types.Value) float64 {
+			out, err := bandCE([]types.Value{v})
+			if err != nil {
+				return 0
+			}
+			return out.Float()
+		}
+		cfg.BandOp = op
+		break
+	}
+	cfg.Strategy = theta
+	return cfg, nil
+}
+
+// compileDedupDelta compiles the analyzed DEDUP structure into the delta
+// detector's closures, with semantics identical to the desugared
+// comprehension: WHERE filters, then blocking (through the same fitted
+// builtin the plan uses), then the similar(metric, ..., theta) predicate.
+func (pr *Prepared) compileDedupDelta(params map[string]types.Value) (incr.DedupDelta, error) {
+	spec := pr.tasks[0].Dedup
+	var d incr.DedupDelta
+	comp := monoid.NewCompiler()
+	comp.Params = params
+	for name, fn := range pr.builtins {
+		comp.Builtins[name] = fn
+	}
+
+	if len(spec.Where) > 0 {
+		f := spec.Where[0]
+		for _, c := range spec.Where[1:] {
+			f = &monoid.BinOp{Op: "and", L: f, R: c}
+		}
+		ce, err := comp.Compile(f, map[string]int{spec.Alias: 0})
+		if err != nil {
+			return d, err
+		}
+		d.Keep = func(v types.Value) bool {
+			out, err := ce([]types.Value{v})
+			return err == nil && out.Bool()
+		}
+	}
+
+	blockCE, err := comp.Compile(spec.BlockAttr, map[string]int{spec.Alias: 0})
+	if err != nil {
+		return d, err
+	}
+	if spec.BlockerFn == "" {
+		// Exact blocking groups on the attribute value itself; the canonical
+		// key encoding is the grouping equality.
+		d.BlockKeys = func(v types.Value) ([]string, error) {
+			out, err := blockCE([]types.Value{v})
+			if err != nil {
+				return nil, err
+			}
+			return []string{types.Key(out)}, nil
+		}
+	} else {
+		blk, ok := pr.builtins[spec.BlockerFn]
+		if !ok {
+			return d, fmt.Errorf("core: blocker builtin %q not fitted", spec.BlockerFn)
+		}
+		d.BlockKeys = func(v types.Value) ([]string, error) {
+			attr, err := blockCE([]types.Value{v})
+			if err != nil {
+				return nil, err
+			}
+			keys, err := blk([]types.Value{attr})
+			if err != nil {
+				return nil, err
+			}
+			list := keys.List()
+			out := make([]string, len(list))
+			for i, k := range list {
+				out[i] = k.Str()
+			}
+			return out, nil
+		}
+	}
+
+	pairExpr := &monoid.Call{Fn: "similar", Args: []monoid.Expr{
+		monoid.CStr(spec.Metric),
+		monoid.Substitute(spec.SimExpr, spec.Alias, monoid.V("$p1")),
+		monoid.Substitute(spec.SimExpr, spec.Alias, monoid.V("$p2")),
+		spec.ThetaExpr,
+	}}
+	pairCE, err := comp.Compile(pairExpr, map[string]int{"$p1": 0, "$p2": 1})
+	if err != nil {
+		return d, err
+	}
+	d.Pair = func(a, b types.Value) (bool, error) {
+		out, err := pairCE([]types.Value{a, b})
+		if err != nil {
+			return false, err
+		}
+		return out.Bool(), nil
+	}
+	return d, nil
+}
+
+// canonicalPairTask reports whether the statement's single task is a
+// DENIAL/DEDUP whose output execute() pins to canonical key order — the
+// ordering contract that makes incremental merge ≡ cold recompute.
+func (pr *Prepared) canonicalPairTask() bool {
+	if pr.combined != nil || len(pr.tasks) != 1 {
+		return false
+	}
+	return pr.tasks[0].Denial != nil || pr.tasks[0].Dedup != nil
+}
+
+// sortRowsByKey orders rows by their canonical key encoding and returns the
+// keys in the sorted order. Equal keys mean equal values, so the order is
+// total and any duplicates are interchangeable. Keys are computed once per
+// row, not per comparison — pair rows serialize two full records each, which
+// made comparator-time encoding the dominant cost of large DENIAL/DEDUP
+// outputs.
+func sortRowsByKey(rows []types.Value) []string {
+	keyed := make([]struct {
+		key string
+		row types.Value
+	}, len(rows))
+	for i, r := range rows {
+		keyed[i] = struct {
+			key string
+			row types.Value
+		}{types.Key(r), r}
+	}
+	sort.Slice(keyed, func(i, j int) bool { return keyed[i].key < keyed[j].key })
+	keys := make([]string, len(rows))
+	for i := range keyed {
+		rows[i], keys[i] = keyed[i].row, keyed[i].key
+	}
+	return keys
+}
+
+// ExportTo pumps the result's primary output into s exactly as
+// ExecuteToContext does after execution: column batches drain directly when
+// both sides support it, otherwise the partitioned rows are pumped with the
+// result's own worker fan-out. It exists so a materialized view hit can
+// serve a streaming export without re-executing.
+func (r *Result) ExportTo(goctx context.Context, s sink.Sink) (int64, error) {
+	var exported int64
+	var err error
+	handled := false
+	if r.primaryDS != nil {
+		if batches := r.primaryDS.Batches(); batches != nil {
+			exported, handled, err = sink.PumpBatches(goctx, s, batches)
+		}
+	}
+	if err == nil && !handled {
+		w := r.workers
+		if w < 1 {
+			w = 1
+		}
+		exported, err = sink.Pump(goctx, s, r.Primary().Partitions(), w)
+	}
+	return exported, err
+}

@@ -145,6 +145,11 @@ type Result struct {
 	// understand column batches can drain the vectors directly instead of
 	// boxed rows. Nil when the primary output is row-backed.
 	primaryDS *engine.Dataset
+	// canonKeys holds the canonical key of each primary-task output row, in
+	// row order, when the task is a canonically-ordered DENIAL/DEDUP pair
+	// task. A delta merge against this result reuses them to merge sorted
+	// runs instead of re-serializing every cached row (see incr.go).
+	canonKeys []string
 }
 
 // Primary returns the primary output view: the combined records when
@@ -474,17 +479,27 @@ func (pr *Prepared) execute(ex *physical.Executor, job *engine.Context, params m
 			if err != nil {
 				return nil, err
 			}
-			if d.Batches() != nil {
+			switch {
+			case pr.canonicalPairTask():
+				// Single DENIAL/DEDUP task: pin the pair rows to canonical
+				// key order, the ordering contract that lets an incremental
+				// merge over a cached view reproduce a cold run bit for bit
+				// (see incr.go). Pair rows are row-backed, so flattening
+				// here costs what the first consumer would have paid.
+				rows := unwrapOut(d.Collect())
+				res.canonKeys = sortRowsByKey(rows)
+				out = NewRowset(partitionRows(rows, job.Workers))
+			case d.Batches() != nil:
 				// Columnar result: defer row boxing until a consumer asks.
 				// Batch-capable sinks drain the vectors via primaryDS and
 				// never trigger it.
 				out = LazyRowset(int(d.Count()), func() [][]types.Value {
 					return unwrapParts(d.Partitions())
 				})
-			} else {
+			default:
 				out = NewRowset(unwrapParts(d.Partitions()))
 			}
-			if i == 0 {
+			if i == 0 && !pr.canonicalPairTask() {
 				res.primaryDS = d
 			}
 		}

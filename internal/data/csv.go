@@ -82,7 +82,19 @@ func ReadCSV(r io.Reader) ([]types.Value, error) {
 // file votes on every column, exactly as if the chunks were one slice — while
 // each chunk keeps its own backing array.
 func InferColumnTypes(chunks [][][]string, cols int) []ColType {
+	out, _ := InferColumnTypesSeen(chunks, cols)
+	return out
+}
+
+// InferColumnTypesSeen is InferColumnTypes plus a per-column flag recording
+// whether any non-empty cell voted. An all-empty column defaults to string,
+// and incremental tail scans must distinguish "defaulted" from "voted" when
+// joining a tail's inferred types with the base scan's: a defaulted base
+// column may adopt the tail's type (the base cells are all nulls either
+// way), while a voted one that widens forces a full re-scan.
+func InferColumnTypesSeen(chunks [][][]string, cols int) ([]ColType, []bool) {
 	out := make([]ColType, cols)
+	voted := make([]bool, cols)
 	for i := 0; i < cols; i++ {
 		t := ColInt
 		seen := false
@@ -117,8 +129,9 @@ func InferColumnTypes(chunks [][][]string, cols int) []ColType {
 			t = ColString
 		}
 		out[i] = t
+		voted[i] = seen
 	}
-	return out
+	return out, voted
 }
 
 // ParseCell converts one raw CSV cell into a Value of the column's inferred

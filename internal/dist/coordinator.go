@@ -220,15 +220,37 @@ func (c *Coordinator) probeLoop() {
 	}
 }
 
-// shippableSources lists the catalog entries workers can load by path.
+// shippableSources lists the catalog entries workers can load by path, each
+// stamped with the coordinator's loaded epoch so workers re-scan a file that
+// grew since their last fragment.
 func (c *Coordinator) shippableSources() []sourceSpec {
 	var out []sourceSpec
 	for _, si := range c.db.SourceInfos() {
 		if si.Path != "" {
-			out = append(out, sourceSpec{Name: si.Name, Path: si.Path, Format: si.Format})
+			out = append(out, sourceSpec{Name: si.Name, Path: si.Path, Format: si.Format,
+				Version: fmt.Sprintf("g%d.e%d", si.BaseGen, si.DeltaEpoch)})
 		}
 	}
 	return out
+}
+
+// unshippableDelta reports whether any catalog source carries un-folded
+// appended partitions. Two divergences make such a catalog unreplicable:
+// memory-only appended rows (payload or programmatic appends) cannot be
+// reconstructed from any path, and even file-backed tail partitions give the
+// coordinator a partition layout a worker's cold scan of the same file will
+// never reproduce — SPMD slot masking requires identical layouts on every
+// member. Either way a distributed session would serve a stale or diverging
+// replicated view; it refuses to start instead and the query runs
+// single-process, correct. A reset re-scan (file rewritten — the base
+// generation moves) folds the tail and re-admits the source.
+func (c *Coordinator) unshippableDelta() (string, bool) {
+	for _, si := range c.db.SourceInfos() {
+		if si.Appends > 0 || si.MemRows > 0 {
+			return si.Name, true
+		}
+	}
+	return "", false
 }
 
 // FragmentResult is one worker's fragment outcome, surfaced in response
@@ -276,6 +298,10 @@ func (c *Coordinator) StartSession(ctx context.Context, query string, params map
 	c.mu.Unlock()
 	live := c.liveWorkers()
 	if len(live) == 0 || advertise == "" {
+		return nil
+	}
+	if name, ok := c.unshippableDelta(); ok {
+		c.logf("dist: source %q holds un-folded appended partitions; serving single-process", name)
 		return nil
 	}
 	members := make([]string, 0, len(live)+1)

@@ -34,6 +34,13 @@ type sourceSpec struct {
 	Name   string `json:"name"`
 	Path   string `json:"path"`
 	Format string `json:"format"`
+	// Version fingerprints the coordinator's loaded incremental state of the
+	// entry (base generation + delta epoch). A worker that already holds the
+	// path re-registers when it changes, so a file grown or rewritten since
+	// the last fragment is re-scanned instead of served from the stale load —
+	// a replicated catalog is only consistent if every member reads the same
+	// epoch.
+	Version string `json:"version,omitempty"`
 }
 
 // fragmentRequest asks a worker to execute its share of one query.

@@ -108,10 +108,14 @@ func (wk *Worker) HandleFragment(w http.ResponseWriter, r *http.Request) {
 }
 
 // syncSources registers the coordinator-shipped file-backed sources this
-// worker has not seen yet (or whose backing path moved). Sources the worker
-// already registered itself under the same name are left alone only when they
-// came from the same path; a conflicting local registration is replaced, since
-// the coordinator's catalog is authoritative for cluster queries.
+// worker has not seen yet (or whose backing path or epoch moved). Sources the
+// worker already registered itself under the same name are left alone only
+// when they came from the same path at the same version; a conflicting local
+// registration is replaced, since the coordinator's catalog is authoritative
+// for cluster queries. The version in the key is what keeps a replicated
+// catalog fresh across appends: when the coordinator's delta epoch moves, the
+// re-registration here drops the worker's stale load and the next scan reads
+// the grown file.
 func (wk *Worker) syncSources(specs []sourceSpec) error {
 	wk.mu.Lock()
 	defer wk.mu.Unlock()
@@ -119,13 +123,14 @@ func (wk *Worker) syncSources(specs []sourceSpec) error {
 		if s.Path == "" {
 			continue
 		}
-		if wk.shipped[s.Name] == s.Path {
+		key := s.Path + "#" + s.Version
+		if wk.shipped[s.Name] == key {
 			continue
 		}
 		if err := wk.db.RegisterFile(s.Name, s.Path); err != nil {
 			return fmt.Errorf("dist: ship source %q from %q: %w", s.Name, s.Path, err)
 		}
-		wk.shipped[s.Name] = s.Path
+		wk.shipped[s.Name] = key
 	}
 	return nil
 }

@@ -46,6 +46,44 @@ func FromBatchesAndRows(ctx *Context, batches []*data.ColumnBatch, parts [][]typ
 // row-backed. Entries may be nil after a cancelled job; treat nil as empty.
 func (d *Dataset) Batches() []*data.ColumnBatch { return d.batches }
 
+// Extend returns a new dataset holding d's partitions plus rows as one
+// additional partition. d is never mutated: snapshots taken before the
+// append keep their view, which is what makes appended sources safe to
+// query concurrently. In batch form the new rows are interned against the
+// source's shared dictionary so codes stay comparable across the whole
+// source; rows that cannot batch (or a wrapped view) degrade the result to
+// row form.
+func (d *Dataset) Extend(rows []types.Value) *Dataset {
+	if len(rows) == 0 {
+		return d
+	}
+	rowFallback := func() *Dataset {
+		parts := append(append([][]types.Value(nil), d.rows()...), rows)
+		return FromPartitions(d.ctx, parts)
+	}
+	if d.batches == nil || d.inner != nil {
+		return rowFallback()
+	}
+	var shared *data.Dict
+	for _, b := range d.batches {
+		if b != nil {
+			shared = b.Dict
+			break
+		}
+	}
+	nb := data.BatchFromRows(rows, data.NewDict())
+	if nb == nil || shared == nil {
+		return rowFallback()
+	}
+	nb.RemapDict(shared)
+	batches := append(append([]*data.ColumnBatch(nil), d.batches...), nb)
+	if d.parts != nil {
+		parts := append(append([][]types.Value(nil), d.parts...), rows)
+		return FromBatchesAndRows(d.ctx, batches, parts)
+	}
+	return FromBatches(d.ctx, batches)
+}
+
 // WrapSchema returns the one-field env schema rows are wrapped in at
 // materialization, when the dataset is a wrapped scan view.
 func (d *Dataset) WrapSchema() *types.Schema { return d.wrap }

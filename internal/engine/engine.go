@@ -339,6 +339,22 @@ func (c *Context) budgetLeft() bool {
 	return c.CompBudget <= 0 || c.metrics.comparisons.Load() < c.CompBudget
 }
 
+// ChargeComparisons charges n candidate-pair evaluations to the job's
+// metrics under the same budget discipline the join operators enforce: when
+// the charge would overrun CompBudget the counter saturates at the budget
+// and ErrBudgetExceeded is reported. Code that enumerates candidate pairs
+// outside the join operators (the incremental delta detectors) charges
+// through this so budgets and metrics see delta work exactly like a full
+// pass.
+func (c *Context) ChargeComparisons(n int64) error {
+	if b := c.CompBudget; b > 0 && c.metrics.comparisons.Load()+n > b {
+		chargeBudgetOverflow(&c.metrics, b)
+		return ErrBudgetExceeded
+	}
+	c.metrics.AddComparisons(n)
+	return nil
+}
+
 // runParallel executes f(0..n-1) on at most Workers concurrent goroutines.
 // When the context's Go context is cancelled, remaining work items are
 // skipped; every started goroutine still exits through the WaitGroup, so

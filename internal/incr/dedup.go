@@ -1,0 +1,135 @@
+package incr
+
+import (
+	"sort"
+
+	"cleandb/internal/engine"
+	"cleandb/internal/types"
+)
+
+// DedupDelta re-derives a DEDUP operator's pair set for the rows a delta
+// pass marks fresh, without re-running the grouping plan. The closures are
+// compiled by the core layer from the analyzed DedupSpec, so blocking,
+// filtering and the similarity predicate are exactly the desugared
+// comprehension's semantics; only append-stable blockers (whose keys depend
+// on nothing but the row itself) may be driven through here — a fitted
+// blocker that re-clusters old rows on new data must fall back to a full
+// run.
+type DedupDelta struct {
+	// Keep is the WHERE filter over a source row; nil keeps everything.
+	Keep func(types.Value) bool
+	// BlockKeys maps a kept row to its comparison-block keys.
+	BlockKeys func(types.Value) ([]string, error)
+	// Pair is the similarity predicate over an ordered candidate pair.
+	Pair func(a, b types.Value) (bool, error)
+}
+
+// Pairs enumerates the duplicate pairs that touch at least one fresh row:
+// within every block, each (i, j) member pair with a fresh member is charged
+// one comparison — the same per-candidate accounting cleaning.Dedup applies
+// to its intra-block loops — and evaluated with the similarity predicate.
+// Pairs are reported once even when blocks overlap, ordered (a, b) by
+// canonical record key with identical records excluded, exactly the
+// comprehension's reckey(p1) < reckey(p2) discipline. Rows are taken in the
+// dataset's global order, so together with a prior run's pair set over the
+// old rows the result reproduces the full pass's set.
+func (d DedupDelta) Pairs(ds *engine.Dataset, fresh func(i int, v types.Value) bool) ([][2]types.Value, error) {
+	ctx := ds.Context()
+	rows := ds.Collect()
+
+	// Block map over the kept rows; member lists stay in global row order.
+	blocks := map[string][]int{}
+	freshMask := make([]bool, len(rows))
+	keyOf := make([]string, len(rows))
+	anyFresh := false
+	for i, v := range rows {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if d.Keep != nil && !d.Keep(v) {
+			continue
+		}
+		if fresh(i, v) {
+			freshMask[i] = true
+			anyFresh = true
+		}
+		keyOf[i] = types.Key(v)
+		keys, err := d.BlockKeys(v)
+		if err != nil {
+			return nil, err
+		}
+		seenKey := map[string]bool{}
+		for _, k := range keys {
+			if seenKey[k] {
+				continue
+			}
+			seenKey[k] = true
+			blocks[k] = append(blocks[k], i)
+		}
+	}
+	if !anyFresh {
+		return nil, nil
+	}
+	// Record the pass in the strategy ledger alongside the clustering
+	// strategies it substitutes for.
+	ctx.Metrics().NoteStrategy("dedup:delta-block")
+
+	// Deterministic block order so ties and budget aborts are reproducible.
+	names := make([]string, 0, len(blocks))
+	for k := range blocks {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+
+	seenPair := map[string]bool{}
+	var out [][2]types.Value
+	for _, name := range names {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		members := blocks[name]
+		blockFresh := false
+		for _, i := range members {
+			if freshMask[i] {
+				blockFresh = true
+				break
+			}
+		}
+		if !blockFresh {
+			continue // fully-old block: its pairs are all in the cached view
+		}
+		for ai := 0; ai < len(members); ai++ {
+			for bi := ai + 1; bi < len(members); bi++ {
+				i, j := members[ai], members[bi]
+				if !freshMask[i] && !freshMask[j] {
+					continue // old×old: already in the cached view
+				}
+				if err := ctx.ChargeComparisons(1); err != nil {
+					return nil, err
+				}
+				a, b := rows[i], rows[j]
+				ka, kb := keyOf[i], keyOf[j]
+				if ka == kb {
+					continue // identical records: reckey < excludes them
+				}
+				if kb < ka {
+					a, b = b, a
+					ka, kb = kb, ka
+				}
+				pk := ka + "\x00" + kb
+				if seenPair[pk] {
+					continue // found in an earlier overlapping block
+				}
+				ok, err := d.Pair(a, b)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					seenPair[pk] = true
+					out = append(out, [2]types.Value{a, b})
+				}
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,274 @@
+package incr
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"cleandb/internal/engine"
+	"cleandb/internal/types"
+)
+
+func stamps(pairs ...int64) []Stamp {
+	out := make([]Stamp, 0, len(pairs)/2)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		out = append(out, Stamp{ID: fmt.Sprintf("s%d", i/2), Base: pairs[i], Delta: pairs[i+1]})
+	}
+	return out
+}
+
+func TestCacheClassification(t *testing.T) {
+	c := NewCache[string](4)
+	c.Put("q", "v", stamps(1, 0, 2, 3))
+
+	if e, f := c.Lookup("q", stamps(1, 0, 2, 3)); f != Exact || e.Val != "v" {
+		t.Fatalf("same stamps: got freshness %v val %q", f, e.Val)
+	}
+	if e, f := c.Lookup("q", stamps(1, 2, 2, 3)); f != Appended || e.Val != "v" {
+		t.Fatalf("newer delta: got freshness %v val %q", f, e.Val)
+	}
+	if _, f := c.Lookup("other", stamps(1, 0)); f != Stale {
+		t.Fatalf("absent key: got freshness %v", f)
+	}
+	// Base generation moved: stale, and the entry must be evicted on sight.
+	if _, f := c.Lookup("q", stamps(2, 0, 2, 3)); f != Stale {
+		t.Fatalf("moved base: got freshness %v", f)
+	}
+	if _, f := c.Lookup("q", stamps(1, 0, 2, 3)); f != Stale {
+		t.Fatalf("stale entry not evicted")
+	}
+
+	// An entry stamped AHEAD of the catalog (re-registered source reusing
+	// stamps) is stale, as is a source-set size mismatch.
+	c.Put("q2", "v2", stamps(1, 5))
+	if _, f := c.Lookup("q2", stamps(1, 4)); f != Stale {
+		t.Fatalf("entry newer than catalog: not stale")
+	}
+	c.Put("q3", "v3", stamps(1, 0))
+	if _, f := c.Lookup("q3", stamps(1, 0, 1, 0)); f != Stale {
+		t.Fatalf("source-set mismatch: not stale")
+	}
+	// Same position, different source identity.
+	c.Put("q4", "v4", []Stamp{{ID: "a", Base: 1, Delta: 0}})
+	if _, f := c.Lookup("q4", []Stamp{{ID: "b", Base: 1, Delta: 0}}); f != Stale {
+		t.Fatalf("source identity mismatch: not stale")
+	}
+}
+
+func TestCacheLRUAndPurge(t *testing.T) {
+	c := NewCache[int](2)
+	st := stamps(1, 0)
+	c.Put("a", 1, st)
+	c.Put("b", 2, st)
+	if _, f := c.Lookup("a", st); f != Exact {
+		t.Fatal("a missing before eviction")
+	}
+	// a is now most recent; inserting c evicts b.
+	c.Put("c", 3, st)
+	if _, f := c.Lookup("b", st); f != Stale {
+		t.Fatal("b not evicted as LRU")
+	}
+	if _, f := c.Lookup("a", st); f != Exact {
+		t.Fatal("a evicted despite recent use")
+	}
+	if got := c.Stats().Entries; got != 2 {
+		t.Fatalf("entries = %d, want 2", got)
+	}
+
+	c.Purge()
+	if got := c.Stats().Entries; got != 0 {
+		t.Fatalf("entries after purge = %d, want 0", got)
+	}
+	// Counters survive the purge.
+	if s := c.Stats(); s.Hits == 0 || s.Misses == 0 {
+		t.Fatalf("purge reset counters: %+v", s)
+	}
+}
+
+func TestCacheDisabledAndNil(t *testing.T) {
+	var nilCache *Cache[string]
+	nilCache.Put("k", "v", nil)
+	nilCache.Purge()
+	if _, f := nilCache.Lookup("k", nil); f != Stale {
+		t.Fatal("nil cache lookup not a miss")
+	}
+	if s := nilCache.Stats(); s != (Stats{}) {
+		t.Fatalf("nil cache stats %+v", s)
+	}
+
+	off := NewCache[string](0)
+	off.Put("k", "v", stamps(1, 0))
+	if _, f := off.Lookup("k", stamps(1, 0)); f != Stale {
+		t.Fatal("zero-capacity cache stored an entry")
+	}
+}
+
+// dedupRow builds a {name, city} record.
+func dedupRow(name, city string) types.Value {
+	return types.NewRecord(types.NewSchema("name", "city"), []types.Value{
+		types.String(name), types.String(city),
+	})
+}
+
+// testDelta blocks on city, pairs rows whose names share a first letter.
+func testDelta() DedupDelta {
+	return DedupDelta{
+		BlockKeys: func(v types.Value) ([]string, error) {
+			return []string{v.Field("city").Str()}, nil
+		},
+		Pair: func(a, b types.Value) (bool, error) {
+			an, bn := a.Field("name").Str(), b.Field("name").Str()
+			return an[0] == bn[0], nil
+		},
+	}
+}
+
+// fullPairs is the brute-force oracle: every intra-block pair over all rows,
+// ordered by record key, identical records excluded, deduped across blocks.
+func fullPairs(t *testing.T, d DedupDelta, rows []types.Value) map[string]bool {
+	t.Helper()
+	blocks := map[string][]int{}
+	for i, v := range rows {
+		if d.Keep != nil && !d.Keep(v) {
+			continue
+		}
+		keys, err := d.BlockKeys(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range keys {
+			blocks[k] = append(blocks[k], i)
+		}
+	}
+	out := map[string]bool{}
+	for _, members := range blocks {
+		for ai := 0; ai < len(members); ai++ {
+			for bi := ai + 1; bi < len(members); bi++ {
+				a, b := rows[members[ai]], rows[members[bi]]
+				ka, kb := types.Key(a), types.Key(b)
+				if ka == kb {
+					continue
+				}
+				if kb < ka {
+					a, b = b, a
+					ka, kb = kb, ka
+				}
+				ok, err := d.Pair(a, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ok {
+					out[ka+"\x00"+kb] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TestDedupDeltaReproducesFullPass: pairs(old rows only) ∪ delta pairs over
+// the appended suffix must equal the full pass over all rows, and the delta
+// must not report any old×old pair (those live in the cached view).
+func TestDedupDeltaReproducesFullPass(t *testing.T) {
+	rows := []types.Value{
+		dedupRow("alice", "nyc"),
+		dedupRow("aaron", "nyc"),
+		dedupRow("bob", "sf"),
+		dedupRow("bart", "sf"),
+		dedupRow("carol", "nyc"),
+		// appended delta
+		dedupRow("amber", "nyc"),
+		dedupRow("bella", "sf"),
+		dedupRow("alice", "nyc"), // identical to row 0: must be excluded
+	}
+	const baseRows = 5
+	d := testDelta()
+	ctx := engine.NewContext(2)
+	ds := engine.FromPartitions(ctx, [][]types.Value{rows})
+
+	delta, err := d.Pairs(ds, func(i int, _ types.Value) bool { return i >= baseRows })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Merge with set semantics, as core's dedupDeltaRows does: a fresh row
+	// value-identical to a base row (row 7 here) legitimately rediscovers
+	// base pairs, and the merge skips them.
+	got := fullPairs(t, d, rows[:baseRows]) // the "cached view"
+	for _, p := range delta {
+		if types.Key(p[0]) >= types.Key(p[1]) {
+			t.Fatalf("delta pair out of canonical order: %v", p)
+		}
+		got[types.Key(p[0])+"\x00"+types.Key(p[1])] = true
+	}
+	want := fullPairs(t, d, rows)
+	if len(got) != len(want) {
+		t.Fatalf("merged %d pairs, full pass has %d", len(got), len(want))
+	}
+	for k := range want {
+		if !got[k] {
+			t.Fatalf("merged set missing pair %s", strings.ReplaceAll(k, "\x00", " | "))
+		}
+	}
+	if n := ctx.Metrics().Comparisons(); n == 0 {
+		t.Fatal("delta pass charged no comparisons")
+	}
+
+	// No fresh rows: nothing to do, nothing charged.
+	before := ctx.Metrics().Comparisons()
+	none, err := d.Pairs(ds, func(int, types.Value) bool { return false })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none != nil {
+		t.Fatalf("no-fresh delta returned %d pairs", len(none))
+	}
+	if ctx.Metrics().Comparisons() != before {
+		t.Fatal("no-fresh delta charged comparisons")
+	}
+}
+
+// TestDedupDeltaSkipsFullyOldBlocks: a block untouched by fresh rows must
+// contribute zero charged comparisons.
+func TestDedupDeltaSkipsFullyOldBlocks(t *testing.T) {
+	rows := []types.Value{
+		dedupRow("alice", "nyc"), dedupRow("aaron", "nyc"), dedupRow("ada", "nyc"),
+		dedupRow("bob", "sf"),
+		// appended: touches only sf
+		dedupRow("bart", "sf"),
+	}
+	d := testDelta()
+	ctx := engine.NewContext(1)
+	ds := engine.FromPartitions(ctx, [][]types.Value{rows})
+	pairs, err := d.Pairs(ds, func(i int, _ types.Value) bool { return i >= 4 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 1 {
+		t.Fatalf("got %d pairs, want 1 (bart-bob)", len(pairs))
+	}
+	// Only the sf block is enumerated: bob×bart is the single candidate. The
+	// three nyc rows would contribute 3 more had the block not been skipped.
+	if n := ctx.Metrics().Comparisons(); n != 1 {
+		t.Fatalf("charged %d comparisons, want 1", n)
+	}
+}
+
+// TestDedupDeltaWhereFilter: rows failing Keep join no block on either side.
+func TestDedupDeltaWhereFilter(t *testing.T) {
+	rows := []types.Value{
+		dedupRow("alice", "nyc"),
+		dedupRow("amber", "skip"),
+		dedupRow("aaron", "nyc"),
+	}
+	d := testDelta()
+	d.Keep = func(v types.Value) bool { return v.Field("city").Str() != "skip" }
+	ctx := engine.NewContext(1)
+	ds := engine.FromPartitions(ctx, [][]types.Value{rows})
+	pairs, err := d.Pairs(ds, func(i int, _ types.Value) bool { return i >= 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 1 {
+		t.Fatalf("got %d pairs, want 1 (aaron-alice)", len(pairs))
+	}
+}

@@ -27,6 +27,7 @@ var Analyzer = &analysis.Analyzer{
 	Scope: []string{
 		"cleandb/internal/engine",
 		"cleandb/internal/cleaning",
+		"cleandb/internal/incr",
 		"cleandb/internal/sparksql",
 		"cleandb/internal/bigdansing",
 	},

@@ -28,6 +28,7 @@ var Analyzer = &analysis.Analyzer{
 		"cleandb/internal/engine",
 		"cleandb/internal/cleaning",
 		"cleandb/internal/physical",
+		"cleandb/internal/incr",
 		"cleandb/internal/sparksql",
 		"cleandb/internal/bigdansing",
 	},
@@ -117,7 +118,8 @@ func children(n ast.Node) []ast.Node {
 }
 
 // chargesMetrics reports whether the scope contains a charge to the cost
-// model: Metrics.AddComparisons, the stage ledger (Metrics.logStage), or the
+// model: Metrics.AddComparisons, the budget-checked per-candidate
+// Context.ChargeComparisons, the stage ledger (Metrics.logStage), or the
 // budget-overflow saturation helper.
 func chargesMetrics(pass *analysis.Pass, body *ast.BlockStmt) bool {
 	found := false
@@ -133,6 +135,7 @@ func chargesMetrics(pass *analysis.Pass, body *ast.BlockStmt) bool {
 		const enginePkg = "cleandb/internal/engine"
 		if lintutil.IsMethod(fn, enginePkg, "Metrics", "AddComparisons") ||
 			lintutil.IsMethod(fn, enginePkg, "Metrics", "logStage") ||
+			lintutil.IsMethod(fn, enginePkg, "Context", "ChargeComparisons") ||
 			lintutil.IsFunc(fn, enginePkg, "chargeBudgetOverflow") {
 			found = true
 			return false

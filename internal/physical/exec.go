@@ -594,6 +594,13 @@ func (ex *Executor) execJoin(n *algebra.Join) (*engine.Dataset, error) {
 		}
 	}
 
+	// Every branch notes its choice in the Metrics strategy ledger. The
+	// names here ("join:hash", "join:cartesian", "join:minmax",
+	// "join:mbucket", plus the "nest:*" family above) share a namespace with
+	// the incremental passes recorded outside this package ("join:delta-band",
+	// "join:delta-scan" in cleaning, "dedup:delta-block" in incr): a
+	// delta-served re-execution substitutes those passes for the join run
+	// here, and the ledger shows which machinery actually ran.
 	strat := ex.Config.Theta
 	if ex.Config.Auto {
 		strat = ex.chooseTheta(left, right)

@@ -60,6 +60,25 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	gauge("cleandb_plan_cache_hit_rate", "Fraction of plan lookups served from the cache.", rate)
 
+	vs := s.db.ViewCacheStats()
+	counter("cleandb_view_cache_hits_total", "Statements answered verbatim from a cached cleaning view.", vs.Hits)
+	counter("cleandb_view_cache_delta_hits_total", "Statements answered from a cached view plus a delta pass over appended rows.", vs.DeltaHits)
+	counter("cleandb_view_cache_misses_total", "View lookups that executed cold (view absent, disabled, or stale).", vs.Misses)
+	gauge("cleandb_view_cache_entries", "Materialized cleaning views currently resident.", float64(vs.Entries))
+
+	if infos := s.db.SourceInfos(); len(infos) > 0 {
+		appends := "cleandb_source_appends_total"
+		rowsAppended := "cleandb_source_appended_rows_total"
+		fmt.Fprintf(&sb, "# HELP %s Append operations landed per source since its load.\n# TYPE %s counter\n", appends, appends)
+		for _, info := range infos {
+			fmt.Fprintf(&sb, "%s{source=%q} %d\n", appends, info.Name, info.Appends)
+		}
+		fmt.Fprintf(&sb, "# HELP %s Rows landed by appends per source since its load.\n# TYPE %s counter\n", rowsAppended, rowsAppended)
+		for _, info := range infos {
+			fmt.Fprintf(&sb, "%s{source=%q} %d\n", rowsAppended, info.Name, info.AppendedRows)
+		}
+	}
+
 	name := "cleandb_queries_total"
 	fmt.Fprintf(&sb, "# HELP %s Query executions by terminal status.\n# TYPE %s counter\n", name, name)
 	fmt.Fprintf(&sb, "%s{status=\"ok\"} %d\n", name, s.qOK.Load())

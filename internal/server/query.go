@@ -174,6 +174,7 @@ func (s *Server) executeEnvelope(w http.ResponseWriter, ctx context.Context, ex 
 		Tasks:    res.TaskNames(),
 		Repairs:  repairSummaries(res),
 		Metrics:  metricsOf(res),
+		ViewHit:  res.ViewHit(),
 		Cluster:  clusterOf(sess, s.finishSession(sess)),
 	})
 }
@@ -185,7 +186,11 @@ type queryEnvelope struct {
 	Tasks    []string        `json:"tasks,omitempty"`
 	Repairs  []repairJSON    `json:"repairs,omitempty"`
 	Metrics  queryMetricJSON `json:"metrics"`
-	Cluster  *clusterJSON    `json:"cluster,omitempty"`
+	// ViewHit reports how the view cache served this statement: "exact"
+	// (cached result returned verbatim), "delta" (cached view merged with a
+	// delta pass over appended rows), or empty for a cold execution.
+	ViewHit string       `json:"view_hit,omitempty"`
+	Cluster *clusterJSON `json:"cluster,omitempty"`
 }
 
 // clusterJSON reports the distributed execution of one query: which workers
@@ -298,6 +303,10 @@ const (
 	trailerComparisons = "Cleandb-Comparisons"
 	trailerPlanCache   = "Cleandb-Plan-Cache-Hit"
 	trailerRepairs     = "Cleandb-Repairs-Changed"
+	// trailerViewHit carries the view-cache outcome ("exact", "delta", or
+	// empty for a cold run) — how a client watching an appendable source
+	// confirms its re-poll was served incrementally.
+	trailerViewHit = "Cleandb-View-Hit"
 	// Cluster trailers, present on distributed executions only: how many
 	// worker fragments completed, the comparisons they contributed (the
 	// coordinator's own trailerComparisons already counts the full query
@@ -328,7 +337,7 @@ func (s *Server) executeStream(w http.ResponseWriter, ctx context.Context, r *ht
 	}
 	// Announce the trailers before the first body byte; set the content type
 	// now so an immediate first partition carries it.
-	trailers := []string{trailerRows, trailerTicks, trailerComparisons, trailerPlanCache, trailerRepairs}
+	trailers := []string{trailerRows, trailerTicks, trailerComparisons, trailerPlanCache, trailerRepairs, trailerViewHit}
 	if sess != nil {
 		trailers = append(trailers, trailerClusterWorkers, trailerClusterComparisons, trailerClusterDead)
 	}
@@ -351,6 +360,7 @@ func (s *Server) executeStream(w http.ResponseWriter, ctx context.Context, r *ht
 	w.Header().Set(trailerComparisons, strconv.FormatInt(m.Comparisons, 10))
 	w.Header().Set(trailerPlanCache, strconv.FormatBool(m.PlanCacheHit))
 	w.Header().Set(trailerRepairs, strconv.FormatInt(changed, 10))
+	w.Header().Set(trailerViewHit, res.ViewHit())
 	if sess != nil {
 		frags := s.finishSession(sess)
 		var ok, comps int64

@@ -14,9 +14,13 @@
 //	GET  /v1/statements        list prepared statements
 //	POST /v1/statements/{h}    execute a prepared statement by handle
 //	DELETE /v1/statements/{h}  close a prepared statement
-//	GET  /v1/sources           list the source catalog (loaded and pending)
+//	GET  /v1/sources           list the source catalog (loaded and pending),
+//	                           with per-source delta epochs and append counts
 //	POST /v1/sources           register a path or inline payload — lazily,
 //	                           without parsing a byte
+//	POST /v1/sources/{n}/rows  append rows to a loaded source: text/csv or
+//	                           application/x-ndjson body, bumping its delta
+//	                           epoch so cached views re-run only the delta
 //	GET  /healthz              liveness (503 while draining)
 //	GET  /metrics              Prometheus text: engine counters, plan-cache
 //	                           hit rate, request counters
@@ -145,6 +149,7 @@ func New(db *cleandb.DB, cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /v1/statements/{handle}", s.handleCloseStatement)
 	s.mux.HandleFunc("GET /v1/sources", s.handleListSources)
 	s.mux.HandleFunc("POST /v1/sources", s.handleRegisterSource)
+	s.mux.HandleFunc("POST /v1/sources/{name}/rows", s.handleAppendRows)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if cfg.Coordinator != nil {

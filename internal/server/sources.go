@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"mime"
 	"net/http"
 	"os"
 	"sort"
@@ -27,12 +28,24 @@ type sourceJSON struct {
 	// would require a parse).
 	Rows  int64 `json:"rows"`
 	Bytes int64 `json:"bytes"`
+	// BaseGen and DeltaEpoch identify the loaded data's incremental state:
+	// BaseGen moves when a reset re-scan replaces the base partitions,
+	// DeltaEpoch on every append. Together with the append counters they let
+	// a client tell "same rows as last poll" from "grown since".
+	BaseGen    int64 `json:"base_gen"`
+	DeltaEpoch int64 `json:"delta_epoch"`
+	// Appends counts append operations since load; AppendedRows the rows
+	// they landed. A reset re-scan folds both back into the base.
+	Appends      int64 `json:"appends"`
+	AppendedRows int64 `json:"appended_rows"`
 }
 
 func toSourceJSON(info cleandb.SourceInfo) sourceJSON {
 	out := sourceJSON{
 		Name: info.Name, Format: info.Format, Loaded: info.Loaded,
 		Rows: info.Rows, Bytes: info.Bytes,
+		BaseGen: info.BaseGen, DeltaEpoch: info.DeltaEpoch,
+		Appends: info.Appends, AppendedRows: info.AppendedRows,
 	}
 	if info.Err != nil {
 		out.Error = info.Err.Error()
@@ -108,6 +121,54 @@ func (s *Server) handleRegisterSource(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusCreated, toSourceJSON(info))
+}
+
+// handleAppendRows appends inline rows to a registered source, dispatching
+// on Content-Type: text/csv appends through the source's CSV schema,
+// application/x-ndjson as JSON lines. Unlike registration this is eager —
+// the payload parses now, so a malformed row is a 400 here and the catalog
+// never holds half an append. The response is the source's refreshed
+// description; its delta_epoch advances on every successful call, which is
+// what delta-aware views and the cluster fingerprint key on.
+func (s *Server) handleAppendRows(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if _, err := s.db.SourceInfo(name); err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxSourceBody)
+	var buf strings.Builder
+	if _, err := copyBody(&buf, r); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	payload := []byte(buf.String())
+	if len(payload) == 0 {
+		httpError(w, http.StatusBadRequest, errors.New("empty append payload"))
+		return
+	}
+	ct, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	var err error
+	switch ct {
+	case "text/csv":
+		err = s.db.AppendCSV(name, payload)
+	case "application/x-ndjson", "application/jsonl", "application/json-lines":
+		err = s.db.AppendJSONL(name, payload)
+	default:
+		httpError(w, http.StatusUnsupportedMediaType,
+			fmt.Errorf("unsupported Content-Type %q (want text/csv or application/x-ndjson)", ct))
+		return
+	}
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	info, err := s.db.SourceInfo(name)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toSourceJSON(info))
 }
 
 // inlineSource builds a byte-backed source from an inline payload.

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"cleandb/internal/data"
 	"cleandb/internal/types"
@@ -16,8 +17,25 @@ import (
 // the body on row boundaries and parses the chunks on parallel goroutines;
 // only type inference — which needs every chunk's vote — runs between the
 // two parallel phases.
+//
+// A successful Scan also records tail state — the header, the inferred
+// column types with their voted flags, and the consumed byte offset — so
+// TailScan can parse just the bytes appended past the high-water mark and
+// ParsePayload can type inline appended rows consistently with the base.
 type CSV struct {
 	src bytesAt
+
+	mu    sync.Mutex
+	state *csvState
+}
+
+// csvState is the scan state a tail parse continues from.
+type csvState struct {
+	header   []string
+	schema   *types.Schema
+	colTypes []data.ColType
+	voted    []bool // per column: any non-empty cell seen so far
+	consumed int64  // bytes parsed (header + body), the tail high-water mark
 }
 
 // NewCSVFile returns a lazy CSV source over a file path.
@@ -72,15 +90,22 @@ func (s *CSV) Scan(ctx context.Context, parts int) ([][]types.Value, error) {
 	if err != nil {
 		return nil, err
 	}
-	return scanCSV(ctx, buf, parts)
+	out, st, err := scanCSV(ctx, buf, parts)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.state = st
+	s.mu.Unlock()
+	return out, nil
 }
 
-func scanCSV(ctx context.Context, buf []byte, parts int) ([][]types.Value, error) {
+func scanCSV(ctx context.Context, buf []byte, parts int) ([][]types.Value, *csvState, error) {
 	if parts < 1 {
 		parts = 1
 	}
 	if len(buf) == 0 {
-		return nil, nil
+		return nil, nil, nil
 	}
 	// Let the csv reader itself find the header record's end: it skips
 	// blank leading lines and handles quoting/CRLF exactly as the
@@ -89,10 +114,10 @@ func scanCSV(ctx context.Context, buf []byte, parts int) ([][]types.Value, error
 	hr.FieldsPerRecord = -1
 	header, err := hr.Read()
 	if err == io.EOF {
-		return nil, nil
+		return nil, nil, nil
 	}
 	if err != nil {
-		return nil, fmt.Errorf("source: csv: %w", err)
+		return nil, nil, fmt.Errorf("source: csv: %w", err)
 	}
 	hEnd := int(hr.InputOffset())
 	headerLines := bytes.Count(buf[:hEnd], []byte{'\n'})
@@ -120,12 +145,12 @@ func scanCSV(ctx context.Context, buf []byte, parts int) ([][]types.Value, error
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	// Phase 2: global type inference — every chunk votes on every column, so
 	// the result matches the sequential reader exactly.
-	colTypes := data.InferColumnTypes(raw, len(header))
+	colTypes, voted := data.InferColumnTypesSeen(raw, len(header))
 
 	// Phase 3: build typed records per chunk, in parallel, landing each
 	// chunk as one ordered partition.
@@ -149,9 +174,149 @@ func scanCSV(ctx context.Context, buf []byte, parts int) ([][]types.Value, error
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return out, nil
+	st := &csvState{
+		header:   header,
+		schema:   schema,
+		colTypes: colTypes,
+		voted:    voted,
+		consumed: int64(len(buf)),
+	}
+	return out, st, nil
+}
+
+// Consumed implements Tailer.
+func (s *CSV) Consumed() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state == nil {
+		return 0
+	}
+	return s.state.consumed
+}
+
+// TailScan implements Tailer: it parses only the bytes appended past the
+// last scan's high-water mark. The tail's cells vote on column types under
+// the same lattice the base scan used; if a voted base column would widen
+// (old cells like "1" parse differently as int vs float), the tail cannot
+// be represented consistently and reset=true asks the caller for a full
+// re-scan. A column the base scan defaulted (all empty) adopts the tail's
+// type — the base cells are nulls under any type. The mark only advances
+// when the tail parses cleanly.
+func (s *CSV) TailScan(ctx context.Context) ([]types.Value, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.state
+	if st == nil {
+		return nil, true, nil // no base scan recorded: caller must Scan
+	}
+	buf, err := s.src.bytes()
+	if err != nil {
+		return nil, false, err
+	}
+	if int64(len(buf)) < st.consumed {
+		return nil, true, nil // truncated or rewritten: full re-scan
+	}
+	// Without a trailing newline the base scan's last record would glue
+	// onto appended bytes, changing an already-delivered row; re-scan.
+	if st.consumed > 0 && buf[st.consumed-1] != '\n' && int64(len(buf)) > st.consumed {
+		return nil, true, nil
+	}
+	tail := buf[st.consumed:]
+	if len(tail) == 0 {
+		return nil, false, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	cr := csv.NewReader(bytes.NewReader(tail))
+	cr.FieldsPerRecord = -1
+	raw, err := cr.ReadAll()
+	if err != nil {
+		return nil, false, fmt.Errorf("source: csv: tail: %w", err)
+	}
+	tailTypes, tailVoted := data.InferColumnTypesSeen([][][]string{raw}, len(st.header))
+	merged := make([]data.ColType, len(st.header))
+	for c := range st.header {
+		switch {
+		case !tailVoted[c]:
+			merged[c] = st.colTypes[c]
+		case !st.voted[c]:
+			merged[c] = tailTypes[c]
+		default:
+			j := joinColType(st.colTypes[c], tailTypes[c])
+			if j != st.colTypes[c] {
+				return nil, true, nil // widening: base cells would re-type
+			}
+			merged[c] = j
+		}
+	}
+	rows := buildCSVRows(raw, st.header, st.schema, merged)
+	st.colTypes = merged
+	for c := range st.voted {
+		st.voted[c] = st.voted[c] || tailVoted[c]
+	}
+	st.consumed = int64(len(buf))
+	return rows, false, nil
+}
+
+// ParsePayload parses inline appended CSV rows (no header line) with the
+// column types the base scan inferred; cells that do not parse under the
+// column's type fall back to strings, exactly as ParseCell treats any
+// malformed cell. It requires a prior Scan (the header and types come from
+// it) and does not move the file high-water mark — payload rows exist only
+// in the catalog, not in the backing file.
+func (s *CSV) ParsePayload(payload []byte) ([]types.Value, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.state
+	if st == nil {
+		return nil, fmt.Errorf("source: csv: payload append before first scan")
+	}
+	cr := csv.NewReader(bytes.NewReader(payload))
+	cr.FieldsPerRecord = -1
+	raw, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("source: csv: payload: %w", err)
+	}
+	return buildCSVRows(raw, st.header, st.schema, st.colTypes), nil
+}
+
+// buildCSVRows types raw cells into records, sharing the base scan's schema
+// so appended rows batch and compare identically to base rows.
+func buildCSVRows(raw [][]string, header []string, schema *types.Schema, colTypes []data.ColType) []types.Value {
+	vals := make([]types.Value, len(raw))
+	for j, row := range raw {
+		fields := make([]types.Value, len(header))
+		for c := range header {
+			var cell string
+			if c < len(row) {
+				cell = row[c]
+			}
+			fields[c] = data.ParseCell(cell, colTypes[c])
+		}
+		vals[j] = types.NewRecord(schema, fields)
+	}
+	return vals
+}
+
+// joinColType is the inference lattice's join: int ⊑ float ⊑ string.
+func joinColType(a, b data.ColType) data.ColType {
+	rank := func(t data.ColType) int {
+		switch t {
+		case data.ColInt:
+			return 0
+		case data.ColFloat:
+			return 1
+		default:
+			return 2
+		}
+	}
+	if rank(b) > rank(a) {
+		return b
+	}
+	return a
 }
 
 // splitCSVBody cuts the post-header bytes into at most parts chunks, each

@@ -15,6 +15,58 @@ import (
 // rows in the same order. (When the sequential reader rejects an input the
 // chunked one is allowed to fail with a different message — both paths see
 // the same malformed bytes, just split differently.)
+// FuzzAppendCSVRows is the equivalence oracle for the CSV tail scan: cut a
+// file at a line boundary, Scan the prefix, grow the buffer to the full
+// input and TailScan — whenever the tail path accepts without demanding a
+// reset, base rows + tail rows must equal a cold Scan of the whole input.
+// The merged type commitment (base types lattice-joined with the tail's
+// votes, resetting on any widening of a voted column) is exactly what makes
+// this hold, so the fuzzer is hunting type-merge bugs.
+func FuzzAppendCSVRows(f *testing.F) {
+	f.Add([]byte("a,b\n1,x\n2,y\n3,z\n"), uint8(1))
+	f.Add([]byte("a,b\n1,2\n3,4\n5.5,6\n"), uint8(0))
+	f.Add([]byte("a,b\n,\n,\n1,x\n"), uint8(1))
+	f.Add([]byte("id,name\n1,\"multi\nline\"\n2,\"esc\"\"aped\"\n"), uint8(2))
+	f.Add([]byte("h\n1\n2\n"), uint8(0))
+	f.Fuzz(func(t *testing.T, in []byte, splitHint uint8) {
+		var nls []int
+		for i, c := range in {
+			if c == '\n' {
+				nls = append(nls, i)
+			}
+		}
+		if len(nls) == 0 {
+			return
+		}
+		cut := nls[int(splitHint)%len(nls)] + 1
+		src := CSVBytes(in[:cut])
+		baseParts, err := src.Scan(context.Background(), 2)
+		if err != nil {
+			return
+		}
+		src.src.buf = in // the file grows past the scanned high-water mark
+		tail, reset, err := src.TailScan(context.Background())
+		if err != nil || reset {
+			return // a rejected or resetting tail makes no equivalence claim
+		}
+		got := append(flatten(baseParts), tail...)
+
+		coldParts, err := CSVBytes(in).Scan(context.Background(), 1)
+		if err != nil {
+			t.Fatalf("tail accepted but cold scan failed: %v", err)
+		}
+		want := flatten(coldParts)
+		if len(got) != len(want) {
+			t.Fatalf("base+tail %d rows, cold scan %d", len(got), len(want))
+		}
+		for i := range want {
+			if !types.Equal(got[i], want[i]) {
+				t.Fatalf("row %d: base+tail %v != cold %v", i, got[i], want[i])
+			}
+		}
+	})
+}
+
 func FuzzCSVParallelMatchesSequential(f *testing.F) {
 	f.Add([]byte("a,b\n1,x\n2,y\n"))
 	f.Add([]byte("id,name\n1,\"multi\nline\"\n2,\"esc\"\"aped\"\n"))

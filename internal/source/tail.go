@@ -1,0 +1,35 @@
+package source
+
+import (
+	"context"
+
+	"cleandb/internal/types"
+)
+
+// Tailer is implemented by sources that can parse only the bytes appended
+// past the last scan's high-water mark instead of re-reading the whole
+// input. A successful Scan records the consumed byte offset plus whatever
+// per-format state a tail parse needs (the CSV scan's inferred column
+// types, the JSON scan's schema cache); TailScan then parses just the new
+// suffix.
+//
+// TailScan reports reset=true when the appended bytes cannot be parsed
+// consistently with the base scan — the file shrank or was rewritten, a CSV
+// column's type widened (old cells would parse differently under the joined
+// type), or no base scan state exists. The caller must then fall back to a
+// full Scan; the tail result is empty in that case.
+type Tailer interface {
+	// TailScan parses the bytes past the last high-water mark into rows,
+	// advancing the mark on success. Line-local formats (JSON lines) tails
+	// are exact; CSV tails are exact unless type widening forces reset.
+	TailScan(ctx context.Context) (rows []types.Value, reset bool, err error)
+	// Consumed reports the high-water mark: the byte offset up to which the
+	// input has been parsed, 0 before any scan.
+	Consumed() int64
+}
+
+// TailerOf returns the source's Tailer when it supports tail scans.
+func TailerOf(s Source) (Tailer, bool) {
+	t, ok := s.(Tailer)
+	return t, ok
+}

@@ -220,6 +220,51 @@ func (db *DB) Refresh(ctx context.Context, name string) (int, error) {
 	return added, nil
 }
 
+// Unload drops a loaded source's in-memory data while keeping its
+// registration identity and version counters: the next query that touches the
+// source cold-scans the backing file again. This differs from re-registering
+// the same path, which mints a new entry whose version restarts — a cluster
+// coordinator unloads (rather than re-registers) when the custody division
+// moves, so the version workers key their synced catalogs on still tracks the
+// file's incremental state and nothing else. Memory-only appended rows cannot
+// be reconstructed by a re-scan, so an entry holding any refuses; a
+// file-backed appended tail folds into the re-scanned base, which moves the
+// base generation exactly like a reset re-scan. Unloading a pending or failed
+// entry is a no-op.
+func (db *DB) Unload(name string) error {
+	e, err := db.entry(name)
+	if err != nil {
+		return err
+	}
+	e.loadMu.Lock()
+	defer e.loadMu.Unlock()
+	e.mu.Lock()
+	if e.memRows > 0 {
+		n := e.memRows
+		e.mu.Unlock()
+		return fmt.Errorf("cleandb: unload source %q: %d memory-only appended rows would be lost", name, n)
+	}
+	if !e.loaded {
+		e.mu.Unlock()
+		return nil
+	}
+	folds := e.appends > 0
+	if folds {
+		e.baseGen++
+		e.appends, e.appendRows, e.appendBytes = 0, 0, 0
+	}
+	e.loaded, e.ds, e.err = false, nil, nil
+	e.custody = nil
+	e.mu.Unlock()
+	// Always move the stats epoch, not just when appends folded: a cached
+	// plan pins the unloaded dataset by reference, so without a new epoch
+	// the next query would serve the stale data without ever re-loading —
+	// and under a cluster session would never reach the scan barrier the
+	// freshly-cold members are parked at.
+	db.noteLoad()
+	return nil
+}
+
 // refresh tail-scans the entry's source. changed reports whether the
 // dataset moved (tail rows landed, or a reset re-scanned the base).
 func (e *sourceEntry) refresh(goctx context.Context, ectx *engine.Context) (added int, changed bool, err error) {

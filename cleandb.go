@@ -53,6 +53,7 @@ package cleandb
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"iter"
@@ -260,6 +261,12 @@ type sourceEntry struct {
 	// view-cache stamps embed it so a re-registered source never matches
 	// its predecessor's cached views.
 	id string
+	// name is the catalog name the entry was registered under. Custody scan
+	// stages are keyed by it ("scan/<name>"), so all cluster members agree on
+	// the stage without coordination; entries that never went through
+	// register (eager readers load first) leave it empty and always scan
+	// replicated.
+	name string
 
 	loadMu sync.Mutex
 
@@ -281,12 +288,17 @@ type sourceEntry struct {
 	appendRows  int64
 	appendBytes int64
 	memRows     int64
+	// custody, when non-nil, records what this member parsed from disk under
+	// a partition-custody scan (custody.go); nil for replicated loads, where
+	// owned equals total.
+	custody *custodyLoad
 }
 
 // load scans the source into a partitioned dataset exactly once. Scan
 // failures are remembered (re-register the source to retry) — except
-// cancellations: a query aborted mid-load must not poison the source for
-// the next one.
+// cancellations and custody-scan failures: a query aborted mid-load, or a
+// divided scan that died with its cluster session, must not poison the
+// source for the next one.
 func (e *sourceEntry) load(goctx context.Context, ectx *engine.Context) (*engine.Dataset, error) {
 	e.loadMu.Lock()
 	defer e.loadMu.Unlock()
@@ -296,7 +308,8 @@ func (e *sourceEntry) load(goctx context.Context, ectx *engine.Context) (*engine
 	//lint:ignore locksnapshot loadMu is the per-source single-flight latch: holding it across the first scan is the point
 	ds, err := e.scan(goctx, ectx)
 	if err != nil {
-		if goctx.Err() == nil {
+		var transient *custodyScanError
+		if goctx.Err() == nil && !errors.As(err, &transient) {
 			e.mu.Lock()
 			e.loaded, e.err = true, err
 			e.mu.Unlock()
@@ -312,8 +325,14 @@ func (e *sourceEntry) load(goctx context.Context, ectx *engine.Context) (*engine
 	return ds, nil
 }
 
-// scan parses the source, columnar or row-wise per the entry's mode.
+// scan parses the source, columnar or row-wise per the entry's mode. Under a
+// cluster session whose exchange divides scans by partition custody, the
+// parse itself is split across the members (custody.go); the result is the
+// same full dataset either way.
 func (e *sourceEntry) scan(goctx context.Context, ectx *engine.Context) (*engine.Dataset, error) {
+	if ds, ok, err := e.scanCustody(goctx, ectx); ok {
+		return ds, err
+	}
 	if !e.batch {
 		parts, err := e.src.Scan(goctx, ectx.Workers)
 		if err != nil {
@@ -388,6 +407,7 @@ func (db *DB) noteLoad() { db.statsEpoch.Add(1) }
 // register installs an entry under name, replacing any previous source of
 // that name, and invalidates cached plans.
 func (db *DB) register(name string, e *sourceEntry) {
+	e.name = name // before publication: custody scans key stages on it
 	db.mu.Lock()
 	db.catalog[name] = e
 	db.epoch++
@@ -586,6 +606,14 @@ type SourceInfo struct {
 	// cluster coordinator cannot ship the source and must run such queries
 	// single-process.
 	MemRows int64
+	// OwnedPartitions / OwnedBytes report what this member parsed from disk
+	// for the load. Under a partition-custody scan a member builds only its
+	// owned (plus adopted) chunks and gathers the rest from peers, so Owned*
+	// is the member's share while Rows/Bytes/Partitions stay the totals of
+	// the complete gathered dataset. For replicated or single-process loads
+	// owned equals total.
+	OwnedPartitions int
+	OwnedBytes      int64
 }
 
 // SourceInfo reports a source's format and loaded-vs-pending-vs-failed
@@ -603,6 +631,13 @@ func (db *DB) SourceInfo(name string) (SourceInfo, error) {
 	if st, err := e.src.Stats(); err == nil {
 		info.Rows, info.Bytes = st.Rows, st.Bytes
 	}
+	// The version counters outlive the loaded data: an entry unloaded by a
+	// cluster custody resync is pending again, but its base generation must
+	// keep identifying the file's incremental state or workers keyed on the
+	// shipped version would hold stale loads.
+	e.mu.Lock()
+	info.BaseGen, info.DeltaEpoch = e.baseGen, e.deltaEpoch
+	e.mu.Unlock()
 	if ds, loaded, err := e.peek(); loaded {
 		if err != nil {
 			info.Err = err
@@ -618,15 +653,20 @@ func (db *DB) SourceInfo(name string) (SourceInfo, error) {
 			info.Rows = ds.Count()
 			info.Partitions = ds.NumPartitions()
 			e.mu.Lock()
-			info.BaseGen, info.DeltaEpoch = e.baseGen, e.deltaEpoch
 			info.Appends, info.AppendedRows = e.appends, e.appendRows
 			info.MemRows = e.memRows
 			appendBytes := e.appendBytes
+			custody := e.custody
 			e.mu.Unlock()
 			if t, ok := source.TailerOf(e.src); ok {
 				info.Bytes = t.Consumed() + appendBytes
 			} else if info.Bytes >= 0 {
 				info.Bytes += appendBytes
+			}
+			if custody != nil {
+				info.OwnedPartitions, info.OwnedBytes = custody.parts, custody.bytes
+			} else {
+				info.OwnedPartitions, info.OwnedBytes = info.Partitions, info.Bytes
 			}
 		}
 	}

@@ -15,6 +15,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strings"
 
 	"cleandb/internal/algebra"
@@ -314,7 +315,16 @@ func (p *Pipeline) Prepare(query string) (*Prepared, error) {
 			needed[t.Denial.Source] = true
 		}
 	}
+	// Resolve in sorted order, not map order: under a cluster session a cold
+	// load is a barrier every member must reach, so all members must load a
+	// query's pending sources in the same sequence or two members parked at
+	// different sources deadlock until the exchange sweep evicts one.
+	names := make([]string, 0, len(needed))
 	for name := range needed {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
 		ds, err := p.Catalog.Lookup(name)
 		if err != nil {
 			return nil, err

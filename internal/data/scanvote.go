@@ -1,0 +1,158 @@
+package data
+
+import "cleandb/internal/types"
+
+// Partition-custody scans split a source's chunks across cluster members, but
+// CSV type inference is global: every chunk votes on every column. Under
+// custody each member can only vote for the chunks it parsed, so the votes
+// themselves travel the exchange — one frameScanVote frame per chunk — and
+// every member folds the full vote set before building typed rows. The fold
+// reproduces global inference exactly because the lattice (int ⊑ float ⊑
+// string) is an order-independent max over per-cell ranks.
+
+// ColVote is one column's type vote from one scanned chunk. Voted is false
+// when the chunk held no non-empty cell for the column, in which case Type is
+// the ColString default and must not constrain the merge.
+type ColVote struct {
+	Type  ColType
+	Voted bool
+}
+
+// ColVotes pairs InferColumnTypesSeen's two results into one vote vector.
+func ColVotes(ts []ColType, voted []bool) []ColVote {
+	out := make([]ColVote, len(ts))
+	for i := range ts {
+		out[i] = ColVote{Type: ts[i], Voted: i < len(voted) && voted[i]}
+	}
+	return out
+}
+
+// MergeColVotes folds per-chunk vote vectors into the global inference
+// result: per column, the lattice join of the voted chunk types, defaulting
+// to string when no chunk voted. Equivalent to InferColumnTypesSeen over the
+// concatenated chunks.
+func MergeColVotes(chunks [][]ColVote, cols int) ([]ColType, []bool) {
+	ts := make([]ColType, cols)
+	voted := make([]bool, cols)
+	for i := range ts {
+		ts[i] = ColString
+	}
+	for _, votes := range chunks {
+		for c, v := range votes {
+			if c >= cols || !v.Voted {
+				continue
+			}
+			if !voted[c] {
+				ts[c], voted[c] = v.Type, true
+				continue
+			}
+			ts[c] = JoinColType(ts[c], v.Type)
+		}
+	}
+	return ts, voted
+}
+
+// JoinColType is the inference lattice's join: int ⊑ float ⊑ string. Types
+// outside the lattice (bool, lists — never produced by CSV inference) rank
+// with string.
+func JoinColType(a, b ColType) ColType {
+	if colTypeRank(b) > colTypeRank(a) {
+		return b
+	}
+	return a
+}
+
+func colTypeRank(t ColType) int {
+	switch t {
+	case ColInt:
+		return 0
+	case ColFloat:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// voteSchema is the row form of a vote vector: one record per column. The
+// engine's exchange traffics in rows, so vote vectors cross the Gather
+// boundary as records and the dist layer transcodes them to the compact
+// frameScanVote wire frames.
+var voteSchema = types.NewSchema("coltype", "voted")
+
+// VoteRows renders one chunk's vote vector as exchange rows.
+func VoteRows(votes []ColVote) []types.Value {
+	out := make([]types.Value, len(votes))
+	for i, v := range votes {
+		voted := int64(0)
+		if v.Voted {
+			voted = 1
+		}
+		out[i] = types.NewRecord(voteSchema, []types.Value{
+			types.Int(int64(v.Type)), types.Int(voted),
+		})
+	}
+	return out
+}
+
+// VotesOfRows parses rows produced by VoteRows (possibly after a wire round
+// trip) back into a vote vector.
+func VotesOfRows(rows []types.Value) ([]ColVote, error) {
+	out := make([]ColVote, len(rows))
+	for i, r := range rows {
+		rec := r.Record()
+		if rec == nil || len(rec.Fields) != 2 ||
+			rec.Fields[0].Kind() != types.KindInt || rec.Fields[1].Kind() != types.KindInt {
+			return nil, corrupt("row %d is not a scan vote", i)
+		}
+		t := rec.Fields[0].Int()
+		if t < 0 || t > int64(ColStringList) {
+			return nil, corrupt("row %d: column type %d out of range", i, t)
+		}
+		out[i] = ColVote{Type: ColType(t), Voted: rec.Fields[1].Int() != 0}
+	}
+	return out, nil
+}
+
+// EncodeScanVoteFrame seals one chunk's vote vector as a wire frame. Votes
+// are tiny — two bytes per column — so the frame skips the string/schema
+// tables the row codecs carry.
+func EncodeScanVoteFrame(votes []ColVote) []byte {
+	payload := make([]byte, 0, 2*len(votes))
+	for _, v := range votes {
+		payload = append(payload, byte(v.Type))
+		if v.Voted {
+			payload = append(payload, 1)
+		} else {
+			payload = append(payload, 0)
+		}
+	}
+	return sealFrame(frameScanVote, payload)
+}
+
+// DecodeScanVoteFrame decodes a frame produced by EncodeScanVoteFrame,
+// applying the same corruption checks as DecodeRowsFrame: bad magic, length,
+// crc, frame type, or vote bytes all error, never panic.
+func DecodeScanVoteFrame(buf []byte) ([]ColVote, error) {
+	typ, payload, err := openFrame(buf)
+	if err != nil {
+		return nil, err
+	}
+	if typ != frameScanVote {
+		return nil, corrupt("frame type %d is not a scan vote", typ)
+	}
+	if len(payload)%2 != 0 {
+		return nil, corrupt("scan vote payload of %d bytes is not column pairs", len(payload))
+	}
+	out := make([]ColVote, len(payload)/2)
+	for i := range out {
+		t, v := payload[2*i], payload[2*i+1]
+		if t > byte(ColStringList) {
+			return nil, corrupt("column %d: type %d out of range", i, t)
+		}
+		if v > 1 {
+			return nil, corrupt("column %d: invalid voted byte %d", i, v)
+		}
+		out[i] = ColVote{Type: ColType(t), Voted: v == 1}
+	}
+	return out, nil
+}

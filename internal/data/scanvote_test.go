@@ -1,0 +1,151 @@
+package data
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// voteCells is an alphabet chosen to exercise every inference transition:
+// ints, floats (plain, exponent, the ParseFloat-accepted "NaN"), strings that
+// look numeric-ish, and empties (no vote).
+var voteCells = []string{"", "1", "-7", "007", "3.5", "2e3", "NaN", "abc", "1.0.0", "-", "9999999999999999999"}
+
+func randChunks(rng *rand.Rand, cols int) [][][]string {
+	chunks := make([][][]string, rng.Intn(5))
+	for ci := range chunks {
+		rows := make([][]string, rng.Intn(4))
+		for ri := range rows {
+			row := make([]string, cols)
+			for c := range row {
+				row[c] = voteCells[rng.Intn(len(voteCells))]
+			}
+			rows[ri] = row
+		}
+		chunks[ci] = rows
+	}
+	return chunks
+}
+
+// TestMergeColVotesMatchesGlobalInference is the custody-scan correctness
+// property: folding per-chunk votes (what partitioned members exchange) must
+// reproduce InferColumnTypesSeen over the concatenated chunks (what a
+// replicated scan computes), for any chunk split.
+func TestMergeColVotesMatchesGlobalInference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 500; trial++ {
+		cols := 1 + rng.Intn(4)
+		chunks := randChunks(rng, cols)
+
+		wantTypes, wantVoted := InferColumnTypesSeen(chunks, cols)
+
+		votes := make([][]ColVote, len(chunks))
+		for i, chunk := range chunks {
+			ts, voted := InferColumnTypesSeen([][][]string{chunk}, cols)
+			votes[i] = ColVotes(ts, voted)
+		}
+		// Merge order must not matter: fold in a shuffled order.
+		rng.Shuffle(len(votes), func(i, j int) { votes[i], votes[j] = votes[j], votes[i] })
+		gotTypes, gotVoted := MergeColVotes(votes, cols)
+
+		for c := 0; c < cols; c++ {
+			if gotTypes[c] != wantTypes[c] || gotVoted[c] != wantVoted[c] {
+				t.Fatalf("trial %d col %d: merged (%v, voted=%v) != global (%v, voted=%v)\nchunks: %v",
+					trial, c, gotTypes[c], gotVoted[c], wantTypes[c], wantVoted[c], chunks)
+			}
+		}
+	}
+}
+
+func TestScanVoteFrameRoundTrip(t *testing.T) {
+	cases := [][]ColVote{
+		nil,
+		{},
+		{{Type: ColInt, Voted: true}},
+		{{Type: ColString, Voted: false}, {Type: ColFloat, Voted: true}, {Type: ColInt, Voted: true}},
+		{{Type: ColStringList, Voted: true}, {Type: ColBool, Voted: false}},
+	}
+	for i, votes := range cases {
+		frame := EncodeScanVoteFrame(votes)
+		got, err := DecodeScanVoteFrame(frame)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if len(got) != len(votes) {
+			t.Fatalf("case %d: %d votes round-tripped to %d", i, len(votes), len(got))
+		}
+		for c := range votes {
+			if got[c] != votes[c] {
+				t.Fatalf("case %d col %d: %+v != %+v", i, c, got[c], votes[c])
+			}
+		}
+	}
+}
+
+// TestScanVoteRowsRoundTrip covers the exchange representation: votes render
+// as records, cross the wire as a rows frame, and parse back bit-identically.
+func TestScanVoteRowsRoundTrip(t *testing.T) {
+	votes := []ColVote{
+		{Type: ColInt, Voted: true},
+		{Type: ColString, Voted: false},
+		{Type: ColFloat, Voted: true},
+	}
+	rows, err := DecodeRowsFrame(EncodeRowsFrame(VoteRows(votes)), NewDict())
+	if err != nil {
+		t.Fatalf("rows frame round trip: %v", err)
+	}
+	got, err := VotesOfRows(rows)
+	if err != nil {
+		t.Fatalf("VotesOfRows: %v", err)
+	}
+	for i := range votes {
+		if got[i] != votes[i] {
+			t.Fatalf("col %d: %+v != %+v", i, got[i], votes[i])
+		}
+	}
+	// Non-vote rows must error, not misparse.
+	if _, err := VotesOfRows(wireSampleRows()); err == nil {
+		t.Fatal("VotesOfRows accepted arbitrary rows")
+	}
+}
+
+func TestScanVoteFrameCorruption(t *testing.T) {
+	frame := EncodeScanVoteFrame([]ColVote{{Type: ColFloat, Voted: true}, {Type: ColInt, Voted: false}})
+
+	check := func(name string, buf []byte) {
+		t.Helper()
+		if _, err := DecodeScanVoteFrame(buf); !errors.Is(err, ErrFrameCorrupt) {
+			t.Fatalf("%s: err = %v, want ErrFrameCorrupt", name, err)
+		}
+	}
+	check("empty", nil)
+	check("truncated", frame[:len(frame)-3])
+	check("bad magic", append([]byte("XXXX"), frame[4:]...))
+
+	flipped := bytes.Clone(frame)
+	flipped[len(flipped)-2] ^= 0x40 // inside the trailing crc
+	check("bad crc", flipped)
+
+	// Wrong frame type: a rows frame is not a scan vote.
+	if _, err := DecodeScanVoteFrame(EncodeRowsFrame(nil)); !errors.Is(err, ErrFrameCorrupt) {
+		t.Fatalf("rows frame as scan vote: err = %v, want ErrFrameCorrupt", err)
+	}
+	// And the reverse: a scan vote frame is not rows.
+	if _, err := DecodeRowsFrame(frame, NewDict()); !errors.Is(err, ErrFrameCorrupt) {
+		t.Fatalf("scan vote frame as rows: err = %v, want ErrFrameCorrupt", err)
+	}
+
+	// Valid framing, invalid payload bytes: out-of-range type, voted > 1, odd length.
+	for _, bad := range []struct {
+		name    string
+		payload []byte
+	}{
+		{"type out of range", []byte{byte(ColStringList) + 1, 1}},
+		{"voted out of range", []byte{byte(ColInt), 2}},
+		{"odd payload", []byte{byte(ColInt)}},
+	} {
+		check(fmt.Sprintf("payload %s", bad.name), sealFrame(frameScanVote, bad.payload))
+	}
+}

@@ -31,8 +31,9 @@ import (
 
 // Frame payload types.
 const (
-	frameRows  byte = 1 // generic recursive value codec
-	frameBatch byte = 2 // columnar vectors + dictionary delta
+	frameRows     byte = 1 // generic recursive value codec
+	frameBatch    byte = 2 // columnar vectors + dictionary delta
+	frameScanVote byte = 3 // per-chunk CSV column-type votes (scanvote.go)
 )
 
 var wireMagic = [4]byte{'C', 'W', 'X', '1'}
@@ -69,20 +70,9 @@ func EncodeRowsFrame(rows []types.Value) []byte {
 // receiver's session. Round trip is bit-exact: types.Key of every decoded row
 // equals types.Key of the encoded one.
 func DecodeRowsFrame(buf []byte, dict *Dict) ([]types.Value, error) {
-	if len(buf) < frameOverhead {
-		return nil, corrupt("short frame: %d bytes", len(buf))
-	}
-	if [4]byte(buf[:4]) != wireMagic {
-		return nil, corrupt("bad magic %q", buf[:4])
-	}
-	typ := buf[4]
-	plen := binary.LittleEndian.Uint32(buf[5:9])
-	if int(plen) != len(buf)-frameOverhead {
-		return nil, corrupt("payload length %d does not match frame size %d", plen, len(buf))
-	}
-	payload := buf[9 : 9+plen]
-	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(buf[9+plen:]); got != want {
-		return nil, corrupt("crc mismatch: computed %08x, frame says %08x", got, want)
+	typ, payload, err := openFrame(buf)
+	if err != nil {
+		return nil, err
 	}
 	switch typ {
 	case frameRows:
@@ -92,6 +82,28 @@ func DecodeRowsFrame(buf []byte, dict *Dict) ([]types.Value, error) {
 	default:
 		return nil, corrupt("unknown frame type %d", typ)
 	}
+}
+
+// openFrame validates the framing — magic, declared payload length, crc —
+// and returns the frame type with its payload. Shared by every frame decoder
+// so a new payload type cannot forget a check.
+func openFrame(buf []byte) (byte, []byte, error) {
+	if len(buf) < frameOverhead {
+		return 0, nil, corrupt("short frame: %d bytes", len(buf))
+	}
+	if [4]byte(buf[:4]) != wireMagic {
+		return 0, nil, corrupt("bad magic %q", buf[:4])
+	}
+	typ := buf[4]
+	plen := binary.LittleEndian.Uint32(buf[5:9])
+	if int(plen) != len(buf)-frameOverhead {
+		return 0, nil, corrupt("payload length %d does not match frame size %d", plen, len(buf))
+	}
+	payload := buf[9 : 9+plen]
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(buf[9+plen:]); got != want {
+		return 0, nil, corrupt("crc mismatch: computed %08x, frame says %08x", got, want)
+	}
+	return typ, payload, nil
 }
 
 func batchWireable(b *ColumnBatch) bool {

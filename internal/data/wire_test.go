@@ -162,30 +162,49 @@ func TestWireFrameDepthLimit(t *testing.T) {
 // FuzzWireFrameRoundTrip hardens the exchange wire path: arbitrary bytes must
 // decode cleanly or error — never panic, never allocate beyond the input size
 // — and whatever does decode must survive a re-encode round trip bit-exactly.
+// Both frame codecs the barrier exchange traffics in are driven: row frames
+// and the custody scan's type-vote frames.
 func FuzzWireFrameRoundTrip(f *testing.F) {
 	f.Add(EncodeRowsFrame(wireSampleRows()))
 	f.Add(EncodeRowsFrame(wireNestedRows()))
 	f.Add(EncodeRowsFrame(nil))
 	f.Add(EncodeRowsFrame([]types.Value{types.String(strings.Repeat("z", 300)), types.Int(-1)}))
+	f.Add(EncodeScanVoteFrame([]ColVote{{Type: ColInt, Voted: true}, {Type: ColString, Voted: false}}))
+	f.Add(EncodeScanVoteFrame(nil))
 	f.Add([]byte("CWX1"))
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, raw []byte) {
 		rows, err := DecodeRowsFrame(raw, NewDict())
+		if err == nil {
+			frame := EncodeRowsFrame(rows)
+			again, err := DecodeRowsFrame(frame, NewDict())
+			if err != nil {
+				t.Fatalf("re-encode of decoded rows failed: %v", err)
+			}
+			want, got := keysOf(rows), keysOf(again)
+			if len(want) != len(got) {
+				t.Fatalf("round trip row count %d != %d", len(got), len(want))
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("round trip row %d: %q != %q", i, got[i], want[i])
+				}
+			}
+		}
+		votes, err := DecodeScanVoteFrame(raw)
 		if err != nil {
 			return
 		}
-		frame := EncodeRowsFrame(rows)
-		again, err := DecodeRowsFrame(frame, NewDict())
+		again, err := DecodeScanVoteFrame(EncodeScanVoteFrame(votes))
 		if err != nil {
-			t.Fatalf("re-encode of decoded rows failed: %v", err)
+			t.Fatalf("re-encode of decoded votes failed: %v", err)
 		}
-		want, got := keysOf(rows), keysOf(again)
-		if len(want) != len(got) {
-			t.Fatalf("round trip row count %d != %d", len(got), len(want))
+		if len(again) != len(votes) {
+			t.Fatalf("vote round trip count %d != %d", len(again), len(votes))
 		}
-		for i := range want {
-			if want[i] != got[i] {
-				t.Fatalf("round trip row %d: %q != %q", i, got[i], want[i])
+		for i := range votes {
+			if again[i] != votes[i] {
+				t.Fatalf("vote round trip col %d: %+v != %+v", i, again[i], votes[i])
 			}
 		}
 	})

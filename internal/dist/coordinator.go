@@ -9,7 +9,10 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cleandb"
@@ -18,6 +21,14 @@ import (
 
 // coordID is the coordinator's member id: always members[0], never evicted.
 const coordID = "c0"
+
+// Custody modes. Partitioned custody divides cold scans across the members
+// (each loads only the chunks it owns and gathers the rest); replicated
+// custody is the original model where every member loads every source whole.
+const (
+	CustodyPartitioned = "partitioned"
+	CustodyReplicated  = "replicated"
+)
 
 // Config tunes a Coordinator. Zero values select the defaults.
 type Config struct {
@@ -37,11 +48,18 @@ type Config struct {
 	FragmentGrace time.Duration
 	// MaxBody caps exchange request bodies. Default 256 MiB.
 	MaxBody int64
+	// Custody selects how sessions load sources: CustodyPartitioned (the
+	// default) divides cold scans by partition custody, CustodyReplicated
+	// keeps every member loading every source whole.
+	Custody string
 	// Logf receives cluster events (registrations, evictions); nil drops them.
 	Logf func(format string, args ...any)
 }
 
 func (c Config) withDefaults() Config {
+	if c.Custody == "" {
+		c.Custody = CustodyPartitioned
+	}
 	if c.ExchangeTimeout <= 0 {
 		c.ExchangeTimeout = 30 * time.Second
 	}
@@ -63,6 +81,10 @@ type workerEntry struct {
 	url      string
 	alive    bool
 	lastSeen time.Time
+	// ownedParts/ownedBytes are the worker's last-reported loaded custody
+	// share — the /healthz and /metrics memory-division gauges.
+	ownedParts int64
+	ownedBytes int64
 }
 
 // Coordinator owns the cluster: the worker registry, health probing, session
@@ -86,6 +108,20 @@ type Coordinator struct {
 	seq      int
 	sessions map[string]*Session
 	sessSeq  int64
+	// cohort counts worker registrations, including re-registrations from a
+	// restarted worker. It feeds the custody stamp: a restarted worker holds
+	// nothing, so the whole cluster must re-divide its loads even though the
+	// membership ids look unchanged.
+	cohort int64
+	// coordShipped mirrors the workers' shipped-source keys for the
+	// coordinator's own catalog: source name → Path#Version|stamp of the last
+	// custody resync, so StartSession re-registers (and thus custody-reloads)
+	// exactly when workers will.
+	coordShipped map[string]string
+
+	// custodyRescans totals adopted-and-re-parsed scan chunks across all
+	// members and sessions — the /metrics cleandb_custody_rescan_total source.
+	custodyRescans atomic.Int64
 }
 
 // NewCoordinator builds a coordinator over db and starts its health prober.
@@ -93,15 +129,16 @@ type Coordinator struct {
 func NewCoordinator(db *cleandb.DB, cfg Config) *Coordinator {
 	cfg = cfg.withDefaults()
 	c := &Coordinator{
-		db:          db,
-		cfg:         cfg,
-		fingerprint: db.ConfigFingerprint(),
-		client:      &http.Client{},
-		probeClient: &http.Client{Timeout: cfg.ProbeInterval},
-		stop:        make(chan struct{}),
-		workers:     make(map[string]*workerEntry),
-		byURL:       make(map[string]string),
-		sessions:    make(map[string]*Session),
+		db:           db,
+		cfg:          cfg,
+		fingerprint:  db.ConfigFingerprint(),
+		client:       &http.Client{},
+		probeClient:  &http.Client{Timeout: cfg.ProbeInterval},
+		stop:         make(chan struct{}),
+		workers:      make(map[string]*workerEntry),
+		byURL:        make(map[string]string),
+		sessions:     make(map[string]*Session),
+		coordShipped: make(map[string]string),
 	}
 	c.probeWG.Add(1)
 	go c.probeLoop()
@@ -133,9 +170,13 @@ func (c *Coordinator) logf(format string, args ...any) {
 }
 
 // register adds (or refreshes) a worker by URL and returns its stable id.
+// Every call bumps the registration cohort: a worker only registers at
+// startup, so a repeat registration from a known URL means the worker
+// restarted empty and custody loads must re-divide.
 func (c *Coordinator) register(url string) string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.cohort++
 	if id, ok := c.byURL[url]; ok {
 		w := c.workers[id]
 		w.alive = true
@@ -148,6 +189,23 @@ func (c *Coordinator) register(url string) string {
 	c.byURL[url] = id
 	c.logf("dist: worker %s registered at %s", id, url)
 	return id
+}
+
+// noteEviction runs whenever a session evicts a member. Under partitioned
+// custody an eviction can leave the victim cold — its divided scan died with
+// the session while the survivors adopted its chunks and finished warm — a
+// state no later session with the same stamp repairs, because warm members
+// never revisit the scan barrier the cold one parks at. Bumping the cohort
+// changes the next session's custody stamp, so every member goes cold and
+// re-divides in lockstep and the victim (if still alive) rejoins cleanly.
+func (c *Coordinator) noteEviction(session, member string) {
+	if c.cfg.Custody != CustodyPartitioned {
+		return
+	}
+	c.mu.Lock()
+	c.cohort++
+	c.mu.Unlock()
+	c.logf("dist: session %s: evicted %s; custody re-divides next session", session, member)
 }
 
 // liveWorkers snapshots the alive registry entries in id order.
@@ -234,6 +292,53 @@ func (c *Coordinator) shippableSources() []sourceSpec {
 	return out
 }
 
+// custodyStamp fingerprints one custody division: the mode, the registration
+// cohort and the session membership. Any change to it means the chunks each
+// member owns (or holds) may have moved, so stamped shipped-source keys force
+// a re-registration — and with it a freshly divided cold scan — on every
+// member at once.
+func custodyStamp(mode string, cohort int64, members []string) string {
+	return mode + "/" + strconv.FormatInt(cohort, 10) + "/" + strings.Join(members, ",")
+}
+
+// resyncCustody unloads the coordinator's own shippable sources when their
+// custody stamp moved since they were last loaded. Without this a coordinator
+// holding a warm replicated load would stay silent at the scan barrier while
+// workers park on its chunks; unloading drops the warm state so the
+// coordinator cold-loads under the same division the workers use. Unload —
+// not re-registration — because the entry's version must keep tracking the
+// file's incremental state: workers key their synced catalogs on it, and a
+// version reset would mask a rewrite they still need to pick up. Sources
+// whose stamp is current keep their warm data — as do the workers', because
+// their shipped keys carry the same stamp.
+func (c *Coordinator) resyncCustody(stamp string) {
+	for _, si := range c.db.SourceInfos() {
+		if si.Path == "" {
+			continue
+		}
+		key := sourceKey(si, stamp)
+		c.mu.Lock()
+		cur := c.coordShipped[si.Name]
+		c.mu.Unlock()
+		if cur == key {
+			continue
+		}
+		if err := c.db.Unload(si.Name); err != nil {
+			c.logf("dist: custody resync of %q failed: %v", si.Name, err)
+			continue
+		}
+		c.mu.Lock()
+		c.coordShipped[si.Name] = key
+		c.mu.Unlock()
+	}
+}
+
+// sourceKey is the stamped shipped-source identity: the same shape workers
+// key their synced registrations by in partitioned mode.
+func sourceKey(si cleandb.SourceInfo, stamp string) string {
+	return si.Path + "#" + fmt.Sprintf("g%d.e%d", si.BaseGen, si.DeltaEpoch) + "|" + stamp
+}
+
 // unshippableDelta reports whether any catalog source carries un-folded
 // appended partitions. Two divergences make such a catalog unreplicable:
 // memory-only appended rows (payload or programmatic appends) cannot be
@@ -268,6 +373,11 @@ type FragmentResult struct {
 	// ExecSlots is the count of masked join slots the worker actually
 	// executed — real work division, unlike the simulated counters above.
 	ExecSlots int64
+	// CustodyRescans counts scan chunks the worker adopted from a dead peer
+	// and re-parsed; OwnedPartitions/OwnedBytes its loaded custody share.
+	CustodyRescans  int64
+	OwnedPartitions int64
+	OwnedBytes      int64
 }
 
 // Session is one distributed query: a barrier hub, the coordinator's local
@@ -309,25 +419,37 @@ func (c *Coordinator) StartSession(ctx context.Context, query string, params map
 	for _, w := range live {
 		members = append(members, w.id)
 	}
+	custody := c.cfg.Custody == CustodyPartitioned
+	var stamp string
+	if custody {
+		c.mu.Lock()
+		cohort := c.cohort
+		c.mu.Unlock()
+		stamp = custodyStamp(c.cfg.Custody, cohort, members)
+		c.resyncCustody(stamp)
+	}
 	c.mu.Lock()
 	c.sessSeq++
 	id := fmt.Sprintf("s%06d", c.sessSeq)
 	c.mu.Unlock()
 
 	hub := newHubSession(ctx, id, members, c.cfg.ExchangeTimeout)
-	sess := &Session{c: c, id: id, hub: hub, ex: newLocalExchange(hub, ctx)}
+	hub.onEvict = func(member string) { c.noteEviction(id, member) }
+	sess := &Session{c: c, id: id, hub: hub, ex: newLocalExchange(hub, ctx, custody)}
 	c.mu.Lock()
 	c.sessions[id] = sess
 	c.mu.Unlock()
 
 	base := fragmentRequest{
-		Session:     id,
-		Members:     members,
-		ExchangeURL: advertise + "/v1/cluster/exchange",
-		Fingerprint: c.fingerprint,
-		Query:       query,
-		Params:      params,
-		Sources:     c.shippableSources(),
+		Session:      id,
+		Members:      members,
+		ExchangeURL:  advertise + "/v1/cluster/exchange",
+		Fingerprint:  c.fingerprint,
+		Query:        query,
+		Params:       params,
+		Sources:      c.shippableSources(),
+		Custody:      c.cfg.Custody,
+		CustodyStamp: stamp,
 	}
 	for _, w := range live {
 		req := base
@@ -363,8 +485,15 @@ func (s *Session) runFragment(w workerEntry, req fragmentRequest) {
 		SimTicks: resp.SimTicks, Comparisons: resp.Comparisons,
 		ShuffledRecords: resp.ShuffledRecords, ShuffledBytes: resp.ShuffledBytes,
 		Repairs: resp.Repairs, RepairsChanged: resp.RepairsChanged,
-		ExecSlots: resp.ExecSlots,
+		ExecSlots:      resp.ExecSlots,
+		CustodyRescans: resp.CustodyRescans, OwnedPartitions: resp.OwnedPartitions, OwnedBytes: resp.OwnedBytes,
 	})
+	s.c.custodyRescans.Add(resp.CustodyRescans)
+	s.c.mu.Lock()
+	if e := s.c.workers[w.id]; e != nil {
+		e.ownedParts, e.ownedBytes = resp.OwnedPartitions, resp.OwnedBytes
+	}
+	s.c.mu.Unlock()
 }
 
 func (c *Coordinator) postFragment(ctx context.Context, url string, freq fragmentRequest) (*fragmentResponse, error) {
@@ -412,6 +541,10 @@ func (s *Session) Dead() []string { return s.hub.deadMembers() }
 // executed in this session — its real share of the distributed join work.
 func (s *Session) ExecSlots() int64 { return s.ex.execSlots.Load() }
 
+// CustodyRescans reports how many scan chunks the coordinator itself adopted
+// from dead peers and re-parsed in this session.
+func (s *Session) CustodyRescans() int64 { return s.ex.custodyRescans.Load() }
+
 // Finish ends the session after the coordinator's query completed: it waits
 // up to the configured grace for worker fragments to stream their metrics
 // back (they finish right behind the last barrier), then tears the barrier
@@ -442,6 +575,7 @@ func (s *Session) Close() {
 	if closed {
 		return
 	}
+	s.c.custodyRescans.Add(s.ex.custodyRescans.Load())
 	s.hub.close()
 	s.c.mu.Lock()
 	delete(s.c.sessions, s.id)
@@ -522,18 +656,33 @@ type WorkerStatus struct {
 	// Partitions counts the loaded catalog partitions placement assigns this
 	// worker custody of under the current live membership.
 	Partitions int `json:"partitions"`
+	// OwnedPartitions and LoadedBytes are the worker's last-reported loaded
+	// custody share: how many chunks it actually parsed and the input bytes
+	// behind them. Under partitioned custody they trend to 1/N of the
+	// catalog; under replicated custody they equal the totals.
+	OwnedPartitions int64 `json:"owned_partitions"`
+	LoadedBytes     int64 `json:"loaded_bytes"`
 }
 
 // ClusterStatus is the coordinator's /healthz cluster report.
 type ClusterStatus struct {
 	Role string `json:"role"`
+	// Custody is the configured custody mode sessions run under.
+	Custody string `json:"custody"`
 	// Members is the membership the next session would use.
 	Members []string `json:"members"`
 	// CoordinatorPartitions counts the loaded partitions in the
 	// coordinator's own custody.
-	CoordinatorPartitions int            `json:"coordinator_partitions"`
-	Workers               []WorkerStatus `json:"workers"`
-	ActiveSessions        int            `json:"active_sessions"`
+	CoordinatorPartitions int `json:"coordinator_partitions"`
+	// CoordinatorOwnedPartitions/CoordinatorLoadedBytes mirror the per-worker
+	// loaded-share gauges for the coordinator's own catalog.
+	CoordinatorOwnedPartitions int64          `json:"coordinator_owned_partitions"`
+	CoordinatorLoadedBytes     int64          `json:"coordinator_loaded_bytes"`
+	Workers                    []WorkerStatus `json:"workers"`
+	ActiveSessions             int            `json:"active_sessions"`
+	// CustodyRescans totals the scan chunks adopted from dead members and
+	// re-parsed, across all members and sessions since startup.
+	CustodyRescans int64 `json:"custody_rescans"`
 }
 
 // Status reports per-worker liveness and consistent-placement partition
@@ -546,17 +695,24 @@ func (c *Coordinator) Status() ClusterStatus {
 		members = append(members, w.id)
 	}
 	counts := make(map[string]int)
+	var coordOwned, coordBytes int64
 	for _, si := range c.db.SourceInfos() {
 		for i := 0; i < si.Partitions; i++ {
 			counts[PartitionOwner(si.Name, i, members)]++
 		}
+		coordOwned += int64(si.OwnedPartitions)
+		coordBytes += si.OwnedBytes
 	}
 	c.mu.Lock()
 	st := ClusterStatus{
-		Role:                  "coordinator",
-		Members:               members,
-		CoordinatorPartitions: counts[coordID],
-		ActiveSessions:        len(c.sessions),
+		Role:                       "coordinator",
+		Custody:                    c.cfg.Custody,
+		Members:                    members,
+		CoordinatorPartitions:      counts[coordID],
+		CoordinatorOwnedPartitions: coordOwned,
+		CoordinatorLoadedBytes:     coordBytes,
+		ActiveSessions:             len(c.sessions),
+		CustodyRescans:             c.custodyRescans.Load(),
 	}
 	ids := make([]string, 0, len(c.workers))
 	for id := range c.workers {
@@ -567,7 +723,9 @@ func (c *Coordinator) Status() ClusterStatus {
 		w := c.workers[id]
 		st.Workers = append(st.Workers, WorkerStatus{
 			ID: w.id, URL: w.url, Alive: w.alive, LastSeen: w.lastSeen,
-			Partitions: counts[w.id],
+			Partitions:      counts[w.id],
+			OwnedPartitions: w.ownedParts,
+			LoadedBytes:     w.ownedBytes,
 		})
 	}
 	c.mu.Unlock()

@@ -114,8 +114,15 @@ type testCluster struct {
 
 // newTestCluster builds an in-process loopback cluster: a coordinator DB over
 // the file sources, n workers with empty catalogs (sources arrive shipped by
-// path, as in production), everything over httptest loopback HTTP.
+// path, as in production), everything over httptest loopback HTTP. Custody
+// defaults to partitioned, as in production; newTestClusterCustody pins a
+// mode explicitly.
 func newTestCluster(tb testing.TB, n int, paths map[string]string, opts ...cleandb.Option) *testCluster {
+	tb.Helper()
+	return newTestClusterCustody(tb, n, paths, "", opts...)
+}
+
+func newTestClusterCustody(tb testing.TB, n int, paths map[string]string, custody string, opts ...cleandb.Option) *testCluster {
 	tb.Helper()
 	db := cleandb.Open(opts...)
 	for name, p := range paths {
@@ -128,6 +135,7 @@ func newTestCluster(tb testing.TB, n int, paths map[string]string, opts ...clean
 		ExchangeTimeout: 5 * time.Second,
 		ProbeInterval:   time.Second,
 		FragmentGrace:   5 * time.Second,
+		Custody:         custody,
 	})
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/cluster/register", c.coord.HandleRegister)

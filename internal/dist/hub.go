@@ -77,6 +77,12 @@ type hubSession struct {
 	ctx     context.Context
 	cancel  context.CancelFunc
 
+	// onEvict, when set, runs once per newly-evicted member, outside the
+	// session lock. The coordinator uses it to bump the custody cohort:
+	// an eviction can leave the victim cold mid-scan while everyone else
+	// finishes warm, and only a stamp change re-divides them in lockstep.
+	onEvict func(member string)
+
 	mu     sync.Mutex
 	dead   map[string]bool
 	stages map[string]*stageBarrier
@@ -223,6 +229,7 @@ func (s *hubSession) wait(callCtx context.Context, stage string, ch chan gatherR
 func (s *hubSession) sweep(stage string) {
 	s.mu.Lock()
 	var wakes []wakeMsg
+	var evicted []string
 	if b := s.stages[stage]; b != nil && !b.done {
 		var victims []string
 		for m, slots := range b.owed {
@@ -231,32 +238,49 @@ func (s *hubSession) sweep(stage string) {
 			}
 		}
 		for _, m := range victims {
-			wakes = append(wakes, s.markDeadLocked(m)...)
+			if ws, ok := s.markDeadLocked(m); ok {
+				wakes = append(wakes, ws...)
+				evicted = append(evicted, m)
+			}
 		}
 	}
 	s.mu.Unlock()
 	deliver(wakes)
+	s.notifyEvicted(evicted)
 }
 
 // markDead evicts a member (a failed fragment RPC is the eager caller) and
 // reassigns its open slots in every in-flight barrier.
 func (s *hubSession) markDead(member string) {
 	s.mu.Lock()
-	wakes := s.markDeadLocked(member)
+	wakes, ok := s.markDeadLocked(member)
 	s.mu.Unlock()
 	deliver(wakes)
+	if ok {
+		s.notifyEvicted([]string{member})
+	}
 }
 
-func (s *hubSession) markDeadLocked(member string) []wakeMsg {
+// notifyEvicted reports newly-evicted members to onEvict, outside s.mu.
+func (s *hubSession) notifyEvicted(members []string) {
+	if s.onEvict == nil {
+		return
+	}
+	for _, m := range members {
+		s.onEvict(m)
+	}
+}
+
+func (s *hubSession) markDeadLocked(member string) ([]wakeMsg, bool) {
 	if member == s.members[0] || s.dead[member] || !s.isMemberLocked(member) {
-		return nil
+		return nil, false
 	}
 	s.dead[member] = true
 	var wakes []wakeMsg
 	for _, b := range s.stages {
 		wakes = append(wakes, s.reassignLocked(b, member)...)
 	}
-	return wakes
+	return wakes, true
 }
 
 // reassignLocked moves the open slots of a dead member to the lowest live
@@ -326,7 +350,7 @@ func (s *hubSession) stageLocked(stage string, n int) (*stageBarrier, error) {
 		waiters: make(map[string]chan gatherResult),
 	}
 	for _, m := range s.members {
-		if slots := ownedSlots(stage, n, m, s.members); len(slots) > 0 {
+		if slots := stageSlots(stage, n, m, s.members); len(slots) > 0 {
 			b.owed[m] = slots
 		}
 	}

@@ -14,6 +14,14 @@
 // rows, repairs and cost metrics — having personally executed only its share
 // of the join work.
 //
+// Under partition custody (the default -custody=partitioned) the same
+// masking divides the scans: a cold source load becomes a pair of masked
+// stages ("scanvote/<source>", "scan/<source>") whose slots are the source's
+// chunks, keyed by PartitionOwner — so each member parses only the chunks it
+// has catalog custody of and gathers the rest through the barrier, ending
+// with the identical full partition vector. -custody=replicated restores the
+// fully replicated loads.
+//
 // Placement is rendezvous (highest-random-weight) hashing: a pure function of
 // (key, membership), so every node computes the same assignment without
 // coordination, and membership changes move only the keys owned by the nodes
@@ -25,6 +33,7 @@ package dist
 import (
 	"hash/fnv"
 	"strconv"
+	"strings"
 )
 
 // owner returns the member with the highest rendezvous weight for key.
@@ -36,12 +45,25 @@ func owner(key string, members []string) string {
 		h.Write([]byte(m))
 		h.Write([]byte{0})
 		h.Write([]byte(key))
-		v := h.Sum64()
+		v := mix64(h.Sum64())
 		if best == "" || v > bestH || (v == bestH && m < best) {
 			best, bestH = m, v
 		}
 	}
 	return best
+}
+
+// mix64 finalizes the rendezvous weight (splitmix64's avalanche). FNV-1a
+// alone leaves the weight ordering of near-identical keys — "part/x/1" vs
+// "part/x/2" — heavily correlated, which assigns long runs of a source's
+// chunks to one member instead of ~1/N each.
+func mix64(v uint64) uint64 {
+	v ^= v >> 30
+	v *= 0xbf58476d1ce4e5b9
+	v ^= v >> 27
+	v *= 0x94d049bb133111eb
+	v ^= v >> 31
+	return v
 }
 
 func slotKey(stage string, slot int) string {
@@ -61,10 +83,43 @@ func ownedSlots(stage string, n int, self string, members []string) []int {
 	return out
 }
 
+// scanSource extracts the source name from a custody scan stage
+// ("scanvote/<name>" or "scan/<name>"). Engine join stages are named
+// "<3-digit op index>/<kind>", so the prefixes cannot collide.
+func scanSource(stage string) (string, bool) {
+	if name, ok := strings.CutPrefix(stage, "scanvote/"); ok {
+		return name, true
+	}
+	if name, ok := strings.CutPrefix(stage, "scan/"); ok {
+		return name, true
+	}
+	return "", false
+}
+
+// stageSlots is the placement mask for one masked stage. Join stages hash
+// slot keys; custody scan stages reuse catalog partition custody, so the
+// member that votes a chunk's types is the member that builds it (one raw
+// parse serves both rounds) and /healthz custody reporting matches what each
+// node actually loads.
+func stageSlots(stage string, n int, self string, members []string) []int {
+	name, ok := scanSource(stage)
+	if !ok {
+		return ownedSlots(stage, n, self, members)
+	}
+	var out []int
+	for i := 0; i < n; i++ {
+		if PartitionOwner(name, i, members) == self {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
 // PartitionOwner returns the member with custody of one source partition —
 // the consistent catalog assignment keyed by source name + partition index.
-// Custody is advisory under replicated catalogs (every node holds every
-// partition, which is what makes worker loss survivable); it drives the
+// Under partitioned custody it masks the scan stages: the owner is the one
+// member that parses the chunk from disk. Under replicated custody it is
+// advisory (every node holds every partition); either way it drives the
 // placement report on the coordinator's /healthz and re-plans automatically
 // when the live membership changes.
 func PartitionOwner(source string, part int, members []string) string {

@@ -59,6 +59,15 @@ type fragmentRequest struct {
 	// TimeoutMs bounds the fragment wall clock when positive.
 	TimeoutMs int64        `json:"timeout_ms,omitempty"`
 	Sources   []sourceSpec `json:"sources"`
+	// Custody is the session's custody mode ("partitioned" or "replicated");
+	// empty means replicated, which is the pre-custody wire behavior.
+	Custody string `json:"custody,omitempty"`
+	// CustodyStamp fingerprints the custody division (mode + registration
+	// cohort + membership). Workers fold it into their shipped-source keys in
+	// partitioned mode, so a stamp change re-registers the source and the next
+	// scan re-divides under the current membership on every member at once —
+	// cold and warm members never disagree about whether a scan stage runs.
+	CustodyStamp string `json:"custody_stamp,omitempty"`
 }
 
 // fragmentResponse reports the fragment outcome. Under SPMD the worker's
@@ -79,6 +88,13 @@ type fragmentResponse struct {
 	// its placement share plus any slots reassigned to it. Unlike the
 	// simulated counters above, this one measures real work division.
 	ExecSlots int64 `json:"exec_slots"`
+	// CustodyRescans counts scan chunks this worker adopted from a dead peer
+	// and re-parsed during the fragment. OwnedPartitions and OwnedBytes are
+	// the worker's loaded custody share across the catalog — equal to the
+	// totals under replicated custody, roughly 1/N of them under partitioned.
+	CustodyRescans  int64 `json:"custody_rescans,omitempty"`
+	OwnedPartitions int64 `json:"owned_partitions,omitempty"`
+	OwnedBytes      int64 `json:"owned_bytes,omitempty"`
 }
 
 // namedArgs converts a JSON params map to cleandb named arguments, mirroring

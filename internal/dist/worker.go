@@ -62,7 +62,12 @@ func (wk *Worker) HandleFragment(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "dist: incomplete fragment request", http.StatusBadRequest)
 		return
 	}
-	if err := wk.syncSources(req.Sources); err != nil {
+	custody := req.Custody == CustodyPartitioned
+	stamp := ""
+	if custody {
+		stamp = req.CustodyStamp
+	}
+	if err := wk.syncSources(req.Sources, stamp); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
@@ -81,11 +86,17 @@ func (wk *Worker) HandleFragment(w http.ResponseWriter, r *http.Request) {
 		members: req.Members,
 		ctx:     ctx,
 		dict:    data.NewDict(),
+		custody: custody,
 	}
 
 	var resp fragmentResponse
 	res, err := wk.db.QueryContext(engine.WithExchange(ctx, ex), req.Query, namedArgs(req.Params)...)
 	resp.ExecSlots = ex.execSlots.Load()
+	resp.CustodyRescans = ex.custodyRescans.Load()
+	for _, si := range wk.db.SourceInfos() {
+		resp.OwnedPartitions += int64(si.OwnedPartitions)
+		resp.OwnedBytes += si.OwnedBytes
+	}
 	if err != nil {
 		resp.Err = err.Error()
 	} else {
@@ -116,7 +127,13 @@ func (wk *Worker) HandleFragment(w http.ResponseWriter, r *http.Request) {
 // catalog fresh across appends: when the coordinator's delta epoch moves, the
 // re-registration here drops the worker's stale load and the next scan reads
 // the grown file.
-func (wk *Worker) syncSources(specs []sourceSpec) error {
+//
+// In partitioned custody mode the key also carries the session's custody
+// stamp, so a membership or cohort change drops the previous division's warm
+// load and the next scan re-divides — on this worker at the same moment the
+// coordinator's own resync does it, keeping every member's cold/warm state in
+// lockstep. Replicated mode passes an empty stamp and keeps the plain key.
+func (wk *Worker) syncSources(specs []sourceSpec, stamp string) error {
 	wk.mu.Lock()
 	defer wk.mu.Unlock()
 	for _, s := range specs {
@@ -124,6 +141,9 @@ func (wk *Worker) syncSources(specs []sourceSpec) error {
 			continue
 		}
 		key := s.Path + "#" + s.Version
+		if stamp != "" {
+			key += "|" + stamp
+		}
 		if wk.shipped[s.Name] == key {
 			continue
 		}

@@ -103,6 +103,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 		gauge("cleandb_cluster_workers_alive", "Workers currently passing health probes.", float64(alive))
 		gauge("cleandb_cluster_workers_registered", "Workers ever registered.", float64(len(st.Workers)))
+		counter("cleandb_custody_rescan_total", "Scan chunks adopted from dead members and re-parsed.", st.CustodyRescans)
+		ownedName := "cleandb_custody_owned_partitions"
+		loadedName := "cleandb_custody_loaded_bytes"
+		fmt.Fprintf(&sb, "# HELP %s Loaded source partitions per member under its custody share.\n# TYPE %s gauge\n", ownedName, ownedName)
+		fmt.Fprintf(&sb, "%s{worker=\"c0\"} %d\n", ownedName, st.CoordinatorOwnedPartitions)
+		for _, wk := range st.Workers {
+			fmt.Fprintf(&sb, "%s{worker=%q} %d\n", ownedName, wk.ID, wk.OwnedPartitions)
+		}
+		fmt.Fprintf(&sb, "# HELP %s Input bytes parsed per member under its custody share.\n# TYPE %s gauge\n", loadedName, loadedName)
+		fmt.Fprintf(&sb, "%s{worker=\"c0\"} %d\n", loadedName, st.CoordinatorLoadedBytes)
+		for _, wk := range st.Workers {
+			fmt.Fprintf(&sb, "%s{worker=%q} %d\n", loadedName, wk.ID, wk.LoadedBytes)
+		}
 	}
 	s.stmtMu.Lock()
 	open := len(s.stmts)

@@ -198,6 +198,9 @@ type queryEnvelope struct {
 type clusterJSON struct {
 	Workers []fragmentJSON `json:"workers"`
 	Dead    []string       `json:"dead,omitempty"`
+	// CustodyRescans counts scan chunks re-parsed by custody adoption during
+	// this query, across all members.
+	CustodyRescans int64 `json:"custody_rescans,omitempty"`
 }
 
 type fragmentJSON struct {
@@ -206,17 +209,22 @@ type fragmentJSON struct {
 	Rows        int64  `json:"rows"`
 	SimTicks    int64  `json:"sim_ticks"`
 	Comparisons int64  `json:"comparisons"`
+	// OwnedBytes is the worker's loaded custody share of the catalog in
+	// input bytes — under partitioned custody, roughly 1/N of the data.
+	OwnedBytes int64 `json:"owned_bytes,omitempty"`
 }
 
 func clusterOf(sess *dist.Session, frags []dist.FragmentResult) *clusterJSON {
 	if sess == nil {
 		return nil
 	}
-	out := &clusterJSON{Dead: sess.Dead()}
+	out := &clusterJSON{Dead: sess.Dead(), CustodyRescans: sess.CustodyRescans()}
 	for _, f := range frags {
+		out.CustodyRescans += f.CustodyRescans
 		out.Workers = append(out.Workers, fragmentJSON{
 			Worker: f.Worker, Err: f.Err, Rows: f.Rows,
 			SimTicks: f.SimTicks, Comparisons: f.Comparisons,
+			OwnedBytes: f.OwnedBytes,
 		})
 	}
 	return out
@@ -315,6 +323,9 @@ const (
 	trailerClusterWorkers     = "Cleandb-Cluster-Workers"
 	trailerClusterComparisons = "Cleandb-Cluster-Comparisons"
 	trailerClusterDead        = "Cleandb-Cluster-Dead"
+	// trailerClusterRescans counts scan chunks re-parsed by custody adoption
+	// during this query, across all members — zero on a clean run.
+	trailerClusterRescans = "Cleandb-Custody-Rescans"
 )
 
 // executeStream pumps the result partitions straight into the response
@@ -339,7 +350,7 @@ func (s *Server) executeStream(w http.ResponseWriter, ctx context.Context, r *ht
 	// now so an immediate first partition carries it.
 	trailers := []string{trailerRows, trailerTicks, trailerComparisons, trailerPlanCache, trailerRepairs, trailerViewHit}
 	if sess != nil {
-		trailers = append(trailers, trailerClusterWorkers, trailerClusterComparisons, trailerClusterDead)
+		trailers = append(trailers, trailerClusterWorkers, trailerClusterComparisons, trailerClusterDead, trailerClusterRescans)
 	}
 	w.Header().Set("Trailer", strings.Join(trailers, ", "))
 	w.Header().Set("Content-Type", format)
@@ -364,15 +375,18 @@ func (s *Server) executeStream(w http.ResponseWriter, ctx context.Context, r *ht
 	if sess != nil {
 		frags := s.finishSession(sess)
 		var ok, comps int64
+		rescans := sess.CustodyRescans()
 		for _, f := range frags {
 			if f.Err == "" {
 				ok++
 				comps += f.Comparisons
 			}
+			rescans += f.CustodyRescans
 		}
 		w.Header().Set(trailerClusterWorkers, strconv.FormatInt(ok, 10))
 		w.Header().Set(trailerClusterComparisons, strconv.FormatInt(comps, 10))
 		w.Header().Set(trailerClusterDead, strings.Join(sess.Dead(), ","))
+		w.Header().Set(trailerClusterRescans, strconv.FormatInt(rescans, 10))
 	}
 	// A zero-row result never touched the sink: force the header out so the
 	// client sees a completed, empty 200 rather than nothing.

@@ -107,19 +107,13 @@ func scanCSV(ctx context.Context, buf []byte, parts int) ([][]types.Value, *csvS
 	if len(buf) == 0 {
 		return nil, nil, nil
 	}
-	// Let the csv reader itself find the header record's end: it skips
-	// blank leading lines and handles quoting/CRLF exactly as the
-	// sequential reader does, and InputOffset marks where the body starts.
-	hr := csv.NewReader(bytes.NewReader(buf))
-	hr.FieldsPerRecord = -1
-	header, err := hr.Read()
-	if err == io.EOF {
+	header, hEnd, err := csvHeader(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	if header == nil {
 		return nil, nil, nil
 	}
-	if err != nil {
-		return nil, nil, fmt.Errorf("source: csv: %w", err)
-	}
-	hEnd := int(hr.InputOffset())
 	headerLines := bytes.Count(buf[:hEnd], []byte{'\n'})
 	chunks, baseLines := splitCSVBody(buf[hEnd:], parts)
 
@@ -128,18 +122,9 @@ func scanCSV(ctx context.Context, buf []byte, parts int) ([][]types.Value, *csvS
 	// what the sequential reader reports for the same input.
 	raw := make([][][]string, len(chunks))
 	err = runParallel(ctx, len(chunks), parts, func(i int) error {
-		cr := csv.NewReader(bytes.NewReader(chunks[i]))
-		cr.FieldsPerRecord = -1
-		rows, err := cr.ReadAll()
+		rows, err := parseCSVChunk(chunks[i], headerLines+baseLines[i])
 		if err != nil {
-			var pe *csv.ParseError
-			if errors.As(err, &pe) {
-				pe.Line += headerLines + baseLines[i]
-				if pe.StartLine > 0 {
-					pe.StartLine += headerLines + baseLines[i]
-				}
-			}
-			return fmt.Errorf("source: csv: %w", err)
+			return err
 		}
 		raw[i] = rows
 		return nil
@@ -302,21 +287,42 @@ func buildCSVRows(raw [][]string, header []string, schema *types.Schema, colType
 }
 
 // joinColType is the inference lattice's join: int ⊑ float ⊑ string.
-func joinColType(a, b data.ColType) data.ColType {
-	rank := func(t data.ColType) int {
-		switch t {
-		case data.ColInt:
-			return 0
-		case data.ColFloat:
-			return 1
-		default:
-			return 2
+func joinColType(a, b data.ColType) data.ColType { return data.JoinColType(a, b) }
+
+// csvHeader lets the csv reader itself find the header record's end: it
+// skips blank leading lines and handles quoting/CRLF exactly as the
+// sequential reader does, and InputOffset marks where the body starts. A nil
+// header with nil error means blank input.
+func csvHeader(buf []byte) ([]string, int, error) {
+	hr := csv.NewReader(bytes.NewReader(buf))
+	hr.FieldsPerRecord = -1
+	header, err := hr.Read()
+	if err == io.EOF {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("source: csv: %w", err)
+	}
+	return header, int(hr.InputOffset()), nil
+}
+
+// parseCSVChunk parses one body chunk's raw cells, rebasing parse errors by
+// the chunk's preceding line count so they report absolute file positions.
+func parseCSVChunk(chunk []byte, baseLines int) ([][]string, error) {
+	cr := csv.NewReader(bytes.NewReader(chunk))
+	cr.FieldsPerRecord = -1
+	rows, err := cr.ReadAll()
+	if err != nil {
+		var pe *csv.ParseError
+		if errors.As(err, &pe) {
+			pe.Line += baseLines
+			if pe.StartLine > 0 {
+				pe.StartLine += baseLines
+			}
 		}
+		return nil, fmt.Errorf("source: csv: %w", err)
 	}
-	if rank(b) > rank(a) {
-		return b
-	}
-	return a
+	return rows, nil
 }
 
 // splitCSVBody cuts the post-header bytes into at most parts chunks, each

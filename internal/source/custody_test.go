@@ -1,0 +1,204 @@
+package source
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cleandb/internal/data"
+	"cleandb/internal/types"
+)
+
+// custodyScanAll drives a ScanPlan through the full custody protocol as if it
+// were one member owning every chunk: vote round (when the plan needs one),
+// merged-type install, per-chunk builds, and Finish. The result must be
+// exactly what Scan would have returned.
+func custodyScanAll(t *testing.T, src PartitionedScanner, parts int) [][]types.Value {
+	t.Helper()
+	ctx := context.Background()
+	plan, err := src.PlanScan(ctx, parts)
+	if err != nil {
+		t.Fatalf("PlanScan(%d): %v", parts, err)
+	}
+	n := plan.Chunks()
+	if n > parts {
+		t.Fatalf("PlanScan(%d): %d chunks", parts, n)
+	}
+	// No chunks → no vote round, matching the cluster driver: Finish defaults
+	// the types itself.
+	if plan.NeedsVote() && n > 0 {
+		votes := make([][]data.ColVote, n)
+		cols := 0
+		for i := 0; i < n; i++ {
+			if votes[i], err = plan.Vote(ctx, i); err != nil {
+				t.Fatalf("Vote(%d): %v", i, err)
+			}
+			cols = len(votes[i])
+		}
+		ts, voted := data.MergeColVotes(votes, cols)
+		if err := plan.SetTypes(data.ColVotes(ts, voted)); err != nil {
+			t.Fatalf("SetTypes: %v", err)
+		}
+	}
+	full := make([][]types.Value, n)
+	for i := 0; i < n; i++ {
+		if full[i], err = plan.Build(ctx, i); err != nil {
+			t.Fatalf("Build(%d): %v", i, err)
+		}
+	}
+	out, err := plan.Finish(full)
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	return out
+}
+
+// wantSameParts asserts partition-vector equality: same partition count, same
+// rows per partition, element-wise identical values.
+func wantSameParts(t *testing.T, got, want [][]types.Value) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("partition count = %d, want %d", len(got), len(want))
+	}
+	for p := range want {
+		if len(got[p]) != len(want[p]) {
+			t.Fatalf("partition %d: %d rows, want %d", p, len(got[p]), len(want[p]))
+		}
+		for i := range want[p] {
+			if !types.Equal(got[p][i], want[p][i]) {
+				t.Fatalf("partition %d row %d = %v, want %v", p, i, got[p][i], want[p][i])
+			}
+		}
+	}
+}
+
+// TestCustodyPlanMatchesScan is the source-layer half of the partitioned
+// custody equivalence proof: for every PartitionedScanner, building the
+// partition vector chunk-by-chunk through a ScanPlan yields the exact
+// partition vector Scan produces — same partition boundaries included, since
+// downstream placement keys on partition index.
+func TestCustodyPlanMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	csvText := genCSV(rng, 120)
+	var jsonSB strings.Builder
+	for i := 0; i < 150; i++ {
+		if i%5 == 2 {
+			jsonSB.WriteString("\n")
+			continue
+		}
+		jsonSB.WriteString(`{"id":` + strings.Repeat("1", 1+i%3) + `,"tag":"t"}` + "\n")
+	}
+	colbinBuf := colbinSample(t, 200)
+
+	cases := []struct {
+		name string
+		mk   func() PartitionedScanner
+	}{
+		{"csv", func() PartitionedScanner { return CSVBytes([]byte(csvText)) }},
+		{"csv-empty", func() PartitionedScanner { return CSVBytes(nil) }},
+		{"csv-header-only", func() PartitionedScanner { return CSVBytes([]byte("a,b,c\n")) }},
+		{"json", func() PartitionedScanner { return JSONBytes([]byte(jsonSB.String())) }},
+		{"json-empty", func() PartitionedScanner { return JSONBytes(nil) }},
+		{"colbin", func() PartitionedScanner { return ColbinBytes(colbinBuf) }},
+		{"colbin-empty", func() PartitionedScanner { return ColbinBytes(colbinSample(t, 0)) }},
+	}
+	for _, tc := range cases {
+		for _, parts := range []int{1, 2, 3, 8} {
+			want, err := tc.mk().Scan(context.Background(), parts)
+			if err != nil {
+				t.Fatalf("%s parts=%d: Scan: %v", tc.name, parts, err)
+			}
+			got := custodyScanAll(t, tc.mk(), parts)
+			if len(got) != len(want) {
+				t.Fatalf("%s parts=%d: custody %d partitions, Scan %d", tc.name, parts, len(got), len(want))
+			}
+			wantSameParts(t, got, want)
+		}
+	}
+}
+
+// TestCustodyPlanChunkBytes pins the byte accounting the cluster's
+// memory-scaling claim rests on: per-chunk costs are positive and sum to
+// (roughly, exactly for CSV) the whole input, so owning 1/N of the chunks
+// means parsing ~1/N of the bytes.
+func TestCustodyPlanChunkBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	csvText := genCSV(rng, 200)
+	src := CSVBytes([]byte(csvText))
+	plan, err := src.PlanScan(context.Background(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for i := 0; i < plan.Chunks(); i++ {
+		b := plan.ChunkBytes(i)
+		if b <= 0 {
+			t.Fatalf("chunk %d: ChunkBytes = %d", i, b)
+		}
+		sum += b
+	}
+	if sum != int64(len(csvText)) {
+		t.Fatalf("CSV chunk bytes sum to %d, input is %d", sum, len(csvText))
+	}
+
+	colbinBuf := colbinSample(t, 100)
+	cp, err := ColbinBytes(colbinBuf).PlanScan(context.Background(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var csum int64
+	for i := 0; i < cp.Chunks(); i++ {
+		csum += cp.ChunkBytes(i)
+	}
+	if csum <= 0 || csum > int64(len(colbinBuf)) {
+		t.Fatalf("colbin chunk bytes sum to %d, file is %d", csum, len(colbinBuf))
+	}
+}
+
+// TestCustodyPlanBuildBeforeVotes: a CSV Build without SetTypes must error —
+// the custody driver sequences the vote barrier first, and the plan enforces
+// it rather than silently producing wrongly-typed rows.
+func TestCustodyPlanBuildBeforeVotes(t *testing.T) {
+	plan, err := CSVBytes([]byte("a,b\n1,2\n")).PlanScan(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plan.Build(context.Background(), 0); err == nil {
+		t.Fatal("Build before SetTypes succeeded")
+	}
+	if _, err := plan.Finish(make([][]types.Value, plan.Chunks())); err == nil {
+		t.Fatal("Finish before SetTypes succeeded")
+	}
+}
+
+// TestCustodyPlanAdoptionReparse: Build after an earlier Build of the same
+// chunk (the adoption path re-parses chunks whose vote-round cache was
+// dropped) returns identical rows.
+func TestCustodyPlanAdoptionReparse(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	plan, err := CSVBytes([]byte(genCSV(rng, 60))).PlanScan(context.Background(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := plan.Chunks()
+	votes := make([][]data.ColVote, n)
+	for i := 0; i < n; i++ {
+		if votes[i], err = plan.Vote(context.Background(), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts, voted := data.MergeColVotes(votes, len(votes[0]))
+	if err := plan.SetTypes(data.ColVotes(ts, voted)); err != nil {
+		t.Fatal(err)
+	}
+	first, err := plan.Build(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := plan.Build(context.Background(), 1) // cache dropped by the first Build
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSameRows(t, again, first)
+}
